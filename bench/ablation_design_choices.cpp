@@ -1,0 +1,115 @@
+// Ablation benches for the design choices DESIGN.md calls out (beyond the
+// paper's tables): segment-size sweep, reward shaping (-sqrt(t) vs -t),
+// advantage normalization, and DGI pre-training depth.
+#include <cstdio>
+
+#include "common.h"
+#include "core/dgi.h"
+#include "rl/optimizer.h"
+
+using namespace mars;
+using namespace mars::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  Profile profile = parse_profile(args);
+  const std::string workload = args.get("workload", "inception_v3");
+
+  BenchEnv env = make_env(workload, profile);
+  std::printf("=== Ablations on %s (%d ops, %s profile) ===\n",
+              workload.c_str(), env.graph.num_nodes(),
+              profile.full ? "paper" : "fast");
+
+  // ---- (a) Segment-size sweep (paper picks s = 128 at full scale) -------
+  {
+    TablePrinter table({"Segment size", "Best (s)", "Rounds", "Trials"});
+    for (int seg : {8, 16, 32, 64, 1 << 20}) {
+      MarsConfig cfg = profile.mars_config();
+      cfg.segment_size = seg;
+      cfg.optimize = profile.optimize_config(workload);
+      cfg.optimize.max_rounds = std::max(10, cfg.optimize.max_rounds / 2);
+      env.runner->reset_environment_seconds();
+      MarsRunResult r =
+          run_mars(env.graph, *env.runner, cfg, profile.seed * 11 + seg);
+      table.add_row({seg >= (1 << 20) ? "whole graph" : std::to_string(seg),
+                     fmt_time(r.optimize.best_step_time),
+                     std::to_string(r.optimize.rounds_run),
+                     std::to_string(static_cast<int>(r.optimize.trials))});
+    }
+    std::printf("\n(a) Segment size (whole graph = plain seq2seq):\n");
+    table.print();
+  }
+
+  // ---- (b) Reward shaping: R = -sqrt(t) (paper, Eq. 7) vs R = -t --------
+  {
+    TablePrinter table({"Reward", "Best (s)", "Rounds"});
+    for (bool sqrt_shaping : {true, false}) {
+      MarsConfig cfg = profile.mars_config();
+      cfg.optimize = profile.optimize_config(workload);
+      cfg.optimize.max_rounds = std::max(10, cfg.optimize.max_rounds / 2);
+      // -t is emulated by squaring the measured time before the trainer's
+      // -sqrt: sqrt(t^2) = t.
+      env.runner->reset_environment_seconds();
+      if (sqrt_shaping) {
+        MarsRunResult r =
+            run_mars(env.graph, *env.runner, cfg, profile.seed * 13);
+        table.add_row({"-sqrt(t)  [paper]",
+                       fmt_time(r.optimize.best_step_time),
+                       std::to_string(r.optimize.rounds_run)});
+      } else {
+        Rng rng(profile.seed * 13);
+        auto agent =
+            make_mars_agent(cfg, env.machine.num_devices(), rng);
+        agent->attach_graph(env.graph);
+        auto& gcn = dynamic_cast<GcnEncoder&>(agent->encoder());
+        DgiPretrainer pre(gcn, rng);
+        pre.pretrain(cfg.dgi, rng);
+        Rng env_rng(rng.next_u64());
+        PpoTrainer trainer(
+            *agent,
+            [&](const Placement& p) {
+              TrialResult t = env.runner->run(p, env_rng);
+              t.step_time = t.step_time * t.step_time;  // R = -t after sqrt
+              return t;
+            },
+            cfg.optimize.ppo, rng.next_u64());
+        for (int round = 0; round < cfg.optimize.max_rounds; ++round)
+          trainer.round();
+        table.add_row({"-t",
+                       fmt_time(trainer.has_best()
+                                    ? std::sqrt(trainer.best_step_time())
+                                    : 0.0),
+                       std::to_string(cfg.optimize.max_rounds)});
+      }
+    }
+    std::printf("\n(b) Reward shaping:\n");
+    table.print();
+  }
+
+  // ---- (c) DGI pre-training depth ----------------------------------------
+  {
+    TablePrinter table(
+        {"DGI iterations", "DGI acc", "Best (s)", "Invalid samples"});
+    for (int iters : {0, 30, 120, 400}) {
+      MarsConfig cfg = profile.mars_config();
+      cfg.pretrain = iters > 0;
+      cfg.dgi.iterations = std::max(iters, 1);
+      cfg.optimize = profile.optimize_config(workload);
+      cfg.optimize.max_rounds = std::max(10, cfg.optimize.max_rounds / 2);
+      env.runner->reset_environment_seconds();
+      MarsRunResult r =
+          run_mars(env.graph, *env.runner, cfg, profile.seed * 17 + iters);
+      int invalid = 0;
+      for (const auto& h : r.optimize.history) invalid += h.invalid_samples;
+      char acc[16];
+      std::snprintf(acc, sizeof(acc), "%.2f", r.dgi.final_accuracy);
+      table.add_row({std::to_string(iters), iters ? acc : "-",
+                     fmt_time(r.optimize.best_step_time),
+                     std::to_string(invalid)});
+    }
+    std::printf("\n(c) DGI pre-training depth:\n");
+    table.print();
+  }
+
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Shared scaffolding for the benchmark harnesses: environment construction,
+// method runners, scale profiles, and table formatting.
+//
+// Every table/figure binary accepts:
+//   --full            paper-scale agent widths, pre-training iterations and
+//                     round counts (hours of CPU time)
+//   --rounds N        override PPO rounds per training run
+//   --coarsen N       override the per-workload graph coarsening budget
+//   --seed S          base RNG seed (default 1)
+//   --csv PATH        also write machine-readable results
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/factories.h"
+#include "baselines/static_placements.h"
+#include "core/mars.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "workloads/workloads.h"
+
+namespace mars::bench {
+
+/// Scale profile resolved from CLI flags.
+struct Profile {
+  bool full = false;
+  int rounds = 0;         // 0 = per-method default
+  int coarsen = 0;        // 0 = per-workload default
+  uint64_t seed = 1;
+  std::string csv_path;
+
+  MarsConfig mars_config() const;
+  BaselineScale baseline_scale() const;
+  OptimizeConfig optimize_config(const std::string& workload) const;
+  int coarsen_budget(const std::string& workload) const;
+};
+
+Profile parse_profile(const CliArgs& args);
+
+/// Simulated environment for one workload on the default 4-GPU machine.
+struct BenchEnv {
+  CompGraph graph;
+  MachineSpec machine = MachineSpec::default_4gpu();
+  std::unique_ptr<ExecutionSimulator> sim;
+  std::unique_ptr<TrialRunner> runner;
+
+  double expert_time() const;     // Human Expert row (0 if OOM)
+  bool expert_oom() const;
+  double gpu_only_time() const;   // GPU Only row (0 if OOM)
+  bool gpu_only_oom() const;
+};
+
+BenchEnv make_env(const std::string& workload, const Profile& profile);
+
+/// One trained method's outcome on one workload.
+struct MethodResult {
+  std::string method;
+  OptimizeResult optimize;
+  double pretrain_seconds = 0;
+  double dgi_final_accuracy = 0;
+};
+
+/// The four RL methods of the paper.
+MethodResult run_mars_method(BenchEnv& env, const Profile& profile,
+                             bool pretrain, uint64_t seed);
+MethodResult run_grouper_placer(BenchEnv& env, const Profile& profile,
+                                uint64_t seed);
+MethodResult run_encoder_placer(BenchEnv& env, const Profile& profile,
+                                uint64_t seed);
+
+/// Markdown-style table printer with right-aligned numeric cells.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "0.067" style formatting (3 significant decimals like the paper).
+std::string fmt_time(double seconds);
+std::string fmt_time_or_oom(double seconds, bool oom);
+
+/// Write a TablePrinter's content as CSV when profile.csv_path is set.
+void maybe_write_csv(const Profile& profile, const TablePrinter& table,
+                     const std::vector<std::string>& header);
+
+}  // namespace mars::bench

@@ -1,0 +1,76 @@
+// Fig. 7: per-step runtime of placements found during training on
+// Inception-V3 (7a) and GNMT-4 (7b), for Grouper-Placer, Encoder-Placer and
+// Mars. Emits the full per-round series as CSV and prints a convergence
+// summary (round at which each method first reached within 5% of its final
+// best, mirroring the figure's narrative).
+#include <cstdio>
+
+#include "common.h"
+
+using namespace mars;
+using namespace mars::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  Profile profile = parse_profile(args);
+  const std::string csv_path =
+      args.get("curves-csv", "fig7_curves.csv");
+
+  std::printf(
+      "=== Fig. 7: per-step runtime of sampled placements during training "
+      "(%s profile) ===\n",
+      profile.full ? "paper" : "fast");
+
+  CsvWriter csv(csv_path, {"workload", "method", "round",
+                           "mean_valid_step_time_s", "best_so_far_s",
+                           "invalid_samples", "bad_samples"});
+  TablePrinter summary({"Workload", "Method", "Best (s)",
+                        "Converge round", "Rounds", "Invalid (total)"});
+
+  const std::vector<std::string> workloads = {"inception_v3", "gnmt"};
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const std::string& w = workloads[wi];
+    BenchEnv env = make_env(w, profile);
+    const uint64_t base = profile.seed * 4000 + wi * 100;
+
+    std::vector<MethodResult> results;
+    results.push_back(run_grouper_placer(env, profile, base + 1));
+    results.push_back(run_encoder_placer(env, profile, base + 2));
+    results.push_back(run_mars_method(env, profile, true, base + 3));
+
+    for (const auto& r : results) {
+      int total_invalid = 0;
+      // First round whose running best is within 5% of the final best.
+      int converge_round = static_cast<int>(r.optimize.history.size()) - 1;
+      for (const auto& h : r.optimize.history) {
+        total_invalid += h.invalid_samples;
+        csv.write_row({w, r.method, std::to_string(h.round),
+                       fmt_time(h.mean_valid_step_time),
+                       fmt_time(h.best_step_time_so_far),
+                       std::to_string(h.invalid_samples),
+                       std::to_string(h.bad_samples)});
+      }
+      for (const auto& h : r.optimize.history) {
+        if (h.best_step_time_so_far > 0 &&
+            h.best_step_time_so_far <= 1.05 * r.optimize.best_step_time) {
+          converge_round = h.round;
+          break;
+        }
+      }
+      summary.add_row({w, r.method, fmt_time(r.optimize.best_step_time),
+                       std::to_string(converge_round),
+                       std::to_string(r.optimize.rounds_run),
+                       std::to_string(total_invalid)});
+    }
+  }
+  summary.print();
+  std::printf("(full per-round series written to %s)\n", csv_path.c_str());
+
+  std::printf(
+      "\nPaper narrative (Fig. 7): Mars converges first on Inception-V3 "
+      "(<100 steps vs ~600 grouper-placer, ~2500 encoder-placer); on GNMT "
+      "grouper-placer and Mars find the best placement around step 450 "
+      "while the encoder-placer stalls in a local optimum; Mars samples no "
+      "catastrophically slow placements even at the start of training.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// google-benchmark microbenchmarks of the substrates: tensor GEMM, sparse
+// aggregation, encoder forward/backward, placer sampling, the execution
+// simulator, and graph construction/coarsening.
+#include <benchmark/benchmark.h>
+
+#include "core/dgi.h"
+#include "core/mars.h"
+#include "graph/features.h"
+#include "sim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+namespace {
+
+void BM_MatmulForward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng, 1.0f);
+  Tensor b = Tensor::randn({n, n}, rng, 1.0f);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulForward)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::randn({n, n}, rng, 1.0f, true);
+  Tensor b = Tensor::randn({n, n}, rng, 1.0f, true);
+  for (auto _ : state) {
+    Tensor loss = mean_all(matmul(a, b));
+    loss.backward();
+    a.zero_grad();
+    b.zero_grad();
+  }
+}
+BENCHMARK(BM_MatmulBackward)->Arg(64)->Arg(128);
+
+void BM_SpmmGcnAggregate(benchmark::State& state) {
+  CompGraph g = build_inception_v3();
+  auto adj = gcn_normalized_adjacency(g);
+  Rng rng(3);
+  Tensor x = Tensor::randn({g.num_nodes(), 64}, rng, 1.0f);
+  for (auto _ : state) {
+    Tensor y = spmm(adj, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj->nnz() * 64);
+}
+BENCHMARK(BM_SpmmGcnAggregate);
+
+void BM_EncoderForward(benchmark::State& state) {
+  Rng rng(4);
+  GcnEncoder enc(static_cast<int64_t>(state.range(0)), 3, rng);
+  CompGraph g = build_inception_v3().coarsen(128);
+  enc.attach_graph(g);
+  for (auto _ : state) {
+    NoGradGuard no_grad;
+    Tensor h = enc.encode();
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_EncoderForward)->Arg(32)->Arg(256);
+
+void BM_SegmentPlacerSample(benchmark::State& state) {
+  Rng rng(5);
+  SegSeq2SeqConfig cfg;
+  cfg.rep_dim = 32;
+  cfg.hidden = 32;
+  cfg.segment_size = static_cast<int>(state.range(0));
+  SegmentSeq2SeqPlacer placer(cfg, rng);
+  Tensor reps = Tensor::randn({128, 32}, rng, 1.0f);
+  Rng srng(6);
+  for (auto _ : state) {
+    NoGradGuard no_grad;
+    auto r = placer.place(reps, nullptr, &srng);
+    benchmark::DoNotOptimize(r.actions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_SegmentPlacerSample)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_DgiIteration(benchmark::State& state) {
+  Rng rng(7);
+  GcnEncoder enc(32, 3, rng);
+  CompGraph g = build_inception_v3().coarsen(128);
+  enc.attach_graph(g);
+  DgiPretrainer dgi(enc, rng);
+  Adam opt(dgi.parameters(), {});
+  for (auto _ : state) {
+    Tensor corrupted =
+        gather_rows(enc.features(), rng.permutation(g.num_nodes()));
+    opt.zero_grad();
+    Tensor l = dgi.loss(enc.features(), corrupted, enc.adjacency());
+    l.backward();
+    opt.step();
+  }
+}
+BENCHMARK(BM_DgiIteration);
+
+void BM_SimulatorStep(benchmark::State& state) {
+  CompGraph g = build_workload(state.range(0) == 0 ? "inception_v3" : "bert");
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  Rng rng(8);
+  Placement p(static_cast<size_t>(g.num_nodes()));
+  for (auto& d : p) d = static_cast<int>(rng.uniform_int(5));
+  for (auto _ : state) {
+    SimResult r = sim.simulate(p);
+    benchmark::DoNotOptimize(r.step_time);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+  state.SetLabel(g.name() + " (" + std::to_string(g.num_nodes()) + " ops)");
+}
+BENCHMARK(BM_SimulatorStep)->Arg(0)->Arg(1);
+
+void BM_WorkloadBuild(benchmark::State& state) {
+  const auto names = workload_names();
+  const std::string name = names[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    CompGraph g = build_workload(name);
+    benchmark::DoNotOptimize(g.num_nodes());
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_WorkloadBuild)->DenseRange(0, 6);
+
+void BM_GraphCoarsen(benchmark::State& state) {
+  CompGraph g = build_gnmt(GnmtConfig{.time_chunk = 1});  // fully unrolled
+  for (auto _ : state) {
+    CompGraph c = g.coarsen(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(c.num_nodes());
+  }
+  state.SetLabel(std::to_string(g.num_nodes()) + " -> " +
+                 std::to_string(state.range(0)));
+}
+BENCHMARK(BM_GraphCoarsen)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace mars
+
+BENCHMARK_MAIN();

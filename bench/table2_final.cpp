@@ -1,0 +1,57 @@
+// Table 2: per-step runtime (seconds) of the best placements found by
+// Human Experts, GPU Only, Grouper-Placer, Encoder-Placer, Mars, and
+// Mars without pre-training, on Inception-V3 / GNMT-4 / BERT.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace mars;
+using namespace mars::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  Profile profile = parse_profile(args);
+
+  std::printf(
+      "=== Table 2: per-step runtime (s) of best placements "
+      "(%s profile) ===\n",
+      profile.full ? "paper" : "fast");
+  TablePrinter table({"Models", "Human Experts", "GPU Only", "Grouper-Placer",
+                      "Encoder-Placer", "Mars", "Mars (no pre-training)"});
+
+  const std::vector<std::string> workloads = {"inception_v3", "gnmt", "bert"};
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const std::string& w = workloads[wi];
+    BenchEnv env = make_env(w, profile);
+    std::fprintf(stderr, "[table2] %s: %d ops, %lld edges\n", w.c_str(),
+                 env.graph.num_nodes(),
+                 static_cast<long long>(env.graph.num_edges()));
+
+    const uint64_t base = profile.seed * 1000 + wi * 10;
+    MethodResult grouper = run_grouper_placer(env, profile, base + 1);
+    MethodResult gdp = run_encoder_placer(env, profile, base + 2);
+    MethodResult mars_r = run_mars_method(env, profile, true, base + 3);
+    MethodResult mars_np = run_mars_method(env, profile, false, base + 4);
+
+    table.add_row({w,
+                   fmt_time_or_oom(env.expert_time(), env.expert_oom()),
+                   fmt_time_or_oom(env.gpu_only_time(), env.gpu_only_oom()),
+                   fmt_time(grouper.optimize.best_step_time),
+                   fmt_time(gdp.optimize.best_step_time),
+                   fmt_time(mars_r.optimize.best_step_time),
+                   fmt_time(mars_np.optimize.best_step_time)});
+  }
+  table.print();
+  maybe_write_csv(profile, table,
+                  {"model", "human_experts", "gpu_only", "grouper_placer",
+                   "encoder_placer", "mars", "mars_no_pretrain"});
+
+  std::printf(
+      "\nPaper reference (Table 2): inception 0.071/0.071/0.067/0.067/0.067/"
+      "0.067; gnmt 1.661/OOM/1.418/1.437/1.379/1.396; "
+      "bert OOM/OOM/12.661/11.737/9.214/11.363\n");
+  std::printf(
+      "Expected shape: RL methods match GPU-Only on Inception; GNMT/BERT "
+      "OOM on one GPU; Mars finds the fastest placement on GNMT and BERT.\n");
+  return 0;
+}

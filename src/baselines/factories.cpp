@@ -1,0 +1,82 @@
+#include "baselines/factories.h"
+
+namespace mars {
+
+std::unique_ptr<EncoderPlacerAgent> make_gdp_agent(const BaselineScale& scale,
+                                                   int num_devices, Rng& rng) {
+  auto encoder = std::make_unique<SageEncoder>(scale.encoder_hidden,
+                                               scale.encoder_layers, rng);
+  TrfXlConfig tc;
+  tc.rep_dim = encoder->out_dim();
+  tc.dim = scale.trfxl_dim;
+  tc.heads = 4;
+  tc.ffn = 4 * scale.trfxl_dim;
+  tc.layers = 2;
+  tc.segment_size = scale.segment_size;
+  tc.num_devices = num_devices;
+  auto placer = std::make_unique<TransformerXlPlacer>(tc, rng);
+  return std::make_unique<EncoderPlacerAgent>(
+      std::move(encoder), std::move(placer), "encoder_placer");
+}
+
+std::unique_ptr<GrouperPlacerAgent> make_grouper_placer_agent(
+    const BaselineScale& scale, int num_devices, Rng& rng) {
+  GrouperPlacerConfig gc;
+  gc.placer_hidden = scale.placer_hidden;
+  gc.num_devices = num_devices;
+  return std::make_unique<GrouperPlacerAgent>(gc, rng);
+}
+
+std::unique_ptr<EncoderPlacerAgent> make_gcn_agent_with_placer(
+    PlacerKind kind, const BaselineScale& scale, int num_devices, Rng& rng) {
+  auto encoder = std::make_unique<GcnEncoder>(scale.encoder_hidden,
+                                              scale.encoder_layers, rng);
+  std::unique_ptr<Placer> placer;
+  std::string label;
+  switch (kind) {
+    case PlacerKind::kSeq2Seq: {
+      SegSeq2SeqConfig pc;
+      pc.rep_dim = encoder->out_dim();
+      pc.hidden = scale.placer_hidden;
+      pc.num_devices = num_devices;
+      placer = make_seq2seq_placer(pc, rng);
+      label = "gcn+seq2seq";
+      break;
+    }
+    case PlacerKind::kTransformerXl: {
+      TrfXlConfig tc;
+      tc.rep_dim = encoder->out_dim();
+      tc.dim = scale.trfxl_dim;
+      tc.heads = 4;
+      tc.ffn = 4 * scale.trfxl_dim;
+      tc.layers = 2;
+      tc.segment_size = scale.segment_size;
+      tc.num_devices = num_devices;
+      placer = std::make_unique<TransformerXlPlacer>(tc, rng);
+      label = "gcn+transformer_xl";
+      break;
+    }
+    case PlacerKind::kSegmentSeq2Seq: {
+      SegSeq2SeqConfig pc;
+      pc.rep_dim = encoder->out_dim();
+      pc.hidden = scale.placer_hidden;
+      pc.segment_size = scale.segment_size;
+      pc.num_devices = num_devices;
+      placer = std::make_unique<SegmentSeq2SeqPlacer>(pc, rng);
+      label = "gcn+segment_seq2seq";
+      break;
+    }
+    case PlacerKind::kMlp: {
+      MlpPlacerConfig mc;
+      mc.rep_dim = encoder->out_dim();
+      mc.num_devices = num_devices;
+      placer = std::make_unique<MlpPlacer>(mc, rng);
+      label = "gcn+mlp";
+      break;
+    }
+  }
+  return std::make_unique<EncoderPlacerAgent>(std::move(encoder),
+                                              std::move(placer), label);
+}
+
+}  // namespace mars

@@ -1,0 +1,36 @@
+// Agent factories for the paper's RL baselines and Table 1 placer variants.
+#pragma once
+
+#include <memory>
+
+#include "baselines/grouper_placer.h"
+#include "core/agent.h"
+
+namespace mars {
+
+/// Scale knobs shared by the baselines (mirrors MarsConfig::fast()/paper()).
+struct BaselineScale {
+  int64_t encoder_hidden = 256;
+  int encoder_layers = 3;
+  int64_t placer_hidden = 512;
+  int64_t trfxl_dim = 64;
+  int segment_size = 128;
+  static BaselineScale paper() { return {}; }
+  static BaselineScale fast() { return {32, 3, 32, 32, 32}; }
+};
+
+/// Encoder-Placer baseline (GDP, Zhou et al. 2019): GraphSAGE encoder +
+/// Transformer-XL placer, no pre-training.
+std::unique_ptr<EncoderPlacerAgent> make_gdp_agent(const BaselineScale& scale,
+                                                   int num_devices, Rng& rng);
+
+/// Grouper-Placer baseline (Mirhoseini et al. 2018).
+std::unique_ptr<GrouperPlacerAgent> make_grouper_placer_agent(
+    const BaselineScale& scale, int num_devices, Rng& rng);
+
+/// Table 1 variants: a GCN encoder paired with each placer design.
+enum class PlacerKind { kSeq2Seq, kTransformerXl, kSegmentSeq2Seq, kMlp };
+std::unique_ptr<EncoderPlacerAgent> make_gcn_agent_with_placer(
+    PlacerKind placer, const BaselineScale& scale, int num_devices, Rng& rng);
+
+}  // namespace mars

@@ -1,0 +1,112 @@
+#include "baselines/grouper_placer.h"
+
+#include "tensor/ops.h"
+
+namespace mars {
+
+GrouperPlacerAgent::GrouperPlacerAgent(const GrouperPlacerConfig& config,
+                                       Rng& rng)
+    : config_(config),
+      grouper_({node_feature_dim(), config.grouper_hidden, config.num_groups},
+               Activation::kRelu, rng) {
+  adopt("grouper", grouper_);
+  SegSeq2SeqConfig pc;
+  pc.rep_dim = node_feature_dim() + 1;  // mean features + group-size column
+  pc.hidden = config.placer_hidden;
+  pc.attn_dim = config.attn_dim;
+  pc.num_devices = config.num_devices;
+  placer_ = make_seq2seq_placer(pc, rng);  // plain seq2seq over groups
+  adopt("placer", *placer_);
+}
+
+void GrouperPlacerAgent::attach_graph(const CompGraph& graph) {
+  features_ = node_features(graph);
+  num_nodes_ = graph.num_nodes();
+}
+
+GrouperPlacerAgent::Decision GrouperPlacerAgent::unpack(
+    const ActionSample& sample, int n, int g) {
+  MARS_CHECK(static_cast<int>(sample.internal_actions.size()) == n + g);
+  Decision d;
+  d.groups.assign(sample.internal_actions.begin(),
+                  sample.internal_actions.begin() + n);
+  d.group_device.assign(sample.internal_actions.begin() + n,
+                        sample.internal_actions.end());
+  return d;
+}
+
+Placer::Result GrouperPlacerAgent::forward(const Decision* given, Rng* rng,
+                                           Decision* out_decision) {
+  MARS_CHECK_MSG(num_nodes_ > 0, "attach_graph before sampling");
+  const int n = num_nodes_;
+  const int g = config_.num_groups;
+
+  // Grouper: categorical over groups per op.
+  Tensor group_logits = grouper_.forward(features_);  // [N, G]
+  std::vector<int> groups =
+      given ? given->groups : sample_rows(group_logits, *rng);
+  Tensor group_logp_rows = log_softmax_rows(group_logits);
+  Tensor grouper_logp_terms = gather_per_row(group_logp_rows, groups);
+  Tensor group_probs = softmax_rows(group_logits);
+  Tensor grouper_entropy = scale(
+      sum_all(mul(group_probs, group_logp_rows)), -1.0f / static_cast<float>(n));
+
+  // Group embeddings: mean of member features (constant averaging matrix).
+  std::vector<int> count(static_cast<size_t>(g), 0);
+  for (int i = 0; i < n; ++i) ++count[static_cast<size_t>(groups[static_cast<size_t>(i)])];
+  Tensor avg = Tensor::zeros({g, n});
+  for (int i = 0; i < n; ++i) {
+    const int gi = groups[static_cast<size_t>(i)];
+    avg.data()[static_cast<int64_t>(gi) * n + i] =
+        1.0f / static_cast<float>(count[static_cast<size_t>(gi)]);
+  }
+  Tensor group_feats = matmul(avg, features_);  // [G, F]
+  std::vector<float> size_col(static_cast<size_t>(g));
+  for (int k = 0; k < g; ++k)
+    size_col[static_cast<size_t>(k)] =
+        static_cast<float>(count[static_cast<size_t>(k)]) /
+        static_cast<float>(n);
+  Tensor group_embs = concat_cols(
+      group_feats, Tensor::from_vector({g, 1}, std::move(size_col)));
+
+  // Placer: one device per group via the seq2seq network.
+  Placer::Result placed =
+      placer_->place(group_embs, given ? &given->group_device : nullptr, rng);
+
+  // Expand group devices to op placement.
+  Placer::Result result;
+  result.actions.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    result.actions[static_cast<size_t>(i)] =
+        placed.actions[static_cast<size_t>(groups[static_cast<size_t>(i)])];
+  // Decision terms: N group choices followed by G device choices.
+  result.logp_terms = concat_rows({grouper_logp_terms, placed.logp_terms});
+  result.entropy = scale(add(grouper_entropy, placed.entropy), 0.5f);
+  if (out_decision) {
+    out_decision->groups = std::move(groups);
+    out_decision->group_device = std::move(placed.actions);
+  }
+  return result;
+}
+
+ActionSample GrouperPlacerAgent::sample(Rng& rng) {
+  Decision decision;
+  Placer::Result r = forward(nullptr, &rng, &decision);
+  ActionSample out;
+  out.placement = std::move(r.actions);
+  out.logp_terms.assign(r.logp_terms.data(),
+                        r.logp_terms.data() + r.logp_terms.numel());
+  out.internal_actions = std::move(decision.groups);
+  out.internal_actions.insert(out.internal_actions.end(),
+                              decision.group_device.begin(),
+                              decision.group_device.end());
+  return out;
+}
+
+ActionEval GrouperPlacerAgent::evaluate(const ActionSample& sample) {
+  Decision decision = unpack(sample, num_nodes_, config_.num_groups);
+  Placer::Result r = forward(&decision, nullptr, nullptr);
+  return {r.logp_terms, r.entropy};
+}
+
+}  // namespace mars

@@ -1,0 +1,54 @@
+// The Grouper-Placer baseline (Mirhoseini et al., "A Hierarchical Model for
+// Device Placement", ICLR 2018; the paper's baseline 3 and Fig. 2a).
+//
+// A two-layer MLP grouper assigns each op to one of G groups; group
+// embeddings merge the features of member ops; a sequence-to-sequence
+// placer with attention assigns one device per group. Both networks are
+// trained jointly with the same PPO loop (group choices and device choices
+// contribute to the policy's log-probability).
+#pragma once
+
+#include <memory>
+
+#include "core/placer.h"
+#include "graph/features.h"
+#include "rl/policy.h"
+
+namespace mars {
+
+struct GrouperPlacerConfig {
+  int num_groups = 32;        // original paper: 256 groups at TF-graph scale
+  int64_t grouper_hidden = 64;
+  int64_t placer_hidden = 512;
+  int64_t attn_dim = 64;
+  int num_devices = 5;
+};
+
+class GrouperPlacerAgent : public PlacementPolicy {
+ public:
+  GrouperPlacerAgent(const GrouperPlacerConfig& config, Rng& rng);
+
+  void attach_graph(const CompGraph& graph) override;
+  ActionSample sample(Rng& rng) override;
+  ActionEval evaluate(const ActionSample& sample) override;
+  int num_devices() const override { return config_.num_devices; }
+  std::string describe() const override { return "grouper_placer"; }
+
+ private:
+  struct Decision {
+    std::vector<int> groups;       // per op
+    std::vector<int> group_device; // per group
+  };
+  /// Shared forward pass; samples when `given` is null.
+  Placer::Result forward(const Decision* given, Rng* rng,
+                         Decision* out_decision);
+  static Decision unpack(const ActionSample& sample, int n, int g);
+
+  GrouperPlacerConfig config_;
+  Mlp grouper_;
+  std::unique_ptr<SegmentSeq2SeqPlacer> placer_;
+  Tensor features_;  // [N, F] of the attached graph
+  int num_nodes_ = 0;
+};
+
+}  // namespace mars

@@ -1,0 +1,113 @@
+#include "baselines/local_search.h"
+
+#include <cmath>
+
+namespace mars {
+
+namespace {
+
+Placement random_placement(int n, int devices, Rng& rng) {
+  Placement p(static_cast<size_t>(n));
+  for (auto& d : p) d = static_cast<int>(rng.uniform_int(
+      static_cast<uint64_t>(devices)));
+  return p;
+}
+
+/// Evaluate and update the incumbent; returns the measured time.
+double evaluate(const TrialRunner& runner, const Placement& p, Rng& rng,
+                SearchResult& result) {
+  TrialResult t = runner.run(p, rng);
+  ++result.trials;
+  if (t.valid && !t.bad && t.step_time < result.best_step_time) {
+    result.best_step_time = t.step_time;
+    result.best_placement = p;
+  }
+  result.trace.push_back(
+      result.found_valid() ? result.best_step_time : t.step_time);
+  return t.step_time;
+}
+
+Placement find_valid_start(const TrialRunner& runner, int n, int devices,
+                           Rng& rng, SearchResult& result, double* time) {
+  // Random restarts until a runnable placement appears.
+  for (;;) {
+    Placement p = random_placement(n, devices, rng);
+    *time = evaluate(runner, p, rng, result);
+    if (*time < runner.config().invalid_time_s) return p;
+    if (result.trials >= 10000) return p;  // give up: caller sees invalid
+  }
+}
+
+}  // namespace
+
+SearchResult random_search(const TrialRunner& runner, const SearchConfig& cfg,
+                           uint64_t seed) {
+  Rng rng(seed);
+  const int n = runner.simulator().graph().num_nodes();
+  const int devices = runner.simulator().machine().num_devices();
+  SearchResult result;
+  for (int64_t t = 0; t < cfg.max_trials; ++t)
+    evaluate(runner, random_placement(n, devices, rng), rng, result);
+  return result;
+}
+
+SearchResult hill_climb(const TrialRunner& runner, const SearchConfig& cfg,
+                        uint64_t seed) {
+  Rng rng(seed);
+  const int n = runner.simulator().graph().num_nodes();
+  const int devices = runner.simulator().machine().num_devices();
+  SearchResult result;
+  double cur_time = 0;
+  Placement cur = find_valid_start(runner, n, devices, rng, result, &cur_time);
+  while (result.trials < cfg.max_trials) {
+    Placement cand = cur;
+    for (int m = 0; m < cfg.mutation_ops; ++m)
+      cand[rng.uniform_int(cand.size())] =
+          static_cast<int>(rng.uniform_int(static_cast<uint64_t>(devices)));
+    const double t = evaluate(runner, cand, rng, result);
+    if (t < cur_time) {
+      cur = std::move(cand);
+      cur_time = t;
+    }
+  }
+  return result;
+}
+
+SearchResult simulated_annealing(const TrialRunner& runner,
+                                 const SearchConfig& cfg, uint64_t seed,
+                                 const Placement* init) {
+  Rng rng(seed);
+  const int n = runner.simulator().graph().num_nodes();
+  const int devices = runner.simulator().machine().num_devices();
+  SearchResult result;
+  double cur_time = 0;
+  Placement cur;
+  if (init) {
+    cur = *init;
+    cur_time = evaluate(runner, cur, rng, result);
+  } else {
+    cur = find_valid_start(runner, n, devices, rng, result, &cur_time);
+  }
+  double temperature = cfg.sa_initial_temperature;
+  while (result.trials < cfg.max_trials) {
+    Placement cand = cur;
+    const int k = 1 + static_cast<int>(rng.uniform_int(
+        static_cast<uint64_t>(cfg.mutation_ops)));
+    for (int m = 0; m < k; ++m)
+      cand[rng.uniform_int(cand.size())] =
+          static_cast<int>(rng.uniform_int(static_cast<uint64_t>(devices)));
+    const double t = evaluate(runner, cand, rng, result);
+    const bool runnable = t < runner.config().invalid_time_s;
+    const double delta = t - cur_time;
+    if (runnable &&
+        (delta < 0 ||
+         rng.uniform() < std::exp(-delta / (temperature * cur_time)))) {
+      cur = std::move(cand);
+      cur_time = t;
+    }
+    temperature *= cfg.sa_cooling;
+  }
+  return result;
+}
+
+}  // namespace mars

@@ -1,0 +1,44 @@
+// Classical black-box search baselines over the same trial environment:
+// random search, greedy hill climbing, and simulated annealing. They bound
+// what a model-free optimizer achieves per trial budget and sanity-check
+// the RL results (an RL method that loses to random search is broken).
+#pragma once
+
+#include "sim/trial.h"
+#include "util/rng.h"
+
+namespace mars {
+
+struct SearchResult {
+  Placement best_placement;
+  double best_step_time = 1e30;
+  int64_t trials = 0;
+  /// best-so-far after each evaluation (for convergence plots).
+  std::vector<double> trace;
+  bool found_valid() const { return best_step_time < 1e29; }
+};
+
+struct SearchConfig {
+  int64_t max_trials = 500;
+  /// Simulated-annealing initial temperature as a fraction of current time.
+  double sa_initial_temperature = 0.3;
+  double sa_cooling = 0.999;
+  /// Mutations per step for hill climbing / annealing.
+  int mutation_ops = 2;
+};
+
+/// Uniform random placements.
+SearchResult random_search(const TrialRunner& runner, const SearchConfig& cfg,
+                           uint64_t seed);
+
+/// First-improvement hill climbing from a random valid start.
+SearchResult hill_climb(const TrialRunner& runner, const SearchConfig& cfg,
+                        uint64_t seed);
+
+/// Metropolis simulated annealing from a random valid start (or from
+/// `init` when provided).
+SearchResult simulated_annealing(const TrialRunner& runner,
+                                 const SearchConfig& cfg, uint64_t seed,
+                                 const Placement* init = nullptr);
+
+}  // namespace mars

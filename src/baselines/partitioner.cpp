@@ -1,0 +1,265 @@
+#include "baselines/partitioner.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace mars {
+
+namespace {
+
+/// One level of the multilevel hierarchy: an undirected weighted graph.
+struct Level {
+  std::vector<int64_t> flops;      // vertex compute weight
+  std::vector<int64_t> mem;        // vertex memory weight
+  // adjacency: per vertex, (neighbor, edge bytes) with u<v stored both ways
+  std::vector<std::vector<std::pair<int, int64_t>>> adj;
+  std::vector<int> parent_of_fine;  // mapping from the finer level's ids
+  int n() const { return static_cast<int>(flops.size()); }
+};
+
+Level make_base_level(const CompGraph& graph, const CostModel& cm,
+                      const std::vector<int>& vertex_of_node,
+                      int num_vertices) {
+  Level level;
+  level.flops.assign(static_cast<size_t>(num_vertices), 0);
+  level.mem.assign(static_cast<size_t>(num_vertices), 0);
+  level.adj.resize(static_cast<size_t>(num_vertices));
+  std::map<std::pair<int, int>, int64_t> edges;
+  for (const auto& node : graph.nodes()) {
+    const int u = vertex_of_node[static_cast<size_t>(node.id)];
+    if (u < 0) continue;
+    level.flops[static_cast<size_t>(u)] += node.flops;
+    level.mem[static_cast<size_t>(u)] += cm.resident_bytes(node);
+    for (int w : graph.outputs_of(node.id)) {
+      const int v = vertex_of_node[static_cast<size_t>(w)];
+      if (v < 0 || v == u) continue;
+      edges[{std::min(u, v), std::max(u, v)}] += node.output_bytes;
+    }
+  }
+  for (const auto& [uv, bytes] : edges) {
+    level.adj[static_cast<size_t>(uv.first)].emplace_back(uv.second, bytes);
+    level.adj[static_cast<size_t>(uv.second)].emplace_back(uv.first, bytes);
+  }
+  return level;
+}
+
+/// Heavy-edge matching contraction; returns the coarser level.
+Level coarsen_level(const Level& fine, Rng& rng) {
+  const int n = fine.n();
+  std::vector<int> match(static_cast<size_t>(n), -1);
+  std::vector<int> order = rng.permutation(n);
+  for (int u : order) {
+    if (match[static_cast<size_t>(u)] >= 0) continue;
+    int best = -1;
+    int64_t best_w = -1;
+    for (const auto& [v, w] : fine.adj[static_cast<size_t>(u)]) {
+      if (match[static_cast<size_t>(v)] < 0 && w > best_w) {
+        best = v;
+        best_w = w;
+      }
+    }
+    if (best >= 0) {
+      match[static_cast<size_t>(u)] = best;
+      match[static_cast<size_t>(best)] = u;
+    } else {
+      match[static_cast<size_t>(u)] = u;  // singleton
+    }
+  }
+  Level coarse;
+  coarse.parent_of_fine.assign(static_cast<size_t>(n), -1);
+  for (int u = 0; u < n; ++u) {
+    if (coarse.parent_of_fine[static_cast<size_t>(u)] >= 0) continue;
+    const int v = match[static_cast<size_t>(u)];
+    const int id = coarse.n();
+    coarse.parent_of_fine[static_cast<size_t>(u)] = id;
+    if (v != u) coarse.parent_of_fine[static_cast<size_t>(v)] = id;
+    coarse.flops.push_back(fine.flops[static_cast<size_t>(u)] +
+                           (v != u ? fine.flops[static_cast<size_t>(v)] : 0));
+    coarse.mem.push_back(fine.mem[static_cast<size_t>(u)] +
+                         (v != u ? fine.mem[static_cast<size_t>(v)] : 0));
+  }
+  coarse.adj.resize(static_cast<size_t>(coarse.n()));
+  std::map<std::pair<int, int>, int64_t> edges;
+  for (int u = 0; u < n; ++u) {
+    for (const auto& [v, w] : fine.adj[static_cast<size_t>(u)]) {
+      const int cu = coarse.parent_of_fine[static_cast<size_t>(u)];
+      const int cv = coarse.parent_of_fine[static_cast<size_t>(v)];
+      if (cu >= cv) continue;  // count each undirected edge once
+      edges[{cu, cv}] += w;
+    }
+  }
+  for (const auto& [uv, w] : edges) {
+    coarse.adj[static_cast<size_t>(uv.first)].emplace_back(uv.second, w);
+    coarse.adj[static_cast<size_t>(uv.second)].emplace_back(uv.first, w);
+  }
+  return coarse;
+}
+
+/// Greedy balanced initial assignment (largest weight first).
+std::vector<int> initial_partition(const Level& level, int parts,
+                                   const std::vector<int64_t>& mem_cap) {
+  std::vector<int> order(static_cast<size_t>(level.n()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return level.flops[static_cast<size_t>(a)] >
+           level.flops[static_cast<size_t>(b)];
+  });
+  std::vector<int64_t> load(static_cast<size_t>(parts), 0);
+  std::vector<int64_t> mem(static_cast<size_t>(parts), 0);
+  std::vector<int> part(static_cast<size_t>(level.n()), 0);
+  for (int v : order) {
+    int best = 0;
+    int64_t best_load = INT64_MAX;
+    for (int p = 0; p < parts; ++p) {
+      const bool fits = mem[static_cast<size_t>(p)] +
+                            level.mem[static_cast<size_t>(v)] <=
+                        mem_cap[static_cast<size_t>(p)];
+      if (fits && load[static_cast<size_t>(p)] < best_load) {
+        best = p;
+        best_load = load[static_cast<size_t>(p)];
+      }
+    }
+    part[static_cast<size_t>(v)] = best;
+    load[static_cast<size_t>(best)] += level.flops[static_cast<size_t>(v)];
+    mem[static_cast<size_t>(best)] += level.mem[static_cast<size_t>(v)];
+  }
+  return part;
+}
+
+/// Fiduccia–Mattheyses-style boundary refinement: greedy positive-gain
+/// moves under balance and memory constraints.
+void refine(const Level& level, int parts,
+            const std::vector<int64_t>& mem_cap, double balance_epsilon,
+            int passes, std::vector<int>& part) {
+  const int n = level.n();
+  std::vector<int64_t> load(static_cast<size_t>(parts), 0);
+  std::vector<int64_t> mem(static_cast<size_t>(parts), 0);
+  int64_t total_load = 0;
+  for (int v = 0; v < n; ++v) {
+    load[static_cast<size_t>(part[static_cast<size_t>(v)])] +=
+        level.flops[static_cast<size_t>(v)];
+    mem[static_cast<size_t>(part[static_cast<size_t>(v)])] +=
+        level.mem[static_cast<size_t>(v)];
+    total_load += level.flops[static_cast<size_t>(v)];
+  }
+  const int64_t max_load = static_cast<int64_t>(
+      (1.0 + balance_epsilon) * static_cast<double>(total_load) /
+      static_cast<double>(parts));
+
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved = false;
+    for (int v = 0; v < n; ++v) {
+      const int from = part[static_cast<size_t>(v)];
+      // Connectivity of v to each part.
+      std::vector<int64_t> conn(static_cast<size_t>(parts), 0);
+      for (const auto& [u, w] : level.adj[static_cast<size_t>(v)])
+        conn[static_cast<size_t>(part[static_cast<size_t>(u)])] += w;
+      int best_to = from;
+      int64_t best_gain = 0;
+      for (int to = 0; to < parts; ++to) {
+        if (to == from) continue;
+        const int64_t gain = conn[static_cast<size_t>(to)] -
+                             conn[static_cast<size_t>(from)];
+        const bool fits_mem = mem[static_cast<size_t>(to)] +
+                                  level.mem[static_cast<size_t>(v)] <=
+                              mem_cap[static_cast<size_t>(to)];
+        const bool fits_load = load[static_cast<size_t>(to)] +
+                                   level.flops[static_cast<size_t>(v)] <=
+                               max_load;
+        if (gain > best_gain && fits_mem && fits_load) {
+          best_gain = gain;
+          best_to = to;
+        }
+      }
+      if (best_to != from) {
+        part[static_cast<size_t>(v)] = best_to;
+        load[static_cast<size_t>(from)] -= level.flops[static_cast<size_t>(v)];
+        load[static_cast<size_t>(best_to)] +=
+            level.flops[static_cast<size_t>(v)];
+        mem[static_cast<size_t>(from)] -= level.mem[static_cast<size_t>(v)];
+        mem[static_cast<size_t>(best_to)] += level.mem[static_cast<size_t>(v)];
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+Placement partition_placement(const CompGraph& graph,
+                              const MachineSpec& machine,
+                              const CostModel& cost_model,
+                              const PartitionerConfig& config, uint64_t seed) {
+  Rng rng(seed);
+  const auto gpus = machine.gpu_devices();
+  const int parts = static_cast<int>(gpus.size());
+  MARS_CHECK(parts >= 1);
+  const int cpu = machine.cpu_device();
+
+  // GPU-incompatible ops are pinned to the CPU and excluded from the cut.
+  std::vector<int> vertex_of_node(static_cast<size_t>(graph.num_nodes()), -1);
+  int num_vertices = 0;
+  for (const auto& node : graph.nodes())
+    if (node.gpu_compatible)
+      vertex_of_node[static_cast<size_t>(node.id)] = num_vertices++;
+
+  std::vector<int64_t> mem_cap(static_cast<size_t>(parts));
+  for (int p = 0; p < parts; ++p)
+    mem_cap[static_cast<size_t>(p)] = cost_model.usable_bytes(
+        machine.device(gpus[static_cast<size_t>(p)]));
+
+  // Build the hierarchy.
+  std::vector<Level> levels;
+  levels.push_back(
+      make_base_level(graph, cost_model, vertex_of_node, num_vertices));
+  while (levels.back().n() > config.coarsen_target) {
+    Level coarse = coarsen_level(levels.back(), rng);
+    if (coarse.n() >= levels.back().n()) break;  // no further contraction
+    levels.push_back(std::move(coarse));
+  }
+
+  // Partition the coarsest level, then project + refine downwards.
+  std::vector<int> part =
+      initial_partition(levels.back(), parts, mem_cap);
+  refine(levels.back(), parts, mem_cap, config.balance_epsilon,
+         config.refine_passes, part);
+  for (size_t li = levels.size(); li-- > 1;) {
+    const Level& coarse = levels[li];
+    const Level& fine = levels[li - 1];
+    std::vector<int> fine_part(static_cast<size_t>(fine.n()));
+    for (int v = 0; v < fine.n(); ++v)
+      fine_part[static_cast<size_t>(v)] =
+          part[static_cast<size_t>(coarse.parent_of_fine[static_cast<size_t>(v)])];
+    part = std::move(fine_part);
+    refine(fine, parts, mem_cap, config.balance_epsilon, config.refine_passes,
+           part);
+  }
+
+  Placement placement(static_cast<size_t>(graph.num_nodes()), cpu);
+  for (const auto& node : graph.nodes()) {
+    const int v = vertex_of_node[static_cast<size_t>(node.id)];
+    if (v >= 0)
+      placement[static_cast<size_t>(node.id)] =
+          gpus[static_cast<size_t>(part[static_cast<size_t>(v)])];
+  }
+  return placement;
+}
+
+int64_t placement_cut_bytes(const CompGraph& graph,
+                            const Placement& placement) {
+  int64_t cut = 0;
+  for (const auto& node : graph.nodes()) {
+    for (int w : graph.outputs_of(node.id)) {
+      if (placement[static_cast<size_t>(node.id)] !=
+          placement[static_cast<size_t>(w)])
+        cut += node.output_bytes;
+    }
+  }
+  return cut;
+}
+
+}  // namespace mars

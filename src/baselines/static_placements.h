@@ -1,0 +1,30 @@
+// Pre-defined placements (§4.1 baselines 1 and 2).
+//
+// GPU Only puts every GPU-compatible op on gpu:0 and the rest on the CPU.
+// Human Expert reproduces the hand-crafted strategies the paper cites:
+// TF-Slim's single-GPU placement for CNNs, and Google-NMT's round-robin
+// layer assignment for GNMT-style RNNs. BERT's reference implementation has
+// no model-parallel expert placement, so the expert attempt is single-GPU
+// (which OOMs, as the paper's Table 2 reports).
+#pragma once
+
+#include "graph/comp_graph.h"
+#include "sim/machine.h"
+
+namespace mars {
+
+/// Everything on one device (by device index).
+Placement single_device_placement(const CompGraph& graph, int device);
+
+/// GPU-compatible ops on gpu:0, incompatible ops on the CPU.
+Placement gpu_only_placement(const CompGraph& graph,
+                             const MachineSpec& machine);
+
+/// Hand-crafted expert placement keyed on op names:
+/// - ops named "encoder/l<k>..." / "decoder/l<k>..." (RNN layer structure)
+///   go to GPU k mod num_gpus (round-robin layers, Google NMT style);
+/// - everything else follows the GPU-only rule.
+Placement human_expert_placement(const CompGraph& graph,
+                                 const MachineSpec& machine);
+
+}  // namespace mars

@@ -1,0 +1,64 @@
+#include "core/agent.h"
+
+namespace mars {
+
+EncoderPlacerAgent::EncoderPlacerAgent(std::unique_ptr<NodeEncoder> encoder,
+                                       std::unique_ptr<Placer> placer,
+                                       std::string label)
+    : encoder_(std::move(encoder)),
+      placer_(std::move(placer)),
+      label_(std::move(label)) {
+  adopt("encoder", *encoder_);
+  adopt("placer", *placer_);
+}
+
+void EncoderPlacerAgent::attach_graph(const CompGraph& graph) {
+  encoder_->attach_graph(graph);
+}
+
+ActionSample EncoderPlacerAgent::sample(Rng& rng) {
+  Tensor reps = encoder_->encode();
+  Placer::Result r = placer_->place(reps, nullptr, &rng);
+  ActionSample out;
+  out.placement = std::move(r.actions);
+  out.logp_terms.assign(r.logp_terms.data(),
+                        r.logp_terms.data() + r.logp_terms.numel());
+  return out;
+}
+
+ActionEval EncoderPlacerAgent::evaluate(const ActionSample& sample) {
+  Tensor reps = encoder_->encode();
+  Placer::Result r = placer_->place(reps, &sample.placement, nullptr);
+  return {r.logp_terms, r.entropy};
+}
+
+FixedRepresentationAgent::FixedRepresentationAgent(
+    Tensor representations, std::unique_ptr<Placer> placer, std::string label)
+    : reps_(representations.detach()),
+      placer_(std::move(placer)),
+      label_(std::move(label)) {
+  adopt("placer", *placer_);
+}
+
+void FixedRepresentationAgent::attach_graph(const CompGraph& graph) {
+  MARS_CHECK_MSG(graph.num_nodes() == reps_.rows(),
+                 "fixed representations cover " << reps_.rows()
+                                                << " nodes, graph has "
+                                                << graph.num_nodes());
+}
+
+ActionSample FixedRepresentationAgent::sample(Rng& rng) {
+  Placer::Result r = placer_->place(reps_, nullptr, &rng);
+  ActionSample out;
+  out.placement = std::move(r.actions);
+  out.logp_terms.assign(r.logp_terms.data(),
+                        r.logp_terms.data() + r.logp_terms.numel());
+  return out;
+}
+
+ActionEval FixedRepresentationAgent::evaluate(const ActionSample& sample) {
+  Placer::Result r = placer_->place(reps_, &sample.placement, nullptr);
+  return {r.logp_terms, r.entropy};
+}
+
+}  // namespace mars

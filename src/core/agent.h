@@ -1,0 +1,59 @@
+// EncoderPlacerAgent: a PlacementPolicy assembled from a NodeEncoder and a
+// Placer, trained jointly end-to-end (the encoder-placer structure of
+// Fig. 2b). Mars instantiates it with a DGI-pretrained GcnEncoder and the
+// segment-level seq2seq placer; the GDP baseline with GraphSAGE and
+// Transformer-XL.
+#pragma once
+
+#include <memory>
+
+#include "core/encoder.h"
+#include "core/placer.h"
+#include "rl/policy.h"
+
+namespace mars {
+
+class EncoderPlacerAgent : public PlacementPolicy {
+ public:
+  EncoderPlacerAgent(std::unique_ptr<NodeEncoder> encoder,
+                     std::unique_ptr<Placer> placer, std::string label);
+
+  void attach_graph(const CompGraph& graph) override;
+  ActionSample sample(Rng& rng) override;
+  ActionEval evaluate(const ActionSample& sample) override;
+  int num_devices() const override { return placer_->num_devices(); }
+  std::string describe() const override { return label_; }
+
+  NodeEncoder& encoder() { return *encoder_; }
+  Placer& placer() { return *placer_; }
+
+ private:
+  std::unique_ptr<NodeEncoder> encoder_;
+  std::unique_ptr<Placer> placer_;
+  std::string label_;
+};
+
+/// A policy whose node representations are frozen (Table 1 protocol: train
+/// each placer design on fixed representations from a trained encoder, so
+/// placer quality is compared in isolation). Only the placer's parameters
+/// are trainable.
+class FixedRepresentationAgent : public PlacementPolicy {
+ public:
+  FixedRepresentationAgent(Tensor representations,
+                           std::unique_ptr<Placer> placer, std::string label);
+
+  /// Representations are fixed at construction; attach_graph only checks
+  /// that the graph size matches them.
+  void attach_graph(const CompGraph& graph) override;
+  ActionSample sample(Rng& rng) override;
+  ActionEval evaluate(const ActionSample& sample) override;
+  int num_devices() const override { return placer_->num_devices(); }
+  std::string describe() const override { return label_; }
+
+ private:
+  Tensor reps_;
+  std::unique_ptr<Placer> placer_;
+  std::string label_;
+};
+
+}  // namespace mars

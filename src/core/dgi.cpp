@@ -1,0 +1,99 @@
+#include "core/dgi.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace mars {
+
+DgiPretrainer::DgiPretrainer(GcnEncoder& encoder, Rng& rng)
+    : encoder_(&encoder) {
+  const int64_t d = encoder.out_dim();
+  const float bound = xavier_bound(d, d);
+  w_ = add_param("dgi_w", Tensor::uniform({d, d}, rng, -bound, bound, true));
+  adopt("encoder", encoder);
+}
+
+Tensor DgiPretrainer::loss(const Tensor& features, const Tensor& corrupted,
+                           const std::shared_ptr<const Csr>& adj) const {
+  // H, H~ via the shared encoder; summary from the clean view only.
+  Tensor h_pos = encoder_->encode_with(adj, features);
+  Tensor h_neg = encoder_->encode_with(adj, corrupted);
+  Tensor summary = sigmoid(mean_rows(h_pos));  // [1, d], Eq. (4)
+
+  // Bilinear scores D(h, s) = h^T W s, kept as logits for a stable BCE.
+  Tensor ws = matmul(w_, transpose2d(summary));  // [d, 1]
+  Tensor pos_logits = matmul(h_pos, ws);         // [N, 1]
+  Tensor neg_logits = matmul(h_neg, ws);         // [N, 1]
+
+  const int64_t n = pos_logits.rows();
+  Tensor logits = concat_rows({pos_logits, neg_logits});
+  std::vector<float> target(static_cast<size_t>(2 * n), 0.0f);
+  std::fill(target.begin(), target.begin() + n, 1.0f);
+  Tensor labels = Tensor::from_vector({2 * n, 1}, std::move(target));
+  return bce_with_logits(logits, labels);  // Eq. (6)
+}
+
+DgiResult DgiPretrainer::pretrain(const DgiConfig& config, Rng& rng) {
+  MARS_CHECK_MSG(encoder_->attached(),
+                 "attach a graph to the encoder before DGI pre-training");
+  const Tensor& features = encoder_->features();
+  const auto& adj = encoder_->adjacency();
+  const int n = encoder_->num_nodes();
+
+  AdamConfig adam_config;
+  adam_config.lr = config.lr;
+  adam_config.clip_norm = 0.0f;  // DGI trains unclipped
+  Adam optimizer(parameters(), adam_config);
+
+  DgiResult result;
+  result.best_loss = 1e30;
+  std::vector<Tensor> best_params;
+
+  for (int it = 0; it < config.iterations; ++it) {
+    // Corruption function C: shuffle features across nodes (Fig. 5).
+    Tensor corrupted = gather_rows(features, rng.permutation(n));
+    optimizer.zero_grad();
+    Tensor l = loss(features, corrupted, adj);
+    l.backward();
+    optimizer.step();
+
+    const double lv = l.item();
+    result.loss_history.push_back(lv);
+    if (config.restore_best && lv < result.best_loss) {
+      result.best_loss = lv;
+      result.best_iteration = it;
+      best_params.clear();
+      for (const auto& p : parameters()) best_params.push_back(p.clone_data());
+    } else if (lv < result.best_loss) {
+      result.best_loss = lv;
+      result.best_iteration = it;
+    }
+  }
+
+  if (config.restore_best && !best_params.empty()) {
+    auto params = parameters();
+    for (size_t i = 0; i < params.size(); ++i)
+      params[i].copy_data_from(best_params[i]);
+  }
+
+  // Discriminator accuracy under the restored parameters.
+  {
+    NoGradGuard no_grad;
+    Tensor corrupted = gather_rows(features, rng.permutation(n));
+    Tensor h_pos = encoder_->encode_with(adj, features);
+    Tensor h_neg = encoder_->encode_with(adj, corrupted);
+    Tensor summary = sigmoid(mean_rows(h_pos));
+    Tensor ws = matmul(w_, transpose2d(summary));
+    Tensor pos = matmul(h_pos, ws);
+    Tensor neg = matmul(h_neg, ws);
+    int correct = 0;
+    for (int i = 0; i < n; ++i) {
+      if (pos.data()[i] > 0) ++correct;
+      if (neg.data()[i] <= 0) ++correct;
+    }
+    result.final_accuracy = static_cast<double>(correct) / (2.0 * n);
+  }
+  return result;
+}
+
+}  // namespace mars

@@ -1,0 +1,51 @@
+// Deep Graph Infomax pre-training (Veličković et al.; paper §3.2).
+//
+// Self-supervised contrastive pre-training of the GCN encoder: node
+// features are corrupted by row permutation (Eq. 2), representations are
+// summarized into a graph vector by a sigmoid mean readout (Eq. 4), a
+// bilinear discriminator scores (node, summary) pairs (Eq. 5), and the
+// binary cross-entropy objective (Eq. 6) pushes real nodes' mutual
+// information with the summary above that of corrupted nodes.
+#pragma once
+
+#include <vector>
+
+#include "core/encoder.h"
+#include "nn/optim.h"
+
+namespace mars {
+
+struct DgiConfig {
+  int iterations = 1000;  // paper §4.2: pre-train for 1000 iterations
+  float lr = 1e-3f;
+  /// Keep the encoder parameters from the lowest-loss iteration (§4.2).
+  bool restore_best = true;
+};
+
+struct DgiResult {
+  std::vector<double> loss_history;
+  double best_loss = 0;
+  int best_iteration = -1;
+  /// Classification accuracy of the discriminator on the final iteration
+  /// (0.5 = chance; near 1.0 = representations separate real from corrupt).
+  double final_accuracy = 0;
+};
+
+/// Owns the discriminator; the encoder is trained in place.
+class DgiPretrainer : public Module {
+ public:
+  DgiPretrainer(GcnEncoder& encoder, Rng& rng);
+
+  /// Runs pre-training on the encoder's attached graph.
+  DgiResult pretrain(const DgiConfig& config, Rng& rng);
+
+  /// One forward pass returning the contrastive loss (exposed for tests).
+  Tensor loss(const Tensor& features, const Tensor& corrupted,
+              const std::shared_ptr<const Csr>& adj) const;
+
+ private:
+  GcnEncoder* encoder_;
+  Tensor w_;  // bilinear discriminator [d, d]
+};
+
+}  // namespace mars

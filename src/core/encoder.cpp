@@ -1,0 +1,63 @@
+#include "core/encoder.h"
+
+namespace mars {
+
+GcnEncoder::GcnEncoder(int64_t hidden, int layers, Rng& rng)
+    : hidden_(hidden) {
+  MARS_CHECK(layers >= 1);
+  int64_t in = node_feature_dim();
+  for (int l = 0; l < layers; ++l) {
+    layers_.push_back(std::make_unique<GcnLayer>(in, hidden, rng));
+    adopt("gcn" + std::to_string(l), *layers_.back());
+    in = hidden;
+  }
+}
+
+void GcnEncoder::attach_graph(const CompGraph& graph) {
+  features_ = node_features(graph);
+  adj_ = gcn_normalized_adjacency(graph);
+  num_nodes_ = graph.num_nodes();
+}
+
+Tensor GcnEncoder::encode() const {
+  MARS_CHECK_MSG(attached(), "encode() before attach_graph()");
+  return encode_with(adj_, features_);
+}
+
+Tensor GcnEncoder::encode_with(const std::shared_ptr<const Csr>& adj,
+                               const Tensor& features) const {
+  Tensor h = features;
+  for (const auto& layer : layers_) h = layer->forward(adj, h);
+  return h;
+}
+
+SageEncoder::SageEncoder(int64_t hidden, int layers, Rng& rng)
+    : hidden_(hidden) {
+  MARS_CHECK(layers >= 1);
+  int64_t in = node_feature_dim();
+  for (int l = 0; l < layers; ++l) {
+    layers_.push_back(std::make_unique<SageLayer>(in, hidden, rng));
+    adopt("sage" + std::to_string(l), *layers_.back());
+    in = hidden;
+  }
+}
+
+void SageEncoder::attach_graph(const CompGraph& graph) {
+  features_ = node_features(graph);
+  adj_ = mean_adjacency(graph);
+  num_nodes_ = graph.num_nodes();
+}
+
+Tensor SageEncoder::encode() const {
+  MARS_CHECK_MSG(attached(), "encode() before attach_graph()");
+  Tensor h = features_;
+  for (const auto& layer : layers_) h = layer->forward(adj_, h);
+  return h;
+}
+
+void IdentityEncoder::attach_graph(const CompGraph& graph) {
+  features_ = node_features(graph);
+  num_nodes_ = graph.num_nodes();
+}
+
+}  // namespace mars

@@ -1,0 +1,84 @@
+// Graph encoders producing node representations for the placer.
+//
+// GcnEncoder is Mars' encoder (§3.1): a stack of GCN layers with PReLU,
+// over the symmetrically normalized adjacency. SageEncoder is the
+// GraphSAGE mean-aggregator used by the Encoder-Placer baseline (GDP).
+// IdentityEncoder passes raw features through (placer-only ablations).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/comp_graph.h"
+#include "graph/features.h"
+#include "nn/layers.h"
+
+namespace mars {
+
+class NodeEncoder : public Module {
+ public:
+  ~NodeEncoder() override = default;
+  /// Precompute features and adjacency for a workload graph.
+  virtual void attach_graph(const CompGraph& graph) = 0;
+  /// Node representations [N, out_dim()] for the attached graph.
+  virtual Tensor encode() const = 0;
+  virtual int64_t out_dim() const = 0;
+  virtual std::string name() const = 0;
+  bool attached() const { return num_nodes_ > 0; }
+  int num_nodes() const { return num_nodes_; }
+
+ protected:
+  int num_nodes_ = 0;
+};
+
+class GcnEncoder : public NodeEncoder {
+ public:
+  /// `layers` GCN layers of width `hidden` (paper: 3 layers of 256).
+  GcnEncoder(int64_t hidden, int layers, Rng& rng);
+
+  void attach_graph(const CompGraph& graph) override;
+  Tensor encode() const override;
+  /// Encode explicit inputs (used by DGI with corrupted features).
+  Tensor encode_with(const std::shared_ptr<const Csr>& adj,
+                     const Tensor& features) const;
+  int64_t out_dim() const override { return hidden_; }
+  std::string name() const override { return "gcn"; }
+  const Tensor& features() const { return features_; }
+  const std::shared_ptr<const Csr>& adjacency() const { return adj_; }
+
+ private:
+  int64_t hidden_;
+  std::vector<std::unique_ptr<GcnLayer>> layers_;
+  Tensor features_;
+  std::shared_ptr<const Csr> adj_;
+};
+
+class SageEncoder : public NodeEncoder {
+ public:
+  SageEncoder(int64_t hidden, int layers, Rng& rng);
+  void attach_graph(const CompGraph& graph) override;
+  Tensor encode() const override;
+  int64_t out_dim() const override { return hidden_; }
+  std::string name() const override { return "graphsage"; }
+
+ private:
+  int64_t hidden_;
+  std::vector<std::unique_ptr<SageLayer>> layers_;
+  Tensor features_;
+  std::shared_ptr<const Csr> adj_;
+};
+
+class IdentityEncoder : public NodeEncoder {
+ public:
+  IdentityEncoder() = default;
+  void attach_graph(const CompGraph& graph) override;
+  Tensor encode() const override { return features_; }
+  int64_t out_dim() const override { return node_feature_dim(); }
+  std::string name() const override { return "identity"; }
+
+ private:
+  Tensor features_;
+};
+
+}  // namespace mars

@@ -1,0 +1,68 @@
+#include "core/mars.h"
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace mars {
+
+MarsConfig MarsConfig::paper() { return MarsConfig{}; }
+
+MarsConfig MarsConfig::fast() {
+  MarsConfig c;
+  c.encoder_hidden = 32;
+  c.placer_hidden = 32;
+  c.attn_dim = 16;
+  c.segment_size = 32;
+  c.dgi.iterations = 120;
+  c.optimize.max_rounds = 40;
+  c.optimize.ppo.placements_per_policy = 10;
+  // Small networks + simulated (cheap) trials tolerate a larger step than
+  // the paper's 3e-4, which is tuned for its full-width agent.
+  c.optimize.ppo.adam.lr = 2e-3f;
+  return c;
+}
+
+std::unique_ptr<EncoderPlacerAgent> make_mars_agent(const MarsConfig& config,
+                                                    int num_devices,
+                                                    Rng& rng) {
+  auto encoder = std::make_unique<GcnEncoder>(config.encoder_hidden,
+                                              config.encoder_layers, rng);
+  SegSeq2SeqConfig pc;
+  pc.rep_dim = encoder->out_dim();
+  pc.hidden = config.placer_hidden;
+  pc.attn_dim = config.attn_dim;
+  pc.segment_size = config.segment_size;
+  pc.num_devices = num_devices;
+  auto placer = std::make_unique<SegmentSeq2SeqPlacer>(pc, rng);
+  return std::make_unique<EncoderPlacerAgent>(
+      std::move(encoder), std::move(placer),
+      config.pretrain ? "mars" : "mars_no_pretrain");
+}
+
+MarsRunResult run_mars(const CompGraph& graph, const TrialRunner& runner,
+                       const MarsConfig& config, uint64_t seed) {
+  Rng rng(seed);
+  auto agent =
+      make_mars_agent(config, runner.simulator().machine().num_devices(), rng);
+  agent->attach_graph(graph);
+
+  MarsRunResult result;
+  if (config.pretrain) {
+    Stopwatch watch;
+    auto& gcn = dynamic_cast<GcnEncoder&>(agent->encoder());
+    DgiPretrainer pretrainer(gcn, rng);
+    result.dgi = pretrainer.pretrain(config.dgi, rng);
+    result.pretrain_seconds = watch.seconds();
+    MARS_DEBUG << "DGI pre-training: best loss " << result.dgi.best_loss
+               << " at iteration " << result.dgi.best_iteration
+               << ", discriminator accuracy " << result.dgi.final_accuracy;
+  }
+  result.optimize =
+      optimize_placement(*agent, runner, config.optimize, rng.next_u64());
+  // Fig. 8 accounting: DGI runs without touching the environment but does
+  // consume agent compute.
+  result.optimize.agent_seconds += result.pretrain_seconds;
+  return result;
+}
+
+}  // namespace mars

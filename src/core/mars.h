@@ -1,0 +1,52 @@
+// Mars: the complete system of the paper — DGI-pretrained GCN encoder,
+// segment-level seq2seq placer, joint PPO training (Fig. 3).
+//
+// Quickstart:
+//   CompGraph graph = build_inception_v3();
+//   ExecutionSimulator sim(graph, MachineSpec::default_4gpu());
+//   TrialRunner runner(sim);
+//   MarsRunResult r = run_mars(graph, runner, MarsConfig::fast(), /*seed=*/1);
+//   // r.optimize.best_placement / r.optimize.best_step_time
+#pragma once
+
+#include <memory>
+
+#include "core/agent.h"
+#include "core/dgi.h"
+#include "rl/optimizer.h"
+
+namespace mars {
+
+struct MarsConfig {
+  int64_t encoder_hidden = 256;  // paper: 3 GCN layers of 256
+  int encoder_layers = 3;
+  int64_t placer_hidden = 512;   // paper: LSTM size 512
+  int64_t attn_dim = 64;
+  int segment_size = 128;        // paper: s = 128
+  bool pretrain = true;          // Mars (no pre-training) sets this false
+  DgiConfig dgi = {};
+  OptimizeConfig optimize = {};
+
+  /// Paper-scale settings (the defaults above).
+  static MarsConfig paper();
+  /// Reduced widths and round counts for CPU-only experimentation; the
+  /// benchmark harnesses default to this and expose --full for paper().
+  static MarsConfig fast();
+};
+
+/// Builds the Mars agent (untrained, not yet attached to a graph).
+std::unique_ptr<EncoderPlacerAgent> make_mars_agent(const MarsConfig& config,
+                                                    int num_devices,
+                                                    Rng& rng);
+
+struct MarsRunResult {
+  DgiResult dgi;            // pre-training trace (empty if pretrain=false)
+  OptimizeResult optimize;  // joint PPO training outcome
+  double pretrain_seconds = 0;  // agent wall-clock spent in DGI
+};
+
+/// End-to-end: pre-train (optionally), then jointly optimize placement.
+MarsRunResult run_mars(const CompGraph& graph, const TrialRunner& runner,
+                       const MarsConfig& config, uint64_t seed);
+
+}  // namespace mars

@@ -1,0 +1,117 @@
+// Placer networks: map node representations to a device per operation.
+//
+// SegmentSeq2SeqPlacer is Mars' contribution (§3.3): a bidirectional-LSTM
+// encoder / unidirectional-LSTM decoder with context-based input attention,
+// run segment by segment with hidden states carried across segments. The
+// plain sequence-to-sequence placer is the same network with one segment
+// spanning the whole graph. TransformerXlPlacer reproduces GDP's placer;
+// MlpPlacer is the "simplest placer" the paper reports overfits.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace mars {
+
+class Placer : public Module {
+ public:
+  ~Placer() override = default;
+
+  struct Result {
+    std::vector<int> actions;  // device per node
+    Tensor logp_terms;         // [N,1] differentiable per-node log-probs
+    Tensor entropy;            // [1,1] differentiable mean entropy
+  };
+  /// Places all nodes given representations [N, rep_dim]. When `given` is
+  /// non-null the actions are forced (PPO re-evaluation); otherwise they
+  /// are sampled with `rng`.
+  virtual Result place(const Tensor& reps, const std::vector<int>* given,
+                       Rng* rng) = 0;
+  virtual std::string name() const = 0;
+  int num_devices() const { return num_devices_; }
+
+ protected:
+  explicit Placer(int num_devices) : num_devices_(num_devices) {}
+  /// logp/entropy from a full [N, D] logits matrix and chosen actions.
+  static Result finish_result(const Tensor& logits, std::vector<int> actions);
+  int num_devices_;
+};
+
+struct SegSeq2SeqConfig {
+  int64_t rep_dim = 0;        // input representation width (required)
+  int64_t hidden = 512;       // paper: LSTM size 512
+  int64_t attn_dim = 64;
+  int64_t device_emb = 16;    // embedding of the previously chosen device
+  int segment_size = 128;     // paper: s = 128
+  int num_devices = 5;
+};
+
+class SegmentSeq2SeqPlacer : public Placer {
+ public:
+  SegmentSeq2SeqPlacer(const SegSeq2SeqConfig& config, Rng& rng);
+  Result place(const Tensor& reps, const std::vector<int>* given,
+               Rng* rng) override;
+  std::string name() const override {
+    return config_.segment_size >= (1 << 30) ? "seq2seq"
+                                             : "segment_seq2seq";
+  }
+  const SegSeq2SeqConfig& config() const { return config_; }
+
+ private:
+  SegSeq2SeqConfig config_;
+  BiLstm encoder_;
+  LstmCell decoder_;
+  Attention attention_;
+  Embedding device_emb_;  // num_devices + 1 rows; last row = start token
+  Linear out_;
+};
+
+/// The plain sequence-to-sequence placer: one segment covering the graph.
+std::unique_ptr<SegmentSeq2SeqPlacer> make_seq2seq_placer(
+    SegSeq2SeqConfig config, Rng& rng);
+
+struct TrfXlConfig {
+  int64_t rep_dim = 0;
+  int64_t dim = 64;
+  int64_t heads = 4;
+  int64_t ffn = 256;
+  int layers = 2;
+  int segment_size = 128;
+  int num_devices = 5;
+};
+
+class TransformerXlPlacer : public Placer {
+ public:
+  TransformerXlPlacer(const TrfXlConfig& config, Rng& rng);
+  Result place(const Tensor& reps, const std::vector<int>* given,
+               Rng* rng) override;
+  std::string name() const override { return "transformer_xl"; }
+
+ private:
+  TrfXlConfig config_;
+  Linear in_proj_;
+  std::vector<std::unique_ptr<TransformerXlBlock>> blocks_;
+  Linear out_;
+};
+
+struct MlpPlacerConfig {
+  int64_t rep_dim = 0;
+  int64_t hidden = 64;
+  int num_devices = 5;
+};
+
+class MlpPlacer : public Placer {
+ public:
+  MlpPlacer(const MlpPlacerConfig& config, Rng& rng);
+  Result place(const Tensor& reps, const std::vector<int>* given,
+               Rng* rng) override;
+  std::string name() const override { return "mlp"; }
+
+ private:
+  Mlp mlp_;
+};
+
+}  // namespace mars

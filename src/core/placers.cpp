@@ -1,0 +1,168 @@
+#include "core/placer.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace mars {
+
+Placer::Result Placer::finish_result(const Tensor& logits,
+                                     std::vector<int> actions) {
+  Result result;
+  Tensor logp_rows = log_softmax_rows(logits);
+  result.logp_terms = gather_per_row(logp_rows, actions);
+  // Mean per-node entropy: -sum p log p, averaged over nodes.
+  Tensor probs = softmax_rows(logits);
+  result.entropy = scale(sum_all(mul(probs, logp_rows)),
+                         -1.0f / static_cast<float>(logits.rows()));
+  result.actions = std::move(actions);
+  return result;
+}
+
+// ---- SegmentSeq2SeqPlacer ------------------------------------------------
+
+SegmentSeq2SeqPlacer::SegmentSeq2SeqPlacer(const SegSeq2SeqConfig& config,
+                                           Rng& rng)
+    : Placer(config.num_devices),
+      config_(config),
+      encoder_(config.rep_dim, config.hidden, rng),
+      decoder_(2 * config.hidden + config.device_emb, config.hidden, rng),
+      attention_(2 * config.hidden, config.hidden, config.attn_dim, rng),
+      device_emb_(config.num_devices + 1, config.device_emb, rng),
+      out_(config.hidden + 2 * config.hidden, config.num_devices, rng) {
+  MARS_CHECK(config.rep_dim > 0 && config.num_devices >= 2);
+  adopt("encoder", encoder_);
+  adopt("decoder", decoder_);
+  adopt("attention", attention_);
+  adopt("device_emb", device_emb_);
+  adopt("out", out_);
+}
+
+Placer::Result SegmentSeq2SeqPlacer::place(const Tensor& reps,
+                                           const std::vector<int>* given,
+                                           Rng* rng) {
+  const int64_t n = reps.rows();
+  MARS_CHECK(given != nullptr || rng != nullptr);
+  if (given) MARS_CHECK(static_cast<int64_t>(given->size()) == n);
+  const int64_t seg = std::min<int64_t>(config_.segment_size, n);
+
+  std::vector<int> actions(static_cast<size_t>(n));
+  std::vector<Tensor> logits_rows;
+  logits_rows.reserve(static_cast<size_t>(n));
+
+  // Hidden states carried across segments: encoder forward/backward ends
+  // seed the next segment's encoder; the decoder state flows continuously.
+  LstmCell::State enc_fwd = encoder_.initial_state();
+  LstmCell::State enc_bwd = encoder_.initial_state();
+  LstmCell::State dec = decoder_.initial_state();
+  int prev_device = config_.num_devices;  // start token
+
+  for (int64_t s0 = 0; s0 < n; s0 += seg) {
+    const int64_t s1 = std::min(n, s0 + seg);
+    Tensor segment = slice_rows(reps, s0, s1);
+    BiLstm::Output enc = encoder_.forward(segment, enc_fwd, enc_bwd);
+    enc_fwd = enc.fwd_end;
+    enc_bwd = enc.bwd_end;
+    // Attention operates over this segment's encoder outputs.
+    Tensor enc_proj = attention_.project_encoder(enc.outputs);
+
+    for (int64_t t = s0; t < s1; ++t) {
+      Tensor enc_t = slice_rows(enc.outputs, t - s0, t - s0 + 1);
+      Tensor dec_in = concat_cols(enc_t, device_emb_.row(prev_device));
+      dec = decoder_.step(dec_in, dec);
+      Tensor ctx = attention_.context_with(enc.outputs, enc_proj, dec.h);
+      Tensor logits = out_.forward(concat_cols(dec.h, ctx));  // [1, D]
+      int a;
+      if (given) {
+        a = (*given)[static_cast<size_t>(t)];
+        MARS_CHECK(a >= 0 && a < num_devices_);
+      } else {
+        a = sample_rows(logits, *rng)[0];
+      }
+      actions[static_cast<size_t>(t)] = a;
+      prev_device = a;
+      logits_rows.push_back(logits);
+    }
+  }
+  return finish_result(concat_rows(logits_rows), std::move(actions));
+}
+
+std::unique_ptr<SegmentSeq2SeqPlacer> make_seq2seq_placer(
+    SegSeq2SeqConfig config, Rng& rng) {
+  config.segment_size = 1 << 30;  // a single segment spans any graph
+  return std::make_unique<SegmentSeq2SeqPlacer>(config, rng);
+}
+
+// ---- TransformerXlPlacer --------------------------------------------------
+
+TransformerXlPlacer::TransformerXlPlacer(const TrfXlConfig& config, Rng& rng)
+    : Placer(config.num_devices),
+      config_(config),
+      in_proj_(config.rep_dim, config.dim, rng),
+      out_(config.dim, config.num_devices, rng) {
+  MARS_CHECK(config.rep_dim > 0 && config.layers >= 1);
+  adopt("in_proj", in_proj_);
+  for (int l = 0; l < config.layers; ++l) {
+    blocks_.push_back(std::make_unique<TransformerXlBlock>(
+        config.dim, config.heads, config.ffn, 2 * config.segment_size, rng));
+    adopt("block" + std::to_string(l), *blocks_.back());
+  }
+  adopt("out", out_);
+}
+
+Placer::Result TransformerXlPlacer::place(const Tensor& reps,
+                                          const std::vector<int>* given,
+                                          Rng* rng) {
+  const int64_t n = reps.rows();
+  MARS_CHECK(given != nullptr || rng != nullptr);
+  const int64_t seg = std::min<int64_t>(config_.segment_size, n);
+
+  std::vector<int> actions(static_cast<size_t>(n));
+  std::vector<Tensor> logits_rows;
+  // Per-layer memory: the previous segment's (detached) activations.
+  std::vector<Tensor> memory(blocks_.size());
+
+  for (int64_t s0 = 0; s0 < n; s0 += seg) {
+    const int64_t s1 = std::min(n, s0 + seg);
+    Tensor h = in_proj_.forward(slice_rows(reps, s0, s1));
+    std::vector<Tensor> new_memory(blocks_.size());
+    for (size_t l = 0; l < blocks_.size(); ++l) {
+      new_memory[l] = h.detach();
+      h = blocks_[l]->forward(h, memory[l]);
+    }
+    memory = std::move(new_memory);
+    Tensor logits = out_.forward(h);  // [s1-s0, D]
+    std::vector<int> seg_actions;
+    if (given) {
+      seg_actions.assign(given->begin() + s0, given->begin() + s1);
+    } else {
+      seg_actions = sample_rows(logits, *rng);
+    }
+    std::copy(seg_actions.begin(), seg_actions.end(),
+              actions.begin() + s0);
+    logits_rows.push_back(logits);
+  }
+  return finish_result(concat_rows(logits_rows), std::move(actions));
+}
+
+// ---- MlpPlacer --------------------------------------------------------------
+
+MlpPlacer::MlpPlacer(const MlpPlacerConfig& config, Rng& rng)
+    : Placer(config.num_devices),
+      mlp_({config.rep_dim, config.hidden, config.num_devices},
+           Activation::kRelu, rng) {
+  MARS_CHECK(config.rep_dim > 0);
+  adopt("mlp", mlp_);
+}
+
+Placer::Result MlpPlacer::place(const Tensor& reps,
+                                const std::vector<int>* given, Rng* rng) {
+  MARS_CHECK(given != nullptr || rng != nullptr);
+  Tensor logits = mlp_.forward(reps);
+  std::vector<int> actions =
+      given ? *given : sample_rows(logits, *rng);
+  for (int a : actions) MARS_CHECK(a >= 0 && a < num_devices_);
+  return finish_result(logits, std::move(actions));
+}
+
+}  // namespace mars

@@ -1,0 +1,268 @@
+#include "graph/comp_graph.h"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <queue>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mars {
+
+int CompGraph::add_node(std::string name, OpType type,
+                        std::vector<int64_t> output_shape, int64_t flops,
+                        int64_t param_bytes) {
+  OpNode n;
+  n.id = static_cast<int>(nodes_.size());
+  n.name = std::move(name);
+  n.type = type;
+  n.output_shape = std::move(output_shape);
+  n.flops = flops;
+  n.param_bytes = param_bytes;
+  n.output_bytes = n.output_elems() * 4;  // fp32
+  n.resident_activation_bytes = n.output_bytes;
+  n.gpu_compatible = op_type_gpu_compatible(type);
+  nodes_.push_back(std::move(n));
+  in_edges_.emplace_back();
+  out_edges_.emplace_back();
+  topo_cache_.clear();
+  return nodes_.back().id;
+}
+
+void CompGraph::add_edge(int src, int dst) {
+  MARS_CHECK_MSG(src >= 0 && src < num_nodes() && dst >= 0 &&
+                     dst < num_nodes() && src != dst,
+                 "bad edge " << src << " -> " << dst);
+  out_edges_[static_cast<size_t>(src)].push_back(dst);
+  in_edges_[static_cast<size_t>(dst)].push_back(src);
+  ++num_edges_;
+  topo_cache_.clear();
+}
+
+const std::vector<int>& CompGraph::topo_order() const {
+  if (!topo_cache_.empty() || nodes_.empty()) return topo_cache_;
+  std::vector<int> indeg(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i)
+    indeg[i] = static_cast<int>(in_edges_[i].size());
+  // Kahn's algorithm with a FIFO queue: stable, id-ascending tie-break
+  // keeps the order aligned with construction (≈ execution) order.
+  std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+  for (size_t i = 0; i < nodes_.size(); ++i)
+    if (indeg[i] == 0) ready.push(static_cast<int>(i));
+  topo_cache_.reserve(nodes_.size());
+  while (!ready.empty()) {
+    int u = ready.top();
+    ready.pop();
+    topo_cache_.push_back(u);
+    for (int v : out_edges_[static_cast<size_t>(u)])
+      if (--indeg[static_cast<size_t>(v)] == 0) ready.push(v);
+  }
+  MARS_CHECK_MSG(topo_cache_.size() == nodes_.size(),
+                 "graph '" << name_ << "' contains a cycle");
+  return topo_cache_;
+}
+
+bool CompGraph::is_dag() const {
+  try {
+    topo_order();
+    return true;
+  } catch (const CheckError&) {
+    return false;
+  }
+}
+
+int64_t CompGraph::total_flops() const {
+  return std::accumulate(nodes_.begin(), nodes_.end(), int64_t{0},
+                         [](int64_t a, const OpNode& n) { return a + n.flops; });
+}
+
+int64_t CompGraph::total_param_bytes() const {
+  return std::accumulate(
+      nodes_.begin(), nodes_.end(), int64_t{0},
+      [](int64_t a, const OpNode& n) { return a + n.param_bytes; });
+}
+
+int64_t CompGraph::total_activation_bytes() const {
+  return std::accumulate(
+      nodes_.begin(), nodes_.end(), int64_t{0},
+      [](int64_t a, const OpNode& n) { return a + n.output_bytes; });
+}
+
+void CompGraph::save(std::ostream& out) const {
+  out << "# mars-graph v1\n";
+  out << "graph " << name_ << ' ' << num_nodes() << ' ' << num_edges_ << '\n';
+  for (const auto& n : nodes_) {
+    out << "node " << n.id << ' ' << n.name << ' ' << op_type_name(n.type)
+        << ' ' << (n.gpu_compatible ? 1 : 0) << ' ' << n.flops << ' '
+        << n.output_bytes << ' ' << n.resident_activation_bytes << ' '
+        << n.param_bytes << ' ' << n.output_shape.size();
+    for (auto d : n.output_shape) out << ' ' << d;
+    out << '\n';
+  }
+  for (int u = 0; u < num_nodes(); ++u)
+    for (int v : out_edges_[static_cast<size_t>(u)])
+      out << "edge " << u << ' ' << v << '\n';
+}
+
+CompGraph CompGraph::load(std::istream& in) {
+  std::string line;
+  CompGraph g;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "graph") {
+      ls >> g.name_;
+    } else if (tag == "node") {
+      int id, gpu;
+      std::string name, type_name;
+      int64_t flops, out_bytes, resident_bytes, param_bytes;
+      size_t ndim;
+      ls >> id >> name >> type_name >> gpu >> flops >> out_bytes >>
+          resident_bytes >> param_bytes >> ndim;
+      std::vector<int64_t> shape(ndim);
+      for (auto& d : shape) ls >> d;
+      int got = g.add_node(name, op_type_from_name(type_name),
+                           std::move(shape), flops, param_bytes);
+      MARS_CHECK_MSG(got == id, "non-sequential node ids in graph file");
+      g.mutable_node(got).output_bytes = out_bytes;
+      g.mutable_node(got).resident_activation_bytes = resident_bytes;
+      g.mutable_node(got).gpu_compatible = gpu != 0;
+    } else if (tag == "edge") {
+      int u, v;
+      ls >> u >> v;
+      g.add_edge(u, v);
+    } else {
+      MARS_CHECK_MSG(false, "unknown record '" << tag << "' in graph file");
+    }
+  }
+  return g;
+}
+
+bool CompGraph::save_to_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  save(out);
+  return static_cast<bool>(out);
+}
+
+CompGraph CompGraph::load_from_file(const std::string& path) {
+  std::ifstream in(path);
+  MARS_CHECK_MSG(static_cast<bool>(in), "cannot open graph file " << path);
+  return load(in);
+}
+
+CompGraph CompGraph::coarsen(int max_nodes) const {
+  MARS_CHECK(max_nodes >= 1);
+  // Work on a mutable copy of the structure; group[i] tracks which surviving
+  // representative node i has been fused into.
+  const int n = num_nodes();
+  std::vector<int> parent(static_cast<size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+
+  // Fusion candidates evaluated in topological order so that a chain
+  // collapses bottom-up into its head. A node may fuse into its unique
+  // predecessor group. FLOP thresholds loosen over rounds until the target
+  // node budget is met.
+  auto group_in_degree = [&](int v) {
+    // Distinct predecessor groups of v's group members: approximated by v's
+    // own in-edges since we fuse along single-predecessor chains only.
+    int g = -1;
+    int count = 0;
+    for (int u : inputs_of(v)) {
+      int gu = find(u);
+      if (gu == find(v)) continue;
+      if (gu != g) {
+        g = gu;
+        ++count;
+        if (count > 1) break;
+      }
+    }
+    return std::pair<int, int>{count, g};
+  };
+
+  int alive = n;
+  const std::vector<int>& order = topo_order();
+  for (int round = 0; round < 24 && alive > max_nodes; ++round) {
+    // Round 0 fuses only trivially cheap ops; later rounds raise the cap.
+    const double frac = 1e-6 * std::pow(8.0, round);
+    const int64_t flop_cap =
+        static_cast<int64_t>(frac * static_cast<double>(total_flops()) /
+                             std::max<int64_t>(1, n));
+    bool changed = false;
+    for (int v : order) {
+      if (alive <= max_nodes) break;
+      if (find(v) != v) continue;  // already fused away
+      // Never fuse pinned-to-CPU ops into GPU groups.
+      if (!node(v).gpu_compatible) continue;
+      if (node(v).flops > flop_cap && round < 20) continue;
+      auto [count, g] = group_in_degree(v);
+      if (count != 1 || g == v) continue;
+      if (!node(g).gpu_compatible) continue;
+      parent[static_cast<size_t>(v)] = g;
+      --alive;
+      changed = true;
+    }
+    if (!changed && round >= 20) break;
+  }
+
+  // Rebuild: one node per surviving group, in topological order of heads.
+  std::vector<int> new_id(static_cast<size_t>(n), -1);
+  CompGraph out(name_);
+  for (int v : order) {
+    if (find(v) != v) continue;
+    new_id[static_cast<size_t>(v)] = out.add_node(
+        node(v).name, node(v).type, node(v).output_shape, 0, 0);
+  }
+  // Accumulate member costs; output bytes of a group = bytes of members whose
+  // consumers are outside the group (boundary tensors), while resident
+  // activation bytes sum over all members (interior tensors still live in
+  // device memory during the step).
+  std::vector<int64_t> group_out_bytes(out.nodes_.size(), 0);
+  std::vector<int64_t> group_resident(out.nodes_.size(), 0);
+  for (int v = 0; v < n; ++v) {
+    const int g = find(v);
+    const int gid = new_id[static_cast<size_t>(g)];
+    OpNode& gn = out.mutable_node(gid);
+    gn.flops += node(v).flops;
+    gn.param_bytes += node(v).param_bytes;
+    group_resident[static_cast<size_t>(gid)] +=
+        node(v).resident_activation_bytes;
+    if (node(v).flops > out.node(gid).flops / 2) gn.type = node(v).type;
+    bool boundary = outputs_of(v).empty();
+    for (int w : outputs_of(v))
+      if (find(w) != g) boundary = true;
+    if (boundary)
+      group_out_bytes[static_cast<size_t>(gid)] += node(v).output_bytes;
+  }
+  for (size_t i = 0; i < out.nodes_.size(); ++i) {
+    out.nodes_[i].output_bytes = group_out_bytes[i];
+    out.nodes_[i].resident_activation_bytes = group_resident[i];
+  }
+  // Deduplicated inter-group edges.
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v : outputs_of(u)) {
+      int gu = new_id[static_cast<size_t>(find(u))];
+      int gv = new_id[static_cast<size_t>(find(v))];
+      if (gu != gv) edges.emplace_back(gu, gv);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (auto [u, v] : edges) out.add_edge(u, v);
+  MARS_CHECK_MSG(out.is_dag(), "coarsen produced a cycle");
+  return out;
+}
+
+}  // namespace mars

@@ -1,0 +1,104 @@
+// Computational-graph substrate: the workload representation the agent
+// observes and the simulator executes.
+//
+// Nodes are operations annotated with cost estimates (forward FLOPs, output
+// tensor bytes, parameter bytes); edges are data dependencies. Graphs are
+// DAGs; topological order is cached after validation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/op_type.h"
+#include "tensor/tensor.h"
+
+namespace mars {
+
+struct OpNode {
+  int id = -1;
+  std::string name;
+  OpType type = OpType::kNoOp;
+  /// Logical output tensor shape (batch included), e.g. {24, 384, 768}.
+  std::vector<int64_t> output_shape;
+  /// Estimated forward-pass FLOPs of this op.
+  int64_t flops = 0;
+  /// Bytes of the op's output tensor (what crosses a link when a consumer
+  /// sits on another device).
+  int64_t output_bytes = 0;
+  /// Activation bytes resident on the op's device during a training step.
+  /// Equal to output_bytes for primitive ops; for fused/coarsened groups it
+  /// is the sum over members (interior tensors still occupy memory even
+  /// though they never cross a link).
+  int64_t resident_activation_bytes = 0;
+  /// Bytes of trainable parameters owned by this op (0 for most).
+  int64_t param_bytes = 0;
+  bool gpu_compatible = true;
+
+  int64_t output_elems() const {
+    int64_t n = 1;
+    for (auto d : output_shape) n *= d;
+    return n;
+  }
+};
+
+/// A device assignment: placement[i] is the device index of op i.
+using Placement = std::vector<int>;
+
+class CompGraph {
+ public:
+  explicit CompGraph(std::string name = "graph") : name_(std::move(name)) {}
+
+  /// Adds a node; returns its id. Shape may be empty (scalar/control).
+  int add_node(std::string name, OpType type, std::vector<int64_t> output_shape,
+               int64_t flops = 0, int64_t param_bytes = 0);
+  /// Adds a dependency edge src -> dst (dst consumes src's output).
+  void add_edge(int src, int dst);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int64_t num_edges() const { return num_edges_; }
+  const OpNode& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+  OpNode& mutable_node(int id) { return nodes_[static_cast<size_t>(id)]; }
+  const std::vector<OpNode>& nodes() const { return nodes_; }
+  const std::vector<int>& inputs_of(int id) const {
+    return in_edges_[static_cast<size_t>(id)];
+  }
+  const std::vector<int>& outputs_of(int id) const {
+    return out_edges_[static_cast<size_t>(id)];
+  }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Topological order; throws CheckError if the graph has a cycle.
+  const std::vector<int>& topo_order() const;
+  bool is_dag() const;
+
+  /// Aggregate statistics.
+  int64_t total_flops() const;
+  int64_t total_param_bytes() const;
+  int64_t total_activation_bytes() const;
+
+  /// Text serialization (round-trips through load).
+  void save(std::ostream& out) const;
+  static CompGraph load(std::istream& in);
+  bool save_to_file(const std::string& path) const;
+  static CompGraph load_from_file(const std::string& path);
+
+  /// Coarsens the graph by fusing each non-branching chain of cheap
+  /// elementwise/bookkeeping ops into its upstream compute op, until the
+  /// node count is at most `max_nodes` (or no fusion candidates remain).
+  /// Preserves DAG-ness, total FLOPs, parameter bytes and the activation
+  /// bytes that cross fused-group boundaries.
+  CompGraph coarsen(int max_nodes) const;
+
+ private:
+  std::string name_;
+  std::vector<OpNode> nodes_;
+  std::vector<std::vector<int>> in_edges_;
+  std::vector<std::vector<int>> out_edges_;
+  int64_t num_edges_ = 0;
+  mutable std::vector<int> topo_cache_;
+};
+
+}  // namespace mars

@@ -1,0 +1,92 @@
+#include "graph/dot_export.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace mars {
+
+namespace {
+// Colorblind-safe fills for up to 8 devices.
+const char* kDeviceColors[] = {"#cccccc", "#88ccee", "#44aa99", "#ddcc77",
+                               "#cc6677", "#aa4499", "#882255", "#117733"};
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string prefix_of(const std::string& name) {
+  auto slash = name.find('/');
+  return slash == std::string::npos ? std::string("top")
+                                    : name.substr(0, slash);
+}
+}  // namespace
+
+void write_dot(const CompGraph& graph, std::ostream& out,
+               const DotOptions& options) {
+  if (options.placement) {
+    MARS_CHECK_MSG(static_cast<int>(options.placement->size()) ==
+                       graph.num_nodes(),
+                   "placement size mismatch in write_dot");
+  }
+  out << "digraph \"" << escape(graph.name()) << "\" {\n";
+  out << "  rankdir=TB;\n  node [shape=box, style=filled, fontsize=10];\n";
+
+  auto emit_node = [&](const OpNode& n, const std::string& indent) {
+    out << indent << "n" << n.id << " [label=\"" << escape(n.name);
+    if (options.show_costs && n.flops > 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "\\n%.2g GF",
+                    static_cast<double>(n.flops) / 1e9);
+      out << buf;
+    }
+    out << "\"";
+    if (options.placement) {
+      const int d = (*options.placement)[static_cast<size_t>(n.id)];
+      out << ", fillcolor=\""
+          << kDeviceColors[static_cast<size_t>(d) %
+                           (sizeof(kDeviceColors) / sizeof(char*))]
+          << "\"";
+    } else {
+      out << ", fillcolor=\"#eeeeee\"";
+    }
+    out << "];\n";
+  };
+
+  if (options.cluster_by_prefix) {
+    std::map<std::string, std::vector<int>> clusters;
+    for (const auto& n : graph.nodes())
+      clusters[prefix_of(n.name)].push_back(n.id);
+    int ci = 0;
+    for (const auto& [prefix, ids] : clusters) {
+      out << "  subgraph cluster_" << ci++ << " {\n    label=\""
+          << escape(prefix) << "\";\n";
+      for (int id : ids) emit_node(graph.node(id), "    ");
+      out << "  }\n";
+    }
+  } else {
+    for (const auto& n : graph.nodes()) emit_node(n, "  ");
+  }
+
+  for (const auto& n : graph.nodes())
+    for (int w : graph.outputs_of(n.id))
+      out << "  n" << n.id << " -> n" << w << ";\n";
+  out << "}\n";
+}
+
+bool write_dot_file(const CompGraph& graph, const std::string& path,
+                    const DotOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_dot(graph, out, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace mars

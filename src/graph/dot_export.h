@@ -1,0 +1,27 @@
+// Graphviz DOT export for computational graphs and placements.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/comp_graph.h"
+
+namespace mars {
+
+struct DotOptions {
+  /// Color nodes by assigned device when a placement is given.
+  std::optional<Placement> placement;
+  /// Scale node labels with cost (FLOPs) annotations.
+  bool show_costs = true;
+  /// Cluster nodes by the prefix of their name up to the first '/'.
+  bool cluster_by_prefix = false;
+};
+
+/// Writes a `digraph` for rendering with graphviz dot.
+void write_dot(const CompGraph& graph, std::ostream& out,
+               const DotOptions& options = {});
+bool write_dot_file(const CompGraph& graph, const std::string& path,
+                    const DotOptions& options = {});
+
+}  // namespace mars

@@ -1,0 +1,113 @@
+#include "graph/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mars {
+
+namespace {
+// Extra scalar features appended after the one-hot op type.
+constexpr int kExtraFeatures = 6;
+
+float log_norm(int64_t value, int64_t max_value) {
+  if (max_value <= 0) return 0.0f;
+  return static_cast<float>(std::log1p(static_cast<double>(value)) /
+                            std::log1p(static_cast<double>(max_value)));
+}
+}  // namespace
+
+int node_feature_dim() { return kNumOpTypes + kExtraFeatures; }
+
+Tensor node_features(const CompGraph& graph) {
+  const int n = graph.num_nodes();
+  const int f = node_feature_dim();
+  Tensor x = Tensor::zeros({n, f});
+
+  int64_t max_elems = 1, max_flops = 1, max_params = 1;
+  size_t max_deg = 1;
+  for (const auto& node : graph.nodes()) {
+    max_elems = std::max(max_elems, node.output_elems());
+    max_flops = std::max(max_flops, node.flops);
+    max_params = std::max(max_params, node.param_bytes);
+    max_deg = std::max({max_deg, graph.inputs_of(node.id).size(),
+                        graph.outputs_of(node.id).size()});
+  }
+  // Topological position: where the op sits in execution order.
+  std::vector<float> topo_pos(static_cast<size_t>(n), 0.0f);
+  const auto& order = graph.topo_order();
+  for (size_t i = 0; i < order.size(); ++i)
+    topo_pos[static_cast<size_t>(order[i])] =
+        n > 1 ? static_cast<float>(i) / static_cast<float>(n - 1) : 0.0f;
+
+  float* p = x.data();
+  for (const auto& node : graph.nodes()) {
+    float* row = p + static_cast<int64_t>(node.id) * f;
+    row[static_cast<int>(node.type)] = 1.0f;
+    float* extra = row + kNumOpTypes;
+    extra[0] = log_norm(node.output_elems(), max_elems);
+    extra[1] = log_norm(node.flops, max_flops);
+    extra[2] = log_norm(node.param_bytes, max_params);
+    extra[3] = static_cast<float>(graph.inputs_of(node.id).size()) /
+               static_cast<float>(max_deg);
+    extra[4] = static_cast<float>(graph.outputs_of(node.id).size()) /
+               static_cast<float>(max_deg);
+    extra[5] = topo_pos[static_cast<size_t>(node.id)];
+  }
+  return x;
+}
+
+std::shared_ptr<const Csr> gcn_normalized_adjacency(const CompGraph& graph) {
+  const int n = graph.num_nodes();
+  // Â = A + A^T + I, deduplicated (a pair with edges both ways counts once).
+  std::vector<std::vector<int>> neigh(static_cast<size_t>(n));
+  for (int u = 0; u < n; ++u) {
+    neigh[static_cast<size_t>(u)].push_back(u);  // self-loop
+    for (int v : graph.outputs_of(u)) {
+      neigh[static_cast<size_t>(u)].push_back(v);
+      neigh[static_cast<size_t>(v)].push_back(u);
+    }
+  }
+  std::vector<double> degree(static_cast<size_t>(n), 0.0);
+  for (int u = 0; u < n; ++u) {
+    auto& nu = neigh[static_cast<size_t>(u)];
+    std::sort(nu.begin(), nu.end());
+    nu.erase(std::unique(nu.begin(), nu.end()), nu.end());
+    degree[static_cast<size_t>(u)] = static_cast<double>(nu.size());
+  }
+  std::vector<Csr::Entry> entries;
+  for (int u = 0; u < n; ++u) {
+    for (int v : neigh[static_cast<size_t>(u)]) {
+      const float w = static_cast<float>(
+          1.0 / std::sqrt(degree[static_cast<size_t>(u)] *
+                          degree[static_cast<size_t>(v)]));
+      entries.push_back({u, v, w});
+    }
+  }
+  return std::make_shared<Csr>(n, std::move(entries));
+}
+
+std::shared_ptr<const Csr> mean_adjacency(const CompGraph& graph) {
+  const int n = graph.num_nodes();
+  std::vector<std::vector<int>> neigh(static_cast<size_t>(n));
+  for (int u = 0; u < n; ++u) {
+    for (int v : graph.outputs_of(u)) {
+      neigh[static_cast<size_t>(u)].push_back(v);
+      neigh[static_cast<size_t>(v)].push_back(u);
+    }
+  }
+  std::vector<Csr::Entry> entries;
+  for (int u = 0; u < n; ++u) {
+    auto& nu = neigh[static_cast<size_t>(u)];
+    std::sort(nu.begin(), nu.end());
+    nu.erase(std::unique(nu.begin(), nu.end()), nu.end());
+    if (nu.empty()) {
+      entries.push_back({u, u, 1.0f});  // isolated node aggregates itself
+      continue;
+    }
+    const float w = 1.0f / static_cast<float>(nu.size());
+    for (int v : nu) entries.push_back({u, v, w});
+  }
+  return std::make_shared<Csr>(n, std::move(entries));
+}
+
+}  // namespace mars

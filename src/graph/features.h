@@ -1,0 +1,33 @@
+// Node feature extraction and adjacency normalization (encoder inputs).
+//
+// Per the paper (§3.1): each op contributes a one-hot op-type encoding plus
+// its shape/cost information normalized by the largest value over the graph,
+// so all features lie in [0, 1]. The adjacency is symmetrically normalized
+// with self-loops for GCN (Eq. 1), or row-normalized (mean aggregation) for
+// the GraphSAGE baseline.
+#pragma once
+
+#include <memory>
+
+#include "graph/comp_graph.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace mars {
+
+/// Number of feature columns produced by node_features().
+int node_feature_dim();
+
+/// [N, node_feature_dim()] feature matrix (no autograd).
+Tensor node_features(const CompGraph& graph);
+
+/// D^{-1/2} (A + A^T + I) D^{-1/2}: symmetric GCN normalization. Data-flow
+/// direction is symmetrized so information propagates both ways, matching
+/// how DGI treats the graph as undirected for representation learning.
+std::shared_ptr<const Csr> gcn_normalized_adjacency(const CompGraph& graph);
+
+/// Row-normalized (mean) adjacency over in+out neighbors, no self-loops:
+/// the GraphSAGE mean aggregator.
+std::shared_ptr<const Csr> mean_adjacency(const CompGraph& graph);
+
+}  // namespace mars

@@ -1,0 +1,39 @@
+#include "graph/op_type.h"
+
+#include "util/check.h"
+
+namespace mars {
+
+namespace {
+constexpr const char* kNames[] = {
+    "Input",        "Variable",   "Identity",     "Conv2D",
+    "DepthwiseConv2D", "MatMul",  "BatchMatMul",  "Add",
+    "Mul",          "BiasAdd",    "Concat",       "Split",
+    "Relu",         "Tanh",       "Sigmoid",      "Gelu",
+    "Softmax",      "LogSoftmax", "MaxPool",      "AvgPool",
+    "BatchNorm",    "LayerNorm",  "Dropout",      "EmbeddingLookup",
+    "Gather",       "Reshape",    "Transpose",    "Pad",
+    "ReduceSum",    "ReduceMean", "CrossEntropyLoss", "ApplyGradient",
+    "NoOp",
+};
+static_assert(sizeof(kNames) / sizeof(kNames[0]) == kNumOpTypes,
+              "op name table out of sync with OpType");
+}  // namespace
+
+const char* op_type_name(OpType type) {
+  const int i = static_cast<int>(type);
+  MARS_CHECK(i >= 0 && i < kNumOpTypes);
+  return kNames[i];
+}
+
+OpType op_type_from_name(const std::string& name) {
+  for (int i = 0; i < kNumOpTypes; ++i)
+    if (name == kNames[i]) return static_cast<OpType>(i);
+  MARS_CHECK_MSG(false, "unknown op type: " << name);
+}
+
+bool op_type_gpu_compatible(OpType type) {
+  return type != OpType::kInput;
+}
+
+}  // namespace mars

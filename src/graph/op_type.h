@@ -1,0 +1,58 @@
+// Operation vocabulary for computational graphs.
+//
+// Mirrors the op categories that dominate TensorFlow training graphs of the
+// paper's benchmarks. The enum order is the one-hot feature encoding order,
+// so it is part of the serialized-model contract: append only.
+#pragma once
+
+#include <string>
+
+namespace mars {
+
+enum class OpType : int {
+  kInput = 0,     // data pipeline source (pinned to CPU)
+  kVariable,      // parameter read
+  kIdentity,
+  kConv2D,
+  kDepthwiseConv2D,
+  kMatMul,
+  kBatchMatMul,
+  kAdd,
+  kMul,
+  kBiasAdd,
+  kConcat,
+  kSplit,
+  kRelu,
+  kTanh,
+  kSigmoid,
+  kGelu,
+  kSoftmax,
+  kLogSoftmax,
+  kMaxPool,
+  kAvgPool,
+  kBatchNorm,
+  kLayerNorm,
+  kDropout,
+  kEmbeddingLookup,
+  kGather,
+  kReshape,
+  kTranspose,
+  kPad,
+  kReduceSum,
+  kReduceMean,
+  kCrossEntropyLoss,
+  kApplyGradient,  // optimizer update of one parameter group
+  kNoOp,
+  kOpTypeCount  // sentinel: number of op types (one-hot width)
+};
+
+constexpr int kNumOpTypes = static_cast<int>(OpType::kOpTypeCount);
+
+const char* op_type_name(OpType type);
+/// Parses the name produced by op_type_name; throws CheckError on unknown.
+OpType op_type_from_name(const std::string& name);
+
+/// Whether a GPU kernel exists for this op (Input/data-pipeline ops do not).
+bool op_type_gpu_compatible(OpType type);
+
+}  // namespace mars

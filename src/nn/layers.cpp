@@ -1,0 +1,255 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace mars {
+
+// ---- Linear -----------------------------------------------------------
+
+Linear::Linear(int64_t in, int64_t out, Rng& rng) : in_(in), out_(out) {
+  const float bound = xavier_bound(in, out);
+  w_ = add_param("w", Tensor::uniform({in, out}, rng, -bound, bound, true));
+  b_ = add_param("b", Tensor::zeros({1, out}, true));
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  return add(matmul(x, w_), b_);
+}
+
+// ---- Mlp ---------------------------------------------------------------
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Activation act, Rng& rng)
+    : act_(act) {
+  MARS_CHECK(dims.size() >= 2);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    adopt("fc" + std::to_string(i), *layers_.back());
+  }
+  if (act_ == Activation::kPrelu)
+    prelu_alpha_ = add_param("prelu_alpha", Tensor::full({1, 1}, 0.25f, true));
+}
+
+Tensor Mlp::forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    if (i + 1 == layers_.size()) break;  // no activation on the output layer
+    switch (act_) {
+      case Activation::kNone: break;
+      case Activation::kRelu: h = relu(h); break;
+      case Activation::kTanh: h = tanh_op(h); break;
+      case Activation::kSigmoid: h = sigmoid(h); break;
+      case Activation::kPrelu: h = prelu(h, prelu_alpha_); break;
+      case Activation::kGelu: h = gelu(h); break;
+    }
+  }
+  return h;
+}
+
+// ---- GcnLayer -----------------------------------------------------------
+
+GcnLayer::GcnLayer(int64_t in, int64_t out, Rng& rng) : linear_(in, out, rng) {
+  adopt("gcn", linear_);
+  alpha_ = add_param("prelu_alpha", Tensor::full({1, 1}, 0.25f, true));
+}
+
+Tensor GcnLayer::forward(const std::shared_ptr<const Csr>& adj_norm,
+                         const Tensor& x) const {
+  return prelu(spmm(adj_norm, linear_.forward(x)), alpha_);
+}
+
+// ---- SageLayer ------------------------------------------------------------
+
+SageLayer::SageLayer(int64_t in, int64_t out, Rng& rng)
+    : self_(in, out, rng), neigh_(in, out, rng) {
+  adopt("self", self_);
+  adopt("neigh", neigh_);
+}
+
+Tensor SageLayer::forward(const std::shared_ptr<const Csr>& adj_mean,
+                          const Tensor& x) const {
+  Tensor agg = spmm(adj_mean, x);
+  return relu(add(self_.forward(x), neigh_.forward(agg)));
+}
+
+// ---- LstmCell --------------------------------------------------------------
+
+LstmCell::LstmCell(int64_t in, int64_t hidden, Rng& rng)
+    : in_(in), hidden_(hidden) {
+  const float bi = xavier_bound(in, 4 * hidden);
+  const float bh = xavier_bound(hidden, 4 * hidden);
+  w_ih_ = add_param("w_ih",
+                    Tensor::uniform({in, 4 * hidden}, rng, -bi, bi, true));
+  w_hh_ = add_param("w_hh",
+                    Tensor::uniform({hidden, 4 * hidden}, rng, -bh, bh, true));
+  Tensor b = Tensor::zeros({1, 4 * hidden}, true);
+  // Forget-gate bias at +1 stabilizes early training (standard practice).
+  for (int64_t j = hidden; j < 2 * hidden; ++j) b.data()[j] = 1.0f;
+  b_ = add_param("b", b);
+}
+
+LstmCell::State LstmCell::initial_state() const {
+  return {Tensor::zeros({1, hidden_}), Tensor::zeros({1, hidden_})};
+}
+
+LstmCell::State LstmCell::step(const Tensor& x, const State& s) const {
+  MARS_CHECK_MSG(x.cols() == in_, "LstmCell input " << shape_str(x.shape())
+                                                    << " expected cols "
+                                                    << in_);
+  Tensor gates = add(add(matmul(x, w_ih_), matmul(s.h, w_hh_)), b_);
+  Tensor i = sigmoid(slice_cols(gates, 0, hidden_));
+  Tensor f = sigmoid(slice_cols(gates, hidden_, 2 * hidden_));
+  Tensor g = tanh_op(slice_cols(gates, 2 * hidden_, 3 * hidden_));
+  Tensor o = sigmoid(slice_cols(gates, 3 * hidden_, 4 * hidden_));
+  Tensor c = add(mul(f, s.c), mul(i, g));
+  Tensor h = mul(o, tanh_op(c));
+  return {h, c};
+}
+
+// ---- BiLstm ----------------------------------------------------------------
+
+BiLstm::BiLstm(int64_t in, int64_t hidden, Rng& rng)
+    : fwd_(in, hidden, rng), bwd_(in, hidden, rng) {
+  adopt("fwd", fwd_);
+  adopt("bwd", bwd_);
+}
+
+BiLstm::Output BiLstm::forward(const Tensor& seq,
+                               const LstmCell::State& fwd_init,
+                               const LstmCell::State& bwd_init) const {
+  const int64_t s = seq.rows();
+  MARS_CHECK(s > 0);
+  std::vector<Tensor> fwd_h(static_cast<size_t>(s));
+  std::vector<Tensor> bwd_h(static_cast<size_t>(s));
+  LstmCell::State fs = fwd_init;
+  for (int64_t t = 0; t < s; ++t) {
+    fs = fwd_.step(slice_rows(seq, t, t + 1), fs);
+    fwd_h[static_cast<size_t>(t)] = fs.h;
+  }
+  LstmCell::State bs = bwd_init;
+  for (int64_t t = s - 1; t >= 0; --t) {
+    bs = bwd_.step(slice_rows(seq, t, t + 1), bs);
+    bwd_h[static_cast<size_t>(t)] = bs.h;
+  }
+  std::vector<Tensor> rows;
+  rows.reserve(static_cast<size_t>(s));
+  for (int64_t t = 0; t < s; ++t)
+    rows.push_back(concat_cols(fwd_h[static_cast<size_t>(t)],
+                               bwd_h[static_cast<size_t>(t)]));
+  return {concat_rows(rows), fs, bs};
+}
+
+// ---- Attention --------------------------------------------------------------
+
+Attention::Attention(int64_t enc_dim, int64_t dec_dim, int64_t attn_dim,
+                     Rng& rng)
+    : enc_proj_(enc_dim, attn_dim, rng), dec_proj_(dec_dim, attn_dim, rng) {
+  adopt("enc_proj", enc_proj_);
+  adopt("dec_proj", dec_proj_);
+  const float bound = xavier_bound(attn_dim, 1);
+  v_ = add_param("v", Tensor::uniform({attn_dim, 1}, rng, -bound, bound, true));
+}
+
+Tensor Attention::context(const Tensor& enc, const Tensor& dec_state) const {
+  return context_with(enc, project_encoder(enc), dec_state);
+}
+
+Tensor Attention::project_encoder(const Tensor& enc) const {
+  return enc_proj_.forward(enc);
+}
+
+Tensor Attention::context_with(const Tensor& enc, const Tensor& enc_proj,
+                               const Tensor& dec_state) const {
+  // scores[s] = v^T tanh(W_e enc_s + W_d dec); softmax over s; sum weights.
+  Tensor scores =
+      matmul(tanh_op(add(enc_proj, dec_proj_.forward(dec_state))), v_);
+  Tensor alpha = softmax_rows(transpose2d(scores));  // [1, S]
+  return matmul(alpha, enc);                         // [1, enc_dim]
+}
+
+// ---- TransformerXlBlock --------------------------------------------------------
+
+TransformerXlBlock::TransformerXlBlock(int64_t dim, int64_t heads,
+                                       int64_t ffn_dim, int64_t max_len,
+                                       Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng),
+      ffn1_(dim, ffn_dim, rng),
+      ffn2_(ffn_dim, dim, rng),
+      max_len_(max_len) {
+  MARS_CHECK_MSG(dim % heads == 0, "dim must be divisible by heads");
+  adopt("wq", wq_);
+  adopt("wk", wk_);
+  adopt("wv", wv_);
+  adopt("wo", wo_);
+  adopt("ffn1", ffn1_);
+  adopt("ffn2", ffn2_);
+  ln1_g_ = add_param("ln1_g", Tensor::full({1, dim}, 1.0f, true));
+  ln1_b_ = add_param("ln1_b", Tensor::zeros({1, dim}, true));
+  ln2_g_ = add_param("ln2_g", Tensor::full({1, dim}, 1.0f, true));
+  ln2_b_ = add_param("ln2_b", Tensor::zeros({1, dim}, true));
+  pos_ = add_param("pos", Tensor::randn({max_len, dim}, rng, 0.02f, true));
+}
+
+Tensor TransformerXlBlock::forward(const Tensor& x,
+                                   const Tensor& memory) const {
+  const int64_t s = x.rows();
+  const int64_t m = memory.defined() ? memory.rows() : 0;
+  MARS_CHECK_MSG(m + s <= max_len_,
+                 "segment+memory length " << (m + s) << " exceeds max_len "
+                                          << max_len_);
+  // Keys/values attend over [memory ; x]; memory carries no gradient
+  // (Transformer-XL stops gradients through the cached segment).
+  Tensor kv_in = m > 0 ? concat_rows({memory, x}) : x;
+  // Learned absolute positions over the concatenated window — a documented
+  // simplification of Transformer-XL's relative encoding.
+  Tensor kv_pos = add(kv_in, slice_rows(pos_, 0, m + s));
+  Tensor q_pos = add(x, slice_rows(pos_, m, m + s));
+
+  Tensor q = wq_.forward(q_pos);   // [S, D]
+  Tensor k = wk_.forward(kv_pos);  // [M+S, D]
+  Tensor v = wv_.forward(kv_pos);  // [M+S, D]
+
+  const float scale_f = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> head_outs;
+  head_outs.reserve(static_cast<size_t>(heads_));
+  for (int64_t h = 0; h < heads_; ++h) {
+    Tensor qh = slice_cols(q, h * head_dim_, (h + 1) * head_dim_);
+    Tensor kh = slice_cols(k, h * head_dim_, (h + 1) * head_dim_);
+    Tensor vh = slice_cols(v, h * head_dim_, (h + 1) * head_dim_);
+    Tensor scores = scale(matmul(qh, transpose2d(kh)), scale_f);  // [S, M+S]
+    // Causal mask: position i may attend to memory and to j <= i.
+    Tensor mask = Tensor::zeros({s, m + s});
+    for (int64_t i = 0; i < s; ++i)
+      for (int64_t j = m + i + 1; j < m + s; ++j)
+        mask.data()[i * (m + s) + j] = -1e9f;
+    Tensor attn = softmax_rows(add(scores, mask));
+    head_outs.push_back(matmul(attn, vh));  // [S, head_dim]
+  }
+  Tensor concat = head_outs[0];
+  for (size_t h = 1; h < head_outs.size(); ++h)
+    concat = concat_cols(concat, head_outs[h]);
+  Tensor attn_out = wo_.forward(concat);
+  Tensor y = layer_norm_rows(add(x, attn_out), ln1_g_, ln1_b_);
+  Tensor ffn = ffn2_.forward(gelu(ffn1_.forward(y)));
+  return layer_norm_rows(add(y, ffn), ln2_g_, ln2_b_);
+}
+
+// ---- Embedding --------------------------------------------------------------
+
+Embedding::Embedding(int64_t num, int64_t dim, Rng& rng) {
+  table_ = add_param("table", Tensor::randn({num, dim}, rng, 0.1f, true));
+}
+
+Tensor Embedding::forward(const std::vector<int>& idx) const {
+  return gather_rows(table_, idx);
+}
+
+Tensor Embedding::row(int idx) const { return gather_rows(table_, {idx}); }
+
+}  // namespace mars

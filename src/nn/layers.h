@@ -1,0 +1,154 @@
+// Neural-network layers used by the Mars agent and its baselines:
+// Linear/MLP, GCN, LSTM cells, bidirectional LSTM, Bahdanau attention,
+// and a Transformer-XL block with segment-level memory.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+
+namespace mars {
+
+/// y = x @ W + b.
+class Linear : public Module {
+ public:
+  Linear(int64_t in, int64_t out, Rng& rng);
+  Tensor forward(const Tensor& x) const;
+  int64_t in_dim() const { return in_; }
+  int64_t out_dim() const { return out_; }
+
+ private:
+  int64_t in_, out_;
+  Tensor w_, b_;
+};
+
+enum class Activation { kNone, kRelu, kTanh, kSigmoid, kPrelu, kGelu };
+
+/// Multi-layer perceptron with a chosen hidden activation.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int64_t>& dims, Activation act, Rng& rng);
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation act_;
+  Tensor prelu_alpha_;  // shared slope when act == kPrelu
+};
+
+/// One graph-convolution layer: PReLU(Â_norm @ X @ W) (Kipf & Welling),
+/// Eq. (1) of the paper. The normalized adjacency is supplied per graph.
+class GcnLayer : public Module {
+ public:
+  GcnLayer(int64_t in, int64_t out, Rng& rng);
+  Tensor forward(const std::shared_ptr<const Csr>& adj_norm,
+                 const Tensor& x) const;
+
+ private:
+  Linear linear_;
+  Tensor alpha_;  // learned PReLU slope, initialized at 0.25
+};
+
+/// GraphSAGE-style mean-aggregator layer (used by the Encoder-Placer
+/// baseline, GDP): ReLU(W_self x + W_neigh mean(neighbors)).
+class SageLayer : public Module {
+ public:
+  SageLayer(int64_t in, int64_t out, Rng& rng);
+  Tensor forward(const std::shared_ptr<const Csr>& adj_mean,
+                 const Tensor& x) const;
+
+ private:
+  Linear self_, neigh_;
+};
+
+/// Standard LSTM cell; gate order [i, f, g, o]. Forget-gate bias +1.
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t in, int64_t hidden, Rng& rng);
+
+  struct State {
+    Tensor h;  // [1, H]
+    Tensor c;  // [1, H]
+  };
+  State initial_state() const;
+  State step(const Tensor& x, const State& s) const;
+  int64_t hidden() const { return hidden_; }
+
+ private:
+  int64_t in_, hidden_;
+  Tensor w_ih_, w_hh_, b_;
+};
+
+/// Bidirectional LSTM over a [S, in] sequence producing [S, 2H].
+/// Initial states can be carried across segments (segment-level recurrence).
+class BiLstm : public Module {
+ public:
+  BiLstm(int64_t in, int64_t hidden, Rng& rng);
+
+  struct Output {
+    Tensor outputs;          // [S, 2H]
+    LstmCell::State fwd_end; // forward-direction final state
+    LstmCell::State bwd_end; // backward-direction final state
+  };
+  Output forward(const Tensor& seq, const LstmCell::State& fwd_init,
+                 const LstmCell::State& bwd_init) const;
+  LstmCell::State initial_state() const { return fwd_.initial_state(); }
+  int64_t hidden() const { return fwd_.hidden(); }
+
+ private:
+  LstmCell fwd_, bwd_;
+};
+
+/// Context-based input attention (Bahdanau et al.): scores each encoder
+/// output against the decoder state and returns the weighted context.
+class Attention : public Module {
+ public:
+  Attention(int64_t enc_dim, int64_t dec_dim, int64_t attn_dim, Rng& rng);
+  /// enc [S, enc_dim], dec_state [1, dec_dim] -> context [1, enc_dim].
+  Tensor context(const Tensor& enc, const Tensor& dec_state) const;
+  /// Precompute W_e @ enc once per segment (reused across decode steps).
+  Tensor project_encoder(const Tensor& enc) const;
+  /// context() with a precomputed encoder projection.
+  Tensor context_with(const Tensor& enc, const Tensor& enc_proj,
+                      const Tensor& dec_state) const;
+
+ private:
+  Linear enc_proj_, dec_proj_;
+  Tensor v_;  // [attn_dim, 1]
+};
+
+/// Transformer-XL block: multi-head self-attention over the current segment
+/// plus a detached memory of the previous segment, learned positional
+/// embeddings, residual + layer norm, and a GELU feed-forward sublayer.
+class TransformerXlBlock : public Module {
+ public:
+  TransformerXlBlock(int64_t dim, int64_t heads, int64_t ffn_dim,
+                     int64_t max_len, Rng& rng);
+  /// x [S, dim], memory [M, dim] (detached, may be empty) -> [S, dim].
+  Tensor forward(const Tensor& x, const Tensor& memory) const;
+
+ private:
+  int64_t dim_, heads_, head_dim_;
+  Linear wq_, wk_, wv_, wo_;
+  Linear ffn1_, ffn2_;
+  Tensor ln1_g_, ln1_b_, ln2_g_, ln2_b_;
+  Tensor pos_;  // [max_len, dim] learned positions (memory + segment)
+  int64_t max_len_;
+};
+
+/// Embedding table with row lookup.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num, int64_t dim, Rng& rng);
+  Tensor forward(const std::vector<int>& idx) const;
+  Tensor row(int idx) const;
+  int64_t dim() const { return table_.cols(); }
+
+ private:
+  Tensor table_;
+};
+
+}  // namespace mars

@@ -1,0 +1,63 @@
+// Base class for neural-network modules: a named parameter registry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mars {
+
+struct NamedParam {
+  std::string name;
+  Tensor tensor;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module and its children.
+  std::vector<Tensor> parameters() const {
+    std::vector<Tensor> out;
+    for (const auto& p : params_) out.push_back(p.tensor);
+    return out;
+  }
+  const std::vector<NamedParam>& named_parameters() const { return params_; }
+
+  /// Total number of scalar parameters.
+  int64_t param_count() const {
+    int64_t n = 0;
+    for (const auto& p : params_) n += p.tensor.numel();
+    return n;
+  }
+
+  /// Copies parameter values from another module with identical structure.
+  void load_state_from(const Module& other) {
+    MARS_CHECK_MSG(params_.size() == other.params_.size(),
+                   "module structure mismatch");
+    for (size_t i = 0; i < params_.size(); ++i)
+      params_[i].tensor.copy_data_from(other.params_[i].tensor);
+  }
+
+ protected:
+  Tensor add_param(const std::string& name, Tensor t) {
+    params_.push_back({name, t});
+    return t;
+  }
+  /// Splice a child's parameters into this registry (prefixing names).
+  void adopt(const std::string& prefix, const Module& child) {
+    for (const auto& p : child.named_parameters())
+      params_.push_back({prefix + "." + p.name, p.tensor});
+  }
+
+ private:
+  std::vector<NamedParam> params_;
+};
+
+/// Xavier/Glorot uniform bound for a [fan_in, fan_out] weight.
+inline float xavier_bound(int64_t fan_in, int64_t fan_out) {
+  return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+}
+
+}  // namespace mars

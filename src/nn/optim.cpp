@@ -1,0 +1,58 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mars {
+
+Adam::Adam(std::vector<Tensor> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+    v_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+  }
+}
+
+double Adam::step() {
+  ++t_;
+  // Global gradient norm across every parameter.
+  double sq = 0.0;
+  for (auto& p : params_) {
+    const float* g = p.grad();
+    for (int64_t i = 0; i < p.numel(); ++i) sq += double(g[i]) * double(g[i]);
+  }
+  const double norm = std::sqrt(sq);
+  float clip_scale = 1.0f;
+  if (config_.clip_norm > 0.0f && norm > config_.clip_norm)
+    clip_scale = static_cast<float>(config_.clip_norm / (norm + 1e-12));
+
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    float* g = p.grad();
+    float* x = p.data();
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      const float gi = g[i] * clip_scale;
+      m[static_cast<size_t>(i)] =
+          config_.beta1 * m[static_cast<size_t>(i)] + (1 - config_.beta1) * gi;
+      v[static_cast<size_t>(i)] = config_.beta2 * v[static_cast<size_t>(i)] +
+                                  (1 - config_.beta2) * gi * gi;
+      const float mhat = m[static_cast<size_t>(i)] / bc1;
+      const float vhat = v[static_cast<size_t>(i)] / bc2;
+      x[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+  return norm;
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+}  // namespace mars

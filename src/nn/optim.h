@@ -1,0 +1,37 @@
+// Optimizers: Adam with optional global-norm gradient clipping.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mars {
+
+struct AdamConfig {
+  float lr = 3e-4f;       // paper: Adam with learning rate 0.0003
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float clip_norm = 1.0f;  // paper: gradient clipping with a 1.0 norm; <=0 off
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Tensor> params, AdamConfig config = {});
+
+  /// Clip gradients (global norm) and apply one Adam update.
+  /// Returns the pre-clip global gradient norm.
+  double step();
+  void zero_grad();
+  int64_t steps_taken() const { return t_; }
+  const AdamConfig& config() const { return config_; }
+  void set_lr(float lr) { config_.lr = lr; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_, v_;
+  AdamConfig config_;
+  int64_t t_ = 0;
+};
+
+}  // namespace mars

@@ -1,0 +1,63 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace mars {
+
+namespace {
+constexpr uint32_t kMagic = 0x4d415253;  // "MARS"
+
+void write_u32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+uint32_t read_u32(std::istream& in) {
+  uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+}  // namespace
+
+bool save_parameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_u32(out, kMagic);
+  write_u32(out, static_cast<uint32_t>(module.named_parameters().size()));
+  for (const auto& p : module.named_parameters()) {
+    write_u32(out, static_cast<uint32_t>(p.name.size()));
+    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    write_u32(out, static_cast<uint32_t>(p.tensor.numel()));
+    out.write(reinterpret_cast<const char*>(p.tensor.data()),
+              static_cast<std::streamsize>(p.tensor.numel() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool load_parameters(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  MARS_CHECK_MSG(read_u32(in) == kMagic, "bad checkpoint magic in " << path);
+  const uint32_t count = read_u32(in);
+  MARS_CHECK_MSG(count == module.named_parameters().size(),
+                 "checkpoint has " << count << " params, module has "
+                                   << module.named_parameters().size());
+  for (const auto& p : module.named_parameters()) {
+    const uint32_t name_len = read_u32(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    MARS_CHECK_MSG(name == p.name,
+                   "checkpoint param '" << name << "' != module param '"
+                                        << p.name << "'");
+    const uint32_t numel = read_u32(in);
+    MARS_CHECK_MSG(numel == static_cast<uint32_t>(p.tensor.numel()),
+                   "size mismatch for " << name);
+    Tensor t = p.tensor;  // shared handle; writes through to the module
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+  }
+  return static_cast<bool>(in);
+}
+
+}  // namespace mars

@@ -1,0 +1,18 @@
+// Binary parameter checkpointing (agent save / load for transfer learning).
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace mars {
+
+/// Writes the module's named parameters to `path` (simple tagged binary).
+/// Returns false on I/O failure.
+bool save_parameters(const Module& module, const std::string& path);
+
+/// Loads parameters written by save_parameters. Shapes and names must match
+/// the module exactly; throws CheckError on structural mismatch.
+bool load_parameters(Module& module, const std::string& path);
+
+}  // namespace mars

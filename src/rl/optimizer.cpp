@@ -1,0 +1,84 @@
+#include "rl/optimizer.h"
+
+#include "util/logging.h"
+
+namespace mars {
+
+OptimizeResult optimize_placement(PlacementPolicy& policy,
+                                  const TrialRunner& runner,
+                                  const OptimizeConfig& config,
+                                  uint64_t seed) {
+  Rng env_rng(seed ^ 0xe5c0de11f00dull);
+  const double env_base = runner.environment_seconds();
+  PpoTrainer trainer(
+      policy,
+      [&](const Placement& p) { return runner.run(p, env_rng); },
+      config.ppo, seed);
+
+  OptimizeResult result;
+  Stopwatch wall;
+  double best_seen = 1e30;
+  int rounds_since_improvement = 0;
+
+  for (int round = 0; round < config.max_rounds; ++round) {
+    auto rr = trainer.round();
+
+    RoundStats stats;
+    stats.round = round;
+    double sum = 0;
+    for (const auto& s : rr.samples) {
+      if (s.valid && !s.bad) {
+        sum += s.step_time;
+        ++stats.valid_samples;
+      } else if (!s.valid) {
+        ++stats.invalid_samples;
+      } else {
+        ++stats.bad_samples;
+      }
+    }
+    stats.mean_valid_step_time =
+        stats.valid_samples ? sum / stats.valid_samples : 0.0;
+    stats.best_step_time_so_far =
+        trainer.has_best() ? trainer.best_step_time() : 0.0;
+    stats.env_seconds = runner.environment_seconds() - env_base;
+    stats.agent_seconds = wall.seconds();
+    result.history.push_back(stats);
+    result.rounds_run = round + 1;
+
+    if (config.verbose && round % 10 == 0) {
+      MARS_INFO << policy.describe() << " round " << round << ": mean "
+                << stats.mean_valid_step_time << "s, best "
+                << stats.best_step_time_so_far << "s, invalid "
+                << stats.invalid_samples;
+    }
+
+    if (trainer.has_best() && trainer.best_step_time() < best_seen - 1e-9) {
+      best_seen = trainer.best_step_time();
+      rounds_since_improvement = 0;
+    } else {
+      ++rounds_since_improvement;
+    }
+    if (config.patience_rounds > 0 &&
+        rounds_since_improvement >= config.patience_rounds) {
+      break;
+    }
+  }
+
+  result.found_valid = trainer.has_best();
+  if (result.found_valid) {
+    result.best_placement = trainer.best_placement();
+    result.best_step_time = trainer.best_step_time();
+  } else {
+    MARS_WARN << policy.describe()
+              << ": no valid placement found within the trial budget";
+    result.best_placement = Placement(
+        static_cast<size_t>(runner.simulator().graph().num_nodes()), 0);
+    result.best_step_time = runner.config().invalid_time_s;
+  }
+  result.trials = trainer.trials_run();
+  result.env_seconds = runner.environment_seconds() - env_base;
+  result.agent_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace mars

@@ -1,0 +1,63 @@
+// End-to-end placement optimization loop: repeated PPO rounds against a
+// TrialRunner environment, with the bookkeeping the paper's figures need
+// (per-round sampled runtimes for Fig. 7, environment + agent time for
+// Fig. 8, best-placement tracking for Tables 1–3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rl/ppo.h"
+#include "sim/trial.h"
+#include "util/stopwatch.h"
+
+namespace mars {
+
+struct OptimizeConfig {
+  int max_rounds = 100;
+  /// Stop once the best placement has not improved for this many rounds
+  /// (0 disables; Table 3 uses the paper's 100-step patience rule, which
+  /// here maps to patience_rounds = 10 at 10 placements per round).
+  int patience_rounds = 0;
+  PpoConfig ppo = {};
+  bool verbose = false;
+};
+
+struct RoundStats {
+  int round = 0;
+  /// Mean per-step time of this round's valid, non-terminated samples
+  /// (Fig. 7 discards invalid and >20 s placements the same way).
+  double mean_valid_step_time = 0;
+  int valid_samples = 0;
+  int invalid_samples = 0;
+  int bad_samples = 0;
+  double best_step_time_so_far = 0;
+  /// Cumulative simulated environment seconds after this round.
+  double env_seconds = 0;
+  /// Cumulative wall-clock agent compute seconds after this round.
+  double agent_seconds = 0;
+};
+
+struct OptimizeResult {
+  Placement best_placement;
+  /// False when no valid (non-OOM, non-cutoff) placement was ever sampled;
+  /// best_step_time then holds the invalid-placement penalty.
+  bool found_valid = false;
+  double best_step_time = 0;
+  std::vector<RoundStats> history;
+  int rounds_run = 0;
+  int64_t trials = 0;
+  double env_seconds = 0;    // total simulated environment time
+  double agent_seconds = 0;  // total agent compute wall-clock
+  /// The Fig. 8 quantity: what training would have cost on the real
+  /// machine — environment measurement time plus agent compute.
+  double training_seconds() const { return env_seconds + agent_seconds; }
+};
+
+/// Runs `policy` against `runner` until max_rounds or patience exhaustion.
+OptimizeResult optimize_placement(PlacementPolicy& policy,
+                                  const TrialRunner& runner,
+                                  const OptimizeConfig& config, uint64_t seed);
+
+}  // namespace mars

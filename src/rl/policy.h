@@ -1,0 +1,63 @@
+// Placement policy interface shared by Mars and the RL baselines.
+//
+// A policy is attached to one workload graph at a time (generalization
+// experiments re-attach a trained policy to an unseen graph). Sampling is
+// gradient-free; evaluation recomputes differentiable log-probabilities for
+// PPO's importance ratios.
+#pragma once
+
+#include <memory>
+
+#include "graph/comp_graph.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace mars {
+
+/// One sampled decision: the placement handed to the environment plus any
+/// policy-internal actions (e.g. the grouper's group assignment) needed to
+/// re-evaluate its log-probability later. Log-probabilities are stored per
+/// decision so PPO can clip importance ratios at decision granularity —
+/// a whole-placement ratio over hundreds of ops saturates the clip after
+/// one update and kills the gradient.
+struct ActionSample {
+  Placement placement;
+  std::vector<int> internal_actions;
+  /// Log-probability of each individual decision (ops, and for the
+  /// grouper-placer also group-device choices).
+  std::vector<float> logp_terms;
+  double total_logp() const {
+    double s = 0;
+    for (float t : logp_terms) s += t;
+    return s;
+  }
+};
+
+/// Differentiable quantities for a stored sample under current parameters.
+struct ActionEval {
+  Tensor logp_terms;  // [K,1] per-decision log-probabilities
+  Tensor entropy;     // [1,1] mean per-decision entropy
+  Tensor total_logp() const { return sum_all(logp_terms); }
+};
+
+class PlacementPolicy : public Module {
+ public:
+  ~PlacementPolicy() override = default;
+
+  /// Bind the policy to a workload graph (precomputes features/adjacency).
+  virtual void attach_graph(const CompGraph& graph) = 0;
+
+  /// Sample one placement from the current policy.
+  virtual ActionSample sample(Rng& rng) = 0;
+
+  /// Log-probability and entropy of a previously sampled decision.
+  virtual ActionEval evaluate(const ActionSample& sample) = 0;
+
+  /// Number of placement targets (devices).
+  virtual int num_devices() const = 0;
+
+  /// Human-readable identifier for logs and result tables.
+  virtual std::string describe() const = 0;
+};
+
+}  // namespace mars

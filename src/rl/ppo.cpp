@@ -1,0 +1,152 @@
+#include "rl/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mars {
+
+PpoTrainer::PpoTrainer(PlacementPolicy& policy, Environment env,
+                       PpoConfig config, uint64_t seed)
+    : policy_(&policy),
+      env_(std::move(env)),
+      config_(config),
+      rng_(seed),
+      optimizer_(policy.parameters(), config.adam) {
+  MARS_CHECK(config_.placements_per_policy > 0);
+  MARS_CHECK(config_.update_batch > 0 && config_.minibatches > 0);
+}
+
+PpoTrainer::RoundResult PpoTrainer::round() {
+  RoundResult result;
+  result.samples.reserve(static_cast<size_t>(config_.placements_per_policy));
+
+  for (int i = 0; i < config_.placements_per_policy; ++i) {
+    PpoSample s;
+    {
+      NoGradGuard no_grad;  // sampling needs no tape
+      s.action = policy_->sample(rng_);
+    }
+    TrialResult trial = env_(s.action.placement);
+    ++trials_;
+    s.step_time = trial.step_time;
+    s.valid = trial.valid;
+    s.bad = trial.bad;
+    // Reward shaping (Eq. 7): R = -sqrt(per-step time).
+    s.reward = -std::sqrt(std::max(0.0, trial.step_time));
+    if (!baseline_initialized_) {
+      baseline_ = s.reward;  // B_1 = R_1
+      baseline_initialized_ = true;
+    } else {
+      baseline_ = (1.0 - config_.ema_mu) * s.reward +
+                  config_.ema_mu * baseline_;
+    }
+    s.advantage = s.reward - baseline_;
+    if (trial.valid && !trial.bad && trial.step_time < best_time_) {
+      best_time_ = trial.step_time;
+      best_placement_ = s.action.placement;
+    }
+    result.samples.push_back(std::move(s));
+  }
+
+  buffer_.insert(buffer_.end(), result.samples.begin(), result.samples.end());
+  while (static_cast<int>(buffer_.size()) >= config_.update_batch) {
+    std::vector<PpoSample> batch(
+        buffer_.begin(), buffer_.begin() + config_.update_batch);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + config_.update_batch);
+    result.last_update = update(batch);
+    ++result.updates_run;
+  }
+  return result;
+}
+
+PpoUpdateStats PpoTrainer::update(const std::vector<PpoSample>& batch) {
+  PpoUpdateStats stats;
+  std::vector<PpoSample> work = batch;
+
+  if (config_.normalize_advantages && work.size() > 1) {
+    double mean = 0;
+    for (const auto& s : work) mean += s.advantage;
+    mean /= static_cast<double>(work.size());
+    double var = 0;
+    for (const auto& s : work) var += (s.advantage - mean) * (s.advantage - mean);
+    var /= static_cast<double>(work.size());
+    const double stddev = std::sqrt(var) + 1e-8;
+    for (auto& s : work) s.advantage = (s.advantage - mean) / stddev;
+  }
+
+  const int mb_count = std::min<int>(config_.minibatches,
+                                     static_cast<int>(work.size()));
+  double ratio_sum = 0, clip_count = 0, entropy_sum = 0;
+  int64_t ratio_n = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Shuffle the batch into minibatches each epoch (§4.2).
+    std::vector<int> perm = rng_.permutation(static_cast<int>(work.size()));
+    for (int mb = 0; mb < mb_count; ++mb) {
+      optimizer_.zero_grad();
+      std::vector<Tensor> losses;
+      for (size_t k = static_cast<size_t>(mb); k < perm.size();
+           k += static_cast<size_t>(mb_count)) {
+        const PpoSample& s = work[static_cast<size_t>(perm[k])];
+        ActionEval eval = policy_->evaluate(s.action);
+        const int64_t terms = eval.logp_terms.numel();
+        MARS_CHECK_MSG(
+            terms == static_cast<int64_t>(s.action.logp_terms.size()),
+            "per-decision logp count changed between sample and evaluate");
+        // Per-decision importance ratios r_i = exp(logp_new_i - logp_old_i)
+        // and clipped surrogate min(r_i A, clip(r_i) A), averaged over
+        // decisions. Decision-level clipping keeps gradients alive on long
+        // placements where a whole-sequence ratio would instantly saturate.
+        Tensor old_terms = Tensor::from_vector(
+            {terms, 1}, std::vector<float>(s.action.logp_terms));
+        Tensor ratio = exp_op(sub(eval.logp_terms, old_terms));
+        const float adv = static_cast<float>(s.advantage);
+        const float lo = 1.0f - config_.clip_ratio;
+        const float hi = 1.0f + config_.clip_ratio;
+        // Branch selection is data-dependent but constant within this
+        // backward pass: route gradient only through unclipped decisions.
+        std::vector<float> grad_mask(static_cast<size_t>(terms));
+        std::vector<float> clipped_part(static_cast<size_t>(terms));
+        for (int64_t i = 0; i < terms; ++i) {
+          const float r = ratio.data()[i];
+          const float rc = std::clamp(r, lo, hi);
+          ratio_sum += r;
+          ++ratio_n;
+          if (rc != r) clip_count += 1.0;
+          if (rc * adv < r * adv) {  // clipped branch is STRICTLY smaller
+            // (ties — e.g. ratio exactly 1 on the first epoch — must keep
+            // the differentiable branch or the whole update has no gradient)
+            grad_mask[static_cast<size_t>(i)] = 0.0f;
+            clipped_part[static_cast<size_t>(i)] = rc * adv;
+          } else {
+            grad_mask[static_cast<size_t>(i)] = adv;
+            clipped_part[static_cast<size_t>(i)] = 0.0f;
+          }
+        }
+        Tensor surrogate = add(
+            mul(ratio, Tensor::from_vector({terms, 1}, std::move(grad_mask))),
+            Tensor::from_vector({terms, 1}, std::move(clipped_part)));
+        entropy_sum += eval.entropy.item();
+        Tensor loss = sub(neg(mean_all(surrogate)),
+                          scale(eval.entropy, config_.entropy_coef));
+        losses.push_back(loss);
+      }
+      if (losses.empty()) continue;
+      Tensor total = losses[0];
+      for (size_t i = 1; i < losses.size(); ++i)
+        total = add(total, losses[i]);
+      total = scale(total, 1.0f / static_cast<float>(losses.size()));
+      total.backward();
+      stats.grad_norm = optimizer_.step();
+    }
+  }
+  if (ratio_n > 0) {
+    stats.mean_ratio = ratio_sum / static_cast<double>(ratio_n);
+    stats.clip_fraction = clip_count / static_cast<double>(ratio_n);
+    stats.entropy = entropy_sum / static_cast<double>(ratio_n);
+  }
+  return stats;
+}
+
+}  // namespace mars

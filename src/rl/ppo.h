@@ -1,0 +1,91 @@
+// Proximal policy optimization (Schulman et al.) for device placement,
+// with the paper's reward shaping and update protocol (§3.4, §4.2):
+//   R_t = -sqrt(r_t), EMA baseline with mu = 0.99, advantage = R - B;
+//   10 placements sampled per policy; every 20 samples shuffled into 4
+//   minibatches and replayed for 3 epochs; clip 0.2, entropy coef 0.001,
+//   Adam lr 3e-4 with gradient-norm clipping at 1.0.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/optim.h"
+#include "rl/policy.h"
+#include "sim/trial.h"
+
+namespace mars {
+
+struct PpoConfig {
+  int placements_per_policy = 10;
+  int update_batch = 20;
+  int minibatches = 4;
+  int epochs = 3;
+  float clip_ratio = 0.2f;
+  float entropy_coef = 0.001f;
+  float ema_mu = 0.99f;
+  /// Normalize advantages within each update batch (stabilizes the scale
+  /// difference between OOM penalties and runtime differences; standard
+  /// PPO practice, applied on top of the paper's EMA baseline).
+  bool normalize_advantages = true;
+  AdamConfig adam = {};
+};
+
+/// One stored environment interaction.
+struct PpoSample {
+  ActionSample action;
+  double reward = 0;
+  double advantage = 0;
+  double step_time = 0;
+  bool valid = false;
+  bool bad = false;
+};
+
+struct PpoUpdateStats {
+  double mean_ratio = 1.0;
+  double clip_fraction = 0;
+  double entropy = 0;
+  double grad_norm = 0;
+};
+
+class PpoTrainer {
+ public:
+  using Environment = std::function<TrialResult(const Placement&)>;
+
+  PpoTrainer(PlacementPolicy& policy, Environment env, PpoConfig config,
+             uint64_t seed);
+
+  struct RoundResult {
+    std::vector<PpoSample> samples;
+    int updates_run = 0;
+    PpoUpdateStats last_update;
+  };
+  /// Sample placements_per_policy placements, evaluate them in the
+  /// environment, and run PPO updates whenever the batch fills.
+  RoundResult round();
+
+  /// Best (fastest valid, non-penalized) placement observed so far.
+  bool has_best() const { return best_time_ < 1e30; }
+  const Placement& best_placement() const { return best_placement_; }
+  double best_step_time() const { return best_time_; }
+  int64_t trials_run() const { return trials_; }
+  /// Reset the reward baseline (used when re-attaching to a new workload).
+  void reset_baseline() { baseline_initialized_ = false; }
+
+ private:
+  PpoUpdateStats update(const std::vector<PpoSample>& batch);
+
+  PlacementPolicy* policy_;
+  Environment env_;
+  PpoConfig config_;
+  Rng rng_;
+  Adam optimizer_;
+
+  std::vector<PpoSample> buffer_;
+  double baseline_ = 0;
+  bool baseline_initialized_ = false;
+  Placement best_placement_;
+  double best_time_ = 1e30;
+  int64_t trials_ = 0;
+};
+
+}  // namespace mars

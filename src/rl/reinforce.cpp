@@ -1,0 +1,82 @@
+#include "rl/reinforce.h"
+
+#include <cmath>
+
+namespace mars {
+
+ReinforceTrainer::ReinforceTrainer(PlacementPolicy& policy, Environment env,
+                                   ReinforceConfig config, uint64_t seed)
+    : policy_(&policy),
+      env_(std::move(env)),
+      config_(config),
+      rng_(seed),
+      optimizer_(policy.parameters(), config.adam) {
+  MARS_CHECK(config_.placements_per_round > 0);
+}
+
+ReinforceTrainer::RoundResult ReinforceTrainer::round() {
+  struct Sample {
+    ActionSample action;
+    double advantage;
+    double reward;
+  };
+  std::vector<Sample> batch;
+  batch.reserve(static_cast<size_t>(config_.placements_per_round));
+
+  RoundResult result;
+  for (int i = 0; i < config_.placements_per_round; ++i) {
+    Sample s;
+    {
+      NoGradGuard no_grad;
+      s.action = policy_->sample(rng_);
+    }
+    TrialResult trial = env_(s.action.placement);
+    ++trials_;
+    s.reward = -std::sqrt(std::max(0.0, trial.step_time));
+    if (!baseline_initialized_) {
+      baseline_ = s.reward;
+      baseline_initialized_ = true;
+    } else {
+      baseline_ =
+          (1.0 - config_.ema_mu) * s.reward + config_.ema_mu * baseline_;
+    }
+    s.advantage = s.reward - baseline_;
+    result.mean_reward += s.reward;
+    if (trial.valid && !trial.bad && trial.step_time < best_time_) {
+      best_time_ = trial.step_time;
+      best_placement_ = s.action.placement;
+    }
+    batch.push_back(std::move(s));
+  }
+  result.samples = static_cast<int>(batch.size());
+  result.mean_reward /= std::max(1, result.samples);
+
+  if (config_.normalize_advantages && batch.size() > 1) {
+    double mean = 0;
+    for (const auto& s : batch) mean += s.advantage;
+    mean /= static_cast<double>(batch.size());
+    double var = 0;
+    for (const auto& s : batch)
+      var += (s.advantage - mean) * (s.advantage - mean);
+    const double stddev = std::sqrt(var / static_cast<double>(batch.size()));
+    for (auto& s : batch) s.advantage = (s.advantage - mean) / (stddev + 1e-8);
+  }
+
+  // One on-policy gradient step: loss = -A * logp - entropy bonus.
+  optimizer_.zero_grad();
+  Tensor total;
+  for (const auto& s : batch) {
+    ActionEval eval = policy_->evaluate(s.action);
+    Tensor term =
+        sub(scale(mean_all(eval.logp_terms),
+                  -static_cast<float>(s.advantage)),
+            scale(eval.entropy, config_.entropy_coef));
+    total = total.defined() ? add(total, term) : term;
+  }
+  total = scale(total, 1.0f / static_cast<float>(batch.size()));
+  total.backward();
+  result.grad_norm = optimizer_.step();
+  return result;
+}
+
+}  // namespace mars

@@ -1,0 +1,58 @@
+// REINFORCE policy-gradient trainer (Williams 1992), as used by the first
+// device-placement work (Mirhoseini et al., ICML 2017). Included as the
+// slower-converging alternative the paper's §2 contrasts PPO against:
+// one gradient step per batch of fresh samples, no importance ratios, no
+// clipping, same EMA baseline and reward shaping.
+#pragma once
+
+#include <functional>
+
+#include "nn/optim.h"
+#include "rl/policy.h"
+#include "sim/trial.h"
+
+namespace mars {
+
+struct ReinforceConfig {
+  int placements_per_round = 10;
+  float entropy_coef = 0.001f;
+  float ema_mu = 0.99f;
+  bool normalize_advantages = true;
+  AdamConfig adam = {};
+};
+
+class ReinforceTrainer {
+ public:
+  using Environment = std::function<TrialResult(const Placement&)>;
+
+  ReinforceTrainer(PlacementPolicy& policy, Environment env,
+                   ReinforceConfig config, uint64_t seed);
+
+  struct RoundResult {
+    int samples = 0;
+    double mean_reward = 0;
+    double grad_norm = 0;
+  };
+  /// Sample a batch, apply one REINFORCE gradient step.
+  RoundResult round();
+
+  bool has_best() const { return best_time_ < 1e30; }
+  const Placement& best_placement() const { return best_placement_; }
+  double best_step_time() const { return best_time_; }
+  int64_t trials_run() const { return trials_; }
+
+ private:
+  PlacementPolicy* policy_;
+  Environment env_;
+  ReinforceConfig config_;
+  Rng rng_;
+  Adam optimizer_;
+
+  double baseline_ = 0;
+  bool baseline_initialized_ = false;
+  Placement best_placement_;
+  double best_time_ = 1e30;
+  int64_t trials_ = 0;
+};
+
+}  // namespace mars

@@ -1,0 +1,67 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+namespace mars {
+
+double CostModel::efficiency(OpType type, DeviceKind kind) const {
+  // GPU efficiencies are fractions of peak for typical kernels; the CPU
+  // runs everything at a flat fraction of its (much lower) peak, so dense
+  // compute strongly prefers the GPU while dispatch-bound ops may not.
+  if (kind == DeviceKind::kCpu) return 0.6;
+  switch (type) {
+    case OpType::kConv2D:
+    case OpType::kDepthwiseConv2D:
+      return 0.55;
+    case OpType::kMatMul:
+    case OpType::kBatchMatMul:
+      return 0.65;
+    case OpType::kMaxPool:
+    case OpType::kAvgPool:
+      return 0.20;
+    case OpType::kBatchNorm:
+    case OpType::kLayerNorm:
+    case OpType::kSoftmax:
+    case OpType::kLogSoftmax:
+      return 0.10;
+    case OpType::kEmbeddingLookup:
+    case OpType::kGather:
+      return 0.05;
+    case OpType::kCrossEntropyLoss:
+    case OpType::kApplyGradient:
+      return 0.15;
+    default:
+      return 0.08;  // elementwise & bookkeeping: bandwidth bound
+  }
+}
+
+double CostModel::exec_time(const OpNode& op, const DeviceSpec& dev,
+                            int64_t input_bytes) const {
+  const double train_flops =
+      static_cast<double>(op.flops) * config_.train_flop_multiplier;
+  const double eff = efficiency(op.type, dev.kind);
+  const double compute = train_flops / (eff * dev.gflops * 1e9);
+  const double bytes = static_cast<double>(input_bytes + op.output_bytes) *
+                       config_.bytes_touched_multiplier;
+  const double memory = bytes / (dev.mem_bandwidth_gbps * 1e9);
+  return dev.launch_overhead_s + std::max(compute, memory);
+}
+
+double CostModel::transfer_time(int64_t bytes, const LinkSpec& link) const {
+  return link.latency_s + static_cast<double>(bytes) /
+                              (link.bandwidth_gbps * 1e9);
+}
+
+int64_t CostModel::resident_bytes(const OpNode& op) const {
+  return static_cast<int64_t>(
+      static_cast<double>(op.param_bytes) * config_.optimizer_memory_factor +
+      static_cast<double>(op.resident_activation_bytes) *
+          config_.activation_memory_factor);
+}
+
+int64_t CostModel::usable_bytes(const DeviceSpec& dev) const {
+  return static_cast<int64_t>(static_cast<double>(dev.mem_bytes) *
+                              (1.0 - config_.reserved_memory_fraction));
+}
+
+}  // namespace mars

@@ -1,0 +1,54 @@
+// Per-op execution and communication cost estimation.
+//
+// Training time of one op = dispatch overhead + max(compute, memory) where
+//   compute = forward FLOPs x training multiplier / (efficiency x peak)
+//   memory  = bytes touched / memory bandwidth
+// The training multiplier folds the backward pass and optimizer work of the
+// op into its node (TF graphs colocate gradient ops with their forward ops,
+// which every placement paper exploits).
+#pragma once
+
+#include "graph/comp_graph.h"
+#include "sim/machine.h"
+
+namespace mars {
+
+struct CostModelConfig {
+  /// forward+backward+update FLOPs as a multiple of forward FLOPs.
+  double train_flop_multiplier = 3.0;
+  /// Bytes moved per op as a multiple of (inputs + output) bytes.
+  double bytes_touched_multiplier = 3.0;
+  /// Training-resident copies of parameters: weight + grad + 2 Adam slots.
+  double optimizer_memory_factor = 4.0;
+  /// Activation + its gradient kept until the backward pass.
+  double activation_memory_factor = 2.0;
+  /// Fraction of device memory reserved by the runtime (cudnn workspace…).
+  double reserved_memory_fraction = 0.05;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostModelConfig config = {}) : config_(config) {}
+
+  /// Arithmetic efficiency (fraction of peak FLOP/s) of an op on a device.
+  double efficiency(OpType type, DeviceKind kind) const;
+
+  /// Execution time of `op` on `dev`, given the total bytes of its inputs.
+  double exec_time(const OpNode& op, const DeviceSpec& dev,
+                   int64_t input_bytes) const;
+
+  /// Transfer time of `bytes` across `link` (0 bytes still pays latency).
+  double transfer_time(int64_t bytes, const LinkSpec& link) const;
+
+  /// Training-resident memory of an op placed on a device.
+  int64_t resident_bytes(const OpNode& op) const;
+  /// Usable capacity of a device after the runtime reservation.
+  int64_t usable_bytes(const DeviceSpec& dev) const;
+
+  const CostModelConfig& config() const { return config_; }
+
+ private:
+  CostModelConfig config_;
+};
+
+}  // namespace mars

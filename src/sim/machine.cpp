@@ -1,0 +1,63 @@
+#include "sim/machine.h"
+
+namespace mars {
+
+MachineSpec::MachineSpec(std::vector<DeviceSpec> devices,
+                         std::vector<std::vector<LinkSpec>> links)
+    : devices_(std::move(devices)), links_(std::move(links)) {
+  MARS_CHECK(!devices_.empty());
+  MARS_CHECK(links_.size() == devices_.size());
+  for (const auto& row : links_) MARS_CHECK(row.size() == devices_.size());
+}
+
+MachineSpec MachineSpec::default_4gpu() { return with_gpus(4); }
+
+MachineSpec MachineSpec::with_gpus(int num_gpus) {
+  MARS_CHECK(num_gpus >= 1);
+  std::vector<DeviceSpec> devices;
+  devices.push_back({"cpu:0", DeviceKind::kCpu, /*gflops=*/150.0,
+                     /*mem_bandwidth_gbps=*/60.0,
+                     /*mem_bytes=*/int64_t{120} * (1 << 30),
+                     /*launch_overhead_s=*/5e-6});
+  for (int g = 0; g < num_gpus; ++g) {
+    devices.push_back({"gpu:" + std::to_string(g), DeviceKind::kGpu,
+                       /*gflops=*/9300.0,
+                       /*mem_bandwidth_gbps=*/550.0,
+                       /*mem_bytes=*/int64_t{12} * (1 << 30),
+                       /*launch_overhead_s=*/2.5e-5});
+  }
+  const int n = num_gpus + 1;
+  std::vector<std::vector<LinkSpec>> links(
+      static_cast<size_t>(n), std::vector<LinkSpec>(static_cast<size_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) {
+        links[static_cast<size_t>(i)][static_cast<size_t>(j)] = {1e9, 0.0};
+      } else if (i == 0 || j == 0) {
+        // Host <-> GPU over PCIe gen3 x16. Latency reflects a framework
+        // send/recv pair (stream sync + copy launch), not the raw wire.
+        links[static_cast<size_t>(i)][static_cast<size_t>(j)] = {12.0, 4e-5};
+      } else {
+        // GPU <-> GPU peer-to-peer over the PCIe switch.
+        links[static_cast<size_t>(i)][static_cast<size_t>(j)] = {10.0, 5e-5};
+      }
+    }
+  }
+  return MachineSpec(std::move(devices), std::move(links));
+}
+
+int MachineSpec::cpu_device() const {
+  for (int i = 0; i < num_devices(); ++i)
+    if (devices_[static_cast<size_t>(i)].kind == DeviceKind::kCpu) return i;
+  MARS_CHECK_MSG(false, "machine has no CPU device");
+}
+
+std::vector<int> MachineSpec::gpu_devices() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_devices(); ++i)
+    if (devices_[static_cast<size_t>(i)].kind == DeviceKind::kGpu)
+      out.push_back(i);
+  return out;
+}
+
+}  // namespace mars

@@ -1,0 +1,62 @@
+// Hardware model: devices and interconnect of the training machine.
+//
+// The default machine mirrors the paper's testbed (§4.2): one CPU complex
+// (2x Xeon E5-2650v4, 125 GB RAM) plus 4 NVIDIA P100 GPUs (12 GB each)
+// connected over PCIe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mars {
+
+enum class DeviceKind { kCpu, kGpu };
+
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::kGpu;
+  /// Peak fp32 throughput in GFLOP/s.
+  double gflops = 0;
+  /// Memory bandwidth in GB/s (bounds elementwise ops).
+  double mem_bandwidth_gbps = 0;
+  /// Device memory capacity in bytes.
+  int64_t mem_bytes = 0;
+  /// Fixed per-op dispatch overhead in seconds (kernel launch + framework).
+  double launch_overhead_s = 0;
+};
+
+struct LinkSpec {
+  double bandwidth_gbps = 0;  // payload bandwidth
+  double latency_s = 0;       // per-transfer fixed latency
+};
+
+class MachineSpec {
+ public:
+  MachineSpec(std::vector<DeviceSpec> devices,
+              std::vector<std::vector<LinkSpec>> links);
+
+  /// The paper's machine: CPU + 4x P100-12GB over PCIe gen3.
+  static MachineSpec default_4gpu();
+  /// Same machine with `num_gpus` GPUs (scalability studies).
+  static MachineSpec with_gpus(int num_gpus);
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  const DeviceSpec& device(int i) const {
+    return devices_[static_cast<size_t>(i)];
+  }
+  const LinkSpec& link(int src, int dst) const {
+    return links_[static_cast<size_t>(src)][static_cast<size_t>(dst)];
+  }
+  /// Index of the (single) CPU device.
+  int cpu_device() const;
+  std::vector<int> gpu_devices() const;
+
+ private:
+  std::vector<DeviceSpec> devices_;
+  std::vector<std::vector<LinkSpec>> links_;
+};
+
+}  // namespace mars

@@ -1,0 +1,86 @@
+// Discrete-event execution simulator for placed computational graphs.
+//
+// Models per-device serial execution with critical-path list scheduling,
+// per-link serialized transfers (deduplicated per destination device), and
+// two memory views: training-resident (parameters + retained activations;
+// the OOM criterion) and lifetime-based peak (activations freed after the
+// last consumer; reported for analysis).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/comp_graph.h"
+#include "sim/cost_model.h"
+#include "sim/machine.h"
+
+namespace mars {
+
+/// One executed op or transfer in the simulated schedule.
+struct TraceEvent {
+  enum Kind { kOp, kTransfer };
+  Kind kind = kOp;
+  int op = -1;          // executing op, or producer op for transfers
+  int device = -1;      // executing device, or destination for transfers
+  double start = 0;
+  double end = 0;
+};
+
+struct SimResult {
+  /// Makespan of one training step in seconds (valid only if !oom).
+  double step_time = 0;
+  bool oom = false;
+  std::vector<std::string> oom_devices;
+  /// Training-resident memory per device.
+  std::vector<int64_t> resident_bytes;
+  /// Lifetime-based peak activation memory per device (inference view).
+  std::vector<int64_t> peak_activation_bytes;
+  /// Busy seconds per device.
+  std::vector<double> device_busy;
+  /// Total bytes moved across inter-device links.
+  int64_t comm_bytes = 0;
+  int64_t num_transfers = 0;
+  /// Sum of exec times along the most expensive dependency path ignoring
+  /// communication and contention — a lower bound on step_time.
+  double critical_path = 0;
+  /// Full schedule (populated only when simulate() is called with
+  /// record_trace = true).
+  std::vector<TraceEvent> trace;
+};
+
+class ExecutionSimulator {
+ public:
+  ExecutionSimulator(const CompGraph& graph, MachineSpec machine,
+                     CostModelConfig cost_config = {});
+
+  /// Simulates one training step under the placement (device index per op).
+  /// Incompatible ops assigned to a GPU are soft-placed onto the CPU, as TF
+  /// soft placement would. With record_trace, the full schedule is
+  /// returned in SimResult::trace (see write_chrome_trace()).
+  SimResult simulate(const Placement& placement,
+                     bool record_trace = false) const;
+
+  /// The placement with soft-placement remapping applied.
+  Placement effective_placement(const Placement& placement) const;
+
+  const MachineSpec& machine() const { return machine_; }
+  const CompGraph& graph() const { return *graph_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  const CompGraph* graph_;
+  MachineSpec machine_;
+  CostModel cost_model_;
+  /// Per-op total input bytes (sum of producer outputs).
+  std::vector<int64_t> input_bytes_;
+  /// Per-op b-level priority (longest downstream path, GPU exec times).
+  std::vector<double> priority_;
+};
+
+/// Writes a recorded schedule in Chrome trace-event JSON (load in
+/// chrome://tracing or https://ui.perfetto.dev). Returns false on I/O
+/// failure; requires a trace-recorded SimResult.
+bool write_chrome_trace(const ExecutionSimulator& simulator,
+                        const SimResult& result, const std::string& path);
+
+}  // namespace mars

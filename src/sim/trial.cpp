@@ -1,0 +1,56 @@
+#include "sim/trial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mars {
+
+TrialResult TrialRunner::run(const Placement& placement, Rng& rng) const {
+  TrialResult result;
+  result.sim = simulator_->simulate(placement);
+
+  double env_time = config_.reinit_overhead_s;
+  if (result.sim.oom) {
+    // The workload fails during initialization; no steps run.
+    result.valid = false;
+    result.step_time = config_.invalid_time_s;
+  } else if (result.sim.step_time >= config_.bad_cutoff_s) {
+    // Evaluation is cut off after the first over-budget step (§3.4).
+    result.valid = true;
+    result.bad = true;
+    result.step_time = config_.bad_cutoff_s;
+    env_time += config_.bad_cutoff_s;
+  } else {
+    result.valid = true;
+    // Warm-up steps are slower (allocator & autotuner churn) and discarded.
+    for (int i = 0; i < config_.warmup_steps; ++i)
+      env_time += result.sim.step_time * 1.5;
+    double sum = 0;
+    for (int i = 0; i < config_.measured_steps; ++i) {
+      const double step =
+          result.sim.step_time *
+          rng.lognormal(0.0, config_.noise_sigma);
+      sum += step;
+      env_time += step;
+    }
+    result.step_time = sum / std::max(1, config_.measured_steps);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    environment_seconds_ += env_time;
+  }
+  return result;
+}
+
+double TrialRunner::environment_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return environment_seconds_;
+}
+
+void TrialRunner::reset_environment_seconds() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  environment_seconds_ = 0;
+}
+
+}  // namespace mars

@@ -1,0 +1,59 @@
+// TrialRunner: the paper's measurement protocol around the simulator.
+//
+// Each trial re-initializes the workload under a new placement, runs
+// warm-up steps (discarded) plus measured steps, and averages the measured
+// per-step times with multiplicative measurement noise. Invalid (OOM)
+// placements receive a fixed 100 s penalty time; placements slower than the
+// bad-placement cutoff are terminated early (§3.4). The runner accounts all
+// simulated wall-clock the environment would have consumed — the quantity
+// Fig. 8 reports as agent training time.
+#pragma once
+
+#include <mutex>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace mars {
+
+struct TrialConfig {
+  int warmup_steps = 5;     // discarded (§4.2)
+  int measured_steps = 10;  // averaged  (§4.2)
+  double invalid_time_s = 100.0;   // OOM penalty signal (§3.4)
+  double bad_cutoff_s = 20.0;      // terminate evaluation beyond this (§3.4)
+  double reinit_overhead_s = 10.0; // graph rebuild + weight init + transfer
+  double noise_sigma = 0.03;       // lognormal per-step measurement noise
+};
+
+struct TrialResult {
+  /// Measured mean per-step time (the reward signal r_t). Equal to
+  /// invalid_time_s for OOM, and to the cutoff for terminated placements.
+  double step_time = 0;
+  bool valid = false;  // ran without OOM
+  bool bad = false;    // exceeded the cutoff and was terminated
+  SimResult sim;       // underlying simulator output
+};
+
+class TrialRunner {
+ public:
+  TrialRunner(const ExecutionSimulator& simulator, TrialConfig config = {})
+      : simulator_(&simulator), config_(config) {}
+
+  /// Runs one trial; thread-safe (pass a per-thread rng).
+  TrialResult run(const Placement& placement, Rng& rng) const;
+
+  /// Simulated environment seconds consumed by all trials so far.
+  double environment_seconds() const;
+  void reset_environment_seconds();
+
+  const TrialConfig& config() const { return config_; }
+  const ExecutionSimulator& simulator() const { return *simulator_; }
+
+ private:
+  const ExecutionSimulator* simulator_;
+  TrialConfig config_;
+  mutable std::mutex mutex_;
+  mutable double environment_seconds_ = 0;
+};
+
+}  // namespace mars

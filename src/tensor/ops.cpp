@@ -1,0 +1,751 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mars {
+
+namespace {
+
+using detail::TensorImpl;
+using Impl = std::shared_ptr<TensorImpl>;
+
+enum class Broadcast { kSame, kRow, kScalar };
+
+Broadcast broadcast_kind(const Shape& a, const Shape& b) {
+  if (a == b) return Broadcast::kSame;
+  int64_t bn = 1;
+  for (auto d : b) bn *= d;
+  if (bn == 1) return Broadcast::kScalar;
+  MARS_CHECK_MSG(a.size() == 2 && b.size() == 2 && b[0] == 1 && b[1] == a[1],
+                 "incompatible broadcast " << shape_str(a) << " vs "
+                                           << shape_str(b));
+  return Broadcast::kRow;
+}
+
+// Accumulate dOut into a gradient buffer of `b`'s (possibly broadcast) shape.
+void reduce_into(Broadcast kind, const TensorImpl& out, TensorImpl& b,
+                 float sign) {
+  const size_t n = out.data.size();
+  switch (kind) {
+    case Broadcast::kSame:
+      for (size_t i = 0; i < n; ++i) b.grad[i] += sign * out.grad[i];
+      break;
+    case Broadcast::kScalar: {
+      float acc = 0.0f;
+      for (size_t i = 0; i < n; ++i) acc += out.grad[i];
+      b.grad[0] += sign * acc;
+      break;
+    }
+    case Broadcast::kRow: {
+      const size_t cols = static_cast<size_t>(out.shape[1]);
+      for (size_t i = 0; i < n; ++i) b.grad[i % cols] += sign * out.grad[i];
+      break;
+    }
+  }
+}
+
+float bval(const TensorImpl& b, Broadcast kind, size_t i, size_t cols) {
+  switch (kind) {
+    case Broadcast::kSame: return b.data[i];
+    case Broadcast::kScalar: return b.data[0];
+    case Broadcast::kRow: return b.data[i % cols];
+  }
+  return 0.0f;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Broadcast kind = broadcast_kind(a.shape(), b.shape());
+  bool rg = a.requires_grad() || b.requires_grad();
+  Impl ia = a.impl(), ib = b.impl();
+  Tensor out = Tensor::make_result(
+      a.shape(), {ia, ib},
+      [ia, ib, kind](TensorImpl& self) {
+        if (ia->requires_grad) reduce_into(Broadcast::kSame, self, *ia, 1.0f);
+        if (ib->requires_grad) reduce_into(kind, self, *ib, 1.0f);
+      },
+      rg);
+  const size_t cols = a.ndim() == 2 ? static_cast<size_t>(a.cols()) : 1;
+  float* o = out.data();
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i)
+    o[i] = pa[i] + bval(*ib, kind, static_cast<size_t>(i), cols);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Broadcast kind = broadcast_kind(a.shape(), b.shape());
+  bool rg = a.requires_grad() || b.requires_grad();
+  Impl ia = a.impl(), ib = b.impl();
+  Tensor out = Tensor::make_result(
+      a.shape(), {ia, ib},
+      [ia, ib, kind](TensorImpl& self) {
+        if (ia->requires_grad) reduce_into(Broadcast::kSame, self, *ia, 1.0f);
+        if (ib->requires_grad) reduce_into(kind, self, *ib, -1.0f);
+      },
+      rg);
+  const size_t cols = a.ndim() == 2 ? static_cast<size_t>(a.cols()) : 1;
+  float* o = out.data();
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i)
+    o[i] = pa[i] - bval(*ib, kind, static_cast<size_t>(i), cols);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Broadcast kind = broadcast_kind(a.shape(), b.shape());
+  bool rg = a.requires_grad() || b.requires_grad();
+  Impl ia = a.impl(), ib = b.impl();
+  const size_t cols = a.ndim() == 2 ? static_cast<size_t>(a.cols()) : 1;
+  Tensor out = Tensor::make_result(
+      a.shape(), {ia, ib},
+      [ia, ib, kind, cols](TensorImpl& self) {
+        const size_t n = self.data.size();
+        if (ia->requires_grad) {
+          for (size_t i = 0; i < n; ++i)
+            ia->grad[i] += self.grad[i] * bval(*ib, kind, i, cols);
+        }
+        if (ib->requires_grad) {
+          switch (kind) {
+            case Broadcast::kSame:
+              for (size_t i = 0; i < n; ++i)
+                ib->grad[i] += self.grad[i] * ia->data[i];
+              break;
+            case Broadcast::kScalar: {
+              float acc = 0.0f;
+              for (size_t i = 0; i < n; ++i) acc += self.grad[i] * ia->data[i];
+              ib->grad[0] += acc;
+              break;
+            }
+            case Broadcast::kRow:
+              for (size_t i = 0; i < n; ++i)
+                ib->grad[i % cols] += self.grad[i] * ia->data[i];
+              break;
+          }
+        }
+      },
+      rg);
+  float* o = out.data();
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i)
+    o[i] = pa[i] * bval(*ib, kind, static_cast<size_t>(i), cols);
+  return out;
+}
+
+Tensor neg(const Tensor& a) { return scale(a, -1.0f); }
+
+Tensor scale(const Tensor& a, float c) {
+  Impl ia = a.impl();
+  Tensor out = Tensor::make_result(
+      a.shape(), {ia},
+      [ia, c](TensorImpl& self) {
+        for (size_t i = 0; i < self.data.size(); ++i)
+          ia->grad[i] += c * self.grad[i];
+      },
+      a.requires_grad());
+  const float* pa = a.data();
+  float* o = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) o[i] = c * pa[i];
+  return out;
+}
+
+Tensor add_scalar(const Tensor& a, float c) {
+  Impl ia = a.impl();
+  Tensor out = Tensor::make_result(
+      a.shape(), {ia},
+      [ia](TensorImpl& self) {
+        for (size_t i = 0; i < self.data.size(); ++i)
+          ia->grad[i] += self.grad[i];
+      },
+      a.requires_grad());
+  const float* pa = a.data();
+  float* o = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) o[i] = pa[i] + c;
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  MARS_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  MARS_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch "
+                                           << shape_str(a.shape()) << " @ "
+                                           << shape_str(b.shape()));
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Impl ia = a.impl(), ib = b.impl();
+  bool rg = a.requires_grad() || b.requires_grad();
+  Tensor out = Tensor::make_result(
+      {m, n}, {ia, ib},
+      [ia, ib, m, k, n](TensorImpl& self) {
+        // dA = dC @ B^T
+        if (ia->requires_grad) {
+          const float* dc = self.grad.data();
+          const float* pb = ib->data.data();
+          float* da = ia->grad.data();
+#pragma omp parallel for if (m * k * n > 1 << 18)
+          for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              const float g = dc[i * n + j];
+              if (g == 0.0f) continue;
+              const float* brow = pb + j;  // column j of B, strided
+              float* darow = da + i * k;
+              for (int64_t l = 0; l < k; ++l)
+                darow[l] += g * brow[l * n];
+            }
+          }
+        }
+        // dB = A^T @ dC
+        if (ib->requires_grad) {
+          const float* dc = self.grad.data();
+          const float* pa = ia->data.data();
+          float* db = ib->grad.data();
+#pragma omp parallel for if (m * k * n > 1 << 18)
+          for (int64_t l = 0; l < k; ++l) {
+            for (int64_t i = 0; i < m; ++i) {
+              const float av = pa[i * k + l];
+              if (av == 0.0f) continue;
+              const float* dcrow = dc + i * n;
+              float* dbrow = db + l * n;
+              for (int64_t j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+            }
+          }
+        }
+      },
+      rg);
+  // Forward: C = A @ B with an i-k-j loop (streams B rows; cache friendly).
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+#pragma omp parallel for if (m * k * n > 1 << 18)
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (int64_t l = 0; l < k; ++l) {
+      const float av = pa[i * k + l];
+      if (av == 0.0f) continue;
+      const float* brow = pb + l * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  MARS_CHECK(a.ndim() == 2);
+  const int64_t m = a.rows(), n = a.cols();
+  Impl ia = a.impl();
+  Tensor out = Tensor::make_result(
+      {n, m}, {ia},
+      [ia, m, n](TensorImpl& self) {
+        for (int64_t i = 0; i < n; ++i)
+          for (int64_t j = 0; j < m; ++j)
+            ia->grad[j * n + i] += self.grad[i * m + j];
+      },
+      a.requires_grad());
+  const float* pa = a.data();
+  float* o = out.data();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) o[j * m + i] = pa[i * n + j];
+  return out;
+}
+
+namespace {
+// Shared plumbing for elementwise unary ops whose backward is a function of
+// the *output* value (sigmoid, tanh, exp) or input value (relu, log).
+template <typename Fwd, typename Bwd>
+Tensor unary_op(const Tensor& a, Fwd fwd, Bwd bwd_from_inout) {
+  Impl ia = a.impl();
+  Tensor out = Tensor::make_result(
+      a.shape(), {ia},
+      [ia, bwd_from_inout](TensorImpl& self) {
+        for (size_t i = 0; i < self.data.size(); ++i)
+          ia->grad[i] +=
+              self.grad[i] * bwd_from_inout(ia->data[i], self.data[i]);
+      },
+      a.requires_grad());
+  const float* pa = a.data();
+  float* o = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) o[i] = fwd(pa[i]);
+  return out;
+}
+}  // namespace
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(
+      a,
+      [](float x) {
+        return x >= 0 ? 1.0f / (1.0f + std::exp(-x))
+                      : std::exp(x) / (1.0f + std::exp(x));
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::tanh(x); },
+                  [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_op(a, [](float x) { return x > 0 ? x : 0.0f; },
+                  [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor exp_op(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::exp(x); },
+                  [](float, float y) { return y; });
+}
+
+Tensor log_op(const Tensor& a, float eps) {
+  return unary_op(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+Tensor gelu(const Tensor& a) {
+  // tanh approximation of GELU; backward derived from the same formula.
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  return unary_op(
+      a,
+      [](float x) {
+        float t = std::tanh(kC * (x + 0.044715f * x * x * x));
+        return 0.5f * x * (1.0f + t);
+      },
+      [](float x, float) {
+        float u = kC * (x + 0.044715f * x * x * x);
+        float t = std::tanh(u);
+        float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      });
+}
+
+Tensor prelu(const Tensor& a, const Tensor& alpha) {
+  MARS_CHECK_MSG(alpha.numel() == 1, "prelu expects scalar alpha");
+  Impl ia = a.impl(), ial = alpha.impl();
+  bool rg = a.requires_grad() || alpha.requires_grad();
+  Tensor out = Tensor::make_result(
+      a.shape(), {ia, ial},
+      [ia, ial](TensorImpl& self) {
+        const float al = ial->data[0];
+        float dal = 0.0f;
+        for (size_t i = 0; i < self.data.size(); ++i) {
+          const float x = ia->data[i];
+          if (ia->requires_grad)
+            ia->grad[i] += self.grad[i] * (x > 0 ? 1.0f : al);
+          if (x <= 0) dal += self.grad[i] * x;
+        }
+        if (ial->requires_grad) ial->grad[0] += dal;
+      },
+      rg);
+  const float al = alpha.item();
+  const float* pa = a.data();
+  float* o = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i)
+    o[i] = pa[i] > 0 ? pa[i] : al * pa[i];
+  return out;
+}
+
+Tensor sum_all(const Tensor& a) {
+  Impl ia = a.impl();
+  Tensor out = Tensor::make_result(
+      {1, 1}, {ia},
+      [ia](TensorImpl& self) {
+        const float g = self.grad[0];
+        for (auto& gi : ia->grad) gi += g;
+      },
+      a.requires_grad());
+  double acc = 0.0;
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += pa[i];
+  out.data()[0] = static_cast<float>(acc);
+  return out;
+}
+
+Tensor mean_all(const Tensor& a) {
+  return scale(sum_all(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor mean_rows(const Tensor& a) {
+  MARS_CHECK(a.ndim() == 2);
+  const int64_t n = a.rows(), c = a.cols();
+  Impl ia = a.impl();
+  Tensor out = Tensor::make_result(
+      {1, c}, {ia},
+      [ia, n, c](TensorImpl& self) {
+        const float inv = 1.0f / static_cast<float>(n);
+        for (int64_t i = 0; i < n; ++i)
+          for (int64_t j = 0; j < c; ++j)
+            ia->grad[i * c + j] += inv * self.grad[j];
+      },
+      a.requires_grad());
+  const float* pa = a.data();
+  float* o = out.data();
+  const float inv = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < c; ++j) o[j] += pa[i * c + j] * inv;
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  MARS_CHECK(a.ndim() == 2);
+  const int64_t n = a.rows(), c = a.cols();
+  Impl ia = a.impl();
+  Tensor out = Tensor::make_result(
+      {n, c}, {ia},
+      [ia, n, c](TensorImpl& self) {
+        // dx_i = y_i * (dy_i - sum_j dy_j y_j), per row.
+        for (int64_t r = 0; r < n; ++r) {
+          const float* y = self.data.data() + r * c;
+          const float* dy = self.grad.data() + r * c;
+          float dot = 0.0f;
+          for (int64_t j = 0; j < c; ++j) dot += dy[j] * y[j];
+          float* dx = ia->grad.data() + r * c;
+          for (int64_t j = 0; j < c; ++j) dx[j] += y[j] * (dy[j] - dot);
+        }
+      },
+      a.requires_grad());
+  const float* pa = a.data();
+  float* o = out.data();
+  for (int64_t r = 0; r < n; ++r) {
+    const float* x = pa + r * c;
+    float* y = o + r * c;
+    float mx = x[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, x[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      sum += y[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < c; ++j) y[j] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& a) {
+  MARS_CHECK(a.ndim() == 2);
+  const int64_t n = a.rows(), c = a.cols();
+  Impl ia = a.impl();
+  Tensor out = Tensor::make_result(
+      {n, c}, {ia},
+      [ia, n, c](TensorImpl& self) {
+        // dx_i = dy_i - softmax_i * sum_j dy_j, per row.
+        for (int64_t r = 0; r < n; ++r) {
+          const float* ly = self.data.data() + r * c;
+          const float* dy = self.grad.data() + r * c;
+          float gsum = 0.0f;
+          for (int64_t j = 0; j < c; ++j) gsum += dy[j];
+          float* dx = ia->grad.data() + r * c;
+          for (int64_t j = 0; j < c; ++j)
+            dx[j] += dy[j] - std::exp(ly[j]) * gsum;
+        }
+      },
+      a.requires_grad());
+  const float* pa = a.data();
+  float* o = out.data();
+  for (int64_t r = 0; r < n; ++r) {
+    const float* x = pa + r * c;
+    float* y = o + r * c;
+    float mx = x[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, x[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < c; ++j) sum += std::exp(x[j] - mx);
+    const float lse = mx + std::log(sum);
+    for (int64_t j = 0; j < c; ++j) y[j] = x[j] - lse;
+  }
+  return out;
+}
+
+Tensor layer_norm_rows(const Tensor& a, const Tensor& gamma,
+                       const Tensor& beta, float eps) {
+  MARS_CHECK(a.ndim() == 2);
+  const int64_t n = a.rows(), c = a.cols();
+  MARS_CHECK(gamma.numel() == c && beta.numel() == c);
+  Impl ia = a.impl(), ig = gamma.impl(), ibt = beta.impl();
+  bool rg = a.requires_grad() || gamma.requires_grad() || beta.requires_grad();
+  // Cache per-row mean and inverse stddev for the backward pass.
+  auto stats = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(2 * n));
+  Tensor out = Tensor::make_result(
+      {n, c}, {ia, ig, ibt},
+      [ia, ig, ibt, stats, n, c](TensorImpl& self) {
+        for (int64_t r = 0; r < n; ++r) {
+          const float mu = (*stats)[static_cast<size_t>(2 * r)];
+          const float rstd = (*stats)[static_cast<size_t>(2 * r + 1)];
+          const float* x = ia->data.data() + r * c;
+          const float* dy = self.grad.data() + r * c;
+          // xhat_j = (x_j - mu) * rstd; y = gamma * xhat + beta
+          float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
+          for (int64_t j = 0; j < c; ++j) {
+            const float xhat = (x[j] - mu) * rstd;
+            const float dxhat = dy[j] * ig->data[j];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xhat;
+            if (ig->requires_grad) ig->grad[j] += dy[j] * xhat;
+            if (ibt->requires_grad) ibt->grad[j] += dy[j];
+          }
+          if (ia->requires_grad) {
+            float* dx = ia->grad.data() + r * c;
+            const float invc = 1.0f / static_cast<float>(c);
+            for (int64_t j = 0; j < c; ++j) {
+              const float xhat = (x[j] - mu) * rstd;
+              const float dxhat = dy[j] * ig->data[j];
+              dx[j] += rstd * (dxhat - invc * sum_dxhat -
+                               xhat * invc * sum_dxhat_xhat);
+            }
+          }
+        }
+      },
+      rg);
+  const float* pa = a.data();
+  float* o = out.data();
+  for (int64_t r = 0; r < n; ++r) {
+    const float* x = pa + r * c;
+    float mu = 0.0f;
+    for (int64_t j = 0; j < c; ++j) mu += x[j];
+    mu /= static_cast<float>(c);
+    float var = 0.0f;
+    for (int64_t j = 0; j < c; ++j) var += (x[j] - mu) * (x[j] - mu);
+    var /= static_cast<float>(c);
+    const float rstd = 1.0f / std::sqrt(var + eps);
+    (*stats)[static_cast<size_t>(2 * r)] = mu;
+    (*stats)[static_cast<size_t>(2 * r + 1)] = rstd;
+    float* y = o + r * c;
+    for (int64_t j = 0; j < c; ++j)
+      y[j] = gamma.data()[j] * (x[j] - mu) * rstd + beta.data()[j];
+  }
+  return out;
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  MARS_CHECK(!parts.empty());
+  const int64_t c = parts[0].cols();
+  int64_t total = 0;
+  bool rg = false;
+  std::vector<Impl> impls;
+  impls.reserve(parts.size());
+  for (const auto& p : parts) {
+    MARS_CHECK(p.ndim() == 2 && p.cols() == c);
+    total += p.rows();
+    rg = rg || p.requires_grad();
+    impls.push_back(p.impl());
+  }
+  Tensor out = Tensor::make_result(
+      {total, c}, impls,
+      [impls, c](TensorImpl& self) {
+        int64_t off = 0;
+        for (const auto& p : impls) {
+          const int64_t rows = p->shape[0];
+          if (p->requires_grad) {
+            for (int64_t i = 0; i < rows * c; ++i)
+              p->grad[static_cast<size_t>(i)] +=
+                  self.grad[static_cast<size_t>(off + i)];
+          }
+          off += rows * c;
+        }
+      },
+      rg);
+  float* o = out.data();
+  int64_t off = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data(), p.data() + p.numel(), o + off);
+    off += p.numel();
+  }
+  return out;
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  MARS_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.rows() == b.rows());
+  const int64_t n = a.rows(), ca = a.cols(), cb = b.cols();
+  Impl ia = a.impl(), ib = b.impl();
+  bool rg = a.requires_grad() || b.requires_grad();
+  Tensor out = Tensor::make_result(
+      {n, ca + cb}, {ia, ib},
+      [ia, ib, n, ca, cb](TensorImpl& self) {
+        for (int64_t r = 0; r < n; ++r) {
+          const float* g = self.grad.data() + r * (ca + cb);
+          if (ia->requires_grad)
+            for (int64_t j = 0; j < ca; ++j) ia->grad[r * ca + j] += g[j];
+          if (ib->requires_grad)
+            for (int64_t j = 0; j < cb; ++j) ib->grad[r * cb + j] += g[ca + j];
+        }
+      },
+      rg);
+  float* o = out.data();
+  for (int64_t r = 0; r < n; ++r) {
+    std::copy(a.data() + r * ca, a.data() + (r + 1) * ca, o + r * (ca + cb));
+    std::copy(b.data() + r * cb, b.data() + (r + 1) * cb,
+              o + r * (ca + cb) + ca);
+  }
+  return out;
+}
+
+Tensor slice_rows(const Tensor& a, int64_t r0, int64_t r1) {
+  MARS_CHECK(a.ndim() == 2);
+  MARS_CHECK_MSG(0 <= r0 && r0 < r1 && r1 <= a.rows(),
+                 "slice_rows [" << r0 << ", " << r1 << ") of "
+                                << shape_str(a.shape()));
+  const int64_t c = a.cols();
+  Impl ia = a.impl();
+  Tensor out = Tensor::make_result(
+      {r1 - r0, c}, {ia},
+      [ia, r0, r1, c](TensorImpl& self) {
+        for (int64_t i = 0; i < (r1 - r0) * c; ++i)
+          ia->grad[static_cast<size_t>(r0 * c + i)] +=
+              self.grad[static_cast<size_t>(i)];
+      },
+      a.requires_grad());
+  std::copy(a.data() + r0 * c, a.data() + r1 * c, out.data());
+  return out;
+}
+
+Tensor slice_cols(const Tensor& a, int64_t c0, int64_t c1) {
+  MARS_CHECK(a.ndim() == 2);
+  MARS_CHECK_MSG(0 <= c0 && c0 < c1 && c1 <= a.cols(),
+                 "slice_cols [" << c0 << ", " << c1 << ") of "
+                                << shape_str(a.shape()));
+  const int64_t n = a.rows(), c = a.cols(), w = c1 - c0;
+  Impl ia = a.impl();
+  Tensor out = Tensor::make_result(
+      {n, w}, {ia},
+      [ia, c0, c, w, n](TensorImpl& self) {
+        for (int64_t r = 0; r < n; ++r)
+          for (int64_t j = 0; j < w; ++j)
+            ia->grad[static_cast<size_t>(r * c + c0 + j)] +=
+                self.grad[static_cast<size_t>(r * w + j)];
+      },
+      a.requires_grad());
+  float* o = out.data();
+  for (int64_t r = 0; r < n; ++r)
+    std::copy(a.data() + r * c + c0, a.data() + r * c + c1, o + r * w);
+  return out;
+}
+
+Tensor gather_rows(const Tensor& a, const std::vector<int>& idx) {
+  MARS_CHECK(a.ndim() == 2);
+  const int64_t c = a.cols();
+  const int64_t n = static_cast<int64_t>(idx.size());
+  for (int i : idx) MARS_CHECK(i >= 0 && i < a.rows());
+  Impl ia = a.impl();
+  auto idx_copy = std::make_shared<std::vector<int>>(idx);
+  Tensor out = Tensor::make_result(
+      {n, c}, {ia},
+      [ia, idx_copy, c](TensorImpl& self) {
+        for (size_t r = 0; r < idx_copy->size(); ++r) {
+          const int src = (*idx_copy)[r];
+          for (int64_t j = 0; j < c; ++j)
+            ia->grad[static_cast<size_t>(src * c + j)] +=
+                self.grad[r * static_cast<size_t>(c) + static_cast<size_t>(j)];
+        }
+      },
+      a.requires_grad());
+  float* o = out.data();
+  for (int64_t r = 0; r < n; ++r)
+    std::copy(a.data() + idx[static_cast<size_t>(r)] * c,
+              a.data() + (idx[static_cast<size_t>(r)] + 1) * c, o + r * c);
+  return out;
+}
+
+Tensor gather_per_row(const Tensor& a, const std::vector<int>& idx) {
+  MARS_CHECK(a.ndim() == 2);
+  MARS_CHECK(static_cast<int64_t>(idx.size()) == a.rows());
+  const int64_t c = a.cols();
+  for (int i : idx) MARS_CHECK(i >= 0 && i < c);
+  Impl ia = a.impl();
+  auto idx_copy = std::make_shared<std::vector<int>>(idx);
+  Tensor out = Tensor::make_result(
+      {a.rows(), 1}, {ia},
+      [ia, idx_copy, c](TensorImpl& self) {
+        for (size_t r = 0; r < idx_copy->size(); ++r)
+          ia->grad[r * static_cast<size_t>(c) +
+                   static_cast<size_t>((*idx_copy)[r])] += self.grad[r];
+      },
+      a.requires_grad());
+  float* o = out.data();
+  for (size_t r = 0; r < idx.size(); ++r)
+    o[r] = a.data()[r * static_cast<size_t>(c) + static_cast<size_t>(idx[r])];
+  return out;
+}
+
+Tensor reshape(const Tensor& a, const Shape& shape) {
+  int64_t n = 1;
+  for (auto d : shape) n *= d;
+  MARS_CHECK_MSG(n == a.numel(), "reshape " << shape_str(a.shape()) << " -> "
+                                            << shape_str(shape));
+  Impl ia = a.impl();
+  Tensor out = Tensor::make_result(
+      shape, {ia},
+      [ia](TensorImpl& self) {
+        for (size_t i = 0; i < self.data.size(); ++i)
+          ia->grad[i] += self.grad[i];
+      },
+      a.requires_grad());
+  std::copy(a.data(), a.data() + a.numel(), out.data());
+  return out;
+}
+
+Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
+  MARS_CHECK(logits.shape() == targets.shape());
+  const int64_t n = logits.numel();
+  Impl il = logits.impl(), it = targets.impl();
+  Tensor out = Tensor::make_result(
+      {1, 1}, {il, it},
+      [il, it, n](TensorImpl& self) {
+        if (!il->requires_grad) return;
+        const float g = self.grad[0] / static_cast<float>(n);
+        for (int64_t i = 0; i < n; ++i) {
+          const float z = il->data[static_cast<size_t>(i)];
+          const float p = z >= 0 ? 1.0f / (1.0f + std::exp(-z))
+                                 : std::exp(z) / (1.0f + std::exp(z));
+          il->grad[static_cast<size_t>(i)] +=
+              g * (p - it->data[static_cast<size_t>(i)]);
+        }
+      },
+      logits.requires_grad());
+  // loss_i = max(z,0) - z*t + log(1 + exp(-|z|))
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float z = logits.data()[i];
+    const float t = targets.data()[i];
+    acc += std::max(z, 0.0f) - z * t + std::log1p(std::exp(-std::abs(z)));
+  }
+  out.data()[0] = static_cast<float>(acc / static_cast<double>(n));
+  return out;
+}
+
+std::vector<int> argmax_rows(const Tensor& a) {
+  MARS_CHECK(a.ndim() == 2);
+  std::vector<int> out(static_cast<size_t>(a.rows()));
+  const int64_t c = a.cols();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* x = a.data() + r * c;
+    out[static_cast<size_t>(r)] = static_cast<int>(
+        std::max_element(x, x + c) - x);
+  }
+  return out;
+}
+
+std::vector<int> sample_rows(const Tensor& logits, Rng& rng,
+                             float temperature) {
+  MARS_CHECK(logits.ndim() == 2);
+  MARS_CHECK(temperature > 0.0f);
+  const int64_t n = logits.rows(), c = logits.cols();
+  std::vector<int> out(static_cast<size_t>(n));
+  std::vector<double> w(static_cast<size_t>(c));
+  for (int64_t r = 0; r < n; ++r) {
+    const float* x = logits.data() + r * c;
+    float mx = x[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, x[j]);
+    for (int64_t j = 0; j < c; ++j)
+      w[static_cast<size_t>(j)] = std::exp((x[j] - mx) / temperature);
+    out[static_cast<size_t>(r)] = static_cast<int>(rng.categorical(w));
+  }
+  return out;
+}
+
+double sum_squares(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += double(p[i]) * double(p[i]);
+  return acc;
+}
+
+}  // namespace mars

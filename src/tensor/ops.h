@@ -1,0 +1,79 @@
+// Differentiable tensor operations.
+//
+// All functions build autograd graph edges when any input requires grad;
+// otherwise they produce detached results (the graph is pruned at
+// construction, so inference passes carry no tape overhead).
+//
+// Shape conventions: tensors are 2-D matrices unless noted. Broadcasts
+// supported by add/sub/mul: same shape, row vector [1, C] against [N, C],
+// and scalar [1, 1] against anything.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mars {
+
+// ---- Arithmetic ------------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);  // elementwise
+Tensor neg(const Tensor& a);
+Tensor scale(const Tensor& a, float c);
+Tensor add_scalar(const Tensor& a, float c);
+
+// ---- Linear algebra ---------------------------------------------------
+/// C[m,n] = A[m,k] @ B[k,n]. OpenMP-parallel over rows for large problems.
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor transpose2d(const Tensor& a);
+
+// ---- Nonlinearities ---------------------------------------------------
+Tensor sigmoid(const Tensor& a);
+Tensor tanh_op(const Tensor& a);
+Tensor relu(const Tensor& a);
+/// PReLU with a learned scalar slope `alpha` (shape [1,1]) for x < 0.
+Tensor prelu(const Tensor& a, const Tensor& alpha);
+Tensor exp_op(const Tensor& a);
+/// Natural log; inputs are clamped to >= eps for stability.
+Tensor log_op(const Tensor& a, float eps = 1e-12f);
+Tensor gelu(const Tensor& a);
+
+// ---- Reductions & normalization ----------------------------------------
+Tensor sum_all(const Tensor& a);   // -> [1,1]
+Tensor mean_all(const Tensor& a);  // -> [1,1]
+Tensor mean_rows(const Tensor& a); // [N,C] -> [1,C]
+/// Row-wise softmax / log-softmax over the last dimension of a 2-D tensor.
+Tensor softmax_rows(const Tensor& a);
+Tensor log_softmax_rows(const Tensor& a);
+/// Row-wise layer normalization with learned affine (gamma/beta are [1,C]).
+Tensor layer_norm_rows(const Tensor& a, const Tensor& gamma,
+                       const Tensor& beta, float eps = 1e-5f);
+
+// ---- Shape manipulation -------------------------------------------------
+Tensor concat_rows(const std::vector<Tensor>& parts);
+Tensor concat_cols(const Tensor& a, const Tensor& b);
+Tensor slice_rows(const Tensor& a, int64_t r0, int64_t r1);
+Tensor slice_cols(const Tensor& a, int64_t c0, int64_t c1);
+/// out[i, :] = a[idx[i], :]; duplicate indices accumulate gradient.
+Tensor gather_rows(const Tensor& a, const std::vector<int>& idx);
+/// out[i, 0] = a[i, idx[i]]; picks one column per row (action log-probs).
+Tensor gather_per_row(const Tensor& a, const std::vector<int>& idx);
+/// Copy reshape; numel must match.
+Tensor reshape(const Tensor& a, const Shape& shape);
+
+// ---- Losses -----------------------------------------------------------
+/// Numerically stable mean binary cross-entropy with logits.
+/// `targets` is a constant tensor of the same shape (no grad to targets).
+Tensor bce_with_logits(const Tensor& logits, const Tensor& targets);
+
+// ---- Non-differentiable helpers -----------------------------------------
+/// argmax per row.
+std::vector<int> argmax_rows(const Tensor& a);
+/// Sample one index per row from row-wise softmax(logits / temperature).
+std::vector<int> sample_rows(const Tensor& logits, Rng& rng,
+                             float temperature = 1.0f);
+/// Sum of squares of all elements (data, not grad).
+double sum_squares(const Tensor& a);
+
+}  // namespace mars

@@ -1,0 +1,81 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mars {
+
+Csr::Csr(int n, std::vector<Entry> entries) : n_(n) {
+  MARS_CHECK(n >= 0);
+  // Sum duplicates and sort into row-major order.
+  std::map<std::pair<int, int>, float> cells;
+  for (const auto& e : entries) {
+    MARS_CHECK_MSG(e.row >= 0 && e.row < n && e.col >= 0 && e.col < n,
+                   "CSR entry (" << e.row << "," << e.col << ") out of [0,"
+                                 << n << ")");
+    cells[{e.row, e.col}] += e.value;
+  }
+  row_ptr_.assign(static_cast<size_t>(n) + 1, 0);
+  col_idx_.reserve(cells.size());
+  values_.reserve(cells.size());
+  for (const auto& [rc, v] : cells) {
+    row_ptr_[static_cast<size_t>(rc.first) + 1]++;
+    col_idx_.push_back(rc.second);
+    values_.push_back(v);
+  }
+  for (size_t i = 1; i < row_ptr_.size(); ++i) row_ptr_[i] += row_ptr_[i - 1];
+}
+
+const Csr& Csr::transposed() const {
+  if (!transpose_cache_) {
+    std::vector<Entry> entries;
+    entries.reserve(static_cast<size_t>(nnz()));
+    for (int r = 0; r < n_; ++r) {
+      for (int k = row_ptr_[static_cast<size_t>(r)];
+           k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+        entries.push_back({col_idx_[static_cast<size_t>(k)], r,
+                           values_[static_cast<size_t>(k)]});
+      }
+    }
+    transpose_cache_ = std::shared_ptr<Csr>(new Csr(n_, std::move(entries)));
+  }
+  return *transpose_cache_;
+}
+
+void Csr::multiply(const float* x, int64_t f, float* y) const {
+#pragma omp parallel for if (nnz() * f > 1 << 18)
+  for (int r = 0; r < n_; ++r) {
+    float* yrow = y + static_cast<int64_t>(r) * f;
+    std::fill(yrow, yrow + f, 0.0f);
+    for (int k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      const float v = values_[static_cast<size_t>(k)];
+      const float* xrow =
+          x + static_cast<int64_t>(col_idx_[static_cast<size_t>(k)]) * f;
+      for (int64_t j = 0; j < f; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+}
+
+Tensor spmm(const std::shared_ptr<const Csr>& a, const Tensor& x) {
+  MARS_CHECK(x.ndim() == 2);
+  MARS_CHECK_MSG(a->n() == x.rows(), "spmm: A is " << a->n() << "x" << a->n()
+                                                   << ", X is "
+                                                   << shape_str(x.shape()));
+  const int64_t f = x.cols();
+  auto ix = x.impl();
+  Tensor out = Tensor::make_result(
+      {x.rows(), f}, {ix},
+      [a, ix, f](detail::TensorImpl& self) {
+        // dX = A^T @ dY; accumulate rather than overwrite.
+        const Csr& at = a->transposed();
+        std::vector<float> tmp(self.grad.size());
+        at.multiply(self.grad.data(), f, tmp.data());
+        for (size_t i = 0; i < tmp.size(); ++i) ix->grad[i] += tmp[i];
+      },
+      x.requires_grad());
+  a->multiply(x.data(), f, out.data());
+  return out;
+}
+
+}  // namespace mars

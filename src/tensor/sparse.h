@@ -1,0 +1,53 @@
+// Compressed-sparse-row matrices for graph aggregation (GCN / GraphSAGE).
+//
+// A Csr holds both the matrix and its transpose so that sparse-dense
+// products can backpropagate (dX = A^T dY) regardless of symmetry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mars {
+
+/// Immutable CSR matrix of shape [n, n] (square: graph adjacency).
+class Csr {
+ public:
+  struct Entry {
+    int row;
+    int col;
+    float value;
+  };
+
+  /// Builds from COO entries (duplicates are summed).
+  Csr(int n, std::vector<Entry> entries);
+
+  int n() const { return n_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// The transposed matrix (cached; shared between copies).
+  const Csr& transposed() const;
+
+  /// y = A @ x for a dense row-major [n, f] matrix (no autograd).
+  void multiply(const float* x, int64_t f, float* y) const;
+
+ private:
+  Csr() = default;
+  int n_ = 0;
+  std::vector<int> row_ptr_;
+  std::vector<int> col_idx_;
+  std::vector<float> values_;
+  mutable std::shared_ptr<Csr> transpose_cache_;
+};
+
+/// Differentiable sparse-dense product: out[n,f] = A[n,n] @ x[n,f].
+/// The Csr must outlive the autograd graph (pass via shared_ptr).
+Tensor spmm(const std::shared_ptr<const Csr>& a, const Tensor& x);
+
+}  // namespace mars

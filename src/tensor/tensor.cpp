@@ -1,0 +1,169 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace mars {
+
+namespace {
+std::shared_ptr<detail::TensorImpl> new_impl(const Shape& shape,
+                                             bool requires_grad) {
+  auto impl = std::make_shared<detail::TensorImpl>();
+  impl->shape = shape;
+  impl->requires_grad = requires_grad;
+  int64_t n = impl->numel();
+  MARS_CHECK_MSG(n >= 0, "negative tensor size");
+  impl->data.assign(static_cast<size_t>(n), 0.0f);
+  return impl;
+}
+}  // namespace
+
+Tensor Tensor::zeros(const Shape& shape, bool requires_grad) {
+  return Tensor(new_impl(shape, requires_grad));
+}
+
+Tensor Tensor::full(const Shape& shape, float value, bool requires_grad) {
+  auto impl = new_impl(shape, requires_grad);
+  std::fill(impl->data.begin(), impl->data.end(), value);
+  return Tensor(impl);
+}
+
+Tensor Tensor::from_vector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad) {
+  auto impl = new_impl(shape, requires_grad);
+  MARS_CHECK_MSG(static_cast<int64_t>(values.size()) == impl->numel(),
+                 "from_vector: " << values.size() << " values for shape "
+                                 << shape_str(shape));
+  impl->data = std::move(values);
+  return Tensor(impl);
+}
+
+Tensor Tensor::randn(const Shape& shape, Rng& rng, float stddev,
+                     bool requires_grad) {
+  auto impl = new_impl(shape, requires_grad);
+  for (auto& v : impl->data)
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  return Tensor(impl);
+}
+
+Tensor Tensor::uniform(const Shape& shape, Rng& rng, float lo, float hi,
+                       bool requires_grad) {
+  auto impl = new_impl(shape, requires_grad);
+  for (auto& v : impl->data) v = static_cast<float>(rng.uniform(lo, hi));
+  return Tensor(impl);
+}
+
+Tensor Tensor::scalar(float value, bool requires_grad) {
+  return full({1, 1}, value, requires_grad);
+}
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+bool grad_enabled() { return g_grad_enabled; }
+
+Tensor Tensor::make_result(
+    const Shape& shape,
+    std::vector<std::shared_ptr<detail::TensorImpl>> parents,
+    std::function<void(detail::TensorImpl&)> backward_fn, bool requires_grad) {
+  requires_grad = requires_grad && g_grad_enabled;
+  auto impl = new_impl(shape, requires_grad);
+  if (requires_grad) {
+    impl->parents = std::move(parents);
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(impl);
+}
+
+void Tensor::backward() const {
+  MARS_CHECK_MSG(numel() == 1, "backward() requires a scalar loss");
+  MARS_CHECK_MSG(impl_->requires_grad,
+                 "backward() on a tensor that does not require grad");
+
+  // Iterative postorder topological sort over the parent DAG.
+  std::vector<detail::TensorImpl*> order;
+  std::unordered_set<detail::TensorImpl*> visited;
+  std::vector<std::pair<detail::TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      detail::TensorImpl* parent = node->parents[idx].get();
+      ++idx;
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  impl_->ensure_grad();
+  impl_->grad[0] = 1.0f;
+  // Postorder puts the root last; walk it back-to-front.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::TensorImpl* node = *it;
+    if (node->backward_fn) {
+      node->ensure_grad();
+      for (auto& p : node->parents)
+        if (p->requires_grad) p->ensure_grad();
+      node->backward_fn(*node);
+    }
+  }
+}
+
+Tensor Tensor::detach() const {
+  auto impl = std::make_shared<detail::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(impl);
+}
+
+void Tensor::zero_grad() {
+  if (!impl_->grad.empty())
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+void Tensor::fill_(float value) {
+  std::fill(impl_->data.begin(), impl_->data.end(), value);
+}
+
+Tensor Tensor::clone_data() const {
+  auto impl = std::make_shared<detail::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = impl_->requires_grad;
+  return Tensor(impl);
+}
+
+void Tensor::copy_data_from(const Tensor& other) {
+  MARS_CHECK_MSG(numel() == other.numel(),
+                 "copy_data_from: size mismatch " << shape_str(shape())
+                                                  << " vs "
+                                                  << shape_str(other.shape()));
+  impl_->data = other.impl()->data;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace mars

@@ -1,0 +1,149 @@
+// Dense float tensor with tape-free reverse-mode automatic differentiation.
+//
+// Tensors are cheap shared handles to a TensorImpl. Every differentiable op
+// records its parents and a backward closure on the result's impl; calling
+// Tensor::backward() on a scalar loss topologically sorts the implicit graph
+// and accumulates gradients into every reachable impl with requires_grad.
+//
+// The design mirrors what the Mars agent needs: mostly 2-D matrices
+// ([nodes, features], [1, hidden]) flowing through GCN / LSTM / attention
+// layers, with gradient checks in tests/tensor_test.cpp guarding every op.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mars {
+
+using Shape = std::vector<int64_t>;
+
+namespace detail {
+
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // allocated lazily, same length as data
+  bool requires_grad = false;
+
+  // Autograd bookkeeping: parents this value was computed from and the
+  // closure that routes the output gradient back to them.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(TensorImpl&)> backward_fn;
+
+  int64_t numel() const {
+    int64_t n = 1;
+    for (auto d : shape) n *= d;
+    return n;
+  }
+  void ensure_grad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace detail
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // ---- Factories -----------------------------------------------------
+  static Tensor zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor full(const Shape& shape, float value,
+                     bool requires_grad = false);
+  static Tensor from_vector(const Shape& shape, std::vector<float> values,
+                            bool requires_grad = false);
+  /// i.i.d. N(0, stddev^2) entries.
+  static Tensor randn(const Shape& shape, Rng& rng, float stddev,
+                      bool requires_grad = false);
+  /// i.i.d. U(lo, hi) entries.
+  static Tensor uniform(const Shape& shape, Rng& rng, float lo, float hi,
+                        bool requires_grad = false);
+  /// 1x1 scalar constant.
+  static Tensor scalar(float value, bool requires_grad = false);
+
+  // ---- Introspection -------------------------------------------------
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const { return impl_->shape; }
+  int ndim() const { return static_cast<int>(impl_->shape.size()); }
+  int64_t dim(int i) const { return impl_->shape[static_cast<size_t>(i)]; }
+  int64_t numel() const { return impl_->numel(); }
+  int64_t rows() const { return impl_->shape.at(0); }
+  int64_t cols() const { return impl_->shape.at(1); }
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  float* data() { return impl_->data.data(); }
+  const float* data() const { return impl_->data.data(); }
+  /// Gradient buffer (allocated on demand). Only meaningful on leaves after
+  /// backward(), or mid-graph while backward is running.
+  float* grad() {
+    impl_->ensure_grad();
+    return impl_->grad.data();
+  }
+  bool has_grad() const { return !impl_->grad.empty(); }
+
+  /// Value of a scalar (1-element) tensor.
+  float item() const {
+    MARS_CHECK_MSG(numel() == 1, "item() requires a single-element tensor");
+    return impl_->data[0];
+  }
+  float at(int64_t r, int64_t c) const {
+    MARS_CHECK(ndim() == 2);
+    return impl_->data[static_cast<size_t>(r * cols() + c)];
+  }
+
+  // ---- Autograd -------------------------------------------------------
+  /// Backpropagate from this scalar; accumulates into every reachable grad.
+  void backward() const;
+  /// Drop autograd history (keeps data); used when carrying LSTM state
+  /// across PPO epochs without growing the graph.
+  Tensor detach() const;
+  /// Zero this tensor's gradient buffer.
+  void zero_grad();
+  /// In-place fill (leaf tensors only; breaks no graph because leaves have
+  /// no parents).
+  void fill_(float value);
+  /// Deep copy of the data (no autograd history).
+  Tensor clone_data() const;
+  /// Copy values from another tensor of identical shape (no autograd).
+  void copy_data_from(const Tensor& other);
+
+  // Internal: used by op implementations.
+  static Tensor make_result(const Shape& shape,
+                            std::vector<std::shared_ptr<detail::TensorImpl>> parents,
+                            std::function<void(detail::TensorImpl&)> backward_fn,
+                            bool requires_grad);
+  std::shared_ptr<detail::TensorImpl> impl() const { return impl_; }
+
+ private:
+  explicit Tensor(std::shared_ptr<detail::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+  std::shared_ptr<detail::TensorImpl> impl_;
+};
+
+/// Human-readable shape, e.g. "[3, 4]".
+std::string shape_str(const Shape& shape);
+
+/// RAII guard disabling autograd graph construction on this thread.
+/// Forward passes under the guard produce detached tensors (used for
+/// action sampling, where gradients are never needed).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Whether autograd recording is currently enabled on this thread.
+bool grad_enabled();
+
+}  // namespace mars

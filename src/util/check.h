@@ -1,0 +1,45 @@
+// Lightweight runtime assertion macros that stay enabled in release builds.
+//
+// Simulator and tensor-library invariants guard against silent numerical
+// corruption, so they are always checked (unlike assert()).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mars {
+
+/// Thrown by MARS_CHECK failures; carries the failing expression and context.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mars
+
+#define MARS_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::mars::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define MARS_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream _mars_os;                                    \
+      _mars_os << msg;                                                \
+      ::mars::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   _mars_os.str());                   \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,65 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace mars {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      MARS_WARN << "ignoring positional argument: " << arg;
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& def) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int CliArgs::get_int(const std::string& name, int def) const {
+  auto s = get(name, "");
+  return s.empty() ? def : std::atoi(s.c_str());
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  auto s = get(name, "");
+  return s.empty() ? def : std::atof(s.c_str());
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def) const {
+  auto s = get(name, "");
+  if (s.empty()) return def;
+  return s == "true" || s == "1" || s == "yes";
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    if (!queried_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace mars

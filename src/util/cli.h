@@ -1,0 +1,30 @@
+// Tiny command-line flag parser for bench/example binaries.
+//
+// Supports `--name value` and `--name=value`; unknown flags are reported.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mars {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Flags that were passed but never queried (typo detection).
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace mars

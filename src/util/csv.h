@@ -1,0 +1,33 @@
+// CSV emission for benchmark series (Fig. 7 curves etc.).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mars {
+
+/// Writes rows of mixed string/number cells with proper quoting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& cells);
+  /// Convenience: formats doubles with %.6g.
+  void write_row_numeric(const std::string& label,
+                         const std::vector<double>& values);
+  bool ok() const { return static_cast<bool>(out_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace mars

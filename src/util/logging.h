@@ -1,0 +1,43 @@
+// Minimal leveled logger writing to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mars {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mars
+
+#define MARS_LOG(level) ::mars::detail::LogLine(::mars::LogLevel::level)
+#define MARS_DEBUG MARS_LOG(kDebug)
+#define MARS_INFO MARS_LOG(kInfo)
+#define MARS_WARN MARS_LOG(kWarn)
+#define MARS_ERROR MARS_LOG(kError)

@@ -1,0 +1,123 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components in the library (weight init, placement sampling,
+// graph corruption, simulator noise) draw from an explicitly passed Rng so
+// that every experiment is reproducible from a single seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mars {
+
+/// xoshiro256++ with splitmix64 seeding. Fast, high-quality, and
+/// deterministic across platforms (unlike std::default_random_engine).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    // splitmix64 to fill the state; avoids all-zero states.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t next_u64() {
+    const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  uint64_t uniform_int(uint64_t n) {
+    MARS_CHECK(n > 0);
+    // Lemire's nearly-divisionless bounded sampling.
+    uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state replayable).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Lognormal with underlying normal(mu, sigma).
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Sample an index from an (unnormalized, nonnegative) weight vector.
+  size_t categorical(const std::vector<double>& weights) {
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    MARS_CHECK_MSG(total > 0.0, "categorical weights must have positive sum");
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;  // floating-point edge: return the last bin
+  }
+
+  /// Random permutation of [0, n).
+  std::vector<int> permutation(int n) {
+    std::vector<int> p(n);
+    std::iota(p.begin(), p.end(), 0);
+    for (int i = n - 1; i > 0; --i) {
+      int j = static_cast<int>(uniform_int(static_cast<uint64_t>(i) + 1));
+      std::swap(p[i], p[j]);
+    }
+    return p;
+  }
+
+  /// Derive an independent child stream (for per-thread / per-trial use).
+  Rng split() { return Rng(next_u64() ^ 0xd1342543de82ef95ull); }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace mars

@@ -1,0 +1,22 @@
+// Wall-clock stopwatch for agent-compute accounting (Fig. 8).
+#pragma once
+
+#include <chrono>
+
+namespace mars {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mars

@@ -1,0 +1,174 @@
+#include "workloads/builder.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace mars {
+
+namespace {
+int64_t elems(const std::vector<int64_t>& shape) {
+  return std::accumulate(shape.begin(), shape.end(), int64_t{1},
+                         [](int64_t a, int64_t b) { return a * b; });
+}
+}  // namespace
+
+int GraphBuilder::op(const std::string& name, OpType type,
+                     std::vector<int64_t> shape, int64_t flops,
+                     int64_t param_bytes, const std::vector<int>& deps) {
+  int id = g_.add_node(name, type, std::move(shape), flops, param_bytes);
+  for (int d : deps) g_.add_edge(d, id);
+  return id;
+}
+
+int GraphBuilder::input(const std::string& name, std::vector<int64_t> shape) {
+  return op(name, OpType::kInput, std::move(shape), 0, 0, {});
+}
+
+int GraphBuilder::conv_bn_relu(const std::string& name, int in, int64_t cout,
+                               int64_t k, int64_t stride, bool same_pad) {
+  const auto& s = shape_of(in);
+  MARS_CHECK_MSG(s.size() == 4, "conv input must be NHWC, got "
+                                    << shape_str(s) << " for " << name);
+  const int64_t b = s[0], h = s[1], w = s[2], cin = s[3];
+  const int64_t ho = same_pad ? (h + stride - 1) / stride
+                              : (h - k) / stride + 1;
+  const int64_t wo = same_pad ? (w + stride - 1) / stride
+                              : (w - k) / stride + 1;
+  MARS_CHECK(ho > 0 && wo > 0);
+  const int64_t conv_flops = 2 * k * k * cin * cout * ho * wo * b;
+  const int64_t conv_params = k * k * cin * cout * 4;
+  int conv = op(name + "/conv", OpType::kConv2D, {b, ho, wo, cout}, conv_flops,
+                conv_params, {in});
+  const int64_t act_elems = b * ho * wo * cout;
+  int bn = op(name + "/bn", OpType::kBatchNorm, {b, ho, wo, cout},
+              5 * act_elems, 4 * cout * 4, {conv});
+  return op(name + "/relu", OpType::kRelu, {b, ho, wo, cout}, act_elems, 0,
+            {bn});
+}
+
+int GraphBuilder::conv_bias(const std::string& name, int in, int64_t cout,
+                            int64_t k, int64_t stride, bool same_pad) {
+  const auto& s = shape_of(in);
+  MARS_CHECK(s.size() == 4);
+  const int64_t b = s[0], h = s[1], w = s[2], cin = s[3];
+  const int64_t ho = same_pad ? (h + stride - 1) / stride
+                              : (h - k) / stride + 1;
+  const int64_t wo = same_pad ? (w + stride - 1) / stride
+                              : (w - k) / stride + 1;
+  const int64_t conv_flops = 2 * k * k * cin * cout * ho * wo * b;
+  int conv = op(name + "/conv", OpType::kConv2D, {b, ho, wo, cout}, conv_flops,
+                k * k * cin * cout * 4, {in});
+  return op(name + "/bias", OpType::kBiasAdd, {b, ho, wo, cout},
+            b * ho * wo * cout, cout * 4, {conv});
+}
+
+int GraphBuilder::max_pool(const std::string& name, int in, int64_t k,
+                           int64_t stride) {
+  const auto& s = shape_of(in);
+  MARS_CHECK(s.size() == 4);
+  const int64_t b = s[0], ho = (s[1] - k) / stride + 1,
+                wo = (s[2] - k) / stride + 1, c = s[3];
+  MARS_CHECK(ho > 0 && wo > 0);
+  return op(name, OpType::kMaxPool, {b, ho, wo, c}, b * ho * wo * c * k * k, 0,
+            {in});
+}
+
+int GraphBuilder::avg_pool(const std::string& name, int in, int64_t k,
+                           int64_t stride) {
+  const auto& s = shape_of(in);
+  MARS_CHECK(s.size() == 4);
+  const int64_t b = s[0], ho = (s[1] - k) / stride + 1,
+                wo = (s[2] - k) / stride + 1, c = s[3];
+  MARS_CHECK(ho > 0 && wo > 0);
+  return op(name, OpType::kAvgPool, {b, ho, wo, c}, b * ho * wo * c * k * k, 0,
+            {in});
+}
+
+int GraphBuilder::global_avg_pool(const std::string& name, int in) {
+  const auto& s = shape_of(in);
+  MARS_CHECK(s.size() == 4);
+  return op(name, OpType::kReduceMean, {s[0], s[3]}, elems(s), 0, {in});
+}
+
+int GraphBuilder::concat_channels(const std::string& name,
+                                  const std::vector<int>& ins) {
+  MARS_CHECK(!ins.empty());
+  auto s = shape_of(ins[0]);
+  MARS_CHECK(s.size() == 4);
+  int64_t c = 0;
+  for (int in : ins) {
+    const auto& si = shape_of(in);
+    MARS_CHECK_MSG(si.size() == 4 && si[0] == s[0] && si[1] == s[1] &&
+                       si[2] == s[2],
+                   "concat spatial mismatch at " << name);
+    c += si[3];
+  }
+  s[3] = c;
+  return op(name, OpType::kConcat, s, elems(s), 0, ins);
+}
+
+int GraphBuilder::fully_connected(const std::string& name, int in,
+                                  int64_t out_dim) {
+  const auto& s = shape_of(in);
+  MARS_CHECK(s.size() == 2);
+  const int64_t b = s[0], d = s[1];
+  int mm = op(name + "/matmul", OpType::kMatMul, {b, out_dim},
+              2 * b * d * out_dim, d * out_dim * 4, {in});
+  return op(name + "/bias", OpType::kBiasAdd, {b, out_dim}, b * out_dim,
+            out_dim * 4, {mm});
+}
+
+int GraphBuilder::matmul_op(const std::string& name, int a_id,
+                            std::vector<int64_t> a_shape,
+                            std::vector<int64_t> out_shape, int64_t flops,
+                            int64_t param_bytes,
+                            const std::vector<int>& extra_deps) {
+  (void)a_shape;
+  std::vector<int> deps = {a_id};
+  deps.insert(deps.end(), extra_deps.begin(), extra_deps.end());
+  return op(name, OpType::kMatMul, std::move(out_shape), flops, param_bytes,
+            deps);
+}
+
+int GraphBuilder::embedding(const std::string& name, int ids_in, int64_t vocab,
+                            int64_t dim, std::vector<int64_t> out_shape) {
+  return op(name, OpType::kEmbeddingLookup, std::move(out_shape), 0,
+            vocab * dim * 4, {ids_in});
+}
+
+int GraphBuilder::softmax_loss(const std::string& name, int logits_in,
+                               int labels_in) {
+  const auto& s = shape_of(logits_in);
+  int sm = op(name + "/softmax", OpType::kSoftmax, s, 5 * elems(s), 0,
+              {logits_in});
+  return op(name + "/xent", OpType::kCrossEntropyLoss, {1}, 2 * elems(s), 0,
+            {sm, labels_in});
+}
+
+int GraphBuilder::elementwise(const std::string& name, OpType type, int in,
+                              const std::vector<int>& extra_deps) {
+  const auto& s = shape_of(in);
+  std::vector<int> deps = {in};
+  deps.insert(deps.end(), extra_deps.begin(), extra_deps.end());
+  return op(name, type, s, elems(s), 0, deps);
+}
+
+int GraphBuilder::layer_norm(const std::string& name, int in) {
+  const auto& s = shape_of(in);
+  const int64_t c = s.back();
+  return op(name, OpType::kLayerNorm, s, 8 * elems(s), 2 * c * 4, {in});
+}
+
+int GraphBuilder::apply_gradient(const std::string& name, int dep,
+                                 int64_t param_bytes) {
+  // Optimizer work scales with parameter count (~5 FLOPs/param for Adam).
+  // The op produces no activation tensor, so output bytes are zeroed.
+  int id = op(name, OpType::kApplyGradient, {1}, 5 * (param_bytes / 4), 0,
+              {dep});
+  g_.mutable_node(id).output_bytes = 0;
+  g_.mutable_node(id).resident_activation_bytes = 0;
+  return id;
+}
+
+}  // namespace mars

@@ -1,0 +1,71 @@
+// GraphBuilder: a small DSL for constructing annotated computational graphs.
+//
+// Each helper adds the ops a framework would emit for that layer (compute op
+// + bias/norm + activation), with FLOP and parameter-byte estimates derived
+// from the tensor shapes. FLOPs are forward-pass; the simulator applies a
+// configurable training multiplier for backward + optimizer work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/comp_graph.h"
+
+namespace mars {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string graph_name) : g_(std::move(graph_name)) {}
+
+  CompGraph finish() && { return std::move(g_); }
+  CompGraph& graph() { return g_; }
+
+  /// Raw node; returns id. `deps` are incoming edges.
+  int op(const std::string& name, OpType type, std::vector<int64_t> shape,
+         int64_t flops, int64_t param_bytes, const std::vector<int>& deps);
+
+  /// Data-pipeline input producing [batch, ...dims].
+  int input(const std::string& name, std::vector<int64_t> shape);
+
+  // ---- Vision ----------------------------------------------------------
+  /// Conv2D + BatchNorm + ReLU on NHWC input; returns the activation op id.
+  /// `in` must produce [b, h, w, cin]; output is [b, ho, wo, cout].
+  int conv_bn_relu(const std::string& name, int in, int64_t cout, int64_t k,
+                   int64_t stride, bool same_pad = true);
+  /// Conv2D + BiasAdd (no activation), e.g. logits projections.
+  int conv_bias(const std::string& name, int in, int64_t cout, int64_t k,
+                int64_t stride, bool same_pad = true);
+  int max_pool(const std::string& name, int in, int64_t k, int64_t stride);
+  int avg_pool(const std::string& name, int in, int64_t k, int64_t stride);
+  /// Global average pool to [b, c].
+  int global_avg_pool(const std::string& name, int in);
+  /// Channel-axis concat of NHWC tensors.
+  int concat_channels(const std::string& name, const std::vector<int>& ins);
+
+  // ---- Dense / sequence ---------------------------------------------------
+  /// x[b, in] @ W[in, out] + b; returns BiasAdd id.
+  int fully_connected(const std::string& name, int in, int64_t out_dim);
+  int matmul_op(const std::string& name, int a_id, std::vector<int64_t> a_shape,
+                std::vector<int64_t> out_shape, int64_t flops,
+                int64_t param_bytes, const std::vector<int>& extra_deps = {});
+  int embedding(const std::string& name, int ids_in, int64_t vocab,
+                int64_t dim, std::vector<int64_t> out_shape);
+  /// Softmax + cross-entropy against labels (labels come from `labels_in`).
+  int softmax_loss(const std::string& name, int logits_in, int labels_in);
+  int elementwise(const std::string& name, OpType type, int in,
+                  const std::vector<int>& extra_deps = {});
+  int layer_norm(const std::string& name, int in);
+  /// Optimizer update op for `param_bytes` of parameters, depending on the
+  /// loss (or any gradient source) `dep`.
+  int apply_gradient(const std::string& name, int dep, int64_t param_bytes);
+
+  /// Shape of a previously added op.
+  const std::vector<int64_t>& shape_of(int id) const {
+    return g_.node(id).output_shape;
+  }
+
+ private:
+  CompGraph g_;
+};
+
+}  // namespace mars

@@ -1,0 +1,149 @@
+// Inception-V3 training graph (Szegedy et al., mirroring the TF-Slim layout
+// the paper's Human Expert baseline uses).
+#include "workloads/builder.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+
+namespace {
+
+/// Rectangular conv (kh x kw) + BN + ReLU; Inception-B/C factorized convs.
+int conv_rect(GraphBuilder& b, const std::string& name, int in, int64_t cout,
+              int64_t kh, int64_t kw) {
+  const auto& s = b.shape_of(in);
+  const int64_t bt = s[0], h = s[1], w = s[2], cin = s[3];
+  const int64_t flops = 2 * kh * kw * cin * cout * h * w * bt;
+  int conv = b.op(name + "/conv", OpType::kConv2D, {bt, h, w, cout}, flops,
+                  kh * kw * cin * cout * 4, {in});
+  int bn = b.op(name + "/bn", OpType::kBatchNorm, {bt, h, w, cout},
+                5 * bt * h * w * cout, 8 * cout * 4, {conv});
+  return b.op(name + "/relu", OpType::kRelu, {bt, h, w, cout},
+              bt * h * w * cout, 0, {bn});
+}
+
+/// 3x3 average pool, stride 1, same padding (Inception pool branches).
+int avg_pool_same(GraphBuilder& b, const std::string& name, int in) {
+  const auto& s = b.shape_of(in);
+  return b.op(name, OpType::kAvgPool, s, 9 * s[0] * s[1] * s[2] * s[3], 0,
+              {in});
+}
+
+}  // namespace
+
+CompGraph build_inception_v3(const InceptionConfig& config) {
+  GraphBuilder b("inception_v3");
+  const int64_t bt = config.batch;
+
+  int images = b.input("images", {bt, config.image_size, config.image_size, 3});
+  int labels = b.input("labels", {bt});
+
+  // Stem: 299x299x3 -> 35x35x192.
+  int x = b.conv_bn_relu("stem/conv1", images, 32, 3, 2, false);
+  x = b.conv_bn_relu("stem/conv2", x, 32, 3, 1, false);
+  x = b.conv_bn_relu("stem/conv3", x, 64, 3, 1, true);
+  x = b.max_pool("stem/pool1", x, 3, 2);
+  x = b.conv_bn_relu("stem/conv4", x, 80, 1, 1, true);
+  x = b.conv_bn_relu("stem/conv5", x, 192, 3, 1, false);
+  x = b.max_pool("stem/pool2", x, 3, 2);
+
+  // Inception-A blocks (mixed_5b/5c/5d).
+  const int64_t pool_proj_a[3] = {32, 64, 64};
+  for (int i = 0; i < 3; ++i) {
+    const std::string base = "mixed_5" + std::string(1, char('b' + i));
+    int b1 = b.conv_bn_relu(base + "/br1x1", x, 64, 1, 1);
+    int b5 = b.conv_bn_relu(base + "/br5x5_1", x, 48, 1, 1);
+    b5 = b.conv_bn_relu(base + "/br5x5_2", b5, 64, 5, 1);
+    int b3 = b.conv_bn_relu(base + "/br3x3_1", x, 64, 1, 1);
+    b3 = b.conv_bn_relu(base + "/br3x3_2", b3, 96, 3, 1);
+    b3 = b.conv_bn_relu(base + "/br3x3_3", b3, 96, 3, 1);
+    int bp = avg_pool_same(b, base + "/pool", x);
+    bp = b.conv_bn_relu(base + "/pool_proj", bp, pool_proj_a[i], 1, 1);
+    x = b.concat_channels(base + "/concat", {b1, b5, b3, bp});
+  }
+
+  // Reduction-A (mixed_6a): 35x35x288 -> 17x17x768.
+  {
+    int b3 = b.conv_bn_relu("mixed_6a/br3x3", x, 384, 3, 2, false);
+    int bd = b.conv_bn_relu("mixed_6a/brdbl_1", x, 64, 1, 1);
+    bd = b.conv_bn_relu("mixed_6a/brdbl_2", bd, 96, 3, 1);
+    bd = b.conv_bn_relu("mixed_6a/brdbl_3", bd, 96, 3, 2, false);
+    int bp = b.max_pool("mixed_6a/pool", x, 3, 2);
+    x = b.concat_channels("mixed_6a/concat", {b3, bd, bp});
+  }
+
+  // Inception-B blocks (mixed_6b..6e) with factorized 7x1/1x7 convs.
+  const int64_t ch7[4] = {128, 160, 160, 192};
+  for (int i = 0; i < 4; ++i) {
+    const std::string base = "mixed_6" + std::string(1, char('b' + i));
+    const int64_t c7 = ch7[i];
+    int b1 = b.conv_bn_relu(base + "/br1x1", x, 192, 1, 1);
+    int b7 = b.conv_bn_relu(base + "/br7x7_1", x, c7, 1, 1);
+    b7 = conv_rect(b, base + "/br7x7_2", b7, c7, 1, 7);
+    b7 = conv_rect(b, base + "/br7x7_3", b7, 192, 7, 1);
+    int bd = b.conv_bn_relu(base + "/br7x7dbl_1", x, c7, 1, 1);
+    bd = conv_rect(b, base + "/br7x7dbl_2", bd, c7, 7, 1);
+    bd = conv_rect(b, base + "/br7x7dbl_3", bd, c7, 1, 7);
+    bd = conv_rect(b, base + "/br7x7dbl_4", bd, c7, 7, 1);
+    bd = conv_rect(b, base + "/br7x7dbl_5", bd, 192, 1, 7);
+    int bp = avg_pool_same(b, base + "/pool", x);
+    bp = b.conv_bn_relu(base + "/pool_proj", bp, 192, 1, 1);
+    x = b.concat_channels(base + "/concat", {b1, b7, bd, bp});
+  }
+  int mixed_6e = x;
+
+  // Auxiliary classifier head off mixed_6e (part of the training graph).
+  int aux_loss = -1;
+  if (config.aux_head) {
+    int a = b.avg_pool("aux/pool", mixed_6e, 5, 3);
+    a = b.conv_bn_relu("aux/proj", a, 128, 1, 1);
+    a = b.conv_bn_relu("aux/conv", a, 768, 5, 1, false);
+    a = b.global_avg_pool("aux/gap", a);
+    a = b.fully_connected("aux/logits", a, 1000);
+    aux_loss = b.softmax_loss("aux/loss", a, labels);
+  }
+
+  // Reduction-B (mixed_7a): 17x17x768 -> 8x8x1280.
+  {
+    int b3 = b.conv_bn_relu("mixed_7a/br3x3_1", x, 192, 1, 1);
+    b3 = b.conv_bn_relu("mixed_7a/br3x3_2", b3, 320, 3, 2, false);
+    int b7 = b.conv_bn_relu("mixed_7a/br7x7_1", x, 192, 1, 1);
+    b7 = conv_rect(b, "mixed_7a/br7x7_2", b7, 192, 1, 7);
+    b7 = conv_rect(b, "mixed_7a/br7x7_3", b7, 192, 7, 1);
+    b7 = b.conv_bn_relu("mixed_7a/br7x7_4", b7, 192, 3, 2, false);
+    int bp = b.max_pool("mixed_7a/pool", x, 3, 2);
+    x = b.concat_channels("mixed_7a/concat", {b3, b7, bp});
+  }
+
+  // Inception-C blocks (mixed_7b/7c) with branch splits.
+  for (int i = 0; i < 2; ++i) {
+    const std::string base = "mixed_7" + std::string(1, char('b' + i));
+    int b1 = b.conv_bn_relu(base + "/br1x1", x, 320, 1, 1);
+    int b3 = b.conv_bn_relu(base + "/br3x3_1", x, 384, 1, 1);
+    int b3a = conv_rect(b, base + "/br3x3_2a", b3, 384, 1, 3);
+    int b3b = conv_rect(b, base + "/br3x3_2b", b3, 384, 3, 1);
+    int bd = b.conv_bn_relu(base + "/brdbl_1", x, 448, 1, 1);
+    bd = b.conv_bn_relu(base + "/brdbl_2", bd, 384, 3, 1);
+    int bda = conv_rect(b, base + "/brdbl_3a", bd, 384, 1, 3);
+    int bdb = conv_rect(b, base + "/brdbl_3b", bd, 384, 3, 1);
+    int bp = avg_pool_same(b, base + "/pool", x);
+    bp = b.conv_bn_relu(base + "/pool_proj", bp, 192, 1, 1);
+    x = b.concat_channels(base + "/concat", {b1, b3a, b3b, bda, bdb, bp});
+  }
+
+  // Classifier head.
+  x = b.global_avg_pool("head/gap", x);
+  x = b.elementwise("head/dropout", OpType::kDropout, x);
+  x = b.fully_connected("head/logits", x, 1000);
+  int loss = b.softmax_loss("head/loss", x, labels);
+  if (aux_loss >= 0)
+    loss = b.op("total_loss", OpType::kAdd, {1}, 2, 0, {loss, aux_loss});
+
+  // Optimizer: one update op per stage, gated on the loss.
+  const int64_t total_params = b.graph().total_param_bytes();
+  for (int i = 0; i < 8; ++i)
+    b.apply_gradient("train/apply_" + std::to_string(i), loss,
+                     total_params / 8);
+  return std::move(b).finish();
+}
+
+}  // namespace mars

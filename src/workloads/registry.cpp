@@ -1,0 +1,59 @@
+// Name-based workload registry and the random-DAG generator for tests.
+#include "util/rng.h"
+#include "workloads/builder.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+
+CompGraph build_workload(const std::string& name) {
+  if (name == "inception_v3") return build_inception_v3();
+  if (name == "gnmt") return build_gnmt();
+  if (name == "bert") return build_bert();
+  if (name == "vgg16") return build_vgg16();
+  if (name == "rnn_seq2seq") return build_rnn_seq2seq();
+  if (name == "transformer") return build_transformer();
+  if (name == "resnet50") return build_resnet50();
+  MARS_CHECK_MSG(false, "unknown workload: " << name);
+}
+
+std::vector<std::string> workload_names() {
+  return {"inception_v3", "gnmt",        "bert",       "vgg16",
+          "rnn_seq2seq",  "transformer", "resnet50"};
+}
+
+CompGraph build_random_dag(int width, int depth, uint64_t seed) {
+  MARS_CHECK(width >= 1 && depth >= 1);
+  Rng rng(seed);
+  GraphBuilder b("random_dag");
+  int in = b.input("input", {8, 64});
+  std::vector<int> prev(static_cast<size_t>(width), in);
+  const OpType kinds[] = {OpType::kMatMul, OpType::kConv2D, OpType::kAdd,
+                          OpType::kRelu, OpType::kConcat};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<int> cur(static_cast<size_t>(width));
+    for (int w = 0; w < width; ++w) {
+      std::vector<int> deps = {prev[static_cast<size_t>(w)]};
+      // Random cross-links to earlier lanes.
+      if (w > 0 && rng.uniform() < 0.3)
+        deps.push_back(prev[rng.uniform_int(static_cast<uint64_t>(w))]);
+      const OpType kind = kinds[rng.uniform_int(5)];
+      // Log-uniform cost distribution: a few heavy ops, many light ones.
+      const auto flops = static_cast<int64_t>(rng.lognormal(13.0, 2.5));
+      const auto out_elems =
+          static_cast<int64_t>(rng.lognormal(9.0, 1.5)) + 1;
+      const int64_t params =
+          rng.uniform() < 0.3
+              ? static_cast<int64_t>(rng.lognormal(10.0, 2.0))
+              : 0;
+      cur[static_cast<size_t>(w)] =
+          b.op("op_" + std::to_string(d) + "_" + std::to_string(w), kind,
+               {out_elems}, flops, params, deps);
+    }
+    prev = cur;
+  }
+  int loss = b.op("loss", OpType::kCrossEntropyLoss, {1}, 100, 0, prev);
+  b.apply_gradient("apply", loss, b.graph().total_param_bytes());
+  return std::move(b).finish();
+}
+
+}  // namespace mars

@@ -1,0 +1,59 @@
+// ResNet-50 training graph (He et al., CVPR 2016) — an additional vision
+// workload beyond the paper's three benchmarks, useful for generalization
+// studies and as a second "fits on one GPU" regime.
+#include "workloads/builder.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+
+namespace {
+
+/// Bottleneck residual block: 1x1 reduce -> 3x3 -> 1x1 expand + shortcut.
+int bottleneck(GraphBuilder& b, const std::string& name, int in,
+               int64_t mid_channels, int64_t out_channels, int64_t stride) {
+  const auto& s = b.shape_of(in);
+  int shortcut = in;
+  if (s[3] != out_channels || stride != 1) {
+    shortcut = b.conv_bias(name + "/shortcut", in, out_channels, 1, stride);
+  }
+  int x = b.conv_bn_relu(name + "/conv1", in, mid_channels, 1, 1);
+  x = b.conv_bn_relu(name + "/conv2", x, mid_channels, 3, stride);
+  x = b.conv_bias(name + "/conv3", x, out_channels, 1, 1);
+  int sum = b.elementwise(name + "/add", OpType::kAdd, x, {shortcut});
+  return b.elementwise(name + "/relu", OpType::kRelu, sum);
+}
+
+}  // namespace
+
+CompGraph build_resnet50(const ResNetConfig& config) {
+  GraphBuilder b("resnet50");
+  int images =
+      b.input("images", {config.batch, config.image_size, config.image_size, 3});
+  int labels = b.input("labels", {config.batch});
+
+  int x = b.conv_bn_relu("stem/conv", images, 64, 7, 2);
+  x = b.max_pool("stem/pool", x, 3, 2);
+
+  const int64_t stage_mid[4] = {64, 128, 256, 512};
+  const int stage_blocks[4] = {3, 4, 6, 3};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < stage_blocks[stage]; ++block) {
+      const int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      x = bottleneck(b,
+                     "stage" + std::to_string(stage + 1) + "/block" +
+                         std::to_string(block + 1),
+                     x, stage_mid[stage], 4 * stage_mid[stage], stride);
+    }
+  }
+  x = b.global_avg_pool("head/gap", x);
+  x = b.fully_connected("head/fc", x, 1000);
+  int loss = b.softmax_loss("head/loss", x, labels);
+
+  const int64_t total_params = b.graph().total_param_bytes();
+  for (int i = 0; i < 8; ++i)
+    b.apply_gradient("train/apply_" + std::to_string(i), loss,
+                     total_params / 8);
+  return std::move(b).finish();
+}
+
+}  // namespace mars

@@ -1,0 +1,202 @@
+// Recurrent workloads: GNMT-4 (Wu et al., Google NMT) and a plain 2-layer
+// RNN encoder-decoder ("seq2seq", used as a Table 3 transfer source).
+//
+// RNN training graphs are unrolled over time; `time_chunk` fuses that many
+// consecutive timesteps of one layer into a single op block (total cost
+// preserved), matching the colocation grouping every placement paper applies
+// to unrolled RNN graphs before placement.
+#include "workloads/builder.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+
+namespace {
+
+struct RnnLayerOps {
+  std::vector<int> chunk_out;  // output op id per time chunk
+};
+
+/// Unrolled LSTM layer over `chunks` time chunks. Each chunk depends on the
+/// previous chunk of this layer (recurrence) and the same chunk of `below`
+/// (or nothing for the embedding layer). Residual connections add an Add op.
+RnnLayerOps lstm_layer(GraphBuilder& b, const std::string& name,
+                       const std::vector<int>& below, int64_t batch,
+                       int64_t hidden, int64_t in_dim, int64_t chunk_steps,
+                       bool residual, bool reverse_time = false) {
+  const int chunks = static_cast<int>(below.size());
+  RnnLayerOps out;
+  out.chunk_out.resize(static_cast<size_t>(chunks));
+  const int64_t gate_flops =
+      2 * batch * chunk_steps * (in_dim + hidden) * 4 * hidden;
+  const int64_t gate_param = (in_dim + hidden) * 4 * hidden * 4;
+  const int64_t state_elems = batch * chunk_steps * hidden;
+  int prev = -1;
+  for (int ci = 0; ci < chunks; ++ci) {
+    const int c = reverse_time ? chunks - 1 - ci : ci;
+    const std::string base = name + "/t" + std::to_string(c);
+    std::vector<int> deps = {below[static_cast<size_t>(c)]};
+    if (prev >= 0) deps.push_back(prev);
+    // One fused block: gate matmuls + elementwise LSTM state update.
+    int gates = b.op(base + "/gates", OpType::kMatMul,
+                     {batch, chunk_steps, 4 * hidden}, gate_flops,
+                     ci == 0 ? gate_param : 0, deps);
+    int h = b.op(base + "/state", OpType::kMul,
+                 {batch, chunk_steps, hidden}, 9 * state_elems, 0, {gates});
+    if (residual) {
+      h = b.op(base + "/residual", OpType::kAdd,
+               {batch, chunk_steps, hidden}, state_elems, 0,
+               {h, below[static_cast<size_t>(c)]});
+    }
+    out.chunk_out[static_cast<size_t>(c)] = h;
+    prev = h;
+  }
+  return out;
+}
+
+}  // namespace
+
+CompGraph build_gnmt(const GnmtConfig& config) {
+  GraphBuilder b("gnmt");
+  const int64_t bt = config.batch, hid = config.hidden;
+  const int chunks =
+      static_cast<int>((config.seq_len + config.time_chunk - 1) /
+                       config.time_chunk);
+  const int64_t cs = config.time_chunk;
+
+  int src_ids = b.input("source_ids", {bt, config.seq_len});
+  int tgt_ids = b.input("target_ids", {bt, config.seq_len});
+  int labels = b.input("labels", {bt, config.seq_len});
+
+  // Source embedding, split per chunk consumption (single lookup op).
+  int src_emb = b.embedding("encoder/embedding", src_ids, config.vocab, hid,
+                            {bt, config.seq_len, hid});
+  int tgt_emb = b.embedding("decoder/embedding", tgt_ids, config.vocab, hid,
+                            {bt, config.seq_len, hid});
+
+  std::vector<int> enc_in(static_cast<size_t>(chunks), src_emb);
+  // GNMT: first encoder layer is bidirectional — one forward and one
+  // reverse-time layer whose outputs are concatenated.
+  auto fwd0 = lstm_layer(b, "encoder/l0_fwd", enc_in, bt, hid / 2, hid, cs,
+                         false, false);
+  auto bwd0 = lstm_layer(b, "encoder/l0_bwd", enc_in, bt, hid / 2, hid, cs,
+                         false, true);
+  std::vector<int> enc_cur(static_cast<size_t>(chunks));
+  for (int c = 0; c < chunks; ++c) {
+    enc_cur[static_cast<size_t>(c)] =
+        b.op("encoder/l0_concat/t" + std::to_string(c), OpType::kConcat,
+             {bt, cs, hid}, bt * cs * hid, 0,
+             {fwd0.chunk_out[static_cast<size_t>(c)],
+              bwd0.chunk_out[static_cast<size_t>(c)]});
+  }
+  for (int64_t l = 1; l < config.layers; ++l) {
+    enc_cur = lstm_layer(b, "encoder/l" + std::to_string(l), enc_cur, bt, hid,
+                         hid, cs, l >= 2)
+                  .chunk_out;
+  }
+
+  // Decoder layers with attention over all encoder top-layer chunks.
+  std::vector<int> dec_cur(static_cast<size_t>(chunks), tgt_emb);
+  for (int64_t l = 0; l < config.layers; ++l) {
+    dec_cur = lstm_layer(b, "decoder/l" + std::to_string(l), dec_cur, bt, hid,
+                         hid, cs, l >= 2)
+                  .chunk_out;
+    if (l == 0) {
+      // Attention after the first decoder layer (GNMT architecture): each
+      // chunk attends over every encoder output chunk.
+      for (int c = 0; c < chunks; ++c) {
+        std::vector<int> deps = enc_cur;
+        deps.push_back(dec_cur[static_cast<size_t>(c)]);
+        const int64_t score_flops =
+            2 * bt * cs * config.seq_len * hid;      // scores + weighted sum
+        int ctx = b.op("decoder/attn/t" + std::to_string(c),
+                       OpType::kBatchMatMul, {bt, cs, hid}, 2 * score_flops, 0,
+                       deps);
+        dec_cur[static_cast<size_t>(c)] =
+            b.op("decoder/attn_concat/t" + std::to_string(c), OpType::kConcat,
+                 {bt, cs, hid}, bt * cs * hid, 0,
+                 {ctx, dec_cur[static_cast<size_t>(c)]});
+      }
+    }
+  }
+
+  // Output projection + loss, sharded by time chunk (as sharded-softmax
+  // implementations emit it). Chunk c's projection can start as soon as
+  // the decoder finishes chunk c, and the shards are independently
+  // placeable — the load-balancing opportunity round-robin experts miss.
+  std::vector<int> chunk_losses;
+  for (int c = 0; c < chunks; ++c) {
+    const std::string base = "softmax_shard/t" + std::to_string(c);
+    int logits = b.op(base + "/logits", OpType::kMatMul,
+                      {bt, cs, config.vocab}, 2 * bt * cs * hid * config.vocab,
+                      c == 0 ? hid * config.vocab * 4 : 0,
+                      {dec_cur[static_cast<size_t>(c)]});
+    int sm = b.op(base + "/softmax", OpType::kSoftmax, {bt, cs, config.vocab},
+                  5 * bt * cs * config.vocab, 0, {logits});
+    chunk_losses.push_back(b.op(base + "/xent", OpType::kCrossEntropyLoss,
+                                {1}, 2 * bt * cs * config.vocab, 0,
+                                {sm, labels}));
+  }
+  int loss = b.op("loss/total", OpType::kReduceSum, {1},
+                  static_cast<int64_t>(chunk_losses.size()), 0, chunk_losses);
+
+  const int64_t total_params = b.graph().total_param_bytes();
+  for (int64_t l = 0; l < 2 * config.layers + 2; ++l)
+    b.apply_gradient("train/apply_" + std::to_string(l), loss,
+                     total_params / (2 * config.layers + 2));
+  return std::move(b).finish();
+}
+
+CompGraph build_rnn_seq2seq(const RnnSeq2SeqConfig& config) {
+  GraphBuilder b("rnn_seq2seq");
+  const int64_t bt = config.batch, hid = config.hidden;
+  const int chunks =
+      static_cast<int>((config.seq_len + config.time_chunk - 1) /
+                       config.time_chunk);
+  const int64_t cs = config.time_chunk;
+
+  int src_ids = b.input("source_ids", {bt, config.seq_len});
+  int tgt_ids = b.input("target_ids", {bt, config.seq_len});
+  int labels = b.input("labels", {bt, config.seq_len});
+  int src_emb = b.embedding("encoder/embedding", src_ids, config.vocab, hid,
+                            {bt, config.seq_len, hid});
+  int tgt_emb = b.embedding("decoder/embedding", tgt_ids, config.vocab, hid,
+                            {bt, config.seq_len, hid});
+
+  std::vector<int> cur(static_cast<size_t>(chunks), src_emb);
+  for (int64_t l = 0; l < config.layers; ++l)
+    cur = lstm_layer(b, "encoder/l" + std::to_string(l), cur, bt, hid, hid, cs,
+                     false)
+              .chunk_out;
+  // Plain seq2seq: the decoder is initialized from the encoder's final
+  // chunk state only (the classic information bottleneck; no attention).
+  int bottleneck = cur.back();
+  std::vector<int> dec(static_cast<size_t>(chunks), tgt_emb);
+  for (int64_t l = 0; l < config.layers; ++l) {
+    auto layer = lstm_layer(b, "decoder/l" + std::to_string(l), dec, bt, hid,
+                            hid, cs, false);
+    dec = layer.chunk_out;
+    if (l == 0) b.graph().add_edge(bottleneck, dec.front());
+  }
+  std::vector<int> chunk_losses;
+  for (int c = 0; c < chunks; ++c) {
+    const std::string base = "softmax_shard/t" + std::to_string(c);
+    int logits = b.op(base + "/logits", OpType::kMatMul,
+                      {bt, cs, config.vocab}, 2 * bt * cs * hid * config.vocab,
+                      c == 0 ? hid * config.vocab * 4 : 0,
+                      {dec[static_cast<size_t>(c)]});
+    int sm = b.op(base + "/softmax", OpType::kSoftmax, {bt, cs, config.vocab},
+                  5 * bt * cs * config.vocab, 0, {logits});
+    chunk_losses.push_back(b.op(base + "/xent", OpType::kCrossEntropyLoss,
+                                {1}, 2 * bt * cs * config.vocab, 0,
+                                {sm, labels}));
+  }
+  int loss = b.op("loss/total", OpType::kReduceSum, {1},
+                  static_cast<int64_t>(chunk_losses.size()), 0, chunk_losses);
+  const int64_t total_params = b.graph().total_param_bytes();
+  for (int64_t l = 0; l < config.layers + 2; ++l)
+    b.apply_gradient("train/apply_" + std::to_string(l), loss,
+                     total_params / (config.layers + 2));
+  return std::move(b).finish();
+}
+
+}  // namespace mars

@@ -1,0 +1,137 @@
+// Attention workloads: BERT-Base (Devlin et al.) masked-LM training graph
+// and a Transformer encoder-decoder (Vaswani et al., Table 3 source).
+#include "workloads/builder.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+
+namespace {
+
+struct AttnDims {
+  int64_t batch, seq, hidden, heads, ffn;
+};
+
+/// Multi-head self-attention + FFN block; returns the output op id.
+/// `kv_in` allows cross-attention (decoder attending to encoder output).
+int transformer_block(GraphBuilder& b, const std::string& name, int in,
+                      const AttnDims& d, int kv_in = -1) {
+  const int64_t act = d.batch * d.seq * d.hidden;
+  const int64_t proj_flops = 2 * d.batch * d.seq * d.hidden * d.hidden;
+  const int64_t proj_param = d.hidden * d.hidden * 4;
+  const int kv = kv_in >= 0 ? kv_in : in;
+  const int64_t kv_seq = b.shape_of(kv)[1];
+
+  int q = b.op(name + "/q", OpType::kMatMul, {d.batch, d.seq, d.hidden},
+               proj_flops, proj_param, {in});
+  int k = b.op(name + "/k", OpType::kMatMul, {d.batch, kv_seq, d.hidden},
+               2 * d.batch * kv_seq * d.hidden * d.hidden, proj_param, {kv});
+  int v = b.op(name + "/v", OpType::kMatMul, {d.batch, kv_seq, d.hidden},
+               2 * d.batch * kv_seq * d.hidden * d.hidden, proj_param, {kv});
+  int scores = b.op(name + "/scores", OpType::kBatchMatMul,
+                    {d.batch, d.heads, d.seq, kv_seq},
+                    2 * d.batch * d.seq * kv_seq * d.hidden, 0, {q, k});
+  int probs = b.elementwise(name + "/probs", OpType::kSoftmax, scores);
+  int ctx = b.op(name + "/context", OpType::kBatchMatMul,
+                 {d.batch, d.seq, d.hidden},
+                 2 * d.batch * d.seq * kv_seq * d.hidden, 0, {probs, v});
+  int proj = b.op(name + "/proj", OpType::kMatMul, {d.batch, d.seq, d.hidden},
+                  proj_flops, proj_param, {ctx});
+  int res1 = b.op(name + "/attn_residual", OpType::kAdd,
+                  {d.batch, d.seq, d.hidden}, act, 0, {proj, in});
+  int ln1 = b.layer_norm(name + "/attn_ln", res1);
+
+  int ffn1 = b.op(name + "/ffn1", OpType::kMatMul, {d.batch, d.seq, d.ffn},
+                  2 * d.batch * d.seq * d.hidden * d.ffn,
+                  d.hidden * d.ffn * 4, {ln1});
+  int act1 = b.elementwise(name + "/gelu", OpType::kGelu, ffn1);
+  int ffn2 = b.op(name + "/ffn2", OpType::kMatMul, {d.batch, d.seq, d.hidden},
+                  2 * d.batch * d.seq * d.hidden * d.ffn,
+                  d.ffn * d.hidden * 4, {act1});
+  int res2 = b.op(name + "/ffn_residual", OpType::kAdd,
+                  {d.batch, d.seq, d.hidden}, act, 0, {ffn2, ln1});
+  return b.layer_norm(name + "/ffn_ln", res2);
+}
+
+}  // namespace
+
+CompGraph build_bert(const BertConfig& config) {
+  GraphBuilder b("bert");
+  const AttnDims d{config.batch, config.seq_len, config.hidden, config.heads,
+                   config.ffn};
+
+  int ids = b.input("input_ids", {config.batch, config.seq_len});
+  int mlm_labels = b.input("mlm_labels", {config.batch, config.seq_len});
+
+  int word_emb = b.embedding("embeddings/word", ids, config.vocab,
+                             config.hidden,
+                             {config.batch, config.seq_len, config.hidden});
+  int pos_emb = b.op("embeddings/position", OpType::kAdd,
+                     {config.batch, config.seq_len, config.hidden},
+                     config.batch * config.seq_len * config.hidden,
+                     512 * config.hidden * 4, {word_emb});
+  int x = b.layer_norm("embeddings/ln", pos_emb);
+
+  for (int64_t l = 0; l < config.layers; ++l)
+    x = transformer_block(b, "layer_" + std::to_string(l), x, d);
+
+  // Masked-LM head: transform + decode against the word-embedding matrix.
+  int head = b.op("mlm/transform", OpType::kMatMul,
+                  {config.batch, config.seq_len, config.hidden},
+                  2 * config.batch * config.seq_len * config.hidden *
+                      config.hidden,
+                  config.hidden * config.hidden * 4, {x});
+  int head_ln = b.layer_norm("mlm/ln", head);
+  int logits = b.op("mlm/logits", OpType::kMatMul,
+                    {config.batch, config.seq_len, config.vocab},
+                    2 * config.batch * config.seq_len * config.hidden *
+                        config.vocab,
+                    0, {head_ln, word_emb});
+  int loss = b.softmax_loss("mlm/loss", logits, mlm_labels);
+
+  const int64_t total_params = b.graph().total_param_bytes();
+  for (int64_t l = 0; l < config.layers + 2; ++l)
+    b.apply_gradient("train/apply_" + std::to_string(l), loss,
+                     total_params / (config.layers + 2));
+  return std::move(b).finish();
+}
+
+CompGraph build_transformer(const TransformerConfig& config) {
+  GraphBuilder b("transformer");
+  const AttnDims d{config.batch, config.seq_len, config.hidden, config.heads,
+                   config.ffn};
+
+  int src = b.input("source_ids", {config.batch, config.seq_len});
+  int tgt = b.input("target_ids", {config.batch, config.seq_len});
+  int labels = b.input("labels", {config.batch, config.seq_len});
+
+  int src_emb = b.embedding("encoder/embedding", src, config.vocab,
+                            config.hidden,
+                            {config.batch, config.seq_len, config.hidden});
+  int enc = b.layer_norm("encoder/emb_ln", src_emb);
+  for (int64_t l = 0; l < config.layers; ++l)
+    enc = transformer_block(b, "encoder/layer_" + std::to_string(l), enc, d);
+
+  int tgt_emb = b.embedding("decoder/embedding", tgt, config.vocab,
+                            config.hidden,
+                            {config.batch, config.seq_len, config.hidden});
+  int dec = b.layer_norm("decoder/emb_ln", tgt_emb);
+  for (int64_t l = 0; l < config.layers; ++l) {
+    dec = transformer_block(b, "decoder/self_" + std::to_string(l), dec, d);
+    dec = transformer_block(b, "decoder/cross_" + std::to_string(l), dec, d,
+                            enc);
+  }
+
+  int logits = b.op("decoder/logits", OpType::kMatMul,
+                    {config.batch, config.seq_len, config.vocab},
+                    2 * config.batch * config.seq_len * config.hidden *
+                        config.vocab,
+                    config.hidden * config.vocab * 4, {dec});
+  int loss = b.softmax_loss("loss", logits, labels);
+  const int64_t total_params = b.graph().total_param_bytes();
+  for (int64_t l = 0; l < 2 * config.layers + 2; ++l)
+    b.apply_gradient("train/apply_" + std::to_string(l), loss,
+                     total_params / (2 * config.layers + 2));
+  return std::move(b).finish();
+}
+
+}  // namespace mars

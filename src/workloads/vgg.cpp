@@ -1,0 +1,39 @@
+// VGG16 training graph (Simonyan & Zisserman; Table 3 transfer source).
+#include "workloads/builder.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+
+CompGraph build_vgg16(const Vgg16Config& config) {
+  GraphBuilder b("vgg16");
+  int images =
+      b.input("images", {config.batch, config.image_size, config.image_size, 3});
+  int labels = b.input("labels", {config.batch});
+
+  const int64_t stage_channels[5] = {64, 128, 256, 512, 512};
+  const int stage_convs[5] = {2, 2, 3, 3, 3};
+  int x = images;
+  for (int s = 0; s < 5; ++s) {
+    for (int c = 0; c < stage_convs[s]; ++c) {
+      x = b.conv_bn_relu(
+          "conv" + std::to_string(s + 1) + "_" + std::to_string(c + 1), x,
+          stage_channels[s], 3, 1);
+    }
+    x = b.max_pool("pool" + std::to_string(s + 1), x, 2, 2);
+  }
+  x = b.global_avg_pool("flatten", x);
+  x = b.fully_connected("fc6", x, 4096);
+  x = b.elementwise("fc6/relu", OpType::kRelu, x);
+  x = b.fully_connected("fc7", x, 4096);
+  x = b.elementwise("fc7/relu", OpType::kRelu, x);
+  x = b.fully_connected("fc8", x, 1000);
+  int loss = b.softmax_loss("loss", x, labels);
+
+  const int64_t total_params = b.graph().total_param_bytes();
+  for (int i = 0; i < 6; ++i)
+    b.apply_gradient("train/apply_" + std::to_string(i), loss,
+                     total_params / 6);
+  return std::move(b).finish();
+}
+
+}  // namespace mars

@@ -1,0 +1,91 @@
+// Benchmark workload graph generators.
+//
+// Each builder emits the op-level training graph of one model with realistic
+// topology and cost annotations. Configs default to the paper's settings
+// (§4.1): Inception-V3 at batch 1, GNMT with 4 LSTM layers at batch 256,
+// BERT-Base with sequence length 384 at batch 24. `time_chunk` controls how
+// many unrolled RNN timesteps share one block of ops (1 = fully unrolled, as
+// a TF graph would be; larger values shrink the graph without changing total
+// cost — equivalent to pre-grouped colocation, which all placement papers
+// apply to unrolled RNNs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/comp_graph.h"
+
+namespace mars {
+
+struct InceptionConfig {
+  int64_t batch = 1;
+  int64_t image_size = 299;
+  bool aux_head = true;
+};
+CompGraph build_inception_v3(const InceptionConfig& config = {});
+
+struct GnmtConfig {
+  int64_t batch = 256;
+  int64_t layers = 4;        // encoder and decoder LSTM layers each
+  int64_t hidden = 1024;
+  int64_t vocab = 32000;
+  int64_t seq_len = 48;      // paper limits sequences to 20..50
+  int64_t time_chunk = 8;    // timesteps fused per op block
+};
+CompGraph build_gnmt(const GnmtConfig& config = {});
+
+struct BertConfig {
+  int64_t batch = 24;
+  int64_t layers = 12;       // BERT-Base
+  int64_t hidden = 768;
+  int64_t heads = 12;
+  int64_t ffn = 3072;
+  int64_t seq_len = 384;
+  int64_t vocab = 30522;
+};
+CompGraph build_bert(const BertConfig& config = {});
+
+struct Vgg16Config {
+  int64_t batch = 32;
+  int64_t image_size = 224;
+};
+CompGraph build_vgg16(const Vgg16Config& config = {});
+
+struct RnnSeq2SeqConfig {
+  int64_t batch = 128;
+  int64_t layers = 2;
+  int64_t hidden = 512;
+  int64_t vocab = 16000;
+  int64_t seq_len = 30;
+  int64_t time_chunk = 3;
+};
+CompGraph build_rnn_seq2seq(const RnnSeq2SeqConfig& config = {});
+
+struct TransformerConfig {
+  int64_t batch = 64;
+  int64_t layers = 6;        // encoder and decoder layers each
+  int64_t hidden = 512;
+  int64_t heads = 8;
+  int64_t ffn = 2048;
+  int64_t seq_len = 64;
+  int64_t vocab = 32000;
+};
+CompGraph build_transformer(const TransformerConfig& config = {});
+
+struct ResNetConfig {
+  int64_t batch = 32;
+  int64_t image_size = 224;
+};
+CompGraph build_resnet50(const ResNetConfig& config = {});
+
+/// Registry lookup by name: "inception_v3", "gnmt", "bert", "vgg16",
+/// "rnn_seq2seq", "transformer", "resnet50". Throws CheckError on unknown
+/// names.
+CompGraph build_workload(const std::string& name);
+std::vector<std::string> workload_names();
+
+/// Random layered DAG for property tests: `width` parallel chains of depth
+/// `depth` with random cross-links, realistic op-cost distributions.
+CompGraph build_random_dag(int width, int depth, uint64_t seed);
+
+}  // namespace mars

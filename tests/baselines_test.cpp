@@ -1,0 +1,90 @@
+// Tests for the Grouper-Placer and Encoder-Placer baseline agents.
+#include "baselines/factories.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.h"
+
+namespace mars {
+namespace {
+
+TEST(GrouperPlacer, SampleShapesAndConsistency) {
+  Rng rng(1);
+  auto agent = make_grouper_placer_agent(BaselineScale::fast(), 5, rng);
+  CompGraph g = build_random_dag(4, 10, 5);
+  agent->attach_graph(g);
+  Rng srng(2);
+  ActionSample s = agent->sample(srng);
+  EXPECT_EQ(s.placement.size(), static_cast<size_t>(g.num_nodes()));
+  // internal actions: one group per op + one device per group.
+  EXPECT_GT(s.internal_actions.size(), s.placement.size());
+  ActionEval e = agent->evaluate(s);
+  EXPECT_NEAR(e.total_logp().item(), s.total_logp(),
+              1e-3 + 1e-4 * std::abs(s.total_logp()));
+}
+
+TEST(GrouperPlacer, OpsInSameGroupShareDevice) {
+  Rng rng(3);
+  auto agent = make_grouper_placer_agent(BaselineScale::fast(), 5, rng);
+  CompGraph g = build_random_dag(3, 8, 6);
+  agent->attach_graph(g);
+  Rng srng(4);
+  ActionSample s = agent->sample(srng);
+  const int n = g.num_nodes();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (s.internal_actions[static_cast<size_t>(i)] ==
+          s.internal_actions[static_cast<size_t>(j)]) {
+        EXPECT_EQ(s.placement[static_cast<size_t>(i)],
+                  s.placement[static_cast<size_t>(j)])
+            << "ops " << i << "," << j << " share a group but not a device";
+      }
+    }
+  }
+}
+
+TEST(GrouperPlacer, GradientsFlowToBothNetworks) {
+  Rng rng(5);
+  auto agent = make_grouper_placer_agent(BaselineScale::fast(), 5, rng);
+  CompGraph g = build_random_dag(3, 6, 7);
+  agent->attach_graph(g);
+  Rng srng(6);
+  ActionSample s = agent->sample(srng);
+  ActionEval e = agent->evaluate(s);
+  neg(e.total_logp()).backward();
+  double grouper_grad = 0, placer_grad = 0;
+  for (const auto& p : agent->named_parameters()) {
+    Tensor t = p.tensor;
+    double sum = 0;
+    for (int64_t i = 0; i < t.numel(); ++i) sum += std::abs(t.grad()[i]);
+    if (p.name.rfind("grouper", 0) == 0) grouper_grad += sum;
+    if (p.name.rfind("placer", 0) == 0) placer_grad += sum;
+  }
+  EXPECT_GT(grouper_grad, 0.0);
+  EXPECT_GT(placer_grad, 0.0);
+}
+
+TEST(GdpAgent, BuildsAndSamples) {
+  Rng rng(7);
+  auto agent = make_gdp_agent(BaselineScale::fast(), 5, rng);
+  EXPECT_EQ(agent->describe(), "encoder_placer");
+  CompGraph g = build_random_dag(4, 9, 8);
+  agent->attach_graph(g);
+  Rng srng(8);
+  ActionSample s = agent->sample(srng);
+  EXPECT_EQ(s.placement.size(), static_cast<size_t>(g.num_nodes()));
+  ActionEval e = agent->evaluate(s);
+  EXPECT_NEAR(e.total_logp().item(), s.total_logp(),
+              1e-3 + 1e-4 * std::abs(s.total_logp()));
+}
+
+TEST(BaselineScale, FactoriesExposePaperAndFast) {
+  BaselineScale paper = BaselineScale::paper();
+  BaselineScale fast = BaselineScale::fast();
+  EXPECT_EQ(paper.placer_hidden, 512);
+  EXPECT_EQ(paper.segment_size, 128);
+  EXPECT_LT(fast.placer_hidden, paper.placer_hidden);
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,87 @@
+// Tests for the Graphviz DOT export.
+#include "graph/dot_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.h"
+
+namespace mars {
+namespace {
+
+CompGraph tiny() {
+  CompGraph g("tiny \"quoted\"");
+  int a = g.add_node("in/a", OpType::kInput, {4});
+  int b = g.add_node("body/b", OpType::kMatMul, {4}, 2'000'000'000, 16);
+  g.add_edge(a, b);
+  return g;
+}
+
+TEST(DotExport, EmitsNodesEdgesAndEscapes) {
+  CompGraph g = tiny();
+  std::ostringstream os;
+  write_dot(g, os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph \"tiny \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 ["), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+  EXPECT_NE(dot.find("2 GF"), std::string::npos);  // cost annotation
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExport, PlacementColorsDiffer) {
+  CompGraph g = tiny();
+  DotOptions opts;
+  opts.placement = Placement{0, 1};
+  std::ostringstream os;
+  write_dot(g, os, opts);
+  const std::string dot = os.str();
+  // Two different fill colors must appear.
+  EXPECT_NE(dot.find("#cccccc"), std::string::npos);
+  EXPECT_NE(dot.find("#88ccee"), std::string::npos);
+}
+
+TEST(DotExport, PlacementSizeChecked) {
+  CompGraph g = tiny();
+  DotOptions opts;
+  opts.placement = Placement{0};
+  std::ostringstream os;
+  EXPECT_THROW(write_dot(g, os, opts), CheckError);
+}
+
+TEST(DotExport, ClusteringGroupsByPrefix) {
+  CompGraph g = build_vgg16().coarsen(32);
+  DotOptions opts;
+  opts.cluster_by_prefix = true;
+  std::ostringstream os;
+  write_dot(g, os, opts);
+  EXPECT_NE(os.str().find("subgraph cluster_0"), std::string::npos);
+}
+
+TEST(DotExport, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mars_graph.dot";
+  EXPECT_TRUE(write_dot_file(tiny(), path));
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in));
+  std::remove(path.c_str());
+}
+
+TEST(ResNet50, StructureAndParams) {
+  CompGraph g = build_resnet50();
+  EXPECT_TRUE(g.is_dag());
+  // ResNet-50 has ~25.6M parameters.
+  const double params = static_cast<double>(g.total_param_bytes()) / 4.0;
+  EXPECT_GT(params, 20e6);
+  EXPECT_LT(params, 35e6);
+  // 16 bottleneck blocks → 16 residual adds.
+  int adds = 0;
+  for (const auto& n : g.nodes())
+    if (n.name.find("/add") != std::string::npos) ++adds;
+  EXPECT_EQ(adds, 16);
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,104 @@
+// Property tests on representation invariants: the GCN encoder is
+// permutation-equivariant (relabeling graph nodes permutes the node
+// representations identically), and DGI's summary is permutation-invariant.
+// These are the structural properties that make a graph encoder the right
+// inductive bias for placement (paper §3.1).
+#include <gtest/gtest.h>
+
+#include "core/encoder.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+namespace {
+
+/// Relabels graph nodes by `perm` (new id of old node i is perm[i]).
+CompGraph permute_graph(const CompGraph& g, const std::vector<int>& perm) {
+  std::vector<int> inverse(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i)
+    inverse[static_cast<size_t>(perm[i])] = static_cast<int>(i);
+  CompGraph out(g.name());
+  for (int new_id = 0; new_id < g.num_nodes(); ++new_id) {
+    const OpNode& src = g.node(inverse[static_cast<size_t>(new_id)]);
+    int got = out.add_node(src.name, src.type, src.output_shape, src.flops,
+                           src.param_bytes);
+    out.mutable_node(got).output_bytes = src.output_bytes;
+    out.mutable_node(got).resident_activation_bytes =
+        src.resident_activation_bytes;
+    out.mutable_node(got).gpu_compatible = src.gpu_compatible;
+  }
+  for (int u = 0; u < g.num_nodes(); ++u)
+    for (int v : g.outputs_of(u))
+      out.add_edge(perm[static_cast<size_t>(u)], perm[static_cast<size_t>(v)]);
+  return out;
+}
+
+class EquivarianceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquivarianceTest, GcnEncoderIsPermutationEquivariant) {
+  const uint64_t seed = GetParam();
+  CompGraph g = build_random_dag(4, 8, seed);
+  Rng perm_rng(seed * 31 + 5);
+  std::vector<int> perm = perm_rng.permutation(g.num_nodes());
+  CompGraph gp = permute_graph(g, perm);
+
+  // Same weights on both encoders.
+  Rng w1(7), w2(7);
+  GcnEncoder enc_a(16, 3, w1);
+  GcnEncoder enc_b(16, 3, w2);
+
+  // The topological-position feature is order-dependent for nodes whose
+  // order is ambiguous; neutralize by comparing through structure-only
+  // graphs (distinct costs make topo order tie-breaks irrelevant here is
+  // not guaranteed), so instead compare representations up to the feature
+  // extractor: encode the SAME feature matrix with permuted adjacency.
+  enc_a.attach_graph(g);
+  enc_b.attach_graph(gp);
+  Tensor fa = enc_a.features();
+  Tensor perm_features = Tensor::zeros({fa.rows(), fa.cols()});
+  for (int i = 0; i < g.num_nodes(); ++i)
+    for (int64_t c = 0; c < fa.cols(); ++c)
+      perm_features.data()[static_cast<int64_t>(
+                               perm[static_cast<size_t>(i)]) *
+                               fa.cols() +
+                           c] = fa.at(i, c);
+
+  Tensor ha = enc_a.encode_with(gcn_normalized_adjacency(g), fa);
+  Tensor hb = enc_b.encode_with(gcn_normalized_adjacency(gp), perm_features);
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    for (int64_t c = 0; c < ha.cols(); ++c) {
+      EXPECT_NEAR(ha.at(i, c), hb.at(perm[static_cast<size_t>(i)], c), 1e-4)
+          << "node " << i << " channel " << c;
+    }
+  }
+}
+
+TEST_P(EquivarianceTest, MeanReadoutIsPermutationInvariant) {
+  const uint64_t seed = GetParam();
+  CompGraph g = build_random_dag(3, 10, seed);
+  Rng perm_rng(seed * 17 + 3);
+  std::vector<int> perm = perm_rng.permutation(g.num_nodes());
+  CompGraph gp = permute_graph(g, perm);
+
+  Rng w1(9), w2(9);
+  GcnEncoder enc_a(8, 2, w1), enc_b(8, 2, w2);
+  enc_a.attach_graph(g);
+  enc_b.attach_graph(gp);
+  Tensor fa = enc_a.features();
+  Tensor pf = Tensor::zeros({fa.rows(), fa.cols()});
+  for (int i = 0; i < g.num_nodes(); ++i)
+    for (int64_t c = 0; c < fa.cols(); ++c)
+      pf.data()[static_cast<int64_t>(perm[static_cast<size_t>(i)]) *
+                    fa.cols() +
+                c] = fa.at(i, c);
+
+  Tensor sa = mean_rows(enc_a.encode_with(gcn_normalized_adjacency(g), fa));
+  Tensor sb = mean_rows(enc_b.encode_with(gcn_normalized_adjacency(gp), pf));
+  for (int64_t c = 0; c < sa.cols(); ++c)
+    EXPECT_NEAR(sa.data()[c], sb.data()[c], 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivarianceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,49 @@
+// Finite-difference gradient checking harness for autograd validation.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace mars::testing {
+
+/// Verifies d(fn)/d(inputs) against central finite differences.
+/// `fn` must return a scalar tensor freshly computed from `inputs`.
+inline void expect_gradients_match(
+    std::vector<Tensor> inputs, const std::function<Tensor()>& fn,
+    double rel_tol = 2e-2, double abs_tol = 1e-3) {
+  // Analytic gradients.
+  for (auto& t : inputs) t.zero_grad();
+  Tensor loss = fn();
+  loss.backward();
+  std::vector<std::vector<float>> analytic;
+  for (auto& t : inputs) {
+    analytic.emplace_back(t.grad(), t.grad() + t.numel());
+  }
+
+  const float eps = 1e-3f;
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    Tensor& t = inputs[ti];
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      const float saved = t.data()[i];
+      t.data()[i] = saved + eps;
+      const double up = fn().item();
+      t.data()[i] = saved - eps;
+      const double down = fn().item();
+      t.data()[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double exact = analytic[ti][static_cast<size_t>(i)];
+      const double err = std::abs(numeric - exact);
+      const double scale = std::max(std::abs(numeric), std::abs(exact));
+      EXPECT_LE(err, abs_tol + rel_tol * scale)
+          << "input " << ti << " element " << i << ": analytic " << exact
+          << " vs numeric " << numeric;
+    }
+  }
+}
+
+}  // namespace mars::testing

@@ -1,0 +1,182 @@
+// Tests for the computational-graph substrate: construction, topology,
+// serialization, coarsening, and feature extraction.
+#include "graph/comp_graph.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/features.h"
+
+namespace mars {
+namespace {
+
+CompGraph diamond() {
+  CompGraph g("diamond");
+  int a = g.add_node("a", OpType::kInput, {4}, 0, 0);
+  int b = g.add_node("b", OpType::kMatMul, {4}, 100, 64);
+  int c = g.add_node("c", OpType::kRelu, {4}, 10, 0);
+  int d = g.add_node("d", OpType::kAdd, {4}, 20, 0);
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+TEST(CompGraph, BasicStructure) {
+  CompGraph g = diamond();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.inputs_of(3).size(), 2u);
+  EXPECT_EQ(g.outputs_of(0).size(), 2u);
+  EXPECT_EQ(g.node(1).output_bytes, 4 * 4);
+  EXPECT_EQ(g.total_flops(), 130);
+  EXPECT_EQ(g.total_param_bytes(), 64);
+}
+
+TEST(CompGraph, TopoOrderRespectsEdges) {
+  CompGraph g = diamond();
+  const auto& order = g.topo_order();
+  std::vector<int> pos(4);
+  for (size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  for (int v = 0; v < 4; ++v)
+    for (int w : g.outputs_of(v)) EXPECT_LT(pos[static_cast<size_t>(v)], pos[static_cast<size_t>(w)]);
+}
+
+TEST(CompGraph, CycleDetection) {
+  CompGraph g;
+  int a = g.add_node("a", OpType::kAdd, {1});
+  int b = g.add_node("b", OpType::kAdd, {1});
+  g.add_edge(a, b);
+  EXPECT_TRUE(g.is_dag());
+  g.add_edge(b, a);
+  EXPECT_FALSE(g.is_dag());
+  EXPECT_THROW(g.topo_order(), CheckError);
+}
+
+TEST(CompGraph, RejectsBadEdges) {
+  CompGraph g;
+  int a = g.add_node("a", OpType::kAdd, {1});
+  EXPECT_THROW(g.add_edge(a, a), CheckError);
+  EXPECT_THROW(g.add_edge(a, 5), CheckError);
+  EXPECT_THROW(g.add_edge(-1, a), CheckError);
+}
+
+TEST(CompGraph, SaveLoadRoundTrip) {
+  CompGraph g = diamond();
+  std::stringstream ss;
+  g.save(ss);
+  CompGraph h = CompGraph::load(ss);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.name(), g.name());
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(h.node(i).name, g.node(i).name);
+    EXPECT_EQ(h.node(i).type, g.node(i).type);
+    EXPECT_EQ(h.node(i).flops, g.node(i).flops);
+    EXPECT_EQ(h.node(i).output_bytes, g.node(i).output_bytes);
+    EXPECT_EQ(h.node(i).param_bytes, g.node(i).param_bytes);
+    EXPECT_EQ(h.node(i).output_shape, g.node(i).output_shape);
+    EXPECT_EQ(h.inputs_of(i), g.inputs_of(i));
+  }
+}
+
+TEST(OpTypes, NamesRoundTrip) {
+  for (int i = 0; i < kNumOpTypes; ++i) {
+    const OpType t = static_cast<OpType>(i);
+    EXPECT_EQ(op_type_from_name(op_type_name(t)), t);
+  }
+  EXPECT_THROW(op_type_from_name("Bogus"), CheckError);
+}
+
+TEST(Coarsen, PreservesTotalsAndDag) {
+  // Long chain of cheap ops hanging off one expensive op.
+  CompGraph g("chain");
+  int prev = g.add_node("conv", OpType::kConv2D, {128}, 1000000, 4096);
+  for (int i = 0; i < 40; ++i) {
+    int n = g.add_node("relu" + std::to_string(i), OpType::kRelu, {128}, 10, 0);
+    g.add_edge(prev, n);
+    prev = n;
+  }
+  CompGraph c = g.coarsen(8);
+  EXPECT_LE(c.num_nodes(), 8);
+  EXPECT_TRUE(c.is_dag());
+  EXPECT_EQ(c.total_flops(), g.total_flops());
+  EXPECT_EQ(c.total_param_bytes(), g.total_param_bytes());
+}
+
+TEST(Coarsen, NoOpWhenUnderBudget) {
+  CompGraph g = diamond();
+  CompGraph c = g.coarsen(100);
+  EXPECT_EQ(c.num_nodes(), g.num_nodes());
+}
+
+TEST(Coarsen, KeepsCpuPinnedOpsSeparate) {
+  CompGraph g("pinned");
+  int in = g.add_node("input", OpType::kInput, {4});
+  int prev = in;
+  for (int i = 0; i < 10; ++i) {
+    int n = g.add_node("op" + std::to_string(i), OpType::kRelu, {4}, 1, 0);
+    g.add_edge(prev, n);
+    prev = n;
+  }
+  CompGraph c = g.coarsen(2);
+  // The Input op must survive as its own node.
+  int inputs = 0;
+  for (const auto& n : c.nodes())
+    if (n.type == OpType::kInput) ++inputs;
+  EXPECT_EQ(inputs, 1);
+}
+
+TEST(Features, DimensionAndRange) {
+  CompGraph g = diamond();
+  Tensor x = node_features(g);
+  EXPECT_EQ(x.rows(), 4);
+  EXPECT_EQ(x.cols(), node_feature_dim());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_GE(x.data()[i], 0.0f);
+    EXPECT_LE(x.data()[i], 1.0f);
+  }
+}
+
+TEST(Features, OneHotMatchesOpType) {
+  CompGraph g = diamond();
+  Tensor x = node_features(g);
+  for (const auto& n : g.nodes()) {
+    for (int t = 0; t < kNumOpTypes; ++t) {
+      const float expect = t == static_cast<int>(n.type) ? 1.0f : 0.0f;
+      EXPECT_FLOAT_EQ(x.at(n.id, t), expect);
+    }
+  }
+}
+
+TEST(Features, GcnAdjacencyIsSymmetricNormalized) {
+  CompGraph g = diamond();
+  auto adj = gcn_normalized_adjacency(g);
+  EXPECT_EQ(adj->n(), 4);
+  // Row sums of D^-1/2 Â D^-1/2 applied to the all-ones vector equal 1 for
+  // a regular graph; in general each entry is 1/sqrt(d_u d_v) — check
+  // symmetry via transpose equality on a probe vector.
+  std::vector<float> probe = {1, 2, 3, 4};
+  std::vector<float> a(4), at(4);
+  adj->multiply(probe.data(), 1, a.data());
+  adj->transposed().multiply(probe.data(), 1, at.data());
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(a[i], at[i], 1e-6);
+  // Self-loops present: (A x)_i must involve x_i.
+  std::vector<float> e0 = {1, 0, 0, 0}, y(4);
+  adj->multiply(e0.data(), 1, y.data());
+  EXPECT_GT(y[0], 0.0f);
+}
+
+TEST(Features, MeanAdjacencyRowsSumToOne) {
+  CompGraph g = diamond();
+  auto adj = mean_adjacency(g);
+  std::vector<float> ones = {1, 1, 1, 1}, y(4);
+  adj->multiply(ones.data(), 1, y.data());
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(y[i], 1.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace mars

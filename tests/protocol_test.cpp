@@ -1,0 +1,187 @@
+// Edge-case and protocol tests: trial accounting math, the no-valid-
+// placement path, serialization errors, coarsening idempotence, placer
+// determinism, and agent checkpointing.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/mars.h"
+#include "nn/serialize.h"
+#include "rl/optimizer.h"
+#include "sim/trial.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+namespace {
+
+TEST(TrialProtocol, EnvironmentSecondsMatchFormula) {
+  CompGraph g("one");
+  g.add_node("op", OpType::kMatMul, {64}, 1'000'000'000, 0);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  TrialConfig tc;
+  tc.noise_sigma = 0.0;
+  TrialRunner runner(sim, tc);
+  Rng rng(1);
+  TrialResult t = runner.run({1}, rng);
+  ASSERT_TRUE(t.valid);
+  // env = reinit + warmup (5 steps at 1.5x) + 10 measured steps.
+  const double expected =
+      tc.reinit_overhead_s + 5 * 1.5 * t.step_time + 10 * t.step_time;
+  EXPECT_NEAR(runner.environment_seconds(), expected, 1e-9);
+  // With zero noise the measured mean equals the simulated time exactly.
+  SimResult exact = sim.simulate({1});
+  EXPECT_DOUBLE_EQ(t.step_time, exact.step_time);
+}
+
+TEST(TrialProtocol, OomChargesOnlyReinit) {
+  CompGraph g("oom");
+  g.add_node("w", OpType::kMatMul, {16}, 1000, int64_t{13} * (1 << 30));
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  TrialConfig tc;
+  TrialRunner runner(sim, tc);
+  Rng rng(2);
+  runner.run({1}, rng);
+  EXPECT_DOUBLE_EQ(runner.environment_seconds(), tc.reinit_overhead_s);
+}
+
+/// A policy that can only ever produce OOM placements.
+class DoomedPolicy : public PlacementPolicy {
+ public:
+  explicit DoomedPolicy(int n) : n_(n) {
+    logits_ = add_param("l", Tensor::zeros({n, 2}, true));
+  }
+  void attach_graph(const CompGraph&) override {}
+  ActionSample sample(Rng& rng) override {
+    ActionSample s;
+    s.placement = sample_rows(logits_, rng);
+    for (auto& d : s.placement) d = 1;  // always the tiny GPU
+    Tensor lp = gather_per_row(log_softmax_rows(logits_), s.placement);
+    s.logp_terms.assign(lp.data(), lp.data() + lp.numel());
+    return s;
+  }
+  ActionEval evaluate(const ActionSample& sample) override {
+    Tensor lp = log_softmax_rows(logits_);
+    Tensor probs = softmax_rows(logits_);
+    return {gather_per_row(lp, sample.placement),
+            scale(sum_all(mul(probs, lp)), -1.0f / static_cast<float>(n_))};
+  }
+  int num_devices() const override { return 2; }
+  std::string describe() const override { return "doomed"; }
+
+ private:
+  int n_;
+  Tensor logits_;
+};
+
+TEST(OptimizePlacement, ReportsWhenNoValidPlacementExists) {
+  // One op whose parameters exceed every GPU; the policy insists on GPUs.
+  CompGraph g("impossible");
+  g.add_node("w", OpType::kMatMul, {16}, 1000, int64_t{14} * (1 << 30));
+  ExecutionSimulator sim(g, MachineSpec::with_gpus(1));
+  TrialRunner runner(sim);
+  DoomedPolicy policy(1);
+  OptimizeConfig cfg;
+  cfg.max_rounds = 2;
+  cfg.ppo.placements_per_policy = 3;
+  OptimizeResult r = optimize_placement(policy, runner, cfg, 3);
+  EXPECT_FALSE(r.found_valid);
+  EXPECT_DOUBLE_EQ(r.best_step_time, runner.config().invalid_time_s);
+  EXPECT_EQ(r.best_placement.size(), 1u);
+}
+
+TEST(GraphSerialize, RejectsUnknownRecord) {
+  std::istringstream in("garbage 1 2 3\n");
+  EXPECT_THROW(CompGraph::load(in), CheckError);
+}
+
+TEST(GraphSerialize, WorkloadRoundTripsThroughText) {
+  CompGraph g = build_vgg16().coarsen(40);
+  std::stringstream ss;
+  g.save(ss);
+  CompGraph h = CompGraph::load(ss);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.total_flops(), g.total_flops());
+  EXPECT_EQ(h.total_param_bytes(), g.total_param_bytes());
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(h.node(i).resident_activation_bytes,
+              g.node(i).resident_activation_bytes);
+  }
+}
+
+TEST(Coarsen, Idempotent) {
+  CompGraph g = build_inception_v3();
+  CompGraph once = g.coarsen(64);
+  CompGraph twice = once.coarsen(64);
+  EXPECT_EQ(once.num_nodes(), twice.num_nodes());
+  EXPECT_EQ(once.total_flops(), twice.total_flops());
+}
+
+TEST(Coarsen, ResidentMemoryPreserved) {
+  CompGraph g = build_gnmt();
+  CompGraph c = g.coarsen(48);
+  int64_t before = 0, after = 0;
+  for (const auto& n : g.nodes()) before += n.resident_activation_bytes;
+  for (const auto& n : c.nodes()) after += n.resident_activation_bytes;
+  EXPECT_EQ(before, after)
+      << "fused interior activations must still count against memory";
+}
+
+TEST(SegmentPlacer, DeterministicForSeed) {
+  Rng rng(5);
+  SegSeq2SeqConfig cfg;
+  cfg.rep_dim = 8;
+  cfg.hidden = 8;
+  cfg.segment_size = 4;
+  SegmentSeq2SeqPlacer placer(cfg, rng);
+  Rng data_rng(6);
+  Tensor reps = Tensor::randn({10, 8}, data_rng, 1.0f);
+  Rng s1(7), s2(7);
+  auto a = placer.place(reps, nullptr, &s1);
+  auto b = placer.place(reps, nullptr, &s2);
+  EXPECT_EQ(a.actions, b.actions);
+}
+
+TEST(MarsAgent, CheckpointRoundTripPreservesPolicy) {
+  Rng rng(8);
+  MarsConfig cfg = MarsConfig::fast();
+  auto a = make_mars_agent(cfg, 5, rng);
+  auto b = make_mars_agent(cfg, 5, rng);  // different random init
+  CompGraph g = build_random_dag(3, 8, 4);
+  a->attach_graph(g);
+  b->attach_graph(g);
+
+  const std::string path = ::testing::TempDir() + "/mars_agent.bin";
+  ASSERT_TRUE(save_parameters(*a, path));
+  ASSERT_TRUE(load_parameters(*b, path));
+
+  // Identical parameters => identical sampling behavior for the same seed.
+  Rng sa(9), sb(9);
+  ActionSample x = a->sample(sa);
+  ActionSample y = b->sample(sb);
+  EXPECT_EQ(x.placement, y.placement);
+  EXPECT_NEAR(x.total_logp(), y.total_logp(), 1e-5);
+  std::remove(path.c_str());
+}
+
+TEST(Machine, WithGpusScales) {
+  for (int g : {1, 2, 8}) {
+    MachineSpec m = MachineSpec::with_gpus(g);
+    EXPECT_EQ(static_cast<int>(m.gpu_devices().size()), g);
+    EXPECT_EQ(m.num_devices(), g + 1);
+  }
+  EXPECT_THROW(MachineSpec::with_gpus(0), CheckError);
+}
+
+TEST(CostModelConfig, ReservedFractionShrinksUsable) {
+  CostModelConfig a;
+  a.reserved_memory_fraction = 0.0;
+  CostModelConfig b;
+  b.reserved_memory_fraction = 0.5;
+  DeviceSpec dev;
+  dev.mem_bytes = 1000;
+  EXPECT_EQ(CostModel(a).usable_bytes(dev), 1000);
+  EXPECT_EQ(CostModel(b).usable_bytes(dev), 500);
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,137 @@
+// Tests for the classical search baselines and the multilevel partitioner.
+#include "baselines/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/partitioner.h"
+#include "baselines/static_placements.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+namespace {
+
+struct SearchEnv {
+  CompGraph graph;
+  MachineSpec machine = MachineSpec::default_4gpu();
+  std::unique_ptr<ExecutionSimulator> sim;
+  std::unique_ptr<TrialRunner> runner;
+
+  explicit SearchEnv(CompGraph g) : graph(std::move(g)) {
+    sim = std::make_unique<ExecutionSimulator>(graph, machine);
+    TrialConfig tc;
+    tc.noise_sigma = 0.0;  // deterministic for invariants
+    runner = std::make_unique<TrialRunner>(*sim, tc);
+  }
+};
+
+TEST(RandomSearch, FindsValidAndTracks) {
+  SearchEnv env(build_random_dag(4, 10, 3));
+  SearchConfig cfg;
+  cfg.max_trials = 60;
+  SearchResult r = random_search(*env.runner, cfg, 1);
+  EXPECT_EQ(r.trials, 60);
+  EXPECT_TRUE(r.found_valid());
+  EXPECT_EQ(r.trace.size(), 60u);
+  // Trace of best-so-far is non-increasing once valid.
+  for (size_t i = 1; i < r.trace.size(); ++i)
+    EXPECT_LE(r.trace[i], r.trace[i - 1] + 1e-12);
+  // The best placement reproduces the reported time.
+  SimResult check = env.sim->simulate(r.best_placement);
+  EXPECT_FALSE(check.oom);
+  EXPECT_NEAR(check.step_time, r.best_step_time, 1e-12);
+}
+
+TEST(HillClimb, ImprovesOverFirstValid) {
+  SearchEnv env(build_random_dag(4, 12, 5));
+  SearchConfig cfg;
+  cfg.max_trials = 120;
+  SearchResult r = hill_climb(*env.runner, cfg, 2);
+  ASSERT_TRUE(r.found_valid());
+  // First valid time in the trace must not beat the final best.
+  EXPECT_LE(r.best_step_time, r.trace.front() + 1e-12);
+}
+
+TEST(SimulatedAnnealing, AtLeastMatchesInit) {
+  SearchEnv env(build_inception_v3().coarsen(48));
+  Placement init = gpu_only_placement(env.graph, env.machine);
+  SimResult init_r = env.sim->simulate(init);
+  ASSERT_FALSE(init_r.oom);
+  SearchConfig cfg;
+  cfg.max_trials = 150;
+  SearchResult r = simulated_annealing(*env.runner, cfg, 3, &init);
+  ASSERT_TRUE(r.found_valid());
+  EXPECT_LE(r.best_step_time, init_r.step_time + 1e-12);
+}
+
+TEST(SimulatedAnnealing, CompetitiveWithRandomSearchOnStructuredGraph) {
+  SearchEnv env(build_inception_v3().coarsen(64));
+  SearchConfig cfg;
+  cfg.max_trials = 300;
+  Placement init = gpu_only_placement(env.graph, env.machine);
+  SearchResult sa = simulated_annealing(*env.runner, cfg, 4, &init);
+  SearchResult rnd = random_search(*env.runner, cfg, 4);
+  ASSERT_TRUE(sa.found_valid());
+  ASSERT_TRUE(rnd.found_valid());
+  // Local refinement from a structured start should not lose to blind
+  // sampling by much (tolerance absorbs seed luck on small budgets).
+  EXPECT_LE(sa.best_step_time, rnd.best_step_time * 1.15);
+}
+
+TEST(Partitioner, ProducesValidBalancedPlacement) {
+  CompGraph g = build_gnmt();
+  MachineSpec m = MachineSpec::default_4gpu();
+  CostModel cm;
+  Placement p = partition_placement(g, m, cm, {}, 1);
+  ASSERT_EQ(p.size(), static_cast<size_t>(g.num_nodes()));
+  // Incompatible ops on the CPU; compatible ops on GPUs.
+  for (const auto& node : g.nodes()) {
+    const int d = p[static_cast<size_t>(node.id)];
+    if (!node.gpu_compatible) {
+      EXPECT_EQ(d, m.cpu_device());
+    } else {
+      EXPECT_EQ(m.device(d).kind, DeviceKind::kGpu);
+    }
+  }
+  // It must respect memory: GNMT cannot fit one GPU, so the partitioner
+  // must produce a runnable multi-GPU split.
+  ExecutionSimulator sim(g, m);
+  SimResult r = sim.simulate(p);
+  EXPECT_FALSE(r.oom) << "partitioner violated memory constraints";
+}
+
+TEST(Partitioner, CutNoWorseThanRandomPlacement) {
+  CompGraph g = build_bert().coarsen(128);
+  MachineSpec m = MachineSpec::default_4gpu();
+  CostModel cm;
+  Placement part = partition_placement(g, m, cm, {}, 2);
+  Rng rng(3);
+  int64_t random_cut_total = 0;
+  const int kTrials = 5;
+  for (int t = 0; t < kTrials; ++t) {
+    Placement random(static_cast<size_t>(g.num_nodes()));
+    for (auto& d : random) d = 1 + static_cast<int>(rng.uniform_int(4));
+    random_cut_total += placement_cut_bytes(g, random);
+  }
+  EXPECT_LT(placement_cut_bytes(g, part), random_cut_total / kTrials)
+      << "multilevel partitioner should cut fewer bytes than random";
+}
+
+TEST(Partitioner, DeterministicForSeed) {
+  CompGraph g = build_vgg16();
+  MachineSpec m = MachineSpec::default_4gpu();
+  CostModel cm;
+  EXPECT_EQ(partition_placement(g, m, cm, {}, 7),
+            partition_placement(g, m, cm, {}, 7));
+}
+
+TEST(Partitioner, SingleGpuDegeneratesToGpuOnly) {
+  CompGraph g = build_inception_v3().coarsen(64);
+  MachineSpec m = MachineSpec::with_gpus(1);
+  CostModel cm;
+  Placement p = partition_placement(g, m, cm, {}, 1);
+  Placement gpu_only = gpu_only_placement(g, m);
+  EXPECT_EQ(p, gpu_only);
+}
+
+}  // namespace
+}  // namespace mars

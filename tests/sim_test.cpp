@@ -1,0 +1,297 @@
+// Tests for the machine model, cost model, and the discrete-event execution
+// simulator, including parameterized property sweeps on random DAGs.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/static_placements.h"
+#include "sim/trial.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+namespace {
+
+TEST(MachineSpec, Default4GpuLayout) {
+  MachineSpec m = MachineSpec::default_4gpu();
+  EXPECT_EQ(m.num_devices(), 5);
+  EXPECT_EQ(m.cpu_device(), 0);
+  EXPECT_EQ(m.gpu_devices().size(), 4u);
+  EXPECT_EQ(m.device(1).kind, DeviceKind::kGpu);
+  EXPECT_EQ(m.device(1).mem_bytes, int64_t{12} * (1 << 30));
+  // Same-device "link" is effectively free.
+  EXPECT_GT(m.link(1, 1).bandwidth_gbps, 1e6);
+  EXPECT_GT(m.link(0, 1).latency_s, 0);
+}
+
+TEST(CostModel, ComputeBoundVsBandwidthBound) {
+  CostModel cm;
+  MachineSpec m = MachineSpec::default_4gpu();
+  // Heavy conv: compute bound.
+  OpNode conv;
+  conv.type = OpType::kConv2D;
+  conv.flops = 10'000'000'000;
+  conv.output_bytes = 1 << 20;
+  const double t_conv = cm.exec_time(conv, m.device(1), 1 << 20);
+  EXPECT_GT(t_conv, conv.flops * 3.0 / (9300e9));  // at least peak-bound
+
+  // Huge elementwise: bandwidth bound.
+  OpNode ew;
+  ew.type = OpType::kAdd;
+  ew.flops = 1000;
+  ew.output_bytes = 512 << 20;
+  const double t_ew = cm.exec_time(ew, m.device(1), 512 << 20);
+  EXPECT_GT(t_ew, 1e-3);  // 3 GB at 550 GB/s ≈ 5.6 ms
+}
+
+TEST(CostModel, TinyOpsFasterOnCpu) {
+  CostModel cm;
+  MachineSpec m = MachineSpec::default_4gpu();
+  OpNode tiny;
+  tiny.type = OpType::kIdentity;
+  tiny.flops = 100;
+  tiny.output_bytes = 64;
+  // GPU launch overhead dominates the tiny op; CPU dispatch is cheaper.
+  EXPECT_LT(cm.exec_time(tiny, m.device(0), 64),
+            cm.exec_time(tiny, m.device(1), 64));
+}
+
+TEST(CostModel, TransferTimeScalesWithBytes) {
+  CostModel cm;
+  LinkSpec link{10.0, 1e-5};
+  const double t1 = cm.transfer_time(1 << 20, link);
+  const double t2 = cm.transfer_time(1 << 24, link);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(cm.transfer_time(0, link), 1e-5, 1e-9);
+}
+
+// A two-op chain across devices must pay the transfer cost.
+TEST(Simulator, ChainPaysCommunication) {
+  CompGraph g("chain");
+  int a = g.add_node("a", OpType::kMatMul, {1 << 20}, 1'000'000'000, 0);
+  int b = g.add_node("b", OpType::kMatMul, {1024}, 1'000'000'000, 0);
+  g.add_edge(a, b);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+
+  SimResult same = sim.simulate({1, 1});
+  SimResult split = sim.simulate({1, 2});
+  EXPECT_FALSE(same.oom);
+  EXPECT_EQ(same.comm_bytes, 0);
+  EXPECT_GT(split.comm_bytes, 0);
+  EXPECT_GT(split.step_time, same.step_time);
+  // Transfer of 4 MB at 10 GB/s ≈ 0.4 ms extra.
+  EXPECT_NEAR(split.step_time - same.step_time, 4e6 / 10e9, 3e-4);
+}
+
+// Two independent heavy ops: two devices should nearly halve the makespan.
+TEST(Simulator, ParallelismHelps) {
+  CompGraph g("par");
+  int x = g.add_node("in", OpType::kInput, {4}, 0, 0);
+  for (int i = 0; i < 2; ++i) {
+    int n = g.add_node("op" + std::to_string(i), OpType::kConv2D, {1024},
+                       50'000'000'000, 0);
+    g.add_edge(x, n);
+  }
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  SimResult serial = sim.simulate({0, 1, 1});
+  SimResult parallel = sim.simulate({0, 1, 2});
+  EXPECT_LT(parallel.step_time, 0.65 * serial.step_time);
+}
+
+TEST(Simulator, MakespanNeverBelowCriticalPath) {
+  CompGraph g = build_random_dag(5, 20, 7);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Placement p(static_cast<size_t>(g.num_nodes()));
+    for (auto& d : p) d = static_cast<int>(rng.uniform_int(5));
+    SimResult r = sim.simulate(p);
+    if (r.oom) continue;
+    EXPECT_GE(r.step_time, r.critical_path - 1e-9);
+  }
+}
+
+TEST(Simulator, SoftPlacementMovesIncompatibleOps) {
+  CompGraph g("pin");
+  int in = g.add_node("in", OpType::kInput, {1024}, 0, 0);
+  int op = g.add_node("op", OpType::kMatMul, {1024}, 1'000'000, 0);
+  g.add_edge(in, op);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  Placement eff = sim.effective_placement({2, 2});
+  EXPECT_EQ(eff[0], 0);  // Input forced to CPU
+  EXPECT_EQ(eff[1], 2);
+}
+
+TEST(Simulator, OomDetection) {
+  CompGraph g("big");
+  // 4 params of 5 GB each: any single 12 GB GPU OOMs (x4 optimizer factor),
+  // and even spread across 4 GPUs it OOMs; only the 120 GB CPU fits them.
+  int prev = -1;
+  for (int i = 0; i < 4; ++i) {
+    int n = g.add_node("w" + std::to_string(i), OpType::kMatMul, {16},
+                       1000, int64_t{5} * (1 << 30));
+    if (prev >= 0) g.add_edge(prev, n);
+    prev = n;
+  }
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  SimResult one_gpu = sim.simulate({1, 1, 1, 1});
+  EXPECT_TRUE(one_gpu.oom);
+  EXPECT_EQ(one_gpu.oom_devices.size(), 1u);
+  SimResult spread = sim.simulate({1, 2, 3, 4});
+  EXPECT_TRUE(spread.oom);  // 20 GB resident per GPU
+  SimResult cpu = sim.simulate({0, 0, 0, 0});
+  EXPECT_FALSE(cpu.oom);
+}
+
+TEST(Simulator, TransferDeduplicatedPerDevice) {
+  CompGraph g("fanout");
+  int a = g.add_node("a", OpType::kMatMul, {1 << 18}, 1'000'000, 0);
+  // Three consumers on the same remote device: one transfer, not three.
+  for (int i = 0; i < 3; ++i) {
+    int n = g.add_node("c" + std::to_string(i), OpType::kAdd, {16}, 100, 0);
+    g.add_edge(a, n);
+  }
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  SimResult r = sim.simulate({1, 2, 2, 2});
+  EXPECT_EQ(r.num_transfers, 1);
+  EXPECT_EQ(r.comm_bytes, (1 << 18) * 4);
+}
+
+TEST(Simulator, ResidentMemoryAccounting) {
+  CompGraph g("mem");
+  g.add_node("w", OpType::kMatMul, {256}, 1000, 1 << 20);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  SimResult r = sim.simulate({1});
+  // params x4 + activation (256*4 bytes) x2.
+  EXPECT_EQ(r.resident_bytes[1], int64_t{4} * (1 << 20) + 2 * 256 * 4);
+}
+
+TEST(Simulator, LifetimePeakBelowTotalActivations) {
+  CompGraph g = build_random_dag(4, 30, 9);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  SimResult r = sim.simulate(Placement(static_cast<size_t>(g.num_nodes()), 1));
+  ASSERT_FALSE(r.oom);
+  int64_t total = 0;
+  for (const auto& n : g.nodes()) total += n.output_bytes;
+  EXPECT_LE(r.peak_activation_bytes[1], total);
+  EXPECT_GT(r.peak_activation_bytes[1], 0);
+}
+
+// Property sweep: random DAGs x random placements keep core invariants.
+class SimulatorProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulatorProperty, InvariantsHold) {
+  const uint64_t seed = GetParam();
+  CompGraph g = build_random_dag(3 + static_cast<int>(seed % 5),
+                                 10 + static_cast<int>(seed % 17),
+                                 seed);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  Rng rng(seed * 7 + 1);
+  Placement p(static_cast<size_t>(g.num_nodes()));
+  for (auto& d : p) d = static_cast<int>(rng.uniform_int(5));
+  SimResult r = sim.simulate(p);
+  if (r.oom) return;
+
+  // (1) makespan >= critical path and >= any single device's busy time
+  EXPECT_GE(r.step_time, r.critical_path - 1e-12);
+  double busy_total = 0;
+  for (double b : r.device_busy) {
+    EXPECT_LE(b, r.step_time + 1e-9);
+    busy_total += b;
+  }
+  // (2) work conservation: total busy time equals sum of exec times > 0
+  EXPECT_GT(busy_total, 0.0);
+  // (3) determinism: same placement, same result
+  SimResult r2 = sim.simulate(p);
+  EXPECT_DOUBLE_EQ(r.step_time, r2.step_time);
+  EXPECT_EQ(r.comm_bytes, r2.comm_bytes);
+  // (4) single-device placement has zero communication. (CPU-only: a
+  // GPU-only placement still pays transfers for soft-placed Input ops.)
+  SimResult solo = sim.simulate(Placement(p.size(), 0));
+  if (!solo.oom) EXPECT_EQ(solo.comm_bytes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, SimulatorProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(TrialRunner, MeasuresWithNoiseAroundTruth) {
+  CompGraph g("chain");
+  int a = g.add_node("a", OpType::kMatMul, {1024}, 5'000'000'000, 0);
+  int b = g.add_node("b", OpType::kMatMul, {1024}, 5'000'000'000, 0);
+  g.add_edge(a, b);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  TrialRunner runner(sim);
+  Rng rng(1);
+  SimResult truth = sim.simulate({1, 1});
+  TrialResult t = runner.run({1, 1}, rng);
+  EXPECT_TRUE(t.valid);
+  EXPECT_FALSE(t.bad);
+  EXPECT_NEAR(t.step_time, truth.step_time, truth.step_time * 0.1);
+  EXPECT_GT(runner.environment_seconds(), 0.0);
+}
+
+TEST(TrialRunner, InvalidPlacementGetsPenalty) {
+  CompGraph g("oom");
+  g.add_node("w", OpType::kMatMul, {16}, 1000, int64_t{13} * (1 << 30));
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  TrialRunner runner(sim);
+  Rng rng(2);
+  TrialResult t = runner.run({1}, rng);
+  EXPECT_FALSE(t.valid);
+  EXPECT_DOUBLE_EQ(t.step_time, 100.0);  // §3.4 penalty
+}
+
+TEST(TrialRunner, BadPlacementCutOff) {
+  CompGraph g("slow");
+  // One op whose CPU time exceeds the cutoff.
+  g.add_node("w", OpType::kMatMul, {16}, int64_t{4'000'000'000'000}, 0);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  TrialConfig cfg;
+  cfg.bad_cutoff_s = 20.0;
+  TrialRunner runner(sim, cfg);
+  Rng rng(3);
+  TrialResult t = runner.run({0}, rng);  // CPU: 12 TFLOP at ~90 GFLOP/s
+  EXPECT_TRUE(t.valid);
+  EXPECT_TRUE(t.bad);
+  EXPECT_DOUBLE_EQ(t.step_time, 20.0);
+}
+
+TEST(TrialRunner, EnvironmentTimeAccumulates) {
+  CompGraph g("tiny");
+  g.add_node("w", OpType::kMatMul, {16}, 1'000'000, 0);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  TrialRunner runner(sim);
+  Rng rng(4);
+  runner.run({1}, rng);
+  const double after_one = runner.environment_seconds();
+  runner.run({1}, rng);
+  EXPECT_GT(runner.environment_seconds(), after_one);
+  runner.reset_environment_seconds();
+  EXPECT_DOUBLE_EQ(runner.environment_seconds(), 0.0);
+}
+
+TEST(StaticPlacements, GpuOnlyAndExpert) {
+  CompGraph g = build_gnmt(GnmtConfig{.batch = 8,
+                                      .layers = 4,
+                                      .hidden = 64,
+                                      .vocab = 1000,
+                                      .seq_len = 8,
+                                      .time_chunk = 4});
+  MachineSpec m = MachineSpec::default_4gpu();
+  Placement gpu_only = gpu_only_placement(g, m);
+  Placement expert = human_expert_placement(g, m);
+  int cpu_ops = 0, devices_used = 0;
+  std::vector<bool> used(5, false);
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (gpu_only[static_cast<size_t>(i)] == 0) {
+      ++cpu_ops;
+      EXPECT_FALSE(g.node(i).gpu_compatible);
+    }
+    used[static_cast<size_t>(expert[static_cast<size_t>(i)])] = true;
+  }
+  for (bool u : used) devices_used += u;
+  EXPECT_GT(cpu_ops, 0);            // input ops pinned to CPU
+  EXPECT_GE(devices_used, 4);       // expert round-robins layers over GPUs
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,90 @@
+// Tests for CSR matrices and the differentiable sparse-dense product.
+#include "tensor/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/ops.h"
+
+namespace mars {
+namespace {
+
+TEST(Csr, BuildsAndSumsDuplicates) {
+  Csr m(3, {{0, 1, 2.0f}, {0, 1, 3.0f}, {2, 0, 1.0f}});
+  EXPECT_EQ(m.n(), 3);
+  EXPECT_EQ(m.nnz(), 2);  // duplicate (0,1) summed
+  std::vector<float> x = {1, 1, 1};
+  std::vector<float> y(3);
+  m.multiply(x.data(), 1, y.data());
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 1.0f);
+}
+
+TEST(Csr, RejectsOutOfRange) {
+  EXPECT_THROW(Csr(2, {{0, 2, 1.0f}}), CheckError);
+  EXPECT_THROW(Csr(2, {{-1, 0, 1.0f}}), CheckError);
+}
+
+TEST(Csr, TransposeMatchesManual) {
+  Csr m(3, {{0, 1, 2.0f}, {1, 2, 3.0f}, {2, 0, 4.0f}});
+  const Csr& t = m.transposed();
+  // t should have (1,0,2), (2,1,3), (0,2,4)
+  std::vector<float> x = {1, 0, 0};
+  std::vector<float> y(3);
+  t.multiply(x.data(), 1, y.data());
+  EXPECT_FLOAT_EQ(y[1], 2.0f);  // t[1][0] = 2
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 0.0f);
+}
+
+TEST(Csr, MultiplyMultiColumn) {
+  Csr m(2, {{0, 0, 2.0f}, {0, 1, 1.0f}, {1, 1, 3.0f}});
+  std::vector<float> x = {1, 2, 3, 4};  // [[1,2],[3,4]]
+  std::vector<float> y(4);
+  m.multiply(x.data(), 2, y.data());
+  EXPECT_FLOAT_EQ(y[0], 2 * 1 + 1 * 3);
+  EXPECT_FLOAT_EQ(y[1], 2 * 2 + 1 * 4);
+  EXPECT_FLOAT_EQ(y[2], 3 * 3);
+  EXPECT_FLOAT_EQ(y[3], 3 * 4);
+}
+
+TEST(Spmm, ForwardMatchesDenseMatmul) {
+  Rng rng(5);
+  auto a = std::make_shared<Csr>(
+      4, std::vector<Csr::Entry>{{0, 1, 0.5f},
+                                 {1, 2, 1.5f},
+                                 {2, 0, -1.0f},
+                                 {3, 3, 2.0f},
+                                 {0, 3, 0.25f}});
+  Tensor x = Tensor::randn({4, 3}, rng, 1.0f);
+  Tensor dense = Tensor::zeros({4, 4});
+  dense.data()[0 * 4 + 1] = 0.5f;
+  dense.data()[1 * 4 + 2] = 1.5f;
+  dense.data()[2 * 4 + 0] = -1.0f;
+  dense.data()[3 * 4 + 3] = 2.0f;
+  dense.data()[0 * 4 + 3] = 0.25f;
+
+  Tensor y_sparse = spmm(a, x);
+  Tensor y_dense = matmul(dense, x);
+  for (int64_t i = 0; i < y_sparse.numel(); ++i)
+    EXPECT_NEAR(y_sparse.data()[i], y_dense.data()[i], 1e-5);
+}
+
+TEST(Spmm, GradientMatchesFiniteDifference) {
+  Rng rng(6);
+  auto a = std::make_shared<Csr>(
+      3, std::vector<Csr::Entry>{
+             {0, 0, 1.0f}, {0, 1, 0.5f}, {1, 2, 2.0f}, {2, 1, -1.0f}});
+  Tensor x = Tensor::randn({3, 2}, rng, 1.0f, true);
+  mars::testing::expect_gradients_match(
+      {x}, [&] { return mean_all(mul(spmm(a, x), spmm(a, x))); });
+}
+
+TEST(Spmm, RejectsShapeMismatch) {
+  auto a = std::make_shared<Csr>(3, std::vector<Csr::Entry>{{0, 0, 1.0f}});
+  EXPECT_THROW(spmm(a, Tensor::zeros({4, 2})), CheckError);
+}
+
+}  // namespace
+}  // namespace mars

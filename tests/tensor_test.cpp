@@ -1,0 +1,361 @@
+// Unit tests for the tensor library: construction, forward semantics of
+// every op, and finite-difference gradient checks.
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/tensor.h"
+
+namespace mars {
+namespace {
+
+using testing::expect_gradients_match;
+
+TEST(TensorBasics, FactoriesAndShape) {
+  Tensor z = Tensor::zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  EXPECT_EQ(z.rows(), 2);
+  EXPECT_EQ(z.cols(), 3);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(z.data()[i], 0.0f);
+
+  Tensor f = Tensor::full({2, 2}, 3.5f);
+  EXPECT_FLOAT_EQ(f.at(1, 1), 3.5f);
+
+  Tensor v = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(v.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(v.at(1, 0), 3.0f);
+
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1, 2, 3}), CheckError);
+}
+
+TEST(TensorBasics, RandnStatistics) {
+  Rng rng(7);
+  Tensor r = Tensor::randn({100, 100}, rng, 2.0f);
+  double mean = 0, sq = 0;
+  for (int64_t i = 0; i < r.numel(); ++i) {
+    mean += r.data()[i];
+    sq += double(r.data()[i]) * r.data()[i];
+  }
+  mean /= static_cast<double>(r.numel());
+  const double stddev = std::sqrt(sq / static_cast<double>(r.numel()));
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(stddev, 2.0, 0.05);
+}
+
+TEST(TensorBasics, ItemRequiresScalar) {
+  EXPECT_THROW(Tensor::zeros({2, 2}).item(), CheckError);
+  EXPECT_FLOAT_EQ(Tensor::scalar(4.0f).item(), 4.0f);
+}
+
+TEST(TensorBasics, DetachDropsHistory) {
+  Tensor a = Tensor::full({1, 1}, 2.0f, true);
+  Tensor b = scale(a, 3.0f).detach();
+  EXPECT_FALSE(b.requires_grad());
+  EXPECT_FLOAT_EQ(b.item(), 6.0f);
+}
+
+TEST(TensorBasics, NoGradGuardPrunesGraph) {
+  Tensor a = Tensor::full({1, 1}, 2.0f, true);
+  {
+    NoGradGuard guard;
+    Tensor b = scale(a, 3.0f);
+    EXPECT_FALSE(b.requires_grad());
+    EXPECT_FALSE(grad_enabled());
+  }
+  EXPECT_TRUE(grad_enabled());
+  Tensor c = scale(a, 3.0f);
+  EXPECT_TRUE(c.requires_grad());
+}
+
+TEST(TensorForward, AddBroadcastVariants) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row = Tensor::from_vector({1, 3}, {10, 20, 30});
+  Tensor s = Tensor::scalar(100);
+
+  Tensor ar = add(a, row);
+  EXPECT_FLOAT_EQ(ar.at(0, 0), 11);
+  EXPECT_FLOAT_EQ(ar.at(1, 2), 36);
+  Tensor as = add(a, s);
+  EXPECT_FLOAT_EQ(as.at(1, 0), 104);
+  Tensor sb = sub(a, row);
+  EXPECT_FLOAT_EQ(sb.at(0, 2), -27);
+  Tensor mu = mul(a, row);
+  EXPECT_FLOAT_EQ(mu.at(1, 1), 100);
+
+  Tensor bad = Tensor::zeros({1, 4});
+  EXPECT_THROW(add(a, bad), CheckError);
+}
+
+TEST(TensorForward, MatmulValues) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_vector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+  EXPECT_THROW(matmul(a, Tensor::zeros({2, 2})), CheckError);
+}
+
+TEST(TensorForward, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({5, 7}, rng, 3.0f);
+  Tensor y = softmax_rows(x);
+  for (int64_t r = 0; r < 5; ++r) {
+    double sum = 0;
+    for (int64_t c = 0; c < 7; ++c) {
+      sum += y.at(r, c);
+      EXPECT_GT(y.at(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(TensorForward, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(4);
+  Tensor x = Tensor::randn({3, 5}, rng, 2.0f);
+  Tensor ls = log_softmax_rows(x);
+  Tensor s = softmax_rows(x);
+  for (int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_NEAR(ls.data()[i], std::log(s.data()[i]), 1e-5);
+}
+
+TEST(TensorForward, SoftmaxExtremeLogitsStable) {
+  Tensor x = Tensor::from_vector({1, 3}, {1000.0f, -1000.0f, 999.0f});
+  Tensor y = softmax_rows(x);
+  EXPECT_FALSE(std::isnan(y.data()[0]));
+  EXPECT_NEAR(y.data()[0] + y.data()[1] + y.data()[2], 1.0, 1e-5);
+  EXPECT_GT(y.data()[0], y.data()[2]);
+}
+
+TEST(TensorForward, ConcatAndSlice) {
+  Tensor a = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_vector({1, 2}, {5, 6});
+  Tensor cat = concat_rows({a, b});
+  EXPECT_EQ(cat.rows(), 3);
+  EXPECT_FLOAT_EQ(cat.at(2, 1), 6);
+
+  Tensor cc = concat_cols(a, a);
+  EXPECT_EQ(cc.cols(), 4);
+  EXPECT_FLOAT_EQ(cc.at(1, 3), 4);
+
+  Tensor sr = slice_rows(cat, 1, 3);
+  EXPECT_EQ(sr.rows(), 2);
+  EXPECT_FLOAT_EQ(sr.at(0, 0), 3);
+  Tensor sc = slice_cols(cc, 1, 3);
+  EXPECT_FLOAT_EQ(sc.at(0, 0), 2);
+  EXPECT_FLOAT_EQ(sc.at(0, 1), 1);
+  EXPECT_THROW(slice_rows(cat, 2, 2), CheckError);
+}
+
+TEST(TensorForward, GatherOps) {
+  Tensor a = Tensor::from_vector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = gather_rows(a, {2, 0, 2});
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 5);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 2);
+
+  Tensor pr = gather_per_row(a, {1, 0, 1});
+  EXPECT_FLOAT_EQ(pr.at(0, 0), 2);
+  EXPECT_FLOAT_EQ(pr.at(1, 0), 3);
+  EXPECT_FLOAT_EQ(pr.at(2, 0), 6);
+}
+
+TEST(TensorForward, ReductionValues) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(sum_all(a).item(), 21);
+  EXPECT_FLOAT_EQ(mean_all(a).item(), 3.5);
+  Tensor mr = mean_rows(a);
+  EXPECT_FLOAT_EQ(mr.at(0, 0), 2.5);
+  EXPECT_FLOAT_EQ(mr.at(0, 2), 4.5);
+}
+
+TEST(TensorForward, BceWithLogitsMatchesDefinition) {
+  Tensor logits = Tensor::from_vector({2, 1}, {2.0f, -1.0f});
+  Tensor targets = Tensor::from_vector({2, 1}, {1.0f, 0.0f});
+  const double expected =
+      (-std::log(1.0 / (1.0 + std::exp(-2.0))) -
+       std::log(1.0 - 1.0 / (1.0 + std::exp(1.0)))) /
+      2.0;
+  EXPECT_NEAR(bce_with_logits(logits, targets).item(), expected, 1e-6);
+}
+
+TEST(TensorBackward, AddMulChain) {
+  // d/dx of sum((x + y) * x) = 2x + y; d/dy = x.
+  Tensor x = Tensor::from_vector({2, 2}, {1, 2, 3, 4}, true);
+  Tensor y = Tensor::from_vector({2, 2}, {5, 6, 7, 8}, true);
+  Tensor loss = sum_all(mul(add(x, y), x));
+  loss.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2 * 1 + 5);
+  EXPECT_FLOAT_EQ(x.grad()[3], 2 * 4 + 8);
+  EXPECT_FLOAT_EQ(y.grad()[0], 1);
+  EXPECT_FLOAT_EQ(y.grad()[2], 3);
+}
+
+TEST(TensorBackward, ReusedTensorAccumulates) {
+  Tensor x = Tensor::scalar(3.0f, true);
+  Tensor loss = add(mul(x, x), x);  // x^2 + x -> grad 2x + 1 = 7
+  loss.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 7.0f);
+}
+
+TEST(TensorBackward, BackwardRequiresScalar) {
+  Tensor x = Tensor::zeros({2, 2}, true);
+  EXPECT_THROW(add(x, x).backward(), CheckError);
+}
+
+struct UnaryCase {
+  std::string name;
+  std::function<Tensor(const Tensor&)> fn;
+};
+
+class UnaryGradTest : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnaryGradTest, MatchesFiniteDifference) {
+  Rng rng(11);
+  Tensor x = Tensor::randn({3, 4}, rng, 1.0f, true);
+  // Keep relu/prelu inputs away from the kink.
+  for (int64_t i = 0; i < x.numel(); ++i)
+    if (std::abs(x.data()[i]) < 0.1f) x.data()[i] = 0.5f;
+  const auto& fn = GetParam().fn;
+  expect_gradients_match({x}, [&] { return mean_all(fn(x)); });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnaryOps, UnaryGradTest,
+    ::testing::Values(
+        UnaryCase{"sigmoid", [](const Tensor& t) { return sigmoid(t); }},
+        UnaryCase{"tanh", [](const Tensor& t) { return tanh_op(t); }},
+        UnaryCase{"relu", [](const Tensor& t) { return relu(t); }},
+        UnaryCase{"exp", [](const Tensor& t) { return exp_op(t); }},
+        UnaryCase{"gelu", [](const Tensor& t) { return gelu(t); }},
+        UnaryCase{"scale", [](const Tensor& t) { return scale(t, -2.5f); }},
+        UnaryCase{"add_scalar",
+                  [](const Tensor& t) { return add_scalar(t, 1.5f); }},
+        UnaryCase{"softmax",
+                  [](const Tensor& t) { return softmax_rows(t); }},
+        UnaryCase{"log_softmax",
+                  [](const Tensor& t) { return log_softmax_rows(t); }},
+        UnaryCase{"transpose",
+                  [](const Tensor& t) { return transpose2d(t); }},
+        UnaryCase{"mean_rows",
+                  [](const Tensor& t) { return mean_rows(t); }},
+        UnaryCase{"reshape",
+                  [](const Tensor& t) { return reshape(t, {4, 3}); }}),
+    [](const ::testing::TestParamInfo<UnaryCase>& info) {
+      return info.param.name;
+    });
+
+TEST(TensorGradCheck, MatmulBothSides) {
+  Rng rng(12);
+  Tensor a = Tensor::randn({3, 4}, rng, 1.0f, true);
+  Tensor b = Tensor::randn({4, 2}, rng, 1.0f, true);
+  expect_gradients_match({a, b}, [&] { return mean_all(matmul(a, b)); });
+}
+
+TEST(TensorGradCheck, BroadcastAddRow) {
+  Rng rng(13);
+  Tensor a = Tensor::randn({4, 3}, rng, 1.0f, true);
+  Tensor b = Tensor::randn({1, 3}, rng, 1.0f, true);
+  expect_gradients_match(
+      {a, b}, [&] { return mean_all(mul(add(a, b), add(a, b))); });
+}
+
+TEST(TensorGradCheck, BroadcastMulScalar) {
+  Rng rng(14);
+  Tensor a = Tensor::randn({3, 3}, rng, 1.0f, true);
+  Tensor s = Tensor::scalar(0.7f, true);
+  expect_gradients_match({a, s}, [&] { return sum_all(mul(a, s)); });
+}
+
+TEST(TensorGradCheck, Prelu) {
+  Rng rng(15);
+  Tensor x = Tensor::randn({3, 4}, rng, 1.0f, true);
+  for (int64_t i = 0; i < x.numel(); ++i)
+    if (std::abs(x.data()[i]) < 0.1f) x.data()[i] = -0.5f;
+  Tensor alpha = Tensor::scalar(0.25f, true);
+  expect_gradients_match({x, alpha},
+                         [&] { return mean_all(prelu(x, alpha)); });
+}
+
+TEST(TensorGradCheck, ConcatSliceGather) {
+  Rng rng(16);
+  Tensor a = Tensor::randn({3, 4}, rng, 1.0f, true);
+  Tensor b = Tensor::randn({2, 4}, rng, 1.0f, true);
+  expect_gradients_match({a, b}, [&] {
+    Tensor cat = concat_rows({a, b});
+    Tensor sl = slice_rows(cat, 1, 4);
+    Tensor g = gather_rows(sl, {0, 0, 2});
+    return mean_all(mul(g, g));
+  });
+}
+
+TEST(TensorGradCheck, ConcatColsSliceCols) {
+  Rng rng(17);
+  Tensor a = Tensor::randn({3, 2}, rng, 1.0f, true);
+  Tensor b = Tensor::randn({3, 3}, rng, 1.0f, true);
+  expect_gradients_match({a, b}, [&] {
+    Tensor cc = concat_cols(a, b);
+    return mean_all(mul(slice_cols(cc, 1, 4), slice_cols(cc, 1, 4)));
+  });
+}
+
+TEST(TensorGradCheck, GatherPerRow) {
+  Rng rng(18);
+  Tensor a = Tensor::randn({4, 3}, rng, 1.0f, true);
+  expect_gradients_match(
+      {a}, [&] { return sum_all(gather_per_row(a, {2, 0, 1, 2})); });
+}
+
+TEST(TensorGradCheck, LayerNorm) {
+  Rng rng(19);
+  Tensor x = Tensor::randn({3, 6}, rng, 2.0f, true);
+  Tensor gamma = Tensor::randn({1, 6}, rng, 0.5f, true);
+  Tensor beta = Tensor::randn({1, 6}, rng, 0.5f, true);
+  expect_gradients_match({x, gamma, beta}, [&] {
+    Tensor y = layer_norm_rows(x, gamma, beta);
+    return mean_all(mul(y, y));
+  });
+}
+
+TEST(TensorGradCheck, BceWithLogits) {
+  Rng rng(20);
+  Tensor logits = Tensor::randn({5, 1}, rng, 2.0f, true);
+  Tensor targets = Tensor::from_vector({5, 1}, {1, 0, 1, 1, 0});
+  expect_gradients_match({logits},
+                         [&] { return bce_with_logits(logits, targets); });
+}
+
+TEST(TensorGradCheck, LogOp) {
+  Rng rng(21);
+  Tensor x = Tensor::uniform({3, 3}, rng, 0.5f, 2.0f, true);
+  expect_gradients_match({x}, [&] { return mean_all(log_op(x)); });
+}
+
+TEST(TensorHelpers, ArgmaxAndSampleRows) {
+  Tensor logits =
+      Tensor::from_vector({2, 3}, {0.0f, 5.0f, 1.0f, 9.0f, 0.0f, 2.0f});
+  auto am = argmax_rows(logits);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 0);
+
+  // Strong logits: sampling should match argmax almost always.
+  Rng rng(22);
+  Tensor strong =
+      Tensor::from_vector({1, 3}, {-50.0f, 50.0f, -50.0f});
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sample_rows(strong, rng)[0], 1);
+}
+
+TEST(TensorHelpers, SampleRowsIsApproximatelyDistributed) {
+  Rng rng(23);
+  // probs = softmax([0, ln3]) = [0.25, 0.75]
+  Tensor logits = Tensor::from_vector({1, 2}, {0.0f, std::log(3.0f)});
+  int count1 = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) count1 += sample_rows(logits, rng)[0];
+  EXPECT_NEAR(static_cast<double>(count1) / trials, 0.75, 0.03);
+}
+
+}  // namespace
+}  // namespace mars

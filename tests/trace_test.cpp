@@ -1,0 +1,96 @@
+// Tests for schedule trace recording and Chrome trace export.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+namespace {
+
+TEST(Trace, RecordsAllOpsAndTransfers) {
+  CompGraph g("chain");
+  int a = g.add_node("a", OpType::kMatMul, {1 << 16}, 1'000'000'000, 0);
+  int b = g.add_node("b", OpType::kMatMul, {64}, 1'000'000'000, 0);
+  g.add_edge(a, b);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  SimResult r = sim.simulate({1, 2}, /*record_trace=*/true);
+  ASSERT_FALSE(r.oom);
+  int ops = 0, transfers = 0;
+  for (const auto& ev : r.trace) {
+    EXPECT_LE(ev.start, ev.end);
+    EXPECT_LE(ev.end, r.step_time + 1e-12);
+    ops += ev.kind == TraceEvent::kOp;
+    transfers += ev.kind == TraceEvent::kTransfer;
+  }
+  EXPECT_EQ(ops, 2);
+  EXPECT_EQ(transfers, 1);
+  // Dependency honored: b starts after a's transfer ends.
+  double a_end = 0, xfer_end = 0, b_start = 0;
+  for (const auto& ev : r.trace) {
+    if (ev.kind == TraceEvent::kOp && ev.op == 0) a_end = ev.end;
+    if (ev.kind == TraceEvent::kTransfer) xfer_end = ev.end;
+    if (ev.kind == TraceEvent::kOp && ev.op == 1) b_start = ev.start;
+  }
+  EXPECT_GE(xfer_end, a_end);
+  EXPECT_GE(b_start, xfer_end - 1e-12);
+}
+
+TEST(Trace, DisabledByDefault) {
+  CompGraph g("one");
+  g.add_node("a", OpType::kMatMul, {64}, 1'000'000, 0);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  EXPECT_TRUE(sim.simulate({1}).trace.empty());
+}
+
+TEST(Trace, OpEventsNeverOverlapPerDevice) {
+  CompGraph g = build_random_dag(4, 12, 17);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  Rng rng(1);
+  Placement p(static_cast<size_t>(g.num_nodes()));
+  for (auto& d : p) d = static_cast<int>(rng.uniform_int(5));
+  SimResult r = sim.simulate(p, true);
+  if (r.oom) return;
+  // Group op events per device, sort, check no overlap (serial devices).
+  std::vector<std::vector<TraceEvent>> per_dev(5);
+  for (const auto& ev : r.trace)
+    if (ev.kind == TraceEvent::kOp)
+      per_dev[static_cast<size_t>(ev.device)].push_back(ev);
+  for (auto& evs : per_dev) {
+    std::sort(evs.begin(), evs.end(),
+              [](const TraceEvent& x, const TraceEvent& y) {
+                return x.start < y.start;
+              });
+    for (size_t i = 1; i < evs.size(); ++i)
+      EXPECT_GE(evs[i].start, evs[i - 1].end - 1e-12);
+  }
+}
+
+TEST(Trace, ChromeExportIsValidJson) {
+  CompGraph g("chain");
+  int a = g.add_node("a", OpType::kMatMul, {1 << 16}, 1'000'000'000, 0);
+  int b = g.add_node("b\"quoted", OpType::kMatMul, {64}, 1'000'000'000, 0);
+  (void)b;
+  g.add_edge(a, 1);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  SimResult r = sim.simulate({1, 2}, true);
+  const std::string path = ::testing::TempDir() + "/mars_trace.json";
+  ASSERT_TRUE(write_chrome_trace(sim, r, path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_EQ(json.front(), '[');
+  // Balanced brackets/braces (crude but catches truncation).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("gpu:0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,172 @@
+// Tests for the utility layer: RNG, CLI parsing, CSV writing, thread pool,
+// logging, and runtime checks.
+#include <atomic>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace mars {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= a2.next_u64() != c.next_u64();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto k = rng.uniform_int(7);
+    EXPECT_LT(k, 7u);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(2);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[rng.uniform_int(5)];
+  for (int c : counts) EXPECT_GT(c, 800);  // each ~1000 expected
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(3);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(4);
+  std::vector<double> w = {1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 4000; ++i) ones += rng.categorical(w) == 1;
+  EXPECT_NEAR(ones / 4000.0, 0.75, 0.03);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), CheckError);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(5);
+  auto p = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (int v : p) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 50);
+    EXPECT_FALSE(seen[static_cast<size_t>(v)]);
+    seen[static_cast<size_t>(v)] = true;
+  }
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng a(6);
+  Rng child = a.split();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(CliArgs, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha", "3",  "--beta=hello",
+                        "--flag", "--gamma", "2.5"};
+  CliArgs args(7, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get("beta", ""), "hello");
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_DOUBLE_EQ(args.get_double("gamma", 0), 2.5);
+  EXPECT_EQ(args.get_int("missing", 9), 9);
+  EXPECT_TRUE(args.unused().empty());
+}
+
+TEST(CliArgs, TracksUnusedFlags) {
+  const char* argv[] = {"prog", "--typo", "1"};
+  CliArgs args(3, const_cast<char**>(argv));
+  EXPECT_EQ(args.unused().size(), 1u);
+  EXPECT_EQ(args.unused()[0], "typo");
+}
+
+TEST(CsvWriter, QuotesAndRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/mars_test.csv";
+  {
+    CsvWriter csv(path, {"name", "value"});
+    csv.write_row({"plain", "1"});
+    csv.write_row({"with,comma", "with\"quote"});
+    csv.write_row_numeric("nums", {1.5, 2.25});
+    EXPECT_TRUE(csv.ok());
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"with\"\"quote\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "nums,1.5,2.25");
+  std::remove(path.c_str());
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  pool.parallel_for(100, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, FuturesDeliverResults) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(Check, MacrosThrowWithContext) {
+  try {
+    MARS_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch w;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(w.seconds(), 0.0);
+  w.reset();
+  EXPECT_LT(w.seconds(), 1.0);
+}
+
+TEST(Logging, LevelFilters) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  MARS_DEBUG << "should be dropped silently";
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace mars

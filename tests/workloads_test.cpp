@@ -1,0 +1,161 @@
+// Tests for the workload generators: structural validity and cost sanity
+// against the models' published characteristics.
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/features.h"
+
+namespace mars {
+namespace {
+
+class WorkloadStructure : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadStructure, IsValidDag) {
+  CompGraph g = build_workload(GetParam());
+  EXPECT_GT(g.num_nodes(), 30) << GetParam();
+  EXPECT_TRUE(g.is_dag());
+  // Every non-input op consumes something; every op except sinks feeds
+  // something (no orphan islands besides inputs/optimizer leaves).
+  for (const auto& n : g.nodes()) {
+    if (n.type != OpType::kInput)
+      EXPECT_FALSE(g.inputs_of(n.id).empty())
+          << GetParam() << " orphan op " << n.name;
+  }
+}
+
+TEST_P(WorkloadStructure, HasPositiveCosts) {
+  CompGraph g = build_workload(GetParam());
+  EXPECT_GT(g.total_flops(), 0);
+  EXPECT_GT(g.total_param_bytes(), 0);
+  EXPECT_GT(g.total_activation_bytes(), 0);
+  for (const auto& n : g.nodes()) {
+    EXPECT_GE(n.flops, 0);
+    EXPECT_GE(n.param_bytes, 0);
+    EXPECT_GE(n.output_bytes, 0);
+  }
+}
+
+TEST_P(WorkloadStructure, CoarsensCleanly) {
+  CompGraph g = build_workload(GetParam());
+  CompGraph c = g.coarsen(128);
+  EXPECT_TRUE(c.is_dag());
+  EXPECT_LE(c.num_nodes(), std::max(140, g.num_nodes()));
+  EXPECT_EQ(c.total_flops(), g.total_flops());
+  EXPECT_EQ(c.total_param_bytes(), g.total_param_bytes());
+  Tensor x = node_features(c);
+  EXPECT_EQ(x.rows(), c.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadStructure,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(InceptionV3, ParameterCountNearPublished) {
+  CompGraph g = build_inception_v3();
+  // Inception-V3 has ~23.8M parameters (plus aux head ≈ 27M); fp32 bytes.
+  const double params = static_cast<double>(g.total_param_bytes()) / 4.0;
+  EXPECT_GT(params, 18e6);
+  EXPECT_LT(params, 40e6);
+}
+
+TEST(InceptionV3, FlopsNearPublished) {
+  CompGraph g = build_inception_v3(InceptionConfig{.batch = 1});
+  // ~5.7 GFLOPs multiply-add => ~11.4 GFLOP forward at batch 1 (within 3x:
+  // our graph also carries the aux head and training bookkeeping).
+  EXPECT_GT(g.total_flops(), 4e9);
+  EXPECT_LT(g.total_flops(), 4e10);
+}
+
+TEST(Bert, ParameterCountNearPublished) {
+  CompGraph g = build_bert();
+  // BERT-Base: ~110M parameters.
+  const double params = static_cast<double>(g.total_param_bytes()) / 4.0;
+  EXPECT_GT(params, 90e6);
+  EXPECT_LT(params, 140e6);
+}
+
+TEST(Bert, ActivationMemoryRequiresMultipleGpus) {
+  CompGraph g = build_bert();
+  // The paper: BERT at batch 24 / seq 384 needs ~24 GB — more than one but
+  // at most four 12 GB GPUs.
+  const double total_gb =
+      (2.0 * static_cast<double>(g.total_activation_bytes()) +
+       4.0 * static_cast<double>(g.total_param_bytes())) /
+      (1 << 30);
+  EXPECT_GT(total_gb, 13.0);
+  EXPECT_LT(total_gb, 44.0);
+}
+
+TEST(Gnmt, MemoryExceedsSingleGpu) {
+  CompGraph g = build_gnmt();
+  const double total_gb =
+      (2.0 * static_cast<double>(g.total_activation_bytes()) +
+       4.0 * static_cast<double>(g.total_param_bytes())) /
+      (1 << 30);
+  EXPECT_GT(total_gb, 12.0);  // paper: needs more than 12 GB
+  EXPECT_LT(total_gb, 40.0);
+}
+
+TEST(Gnmt, TimeChunkPreservesTotals) {
+  GnmtConfig a;
+  a.time_chunk = 1;
+  GnmtConfig b;
+  b.time_chunk = 8;
+  CompGraph ga = build_gnmt(a);
+  CompGraph gb = build_gnmt(b);
+  EXPECT_GT(ga.num_nodes(), gb.num_nodes());
+  EXPECT_EQ(ga.total_param_bytes(), gb.total_param_bytes());
+  // FLOPs preserved up to loss-reduction bookkeeping (one scalar add per
+  // softmax shard, so the counts differ by ~the chunk count).
+  EXPECT_NEAR(static_cast<double>(ga.total_flops()),
+              static_cast<double>(gb.total_flops()),
+              1e-6 * static_cast<double>(ga.total_flops()));
+}
+
+TEST(Gnmt, HasAttentionAndBidirectionalFirstLayer) {
+  CompGraph g = build_gnmt();
+  int attn = 0, bwd = 0;
+  for (const auto& n : g.nodes()) {
+    if (n.name.find("decoder/attn") != std::string::npos) ++attn;
+    if (n.name.find("encoder/l0_bwd") != std::string::npos) ++bwd;
+  }
+  EXPECT_GT(attn, 0);
+  EXPECT_GT(bwd, 0);
+}
+
+TEST(Vgg16, ParameterCountNearPublished) {
+  CompGraph g = build_vgg16();
+  // VGG16: ~138M with 224x224 fc6 (ours global-pools first, so fc6 is
+  // 512x4096 instead of 25088x4096 => ~36M); sanity-range only.
+  const double params = static_cast<double>(g.total_param_bytes()) / 4.0;
+  EXPECT_GT(params, 15e6);
+  EXPECT_LT(params, 150e6);
+}
+
+TEST(Transformer, EncoderDecoderStructure) {
+  CompGraph g = build_transformer();
+  int cross = 0;
+  for (const auto& n : g.nodes())
+    if (n.name.find("decoder/cross") != std::string::npos) ++cross;
+  EXPECT_GT(cross, 0);
+}
+
+TEST(RandomDag, DeterministicAndValid) {
+  CompGraph a = build_random_dag(4, 10, 42);
+  CompGraph b = build_random_dag(4, 10, 42);
+  EXPECT_TRUE(a.is_dag());
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.total_flops(), b.total_flops());
+  CompGraph c = build_random_dag(4, 10, 43);
+  EXPECT_NE(a.total_flops(), c.total_flops());
+}
+
+TEST(Registry, AllNamesBuild) {
+  for (const auto& name : workload_names())
+    EXPECT_GT(build_workload(name).num_nodes(), 0) << name;
+  EXPECT_THROW(build_workload("nope"), CheckError);
+}
+
+}  // namespace
+}  // namespace mars
