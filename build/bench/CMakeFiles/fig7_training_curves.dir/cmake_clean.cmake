@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_training_curves.dir/fig7_training_curves.cpp.o"
+  "CMakeFiles/fig7_training_curves.dir/fig7_training_curves.cpp.o.d"
+  "fig7_training_curves"
+  "fig7_training_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_training_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

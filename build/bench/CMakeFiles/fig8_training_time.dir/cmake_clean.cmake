@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_training_time.dir/fig8_training_time.cpp.o"
+  "CMakeFiles/fig8_training_time.dir/fig8_training_time.cpp.o.d"
+  "fig8_training_time"
+  "fig8_training_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_training_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_bench_common.dir/common.cpp.o"
+  "CMakeFiles/mars_bench_common.dir/common.cpp.o.d"
+  "libmars_bench_common.a"
+  "libmars_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmars_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_placers.dir/table1_placers.cpp.o"
+  "CMakeFiles/table1_placers.dir/table1_placers.cpp.o.d"
+  "table1_placers"
+  "table1_placers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_placers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

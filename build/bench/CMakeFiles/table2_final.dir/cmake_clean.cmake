@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_final.dir/table2_final.cpp.o"
+  "CMakeFiles/table2_final.dir/table2_final.cpp.o.d"
+  "table2_final"
+  "table2_final.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_final.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_generalization.dir/table3_generalization.cpp.o"
+  "CMakeFiles/table3_generalization.dir/table3_generalization.cpp.o.d"
+  "table3_generalization"
+  "table3_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classical_baselines.dir/classical_baselines.cpp.o"
+  "CMakeFiles/classical_baselines.dir/classical_baselines.cpp.o.d"
+  "classical_baselines"
+  "classical_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classical_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnmt_placement.dir/gnmt_placement.cpp.o"
+  "CMakeFiles/gnmt_placement.dir/gnmt_placement.cpp.o.d"
+  "gnmt_placement"
+  "gnmt_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnmt_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_baselines.dir/factories.cpp.o"
+  "CMakeFiles/mars_baselines.dir/factories.cpp.o.d"
+  "CMakeFiles/mars_baselines.dir/grouper_placer.cpp.o"
+  "CMakeFiles/mars_baselines.dir/grouper_placer.cpp.o.d"
+  "CMakeFiles/mars_baselines.dir/local_search.cpp.o"
+  "CMakeFiles/mars_baselines.dir/local_search.cpp.o.d"
+  "CMakeFiles/mars_baselines.dir/partitioner.cpp.o"
+  "CMakeFiles/mars_baselines.dir/partitioner.cpp.o.d"
+  "CMakeFiles/mars_baselines.dir/static_placements.cpp.o"
+  "CMakeFiles/mars_baselines.dir/static_placements.cpp.o.d"
+  "libmars_baselines.a"
+  "libmars_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

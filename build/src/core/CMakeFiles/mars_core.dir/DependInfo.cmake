@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cpp" "src/core/CMakeFiles/mars_core.dir/agent.cpp.o" "gcc" "src/core/CMakeFiles/mars_core.dir/agent.cpp.o.d"
+  "/root/repo/src/core/dgi.cpp" "src/core/CMakeFiles/mars_core.dir/dgi.cpp.o" "gcc" "src/core/CMakeFiles/mars_core.dir/dgi.cpp.o.d"
+  "/root/repo/src/core/encoder.cpp" "src/core/CMakeFiles/mars_core.dir/encoder.cpp.o" "gcc" "src/core/CMakeFiles/mars_core.dir/encoder.cpp.o.d"
+  "/root/repo/src/core/mars.cpp" "src/core/CMakeFiles/mars_core.dir/mars.cpp.o" "gcc" "src/core/CMakeFiles/mars_core.dir/mars.cpp.o.d"
+  "/root/repo/src/core/placers.cpp" "src/core/CMakeFiles/mars_core.dir/placers.cpp.o" "gcc" "src/core/CMakeFiles/mars_core.dir/placers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mars_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mars_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/mars_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mars_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mars_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mars_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_core.dir/agent.cpp.o"
+  "CMakeFiles/mars_core.dir/agent.cpp.o.d"
+  "CMakeFiles/mars_core.dir/dgi.cpp.o"
+  "CMakeFiles/mars_core.dir/dgi.cpp.o.d"
+  "CMakeFiles/mars_core.dir/encoder.cpp.o"
+  "CMakeFiles/mars_core.dir/encoder.cpp.o.d"
+  "CMakeFiles/mars_core.dir/mars.cpp.o"
+  "CMakeFiles/mars_core.dir/mars.cpp.o.d"
+  "CMakeFiles/mars_core.dir/placers.cpp.o"
+  "CMakeFiles/mars_core.dir/placers.cpp.o.d"
+  "libmars_core.a"
+  "libmars_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/comp_graph.cpp" "src/graph/CMakeFiles/mars_graph.dir/comp_graph.cpp.o" "gcc" "src/graph/CMakeFiles/mars_graph.dir/comp_graph.cpp.o.d"
+  "/root/repo/src/graph/dot_export.cpp" "src/graph/CMakeFiles/mars_graph.dir/dot_export.cpp.o" "gcc" "src/graph/CMakeFiles/mars_graph.dir/dot_export.cpp.o.d"
+  "/root/repo/src/graph/features.cpp" "src/graph/CMakeFiles/mars_graph.dir/features.cpp.o" "gcc" "src/graph/CMakeFiles/mars_graph.dir/features.cpp.o.d"
+  "/root/repo/src/graph/op_type.cpp" "src/graph/CMakeFiles/mars_graph.dir/op_type.cpp.o" "gcc" "src/graph/CMakeFiles/mars_graph.dir/op_type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/mars_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mars_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_graph.dir/comp_graph.cpp.o"
+  "CMakeFiles/mars_graph.dir/comp_graph.cpp.o.d"
+  "CMakeFiles/mars_graph.dir/dot_export.cpp.o"
+  "CMakeFiles/mars_graph.dir/dot_export.cpp.o.d"
+  "CMakeFiles/mars_graph.dir/features.cpp.o"
+  "CMakeFiles/mars_graph.dir/features.cpp.o.d"
+  "CMakeFiles/mars_graph.dir/op_type.cpp.o"
+  "CMakeFiles/mars_graph.dir/op_type.cpp.o.d"
+  "libmars_graph.a"
+  "libmars_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_nn.dir/layers.cpp.o"
+  "CMakeFiles/mars_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/mars_nn.dir/optim.cpp.o"
+  "CMakeFiles/mars_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/mars_nn.dir/serialize.cpp.o"
+  "CMakeFiles/mars_nn.dir/serialize.cpp.o.d"
+  "libmars_nn.a"
+  "libmars_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_rl.dir/optimizer.cpp.o"
+  "CMakeFiles/mars_rl.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mars_rl.dir/ppo.cpp.o"
+  "CMakeFiles/mars_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/mars_rl.dir/reinforce.cpp.o"
+  "CMakeFiles/mars_rl.dir/reinforce.cpp.o.d"
+  "libmars_rl.a"
+  "libmars_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/mars_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mars_sim.dir/machine.cpp.o"
+  "CMakeFiles/mars_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/mars_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mars_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mars_sim.dir/trial.cpp.o"
+  "CMakeFiles/mars_sim.dir/trial.cpp.o.d"
+  "libmars_sim.a"
+  "libmars_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_tensor.dir/ops.cpp.o"
+  "CMakeFiles/mars_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/mars_tensor.dir/sparse.cpp.o"
+  "CMakeFiles/mars_tensor.dir/sparse.cpp.o.d"
+  "CMakeFiles/mars_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/mars_tensor.dir/tensor.cpp.o.d"
+  "libmars_tensor.a"
+  "libmars_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_util.dir/cli.cpp.o"
+  "CMakeFiles/mars_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mars_util.dir/csv.cpp.o"
+  "CMakeFiles/mars_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mars_util.dir/logging.cpp.o"
+  "CMakeFiles/mars_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mars_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mars_util.dir/thread_pool.cpp.o.d"
+  "libmars_util.a"
+  "libmars_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

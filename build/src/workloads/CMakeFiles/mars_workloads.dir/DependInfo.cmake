@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builder.cpp" "src/workloads/CMakeFiles/mars_workloads.dir/builder.cpp.o" "gcc" "src/workloads/CMakeFiles/mars_workloads.dir/builder.cpp.o.d"
+  "/root/repo/src/workloads/inception.cpp" "src/workloads/CMakeFiles/mars_workloads.dir/inception.cpp.o" "gcc" "src/workloads/CMakeFiles/mars_workloads.dir/inception.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/mars_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/mars_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/resnet.cpp" "src/workloads/CMakeFiles/mars_workloads.dir/resnet.cpp.o" "gcc" "src/workloads/CMakeFiles/mars_workloads.dir/resnet.cpp.o.d"
+  "/root/repo/src/workloads/rnn.cpp" "src/workloads/CMakeFiles/mars_workloads.dir/rnn.cpp.o" "gcc" "src/workloads/CMakeFiles/mars_workloads.dir/rnn.cpp.o.d"
+  "/root/repo/src/workloads/transformer.cpp" "src/workloads/CMakeFiles/mars_workloads.dir/transformer.cpp.o" "gcc" "src/workloads/CMakeFiles/mars_workloads.dir/transformer.cpp.o.d"
+  "/root/repo/src/workloads/vgg.cpp" "src/workloads/CMakeFiles/mars_workloads.dir/vgg.cpp.o" "gcc" "src/workloads/CMakeFiles/mars_workloads.dir/vgg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mars_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mars_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mars_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_workloads.dir/builder.cpp.o"
+  "CMakeFiles/mars_workloads.dir/builder.cpp.o.d"
+  "CMakeFiles/mars_workloads.dir/inception.cpp.o"
+  "CMakeFiles/mars_workloads.dir/inception.cpp.o.d"
+  "CMakeFiles/mars_workloads.dir/registry.cpp.o"
+  "CMakeFiles/mars_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/mars_workloads.dir/resnet.cpp.o"
+  "CMakeFiles/mars_workloads.dir/resnet.cpp.o.d"
+  "CMakeFiles/mars_workloads.dir/rnn.cpp.o"
+  "CMakeFiles/mars_workloads.dir/rnn.cpp.o.d"
+  "CMakeFiles/mars_workloads.dir/transformer.cpp.o"
+  "CMakeFiles/mars_workloads.dir/transformer.cpp.o.d"
+  "CMakeFiles/mars_workloads.dir/vgg.cpp.o"
+  "CMakeFiles/mars_workloads.dir/vgg.cpp.o.d"
+  "libmars_workloads.a"
+  "libmars_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

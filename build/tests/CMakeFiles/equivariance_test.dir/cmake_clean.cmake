@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivariance_test.dir/equivariance_test.cpp.o"
+  "CMakeFiles/equivariance_test.dir/equivariance_test.cpp.o.d"
+  "equivariance_test"
+  "equivariance_test.pdb"
+  "equivariance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reinforce_test.dir/reinforce_test.cpp.o"
+  "CMakeFiles/reinforce_test.dir/reinforce_test.cpp.o.d"
+  "reinforce_test"
+  "reinforce_test.pdb"
+  "reinforce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reinforce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
