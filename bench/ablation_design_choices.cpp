@@ -65,14 +65,13 @@ int main(int argc, char** argv) {
         DgiPretrainer pre(gcn, rng);
         pre.pretrain(cfg.dgi, rng);
         Rng env_rng(rng.next_u64());
-        PpoTrainer trainer(
-            *agent,
-            [&](const Placement& p) {
-              TrialResult t = env.runner->run(p, env_rng);
-              t.step_time = t.step_time * t.step_time;  // R = -t after sqrt
-              return t;
-            },
-            cfg.optimize.ppo, rng.next_u64());
+        CallbackEnv squared_env([&](const Placement& p) {
+          TrialResult t = env.runner->run(p, env_rng);
+          t.step_time = t.step_time * t.step_time;  // R = -t after sqrt
+          return t;
+        });
+        PpoTrainer trainer(*agent, squared_env, cfg.optimize.ppo,
+                           rng.next_u64());
         for (int round = 0; round < cfg.optimize.max_rounds; ++round)
           trainer.round();
         table.add_row({"-t",

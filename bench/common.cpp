@@ -31,7 +31,13 @@ OptimizeConfig Profile::optimize_config(const std::string& workload) const {
   c.max_rounds = rounds > 0 ? rounds
                             : (defaults.count(workload) ? defaults[workload]
                                                         : 40);
+  c.env.threads = threads;
   return c;
+}
+
+unsigned Profile::run_workers() const {
+  return threads ? threads
+                 : std::max(1u, std::thread::hardware_concurrency());
 }
 
 int Profile::coarsen_budget(const std::string& workload) const {
@@ -54,6 +60,11 @@ Profile parse_profile(const CliArgs& args) {
   p.rounds = args.get_int("rounds", 0);
   p.coarsen = args.get_int("coarsen", 0);
   p.seed = static_cast<uint64_t>(args.get_int("seed", 1));
+  const int threads = args.get_int("threads", 0);
+  if (threads < 0)
+    MARS_WARN << "--threads " << threads << " invalid; using hardware "
+              << "concurrency";
+  p.threads = static_cast<unsigned>(std::max(0, threads));
   p.csv_path = args.get("csv", "");
   for (const auto& flag : args.unused())
     MARS_WARN << "unknown flag --" << flag;
@@ -65,9 +76,12 @@ BenchEnv make_env(const std::string& workload, const Profile& profile) {
   env.graph = build_workload(workload).coarsen(
       profile.coarsen_budget(workload));
   env.sim = std::make_unique<ExecutionSimulator>(env.graph, env.machine);
-  TrialConfig tc;
-  env.runner = std::make_unique<TrialRunner>(*env.sim, tc);
+  env.runner = std::make_unique<TrialRunner>(*env.sim, env.trial_config);
   return env;
+}
+
+std::unique_ptr<TrialRunner> BenchEnv::make_runner() const {
+  return std::make_unique<TrialRunner>(*sim, trial_config);
 }
 
 double BenchEnv::expert_time() const {
@@ -85,13 +99,13 @@ bool BenchEnv::gpu_only_oom() const {
   return sim->simulate(gpu_only_placement(graph, machine)).oom;
 }
 
-MethodResult run_mars_method(BenchEnv& env, const Profile& profile,
+MethodResult run_mars_method(const BenchEnv& env, const Profile& profile,
                              bool pretrain, uint64_t seed) {
   MarsConfig cfg = profile.mars_config();
   cfg.pretrain = pretrain;
   cfg.optimize = profile.optimize_config(env.graph.name());
-  env.runner->reset_environment_seconds();
-  MarsRunResult r = run_mars(env.graph, *env.runner, cfg, seed);
+  auto runner = env.make_runner();
+  MarsRunResult r = run_mars(env.graph, *runner, cfg, seed);
   MethodResult out;
   out.method = pretrain ? "mars" : "mars_no_pretrain";
   out.optimize = std::move(r.optimize);
@@ -100,28 +114,28 @@ MethodResult run_mars_method(BenchEnv& env, const Profile& profile,
   return out;
 }
 
-MethodResult run_grouper_placer(BenchEnv& env, const Profile& profile,
+MethodResult run_grouper_placer(const BenchEnv& env, const Profile& profile,
                                 uint64_t seed) {
   Rng rng(seed);
   auto agent = make_grouper_placer_agent(profile.baseline_scale(),
                                          env.machine.num_devices(), rng);
   agent->attach_graph(env.graph);
-  env.runner->reset_environment_seconds();
+  auto runner = env.make_runner();
   MethodResult out;
   out.method = "grouper_placer";
   out.optimize = optimize_placement(
-      *agent, *env.runner, profile.optimize_config(env.graph.name()),
+      *agent, *runner, profile.optimize_config(env.graph.name()),
       rng.next_u64());
   return out;
 }
 
-MethodResult run_encoder_placer(BenchEnv& env, const Profile& profile,
+MethodResult run_encoder_placer(const BenchEnv& env, const Profile& profile,
                                 uint64_t seed) {
   Rng rng(seed);
   auto agent = make_gdp_agent(profile.baseline_scale(),
                               env.machine.num_devices(), rng);
   agent->attach_graph(env.graph);
-  env.runner->reset_environment_seconds();
+  auto runner = env.make_runner();
   MethodResult out;
   out.method = "encoder_placer";
   OptimizeConfig oc = profile.optimize_config(env.graph.name());
@@ -130,8 +144,7 @@ MethodResult run_encoder_placer(BenchEnv& env, const Profile& profile,
   // Table 2 reflects quality closer to convergence, as the paper's
   // unbounded protocol does.
   oc.max_rounds = oc.max_rounds * 3 / 2;
-  out.optimize =
-      optimize_placement(*agent, *env.runner, oc, rng.next_u64());
+  out.optimize = optimize_placement(*agent, *runner, oc, rng.next_u64());
   return out;
 }
 

@@ -7,6 +7,10 @@
 //   --rounds N        override PPO rounds per training run
 //   --coarsen N       override the per-workload graph coarsening budget
 //   --seed S          base RNG seed (default 1)
+//   --threads N       worker threads for trial evaluation (and, where a
+//                     harness runs independent trainings, for those runs);
+//                     0 = hardware concurrency (default), 1 = serial.
+//                     Results are bit-identical across thread counts.
 //   --csv PATH        also write machine-readable results
 #pragma once
 
@@ -31,12 +35,15 @@ struct Profile {
   int rounds = 0;         // 0 = per-method default
   int coarsen = 0;        // 0 = per-workload default
   uint64_t seed = 1;
+  unsigned threads = 0;   // trial-evaluation workers; 0 = hw concurrency
   std::string csv_path;
 
   MarsConfig mars_config() const;
   BaselineScale baseline_scale() const;
   OptimizeConfig optimize_config(const std::string& workload) const;
   int coarsen_budget(const std::string& workload) const;
+  /// Worker count for harness-level parallelism over independent runs.
+  unsigned run_workers() const;
 };
 
 Profile parse_profile(const CliArgs& args);
@@ -45,8 +52,13 @@ Profile parse_profile(const CliArgs& args);
 struct BenchEnv {
   CompGraph graph;
   MachineSpec machine = MachineSpec::default_4gpu();
+  TrialConfig trial_config;
   std::unique_ptr<ExecutionSimulator> sim;
   std::unique_ptr<TrialRunner> runner;
+
+  /// A fresh runner over the shared simulator with its own env-seconds
+  /// accumulator; lets independent method runs execute concurrently.
+  std::unique_ptr<TrialRunner> make_runner() const;
 
   double expert_time() const;     // Human Expert row (0 if OOM)
   bool expert_oom() const;
@@ -64,12 +76,14 @@ struct MethodResult {
   double dgi_final_accuracy = 0;
 };
 
-/// The four RL methods of the paper.
-MethodResult run_mars_method(BenchEnv& env, const Profile& profile,
+/// The four RL methods of the paper. Each run measures through its own
+/// TrialRunner (see BenchEnv::make_runner), so runs are independent and
+/// safe to execute concurrently on one BenchEnv.
+MethodResult run_mars_method(const BenchEnv& env, const Profile& profile,
                              bool pretrain, uint64_t seed);
-MethodResult run_grouper_placer(BenchEnv& env, const Profile& profile,
+MethodResult run_grouper_placer(const BenchEnv& env, const Profile& profile,
                                 uint64_t seed);
-MethodResult run_encoder_placer(BenchEnv& env, const Profile& profile,
+MethodResult run_encoder_placer(const BenchEnv& env, const Profile& profile,
                                 uint64_t seed);
 
 /// Markdown-style table printer with right-aligned numeric cells.

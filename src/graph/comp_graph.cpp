@@ -10,6 +10,17 @@
 
 namespace mars {
 
+uint64_t placement_hash(const Placement& placement) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(placement.size());
+  for (int d : placement) mix(static_cast<uint32_t>(d));
+  return h;
+}
+
 int CompGraph::add_node(std::string name, OpType type,
                         std::vector<int64_t> output_shape, int64_t flops,
                         int64_t param_bytes) {

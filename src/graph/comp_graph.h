@@ -46,6 +46,10 @@ struct OpNode {
 /// A device assignment: placement[i] is the device index of op i.
 using Placement = std::vector<int>;
 
+/// Order-sensitive 64-bit FNV-1a hash of a device assignment (length mixed
+/// in so prefixes don't collide). Keys the rollout trial cache.
+uint64_t placement_hash(const Placement& placement);
+
 class CompGraph {
  public:
   explicit CompGraph(std::string name = "graph") : name_(std::move(name)) {}

@@ -1,0 +1,128 @@
+#include "rl/env.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mars {
+
+EnvBatchStats CallbackEnv::evaluate_batch(
+    std::span<const Placement> placements, std::span<TrialResult> results) {
+  MARS_CHECK(placements.size() == results.size());
+  EnvBatchStats stats;
+  stats.trials = static_cast<int64_t>(placements.size());
+  for (size_t i = 0; i < placements.size(); ++i) {
+    results[i] = fn_(placements[i]);
+    stats.env_seconds += results[i].env_seconds;
+  }
+  stats.simulated = stats.trials;
+  return stats;
+}
+
+namespace {
+
+/// splitmix64-style combine of (round, index) into one well-mixed word;
+/// XORed with the env seed to derive each trial's independent noise stream.
+uint64_t mix_round_index(uint64_t round, uint64_t index) {
+  uint64_t z = round * 0x9e3779b97f4a7c15ull + index + 1;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+TrialEnv::TrialEnv(const TrialRunner& runner, uint64_t seed,
+                   TrialEnvConfig config)
+    : runner_(&runner), seed_(seed), config_(config) {
+  if (config_.threads != 1) pool_ = std::make_unique<ThreadPool>(config_.threads);
+}
+
+void TrialEnv::cache_insert(const Placement& placement,
+                            const TrialResult& result) {
+  lru_.emplace_front(placement, result);
+  cache_[placement] = lru_.begin();
+  if (lru_.size() > config_.cache_capacity) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+EnvBatchStats TrialEnv::evaluate_batch(std::span<const Placement> placements,
+                                       std::span<TrialResult> results) {
+  MARS_CHECK(placements.size() == results.size());
+  const uint64_t round = round_++;
+  const size_t n = placements.size();
+  const bool caching = config_.cache_capacity > 0;
+  EnvBatchStats stats;
+  stats.trials = static_cast<int64_t>(n);
+
+  // Phase 1 (serial, index order): resolve cache hits and in-batch
+  // duplicates before any work is dispatched, so hit/miss status — and with
+  // it the set of derived RNG streams — is independent of thread timing.
+  constexpr int kMiss = -1, kCacheHit = -2;
+  std::vector<int> source(n, kMiss);  // kMiss, kCacheHit, or earlier index
+  std::vector<size_t> to_run;
+  to_run.reserve(n);
+  std::unordered_map<Placement, size_t, Hasher> scheduled;
+  for (size_t i = 0; i < n; ++i) {
+    if (!caching) {
+      to_run.push_back(i);
+      continue;
+    }
+    if (auto it = cache_.find(placements[i]); it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+      results[i] = it->second->second;
+      source[i] = kCacheHit;
+    } else if (auto dup = scheduled.find(placements[i]);
+               dup != scheduled.end()) {
+      source[i] = static_cast<int>(dup->second);
+    } else {
+      scheduled.emplace(placements[i], i);
+      to_run.push_back(i);
+    }
+  }
+
+  // Phase 2: measure the misses. Each trial draws from its own
+  // Rng(seed ^ mix(round, index)) stream and measure() leaves the runner's
+  // shared accumulator untouched, so execution order cannot matter.
+  auto measure_one = [&](size_t k) {
+    const size_t i = to_run[k];
+    Rng rng(seed_ ^ mix_round_index(round, i));
+    results[i] = runner_->measure(placements[i], rng);
+  };
+  if (pool_ && to_run.size() > 1) {
+    pool_->parallel_for(to_run.size(), measure_one);
+    stats.parallel_trials = static_cast<int64_t>(to_run.size());
+  } else {
+    for (size_t k = 0; k < to_run.size(); ++k) measure_one(k);
+  }
+  stats.simulated = static_cast<int64_t>(to_run.size());
+
+  // Phase 3 (serial, index order): propagate duplicates, charge simulated
+  // environment time deterministically, and publish new results to the
+  // cache. Charging policy: misses always charge; hits and in-batch
+  // duplicates charge only under charge_cache_hits (docs/rollout.md).
+  for (size_t i = 0; i < n; ++i) {
+    const bool reused = source[i] != kMiss;
+    if (source[i] >= 0) results[i] = results[static_cast<size_t>(source[i])];
+    if (reused) {
+      ++stats.cache_hits;
+      if (config_.charge_cache_hits) {
+        runner_->add_environment_seconds(results[i].env_seconds);
+        stats.env_seconds += results[i].env_seconds;
+      }
+    } else {
+      runner_->add_environment_seconds(results[i].env_seconds);
+      stats.env_seconds += results[i].env_seconds;
+      if (caching) cache_insert(placements[i], results[i]);
+    }
+  }
+
+  trials_ += stats.trials;
+  cache_hits_ += stats.cache_hits;
+  simulated_ += stats.simulated;
+  return stats;
+}
+
+}  // namespace mars

@@ -1,0 +1,136 @@
+// Batched environment layer for placement evaluation.
+//
+// PlacementEnv is the contract between the RL trainers and whatever turns a
+// placement into a measured step time: the simulator-backed TrialEnv in
+// production, synthetic callbacks in tests and ablations. A whole rollout's
+// placements are handed over as one batch so the environment can fan the
+// independent trials out across a thread pool and serve repeated placements
+// from a trial cache — the two levers that turn the sample→trial loop from
+// the system's single-threaded hot path into a scalable pipeline.
+//
+// Determinism contract: an implementation's results may depend only on its
+// construction seed and the sequence of evaluate_batch calls — never on the
+// thread count or scheduling order. TrialEnv guarantees this by deriving an
+// independent RNG stream per (round, index) and by charging environment
+// seconds in batch index order. See docs/rollout.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/trial.h"
+#include "util/thread_pool.h"
+
+namespace mars {
+
+/// Counters for one evaluate_batch call.
+struct EnvBatchStats {
+  int64_t trials = 0;          ///< placements evaluated (incl. cache hits)
+  int64_t cache_hits = 0;      ///< served from the cache or in-batch dedup
+  int64_t simulated = 0;       ///< actually measured by the runner
+  int64_t parallel_trials = 0; ///< measurements dispatched to the pool
+  double env_seconds = 0;      ///< simulated environment seconds charged
+};
+
+/// Batched placement-evaluation interface. Not required to be reentrant:
+/// one trainer drives one env from one thread (the env parallelizes
+/// internally).
+class PlacementEnv {
+ public:
+  virtual ~PlacementEnv() = default;
+
+  /// Evaluates placements[i] into results[i] (spans must be equal length).
+  virtual EnvBatchStats evaluate_batch(std::span<const Placement> placements,
+                                       std::span<TrialResult> results) = 0;
+
+  /// Convenience wrapper: evaluate a single placement.
+  TrialResult evaluate(const Placement& placement) {
+    TrialResult result;
+    evaluate_batch({&placement, 1}, {&result, 1});
+    return result;
+  }
+};
+
+/// Adapts a scalar `Placement -> TrialResult` callback to the batched
+/// interface; evaluates sequentially in index order. For synthetic test
+/// environments and reward-shaping ablations.
+class CallbackEnv : public PlacementEnv {
+ public:
+  using Fn = std::function<TrialResult(const Placement&)>;
+  explicit CallbackEnv(Fn fn) : fn_(std::move(fn)) {}
+
+  EnvBatchStats evaluate_batch(std::span<const Placement> placements,
+                               std::span<TrialResult> results) override;
+
+ private:
+  Fn fn_;
+};
+
+struct TrialEnvConfig {
+  /// Worker threads for trial evaluation: 1 = inline (no pool),
+  /// 0 = hardware_concurrency.
+  unsigned threads = 0;
+  /// Maximum cached TrialResults (LRU eviction); 0 disables caching.
+  size_t cache_capacity = 4096;
+  /// Env-seconds accounting for cached placements. Default (false): a
+  /// placement's simulated measurement cost is charged once, when it is
+  /// first evaluated, and cache hits are free — the paper's "measure each
+  /// placement once" protocol. Set true to re-charge the stored cost on
+  /// every hit, modeling a testbed that must re-measure regardless.
+  bool charge_cache_hits = false;
+};
+
+/// The production environment: evaluates placements through a TrialRunner,
+/// fanning independent trials out over an owned thread pool and memoizing
+/// results in a placement-keyed LRU cache so duplicate placements sampled
+/// by a converging policy never re-run the simulator.
+///
+/// Per-trial noise streams are derived as Rng(seed ^ mix(round, index)),
+/// where `round` counts evaluate_batch calls — results are bit-identical
+/// for any thread count.
+class TrialEnv : public PlacementEnv {
+ public:
+  TrialEnv(const TrialRunner& runner, uint64_t seed,
+           TrialEnvConfig config = {});
+
+  EnvBatchStats evaluate_batch(std::span<const Placement> placements,
+                               std::span<TrialResult> results) override;
+
+  /// Cumulative counters across all batches.
+  int64_t trials() const { return trials_; }
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t simulated_trials() const { return simulated_; }
+  size_t cache_size() const { return lru_.size(); }
+  unsigned threads() const { return pool_ ? pool_->size() : 1; }
+  const TrialRunner& runner() const { return *runner_; }
+  const TrialEnvConfig& config() const { return config_; }
+
+ private:
+  void cache_insert(const Placement& placement, const TrialResult& result);
+
+  const TrialRunner* runner_;
+  uint64_t seed_;
+  TrialEnvConfig config_;
+  std::unique_ptr<ThreadPool> pool_;  // null when threads == 1
+
+  uint64_t round_ = 0;  // evaluate_batch calls so far (RNG stream derivation)
+  int64_t trials_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t simulated_ = 0;
+
+  struct Hasher {
+    size_t operator()(const Placement& p) const {
+      return static_cast<size_t>(placement_hash(p));
+    }
+  };
+  /// LRU list, most recent first; the map points into it.
+  std::list<std::pair<Placement, TrialResult>> lru_;
+  std::unordered_map<Placement, decltype(lru_)::iterator, Hasher> cache_;
+};
+
+}  // namespace mars

@@ -8,12 +8,11 @@ OptimizeResult optimize_placement(PlacementPolicy& policy,
                                   const TrialRunner& runner,
                                   const OptimizeConfig& config,
                                   uint64_t seed) {
-  Rng env_rng(seed ^ 0xe5c0de11f00dull);
+  // The env derives an independent noise stream per (round, trial), so
+  // results are bit-identical for every config.env.threads setting.
+  TrialEnv env(runner, seed ^ 0xe5c0de11f00dull, config.env);
   const double env_base = runner.environment_seconds();
-  PpoTrainer trainer(
-      policy,
-      [&](const Placement& p) { return runner.run(p, env_rng); },
-      config.ppo, seed);
+  PpoTrainer trainer(policy, env, config.ppo, seed);
 
   OptimizeResult result;
   Stopwatch wall;
@@ -42,6 +41,10 @@ OptimizeResult optimize_placement(PlacementPolicy& policy,
         trainer.has_best() ? trainer.best_step_time() : 0.0;
     stats.env_seconds = runner.environment_seconds() - env_base;
     stats.agent_seconds = wall.seconds();
+    stats.cache_hits = static_cast<int>(rr.rollout.cache_hits);
+    stats.parallel_trials = static_cast<int>(rr.rollout.parallel_trials);
+    stats.rollout_seconds = rr.rollout.rollout_seconds;
+    result.rollout_seconds += rr.rollout.rollout_seconds;
     result.history.push_back(stats);
     result.rounds_run = round + 1;
 
@@ -76,6 +79,7 @@ OptimizeResult optimize_placement(PlacementPolicy& policy,
     result.best_step_time = runner.config().invalid_time_s;
   }
   result.trials = trainer.trials_run();
+  result.cache_hits = env.cache_hits();
   result.env_seconds = runner.environment_seconds() - env_base;
   result.agent_seconds = wall.seconds();
   return result;

@@ -1,15 +1,16 @@
 // End-to-end placement optimization loop: repeated PPO rounds against a
-// TrialRunner environment, with the bookkeeping the paper's figures need
-// (per-round sampled runtimes for Fig. 7, environment + agent time for
-// Fig. 8, best-placement tracking for Tables 1–3).
+// TrialEnv built over the given TrialRunner, with the bookkeeping the
+// paper's figures need (per-round sampled runtimes for Fig. 7, environment
+// + agent time for Fig. 8, best-placement tracking for Tables 1–3) plus
+// the rollout engine's parallelism and cache counters.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "rl/env.h"
 #include "rl/ppo.h"
-#include "sim/trial.h"
 #include "util/stopwatch.h"
 
 namespace mars {
@@ -21,6 +22,9 @@ struct OptimizeConfig {
   /// here maps to patience_rounds = 10 at 10 placements per round).
   int patience_rounds = 0;
   PpoConfig ppo = {};
+  /// Trial-evaluation pipeline: thread count, cache capacity, and the
+  /// env-seconds accounting policy for cache hits (see docs/rollout.md).
+  TrialEnvConfig env = {};
   bool verbose = false;
 };
 
@@ -37,6 +41,12 @@ struct RoundStats {
   double env_seconds = 0;
   /// Cumulative wall-clock agent compute seconds after this round.
   double agent_seconds = 0;
+  /// Trials served from the placement cache this round.
+  int cache_hits = 0;
+  /// Trials dispatched to the thread pool this round.
+  int parallel_trials = 0;
+  /// Wall-clock seconds of this round's rollout (sampling + evaluation).
+  double rollout_seconds = 0;
 };
 
 struct OptimizeResult {
@@ -48,8 +58,10 @@ struct OptimizeResult {
   std::vector<RoundStats> history;
   int rounds_run = 0;
   int64_t trials = 0;
+  int64_t cache_hits = 0;    // trials served from the placement cache
   double env_seconds = 0;    // total simulated environment time
   double agent_seconds = 0;  // total agent compute wall-clock
+  double rollout_seconds = 0;  // wall-clock spent in rollouts (sample+eval)
   /// The Fig. 8 quantity: what training would have cost on the real
   /// machine — environment measurement time plus agent compute.
   double training_seconds() const { return env_seconds + agent_seconds; }

@@ -7,10 +7,10 @@
 
 namespace mars {
 
-PpoTrainer::PpoTrainer(PlacementPolicy& policy, Environment env,
+PpoTrainer::PpoTrainer(PlacementPolicy& policy, PlacementEnv& env,
                        PpoConfig config, uint64_t seed)
     : policy_(&policy),
-      env_(std::move(env)),
+      engine_(policy, env),
       config_(config),
       rng_(seed),
       optimizer_(policy.parameters(), config.adam) {
@@ -22,13 +22,14 @@ PpoTrainer::RoundResult PpoTrainer::round() {
   RoundResult result;
   result.samples.reserve(static_cast<size_t>(config_.placements_per_policy));
 
-  for (int i = 0; i < config_.placements_per_policy; ++i) {
+  // One batched rollout; reward shaping and the EMA baseline then consume
+  // the samples in index order, exactly as the former serial loop did.
+  std::vector<RolloutSample> rollout = engine_.rollout(
+      config_.placements_per_policy, rng_, &result.rollout);
+  for (auto& rolled : rollout) {
     PpoSample s;
-    {
-      NoGradGuard no_grad;  // sampling needs no tape
-      s.action = policy_->sample(rng_);
-    }
-    TrialResult trial = env_(s.action.placement);
+    s.action = std::move(rolled.action);
+    const TrialResult& trial = rolled.trial;
     ++trials_;
     s.step_time = trial.step_time;
     s.valid = trial.valid;

@@ -6,12 +6,10 @@
 //   Adam lr 3e-4 with gradient-norm clipping at 1.0.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "nn/optim.h"
-#include "rl/policy.h"
-#include "sim/trial.h"
+#include "rl/rollout.h"
 
 namespace mars {
 
@@ -49,18 +47,18 @@ struct PpoUpdateStats {
 
 class PpoTrainer {
  public:
-  using Environment = std::function<TrialResult(const Placement&)>;
-
-  PpoTrainer(PlacementPolicy& policy, Environment env, PpoConfig config,
+  PpoTrainer(PlacementPolicy& policy, PlacementEnv& env, PpoConfig config,
              uint64_t seed);
 
   struct RoundResult {
     std::vector<PpoSample> samples;
     int updates_run = 0;
     PpoUpdateStats last_update;
+    /// Parallelism/caching/wall-clock counters for this round's rollout.
+    RolloutStats rollout;
   };
-  /// Sample placements_per_policy placements, evaluate them in the
-  /// environment, and run PPO updates whenever the batch fills.
+  /// Sample placements_per_policy placements, evaluate them as one batch
+  /// through the environment, and run PPO updates whenever the batch fills.
   RoundResult round();
 
   /// Best (fastest valid, non-penalized) placement observed so far.
@@ -75,7 +73,7 @@ class PpoTrainer {
   PpoUpdateStats update(const std::vector<PpoSample>& batch);
 
   PlacementPolicy* policy_;
-  Environment env_;
+  RolloutEngine engine_;
   PpoConfig config_;
   Rng rng_;
   Adam optimizer_;

@@ -4,10 +4,10 @@
 
 namespace mars {
 
-ReinforceTrainer::ReinforceTrainer(PlacementPolicy& policy, Environment env,
+ReinforceTrainer::ReinforceTrainer(PlacementPolicy& policy, PlacementEnv& env,
                                    ReinforceConfig config, uint64_t seed)
     : policy_(&policy),
-      env_(std::move(env)),
+      engine_(policy, env),
       config_(config),
       rng_(seed),
       optimizer_(policy.parameters(), config.adam) {
@@ -24,13 +24,12 @@ ReinforceTrainer::RoundResult ReinforceTrainer::round() {
   batch.reserve(static_cast<size_t>(config_.placements_per_round));
 
   RoundResult result;
-  for (int i = 0; i < config_.placements_per_round; ++i) {
+  std::vector<RolloutSample> rollout = engine_.rollout(
+      config_.placements_per_round, rng_, &result.rollout);
+  for (auto& rolled : rollout) {
     Sample s;
-    {
-      NoGradGuard no_grad;
-      s.action = policy_->sample(rng_);
-    }
-    TrialResult trial = env_(s.action.placement);
+    s.action = std::move(rolled.action);
+    const TrialResult& trial = rolled.trial;
     ++trials_;
     s.reward = -std::sqrt(std::max(0.0, trial.step_time));
     if (!baseline_initialized_) {

@@ -5,11 +5,8 @@
 // clipping, same EMA baseline and reward shaping.
 #pragma once
 
-#include <functional>
-
 #include "nn/optim.h"
-#include "rl/policy.h"
-#include "sim/trial.h"
+#include "rl/rollout.h"
 
 namespace mars {
 
@@ -23,15 +20,14 @@ struct ReinforceConfig {
 
 class ReinforceTrainer {
  public:
-  using Environment = std::function<TrialResult(const Placement&)>;
-
-  ReinforceTrainer(PlacementPolicy& policy, Environment env,
+  ReinforceTrainer(PlacementPolicy& policy, PlacementEnv& env,
                    ReinforceConfig config, uint64_t seed);
 
   struct RoundResult {
     int samples = 0;
     double mean_reward = 0;
     double grad_norm = 0;
+    RolloutStats rollout;
   };
   /// Sample a batch, apply one REINFORCE gradient step.
   RoundResult round();
@@ -43,7 +39,7 @@ class ReinforceTrainer {
 
  private:
   PlacementPolicy* policy_;
-  Environment env_;
+  RolloutEngine engine_;
   ReinforceConfig config_;
   Rng rng_;
   Adam optimizer_;

@@ -1,0 +1,45 @@
+#include "rl/rollout.h"
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace mars {
+
+std::vector<RolloutSample> RolloutEngine::rollout(int count, Rng& rng,
+                                                  RolloutStats* stats) {
+  MARS_CHECK(count > 0);
+  Stopwatch total;
+  std::vector<RolloutSample> samples(static_cast<size_t>(count));
+
+  Stopwatch sampling;
+  {
+    NoGradGuard no_grad;  // sampling needs no tape
+    for (auto& s : samples) s.action = policy_->sample(rng);
+  }
+  const double sample_seconds = sampling.seconds();
+
+  std::vector<Placement> placements;
+  placements.reserve(samples.size());
+  for (const auto& s : samples) placements.push_back(s.action.placement);
+  std::vector<TrialResult> results(samples.size());
+
+  Stopwatch eval;
+  EnvBatchStats batch = env_->evaluate_batch(placements, results);
+  const double eval_seconds = eval.seconds();
+
+  for (size_t i = 0; i < samples.size(); ++i)
+    samples[i].trial = std::move(results[i]);
+
+  if (stats) {
+    stats->cache_hits = batch.cache_hits;
+    stats->parallel_trials = batch.parallel_trials;
+    stats->simulated_trials = batch.simulated;
+    stats->env_seconds = batch.env_seconds;
+    stats->sample_seconds = sample_seconds;
+    stats->eval_seconds = eval_seconds;
+    stats->rollout_seconds = total.seconds();
+  }
+  return samples;
+}
+
+}  // namespace mars

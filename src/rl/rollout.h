@@ -1,0 +1,50 @@
+// RolloutEngine: one policy round as a batched pipeline stage.
+//
+// Samples a full round of placements from the policy under a single
+// NoGradGuard (sampling needs no tape), then evaluates them as one batch
+// through a PlacementEnv — which parallelizes and caches as it sees fit.
+// The trainers consume the returned samples strictly in index order, so
+// reward shaping and the EMA baseline see exactly the sequence a serial
+// loop would have produced.
+#pragma once
+
+#include <vector>
+
+#include "rl/env.h"
+#include "rl/policy.h"
+
+namespace mars {
+
+/// One sampled action and its measured outcome.
+struct RolloutSample {
+  ActionSample action;
+  TrialResult trial;
+};
+
+struct RolloutStats {
+  int64_t cache_hits = 0;      ///< trials served from the trial cache
+  int64_t parallel_trials = 0; ///< trials dispatched to the thread pool
+  int64_t simulated_trials = 0;///< trials actually measured
+  double env_seconds = 0;      ///< simulated environment seconds charged
+  double sample_seconds = 0;   ///< wall-clock sampling the policy
+  double eval_seconds = 0;     ///< wall-clock inside evaluate_batch
+  double rollout_seconds = 0;  ///< total wall-clock of the rollout
+};
+
+class RolloutEngine {
+ public:
+  RolloutEngine(PlacementPolicy& policy, PlacementEnv& env)
+      : policy_(&policy), env_(&env) {}
+
+  /// Samples `count` placements and evaluates them as one batch.
+  std::vector<RolloutSample> rollout(int count, Rng& rng,
+                                     RolloutStats* stats = nullptr);
+
+  PlacementEnv& env() { return *env_; }
+
+ private:
+  PlacementPolicy* policy_;
+  PlacementEnv* env_;
+};
+
+}  // namespace mars

@@ -6,6 +6,12 @@
 namespace mars {
 
 TrialResult TrialRunner::run(const Placement& placement, Rng& rng) const {
+  TrialResult result = measure(placement, rng);
+  add_environment_seconds(result.env_seconds);
+  return result;
+}
+
+TrialResult TrialRunner::measure(const Placement& placement, Rng& rng) const {
   TrialResult result;
   result.sim = simulator_->simulate(placement);
 
@@ -36,11 +42,13 @@ TrialResult TrialRunner::run(const Placement& placement, Rng& rng) const {
     result.step_time = sum / std::max(1, config_.measured_steps);
   }
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    environment_seconds_ += env_time;
-  }
+  result.env_seconds = env_time;
   return result;
+}
+
+void TrialRunner::add_environment_seconds(double seconds) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  environment_seconds_ += seconds;
 }
 
 double TrialRunner::environment_seconds() const {

@@ -31,6 +31,9 @@ struct TrialResult {
   double step_time = 0;
   bool valid = false;  // ran without OOM
   bool bad = false;    // exceeded the cutoff and was terminated
+  /// Simulated seconds this trial consumed (re-init + warm-up + measured
+  /// steps); what run() charges to the runner's accumulator.
+  double env_seconds = 0;
   SimResult sim;       // underlying simulator output
 };
 
@@ -39,8 +42,21 @@ class TrialRunner {
   TrialRunner(const ExecutionSimulator& simulator, TrialConfig config = {})
       : simulator_(&simulator), config_(config) {}
 
-  /// Runs one trial; thread-safe (pass a per-thread rng).
+  /// Runs one trial and charges its simulated cost to the shared
+  /// accumulator; thread-safe (pass a per-thread rng). Note that concurrent
+  /// callers accumulate in completion order, so environment_seconds() is
+  /// only bit-reproducible when charging order is fixed — batched callers
+  /// that need that use measure() + add_environment_seconds().
   TrialResult run(const Placement& placement, Rng& rng) const;
+
+  /// Runs one trial WITHOUT touching the shared accumulator: the simulated
+  /// cost is returned in TrialResult::env_seconds for the caller to charge
+  /// explicitly (TrialEnv charges batches in index order so totals are
+  /// identical for every thread count). Thread-safe and side-effect free.
+  TrialResult measure(const Placement& placement, Rng& rng) const;
+
+  /// Charges simulated seconds to the accumulator (for measure() callers).
+  void add_environment_seconds(double seconds) const;
 
   /// Simulated environment seconds consumed by all trials so far.
   double environment_seconds() const;

@@ -36,12 +36,33 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // ~4 chunks per worker: enough slack for load balancing on uneven bodies
+  // without per-index dispatch cost dominating small ones.
+  const size_t workers = std::max<size_t>(1, workers_.size());
+  const size_t chunks = std::min(n, workers * 4);
+  const size_t base = n / chunks;
+  const size_t remainder = n % chunks;
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([i, &fn] { fn(i); }));
+  futures.reserve(chunks);
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t end = begin + base + (c < remainder ? 1 : 0);
+    futures.push_back(submit([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }));
+    begin = end;
   }
-  for (auto& f : futures) f.get();
+  // Drain every chunk before rethrowing so no task outlives this call.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace mars

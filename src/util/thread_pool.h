@@ -40,6 +40,13 @@ class ThreadPool {
   }
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  /// Indices are grouped into contiguous chunks (~4 per worker) so small
+  /// task bodies don't pay per-index queue/future overhead. If any call
+  /// throws, its chunk abandons its remaining indices but all other chunks
+  /// still run and are drained before the first exception (in chunk order)
+  /// is rethrown — no task outlives the call. Must not be called from a
+  /// pool worker:
+  /// the blocking wait would deadlock once all workers are waiters.
   void parallel_for(size_t n, const std::function<void(size_t)>& fn);
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }

@@ -54,7 +54,8 @@ TEST(Reinforce, LearnsSyntheticOptimum) {
   ReinforceConfig cfg;
   cfg.placements_per_round = 10;
   cfg.adam.lr = 0.1f;
-  ReinforceTrainer trainer(policy, device2_env, cfg, 11);
+  CallbackEnv env(device2_env);
+  ReinforceTrainer trainer(policy, env, cfg, 11);
   for (int round = 0; round < 60; ++round) trainer.round();
   ASSERT_TRUE(trainer.has_best());
   EXPECT_LT(trainer.best_step_time(), 0.7);
@@ -69,7 +70,8 @@ TEST(Reinforce, GradNormPositive) {
   Rng rng(3);
   TabularPolicy policy(4, 3, rng);
   ReinforceConfig cfg;
-  ReinforceTrainer trainer(policy, device2_env, cfg, 12);
+  CallbackEnv env(device2_env);
+  ReinforceTrainer trainer(policy, env, cfg, 12);
   auto r = trainer.round();
   EXPECT_EQ(r.samples, cfg.placements_per_round);
   EXPECT_GT(r.grad_norm, 0.0);
@@ -81,7 +83,8 @@ TEST(Reinforce, TracksBestAcrossRounds) {
   TabularPolicy policy(3, 3, rng);
   ReinforceConfig cfg;
   cfg.placements_per_round = 5;
-  ReinforceTrainer trainer(policy, device2_env, cfg, 13);
+  CallbackEnv env(device2_env);
+  ReinforceTrainer trainer(policy, env, cfg, 13);
   trainer.round();
   const double after1 = trainer.best_step_time();
   for (int i = 0; i < 5; ++i) trainer.round();
@@ -101,13 +104,15 @@ TEST(PpoVsReinforce, PpoConvergesAtLeastAsWell) {
   PpoConfig pc;
   pc.placements_per_policy = 10;
   pc.adam.lr = 0.05f;
-  PpoTrainer ppo(ppo_policy, device2_env, pc, 21);
+  CallbackEnv ppo_env(device2_env);
+  PpoTrainer ppo(ppo_policy, ppo_env, pc, 21);
   for (int i = 0; i < kTrials / 10; ++i) ppo.round();
 
   ReinforceConfig rc;
   rc.placements_per_round = 10;
   rc.adam.lr = 0.05f;
-  ReinforceTrainer reinforce(reinforce_policy, device2_env, rc, 21);
+  CallbackEnv reinforce_env(device2_env);
+  ReinforceTrainer reinforce(reinforce_policy, reinforce_env, rc, 21);
   for (int i = 0; i < kTrials / 10; ++i) reinforce.round();
 
   EXPECT_LE(ppo.best_step_time(), reinforce.best_step_time() + 0.15);

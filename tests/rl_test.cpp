@@ -59,7 +59,8 @@ TEST(PpoTrainer, LearnsSyntheticOptimum) {
   cfg.placements_per_policy = 10;
   cfg.update_batch = 20;
   cfg.adam.lr = 0.05f;
-  PpoTrainer trainer(policy, synthetic_env, cfg, 42);
+  CallbackEnv env(synthetic_env);
+  PpoTrainer trainer(policy, env, cfg, 42);
   for (int round = 0; round < 40; ++round) trainer.round();
   ASSERT_TRUE(trainer.has_best());
   // The optimum (everything on device 2) gives 0.5 s.
@@ -80,15 +81,13 @@ TEST(PpoTrainer, RewardShapingAndBaseline) {
   PpoConfig cfg;
   cfg.placements_per_policy = 4;
   cfg.update_batch = 1000;  // never update: inspect raw samples
-  PpoTrainer trainer(
-      policy,
-      [](const Placement&) {
-        TrialResult t;
-        t.valid = true;
-        t.step_time = 4.0;
-        return t;
-      },
-      cfg, 7);
+  CallbackEnv env([](const Placement&) {
+    TrialResult t;
+    t.valid = true;
+    t.step_time = 4.0;
+    return t;
+  });
+  PpoTrainer trainer(policy, env, cfg, 7);
   auto rr = trainer.round();
   ASSERT_EQ(rr.samples.size(), 4u);
   // R = -sqrt(4) = -2 for every sample.
@@ -105,21 +104,19 @@ TEST(PpoTrainer, InvalidPlacementsTrackedNotBest) {
   PpoConfig cfg;
   cfg.placements_per_policy = 5;
   int calls = 0;
-  PpoTrainer trainer(
-      policy,
-      [&calls](const Placement&) {
-        TrialResult t;
-        // Alternate valid and invalid.
-        if (calls++ % 2 == 0) {
-          t.valid = false;
-          t.step_time = 100.0;
-        } else {
-          t.valid = true;
-          t.step_time = 1.0;
-        }
-        return t;
-      },
-      cfg, 8);
+  CallbackEnv env([&calls](const Placement&) {
+    TrialResult t;
+    // Alternate valid and invalid.
+    if (calls++ % 2 == 0) {
+      t.valid = false;
+      t.step_time = 100.0;
+    } else {
+      t.valid = true;
+      t.step_time = 1.0;
+    }
+    return t;
+  });
+  PpoTrainer trainer(policy, env, cfg, 8);
   trainer.round();
   ASSERT_TRUE(trainer.has_best());
   EXPECT_NEAR(trainer.best_step_time(), 1.0, 1e-12);
@@ -132,7 +129,8 @@ TEST(PpoTrainer, UpdateMovesRatios) {
   cfg.placements_per_policy = 20;
   cfg.update_batch = 20;
   cfg.adam.lr = 0.05f;
-  PpoTrainer trainer(policy, synthetic_env, cfg, 9);
+  CallbackEnv env(synthetic_env);
+  PpoTrainer trainer(policy, env, cfg, 9);
   auto rr = trainer.round();
   EXPECT_EQ(rr.updates_run, 1);
   EXPECT_GT(rr.last_update.entropy, 0.0);

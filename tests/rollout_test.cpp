@@ -1,0 +1,315 @@
+// Tests for the batched rollout pipeline: TrialEnv caching and accounting,
+// thread-count invariance of optimization results, RolloutEngine stats, and
+// the TrialRunner's thread-safety contract (run this suite under
+// -DMARS_SANITIZE=thread to have TSan check the hammer tests).
+#include "rl/rollout.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "rl/optimizer.h"
+#include "tensor/ops.h"
+#include "util/thread_pool.h"
+#include "workloads/workloads.h"
+
+namespace mars {
+namespace {
+
+/// Minimal policy over `n` independent ops; free-parameter logits.
+class TabularPolicy : public PlacementPolicy {
+ public:
+  TabularPolicy(int n, int devices, Rng& rng) : n_(n), devices_(devices) {
+    logits_ =
+        add_param("logits", Tensor::randn({n, devices}, rng, 0.01f, true));
+  }
+  void attach_graph(const CompGraph&) override {}
+  ActionSample sample(Rng& rng) override {
+    ActionSample s;
+    s.placement = sample_rows(logits_, rng);
+    Tensor lp = gather_per_row(log_softmax_rows(logits_), s.placement);
+    s.logp_terms.assign(lp.data(), lp.data() + lp.numel());
+    return s;
+  }
+  ActionEval evaluate(const ActionSample& sample) override {
+    Tensor lp = log_softmax_rows(logits_);
+    Tensor probs = softmax_rows(logits_);
+    return {gather_per_row(lp, sample.placement),
+            scale(sum_all(mul(probs, lp)), -1.0f / static_cast<float>(n_))};
+  }
+  int num_devices() const override { return devices_; }
+  std::string describe() const override { return "tabular"; }
+
+ private:
+  int n_, devices_;
+  Tensor logits_;
+};
+
+struct SimEnv {
+  CompGraph graph;
+  MachineSpec machine = MachineSpec::default_4gpu();
+  std::unique_ptr<ExecutionSimulator> sim;
+  std::unique_ptr<TrialRunner> runner;
+
+  explicit SimEnv(CompGraph g, TrialConfig tc = {}) : graph(std::move(g)) {
+    sim = std::make_unique<ExecutionSimulator>(graph, machine);
+    runner = std::make_unique<TrialRunner>(*sim, tc);
+  }
+};
+
+TEST(PlacementHash, DistinguishesOrderAndLength) {
+  EXPECT_EQ(placement_hash({1, 2, 3}), placement_hash({1, 2, 3}));
+  EXPECT_NE(placement_hash({1, 2, 3}), placement_hash({3, 2, 1}));
+  EXPECT_NE(placement_hash({1, 2}), placement_hash({1, 2, 0}));
+  EXPECT_NE(placement_hash({}), placement_hash({0}));
+}
+
+TEST(TrialEnv, DuplicatePlacementsHitCacheWithUnchangedResults) {
+  SimEnv env(build_random_dag(4, 10, 3));
+  TrialEnvConfig cfg;
+  cfg.threads = 1;
+  TrialEnv trial_env(*env.runner, 99, cfg);
+
+  const Placement a(static_cast<size_t>(env.graph.num_nodes()), 1);
+  const Placement b(static_cast<size_t>(env.graph.num_nodes()), 2);
+  std::vector<Placement> batch = {a, b, a, a};
+  std::vector<TrialResult> results(batch.size());
+  EnvBatchStats stats = trial_env.evaluate_batch(batch, results);
+
+  EXPECT_EQ(stats.trials, 4);
+  EXPECT_EQ(stats.simulated, 2);  // a and b measured once each
+  EXPECT_EQ(stats.cache_hits, 2); // the two in-batch duplicates of a
+  // Duplicates reuse the first measurement bit-for-bit, noise included.
+  EXPECT_DOUBLE_EQ(results[0].step_time, results[2].step_time);
+  EXPECT_DOUBLE_EQ(results[0].step_time, results[3].step_time);
+
+  // A second batch of already-seen placements is served entirely from the
+  // cache: no new measurements, no new environment time (charge-once).
+  const double env_before = env.runner->environment_seconds();
+  std::vector<Placement> again = {a, b};
+  std::vector<TrialResult> results2(again.size());
+  EnvBatchStats stats2 = trial_env.evaluate_batch(again, results2);
+  EXPECT_EQ(stats2.simulated, 0);
+  EXPECT_EQ(stats2.cache_hits, 2);
+  EXPECT_DOUBLE_EQ(results2[0].step_time, results[0].step_time);
+  EXPECT_DOUBLE_EQ(results2[1].step_time, results[1].step_time);
+  EXPECT_DOUBLE_EQ(env.runner->environment_seconds(), env_before);
+  EXPECT_EQ(trial_env.cache_size(), 2u);
+}
+
+TEST(TrialEnv, ChargeCacheHitsPolicyRechargesEnvSeconds) {
+  SimEnv env(build_random_dag(4, 8, 5));
+  TrialEnvConfig cfg;
+  cfg.threads = 1;
+  cfg.charge_cache_hits = true;
+  TrialEnv trial_env(*env.runner, 7, cfg);
+
+  const Placement a(static_cast<size_t>(env.graph.num_nodes()), 1);
+  TrialResult first = trial_env.evaluate(a);
+  const double after_first = env.runner->environment_seconds();
+  EXPECT_DOUBLE_EQ(after_first, first.env_seconds);
+
+  TrialResult second = trial_env.evaluate(a);  // cache hit, but re-charged
+  EXPECT_DOUBLE_EQ(second.step_time, first.step_time);
+  EXPECT_DOUBLE_EQ(env.runner->environment_seconds(),
+                   after_first + first.env_seconds);
+  EXPECT_EQ(trial_env.cache_hits(), 1);
+}
+
+TEST(TrialEnv, CacheDisabledMeasuresEveryTrial) {
+  SimEnv env(build_random_dag(4, 8, 6));
+  TrialEnvConfig cfg;
+  cfg.threads = 1;
+  cfg.cache_capacity = 0;
+  TrialEnv trial_env(*env.runner, 7, cfg);
+
+  const Placement a(static_cast<size_t>(env.graph.num_nodes()), 1);
+  std::vector<Placement> batch = {a, a, a};
+  std::vector<TrialResult> results(batch.size());
+  EnvBatchStats stats = trial_env.evaluate_batch(batch, results);
+  EXPECT_EQ(stats.simulated, 3);
+  EXPECT_EQ(stats.cache_hits, 0);
+  // Independent noise streams: duplicate placements measure differently.
+  EXPECT_NE(results[0].step_time, results[1].step_time);
+}
+
+TEST(TrialEnv, LruEvictsLeastRecentlyUsed) {
+  SimEnv env(build_random_dag(4, 8, 7));
+  TrialEnvConfig cfg;
+  cfg.threads = 1;
+  cfg.cache_capacity = 2;
+  TrialEnv trial_env(*env.runner, 7, cfg);
+
+  const size_t n = static_cast<size_t>(env.graph.num_nodes());
+  const Placement a(n, 1), b(n, 2), c(n, 3);
+  trial_env.evaluate(a);
+  trial_env.evaluate(b);
+  trial_env.evaluate(a);  // refresh a: b is now least recent
+  trial_env.evaluate(c);  // evicts b
+  EXPECT_EQ(trial_env.cache_size(), 2u);
+  const int64_t sim_before = trial_env.simulated_trials();
+  trial_env.evaluate(b);  // must re-measure
+  EXPECT_EQ(trial_env.simulated_trials(), sim_before + 1);
+}
+
+TEST(TrialEnv, ResultsIdenticalForEveryThreadCount) {
+  // The determinism contract of docs/rollout.md, at the env level: same
+  // seed and call sequence => bit-identical results for 1, 4 and
+  // hardware_concurrency threads.
+  SimEnv env(build_random_dag(4, 16, 9));
+  const size_t n = static_cast<size_t>(env.graph.num_nodes());
+  std::vector<Placement> batch;
+  Rng gen(17);
+  for (int i = 0; i < 12; ++i) {
+    Placement p(n);
+    for (auto& d : p) d = static_cast<int>(gen.uniform_int(5));
+    batch.push_back(std::move(p));
+  }
+
+  std::vector<std::vector<double>> step_times;
+  std::vector<double> env_seconds;
+  for (unsigned threads : {1u, 4u, 0u}) {
+    SimEnv fresh(build_random_dag(4, 16, 9));
+    TrialEnvConfig cfg;
+    cfg.threads = threads;
+    TrialEnv trial_env(*fresh.runner, 123, cfg);
+    std::vector<TrialResult> results(batch.size());
+    trial_env.evaluate_batch(batch, results);
+    std::vector<double> times;
+    for (const auto& r : results) times.push_back(r.step_time);
+    step_times.push_back(std::move(times));
+    env_seconds.push_back(fresh.runner->environment_seconds());
+  }
+  EXPECT_EQ(step_times[0], step_times[1]);
+  EXPECT_EQ(step_times[0], step_times[2]);
+  EXPECT_DOUBLE_EQ(env_seconds[0], env_seconds[1]);
+  EXPECT_DOUBLE_EQ(env_seconds[0], env_seconds[2]);
+}
+
+TEST(OptimizePlacement, TrajectoryIdenticalForEveryThreadCount) {
+  // End-to-end determinism: same seed => identical best placement, best
+  // step time, and per-round best trajectory at threads = 1, 4 and
+  // hardware_concurrency (the acceptance bar for the parallel rollout).
+  std::vector<OptimizeResult> runs;
+  for (unsigned threads : {1u, 4u, 0u}) {
+    SimEnv env(build_random_dag(4, 12, 11));
+    Rng rng(3);
+    TabularPolicy policy(env.graph.num_nodes(), 5, rng);
+    OptimizeConfig cfg;
+    cfg.max_rounds = 8;
+    cfg.ppo.placements_per_policy = 6;
+    cfg.env.threads = threads;
+    runs.push_back(optimize_placement(policy, *env.runner, cfg, 42));
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].best_placement, runs[i].best_placement);
+    EXPECT_DOUBLE_EQ(runs[0].best_step_time, runs[i].best_step_time);
+    EXPECT_DOUBLE_EQ(runs[0].env_seconds, runs[i].env_seconds);
+    ASSERT_EQ(runs[0].history.size(), runs[i].history.size());
+    for (size_t h = 0; h < runs[0].history.size(); ++h) {
+      EXPECT_DOUBLE_EQ(runs[0].history[h].best_step_time_so_far,
+                       runs[i].history[h].best_step_time_so_far);
+      EXPECT_DOUBLE_EQ(runs[0].history[h].env_seconds,
+                       runs[i].history[h].env_seconds);
+      EXPECT_EQ(runs[0].history[h].cache_hits, runs[i].history[h].cache_hits);
+    }
+  }
+}
+
+TEST(OptimizePlacement, SurfacesRolloutStatsInHistory) {
+  SimEnv env(build_random_dag(4, 10, 13));
+  Rng rng(5);
+  TabularPolicy policy(env.graph.num_nodes(), 5, rng);
+  OptimizeConfig cfg;
+  cfg.max_rounds = 4;
+  cfg.ppo.placements_per_policy = 5;
+  cfg.env.threads = 2;
+  OptimizeResult r = optimize_placement(policy, *env.runner, cfg, 21);
+  ASSERT_EQ(r.history.size(), 4u);
+  int64_t parallel_total = 0;
+  for (const auto& h : r.history) {
+    EXPECT_GE(h.rollout_seconds, 0.0);
+    EXPECT_GE(h.cache_hits, 0);
+    parallel_total += h.parallel_trials;
+  }
+  // With 2 workers and 5 fresh placements per round, at least the first
+  // round must have fanned trials out to the pool.
+  EXPECT_GT(parallel_total, 0);
+  EXPECT_GT(r.rollout_seconds, 0.0);
+}
+
+TEST(RolloutEngine, SamplesAndEvaluatesOneBatch) {
+  Rng rng(7);
+  TabularPolicy policy(6, 4, rng);
+  std::atomic<int> calls{0};
+  CallbackEnv env([&calls](const Placement& p) {
+    calls.fetch_add(1);
+    TrialResult t;
+    t.valid = true;
+    t.step_time = 1.0 + p[0];
+    return t;
+  });
+  RolloutEngine engine(policy, env);
+  Rng sample_rng(8);
+  RolloutStats stats;
+  auto samples = engine.rollout(9, sample_rng, &stats);
+  ASSERT_EQ(samples.size(), 9u);
+  EXPECT_EQ(calls.load(), 9);
+  EXPECT_EQ(stats.simulated_trials, 9);
+  for (const auto& s : samples) {
+    ASSERT_EQ(s.action.placement.size(), 6u);
+    EXPECT_DOUBLE_EQ(s.trial.step_time, 1.0 + s.action.placement[0]);
+  }
+}
+
+TEST(TrialRunner, ThreadSafeUnderConcurrentHammer) {
+  // The TrialRunner::run contract: safe from many threads with per-thread
+  // rngs. Hammer it through the pool (TSan-checked under
+  // -DMARS_SANITIZE=thread); every result must be internally consistent
+  // and the accumulator must equal the sum of per-trial costs.
+  SimEnv env(build_random_dag(4, 12, 15));
+  const size_t n = static_cast<size_t>(env.graph.num_nodes());
+  ThreadPool pool(8);
+  const size_t kTrials = 200;
+  std::vector<TrialResult> results(kTrials);
+  pool.parallel_for(kTrials, [&](size_t i) {
+    Rng rng(0x5eedull ^ (i * 0x9e3779b97f4a7c15ull));
+    Placement p(n);
+    for (size_t k = 0; k < n; ++k)
+      p[k] = static_cast<int>(rng.uniform_int(5));
+    results[i] = env.runner->run(p, rng);
+  });
+  double expected = 0;
+  for (const auto& r : results) {
+    EXPECT_GT(r.env_seconds, 0.0);
+    EXPECT_GT(r.step_time, 0.0);
+    expected += r.env_seconds;
+  }
+  // Accumulation order differs run to run; tolerance covers FP reordering.
+  EXPECT_NEAR(env.runner->environment_seconds(), expected,
+              1e-6 * std::max(1.0, expected));
+}
+
+TEST(TrialEnv, ConcurrentBatchesOnSeparateEnvsSharingOneRunner) {
+  // Independent TrialEnvs over one shared runner (the fig7 harness shape:
+  // concurrent training runs). TSan-checked under MARS_SANITIZE=thread.
+  SimEnv env(build_random_dag(4, 10, 19));
+  const size_t n = static_cast<size_t>(env.graph.num_nodes());
+  ThreadPool pool(4);
+  std::atomic<int> ok{0};
+  pool.parallel_for(4, [&](size_t worker) {
+    TrialEnvConfig cfg;
+    cfg.threads = 2;
+    TrialEnv trial_env(*env.runner, 100 + worker, cfg);
+    std::vector<Placement> batch(6, Placement(n, static_cast<int>(worker) + 1));
+    std::vector<TrialResult> results(batch.size());
+    trial_env.evaluate_batch(batch, results);
+    for (const auto& r : results)
+      if (r.step_time > 0) ok.fetch_add(1);
+  });
+  EXPECT_EQ(ok.load(), 24);
+}
+
+}  // namespace
+}  // namespace mars

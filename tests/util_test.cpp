@@ -2,6 +2,7 @@
 // logging, and runtime checks.
 #include <atomic>
 #include <fstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -138,6 +139,50 @@ TEST(ThreadPool, FuturesDeliverResults) {
   auto f2 = pool.submit([] { return std::string("ok"); });
   EXPECT_EQ(f1.get(), 42);
   EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  // n deliberately not divisible by workers * chunks-per-worker: the
+  // chunked dispatch must still hit each index exactly once.
+  ThreadPool pool(3);
+  for (size_t n : {0u, 1u, 2u, 7u, 97u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](size_t i) {
+      ASSERT_LT(i, n);
+      hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives the throw and keeps serving tasks.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstExceptionAfterDraining) {
+  ThreadPool pool(4);
+  const size_t n = 64;
+  // 4 workers * 4 chunks/worker = 16 chunks of 4 indices each; index 5's
+  // throw abandons the rest of its own chunk only.
+  const size_t chunk = n / (4 * 4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(n, [&](size_t i) {
+      ran.fetch_add(1);
+      if (i == 5) throw std::invalid_argument("index 5");
+    });
+    FAIL() << "should have rethrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "index 5");
+  }
+  // All chunks were drained before the rethrow: every index outside the
+  // throwing chunk ran (no task outlives the call, pool stays usable).
+  EXPECT_GE(ran.load(), static_cast<int>(n - chunk + 1));
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
 }
 
 TEST(Check, MacrosThrowWithContext) {
