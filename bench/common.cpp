@@ -66,8 +66,7 @@ Profile parse_profile(const CliArgs& args) {
               << "concurrency";
   p.threads = static_cast<unsigned>(std::max(0, threads));
   p.csv_path = args.get("csv", "");
-  for (const auto& flag : args.unused())
-    MARS_WARN << "unknown flag --" << flag;
+  args.warn_unused();
   return p;
 }
 

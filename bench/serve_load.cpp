@@ -1,0 +1,163 @@
+// Closed-loop load generator for the mars_serve daemon.
+//
+// By default it is fully self-contained: it starts a PlacementService +
+// ServeDaemon in-process on an ephemeral port, drives it from --clients
+// concurrent TCP connections (each issuing --requests placement requests
+// back-to-back), and reports throughput and client-observed latency
+// percentiles plus the service's own counters. Point it at an external
+// daemon with --host/--port instead.
+//
+// Run: build/bench/serve_load --clients 8 --requests 40
+//      build/bench/serve_load --workloads gnmt,vgg16 --refine 32 --no-cache
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "serve/service.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/logging.h"
+#include "workloads/workloads.h"
+
+using namespace mars;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int clients = args.get_int("clients", 8);
+  const int per_client = args.get_int("requests", 40);
+  const std::string workloads_csv =
+      args.get("workloads", "inception_v3,vgg16");
+  const int gpus = args.get_int("gpus", 4);
+  const int refine = args.get_int("refine", 0);
+  const int coarsen = args.get_int("coarsen", 96);
+  const bool no_cache = args.get_bool("no-cache", false);
+  const std::string ext_host = args.get("host", "");
+  const int ext_port = args.get_int("port", 0);
+  const unsigned daemon_threads =
+      static_cast<unsigned>(args.get_int("threads", 0));
+  const std::string checkpoint = args.get("checkpoint", "");
+  args.warn_unused();
+  MARS_CHECK_MSG(clients > 0 && per_client > 0,
+                 "--clients and --requests must be positive");
+
+  // Pre-build the request mix once; clients round-robin through it.
+  std::vector<serve::PlaceRequest> mix;
+  for (const std::string& name : split_csv(workloads_csv)) {
+    serve::PlaceRequest request;
+    request.id = name;
+    request.gpus = gpus;
+    request.options.coarsen = coarsen;
+    request.options.refine_trials = refine;
+    request.options.use_cache = !no_cache;
+    request.graph = build_workload(name);
+    mix.push_back(std::move(request));
+  }
+  MARS_CHECK_MSG(!mix.empty(), "--workloads is empty");
+
+  // In-process daemon unless an external one was given.
+  std::unique_ptr<serve::PlacementService> service;
+  std::unique_ptr<serve::ServeDaemon> daemon;
+  std::thread daemon_thread;
+  std::string host = ext_host;
+  int port = ext_port;
+  if (ext_host.empty()) {
+    serve::ServiceConfig config;
+    config.checkpoint_path = checkpoint;
+    config.agent_gpus = gpus;
+    service = std::make_unique<serve::PlacementService>(std::move(config));
+    serve::ServerConfig server_config;
+    server_config.port = 0;
+    server_config.threads = daemon_threads;
+    daemon = std::make_unique<serve::ServeDaemon>(*service, server_config);
+    daemon_thread = std::thread([&] { daemon->serve(); });
+    host = "127.0.0.1";
+    port = daemon->port();
+  }
+
+  const int total = clients * per_client;
+  std::printf("serve_load: %d clients x %d requests -> %s:%d (%s)\n",
+              clients, per_client, host.c_str(), port,
+              ext_host.empty() ? "in-process daemon" : "external daemon");
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(clients));
+  std::atomic<int> failures{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        serve::PlaceClient client(host, port);
+        auto& mine = latencies[static_cast<size_t>(c)];
+        mine.reserve(static_cast<size_t>(per_client));
+        for (int i = 0; i < per_client; ++i) {
+          const serve::PlaceRequest& request =
+              mix[static_cast<size_t>(c + i) % mix.size()];
+          const auto start = std::chrono::steady_clock::now();
+          const serve::PlaceResponse response = client.place(request);
+          const std::chrono::duration<double, std::milli> ms =
+              std::chrono::steady_clock::now() - start;
+          if (response.status != serve::PlaceStatus::kOk) {
+            failures.fetch_add(1);
+            continue;
+          }
+          mine.push_back(ms.count());
+        }
+      } catch (const CheckError& e) {
+        MARS_ERROR << "client " << c << ": " << e.what();
+        failures.fetch_add(per_client);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+
+  std::vector<double> all;
+  all.reserve(static_cast<size_t>(total));
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+
+  std::printf("completed %zu/%d requests in %.2f s (%d failures)\n",
+              all.size(), total, wall.count(), failures.load());
+  if (!all.empty()) {
+    std::printf("throughput: %.1f req/s\n",
+                static_cast<double>(all.size()) / wall.count());
+    std::printf("latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+                percentile(all, 0.50), percentile(all, 0.95),
+                percentile(all, 0.99), all.back());
+  }
+
+  if (daemon) {
+    daemon->shutdown();
+    daemon_thread.join();
+    std::printf("service counters: %s\n", service->stats_line().c_str());
+  }
+  return failures.load() == 0 && !all.empty() ? 0 : 1;
+}

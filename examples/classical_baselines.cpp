@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const std::string workload = args.get("workload", "gnmt");
   const int64_t trials = args.get_int("trials", 400);
   const std::string dot_path = args.get("dot", "/tmp/mars_placement.dot");
+  args.warn_unused();
 
   CompGraph graph = build_workload(workload);
   MachineSpec machine = MachineSpec::default_4gpu();

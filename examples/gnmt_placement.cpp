@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const bool full = args.get_bool("full", false);
   const int rounds = args.get_int("rounds", full ? 450 : 45);
+  args.warn_unused();
 
   CompGraph graph = build_gnmt();
   std::printf("GNMT-4: %d ops, %.1f GFLOP fwd/step, params %.2f GB, "

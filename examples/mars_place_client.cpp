@@ -1,0 +1,70 @@
+// Example client for the mars_serve daemon: loads a wire-format graph (or
+// builds a named benchmark workload), sends it for placement over TCP, and
+// prints the returned placement.
+//
+// Run (against a daemon started with e.g. `mars_serve --port 7070`):
+//   build/examples/mars_place_client --graph iv3.graph
+//   build/examples/mars_place_client --workload gnmt --refine 64
+#include <cstdio>
+#include <fstream>
+
+#include "graph/graph_io.h"
+#include "serve/server.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/logging.h"
+#include "workloads/workloads.h"
+
+using namespace mars;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string host = args.get("host", "127.0.0.1");
+  const int port = args.get_int("port", 7070);
+  const std::string graph_path = args.get("graph", "");
+  const std::string workload = args.get("workload", "inception_v3");
+  const int gpus = args.get_int("gpus", 4);
+  const int refine = args.get_int("refine", 0);
+  const int coarsen = args.get_int("coarsen", 0);
+  args.warn_unused();
+
+  try {
+    serve::PlaceRequest request;
+    request.gpus = gpus;
+    request.options.refine_trials = refine;
+    request.options.coarsen = coarsen;
+    if (!graph_path.empty()) {
+      request.graph = load_graph_file(graph_path);
+      request.id = graph_path;
+    } else {
+      request.graph = build_workload(workload);
+      request.id = workload;
+    }
+
+    serve::PlaceClient client(host, port);
+    const serve::PlaceResponse response = client.place(request);
+    if (response.status != serve::PlaceStatus::kOk) {
+      std::printf("error: %s\n", response.error.c_str());
+      return 1;
+    }
+    std::printf("placer: %s%s%s\n", response.placer.c_str(),
+                response.cache_hit ? " (cached)" : "",
+                response.fallback ? " (fallback)" : "");
+    std::printf("simulated step time: %.4f s%s\n", response.step_time_s,
+                response.oom ? "  [OOM -- does not fit memory]" : "");
+    std::printf("service latency: %.1f ms\n", response.latency_ms);
+    for (size_t d = 0; d < response.resident_bytes.size(); ++d)
+      std::printf("  device %zu: %.2f GB resident\n", d,
+                  static_cast<double>(response.resident_bytes[d]) / 1e9);
+    std::printf("placement (%zu ops):", response.placement.size());
+    for (size_t i = 0; i < response.placement.size(); ++i) {
+      if (i % 32 == 0) std::printf("\n  ");
+      std::printf("%d", response.placement[i]);
+    }
+    std::printf("\n");
+  } catch (const CheckError& e) {
+    MARS_ERROR << e.what();
+    return 1;
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@ using namespace mars;
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const int rounds = args.get_int("rounds", 20);
+  args.warn_unused();
 
   // 1. Describe your workload as a computational graph. Helpers in
   //    GraphBuilder annotate each op with FLOPs and tensor sizes.

@@ -1,0 +1,66 @@
+// Exports a benchmark workload graph in the wire format that mars_serve
+// and CompGraph::load consume.
+//
+// Run: build/examples/save_graph --workload inception_v3 --out iv3.graph
+//      build/examples/save_graph --workload gnmt --coarsen 128 --out g.graph
+// Add --request to wrap the graph in a full placement-request frame (ready
+// to append to a mars_serve --requests file), and --gpus / --refine to set
+// the request's machine shape and refinement budget.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "graph/graph_io.h"
+#include "serve/protocol.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/logging.h"
+#include "workloads/workloads.h"
+
+using namespace mars;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string workload = args.get("workload", "inception_v3");
+  const std::string out_path = args.get("out", "-");
+  const int coarsen = args.get_int("coarsen", 0);
+  const bool as_request = args.get_bool("request", false);
+  const int gpus = args.get_int("gpus", 4);
+  const int refine = args.get_int("refine", 0);
+  args.warn_unused();
+
+  try {
+    CompGraph graph = build_workload(workload);
+    if (coarsen > 0) graph = graph.coarsen(coarsen);
+
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    if (out_path != "-") {
+      file.open(out_path);
+      MARS_CHECK_MSG(file.good(), "cannot open '" << out_path << "'");
+      out = &file;
+    }
+    if (as_request) {
+      serve::PlaceRequest request;
+      request.id = workload;
+      request.gpus = gpus;
+      request.options.refine_trials = refine;
+      request.graph = std::move(graph);
+      serve::write_request(*out, request);
+      std::fprintf(stderr, "wrote request '%s' (%d nodes) to %s\n",
+                   workload.c_str(), request.graph.num_nodes(),
+                   out_path.c_str());
+    } else {
+      save_graph(*out, graph);
+      std::fprintf(stderr, "wrote graph '%s' (%d nodes, %lld edges) to %s\n",
+                   workload.c_str(), graph.num_nodes(),
+                   static_cast<long long>(graph.num_edges()),
+                   out_path.c_str());
+    }
+    MARS_CHECK_MSG(out->good(), "write to '" << out_path << "' failed");
+  } catch (const CheckError& e) {
+    MARS_ERROR << e.what();
+    return 1;
+  }
+  return 0;
+}

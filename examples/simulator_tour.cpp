@@ -17,6 +17,8 @@ using namespace mars;
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const std::string workload = args.get("workload", "bert");
+  const std::string trace_path = args.get("trace", "/tmp/mars_trace.json");
+  args.warn_unused();
 
   CompGraph graph = build_workload(workload);
   std::printf("== %s ==\n", workload.c_str());
@@ -77,7 +79,6 @@ int main(int argc, char** argv) {
       spread[static_cast<size_t>(order[i])] =
           1 + static_cast<int>(i * 4 / order.size());
     SimResult r = sim.simulate(spread, /*record_trace=*/true);
-    const std::string trace_path = args.get("trace", "/tmp/mars_trace.json");
     if (!r.oom && write_chrome_trace(sim, r, trace_path)) {
       std::printf("\nschedule trace written to %s "
                   "(open in chrome://tracing or ui.perfetto.dev)\n",

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const int finetune_rounds = args.get_int("finetune-rounds", 10);
   const std::string ckpt =
       args.get("checkpoint", "/tmp/mars_transfer_agent.bin");
+  args.warn_unused();
 
   CompGraph src_graph = build_workload(source).coarsen(64);
   CompGraph tgt_graph = build_workload(target).coarsen(96);
@@ -65,11 +66,11 @@ int main(int argc, char** argv) {
       optimize_placement(*restored, tgt_runner, ft, rng.next_u64());
 
   // ---- Phase 4: direct training under the same total budget ---------------
-  OptimizeConfig direct_cfg = config.optimize;
-  direct_cfg.max_rounds = src_result.rounds_run + finetune_rounds;
+  MarsConfig direct_cfg = config;
+  direct_cfg.optimize.max_rounds = src_result.rounds_run + finetune_rounds;
   tgt_runner.reset_environment_seconds();
   MarsRunResult direct =
-      run_mars(tgt_graph, tgt_runner, config, rng.next_u64());
+      run_mars(tgt_graph, tgt_runner, direct_cfg, rng.next_u64());
 
   std::printf("\n[target %s]\n", target.c_str());
   std::printf("  generalized from %-12s : %.4f s/step (%d fine-tune rounds)\n",

@@ -44,7 +44,9 @@ Placer::Result GrouperPlacerAgent::forward(const Decision* given, Rng* rng,
   // Grouper: categorical over groups per op.
   Tensor group_logits = grouper_.forward(features_);  // [N, G]
   std::vector<int> groups =
-      given ? given->groups : sample_rows(group_logits, *rng);
+      given ? given->groups
+            : (rng ? sample_rows(group_logits, *rng)
+                   : argmax_rows(group_logits));  // greedy decode
   Tensor group_logp_rows = log_softmax_rows(group_logits);
   Tensor grouper_logp_terms = gather_per_row(group_logp_rows, groups);
   Tensor group_probs = softmax_rows(group_logits);
@@ -90,8 +92,14 @@ Placer::Result GrouperPlacerAgent::forward(const Decision* given, Rng* rng,
 }
 
 ActionSample GrouperPlacerAgent::sample(Rng& rng) {
+  return sample_with(&rng);
+}
+
+ActionSample GrouperPlacerAgent::sample_greedy() { return sample_with(nullptr); }
+
+ActionSample GrouperPlacerAgent::sample_with(Rng* rng) {
   Decision decision;
-  Placer::Result r = forward(nullptr, &rng, &decision);
+  Placer::Result r = forward(nullptr, rng, &decision);
   ActionSample out;
   out.placement = std::move(r.actions);
   out.logp_terms.assign(r.logp_terms.data(),

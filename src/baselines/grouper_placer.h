@@ -30,6 +30,7 @@ class GrouperPlacerAgent : public PlacementPolicy {
 
   void attach_graph(const CompGraph& graph) override;
   ActionSample sample(Rng& rng) override;
+  ActionSample sample_greedy() override;
   ActionEval evaluate(const ActionSample& sample) override;
   int num_devices() const override { return config_.num_devices; }
   std::string describe() const override { return "grouper_placer"; }
@@ -39,9 +40,11 @@ class GrouperPlacerAgent : public PlacementPolicy {
     std::vector<int> groups;       // per op
     std::vector<int> group_device; // per group
   };
-  /// Shared forward pass; samples when `given` is null.
+  /// Shared forward pass; samples (or greedily decodes, rng null) when
+  /// `given` is null.
   Placer::Result forward(const Decision* given, Rng* rng,
                          Decision* out_decision);
+  ActionSample sample_with(Rng* rng);
   static Decision unpack(const ActionSample& sample, int n, int g);
 
   GrouperPlacerConfig config_;

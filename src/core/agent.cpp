@@ -26,6 +26,16 @@ ActionSample EncoderPlacerAgent::sample(Rng& rng) {
   return out;
 }
 
+ActionSample EncoderPlacerAgent::sample_greedy() {
+  Tensor reps = encoder_->encode();
+  Placer::Result r = placer_->place(reps, nullptr, nullptr);
+  ActionSample out;
+  out.placement = std::move(r.actions);
+  out.logp_terms.assign(r.logp_terms.data(),
+                        r.logp_terms.data() + r.logp_terms.numel());
+  return out;
+}
+
 ActionEval EncoderPlacerAgent::evaluate(const ActionSample& sample) {
   Tensor reps = encoder_->encode();
   Placer::Result r = placer_->place(reps, &sample.placement, nullptr);
@@ -49,6 +59,15 @@ void FixedRepresentationAgent::attach_graph(const CompGraph& graph) {
 
 ActionSample FixedRepresentationAgent::sample(Rng& rng) {
   Placer::Result r = placer_->place(reps_, nullptr, &rng);
+  ActionSample out;
+  out.placement = std::move(r.actions);
+  out.logp_terms.assign(r.logp_terms.data(),
+                        r.logp_terms.data() + r.logp_terms.numel());
+  return out;
+}
+
+ActionSample FixedRepresentationAgent::sample_greedy() {
+  Placer::Result r = placer_->place(reps_, nullptr, nullptr);
   ActionSample out;
   out.placement = std::move(r.actions);
   out.logp_terms.assign(r.logp_terms.data(),

@@ -20,6 +20,7 @@ class EncoderPlacerAgent : public PlacementPolicy {
 
   void attach_graph(const CompGraph& graph) override;
   ActionSample sample(Rng& rng) override;
+  ActionSample sample_greedy() override;
   ActionEval evaluate(const ActionSample& sample) override;
   int num_devices() const override { return placer_->num_devices(); }
   std::string describe() const override { return label_; }
@@ -46,6 +47,7 @@ class FixedRepresentationAgent : public PlacementPolicy {
   /// that the graph size matches them.
   void attach_graph(const CompGraph& graph) override;
   ActionSample sample(Rng& rng) override;
+  ActionSample sample_greedy() override;
   ActionEval evaluate(const ActionSample& sample) override;
   int num_devices() const override { return placer_->num_devices(); }
   std::string describe() const override { return label_; }

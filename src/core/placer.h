@@ -27,7 +27,8 @@ class Placer : public Module {
   };
   /// Places all nodes given representations [N, rep_dim]. When `given` is
   /// non-null the actions are forced (PPO re-evaluation); otherwise they
-  /// are sampled with `rng`.
+  /// are sampled with `rng`, or — when `rng` is also null — decoded
+  /// greedily (per-step argmax; the serving inference path).
   virtual Result place(const Tensor& reps, const std::vector<int>* given,
                        Rng* rng) = 0;
   virtual std::string name() const = 0;

@@ -42,7 +42,6 @@ Placer::Result SegmentSeq2SeqPlacer::place(const Tensor& reps,
                                            const std::vector<int>* given,
                                            Rng* rng) {
   const int64_t n = reps.rows();
-  MARS_CHECK(given != nullptr || rng != nullptr);
   if (given) MARS_CHECK(static_cast<int64_t>(given->size()) == n);
   const int64_t seg = std::min<int64_t>(config_.segment_size, n);
 
@@ -76,8 +75,10 @@ Placer::Result SegmentSeq2SeqPlacer::place(const Tensor& reps,
       if (given) {
         a = (*given)[static_cast<size_t>(t)];
         MARS_CHECK(a >= 0 && a < num_devices_);
-      } else {
+      } else if (rng) {
         a = sample_rows(logits, *rng)[0];
+      } else {
+        a = argmax_rows(logits)[0];  // greedy decode
       }
       actions[static_cast<size_t>(t)] = a;
       prev_device = a;
@@ -114,7 +115,6 @@ Placer::Result TransformerXlPlacer::place(const Tensor& reps,
                                           const std::vector<int>* given,
                                           Rng* rng) {
   const int64_t n = reps.rows();
-  MARS_CHECK(given != nullptr || rng != nullptr);
   const int64_t seg = std::min<int64_t>(config_.segment_size, n);
 
   std::vector<int> actions(static_cast<size_t>(n));
@@ -135,8 +135,10 @@ Placer::Result TransformerXlPlacer::place(const Tensor& reps,
     std::vector<int> seg_actions;
     if (given) {
       seg_actions.assign(given->begin() + s0, given->begin() + s1);
-    } else {
+    } else if (rng) {
       seg_actions = sample_rows(logits, *rng);
+    } else {
+      seg_actions = argmax_rows(logits);  // greedy decode
     }
     std::copy(seg_actions.begin(), seg_actions.end(),
               actions.begin() + s0);
@@ -157,10 +159,9 @@ MlpPlacer::MlpPlacer(const MlpPlacerConfig& config, Rng& rng)
 
 Placer::Result MlpPlacer::place(const Tensor& reps,
                                 const std::vector<int>* given, Rng* rng) {
-  MARS_CHECK(given != nullptr || rng != nullptr);
   Tensor logits = mlp_.forward(reps);
   std::vector<int> actions =
-      given ? *given : sample_rows(logits, *rng);
+      given ? *given : (rng ? sample_rows(logits, *rng) : argmax_rows(logits));
   for (int a : actions) MARS_CHECK(a >= 0 && a < num_devices_);
   return finish_result(logits, std::move(actions));
 }

@@ -6,6 +6,7 @@
 #include <queue>
 #include <sstream>
 
+#include "graph/graph_io.h"
 #include "util/check.h"
 
 namespace mars {
@@ -21,9 +22,42 @@ uint64_t placement_hash(const Placement& placement) {
   return h;
 }
 
+uint64_t graph_hash(const CompGraph& graph) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<uint64_t>(graph.num_nodes()));
+  for (const OpNode& n : graph.nodes()) {
+    mix(static_cast<uint64_t>(n.type));
+    mix(static_cast<uint64_t>(n.flops));
+    mix(static_cast<uint64_t>(n.output_bytes));
+    mix(static_cast<uint64_t>(n.resident_activation_bytes));
+    mix(static_cast<uint64_t>(n.param_bytes));
+    mix(n.gpu_compatible ? 1u : 2u);
+    mix(n.output_shape.size());
+    for (auto d : n.output_shape) mix(static_cast<uint64_t>(d));
+  }
+  mix(static_cast<uint64_t>(graph.num_edges()));
+  for (int u = 0; u < graph.num_nodes(); ++u)
+    for (int v : graph.outputs_of(u)) {
+      mix(static_cast<uint64_t>(u));
+      mix(static_cast<uint64_t>(v));
+    }
+  return h;
+}
+
 int CompGraph::add_node(std::string name, OpType type,
                         std::vector<int64_t> output_shape, int64_t flops,
                         int64_t param_bytes) {
+  MARS_CHECK_MSG(flops >= 0,
+                 "node '" << name << "': negative flops " << flops);
+  MARS_CHECK_MSG(param_bytes >= 0,
+                 "node '" << name << "': negative param_bytes " << param_bytes);
+  for (auto d : output_shape)
+    MARS_CHECK_MSG(d >= 0,
+                   "node '" << name << "': negative shape dimension " << d);
   OpNode n;
   n.id = static_cast<int>(nodes_.size());
   n.name = std::move(name);
@@ -45,10 +79,23 @@ void CompGraph::add_edge(int src, int dst) {
   MARS_CHECK_MSG(src >= 0 && src < num_nodes() && dst >= 0 &&
                      dst < num_nodes() && src != dst,
                  "bad edge " << src << " -> " << dst);
+  MARS_CHECK_MSG(!has_edge(src, dst),
+                 "duplicate edge " << src << " -> " << dst);
   out_edges_[static_cast<size_t>(src)].push_back(dst);
   in_edges_[static_cast<size_t>(dst)].push_back(src);
   ++num_edges_;
   topo_cache_.clear();
+}
+
+bool CompGraph::has_edge(int src, int dst) const {
+  MARS_CHECK_MSG(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes(),
+                 "has_edge endpoints out of range: " << src << " -> " << dst);
+  // Scan the shorter adjacency side.
+  const auto& outs = out_edges_[static_cast<size_t>(src)];
+  const auto& ins = in_edges_[static_cast<size_t>(dst)];
+  if (outs.size() <= ins.size())
+    return std::find(outs.begin(), outs.end(), dst) != outs.end();
+  return std::find(ins.begin(), ins.end(), src) != ins.end();
 }
 
 const std::vector<int>& CompGraph::topo_order() const {
@@ -100,57 +147,9 @@ int64_t CompGraph::total_activation_bytes() const {
       [](int64_t a, const OpNode& n) { return a + n.output_bytes; });
 }
 
-void CompGraph::save(std::ostream& out) const {
-  out << "# mars-graph v1\n";
-  out << "graph " << name_ << ' ' << num_nodes() << ' ' << num_edges_ << '\n';
-  for (const auto& n : nodes_) {
-    out << "node " << n.id << ' ' << n.name << ' ' << op_type_name(n.type)
-        << ' ' << (n.gpu_compatible ? 1 : 0) << ' ' << n.flops << ' '
-        << n.output_bytes << ' ' << n.resident_activation_bytes << ' '
-        << n.param_bytes << ' ' << n.output_shape.size();
-    for (auto d : n.output_shape) out << ' ' << d;
-    out << '\n';
-  }
-  for (int u = 0; u < num_nodes(); ++u)
-    for (int v : out_edges_[static_cast<size_t>(u)])
-      out << "edge " << u << ' ' << v << '\n';
-}
+void CompGraph::save(std::ostream& out) const { save_graph(out, *this); }
 
-CompGraph CompGraph::load(std::istream& in) {
-  std::string line;
-  CompGraph g;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string tag;
-    ls >> tag;
-    if (tag == "graph") {
-      ls >> g.name_;
-    } else if (tag == "node") {
-      int id, gpu;
-      std::string name, type_name;
-      int64_t flops, out_bytes, resident_bytes, param_bytes;
-      size_t ndim;
-      ls >> id >> name >> type_name >> gpu >> flops >> out_bytes >>
-          resident_bytes >> param_bytes >> ndim;
-      std::vector<int64_t> shape(ndim);
-      for (auto& d : shape) ls >> d;
-      int got = g.add_node(name, op_type_from_name(type_name),
-                           std::move(shape), flops, param_bytes);
-      MARS_CHECK_MSG(got == id, "non-sequential node ids in graph file");
-      g.mutable_node(got).output_bytes = out_bytes;
-      g.mutable_node(got).resident_activation_bytes = resident_bytes;
-      g.mutable_node(got).gpu_compatible = gpu != 0;
-    } else if (tag == "edge") {
-      int u, v;
-      ls >> u >> v;
-      g.add_edge(u, v);
-    } else {
-      MARS_CHECK_MSG(false, "unknown record '" << tag << "' in graph file");
-    }
-  }
-  return g;
-}
+CompGraph CompGraph::load(std::istream& in) { return load_graph(in); }
 
 bool CompGraph::save_to_file(const std::string& path) const {
   std::ofstream out(path);
@@ -165,7 +164,8 @@ CompGraph CompGraph::load_from_file(const std::string& path) {
   return load(in);
 }
 
-CompGraph CompGraph::coarsen(int max_nodes) const {
+CompGraph CompGraph::coarsen(int max_nodes,
+                             std::vector<int>* node_to_group) const {
   MARS_CHECK(max_nodes >= 1);
   // Work on a mutable copy of the structure; group[i] tracks which surviving
   // representative node i has been fused into.
@@ -234,6 +234,12 @@ CompGraph CompGraph::coarsen(int max_nodes) const {
     if (find(v) != v) continue;
     new_id[static_cast<size_t>(v)] = out.add_node(
         node(v).name, node(v).type, node(v).output_shape, 0, 0);
+  }
+  if (node_to_group) {
+    node_to_group->assign(static_cast<size_t>(n), -1);
+    for (int v = 0; v < n; ++v)
+      (*node_to_group)[static_cast<size_t>(v)] =
+          new_id[static_cast<size_t>(find(v))];
   }
   // Accumulate member costs; output bytes of a group = bytes of members whose
   // consumers are outside the group (boundary tensors), while resident

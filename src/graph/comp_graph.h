@@ -50,15 +50,28 @@ using Placement = std::vector<int>;
 /// in so prefixes don't collide). Keys the rollout trial cache.
 uint64_t placement_hash(const Placement& placement);
 
+class CompGraph;
+
+/// 64-bit FNV-1a hash of a graph's topology and cost annotations (node
+/// count, per-node op type / shape / FLOPs / bytes / GPU compatibility, and
+/// the edge list). The graph name is deliberately excluded: two clients
+/// submitting the same model under different names share a cache entry.
+/// Keys the placement service's response cache.
+uint64_t graph_hash(const CompGraph& graph);
+
 class CompGraph {
  public:
   explicit CompGraph(std::string name = "graph") : name_(std::move(name)) {}
 
   /// Adds a node; returns its id. Shape may be empty (scalar/control).
+  /// Throws CheckError on negative flops, param_bytes or shape dimensions.
   int add_node(std::string name, OpType type, std::vector<int64_t> output_shape,
                int64_t flops = 0, int64_t param_bytes = 0);
-  /// Adds a dependency edge src -> dst (dst consumes src's output).
+  /// Adds a dependency edge src -> dst (dst consumes src's output). Throws
+  /// CheckError on out-of-range endpoints, self-loops and duplicate edges.
   void add_edge(int src, int dst);
+  /// Whether the edge src -> dst already exists (endpoints must be valid).
+  bool has_edge(int src, int dst) const;
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int64_t num_edges() const { return num_edges_; }
@@ -83,7 +96,9 @@ class CompGraph {
   int64_t total_param_bytes() const;
   int64_t total_activation_bytes() const;
 
-  /// Text serialization (round-trips through load).
+  /// Text serialization in the versioned wire format of graph/graph_io.h
+  /// (round-trips through load; load throws GraphParseError with a line
+  /// number on malformed input).
   void save(std::ostream& out) const;
   static CompGraph load(std::istream& in);
   bool save_to_file(const std::string& path) const;
@@ -93,8 +108,12 @@ class CompGraph {
   /// elementwise/bookkeeping ops into its upstream compute op, until the
   /// node count is at most `max_nodes` (or no fusion candidates remain).
   /// Preserves DAG-ness, total FLOPs, parameter bytes and the activation
-  /// bytes that cross fused-group boundaries.
-  CompGraph coarsen(int max_nodes) const;
+  /// bytes that cross fused-group boundaries. When `node_to_group` is
+  /// non-null it receives, per original node, the id of the coarse node the
+  /// op was fused into (the projection a coarse placement is expanded
+  /// through).
+  CompGraph coarsen(int max_nodes,
+                    std::vector<int>* node_to_group = nullptr) const;
 
  private:
   std::string name_;

@@ -1,0 +1,217 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/json.h"
+
+namespace mars {
+
+namespace {
+
+/// Upper bounds on declared counts: a corrupt or hostile header must not be
+/// able to force a multi-gigabyte allocation before any line is validated.
+constexpr int64_t kMaxNodes = 4'000'000;
+constexpr int64_t kMaxEdges = 40'000'000;
+
+Json parse_line_json(const std::string& line, int abs_line) {
+  try {
+    return Json::parse(line);
+  } catch (const JsonError& e) {
+    throw GraphParseError(abs_line, std::string("bad JSON (column ") +
+                                        std::to_string(e.offset() + 1) +
+                                        "): " + e.what());
+  }
+}
+
+bool blank_or_comment(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void save_graph(std::ostream& out, const CompGraph& graph) {
+  Json header = Json::object();
+  header.set("mars_graph", Json::of(kGraphWireVersion))
+      .set("name", Json::of(graph.name()))
+      .set("nodes", Json::of(static_cast<int64_t>(graph.num_nodes())))
+      .set("edges", Json::of(graph.num_edges()));
+  out << header.dump() << '\n';
+  for (const OpNode& n : graph.nodes()) {
+    Json shape = Json::array();
+    for (auto d : n.output_shape) shape.push(Json::of(d));
+    Json jn = Json::object();
+    jn.set("n", Json::of(static_cast<int64_t>(n.id)))
+        .set("name", Json::of(n.name))
+        .set("op", Json::of(op_type_name(n.type)))
+        .set("gpu", Json::of(n.gpu_compatible))
+        .set("shape", std::move(shape))
+        .set("flops", Json::of(n.flops))
+        .set("out_b", Json::of(n.output_bytes))
+        .set("res_b", Json::of(n.resident_activation_bytes))
+        .set("par_b", Json::of(n.param_bytes));
+    out << jn.dump() << '\n';
+  }
+  for (int u = 0; u < graph.num_nodes(); ++u)
+    for (int v : graph.outputs_of(u)) {
+      Json je = Json::object();
+      Json pair = Json::array();
+      pair.push(Json::of(static_cast<int64_t>(u)))
+          .push(Json::of(static_cast<int64_t>(v)));
+      je.set("e", std::move(pair));
+      out << je.dump() << '\n';
+    }
+}
+
+CompGraph load_graph(std::istream& in, int line_offset,
+                     int* lines_consumed) {
+  int lineno = 0;  // lines read from `in` by this call
+  const auto abs = [&] { return line_offset + lineno; };
+  std::string line;
+  const auto next_line = [&](const char* expected) {
+    if (!std::getline(in, line))
+      throw GraphParseError(abs() + 1, std::string("unexpected end of file: "
+                                                   "expected ") +
+                                           expected);
+    ++lineno;
+  };
+
+  // Header (blank lines and # comments allowed before it only).
+  for (;;) {
+    next_line("graph header");
+    if (!blank_or_comment(line)) break;
+  }
+  Json header = parse_line_json(line, abs());
+  int64_t num_nodes = 0, num_edges = 0;
+  std::string name;
+  try {
+    if (!header.is_object() || !header.has("mars_graph"))
+      throw GraphParseError(abs(),
+                            "not a graph header (missing \"mars_graph\")");
+    const int64_t version = header.at("mars_graph").as_int();
+    if (version != kGraphWireVersion)
+      throw GraphParseError(abs(), "unsupported wire-format version " +
+                                       std::to_string(version) +
+                                       " (this build reads version " +
+                                       std::to_string(kGraphWireVersion) +
+                                       ")");
+    name = header.get_string("name", "graph");
+    num_nodes = header.at("nodes").as_int();
+    num_edges = header.at("edges").as_int();
+  } catch (const JsonError& e) {
+    throw GraphParseError(abs(), std::string("bad graph header: ") + e.what());
+  }
+  if (num_nodes < 1 || num_nodes > kMaxNodes)
+    throw GraphParseError(abs(), "node count " + std::to_string(num_nodes) +
+                                     " out of range [1, " +
+                                     std::to_string(kMaxNodes) + "]");
+  if (num_edges < 0 || num_edges > kMaxEdges)
+    throw GraphParseError(abs(), "edge count " + std::to_string(num_edges) +
+                                     " out of range [0, " +
+                                     std::to_string(kMaxEdges) + "]");
+  const int header_line = abs();
+
+  CompGraph g(name);
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    next_line("node line");
+    Json jn = parse_line_json(line, abs());
+    try {
+      if (!jn.is_object() || !jn.has("n"))
+        throw GraphParseError(abs(), "expected node line (missing \"n\")");
+      const int64_t id = jn.at("n").as_int();
+      if (id != i)
+        throw GraphParseError(
+            abs(), "non-sequential node id " + std::to_string(id) +
+                       " (expected " + std::to_string(i) + ")");
+      const std::string op_name = jn.at("op").as_string();
+      OpType type;
+      try {
+        type = op_type_from_name(op_name);
+      } catch (const CheckError&) {
+        throw GraphParseError(abs(), "unknown op type '" + op_name + "'");
+      }
+      std::vector<int64_t> shape;
+      if (jn.has("shape")) {
+        const Json& js = jn.at("shape");
+        for (size_t k = 0; k < js.size(); ++k)
+          shape.push_back(js.at(k).as_int());
+      }
+      const int64_t flops = jn.get_int("flops", 0);
+      const int64_t par_b = jn.get_int("par_b", 0);
+      int got;
+      try {
+        got = g.add_node(jn.get_string("name", "n" + std::to_string(i)), type,
+                         std::move(shape), flops, par_b);
+      } catch (const GraphParseError&) {
+        throw;
+      } catch (const CheckError& e) {
+        throw GraphParseError(abs(), e.what());
+      }
+      OpNode& node = g.mutable_node(got);
+      const int64_t out_b = jn.get_int("out_b", node.output_bytes);
+      const int64_t res_b = jn.get_int("res_b", out_b);
+      if (out_b < 0 || res_b < 0)
+        throw GraphParseError(abs(), "negative byte count on node " +
+                                         std::to_string(id));
+      node.output_bytes = out_b;
+      node.resident_activation_bytes = res_b;
+      node.gpu_compatible = jn.get_bool("gpu", node.gpu_compatible);
+    } catch (const JsonError& e) {
+      throw GraphParseError(abs(), std::string("bad node line: ") + e.what());
+    }
+  }
+
+  for (int64_t i = 0; i < num_edges; ++i) {
+    next_line("edge line");
+    Json je = parse_line_json(line, abs());
+    try {
+      if (!je.is_object() || !je.has("e"))
+        throw GraphParseError(abs(), "expected edge line (missing \"e\")");
+      const Json& pair = je.at("e");
+      if (!pair.is_array() || pair.size() != 2)
+        throw GraphParseError(abs(), "edge must be a [src,dst] pair");
+      const int64_t u = pair.at(0).as_int();
+      const int64_t v = pair.at(1).as_int();
+      if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes)
+        throw GraphParseError(abs(), "edge endpoint out of range: [" +
+                                         std::to_string(u) + "," +
+                                         std::to_string(v) + "]");
+      try {
+        g.add_edge(static_cast<int>(u), static_cast<int>(v));
+      } catch (const GraphParseError&) {
+        throw;
+      } catch (const CheckError& e) {
+        throw GraphParseError(abs(), e.what());
+      }
+    } catch (const JsonError& e) {
+      throw GraphParseError(abs(), std::string("bad edge line: ") + e.what());
+    }
+  }
+
+  if (!g.is_dag())
+    throw GraphParseError(header_line,
+                          "graph '" + g.name() + "' contains a cycle");
+  if (lines_consumed) *lines_consumed = lineno;
+  return g;
+}
+
+bool save_graph_file(const std::string& path, const CompGraph& graph) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_graph(out, graph);
+  return static_cast<bool>(out);
+}
+
+CompGraph load_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  MARS_CHECK_MSG(static_cast<bool>(in), "cannot open graph file " << path);
+  return load_graph(in);
+}
+
+}  // namespace mars

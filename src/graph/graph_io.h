@@ -1,0 +1,62 @@
+// Versioned line-oriented wire format for CompGraph (the serving ingestion
+// format; docs/serving.md is the spec).
+//
+// A serialized graph is a header line followed by exactly `nodes` node
+// lines and `edges` edge lines, each line one compact JSON object:
+//
+//   {"mars_graph":2,"name":"demo","nodes":3,"edges":2}
+//   {"n":0,"name":"x","op":"Input","gpu":false,"shape":[8,4],
+//    "flops":0,"out_b":128,"res_b":128,"par_b":0}
+//   {"e":[0,1]}
+//
+// The counts in the header make framing deterministic: a reader consumes
+// exactly 1 + nodes + edges lines, so graphs embed directly in request
+// streams. The parser is strict — node ids must be sequential, op types
+// known, costs non-negative, edge endpoints in range, no duplicate edges,
+// and the result must be a DAG. Violations throw GraphParseError carrying
+// the 1-based line number where parsing failed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/comp_graph.h"
+#include "util/check.h"
+
+namespace mars {
+
+/// Current wire-format version written by save_graph.
+inline constexpr int kGraphWireVersion = 2;
+
+/// Thrown by load_graph on malformed input. `line` is 1-based within the
+/// stream handed to the loader (callers embedding graphs in larger streams
+/// pass their own offset). what() already includes the line number.
+class GraphParseError : public CheckError {
+ public:
+  GraphParseError(int line, const std::string& msg)
+      : CheckError("line " + std::to_string(line) + ": " + msg),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Writes the graph in wire-format version kGraphWireVersion.
+void save_graph(std::ostream& out, const CompGraph& graph);
+
+/// Reads one graph (header + declared node/edge lines) from the stream and
+/// stops — trailing content is left unread for the caller. Blank lines and
+/// `#` comment lines are permitted before the header only (inside a graph
+/// body every line is part of the frame). `line_offset` shifts reported
+/// line numbers when the graph is embedded in a larger stream;
+/// `lines_consumed` (optional) receives the number of lines read.
+CompGraph load_graph(std::istream& in, int line_offset = 0,
+                     int* lines_consumed = nullptr);
+
+/// File variants. save returns false on I/O failure; load throws
+/// GraphParseError on malformed content and CheckError on unreadable path.
+bool save_graph_file(const std::string& path, const CompGraph& graph);
+CompGraph load_graph_file(const std::string& path);
+
+}  // namespace mars

@@ -50,6 +50,14 @@ class PlacementPolicy : public Module {
   /// Sample one placement from the current policy.
   virtual ActionSample sample(Rng& rng) = 0;
 
+  /// Deterministic maximum-likelihood placement (inference/serving path).
+  /// The default draws from a fixed-seed stream — correct but stochastic in
+  /// shape; policies with a true argmax decode override it.
+  virtual ActionSample sample_greedy() {
+    Rng rng(0x9d5ecb8a5c0de5ull);
+    return sample(rng);
+  }
+
   /// Log-probability and entropy of a previously sampled decision.
   virtual ActionEval evaluate(const ActionSample& sample) = 0;
 

@@ -1,0 +1,67 @@
+#include "serve/framing.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+namespace mars::serve {
+
+namespace {
+
+bool write_all(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Returns bytes read (== len), 0 on clean EOF at the first byte, -1 on
+/// error or truncation mid-buffer.
+ssize_t read_all(int fd, char* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, data + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;  // EOF
+    got += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace
+
+bool write_frame(int fd, const std::string& payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const char header[4] = {
+      static_cast<char>((len >> 24) & 0xff), static_cast<char>((len >> 16) & 0xff),
+      static_cast<char>((len >> 8) & 0xff), static_cast<char>(len & 0xff)};
+  return write_all(fd, header, 4) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::string* payload, size_t max_bytes) {
+  char header[4];
+  const ssize_t h = read_all(fd, header, 4);
+  if (h <= 0) return false;
+  const uint32_t len = (static_cast<uint32_t>(static_cast<unsigned char>(header[0])) << 24) |
+                       (static_cast<uint32_t>(static_cast<unsigned char>(header[1])) << 16) |
+                       (static_cast<uint32_t>(static_cast<unsigned char>(header[2])) << 8) |
+                       static_cast<uint32_t>(static_cast<unsigned char>(header[3]));
+  if (len > max_bytes) return false;
+  payload->resize(len);
+  if (len == 0) return true;
+  return read_all(fd, payload->data(), len) == static_cast<ssize_t>(len);
+}
+
+}  // namespace mars::serve

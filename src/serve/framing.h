@@ -1,0 +1,22 @@
+// Length-prefixed framing over a POSIX stream socket: each frame is a
+// 4-byte big-endian payload length followed by the payload bytes. Shared by
+// the daemon, the blocking client and the load generator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mars::serve {
+
+/// Hard upper bound a reader enforces on declared frame lengths.
+inline constexpr size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// Writes one frame; retries partial writes/EINTR. False on socket error.
+bool write_frame(int fd, const std::string& payload);
+
+/// Reads one frame into `payload`. Returns false on clean EOF before a
+/// header byte, on socket error, on truncated frames, and on declared
+/// lengths above `max_bytes`.
+bool read_frame(int fd, std::string* payload, size_t max_bytes = kMaxFrameBytes);
+
+}  // namespace mars::serve

@@ -1,0 +1,131 @@
+// mars_serve: the placement daemon / batch placer.
+//
+// Daemon mode (default):
+//   mars_serve --port 7070 --checkpoint agent.bin --threads 8
+// serves framed placement requests over TCP until SIGINT/SIGTERM, then
+// shuts down gracefully (drains in-flight requests) and prints counters.
+//
+// Offline batch mode:
+//   mars_serve --requests reqs.txt --out responses.txt
+// reads concatenated request frames from a file ("-" = stdin), writes one
+// response line per request ("-" = stdout) and never exits on a malformed
+// request — bad frames produce structured error responses in place.
+#include <signal.h>
+
+#include <atomic>
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/logging.h"
+
+namespace {
+
+std::atomic<mars::serve::ServeDaemon*> g_daemon{nullptr};
+
+void handle_stop_signal(int) {
+  if (auto* daemon = g_daemon.load()) daemon->shutdown();
+}
+
+int run_batch(mars::serve::PlacementService& service,
+              const std::string& requests_path, const std::string& out_path) {
+  std::ifstream req_file;
+  std::istream* in = &std::cin;
+  if (requests_path != "-") {
+    req_file.open(requests_path);
+    if (!req_file) {
+      MARS_ERROR << "cannot open --requests file '" << requests_path << "'";
+      return 1;
+    }
+    in = &req_file;
+  }
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (out_path != "-") {
+    out_file.open(out_path);
+    if (!out_file) {
+      MARS_ERROR << "cannot open --out file '" << out_path << "'";
+      return 1;
+    }
+    out = &out_file;
+  }
+
+  mars::serve::RequestReader reader(*in);
+  while (std::optional<mars::serve::ReadOutcome> outcome = reader.next()) {
+    const mars::serve::PlaceResponse response =
+        outcome->ok ? service.handle(outcome->request)
+                    : service.error_response(outcome->id, outcome->error);
+    *out << mars::serve::response_to_line(response) << '\n';
+  }
+  out->flush();
+  std::cerr << service.stats_line() << '\n';
+  return 0;
+}
+
+int run_daemon(mars::serve::PlacementService& service,
+               mars::serve::ServerConfig server_config) {
+  mars::serve::ServeDaemon daemon(service, std::move(server_config));
+  g_daemon.store(&daemon);
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  daemon.serve();
+  g_daemon.store(nullptr);
+  std::cerr << service.stats_line() << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mars::CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::cout
+        << "mars_serve — placement-as-a-service daemon / batch placer\n"
+           "  --checkpoint FILE   agent parameters to serve (default: fresh)\n"
+           "  --agent-gpus N      machine shape the agent was trained for\n"
+           "                      (CPU + N GPUs, default 4)\n"
+           "  --coarsen N         default decode budget in nodes (192)\n"
+           "  --cache N           response cache capacity (1024, 0 = off)\n"
+           "  --seed N            service seed (1)\n"
+           "daemon mode (default):\n"
+           "  --host A --port P   bind address (127.0.0.1:7070; port 0 =\n"
+           "                      ephemeral)\n"
+           "  --threads N         connection workers (0 = hw concurrency)\n"
+           "batch mode:\n"
+           "  --requests FILE     concatenated request frames ('-' = stdin)\n"
+           "  --out FILE          response lines ('-' = stdout)\n";
+    return 0;
+  }
+
+  mars::serve::ServiceConfig config;
+  config.checkpoint_path = args.get("checkpoint", "");
+  config.agent_gpus = args.get_int("agent-gpus", config.agent_gpus);
+  config.default_coarsen = args.get_int("coarsen", config.default_coarsen);
+  config.cache_capacity = args.get_int("cache", config.cache_capacity);
+  config.seed = static_cast<uint64_t>(args.get_int("seed", 1));
+
+  const std::string requests = args.get("requests", "");
+  const std::string out = args.get("out", "-");
+  mars::serve::ServerConfig server_config;
+  server_config.host = args.get("host", server_config.host);
+  server_config.port = args.get_int("port", 7070);
+  server_config.threads =
+      static_cast<unsigned>(args.get_int("threads", 0));
+  args.warn_unused();
+
+  try {
+    mars::serve::PlacementService service(std::move(config));
+    if (!requests.empty()) return run_batch(service, requests, out);
+    return run_daemon(service, std::move(server_config));
+  } catch (const mars::CheckError& e) {
+    MARS_ERROR << e.what();
+    return 1;
+  }
+}

@@ -1,0 +1,244 @@
+#include "serve/protocol.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "graph/graph_io.h"
+#include "util/check.h"
+#include "util/json.h"
+
+namespace mars::serve {
+
+namespace {
+
+bool blank_or_comment(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+/// Quick structural test for "is this line a request header".
+bool is_request_header(const std::string& line) {
+  if (line.find('{') == std::string::npos ||
+      line.find("\"mars_place\"") == std::string::npos)
+    return false;
+  try {
+    Json j = Json::parse(line);
+    return j.is_object() && j.has("mars_place");
+  } catch (const JsonError&) {
+    return false;
+  }
+}
+
+Json header_json(const PlaceRequest& request) {
+  Json h = Json::object();
+  h.set("mars_place", Json::of(kProtocolVersion))
+      .set("id", Json::of(request.id))
+      .set("gpus", Json::of(static_cast<int64_t>(request.gpus)));
+  if (request.options.coarsen > 0)
+    h.set("coarsen", Json::of(static_cast<int64_t>(request.options.coarsen)));
+  if (request.options.refine_trials > 0)
+    h.set("refine_trials",
+          Json::of(static_cast<int64_t>(request.options.refine_trials)));
+  if (!request.options.use_cache) h.set("use_cache", Json::of(false));
+  return h;
+}
+
+}  // namespace
+
+void write_request(std::ostream& out, const PlaceRequest& request) {
+  out << header_json(request).dump() << '\n';
+  save_graph(out, request.graph);
+}
+
+std::string request_to_string(const PlaceRequest& request) {
+  std::ostringstream os;
+  write_request(os, request);
+  return os.str();
+}
+
+std::string response_to_line(const PlaceResponse& r) {
+  Json j = Json::object();
+  j.set("mars_place_response", Json::of(kProtocolVersion))
+      .set("id", Json::of(r.id))
+      .set("status",
+           Json::of(r.status == PlaceStatus::kOk ? "ok" : "error"));
+  if (r.status == PlaceStatus::kError) {
+    j.set("error", Json::of(r.error));
+  } else {
+    j.set("placer", Json::of(r.placer));
+    Json placement = Json::array();
+    for (int d : r.placement) placement.push(Json::of(static_cast<int64_t>(d)));
+    j.set("placement", std::move(placement))
+        .set("step_time_s", Json::of(r.step_time_s))
+        .set("oom", Json::of(r.oom));
+    Json resident = Json::array();
+    for (int64_t b : r.resident_bytes) resident.push(Json::of(b));
+    j.set("resident_bytes", std::move(resident))
+        .set("cache_hit", Json::of(r.cache_hit))
+        .set("fallback", Json::of(r.fallback));
+  }
+  j.set("latency_ms", Json::of(r.latency_ms));
+  return j.dump();
+}
+
+PlaceResponse response_from_line(const std::string& line) {
+  PlaceResponse r;
+  try {
+    Json j = Json::parse(line);
+    MARS_CHECK_MSG(j.is_object() && j.has("mars_place_response"),
+                   "not a place response line");
+    r.id = j.get_string("id", "");
+    const std::string status = j.at("status").as_string();
+    MARS_CHECK_MSG(status == "ok" || status == "error",
+                   "bad response status '" << status << "'");
+    r.status = status == "ok" ? PlaceStatus::kOk : PlaceStatus::kError;
+    r.latency_ms = j.get_double("latency_ms", 0);
+    if (r.status == PlaceStatus::kError) {
+      r.error = j.get_string("error", "");
+      return r;
+    }
+    r.placer = j.get_string("placer", "");
+    const Json& placement = j.at("placement");
+    for (size_t i = 0; i < placement.size(); ++i)
+      r.placement.push_back(static_cast<int>(placement.at(i).as_int()));
+    r.step_time_s = j.get_double("step_time_s", 0);
+    r.oom = j.get_bool("oom", false);
+    if (j.has("resident_bytes")) {
+      const Json& resident = j.at("resident_bytes");
+      for (size_t i = 0; i < resident.size(); ++i)
+        r.resident_bytes.push_back(resident.at(i).as_int());
+    }
+    r.cache_hit = j.get_bool("cache_hit", false);
+    r.fallback = j.get_bool("fallback", false);
+  } catch (const JsonError& e) {
+    MARS_CHECK_MSG(false, "malformed response line: " << e.what());
+  }
+  return r;
+}
+
+std::optional<ReadOutcome> RequestReader::next() {
+  std::string line;
+  const auto read_line = [&]() -> bool {
+    if (has_pushback_) {
+      line = pushback_;
+      has_pushback_ = false;
+      return true;  // line_ already counts the pushed-back line
+    }
+    if (!std::getline(*in_, line)) return false;
+    ++line_;
+    return true;
+  };
+
+  // Find the header, skipping blank/comment lines between requests.
+  for (;;) {
+    if (!read_line()) return std::nullopt;
+    if (!blank_or_comment(line)) break;
+  }
+
+  ReadOutcome outcome;
+  const int header_line = line_;
+  const auto fail_and_resync = [&](const std::string& msg,
+                                   int at_line) -> ReadOutcome {
+    outcome.ok = false;
+    outcome.error_line = at_line;
+    outcome.error = "line " + std::to_string(at_line) + ": " + msg;
+    // Resynchronize: scan forward to the next request header (pushed back
+    // for the next call) so one bad request doesn't poison the stream.
+    while (read_line()) {
+      if (is_request_header(line)) {
+        pushback_ = line;
+        has_pushback_ = true;
+        break;
+      }
+    }
+    return outcome;
+  };
+
+  Json header;
+  try {
+    header = Json::parse(line);
+  } catch (const JsonError& e) {
+    return fail_and_resync(std::string("bad JSON in request header: ") +
+                               e.what(),
+                           header_line);
+  }
+  try {
+    if (!header.is_object() || !header.has("mars_place"))
+      return fail_and_resync(
+          "expected request header (missing \"mars_place\")", header_line);
+    const int64_t version = header.at("mars_place").as_int();
+    if (version != kProtocolVersion)
+      return fail_and_resync("unsupported protocol version " +
+                                 std::to_string(version),
+                             header_line);
+    outcome.request.id = header.get_string("id", "");
+    outcome.id = outcome.request.id;
+    const int64_t gpus = header.get_int("gpus", 4);
+    if (gpus < 1 || gpus > 64)
+      return fail_and_resync(
+          "gpus " + std::to_string(gpus) + " out of range [1, 64]",
+          header_line);
+    outcome.request.gpus = static_cast<int>(gpus);
+    outcome.request.options.coarsen =
+        static_cast<int>(header.get_int("coarsen", 0));
+    outcome.request.options.refine_trials =
+        static_cast<int>(header.get_int("refine_trials", 0));
+    outcome.request.options.use_cache = header.get_bool("use_cache", true);
+    if (outcome.request.options.coarsen < 0 ||
+        outcome.request.options.refine_trials < 0)
+      return fail_and_resync("negative coarsen/refine_trials", header_line);
+  } catch (const JsonError& e) {
+    return fail_and_resync(std::string("bad request header: ") + e.what(),
+                           header_line);
+  }
+
+  // Buffer the graph frame line by line instead of handing the stream to
+  // the loader directly: a truncated body whose header over-declares its
+  // counts must not swallow the next request's header. Any line that looks
+  // like a request header ends the frame early (pushed back for the next
+  // call); the loader then reports the truncation at the right line.
+  const int graph_start = line_;
+  std::string buffer;
+  int64_t buffered = 0;
+  int64_t expected = 1;  // at least the graph header line
+  while (buffered < expected && read_line()) {
+    if (is_request_header(line)) {
+      pushback_ = line;
+      has_pushback_ = true;
+      break;
+    }
+    buffer += line;
+    buffer += '\n';
+    if (++buffered == 1) {
+      // Frame length from the graph header's declared counts; if the
+      // header is malformed the loader reports the real error below.
+      try {
+        Json graph_header = Json::parse(line);
+        if (graph_header.is_object()) {
+          const int64_t nodes = graph_header.get_int("nodes", -1);
+          const int64_t edges = graph_header.get_int("edges", -1);
+          if (nodes >= 0 && edges >= 0) expected = 1 + nodes + edges;
+        }
+      } catch (const JsonError&) {
+      }
+    }
+  }
+
+  std::istringstream graph_in(buffer);
+  try {
+    outcome.request.graph = load_graph(graph_in, graph_start);
+    outcome.ok = true;
+    return outcome;
+  } catch (const GraphParseError& e) {
+    ReadOutcome failed = fail_and_resync(e.what(), e.line());
+    // e.what() already carries "line N:"; avoid doubling the prefix.
+    failed.error = e.what();
+    return failed;
+  }
+}
+
+}  // namespace mars::serve

@@ -1,0 +1,110 @@
+// Placement-as-a-service request/response schema and its text encoding.
+//
+// A request is a line-oriented frame: one JSON header line followed by an
+// embedded wire-format graph (graph/graph_io.h) whose declared node/edge
+// counts make the frame self-delimiting:
+//
+//   {"mars_place":1,"id":"r7","gpus":4,"coarsen":128,"refine_trials":32}
+//   {"mars_graph":2,"name":"client_model","nodes":3,"edges":2}
+//   {"n":0,...}
+//   ...
+//
+// A response is a single JSON line. Over TCP each frame is additionally
+// length-prefixed (serve/server.h); in offline batch mode requests are
+// simply concatenated in a file. RequestReader yields one parsed request
+// (or one structured parse failure) at a time and resynchronizes on the
+// next request header after an error, so a malformed request never takes
+// down the requests that follow it.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/comp_graph.h"
+
+namespace mars::serve {
+
+/// Version of the request header / response line schema.
+inline constexpr int kProtocolVersion = 1;
+
+struct PlaceOptions {
+  /// Coarsen the incoming graph to at most this many nodes before decoding
+  /// (0 = the service's configured default). The response placement is
+  /// always expanded back to the client's original node ids.
+  int coarsen = 0;
+  /// Trial budget for simulated-annealing refinement of the decoded
+  /// placement (0 = greedy decode only).
+  int refine_trials = 0;
+  /// Allow serving a cached response for an identical (graph, machine,
+  /// options) key.
+  bool use_cache = true;
+};
+
+struct PlaceRequest {
+  std::string id;    // echoed in the response
+  int gpus = 4;      // machine spec: CPU + this many GPUs
+  PlaceOptions options;
+  CompGraph graph;
+};
+
+enum class PlaceStatus { kOk, kError };
+
+struct PlaceResponse {
+  std::string id;
+  PlaceStatus status = PlaceStatus::kError;
+  /// Which placer produced the result: "mars", "mars+refine",
+  /// "partitioner", "gpu_only" or "cpu_only". Anything but the mars
+  /// prefixes means the learned path was unavailable or beaten (the
+  /// fallback counter tracks unavailable).
+  std::string placer;
+  std::string error;       // set when status == kError
+  Placement placement;     // device index per client node
+  double step_time_s = 0;  // simulated step time of the placement
+  bool oom = false;        // no candidate fit device memory
+  std::vector<int64_t> resident_bytes;  // per device, for the placement
+  double latency_ms = 0;   // service-side handling time
+  bool cache_hit = false;
+  bool fallback = false;   // learned path unavailable for this request
+};
+
+/// Writes the line-oriented request frame (header + embedded graph).
+void write_request(std::ostream& out, const PlaceRequest& request);
+std::string request_to_string(const PlaceRequest& request);
+
+/// Single-line response encodings.
+std::string response_to_line(const PlaceResponse& response);
+/// Parses a response line; throws CheckError on malformed input.
+PlaceResponse response_from_line(const std::string& line);
+
+/// One RequestReader::next() outcome: either a parsed request or a
+/// structured parse failure (with the offending 1-based line and the id
+/// from the request header when one was readable).
+struct ReadOutcome {
+  bool ok = false;
+  PlaceRequest request;   // valid when ok
+  std::string error;      // valid when !ok; includes the line number
+  int error_line = 0;
+  std::string id;         // request id if the header parsed
+};
+
+/// Pulls request frames off a stream of concatenated requests.
+class RequestReader {
+ public:
+  explicit RequestReader(std::istream& in) : in_(&in) {}
+
+  /// Next request or parse failure; std::nullopt at end of stream. After a
+  /// failure the reader skips forward to the next request header line.
+  std::optional<ReadOutcome> next();
+
+  /// 1-based line number of the last line consumed.
+  int line() const { return line_; }
+
+ private:
+  std::istream* in_;
+  int line_ = 0;
+  std::string pushback_;
+  bool has_pushback_ = false;
+};
+
+}  // namespace mars::serve

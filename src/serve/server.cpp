@@ -1,0 +1,206 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "serve/framing.h"
+#include "serve/service.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mars::serve {
+
+namespace {
+
+void close_quiet(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+sockaddr_in make_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  MARS_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                 "bad IPv4 address '" << host << "'");
+  return addr;
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(PlacementService& service, ServerConfig config)
+    : service_(&service), config_(std::move(config)) {
+  MARS_CHECK_MSG(config_.port >= 0 && config_.port <= 65535,
+                 "port " << config_.port << " out of range");
+  const sockaddr_in addr = make_addr(config_.host, config_.port);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MARS_CHECK_MSG(listen_fd_ >= 0, "socket(): " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    close_quiet(listen_fd_);
+    listen_fd_ = -1;
+    MARS_CHECK_MSG(false, "bind " << config_.host << ":" << config_.port
+                                  << ": " << std::strerror(err));
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) {
+    const int err = errno;
+    close_quiet(listen_fd_);
+    listen_fd_ = -1;
+    MARS_CHECK_MSG(false, "listen(): " << std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  MARS_CHECK_MSG(::pipe(wake_pipe_) == 0,
+                 "pipe(): " << std::strerror(errno));
+}
+
+ServeDaemon::~ServeDaemon() {
+  shutdown();
+  // serve() (when it ran) has already drained; when serve() was never
+  // called there are no connections and nothing to drain.
+  pool_.reset();
+  close_listener();
+  close_quiet(wake_pipe_[0]);
+  close_quiet(wake_pipe_[1]);
+}
+
+void ServeDaemon::close_listener() {
+  if (listen_fd_ >= 0) {
+    close_quiet(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ServeDaemon::shutdown() {
+  // Only async-signal-safe calls here: this runs from SIGINT/SIGTERM
+  // handlers. The acceptor notices the wake byte and does the real work.
+  if (stopping_.exchange(true)) return;
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void ServeDaemon::serve() {
+  MARS_CHECK_MSG(listen_fd_ >= 0, "daemon already shut down");
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(config_.threads);
+  MARS_INFO << "mars_serve listening on " << config_.host << ":" << port_
+            << " (" << pool_->size() << " workers)";
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      MARS_ERROR << "poll(): " << std::strerror(errno);
+      break;
+    }
+    if (fds[1].revents != 0) break;  // woken by shutdown()
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      MARS_ERROR << "accept(): " << std::strerror(errno);
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      open_conns_.insert(conn);
+      ++active_conns_;
+    }
+    pool_->submit([this, conn] { handle_connection(conn); });
+  }
+
+  // Stop accepting, then unblock workers parked in read_frame(): shutting
+  // the sockets down makes their reads return 0/-1 and the handlers exit.
+  stopping_.store(true, std::memory_order_release);
+  close_listener();
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (int fd : open_conns_) ::shutdown(fd, SHUT_RDWR);
+  }
+  {
+    std::unique_lock<std::mutex> lock(conn_mutex_);
+    drained_cv_.wait(lock, [this] { return active_conns_ == 0; });
+  }
+  pool_.reset();  // joins workers
+}
+
+void ServeDaemon::handle_connection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::string payload;
+  while (!stopping_.load(std::memory_order_acquire) &&
+         read_frame(fd, &payload, config_.max_frame_bytes)) {
+    PlaceResponse response;
+    try {
+      std::istringstream in(payload);
+      RequestReader reader(in);
+      std::optional<ReadOutcome> outcome = reader.next();
+      if (!outcome.has_value()) {
+        response = service_->error_response("", "empty request frame");
+      } else if (!outcome->ok) {
+        response = service_->error_response(outcome->id, outcome->error);
+      } else {
+        response = service_->handle(outcome->request);
+      }
+    } catch (const std::exception& e) {
+      // handle()/error_response() don't throw; this guards the worker
+      // against anything unexpected (e.g. allocation failure).
+      response = PlaceResponse{};
+      response.status = PlaceStatus::kError;
+      response.error = std::string("internal error: ") + e.what();
+    }
+    if (!write_frame(fd, response_to_line(response))) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    open_conns_.erase(fd);
+    --active_conns_;
+  }
+  drained_cv_.notify_all();
+  close_quiet(fd);
+}
+
+PlaceClient::PlaceClient(const std::string& host, int port) {
+  const sockaddr_in addr = make_addr(host, port);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MARS_CHECK_MSG(fd_ >= 0, "socket(): " << std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    close_quiet(fd_);
+    fd_ = -1;
+    MARS_CHECK_MSG(false, "connect " << host << ":" << port << ": "
+                                     << std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+PlaceClient::~PlaceClient() { close_quiet(fd_); }
+
+PlaceResponse PlaceClient::place(const PlaceRequest& request) {
+  MARS_CHECK_MSG(fd_ >= 0, "client not connected");
+  MARS_CHECK_MSG(write_frame(fd_, request_to_string(request)),
+                 "send failed: " << std::strerror(errno));
+  std::string payload;
+  MARS_CHECK_MSG(read_frame(fd_, &payload),
+                 "connection closed before response");
+  return response_from_line(payload);
+}
+
+}  // namespace mars::serve

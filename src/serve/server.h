@@ -1,0 +1,102 @@
+// ServeDaemon: multi-threaded TCP front-end for PlacementService.
+//
+// One acceptor loop (serve(), blocking) hands each connection to a worker
+// from a util/thread_pool.h pool. A connection carries any number of
+// length-prefixed frames (serve/framing.h); each frame holds one text
+// request (serve/protocol.h) and is answered with one framed response line
+// — malformed frames get a structured error response, never a dropped
+// connection. shutdown() is async-signal-safe (a single write to a wake
+// pipe): the acceptor wakes, stops accepting, shuts down live connection
+// sockets so blocked reads return, and serve() joins the workers before
+// returning.
+//
+// PlaceClient is the matching blocking client (used by the example client,
+// the load generator and the tests).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "serve/protocol.h"
+#include "util/thread_pool.h"
+
+namespace mars::serve {
+
+class PlacementService;
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Worker threads handling connections; 0 = hardware concurrency.
+  unsigned threads = 0;
+  int backlog = 64;
+  size_t max_frame_bytes = 16u << 20;
+};
+
+class ServeDaemon {
+ public:
+  /// Binds and listens immediately; throws CheckError when the socket
+  /// cannot be set up (bad host, port in use, ...).
+  ServeDaemon(PlacementService& service, ServerConfig config = {});
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// The bound port (the actual one when config.port was 0).
+  int port() const { return port_; }
+
+  /// Runs the accept loop until shutdown(); drains connections and joins
+  /// the worker pool before returning. Call from at most one thread.
+  void serve();
+
+  /// Requests shutdown. Async-signal-safe and idempotent — callable from a
+  /// SIGINT/SIGTERM handler or any thread.
+  void shutdown();
+
+ private:
+  void handle_connection(int fd);
+  void close_listener();
+
+  PlacementService* service_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mutex_;
+  std::unordered_set<int> open_conns_;
+  int active_conns_ = 0;
+  std::condition_variable drained_cv_;
+
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Blocking client for one daemon connection; not thread-safe (use one
+/// client per thread).
+class PlaceClient {
+ public:
+  /// Connects immediately; throws CheckError when the daemon is unreachable.
+  PlaceClient(const std::string& host, int port);
+  ~PlaceClient();
+
+  PlaceClient(const PlaceClient&) = delete;
+  PlaceClient& operator=(const PlaceClient&) = delete;
+
+  /// Round-trips one request; throws CheckError on connection failure or a
+  /// malformed response. Service-level failures come back as a structured
+  /// error response, not an exception.
+  PlaceResponse place(const PlaceRequest& request);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace mars::serve

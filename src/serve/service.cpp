@@ -1,0 +1,277 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "baselines/local_search.h"
+#include "baselines/partitioner.h"
+#include "baselines/static_placements.h"
+#include "nn/serialize.h"
+#include "sim/simulator.h"
+#include "sim/trial.h"
+#include "util/check.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace mars::serve {
+
+namespace {
+
+/// boost::hash_combine-style mixer for the cache key.
+void mix(uint64_t& key, uint64_t v) {
+  key ^= v + 0x9e3779b97f4a7c15ull + (key << 6) + (key >> 2);
+}
+
+}  // namespace
+
+/// Checks an agent out of the free list for the duration of a scope; the
+/// destructor returns it even when decoding throws (attach_graph only
+/// caches per-graph activations, so a thrown-through agent is still sound).
+class PlacementService::AgentLease {
+ public:
+  explicit AgentLease(PlacementService& service)
+      : service_(&service), agent_(service.acquire_agent()) {}
+  ~AgentLease() { service_->release_agent(std::move(agent_)); }
+  AgentLease(const AgentLease&) = delete;
+  AgentLease& operator=(const AgentLease&) = delete;
+  EncoderPlacerAgent* operator->() { return agent_.get(); }
+
+ private:
+  PlacementService* service_;
+  std::unique_ptr<EncoderPlacerAgent> agent_;
+};
+
+PlacementService::PlacementService(ServiceConfig config)
+    : config_(std::move(config)), replica_rng_(config_.seed) {
+  MARS_CHECK_MSG(config_.agent_gpus >= 1, "agent_gpus must be >= 1");
+  MARS_CHECK_MSG(config_.default_coarsen >= 2,
+                 "default_coarsen must be >= 2");
+  Rng rng(config_.seed);
+  prototype_ = make_mars_agent(config_.agent, agent_devices(), rng);
+  if (!config_.checkpoint_path.empty()) {
+    MARS_CHECK_MSG(load_parameters(*prototype_, config_.checkpoint_path),
+                   "cannot read checkpoint '" << config_.checkpoint_path
+                                              << "'");
+    MARS_INFO << "serving checkpoint " << config_.checkpoint_path << " ("
+              << prototype_->param_count() << " parameters, "
+              << agent_devices() << " devices)";
+  } else {
+    MARS_INFO << "serving freshly initialized agent (" << agent_devices()
+              << " devices); pass a checkpoint for trained placements";
+  }
+}
+
+PlacementService::~PlacementService() = default;
+
+PlaceResponse PlacementService::handle(const PlaceRequest& request) {
+  Stopwatch watch;
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  PlaceResponse response;
+  try {
+    response = handle_impl(request);
+    stats_.ok.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    response = PlaceResponse{};
+    response.id = request.id;
+    response.status = PlaceStatus::kError;
+    response.error = std::string("internal error: ") + e.what();
+  }
+  response.latency_ms = watch.seconds() * 1e3;
+  return response;
+}
+
+PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
+  PlaceResponse response;
+  response.id = request.id;
+  const CompGraph& graph = request.graph;
+  MARS_CHECK_MSG(graph.num_nodes() > 0, "empty graph");
+  const MachineSpec machine = MachineSpec::with_gpus(request.gpus);
+  const int budget = request.options.coarsen > 0 ? request.options.coarsen
+                                                 : config_.default_coarsen;
+
+  uint64_t key = graph_hash(graph);
+  mix(key, static_cast<uint64_t>(request.gpus));
+  mix(key, static_cast<uint64_t>(budget));
+  mix(key, static_cast<uint64_t>(request.options.refine_trials));
+  if (request.options.use_cache && cache_lookup(key, &response)) {
+    response.id = request.id;
+    response.cache_hit = true;
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  }
+
+  // Decode on a coarsened view when the graph exceeds the budget; the
+  // response placement is always in the client's original node ids.
+  CompGraph coarse;
+  std::vector<int> node_to_group;
+  const CompGraph* work = &graph;
+  if (graph.num_nodes() > budget) {
+    coarse = graph.coarsen(budget, &node_to_group);
+    work = &coarse;
+  }
+  const auto expand = [&](const Placement& p) {
+    if (work == &graph) return p;
+    Placement full(static_cast<size_t>(graph.num_nodes()));
+    for (int v = 0; v < graph.num_nodes(); ++v)
+      full[static_cast<size_t>(v)] =
+          p[static_cast<size_t>(node_to_group[static_cast<size_t>(v)])];
+    return full;
+  };
+
+  // All candidates are scored on the FULL graph with soft placement applied,
+  // so the response reports where ops would actually run.
+  ExecutionSimulator full_sim(graph, machine);
+  struct Candidate {
+    std::string placer;
+    Placement placement;
+    SimResult sim;
+  };
+  std::vector<Candidate> candidates;
+  const auto add_candidate = [&](const std::string& name,
+                                 const Placement& placement) {
+    Candidate c;
+    c.placer = name;
+    c.placement = full_sim.effective_placement(placement);
+    c.sim = full_sim.simulate(c.placement);
+    candidates.push_back(std::move(c));
+  };
+
+  const bool learned_compatible = machine.num_devices() == agent_devices();
+  if (learned_compatible) {
+    Placement decoded;
+    {
+      AgentLease agent(*this);
+      agent->attach_graph(*work);
+      decoded = agent->sample_greedy().placement;
+    }
+    std::string placer_name = "mars";
+    if (request.options.refine_trials > 0) {
+      // Bounded local search around the decoded placement, on the decode
+      // view. Deterministic (noise off, seed derived from the request key)
+      // so identical requests refine identically on any thread.
+      ExecutionSimulator work_sim(*work, machine);
+      TrialConfig trial;
+      trial.warmup_steps = 0;
+      trial.measured_steps = 1;
+      trial.noise_sigma = 0;
+      trial.reinit_overhead_s = 0;
+      TrialRunner runner(work == &graph ? full_sim : work_sim, trial);
+      SearchConfig search;
+      search.max_trials = request.options.refine_trials;
+      SearchResult refined =
+          simulated_annealing(runner, search, key ^ config_.seed, &decoded);
+      if (refined.found_valid()) {
+        decoded = refined.best_placement;
+        placer_name = "mars+refine";
+      }
+    }
+    add_candidate(placer_name, expand(decoded));
+  }
+
+  // Heuristic fallbacks when the learned path is unavailable for this
+  // machine shape or its placement does not fit device memory.
+  const bool learned_valid = !candidates.empty() && !candidates[0].sim.oom;
+  if (!learned_valid) {
+    if (!machine.gpu_devices().empty()) {
+      add_candidate("partitioner",
+                    partition_placement(graph, machine, full_sim.cost_model(),
+                                        PartitionerConfig{}, config_.seed));
+      add_candidate("gpu_only", gpu_only_placement(graph, machine));
+    }
+    add_candidate("cpu_only",
+                  single_device_placement(graph, machine.cpu_device()));
+  }
+
+  const Candidate* best = nullptr;
+  for (const Candidate& c : candidates)
+    if (!c.sim.oom && (!best || c.sim.step_time < best->sim.step_time))
+      best = &c;
+  if (!best) best = &candidates.front();  // everything OOMs: report it
+
+  response.status = PlaceStatus::kOk;
+  response.placer = best->placer;
+  response.placement = best->placement;
+  response.step_time_s = best->sim.step_time;
+  response.oom = best->sim.oom;
+  response.resident_bytes = best->sim.resident_bytes;
+  response.fallback = best->placer.rfind("mars", 0) != 0;
+  if (response.fallback)
+    stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+  if (request.options.use_cache) cache_store(key, response);
+  return response;
+}
+
+PlaceResponse PlacementService::error_response(const std::string& id,
+                                               const std::string& message) {
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+  PlaceResponse response;
+  response.id = id;
+  response.status = PlaceStatus::kError;
+  response.error = message;
+  return response;
+}
+
+std::string PlacementService::stats_line() const {
+  Json j = Json::object();
+  j.set("requests", Json::of(static_cast<int64_t>(stats_.requests.load())))
+      .set("ok", Json::of(static_cast<int64_t>(stats_.ok.load())))
+      .set("errors", Json::of(static_cast<int64_t>(stats_.errors.load())))
+      .set("parse_errors",
+           Json::of(static_cast<int64_t>(stats_.parse_errors.load())))
+      .set("fallbacks",
+           Json::of(static_cast<int64_t>(stats_.fallbacks.load())))
+      .set("cache_hits",
+           Json::of(static_cast<int64_t>(stats_.cache_hits.load())));
+  return j.dump();
+}
+
+std::unique_ptr<EncoderPlacerAgent> PlacementService::acquire_agent() {
+  std::lock_guard<std::mutex> lock(agent_mutex_);
+  if (!idle_agents_.empty()) {
+    auto agent = std::move(idle_agents_.back());
+    idle_agents_.pop_back();
+    return agent;
+  }
+  auto agent = make_mars_agent(config_.agent, agent_devices(), replica_rng_);
+  agent->load_state_from(*prototype_);
+  return agent;
+}
+
+void PlacementService::release_agent(
+    std::unique_ptr<EncoderPlacerAgent> agent) {
+  std::lock_guard<std::mutex> lock(agent_mutex_);
+  idle_agents_.push_back(std::move(agent));
+}
+
+bool PlacementService::cache_lookup(uint64_t key, PlaceResponse* out) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  cache_order_.splice(cache_order_.begin(), cache_order_, it->second.order_it);
+  *out = it->second.value.response;
+  return true;
+}
+
+void PlacementService::cache_store(uint64_t key,
+                                   const PlaceResponse& response) {
+  if (config_.cache_capacity <= 0) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    it->second.value.response = response;
+    cache_order_.splice(cache_order_.begin(), cache_order_,
+                        it->second.order_it);
+    return;
+  }
+  cache_order_.push_front(key);
+  cache_.emplace(key, CacheSlot{CacheValue{response}, cache_order_.begin()});
+  while (cache_.size() > static_cast<size_t>(config_.cache_capacity)) {
+    cache_.erase(cache_order_.back());
+    cache_order_.pop_back();
+  }
+}
+
+}  // namespace mars::serve

@@ -1,0 +1,119 @@
+// PlacementService: answers "where do I put each op of this graph" for
+// arbitrary client graphs, on top of the trained Mars agent.
+//
+// The agent checkpoint is loaded once into a prototype; worker threads
+// decode through per-thread replicas (cloned on demand from the prototype,
+// recycled through a free list), so concurrent requests never share
+// mutable network state. Per request the service:
+//
+//   1. serves from an LRU response cache keyed by graph_hash + machine +
+//      options (placements are deterministic, so caching is exact);
+//   2. coarsens oversized graphs to the decode budget and projects the
+//      coarse placement back to the client's node ids;
+//   3. greedy-decodes the learned policy, optionally refined by a bounded
+//      simulated-annealing budget (baselines/local_search.h);
+//   4. falls back to the multilevel partitioner / GPU-only / CPU-only
+//      heuristics when the learned path is unavailable for the requested
+//      machine shape or produces an out-of-memory placement.
+//
+// handle() never throws: malformed or incompatible input produces a
+// structured error response, and any internal failure is caught and
+// reported the same way.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mars.h"
+#include "serve/protocol.h"
+
+namespace mars::serve {
+
+struct ServiceConfig {
+  /// Agent architecture; must match the checkpoint when one is given.
+  MarsConfig agent = MarsConfig::fast();
+  /// Parameter checkpoint (nn/serialize.h format) to serve; empty serves
+  /// freshly initialized weights (useful for tests and demos — refinement
+  /// and fallbacks still produce sound placements).
+  std::string checkpoint_path;
+  /// The machine shape the agent was trained for: CPU + this many GPUs.
+  /// Requests for other shapes are served by the heuristic fallbacks.
+  int agent_gpus = 4;
+  /// Default decode budget: incoming graphs larger than this are coarsened
+  /// (requests can override per-call via PlaceOptions::coarsen).
+  int default_coarsen = 192;
+  /// Response cache capacity in entries (0 disables caching).
+  int cache_capacity = 1024;
+  /// Seed for replica construction and refinement streams.
+  uint64_t seed = 1;
+};
+
+/// Monotonic service counters (exposed for ops; atomics, read any time).
+struct ServiceStats {
+  std::atomic<uint64_t> requests{0};      // handle() calls
+  std::atomic<uint64_t> ok{0};            // responses with status ok
+  std::atomic<uint64_t> errors{0};        // internal failures -> error resp.
+  std::atomic<uint64_t> parse_errors{0};  // error_response() calls
+  std::atomic<uint64_t> fallbacks{0};     // learned path unavailable/OOM
+  std::atomic<uint64_t> cache_hits{0};
+};
+
+class PlacementService {
+ public:
+  explicit PlacementService(ServiceConfig config);
+  ~PlacementService();
+
+  PlacementService(const PlacementService&) = delete;
+  PlacementService& operator=(const PlacementService&) = delete;
+
+  /// Serves one request. Thread-safe; never throws.
+  PlaceResponse handle(const PlaceRequest& request);
+
+  /// Builds (and counts) the error response for a request that failed
+  /// before reaching handle() — e.g. a frame the RequestReader rejected.
+  PlaceResponse error_response(const std::string& id,
+                               const std::string& message);
+
+  const ServiceStats& stats() const { return stats_; }
+  /// One-line JSON rendering of the counters (log/ops friendly).
+  std::string stats_line() const;
+
+  /// Devices (CPU + GPUs) the learned path serves.
+  int agent_devices() const { return config_.agent_gpus + 1; }
+
+ private:
+  struct CacheValue {
+    PlaceResponse response;  // latency/cache_hit fields overwritten on hit
+  };
+  class AgentLease;
+
+  PlaceResponse handle_impl(const PlaceRequest& request);
+  std::unique_ptr<EncoderPlacerAgent> acquire_agent();
+  void release_agent(std::unique_ptr<EncoderPlacerAgent> agent);
+  bool cache_lookup(uint64_t key, PlaceResponse* out);
+  void cache_store(uint64_t key, const PlaceResponse& response);
+
+  ServiceConfig config_;
+  ServiceStats stats_;
+
+  std::mutex agent_mutex_;  // guards prototype_, idle_agents_, replica_rng_
+  std::unique_ptr<EncoderPlacerAgent> prototype_;
+  std::vector<std::unique_ptr<EncoderPlacerAgent>> idle_agents_;
+  Rng replica_rng_;
+
+  std::mutex cache_mutex_;
+  std::list<uint64_t> cache_order_;  // front = most recent
+  struct CacheSlot {
+    CacheValue value;
+    std::list<uint64_t>::iterator order_it;
+  };
+  std::unordered_map<uint64_t, CacheSlot> cache_;
+};
+
+}  // namespace mars::serve

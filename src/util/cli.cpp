@@ -62,4 +62,10 @@ std::vector<std::string> CliArgs::unused() const {
   return out;
 }
 
+int CliArgs::warn_unused() const {
+  const std::vector<std::string> flags = unused();
+  for (const auto& flag : flags) MARS_WARN << "unknown flag --" << flag;
+  return static_cast<int>(flags.size());
+}
+
 }  // namespace mars

@@ -22,6 +22,10 @@ class CliArgs {
   /// Flags that were passed but never queried (typo detection).
   std::vector<std::string> unused() const;
 
+  /// Logs a warning per unused flag and returns how many there were. Call
+  /// after all get*()s so typos surface instead of being silently ignored.
+  int warn_unused() const;
+
  private:
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> queried_;

@@ -1,0 +1,442 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace mars {
+
+namespace {
+
+const char* type_name(Json::Type t) {
+  switch (t) {
+    case Json::Type::kNull: return "null";
+    case Json::Type::kBool: return "bool";
+    case Json::Type::kInt: return "int";
+    case Json::Type::kDouble: return "double";
+    case Json::Type::kString: return "string";
+    case Json::Type::kArray: return "array";
+    case Json::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+/// Recursive-descent parser over a single in-memory document.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw JsonError(msg, pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::of(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return Json::of(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return Json::of(false);
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return Json();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected string key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      Json value = parse_value();
+      if (obj.has(key)) fail("duplicate key '" + key + "'");
+      obj.set(key, std::move(value));
+      skip_ws();
+      char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push(parse_value());
+      skip_ws();
+      char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the wire format never emits them).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    const std::string_view tok(text_.data() + start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("invalid number");
+    if (integral) {
+      int64_t v = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && p == tok.data() + tok.size()) return Json::of(v);
+      // fall through on overflow: represent as double
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc() || p != tok.data() + tok.size())
+      fail("invalid number");
+    return Json::of(d);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+Json Json::of(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::of(int64_t v) {
+  Json j;
+  j.type_ = Type::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::of(uint64_t v) {
+  // Hash values etc. that exceed int64 are emitted as decimal strings by
+  // callers; here we only accept what int64 can hold exactly.
+  if (v > static_cast<uint64_t>(INT64_MAX))
+    throw JsonError("uint64 value exceeds int64 range", 0);
+  return of(static_cast<int64_t>(v));
+}
+
+Json Json::of(double v) {
+  Json j;
+  j.type_ = Type::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::of(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+void Json::type_error(const char* expected, Type got) {
+  throw JsonError(std::string("expected ") + expected + ", got " +
+                      type_name(got),
+                  0);
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+int64_t Json::as_int() const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kDouble) {
+    if (std::nearbyint(double_) == double_ &&
+        std::abs(double_) < 9.2e18)
+      return static_cast<int64_t>(double_);
+  }
+  type_error("int", type_);
+}
+
+double Json::as_double() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  if (type_ == Type::kDouble) return double_;
+  type_error("number", type_);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return keys_.size();
+  type_error("array or object", type_);
+}
+
+const Json& Json::at(size_t i) const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  if (i >= array_.size()) throw JsonError("array index out of range", 0);
+  return array_[i];
+}
+
+Json& Json::push(Json v) {
+  if (type_ != Type::kArray) type_error("array", type_);
+  array_.push_back(std::move(v));
+  return *this;
+}
+
+bool Json::has(const std::string& key) const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return members_.count(key) > 0;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  auto it = members_.find(key);
+  if (it == members_.end())
+    throw JsonError("missing required key '" + key + "'", 0);
+  return it->second;
+}
+
+int64_t Json::get_int(const std::string& key, int64_t def) const {
+  return has(key) ? at(key).as_int() : def;
+}
+
+double Json::get_double(const std::string& key, double def) const {
+  return has(key) ? at(key).as_double() : def;
+}
+
+bool Json::get_bool(const std::string& key, bool def) const {
+  return has(key) ? at(key).as_bool() : def;
+}
+
+std::string Json::get_string(const std::string& key,
+                             const std::string& def) const {
+  return has(key) ? at(key).as_string() : def;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  if (type_ != Type::kObject) type_error("object", type_);
+  if (!members_.count(key)) keys_.push_back(key);
+  members_[key] = std::move(v);
+  return *this;
+}
+
+const std::vector<std::string>& Json::keys() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return keys_;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(int_); break;
+    case Type::kDouble: {
+      if (std::isfinite(double_)) {
+        char buf[32];  // shortest round-trip form
+        auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), double_);
+        (void)ec;
+        out.append(buf, p);
+      } else {
+        out += "null";  // JSON has no inf/nan
+      }
+      break;
+    }
+    case Type::kString: dump_string(string_, out); break;
+    case Type::kArray: {
+      out.push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i) out.push_back(',');
+        array_[i].dump_to(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      for (size_t i = 0; i < keys_.size(); ++i) {
+        if (i) out.push_back(',');
+        dump_string(keys_[i], out);
+        out.push_back(':');
+        members_.at(keys_[i]).dump_to(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace mars

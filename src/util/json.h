@@ -1,0 +1,102 @@
+// Minimal JSON value, parser and writer for the serving wire format.
+//
+// Scope: the subset the line-oriented protocols need — objects, arrays,
+// strings (with \" \\ \/ \b \f \n \r \t \uXXXX escapes), 64-bit integers,
+// doubles, booleans and null. Integers without fraction/exponent are kept
+// exact as int64 (FLOP and byte counts exceed float53 territory in
+// principle), everything else parses as double. Errors carry the byte
+// offset into the parsed text so line-oriented callers can report
+// line/column positions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mars {
+
+/// Thrown on malformed JSON; `offset` is the byte position in the input.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, size_t offset)
+      : std::runtime_error(what), offset_(offset) {}
+  size_t offset() const { return offset_; }
+
+ private:
+  size_t offset_;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json of(bool v);
+  static Json of(int64_t v);
+  static Json of(int v) { return of(static_cast<int64_t>(v)); }
+  static Json of(uint64_t v);
+  static Json of(double v);
+  static Json of(std::string v);
+  static Json of(const char* v) { return of(std::string(v)); }
+  static Json array();
+  static Json object();
+
+  /// Parses exactly one JSON document; trailing non-space input is an error.
+  static Json parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw JsonError (offset 0) on type mismatch.
+  bool as_bool() const;
+  int64_t as_int() const;   // kInt, or kDouble with integral value
+  double as_double() const; // any number
+  const std::string& as_string() const;
+
+  // ---- Arrays ------------------------------------------------------------
+  size_t size() const;               // array or object element count
+  const Json& at(size_t i) const;    // array element
+  Json& push(Json v);                // append; returns *this for chaining
+
+  // ---- Objects -----------------------------------------------------------
+  bool has(const std::string& key) const;
+  /// Member lookup; throws JsonError if absent (use has() / get()).
+  const Json& at(const std::string& key) const;
+  /// Member lookup with default when absent.
+  int64_t get_int(const std::string& key, int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+  std::string get_string(const std::string& key, const std::string& def) const;
+  Json& set(const std::string& key, Json v);  // returns *this for chaining
+  /// Object keys in insertion order (the writer preserves it).
+  const std::vector<std::string>& keys() const;
+
+  /// Compact single-line serialization (no spaces, keys in insertion order).
+  std::string dump() const;
+
+ private:
+  void dump_to(std::string& out) const;
+  [[noreturn]] static void type_error(const char* expected, Type got);
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::string> keys_;           // object key order
+  std::map<std::string, Json> members_;     // object storage
+};
+
+}  // namespace mars

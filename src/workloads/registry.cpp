@@ -33,9 +33,13 @@ CompGraph build_random_dag(int width, int depth, uint64_t seed) {
     std::vector<int> cur(static_cast<size_t>(width));
     for (int w = 0; w < width; ++w) {
       std::vector<int> deps = {prev[static_cast<size_t>(w)]};
-      // Random cross-links to earlier lanes.
-      if (w > 0 && rng.uniform() < 0.3)
-        deps.push_back(prev[rng.uniform_int(static_cast<uint64_t>(w))]);
+      // Random cross-links to earlier lanes. Lanes can share a producer
+      // (every lane starts at the input node), so skip cross-links that
+      // would duplicate the primary dependency edge.
+      if (w > 0 && rng.uniform() < 0.3) {
+        const int cross = prev[rng.uniform_int(static_cast<uint64_t>(w))];
+        if (cross != deps[0]) deps.push_back(cross);
+      }
       const OpType kind = kinds[rng.uniform_int(5)];
       // Log-uniform cost distribution: a few heavy ops, many light ones.
       const auto flops = static_cast<int64_t>(rng.lognormal(13.0, 2.5));

@@ -1,0 +1,194 @@
+// Tests for the versioned graph wire format: round-trips over every
+// workload generator (default and full granularity) and strict-parser
+// behavior on malformed input.
+#include "graph/graph_io.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.h"
+
+namespace mars {
+namespace {
+
+std::string dump(const CompGraph& g) {
+  std::ostringstream os;
+  save_graph(os, g);
+  return os.str();
+}
+
+void expect_round_trip(const CompGraph& g) {
+  std::istringstream in(dump(g));
+  CompGraph back = load_graph(in);
+  EXPECT_EQ(back.name(), g.name());
+  ASSERT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  // graph_hash covers op types, shapes, all cost fields, GPU compatibility
+  // and the edge list — equality means a lossless round trip.
+  EXPECT_EQ(graph_hash(back), graph_hash(g));
+  for (int v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(back.node(v).name, g.node(v).name) << "node " << v;
+}
+
+TEST(GraphIo, RoundTripsEveryWorkload) {
+  for (const std::string& name : workload_names()) {
+    SCOPED_TRACE(name);
+    expect_round_trip(build_workload(name));
+  }
+}
+
+TEST(GraphIo, RoundTripsCoarsenedWorkloads) {
+  for (const std::string& name : workload_names()) {
+    SCOPED_TRACE(name);
+    expect_round_trip(build_workload(name).coarsen(64));
+  }
+}
+
+TEST(GraphIo, RoundTripsFullGranularityRnns) {
+  // Fully unrolled RNNs are the largest graphs the generators emit; the
+  // wire format must not rely on any coarsening-era invariant.
+  GnmtConfig gnmt;
+  gnmt.time_chunk = 1;
+  expect_round_trip(build_gnmt(gnmt));
+  RnnSeq2SeqConfig rnn;
+  rnn.time_chunk = 1;
+  expect_round_trip(build_rnn_seq2seq(rnn));
+}
+
+TEST(GraphIo, CompGraphSaveLoadDelegatesToWireFormat) {
+  CompGraph g("via_methods");
+  g.add_node("x", OpType::kInput, {4});
+  g.add_node("y", OpType::kRelu, {4}, 10);
+  g.add_edge(0, 1);
+  std::stringstream ss;
+  g.save(ss);
+  EXPECT_NE(ss.str().find("\"mars_graph\":2"), std::string::npos);
+  CompGraph back = CompGraph::load(ss);
+  EXPECT_EQ(graph_hash(back), graph_hash(g));
+}
+
+TEST(GraphIo, LeavesTrailingContentUnread) {
+  CompGraph g("first");
+  g.add_node("x", OpType::kInput, {4});
+  std::istringstream in(dump(g) + "TRAILER\n");
+  int consumed = 0;
+  CompGraph back = load_graph(in, 0, &consumed);
+  EXPECT_EQ(back.num_nodes(), 1);
+  EXPECT_EQ(consumed, 2);  // header + one node line
+  std::string rest;
+  std::getline(in, rest);
+  EXPECT_EQ(rest, "TRAILER");
+}
+
+TEST(GraphIo, AllowsLeadingBlanksAndComments) {
+  CompGraph g("padded");
+  g.add_node("x", OpType::kInput, {4});
+  std::istringstream in("\n# a comment\n\n" + dump(g));
+  EXPECT_EQ(load_graph(in).num_nodes(), 1);
+}
+
+// --- malformed input ------------------------------------------------------
+
+void expect_parse_error(const std::string& text, const std::string& fragment,
+                        int line) {
+  std::istringstream in(text);
+  try {
+    load_graph(in);
+    FAIL() << "expected GraphParseError containing '" << fragment << "'";
+  } catch (const GraphParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << e.what();
+    EXPECT_EQ(e.line(), line) << e.what();
+  }
+}
+
+TEST(GraphIo, RejectsTruncatedFile) {
+  CompGraph g("cut");
+  g.add_node("x", OpType::kInput, {4});
+  g.add_node("y", OpType::kRelu, {4});
+  g.add_edge(0, 1);
+  std::string text = dump(g);
+  text.resize(text.rfind("{\"e\""));  // drop the edge line
+  expect_parse_error(text, "unexpected end of file", 4);
+}
+
+TEST(GraphIo, RejectsUnknownOpType) {
+  expect_parse_error(
+      "{\"mars_graph\":2,\"name\":\"g\",\"nodes\":1,\"edges\":0}\n"
+      "{\"n\":0,\"name\":\"x\",\"op\":\"FluxCapacitor\",\"shape\":[4]}\n",
+      "unknown op type", 2);
+}
+
+TEST(GraphIo, RejectsCycle) {
+  expect_parse_error(
+      "{\"mars_graph\":2,\"name\":\"g\",\"nodes\":2,\"edges\":2}\n"
+      "{\"n\":0,\"name\":\"a\",\"op\":\"Relu\",\"shape\":[4]}\n"
+      "{\"n\":1,\"name\":\"b\",\"op\":\"Relu\",\"shape\":[4]}\n"
+      "{\"e\":[0,1]}\n{\"e\":[1,0]}\n",
+      "cycle", 1);
+}
+
+TEST(GraphIo, RejectsUnsupportedVersion) {
+  expect_parse_error(
+      "{\"mars_graph\":99,\"name\":\"g\",\"nodes\":0,\"edges\":0}\n",
+      "version", 1);
+}
+
+TEST(GraphIo, RejectsDuplicateEdge) {
+  expect_parse_error(
+      "{\"mars_graph\":2,\"name\":\"g\",\"nodes\":2,\"edges\":2}\n"
+      "{\"n\":0,\"name\":\"a\",\"op\":\"Relu\",\"shape\":[4]}\n"
+      "{\"n\":1,\"name\":\"b\",\"op\":\"Relu\",\"shape\":[4]}\n"
+      "{\"e\":[0,1]}\n{\"e\":[0,1]}\n",
+      "duplicate edge", 5);
+}
+
+TEST(GraphIo, RejectsOutOfRangeEdge) {
+  expect_parse_error(
+      "{\"mars_graph\":2,\"name\":\"g\",\"nodes\":1,\"edges\":1}\n"
+      "{\"n\":0,\"name\":\"a\",\"op\":\"Relu\",\"shape\":[4]}\n"
+      "{\"e\":[0,7]}\n",
+      "", 3);
+}
+
+TEST(GraphIo, RejectsNegativeCosts) {
+  expect_parse_error(
+      "{\"mars_graph\":2,\"name\":\"g\",\"nodes\":1,\"edges\":0}\n"
+      "{\"n\":0,\"name\":\"a\",\"op\":\"Relu\",\"shape\":[4],\"flops\":-5}\n",
+      "", 2);
+}
+
+TEST(GraphIo, RejectsNonSequentialNodeIds) {
+  expect_parse_error(
+      "{\"mars_graph\":2,\"name\":\"g\",\"nodes\":2,\"edges\":0}\n"
+      "{\"n\":0,\"name\":\"a\",\"op\":\"Relu\",\"shape\":[4]}\n"
+      "{\"n\":5,\"name\":\"b\",\"op\":\"Relu\",\"shape\":[4]}\n",
+      "", 3);
+}
+
+TEST(GraphIo, RejectsGarbage) {
+  expect_parse_error("this is not a graph\n", "", 1);
+}
+
+TEST(GraphIo, LineOffsetShiftsReportedLines) {
+  std::istringstream in("{\"mars_graph\":0}\n");
+  try {
+    load_graph(in, /*line_offset=*/10);
+    FAIL() << "expected GraphParseError";
+  } catch (const GraphParseError& e) {
+    EXPECT_EQ(e.line(), 11);
+  }
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  CompGraph g = build_workload("inception_v3").coarsen(32);
+  const std::string path = ::testing::TempDir() + "/graph_io_test.graph";
+  ASSERT_TRUE(save_graph_file(path, g));
+  EXPECT_EQ(graph_hash(load_graph_file(path)), graph_hash(g));
+  EXPECT_THROW(load_graph_file(path + ".does_not_exist"), CheckError);
+}
+
+}  // namespace
+}  // namespace mars

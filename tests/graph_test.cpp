@@ -170,6 +170,52 @@ TEST(Features, GcnAdjacencyIsSymmetricNormalized) {
   EXPECT_GT(y[0], 0.0f);
 }
 
+TEST(CompGraphValidation, AddNodeRejectsNegativeCosts) {
+  CompGraph g;
+  EXPECT_THROW(g.add_node("a", OpType::kRelu, {4}, /*flops=*/-1),
+               CheckError);
+  EXPECT_THROW(
+      g.add_node("b", OpType::kRelu, {4}, 0, /*param_bytes=*/-8),
+      CheckError);
+  EXPECT_THROW(g.add_node("c", OpType::kRelu, {4, -2}), CheckError);
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_NO_THROW(g.add_node("ok", OpType::kRelu, {}));  // scalar shape ok
+}
+
+TEST(CompGraphValidation, AddEdgeRejectsInvalidEndpoints) {
+  CompGraph g = diamond();
+  EXPECT_THROW(g.add_edge(0, 0), CheckError);   // self-loop
+  EXPECT_THROW(g.add_edge(-1, 1), CheckError);  // out of range
+  EXPECT_THROW(g.add_edge(0, 4), CheckError);
+  EXPECT_THROW(g.add_edge(0, 1), CheckError);   // duplicate
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 4);
+}
+
+TEST(GraphHash, ReflectsTopologyAndCostsButNotName) {
+  CompGraph a = diamond();
+  CompGraph b = diamond();
+  EXPECT_EQ(graph_hash(a), graph_hash(b));
+  b.set_name("renamed");
+  EXPECT_EQ(graph_hash(a), graph_hash(b));  // name excluded by design
+
+  CompGraph flops = diamond();
+  flops.mutable_node(1).flops += 1;
+  EXPECT_NE(graph_hash(a), graph_hash(flops));
+
+  CompGraph gpu = diamond();
+  gpu.mutable_node(2).gpu_compatible = false;
+  EXPECT_NE(graph_hash(a), graph_hash(gpu));
+
+  CompGraph edges = diamond();
+  edges.add_node("e", OpType::kRelu, {4});
+  EXPECT_NE(graph_hash(a), graph_hash(edges));
+
+  // Hash differs from the placement hash domain on comparable input sizes.
+  EXPECT_NE(graph_hash(a), placement_hash({0, 1, 2, 3}));
+}
+
 TEST(Features, MeanAdjacencyRowsSumToOne) {
   CompGraph g = diamond();
   auto adj = mean_adjacency(g);

@@ -1,0 +1,317 @@
+// Tests for the placement service: request/response codec, batch stream
+// handling (including the malformed-request acceptance demo), fallback and
+// cache semantics, and the TCP daemon.
+#include "serve/service.h"
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "workloads/workloads.h"
+
+namespace mars::serve {
+namespace {
+
+/// Shrunken agent so each test constructs the service in milliseconds.
+ServiceConfig tiny_service_config() {
+  ServiceConfig config;
+  config.agent.encoder_hidden = 32;
+  config.agent.encoder_layers = 2;
+  config.agent.placer_hidden = 32;
+  config.agent.attn_dim = 16;
+  config.agent.segment_size = 16;
+  config.default_coarsen = 48;
+  return config;
+}
+
+CompGraph tiny_graph(const std::string& name = "tiny") {
+  CompGraph g(name);
+  int in = g.add_node("in", OpType::kInput, {32, 8});
+  int mm = g.add_node("mm", OpType::kMatMul, {32, 16}, 8192, 512);
+  int loss = g.add_node("loss", OpType::kCrossEntropyLoss, {1}, 100);
+  g.add_edge(in, mm);
+  g.add_edge(mm, loss);
+  return g;
+}
+
+PlaceRequest tiny_request(const std::string& id, int gpus = 4) {
+  PlaceRequest request;
+  request.id = id;
+  request.gpus = gpus;
+  request.graph = tiny_graph();
+  return request;
+}
+
+TEST(ServeProtocol, RequestRoundTrip) {
+  PlaceRequest request = tiny_request("r1");
+  request.options.coarsen = 24;
+  request.options.refine_trials = 7;
+  request.options.use_cache = false;
+  std::istringstream in(request_to_string(request));
+  RequestReader reader(in);
+  auto outcome = reader.next();
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_TRUE(outcome->ok) << outcome->error;
+  EXPECT_EQ(outcome->request.id, "r1");
+  EXPECT_EQ(outcome->request.gpus, 4);
+  EXPECT_EQ(outcome->request.options.coarsen, 24);
+  EXPECT_EQ(outcome->request.options.refine_trials, 7);
+  EXPECT_FALSE(outcome->request.options.use_cache);
+  EXPECT_EQ(graph_hash(outcome->request.graph), graph_hash(request.graph));
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ServeProtocol, ResponseRoundTrip) {
+  PlaceResponse ok;
+  ok.id = "a";
+  ok.status = PlaceStatus::kOk;
+  ok.placer = "mars";
+  ok.placement = {0, 3, 1};
+  ok.step_time_s = 0.125;
+  ok.resident_bytes = {10, 20, 30};
+  ok.latency_ms = 1.5;
+  ok.fallback = true;
+  PlaceResponse back = response_from_line(response_to_line(ok));
+  EXPECT_EQ(back.id, "a");
+  EXPECT_EQ(back.status, PlaceStatus::kOk);
+  EXPECT_EQ(back.placer, "mars");
+  EXPECT_EQ(back.placement, ok.placement);
+  EXPECT_DOUBLE_EQ(back.step_time_s, 0.125);
+  EXPECT_EQ(back.resident_bytes, ok.resident_bytes);
+  EXPECT_TRUE(back.fallback);
+
+  PlaceResponse err;
+  err.id = "b";
+  err.status = PlaceStatus::kError;
+  err.error = "line 3: boom";
+  back = response_from_line(response_to_line(err));
+  EXPECT_EQ(back.status, PlaceStatus::kError);
+  EXPECT_EQ(back.error, "line 3: boom");
+
+  EXPECT_THROW(response_from_line("not json"), CheckError);
+  EXPECT_THROW(response_from_line("{\"other\":1}"), CheckError);
+}
+
+TEST(ServeProtocol, ReaderResynchronizesAfterBadRequest) {
+  std::ostringstream stream;
+  write_request(stream, tiny_request("good1"));
+  stream << "{\"mars_place\":1,\"id\":\"bad\",\"gpus\":4}\n"
+         << "{\"mars_graph\":2,\"name\":\"b\",\"nodes\":1,\"edges\":0}\n"
+         << "{\"n\":0,\"name\":\"x\",\"op\":\"Nope\",\"shape\":[4]}\n";
+  write_request(stream, tiny_request("good2"));
+
+  std::istringstream in(stream.str());
+  RequestReader reader(in);
+  auto first = reader.next();
+  ASSERT_TRUE(first && first->ok);
+  EXPECT_EQ(first->request.id, "good1");
+
+  auto bad = reader.next();
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(bad->ok);
+  EXPECT_EQ(bad->id, "bad");  // id still recovered from the header
+  EXPECT_NE(bad->error.find("unknown op type"), std::string::npos)
+      << bad->error;
+  EXPECT_GT(bad->error_line, 0);
+
+  auto second = reader.next();
+  ASSERT_TRUE(second && second->ok) << (second ? second->error : "eof");
+  EXPECT_EQ(second->request.id, "good2");
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ServeService, PlacesAndCaches) {
+  PlacementService service(tiny_service_config());
+  PlaceResponse r1 = service.handle(tiny_request("a"));
+  ASSERT_EQ(r1.status, PlaceStatus::kOk) << r1.error;
+  EXPECT_EQ(r1.placement.size(), 3u);
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_FALSE(r1.fallback);
+  EXPECT_TRUE(r1.placer == "mars") << r1.placer;
+  EXPECT_GT(r1.step_time_s, 0);
+  EXPECT_EQ(r1.resident_bytes.size(), 5u);
+
+  // Identical graph under a different id and name: same cache entry.
+  PlaceRequest again = tiny_request("b");
+  again.graph.set_name("renamed");
+  PlaceResponse r2 = service.handle(again);
+  ASSERT_EQ(r2.status, PlaceStatus::kOk);
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r2.id, "b");
+  EXPECT_EQ(r2.placement, r1.placement);
+
+  PlaceRequest uncached = tiny_request("c");
+  uncached.options.use_cache = false;
+  EXPECT_FALSE(service.handle(uncached).cache_hit);
+  EXPECT_EQ(service.stats().cache_hits.load(), 1u);
+  EXPECT_EQ(service.stats().requests.load(), 3u);
+}
+
+TEST(ServeService, FallsBackOnMachineMismatch) {
+  PlacementService service(tiny_service_config());
+  PlaceResponse r = service.handle(tiny_request("a", /*gpus=*/2));
+  ASSERT_EQ(r.status, PlaceStatus::kOk) << r.error;
+  EXPECT_TRUE(r.fallback);
+  EXPECT_NE(r.placer.rfind("mars", 0), 0u) << r.placer;
+  EXPECT_EQ(r.resident_bytes.size(), 3u);  // CPU + 2 GPUs
+  EXPECT_EQ(service.stats().fallbacks.load(), 1u);
+}
+
+TEST(ServeService, OversizedParamsLandOnCpu) {
+  // 10 GiB of parameters = 40 GiB training-resident (4x optimizer factor):
+  // fits no 12 GiB GPU but fits the 120 GiB CPU, so whatever path wins must
+  // leave the op on the CPU and the placement must not be reported OOM.
+  PlaceRequest request = tiny_request("big");
+  request.graph.mutable_node(1).param_bytes = int64_t{10} * (1 << 30);
+  PlacementService service(tiny_service_config());
+  PlaceResponse r = service.handle(request);
+  ASSERT_EQ(r.status, PlaceStatus::kOk) << r.error;
+  EXPECT_FALSE(r.oom);
+  EXPECT_EQ(r.placement[1], 0) << "big op must live on the CPU";
+}
+
+TEST(ServeService, ReportsOomWhenNothingFits) {
+  PlaceRequest request = tiny_request("huge");
+  request.graph.mutable_node(1).param_bytes = int64_t{300} * (1 << 30);
+  PlacementService service(tiny_service_config());
+  PlaceResponse r = service.handle(request);
+  ASSERT_EQ(r.status, PlaceStatus::kOk) << r.error;
+  EXPECT_TRUE(r.oom);
+}
+
+TEST(ServeService, RefinementNeverHurts) {
+  ServiceConfig config = tiny_service_config();
+  PlacementService service(config);
+  PlaceRequest plain = tiny_request("plain");
+  plain.options.use_cache = false;
+  PlaceResponse greedy = service.handle(plain);
+
+  PlaceRequest refined_req = tiny_request("refined");
+  refined_req.options.use_cache = false;
+  refined_req.options.refine_trials = 32;
+  PlaceResponse refined = service.handle(refined_req);
+  ASSERT_EQ(refined.status, PlaceStatus::kOk) << refined.error;
+  EXPECT_LE(refined.step_time_s, greedy.step_time_s * (1 + 1e-9));
+  EXPECT_EQ(refined.placer.rfind("mars", 0), 0u) << refined.placer;
+}
+
+TEST(ServeService, CoarsensLargeGraphsToBudget) {
+  ServiceConfig config = tiny_service_config();
+  config.default_coarsen = 24;
+  PlacementService service(config);
+  PlaceRequest request;
+  request.id = "iv3";
+  request.graph = build_workload("inception_v3");
+  const int full_nodes = request.graph.num_nodes();
+  ASSERT_GT(full_nodes, 24);
+  PlaceResponse r = service.handle(request);
+  ASSERT_EQ(r.status, PlaceStatus::kOk) << r.error;
+  // Placement covers every original node even though decoding was coarse.
+  EXPECT_EQ(static_cast<int>(r.placement.size()), full_nodes);
+}
+
+TEST(ServeService, ErrorResponseIsStructuredAndCounted) {
+  PlacementService service(tiny_service_config());
+  PlaceResponse r = service.error_response("oops", "line 3: bad things");
+  EXPECT_EQ(r.status, PlaceStatus::kError);
+  EXPECT_EQ(r.id, "oops");
+  EXPECT_EQ(service.stats().parse_errors.load(), 1u);
+
+  PlaceRequest empty;
+  empty.id = "empty";
+  EXPECT_EQ(service.handle(empty).status, PlaceStatus::kError);
+  EXPECT_EQ(service.stats().errors.load(), 1u);
+  EXPECT_NE(service.stats_line().find("\"errors\":1"), std::string::npos);
+}
+
+// The acceptance demo: a batch stream of a saved workload graph, a
+// hand-written graph, and a malformed request yields two placements plus
+// one structured parse error — and the loop never aborts.
+TEST(ServeService, BatchStreamWithMalformedRequest) {
+  std::ostringstream stream;
+  PlaceRequest iv3;
+  iv3.id = "inception";
+  iv3.graph = build_workload("inception_v3").coarsen(48);
+  write_request(stream, iv3);
+  stream << "{\"mars_place\":1,\"id\":\"mangled\",\"gpus\":4}\n"
+         << "{\"mars_graph\":2,\"name\":\"m\",\"nodes\":3,\"edges\":0}\n"
+         << "{\"n\":0,\"name\":\"x\",\"op\":\"Relu\",\"shape\":[4]}\n";
+  // (truncated: 2 of 3 declared nodes missing)
+  write_request(stream, tiny_request("hand_written"));
+
+  PlacementService service(tiny_service_config());
+  std::istringstream in(stream.str());
+  RequestReader reader(in);
+  std::vector<PlaceResponse> responses;
+  while (auto outcome = reader.next()) {
+    responses.push_back(outcome->ok
+                            ? service.handle(outcome->request)
+                            : service.error_response(outcome->id,
+                                                     outcome->error));
+  }
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].status, PlaceStatus::kOk) << responses[0].error;
+  EXPECT_EQ(responses[1].status, PlaceStatus::kError);
+  EXPECT_NE(responses[1].error.find("line"), std::string::npos);
+  EXPECT_EQ(responses[2].status, PlaceStatus::kOk) << responses[2].error;
+  EXPECT_EQ(service.stats().parse_errors.load(), 1u);
+  EXPECT_EQ(service.stats().ok.load(), 2u);
+}
+
+TEST(ServeDaemonTest, ServesConcurrentClientsOverTcp) {
+  PlacementService service(tiny_service_config());
+  ServerConfig server_config;
+  server_config.port = 0;  // ephemeral
+  server_config.threads = 4;
+  ServeDaemon daemon(service, server_config);
+  ASSERT_GT(daemon.port(), 0);
+  std::thread serve_thread([&] { daemon.serve(); });
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 3;
+  std::vector<std::thread> clients;
+  std::vector<int> ok_counts(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      PlaceClient client("127.0.0.1", daemon.port());
+      for (int i = 0; i < kPerClient; ++i) {
+        PlaceResponse r = client.place(
+            tiny_request("c" + std::to_string(c) + "_" + std::to_string(i)));
+        if (r.status == PlaceStatus::kOk) ++ok_counts[static_cast<size_t>(c)];
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  daemon.shutdown();
+  serve_thread.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(ok_counts[static_cast<size_t>(c)], kPerClient);
+  EXPECT_EQ(service.stats().requests.load(),
+            static_cast<uint64_t>(kClients * kPerClient));
+}
+
+TEST(ServeDaemonTest, MalformedFrameGetsErrorAndConnectionSurvives) {
+  PlacementService service(tiny_service_config());
+  ServeDaemon daemon(service, ServerConfig{});
+  std::thread serve_thread([&] { daemon.serve(); });
+
+  {
+    PlaceClient client("127.0.0.1", daemon.port());
+    PlaceRequest garbage = tiny_request("bad");
+    garbage.graph = CompGraph("empty");  // zero nodes: loader rejects it
+    PlaceResponse err = client.place(garbage);
+    EXPECT_EQ(err.status, PlaceStatus::kError);
+    // Same connection still serves the next request.
+    PlaceResponse ok = client.place(tiny_request("good"));
+    EXPECT_EQ(ok.status, PlaceStatus::kOk) << ok.error;
+  }
+  daemon.shutdown();
+  serve_thread.join();
+  EXPECT_GE(service.stats().parse_errors.load(), 1u);
+}
+
+}  // namespace
+}  // namespace mars::serve
