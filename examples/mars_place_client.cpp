@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     std::printf("placement (%zu ops):", response.placement.size());
     for (size_t i = 0; i < response.placement.size(); ++i) {
       if (i % 32 == 0) std::printf("\n  ");
-      std::printf("%d", response.placement[i]);
+      std::printf("%d ", response.placement[i]);
     }
     std::printf("\n");
   } catch (const CheckError& e) {

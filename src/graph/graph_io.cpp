@@ -11,11 +11,6 @@ namespace mars {
 
 namespace {
 
-/// Upper bounds on declared counts: a corrupt or hostile header must not be
-/// able to force a multi-gigabyte allocation before any line is validated.
-constexpr int64_t kMaxNodes = 4'000'000;
-constexpr int64_t kMaxEdges = 40'000'000;
-
 Json parse_line_json(const std::string& line, int abs_line) {
   try {
     return Json::parse(line);
@@ -107,14 +102,14 @@ CompGraph load_graph(std::istream& in, int line_offset,
   } catch (const JsonError& e) {
     throw GraphParseError(abs(), std::string("bad graph header: ") + e.what());
   }
-  if (num_nodes < 1 || num_nodes > kMaxNodes)
+  if (num_nodes < 1 || num_nodes > kMaxGraphNodes)
     throw GraphParseError(abs(), "node count " + std::to_string(num_nodes) +
                                      " out of range [1, " +
-                                     std::to_string(kMaxNodes) + "]");
-  if (num_edges < 0 || num_edges > kMaxEdges)
+                                     std::to_string(kMaxGraphNodes) + "]");
+  if (num_edges < 0 || num_edges > kMaxGraphEdges)
     throw GraphParseError(abs(), "edge count " + std::to_string(num_edges) +
                                      " out of range [0, " +
-                                     std::to_string(kMaxEdges) + "]");
+                                     std::to_string(kMaxGraphEdges) + "]");
   const int header_line = abs();
 
   CompGraph g(name);

@@ -28,6 +28,13 @@ namespace mars {
 /// Current wire-format version written by save_graph.
 inline constexpr int kGraphWireVersion = 2;
 
+/// Upper bounds on the header's declared counts: a corrupt or hostile
+/// header must not force a huge allocation (or, for stream readers that
+/// frame by these counts, unbounded buffering) before any line is
+/// validated. load_graph rejects headers exceeding them.
+inline constexpr int64_t kMaxGraphNodes = 4'000'000;
+inline constexpr int64_t kMaxGraphEdges = 40'000'000;
+
 /// Thrown by load_graph on malformed input. `line` is 1-based within the
 /// stream handed to the loader (callers embedding graphs in larger streams
 /// pass their own offset). what() already includes the line number.

@@ -12,7 +12,9 @@ namespace {
 
 bool write_all(int fd, const char* data, size_t len) {
   while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE,
+    // not a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

@@ -12,6 +12,7 @@ namespace mars::serve {
 inline constexpr size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
 
 /// Writes one frame; retries partial writes/EINTR. False on socket error.
+/// Sends with MSG_NOSIGNAL so a peer hangup yields EPIPE, never SIGPIPE.
 bool write_frame(int fd, const std::string& payload);
 
 /// Reads one frame into `payload`. Returns false on clean EOF before a

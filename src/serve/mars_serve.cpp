@@ -84,6 +84,10 @@ int run_daemon(mars::serve::PlacementService& service,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Belt-and-braces next to framing's MSG_NOSIGNAL: a client hanging up
+  // mid-write (or batch output piped to a closed reader) must surface as
+  // EPIPE on that descriptor, never terminate the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
   mars::CliArgs args(argc, argv);
   if (args.has("help")) {
     std::cout

@@ -205,6 +205,7 @@ std::optional<ReadOutcome> RequestReader::next() {
   std::string buffer;
   int64_t buffered = 0;
   int64_t expected = 1;  // at least the graph header line
+  bool saw_graph_header = false;
   while (buffered < expected && read_line()) {
     if (is_request_header(line)) {
       pushback_ = line;
@@ -213,14 +214,33 @@ std::optional<ReadOutcome> RequestReader::next() {
     }
     buffer += line;
     buffer += '\n';
-    if (++buffered == 1) {
+    // Blank/comment lines before the graph header are permitted by
+    // load_graph's grammar; buffer them but keep them out of the frame
+    // count so they don't displace the final body line.
+    if (!saw_graph_header && blank_or_comment(line)) continue;
+    ++buffered;
+    if (!saw_graph_header) {
+      saw_graph_header = true;
       // Frame length from the graph header's declared counts; if the
       // header is malformed the loader reports the real error below.
+      // Counts beyond the loader's hard caps fail here instead: framing
+      // by them would buffer (and so consume) the rest of the stream
+      // before load_graph ever got to reject the header.
       try {
         Json graph_header = Json::parse(line);
         if (graph_header.is_object()) {
           const int64_t nodes = graph_header.get_int("nodes", -1);
           const int64_t edges = graph_header.get_int("edges", -1);
+          if (nodes > kMaxGraphNodes)
+            return fail_and_resync("node count " + std::to_string(nodes) +
+                                       " out of range [1, " +
+                                       std::to_string(kMaxGraphNodes) + "]",
+                                   line_);
+          if (edges > kMaxGraphEdges)
+            return fail_and_resync("edge count " + std::to_string(edges) +
+                                       " out of range [0, " +
+                                       std::to_string(kMaxGraphEdges) + "]",
+                                   line_);
           if (nodes >= 0 && edges >= 0) expected = 1 + nodes + edges;
         }
       } catch (const JsonError&) {

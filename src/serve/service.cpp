@@ -96,10 +96,18 @@ PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
   mix(key, static_cast<uint64_t>(budget));
   mix(key, static_cast<uint64_t>(request.options.refine_trials));
   if (request.options.use_cache && cache_lookup(key, &response)) {
+    // Guard against 64-bit hash collisions: never serve a placement whose
+    // length doesn't match the client's graph (clients are untrusted, so a
+    // collision could even be constructed deliberately).
+    if (response.placement.size() ==
+        static_cast<size_t>(graph.num_nodes())) {
+      response.id = request.id;
+      response.cache_hit = true;
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return response;
+    }
+    response = PlaceResponse{};
     response.id = request.id;
-    response.cache_hit = true;
-    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-    return response;
   }
 
   // Decode on a coarsened view when the graph exceeds the budget; the

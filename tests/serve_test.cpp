@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/graph_io.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "workloads/workloads.h"
@@ -121,6 +122,54 @@ TEST(ServeProtocol, ReaderResynchronizesAfterBadRequest) {
   auto second = reader.next();
   ASSERT_TRUE(second && second->ok) << (second ? second->error : "eof");
   EXPECT_EQ(second->request.id, "good2");
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+// load_graph permits blank/comment lines before the graph header; the
+// stream reader must not count them toward the declared frame length.
+TEST(ServeProtocol, ReaderAllowsCommentsBeforeGraphHeader) {
+  std::ostringstream stream;
+  stream << "{\"mars_place\":1,\"id\":\"annotated\",\"gpus\":4}\n"
+         << "# hand-authored batch file comment\n"
+         << "\n";
+  save_graph(stream, tiny_graph());
+  write_request(stream, tiny_request("after"));
+
+  std::istringstream in(stream.str());
+  RequestReader reader(in);
+  auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->ok) << first->error;
+  EXPECT_EQ(first->request.id, "annotated");
+  EXPECT_EQ(first->request.graph.num_nodes(), 3);
+
+  auto second = reader.next();
+  ASSERT_TRUE(second && second->ok) << (second ? second->error : "eof");
+  EXPECT_EQ(second->request.id, "after");
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+// A graph header declaring absurd counts must fail that frame immediately
+// (not buffer/consume the rest of the stream) and resync onto the next
+// request.
+TEST(ServeProtocol, HugeDeclaredCountsFailFastAndResync) {
+  std::ostringstream stream;
+  stream << "{\"mars_place\":1,\"id\":\"hostile\",\"gpus\":4}\n"
+         << "{\"mars_graph\":2,\"name\":\"h\",\"nodes\":1000000000000000,"
+            "\"edges\":0}\n";
+  write_request(stream, tiny_request("survivor"));
+
+  std::istringstream in(stream.str());
+  RequestReader reader(in);
+  auto bad = reader.next();
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(bad->ok);
+  EXPECT_EQ(bad->id, "hostile");
+  EXPECT_NE(bad->error.find("out of range"), std::string::npos) << bad->error;
+
+  auto good = reader.next();
+  ASSERT_TRUE(good && good->ok) << (good ? good->error : "eof");
+  EXPECT_EQ(good->request.id, "survivor");
   EXPECT_FALSE(reader.next().has_value());
 }
 
