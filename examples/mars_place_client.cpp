@@ -5,6 +5,7 @@
 // Run (against a daemon started with e.g. `mars_serve --port 7070`):
 //   build/examples/mars_place_client --graph iv3.graph
 //   build/examples/mars_place_client --workload gnmt --refine 64
+//   build/examples/mars_place_client --stats            # scrape metrics
 #include <cstdio>
 #include <fstream>
 
@@ -26,9 +27,18 @@ int main(int argc, char** argv) {
   const int gpus = args.get_int("gpus", 4);
   const int refine = args.get_int("refine", 0);
   const int coarsen = args.get_int("coarsen", 0);
+  const bool stats = args.get_bool("stats", false);
+  const std::string stats_format = args.get("stats-format", "prometheus");
   args.warn_unused();
 
   try {
+    if (stats) {
+      serve::PlaceClient client(host, port);
+      std::fputs(client.stats(stats_format).c_str(), stdout);
+      std::fputc('\n', stdout);
+      return 0;
+    }
+
     serve::PlaceRequest request;
     request.gpus = gpus;
     request.options.refine_trials = refine;

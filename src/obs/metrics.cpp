@@ -1,0 +1,222 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/quantile.h"
+
+namespace mars::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name)
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+/// Shortest round-trip double formatting (%.17g is exact but noisy; %g at
+/// increasing precision picks the first representation that parses back).
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  for (int prec = 6; prec <= 17; prec += prec < 15 ? 3 : 2) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+/// Metric names are validated to [a-zA-Z0-9_:], so JSON keys need no
+/// escaping; help strings may hold anything printable, escape minimally.
+std::string escape_text(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  MARS_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket");
+  MARS_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                         bounds_.end(),
+                 "histogram bounds must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  // lower_bound, not upper_bound: le buckets are inclusive, so a sample
+  // exactly on a bound belongs to that bound's bucket.
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, v);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::quantile(double p) const {
+  const std::vector<uint64_t> counts = bucket_counts();
+  return quantile_from_buckets(bounds_, counts, p);
+}
+
+std::vector<double> Histogram::latency_ms_buckets() {
+  return {0.1, 0.25, 0.5, 1,   2.5,  5,    10,   25,
+          50,  100,  250, 500, 1000, 2500, 5000, 10000};
+}
+
+std::vector<double> Histogram::duration_s_buckets() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+          0.5,   1,      2.5,   5,    10,    30,   60,  300};
+}
+
+MetricsRegistry::Entry& MetricsRegistry::get_or_create(
+    const std::string& name, const std::string& help, Kind kind,
+    std::vector<double> bounds) {
+  MARS_CHECK_MSG(valid_metric_name(name),
+                 "invalid metric name '" << name << "'");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    MARS_CHECK_MSG(it->second.kind == kind,
+                   "metric '" << name << "' already registered with a "
+                                         "different kind");
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = help;
+  switch (kind) {
+    case Kind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+      break;
+  }
+  return metrics_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  return *get_or_create(name, help, Kind::kCounter, {}).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  return *get_or_create(name, help, Kind::kGauge, {}).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds) {
+  return *get_or_create(name, help, Kind::kHistogram, std::move(bounds))
+              .histogram;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, entry] : metrics_) {
+    out += "# HELP " + name + " " + escape_text(entry.help) + "\n";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(entry.counter->load()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + format_double(entry.gauge->load()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        const Histogram& h = *entry.histogram;
+        const std::vector<uint64_t> counts = h.bucket_counts();
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < h.bounds().size(); ++b) {
+          cumulative += counts[b];
+          out += name + "_bucket{le=\"" + format_double(h.bounds()[b]) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += counts.back();
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+               "\n";
+        out += name + "_sum " + format_double(h.sum()) + "\n";
+        out += name + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json_line() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ',';
+        counters += "\"" + name + "\":" + std::to_string(entry.counter->load());
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ',';
+        gauges += "\"" + name + "\":" + format_double(entry.gauge->load());
+        break;
+      case Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ',';
+        const Histogram& h = *entry.histogram;
+        std::string le, buckets;
+        for (double b : h.bounds()) {
+          if (!le.empty()) le += ',';
+          le += format_double(b);
+        }
+        for (uint64_t c : h.bucket_counts()) {
+          if (!buckets.empty()) buckets += ',';
+          buckets += std::to_string(c);
+        }
+        histograms += "\"" + name + "\":{\"count\":" +
+                      std::to_string(h.count()) + ",\"sum\":" +
+                      format_double(h.sum()) + ",\"le\":[" + le +
+                      "],\"buckets\":[" + buckets + "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dtor'd
+  return *registry;
+}
+
+}  // namespace mars::obs

@@ -1,0 +1,179 @@
+// Process-wide metrics: counters, gauges and fixed-bucket histograms on a
+// thread-safe registry.
+//
+// Update paths are lock-free (relaxed atomics; the histogram adds one
+// bounded CAS loop for its double-valued sum); registration/get-or-create
+// and exposition take the registry mutex. Metric objects are owned by the
+// registry and never move, so components hold plain references for the
+// lifetime of the registry.
+//
+// Components share metrics by name: two thread pools incrementing
+// `mars_threadpool_tasks_total` aggregate into one series, exactly as a
+// Prometheus scrape of one process would show them. Code that needs
+// isolated counts (tests, embedded services) passes its own registry
+// instead of the process-wide `MetricsRegistry::global()`.
+//
+// Exposition comes in two formats: Prometheus text (scrape/admin-request
+// friendly) and a one-line JSON object (log-line friendly, and what
+// bench/serve_load parses back). See docs/observability.md.
+//
+// The registry can be disabled (`set_enabled(false)`): update paths stay
+// callable but the RAII ScopedTimer degrades to a no-op without ever
+// reading the clock, so instrumented hot loops pay a single relaxed load.
+// Telemetry never touches RNG streams or any simulation state, so enabling
+// it cannot perturb deterministic results — only wall-clock readings.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mars::obs {
+
+namespace detail {
+/// fetch_add for atomic<double> without requiring C++20 library support
+/// for floating-point fetch_add on every toolchain.
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time double value; add() supports accumulating quantities
+/// (seconds totals, live queue depth via add(+1)/add(-1)).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { detail::atomic_add(value_, v); }
+  double load() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending finite upper bounds; an
+/// implicit +Inf overflow bucket catches the rest. observe() is wait-free
+/// except for one CAS loop on the running sum.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// the last entry being the +Inf overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  /// Interpolated quantile estimate from the current bucket counts
+  /// (util/quantile.h semantics). p in [0, 1].
+  double quantile(double p) const;
+
+  /// Default latency buckets in milliseconds (sub-ms to 10 s).
+  static std::vector<double> latency_ms_buckets();
+  /// Default duration buckets in seconds (1 ms to ~5 min).
+  static std::vector<double> duration_s_buckets();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Name-keyed collection of metrics. Get-or-create: asking for an existing
+/// name returns the existing metric (the kind must match; a mismatch
+/// throws CheckError). Names must match Prometheus conventions:
+/// [a-zA-Z_:][a-zA-Z0-9_:]*.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help);
+  Gauge& gauge(const std::string& name, const std::string& help);
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds);
+
+  /// When disabled, ScopedTimer (and other clock-reading instrumentation
+  /// guarded on enabled()) becomes a no-op. Metric updates stay valid.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Prometheus text exposition (HELP/TYPE comments, cumulative buckets).
+  std::string to_prometheus() const;
+  /// One-line JSON: {"counters":{...},"gauges":{...},"histograms":{name:
+  /// {"count":..,"sum":..,"le":[bounds],"buckets":[per-bucket counts]}}}.
+  std::string to_json_line() const;
+
+  /// The process-wide registry instrumented components default to.
+  static MetricsRegistry& global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& get_or_create(const std::string& name, const std::string& help,
+                       Kind kind, std::vector<double> bounds);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> metrics_;  // sorted => stable exposition
+  std::atomic<bool> enabled_{true};
+};
+
+/// RAII timer observing elapsed milliseconds into a histogram on scope
+/// exit. Reads the clock only when the owning registry is enabled.
+class ScopedTimer {
+ public:
+  ScopedTimer(Histogram& sink, const MetricsRegistry& registry)
+      : sink_(registry.enabled() ? &sink : nullptr) {
+    if (sink_) start_ = std::chrono::steady_clock::now();
+  }
+  /// Convenience: time against the global registry's enabled flag.
+  explicit ScopedTimer(Histogram& sink)
+      : ScopedTimer(sink, MetricsRegistry::global()) {}
+  ~ScopedTimer() {
+    if (sink_) sink_->observe(elapsed_ms());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Milliseconds since construction (0 when timing is disabled).
+  double elapsed_ms() const {
+    if (!sink_) return 0;
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mars::obs

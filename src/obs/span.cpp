@@ -1,0 +1,152 @@
+#include "obs/span.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+namespace mars::obs {
+
+namespace {
+
+/// Chrome trace viewers accept plain JSON strings; escape quotes,
+/// backslashes and control characters.
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SpanRecorder::SpanRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+double SpanRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int SpanRecorder::track(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = track_by_name_.find(name);
+  if (it != track_by_name_.end()) return it->second;
+  const int tid = static_cast<int>(track_names_.size());
+  track_names_.push_back(name);
+  track_by_name_.emplace(name, tid);
+  return tid;
+}
+
+int SpanRecorder::current_thread_track() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = thread_tracks_.find(self);
+  if (it != thread_tracks_.end()) return it->second;
+  const int tid = static_cast<int>(track_names_.size());
+  const std::string name = "thread-" + std::to_string(thread_tracks_.size());
+  track_names_.push_back(name);
+  track_by_name_.emplace(name, tid);
+  thread_tracks_.emplace(self, tid);
+  return tid;
+}
+
+void SpanRecorder::record(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+SpanRecorder::Span::Span(SpanRecorder& recorder, std::string name,
+                         std::string category)
+    : recorder_(recorder.enabled() ? &recorder : nullptr) {
+  if (!recorder_) return;
+  name_ = std::move(name);
+  category_ = std::move(category);
+  track_ = recorder_->current_thread_track();
+  start_us_ = recorder_->now_us();
+}
+
+SpanRecorder::Span::~Span() {
+  if (!recorder_) return;
+  recorder_->record({std::move(name_), std::move(category_), track_,
+                     start_us_, recorder_->now_us() - start_us_});
+}
+
+size_t SpanRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<SpanEvent> SpanRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::vector<std::string> SpanRecorder::track_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return track_names_;
+}
+
+void SpanRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  track_names_.clear();
+  track_by_name_.clear();
+  thread_tracks_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void SpanRecorder::write_chrome_trace(std::ostream& out) const {
+  std::vector<SpanEvent> events;
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+    names = track_names_;
+  }
+  out << "[\n";
+  bool first = true;
+  for (size_t tid = 0; tid < names.size(); ++tid) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": " << tid << ", \"args\": {\"name\": \""
+        << escape_json(names[tid]) << "\"}}";
+  }
+  for (const SpanEvent& ev : events) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"name\": \"" << escape_json(ev.name) << "\", \"cat\": \""
+        << escape_json(ev.category) << "\", \"ph\": \"X\", \"pid\": 1, "
+           "\"tid\": " << ev.track << ", \"ts\": " << ev.start_us
+        << ", \"dur\": " << ev.dur_us << "}";
+  }
+  out << "\n]\n";
+}
+
+bool SpanRecorder::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+SpanRecorder& SpanRecorder::global() {
+  static SpanRecorder* recorder = new SpanRecorder();  // never dtor'd
+  return *recorder;
+}
+
+}  // namespace mars::obs

@@ -1,0 +1,107 @@
+// Span recording: wall-clock "what ran when" for the serving and training
+// pipelines, exported as Chrome trace-event JSON (chrome://tracing,
+// https://ui.perfetto.dev).
+//
+// A SpanRecorder keeps complete events on named tracks (Chrome "threads").
+// Application code records through the RAII SpanRecorder::Span on the
+// calling thread's auto-named track; the simulator's TraceEvent schedule
+// merges onto device-named tracks via append_sim_trace (sim/simulator.h),
+// so one JSON shows serve-request spans, rollout rounds, PPO update phases
+// and simulated op execution on a shared timeline.
+//
+// Recording is off by default: a disabled recorder costs one relaxed
+// atomic load per would-be span and never reads the clock. When enabled,
+// each recorded span takes the recorder mutex once (at scope exit); the
+// serving and training hot paths record a handful of spans per request or
+// round, not per op, so contention is negligible.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mars::obs {
+
+/// One complete ("ph":"X") event on a track, microseconds since the
+/// recorder's epoch.
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  int track = 0;
+  double start_us = 0;
+  double dur_us = 0;
+};
+
+class SpanRecorder {
+ public:
+  SpanRecorder();
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the recorder's epoch (construction / last clear).
+  double now_us() const;
+
+  /// Get-or-create a named track; returns its Chrome tid.
+  int track(const std::string& name);
+  /// The calling thread's auto track ("thread-N", first-use order).
+  int current_thread_track();
+
+  /// Records one complete event (no enabled() check — callers that bypass
+  /// Span, like the sim-trace merge, decide for themselves).
+  void record(SpanEvent event);
+
+  /// RAII span on the calling thread's track; no-op (clock never read)
+  /// when the recorder is disabled at construction.
+  class Span {
+   public:
+    Span(SpanRecorder& recorder, std::string name,
+         std::string category = "app");
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    SpanRecorder* recorder_;  // null when disabled
+    std::string name_;
+    std::string category_;
+    int track_ = 0;
+    double start_us_ = 0;
+  };
+
+  size_t size() const;
+  std::vector<SpanEvent> snapshot() const;
+  /// Track names in tid order (auto thread tracks included).
+  std::vector<std::string> track_names() const;
+  /// Drops all events and tracks and restarts the epoch.
+  void clear();
+
+  /// Chrome trace-event JSON: thread_name metadata per track, then one
+  /// "X" event per span. The path overload returns false on I/O failure.
+  void write_chrome_trace(std::ostream& out) const;
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Process-wide recorder (disabled until something enables it — e.g.
+  /// `mars_serve --trace`).
+  static SpanRecorder& global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanEvent> events_;
+  std::vector<std::string> track_names_;          // index == tid
+  std::map<std::string, int> track_by_name_;
+  std::map<std::thread::id, int> thread_tracks_;
+};
+
+}  // namespace mars::obs

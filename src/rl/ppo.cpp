@@ -3,9 +3,37 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace mars {
+
+namespace {
+
+/// PPO update telemetry (process-wide, aggregated across trainers). The
+/// update phase is the other half of Fig. 8's agent-compute accounting,
+/// next to mars_rollout_sample_seconds_total.
+struct PpoMetrics {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& updates =
+      registry.counter("mars_ppo_updates_total", "PPO update batches run");
+  obs::Gauge& update_seconds = registry.gauge(
+      "mars_ppo_update_seconds_total",
+      "Wall-clock seconds inside PPO updates (agent compute, Fig. 8)");
+  obs::Histogram& update_duration_s = registry.histogram(
+      "mars_ppo_update_duration_seconds",
+      "Wall-clock seconds per PPO update batch",
+      obs::Histogram::duration_s_buckets());
+};
+
+PpoMetrics& ppo_metrics() {
+  static PpoMetrics* metrics = new PpoMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 PpoTrainer::PpoTrainer(PlacementPolicy& policy, PlacementEnv& env,
                        PpoConfig config, uint64_t seed)
@@ -63,6 +91,9 @@ PpoTrainer::RoundResult PpoTrainer::round() {
 }
 
 PpoUpdateStats PpoTrainer::update(const std::vector<PpoSample>& batch) {
+  obs::SpanRecorder::Span span(obs::SpanRecorder::global(), "ppo.update",
+                               "ppo");
+  Stopwatch watch;
   PpoUpdateStats stats;
   std::vector<PpoSample> work = batch;
 
@@ -147,6 +178,11 @@ PpoUpdateStats PpoTrainer::update(const std::vector<PpoSample>& batch) {
     stats.clip_fraction = clip_count / static_cast<double>(ratio_n);
     stats.entropy = entropy_sum / static_cast<double>(ratio_n);
   }
+  PpoMetrics& metrics = ppo_metrics();
+  metrics.updates.inc();
+  const double seconds = watch.seconds();
+  metrics.update_seconds.add(seconds);
+  metrics.update_duration_s.observe(seconds);
   return stats;
 }
 

@@ -1,18 +1,58 @@
 #include "rl/rollout.h"
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace mars {
 
+namespace {
+
+/// Rollout telemetry on the process-wide registry, aggregated across every
+/// engine in the process (fig7 fans several trainers out concurrently).
+/// Feeds the Fig. 8 accounting: env-seconds (simulated measurement cost)
+/// vs. sample-seconds (agent compute inside the rollout).
+struct RolloutMetrics {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& rounds =
+      registry.counter("mars_rollout_rounds_total", "Rollout rounds run");
+  obs::Counter& trials = registry.counter("mars_rollout_trials_total",
+                                          "Placements evaluated in rollouts");
+  obs::Counter& cache_hits = registry.counter(
+      "mars_rollout_cache_hits_total",
+      "Rollout trials served from the placement-keyed trial cache");
+  obs::Gauge& env_seconds = registry.gauge(
+      "mars_rollout_env_seconds_total",
+      "Simulated environment seconds charged by rollouts (Fig. 8)");
+  obs::Gauge& sample_seconds = registry.gauge(
+      "mars_rollout_sample_seconds_total",
+      "Wall-clock seconds sampling the policy (agent compute, Fig. 8)");
+  obs::Histogram& round_seconds = registry.histogram(
+      "mars_rollout_round_seconds",
+      "Wall-clock seconds per rollout round (sample + evaluate)",
+      obs::Histogram::duration_s_buckets());
+};
+
+RolloutMetrics& rollout_metrics() {
+  static RolloutMetrics* metrics = new RolloutMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
 std::vector<RolloutSample> RolloutEngine::rollout(int count, Rng& rng,
                                                   RolloutStats* stats) {
   MARS_CHECK(count > 0);
+  obs::SpanRecorder::Span round_span(obs::SpanRecorder::global(),
+                                     "rollout.round", "rollout");
   Stopwatch total;
   std::vector<RolloutSample> samples(static_cast<size_t>(count));
 
   Stopwatch sampling;
   {
+    obs::SpanRecorder::Span span(obs::SpanRecorder::global(),
+                                 "rollout.sample", "rollout");
     NoGradGuard no_grad;  // sampling needs no tape
     for (auto& s : samples) s.action = policy_->sample(rng);
   }
@@ -24,11 +64,28 @@ std::vector<RolloutSample> RolloutEngine::rollout(int count, Rng& rng,
   std::vector<TrialResult> results(samples.size());
 
   Stopwatch eval;
-  EnvBatchStats batch = env_->evaluate_batch(placements, results);
+  EnvBatchStats batch;
+  {
+    obs::SpanRecorder::Span span(obs::SpanRecorder::global(),
+                                 "rollout.evaluate", "rollout");
+    batch = env_->evaluate_batch(placements, results);
+  }
   const double eval_seconds = eval.seconds();
 
   for (size_t i = 0; i < samples.size(); ++i)
     samples[i].trial = std::move(results[i]);
+
+  // Telemetry only: counters and wall-clock histograms never touch the RNG
+  // streams or the index-order charging above, so enabling them cannot
+  // perturb the bit-identical determinism contract.
+  RolloutMetrics& metrics = rollout_metrics();
+  metrics.rounds.inc();
+  metrics.trials.inc(static_cast<uint64_t>(batch.trials));
+  metrics.cache_hits.inc(static_cast<uint64_t>(batch.cache_hits));
+  metrics.env_seconds.add(batch.env_seconds);
+  metrics.sample_seconds.add(sample_seconds);
+  const double rollout_seconds = total.seconds();
+  metrics.round_seconds.observe(rollout_seconds);
 
   if (stats) {
     stats->cache_hits = batch.cache_hits;
@@ -37,7 +94,7 @@ std::vector<RolloutSample> RolloutEngine::rollout(int count, Rng& rng,
     stats->env_seconds = batch.env_seconds;
     stats->sample_seconds = sample_seconds;
     stats->eval_seconds = eval_seconds;
-    stats->rollout_seconds = total.seconds();
+    stats->rollout_seconds = rollout_seconds;
   }
   return samples;
 }

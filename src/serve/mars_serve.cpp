@@ -17,6 +17,7 @@
 #include <iostream>
 #include <optional>
 
+#include "obs/span.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/service.h"
@@ -68,8 +69,19 @@ int run_batch(mars::serve::PlacementService& service,
 }
 
 int run_daemon(mars::serve::PlacementService& service,
-               mars::serve::ServerConfig server_config) {
+               mars::serve::ServerConfig server_config,
+               const std::string& port_file) {
   mars::serve::ServeDaemon daemon(service, std::move(server_config));
+  if (!port_file.empty()) {
+    // Written only once the socket is bound, so scripts can poll the file
+    // to learn an ephemeral port and know the daemon is accepting.
+    std::ofstream pf(port_file);
+    if (!pf) {
+      MARS_ERROR << "cannot write --port-file '" << port_file << "'";
+      return 1;
+    }
+    pf << daemon.port() << '\n';
+  }
   g_daemon.store(&daemon);
   struct sigaction sa = {};
   sa.sa_handler = handle_stop_signal;
@@ -102,9 +114,14 @@ int main(int argc, char** argv) {
            "  --host A --port P   bind address (127.0.0.1:7070; port 0 =\n"
            "                      ephemeral)\n"
            "  --threads N         connection workers (0 = hw concurrency)\n"
+           "  --port-file FILE    write the bound port once listening\n"
            "batch mode:\n"
            "  --requests FILE     concatenated request frames ('-' = stdin)\n"
-           "  --out FILE          response lines ('-' = stdout)\n";
+           "  --out FILE          response lines ('-' = stdout)\n"
+           "observability:\n"
+           "  --metrics-dump FILE write Prometheus metrics on shutdown\n"
+           "  --trace FILE        record spans, write a Chrome trace on\n"
+           "                      shutdown (open in chrome://tracing)\n";
     return 0;
   }
 
@@ -117,6 +134,9 @@ int main(int argc, char** argv) {
 
   const std::string requests = args.get("requests", "");
   const std::string out = args.get("out", "-");
+  const std::string port_file = args.get("port-file", "");
+  const std::string metrics_dump = args.get("metrics-dump", "");
+  const std::string trace_path = args.get("trace", "");
   mars::serve::ServerConfig server_config;
   server_config.host = args.get("host", server_config.host);
   server_config.port = args.get_int("port", 7070);
@@ -124,10 +144,31 @@ int main(int argc, char** argv) {
       static_cast<unsigned>(args.get_int("threads", 0));
   args.warn_unused();
 
+  if (!trace_path.empty()) mars::obs::SpanRecorder::global().set_enabled(true);
+
   try {
     mars::serve::PlacementService service(std::move(config));
-    if (!requests.empty()) return run_batch(service, requests, out);
-    return run_daemon(service, std::move(server_config));
+    const int rc = !requests.empty()
+                       ? run_batch(service, requests, out)
+                       : run_daemon(service, std::move(server_config),
+                                    port_file);
+    if (!metrics_dump.empty()) {
+      std::ofstream dump(metrics_dump);
+      if (!dump) {
+        MARS_ERROR << "cannot write --metrics-dump '" << metrics_dump << "'";
+        return 1;
+      }
+      dump << service.metrics_text("prometheus");
+      MARS_INFO << "wrote metrics to " << metrics_dump;
+    }
+    if (!trace_path.empty()) {
+      if (!mars::obs::SpanRecorder::global().write_chrome_trace(trace_path)) {
+        MARS_ERROR << "cannot write --trace '" << trace_path << "'";
+        return 1;
+      }
+      MARS_INFO << "wrote trace to " << trace_path;
+    }
+    return rc;
   } catch (const mars::CheckError& e) {
     MARS_ERROR << e.what();
     return 1;

@@ -49,6 +49,44 @@ Json header_json(const PlaceRequest& request) {
 
 }  // namespace
 
+bool is_stats_request(const std::string& line) {
+  if (line.find('{') == std::string::npos ||
+      line.find("\"mars_stats\"") == std::string::npos)
+    return false;
+  try {
+    Json j = Json::parse(line);
+    return j.is_object() && j.has("mars_stats");
+  } catch (const JsonError&) {
+    return false;
+  }
+}
+
+StatsRequest parse_stats_request(const std::string& line) {
+  StatsRequest request;
+  try {
+    Json j = Json::parse(line);
+    MARS_CHECK_MSG(j.is_object() && j.has("mars_stats"),
+                   "not a stats request line");
+    const int64_t version = j.at("mars_stats").as_int();
+    MARS_CHECK_MSG(version == kProtocolVersion,
+                   "unsupported stats protocol version " << version);
+    request.format = j.get_string("format", "prometheus");
+    MARS_CHECK_MSG(request.format == "prometheus" || request.format == "json",
+                   "unknown stats format '" << request.format
+                                            << "' (prometheus|json)");
+  } catch (const JsonError& e) {
+    MARS_CHECK_MSG(false, "malformed stats request: " << e.what());
+  }
+  return request;
+}
+
+std::string stats_request_to_line(const StatsRequest& request) {
+  Json j = Json::object();
+  j.set("mars_stats", Json::of(kProtocolVersion))
+      .set("format", Json::of(request.format));
+  return j.dump();
+}
+
 void write_request(std::ostream& out, const PlaceRequest& request) {
   out << header_json(request).dump() << '\n';
   save_graph(out, request.graph);

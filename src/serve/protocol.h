@@ -68,6 +68,25 @@ struct PlaceResponse {
   bool fallback = false;   // learned path unavailable for this request
 };
 
+/// Admin request: ask the daemon for its metrics registry instead of a
+/// placement. The frame is a single JSON line
+///
+///   {"mars_stats":1,"format":"prometheus"}
+///
+/// and the response frame carries the raw rendering (Prometheus text
+/// exposition, or the registry's one-line JSON when format == "json")
+/// rather than a place-response line.
+struct StatsRequest {
+  std::string format = "prometheus";  // "prometheus" | "json"
+};
+
+/// Quick structural test: is this line a stats admin request header?
+bool is_stats_request(const std::string& line);
+/// Parses a stats request line; throws CheckError on a bad version or an
+/// unknown format.
+StatsRequest parse_stats_request(const std::string& line);
+std::string stats_request_to_line(const StatsRequest& request);
+
 /// Writes the line-oriented request frame (header + embedded graph).
 void write_request(std::ostream& out, const PlaceRequest& request);
 std::string request_to_string(const PlaceRequest& request);

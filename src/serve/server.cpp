@@ -12,6 +12,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/span.h"
 #include "serve/framing.h"
 #include "serve/service.h"
 #include "util/check.h"
@@ -23,6 +24,15 @@ namespace {
 
 void close_quiet(int fd) {
   if (fd >= 0) ::close(fd);
+}
+
+/// First line of a frame payload, without the trailing \r. Admin requests
+/// are single-line frames, so this is all the dispatcher needs to see.
+std::string first_line(const std::string& payload) {
+  size_t end = payload.find('\n');
+  if (end == std::string::npos) end = payload.size();
+  if (end > 0 && payload[end - 1] == '\r') --end;
+  return payload.substr(0, end);
 }
 
 sockaddr_in make_addr(const std::string& host, int port) {
@@ -145,6 +155,26 @@ void ServeDaemon::handle_connection(int fd) {
   std::string payload;
   while (!stopping_.load(std::memory_order_acquire) &&
          read_frame(fd, &payload, config_.max_frame_bytes)) {
+    obs::SpanRecorder::Span span(obs::SpanRecorder::global(), "serve.request",
+                                 "serve");
+    // Admin dispatch: a stats frame is answered with the raw metrics
+    // rendering, not a place-response line.
+    if (is_stats_request(first_line(payload))) {
+      std::string body;
+      try {
+        body = service_->metrics_text(
+            parse_stats_request(first_line(payload)).format);
+      } catch (const std::exception& e) {
+        // Admin traffic: answer with a structured error but don't count it
+        // against the placement request/parse-error counters.
+        PlaceResponse err;
+        err.status = PlaceStatus::kError;
+        err.error = e.what();
+        body = response_to_line(err);
+      }
+      if (!write_frame(fd, body)) break;
+      continue;
+    }
     PlaceResponse response;
     try {
       std::istringstream in(payload);
@@ -201,6 +231,18 @@ PlaceResponse PlaceClient::place(const PlaceRequest& request) {
   MARS_CHECK_MSG(read_frame(fd_, &payload),
                  "connection closed before response");
   return response_from_line(payload);
+}
+
+std::string PlaceClient::stats(const std::string& format) {
+  MARS_CHECK_MSG(fd_ >= 0, "client not connected");
+  StatsRequest request;
+  request.format = format;
+  MARS_CHECK_MSG(write_frame(fd_, stats_request_to_line(request)),
+                 "send failed: " << std::strerror(errno));
+  std::string payload;
+  MARS_CHECK_MSG(read_frame(fd_, &payload),
+                 "connection closed before stats response");
+  return payload;
 }
 
 }  // namespace mars::serve

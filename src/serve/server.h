@@ -95,6 +95,10 @@ class PlaceClient {
   /// error response, not an exception.
   PlaceResponse place(const PlaceRequest& request);
 
+  /// Round-trips a stats admin request and returns the daemon's metrics
+  /// rendering verbatim (Prometheus text, or one-line JSON for "json").
+  std::string stats(const std::string& format = "prometheus");
+
  private:
   int fd_ = -1;
 };

@@ -23,6 +23,24 @@ void mix(uint64_t& key, uint64_t v) {
   key ^= v + 0x9e3779b97f4a7c15ull + (key << 6) + (key >> 2);
 }
 
+obs::MetricsRegistry& resolve_registry(const ServiceConfig& config) {
+  return config.metrics ? *config.metrics : obs::MetricsRegistry::global();
+}
+
+ServiceStats make_stats(obs::MetricsRegistry& r) {
+  return ServiceStats{
+      r.counter("mars_serve_requests_total", "Placement requests received"),
+      r.counter("mars_serve_ok_total", "Responses with status ok"),
+      r.counter("mars_serve_errors_total",
+                "Internal failures answered as error responses"),
+      r.counter("mars_serve_parse_errors_total",
+                "Requests rejected before handling (parse/frame errors)"),
+      r.counter("mars_serve_fallbacks_total",
+                "Requests served by a heuristic fallback placer"),
+      r.counter("mars_serve_cache_hits_total",
+                "Responses served from the response cache")};
+}
+
 }  // namespace
 
 /// Checks an agent out of the free list for the duration of a scope; the
@@ -43,7 +61,22 @@ class PlacementService::AgentLease {
 };
 
 PlacementService::PlacementService(ServiceConfig config)
-    : config_(std::move(config)), replica_rng_(config_.seed) {
+    : config_(std::move(config)),
+      metrics_(&resolve_registry(config_)),
+      stats_(make_stats(*metrics_)),
+      latency_ms_(metrics_->histogram(
+          "mars_serve_request_latency_ms",
+          "End-to-end handle() latency, milliseconds",
+          obs::Histogram::latency_ms_buckets())),
+      decode_ms_(metrics_->histogram(
+          "mars_serve_decode_ms",
+          "Greedy policy decode time (learned path), milliseconds",
+          obs::Histogram::latency_ms_buckets())),
+      refine_ms_(metrics_->histogram(
+          "mars_serve_refine_ms",
+          "Simulated-annealing refinement time, milliseconds",
+          obs::Histogram::latency_ms_buckets())),
+      replica_rng_(config_.seed) {
   MARS_CHECK_MSG(config_.agent_gpus >= 1, "agent_gpus must be >= 1");
   MARS_CHECK_MSG(config_.default_coarsen >= 2,
                  "default_coarsen must be >= 2");
@@ -66,19 +99,20 @@ PlacementService::~PlacementService() = default;
 
 PlaceResponse PlacementService::handle(const PlaceRequest& request) {
   Stopwatch watch;
-  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  stats_.requests.inc();
   PlaceResponse response;
   try {
     response = handle_impl(request);
-    stats_.ok.fetch_add(1, std::memory_order_relaxed);
+    stats_.ok.inc();
   } catch (const std::exception& e) {
-    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    stats_.errors.inc();
     response = PlaceResponse{};
     response.id = request.id;
     response.status = PlaceStatus::kError;
     response.error = std::string("internal error: ") + e.what();
   }
   response.latency_ms = watch.seconds() * 1e3;
+  latency_ms_.observe(response.latency_ms);
   return response;
 }
 
@@ -103,7 +137,7 @@ PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
         static_cast<size_t>(graph.num_nodes())) {
       response.id = request.id;
       response.cache_hit = true;
-      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.cache_hits.inc();
       return response;
     }
     response = PlaceResponse{};
@@ -150,6 +184,7 @@ PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
   if (learned_compatible) {
     Placement decoded;
     {
+      obs::ScopedTimer decode_timer(decode_ms_, *metrics_);
       AgentLease agent(*this);
       agent->attach_graph(*work);
       decoded = agent->sample_greedy().placement;
@@ -168,6 +203,7 @@ PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
       TrialRunner runner(work == &graph ? full_sim : work_sim, trial);
       SearchConfig search;
       search.max_trials = request.options.refine_trials;
+      obs::ScopedTimer refine_timer(refine_ms_, *metrics_);
       SearchResult refined =
           simulated_annealing(runner, search, key ^ config_.seed, &decoded);
       if (refined.found_valid()) {
@@ -205,16 +241,15 @@ PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
   response.oom = best->sim.oom;
   response.resident_bytes = best->sim.resident_bytes;
   response.fallback = best->placer.rfind("mars", 0) != 0;
-  if (response.fallback)
-    stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+  if (response.fallback) stats_.fallbacks.inc();
   if (request.options.use_cache) cache_store(key, response);
   return response;
 }
 
 PlaceResponse PlacementService::error_response(const std::string& id,
                                                const std::string& message) {
-  stats_.requests.fetch_add(1, std::memory_order_relaxed);
-  stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+  stats_.requests.inc();
+  stats_.parse_errors.inc();
   PlaceResponse response;
   response.id = id;
   response.status = PlaceStatus::kError;
@@ -234,6 +269,11 @@ std::string PlacementService::stats_line() const {
       .set("cache_hits",
            Json::of(static_cast<int64_t>(stats_.cache_hits.load())));
   return j.dump();
+}
+
+std::string PlacementService::metrics_text(const std::string& format) const {
+  if (format == "json") return metrics_->to_json_line();
+  return metrics_->to_prometheus();
 }
 
 std::unique_ptr<EncoderPlacerAgent> PlacementService::acquire_agent() {

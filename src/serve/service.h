@@ -21,7 +21,6 @@
 // reported the same way.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -31,6 +30,7 @@
 #include <vector>
 
 #include "core/mars.h"
+#include "obs/metrics.h"
 #include "serve/protocol.h"
 
 namespace mars::serve {
@@ -52,16 +52,22 @@ struct ServiceConfig {
   int cache_capacity = 1024;
   /// Seed for replica construction and refinement streams.
   uint64_t seed = 1;
+  /// Metrics registry the service registers its counters and histograms
+  /// on; null = the process-wide obs::MetricsRegistry::global(). Tests
+  /// that assert exact counts pass their own registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Monotonic service counters (exposed for ops; atomics, read any time).
+/// Monotonic service counters, registered on the configured metrics
+/// registry under mars_serve_* names (scrape via the daemon's stats admin
+/// request, or read any time through these references).
 struct ServiceStats {
-  std::atomic<uint64_t> requests{0};      // handle() calls
-  std::atomic<uint64_t> ok{0};            // responses with status ok
-  std::atomic<uint64_t> errors{0};        // internal failures -> error resp.
-  std::atomic<uint64_t> parse_errors{0};  // error_response() calls
-  std::atomic<uint64_t> fallbacks{0};     // learned path unavailable/OOM
-  std::atomic<uint64_t> cache_hits{0};
+  obs::Counter& requests;      // handle() calls
+  obs::Counter& ok;            // responses with status ok
+  obs::Counter& errors;        // internal failures -> error resp.
+  obs::Counter& parse_errors;  // error_response() calls
+  obs::Counter& fallbacks;     // learned path unavailable/OOM
+  obs::Counter& cache_hits;
 };
 
 class PlacementService {
@@ -84,6 +90,13 @@ class PlacementService {
   /// One-line JSON rendering of the counters (log/ops friendly).
   std::string stats_line() const;
 
+  /// The registry this service's metrics live on (also carries whatever
+  /// else the process registered: thread pools, rollout engines, ...).
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+  /// Renders the registry for the `stats` admin request: Prometheus text
+  /// exposition, or the one-line JSON when `format` == "json".
+  std::string metrics_text(const std::string& format) const;
+
   /// Devices (CPU + GPUs) the learned path serves.
   int agent_devices() const { return config_.agent_gpus + 1; }
 
@@ -100,7 +113,11 @@ class PlacementService {
   void cache_store(uint64_t key, const PlaceResponse& response);
 
   ServiceConfig config_;
+  obs::MetricsRegistry* metrics_;  // never null after construction
   ServiceStats stats_;
+  obs::Histogram& latency_ms_;  // end-to-end handle() time
+  obs::Histogram& decode_ms_;   // greedy decode (learned path only)
+  obs::Histogram& refine_ms_;   // simulated-annealing refinement
 
   std::mutex agent_mutex_;  // guards prototype_, idle_agents_, replica_rng_
   std::unique_ptr<EncoderPlacerAgent> prototype_;

@@ -235,46 +235,35 @@ SimResult ExecutionSimulator::simulate(const Placement& placement,
   return result;
 }
 
-bool write_chrome_trace(const ExecutionSimulator& simulator,
-                        const SimResult& result, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+void append_sim_trace(const ExecutionSimulator& simulator,
+                      const SimResult& result, obs::SpanRecorder& recorder,
+                      double offset_us) {
   const CompGraph& graph = simulator.graph();
   const MachineSpec& machine = simulator.machine();
-  auto esc = [](const std::string& name) {
-    std::string e;
-    for (char c : name) {
-      if (c == '"' || c == '\\') e += '\\';
-      e += c;
-    }
-    return e;
-  };
-  out << "[\n";
-  bool first = true;
-  // Name the device "threads".
-  for (int d = 0; d < machine.num_devices(); ++d) {
-    if (!first) out << ",\n";
-    first = false;
-    out << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
-           "\"tid\": " << d << ", \"args\": {\"name\": \""
-        << esc(machine.device(d).name) << "\"}}";
+  // One track per device, named after it (reused if already present, so
+  // repeated simulations of the same machine land on the same tracks).
+  std::vector<int> device_track(
+      static_cast<size_t>(machine.num_devices()));
+  for (int d = 0; d < machine.num_devices(); ++d)
+    device_track[static_cast<size_t>(d)] =
+        recorder.track(machine.device(d).name);
+  for (const TraceEvent& ev : result.trace) {
+    const bool op = ev.kind == TraceEvent::kOp;
+    // Chrome traces use microseconds; simulated time is in seconds.
+    recorder.record({op ? graph.node(ev.op).name
+                        : "xfer:" + graph.node(ev.op).name,
+                     op ? "op" : "transfer",
+                     device_track[static_cast<size_t>(ev.device)],
+                     offset_us + ev.start * 1e6,
+                     (ev.end - ev.start) * 1e6});
   }
-  for (const auto& ev : result.trace) {
-    out << ",\n  {\"name\": \"";
-    if (ev.kind == TraceEvent::kOp) {
-      out << esc(graph.node(ev.op).name);
-    } else {
-      out << "xfer:" << esc(graph.node(ev.op).name);
-    }
-    // Chrome traces use microseconds.
-    out << "\", \"cat\": \""
-        << (ev.kind == TraceEvent::kOp ? "op" : "transfer")
-        << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << ev.device
-        << ", \"ts\": " << ev.start * 1e6
-        << ", \"dur\": " << (ev.end - ev.start) * 1e6 << "}";
-  }
-  out << "\n]\n";
-  return static_cast<bool>(out);
+}
+
+bool write_chrome_trace(const ExecutionSimulator& simulator,
+                        const SimResult& result, const std::string& path) {
+  obs::SpanRecorder recorder;
+  append_sim_trace(simulator, result, recorder);
+  return recorder.write_chrome_trace(path);
 }
 
 }  // namespace mars

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/comp_graph.h"
+#include "obs/span.h"
 #include "sim/cost_model.h"
 #include "sim/machine.h"
 
@@ -77,9 +78,20 @@ class ExecutionSimulator {
   std::vector<double> priority_;
 };
 
+/// Merges a trace-recorded schedule onto an obs::SpanRecorder: one track
+/// per device (named after it), op events in category "op", transfers in
+/// "transfer" (named "xfer:<producer>"). Simulated seconds are mapped to
+/// trace microseconds starting at `offset_us`, so a caller can align the
+/// simulated schedule with wall-clock spans (serve requests, rollout
+/// rounds) already on the recorder — one Chrome-trace JSON, one timeline.
+void append_sim_trace(const ExecutionSimulator& simulator,
+                      const SimResult& result, obs::SpanRecorder& recorder,
+                      double offset_us = 0);
+
 /// Writes a recorded schedule in Chrome trace-event JSON (load in
 /// chrome://tracing or https://ui.perfetto.dev). Returns false on I/O
-/// failure; requires a trace-recorded SimResult.
+/// failure; requires a trace-recorded SimResult. Convenience wrapper over
+/// append_sim_trace + SpanRecorder::write_chrome_trace.
 bool write_chrome_trace(const ExecutionSimulator& simulator,
                         const SimResult& result, const std::string& path);
 

@@ -1,14 +1,19 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
-#include <mutex>
+#include <cstdlib>
+#include <ctime>
 
 namespace mars {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+
+std::atomic<LogLevel> g_level{
+    parse_log_level(std::getenv("MARS_LOG_LEVEL"), LogLevel::kInfo)};
+
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
@@ -18,17 +23,62 @@ const char* level_name(LogLevel l) {
   }
   return "?????";
 }
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+LogLevel parse_log_level(const char* text, LogLevel fallback) {
+  if (!text) return fallback;
+  std::string s;
+  for (const char* p = text; *p; ++p)
+    s += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  if (s == "debug" || s == "0") return LogLevel::kDebug;
+  if (s == "info" || s == "1") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning" || s == "2") return LogLevel::kWarn;
+  if (s == "error" || s == "3") return LogLevel::kError;
+  return fallback;
+}
+
 namespace detail {
+
+int thread_log_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1);
+  return id;
+}
+
+std::string format_log_line(LogLevel level, const std::string& msg) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  ::gmtime_r(&secs, &tm);
+  char head[64];
+  std::snprintf(head, sizeof(head),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ %s t%02d ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms),
+                level_name(level), thread_log_id());
+  std::string line(head);
+  line += msg;
+  line += '\n';
+  return line;
+}
+
 void log_emit(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  // One fwrite per record: concurrent threads' lines cannot interleave
+  // (stderr is unbuffered; a single write reaches the fd atomically for
+  // any sane line length).
+  const std::string line = format_log_line(level, msg);
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
+
 }  // namespace detail
 
 }  // namespace mars

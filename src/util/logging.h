@@ -1,4 +1,10 @@
 // Minimal leveled logger writing to stderr.
+//
+// Each record is emitted as ONE write ("TIMESTAMP LEVEL tNN message\n"),
+// so records from concurrent threads never interleave mid-line. The
+// threshold initializes from the MARS_LOG_LEVEL environment variable
+// (debug|info|warn|error, or 0-3) at first use and remains adjustable via
+// set_log_level().
 #pragma once
 
 #include <sstream>
@@ -12,8 +18,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses "debug|info|warn|error" (case-insensitive) or "0"-"3"; returns
+/// `fallback` on anything else (including null).
+LogLevel parse_log_level(const char* text, LogLevel fallback);
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);
+
+/// The exact single-write record for `msg`: "<UTC timestamp> <LEVEL> t<id>
+/// <msg>\n". Exposed so tests can pin the format.
+std::string format_log_line(LogLevel level, const std::string& msg);
+
+/// Small sequential id of the calling thread (first-log order).
+int thread_log_id();
 
 class LogLine {
  public:

@@ -1,0 +1,62 @@
+// Shared quantile/percentile helpers.
+//
+// One definition of "percentile" for the whole tree: the load generator's
+// client-observed latency report and the obs histograms both go through
+// these, so the two sides of the serving acceptance check (bench percentiles
+// vs. scraped histogram quantiles) use the same interpolation semantics.
+// Header-only so the dependency-free mars_obs library can use it too.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mars {
+
+/// Linear-interpolated percentile of an ascending-sorted sample set
+/// (NumPy's "linear" method): rank = p * (n - 1); the result interpolates
+/// between the two bracketing order statistics. p is clamped to [0, 1].
+/// Returns 0 for an empty sample.
+inline double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  if (p <= 0) return sorted.front();
+  if (p >= 1) return sorted.back();
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+/// Quantile estimate from fixed-bucket histogram counts, Prometheus
+/// histogram_quantile-style: `upper_bounds` are the finite bucket upper
+/// bounds (ascending), `counts` the per-bucket (non-cumulative) counts with
+/// one extra trailing overflow (+Inf) bucket, so counts.size() ==
+/// upper_bounds.size() + 1. Within the located bucket the value is linearly
+/// interpolated between the bucket's bounds (lower bound 0 for the first
+/// bucket, as all observed quantities here are non-negative). A quantile
+/// landing in the overflow bucket returns the largest finite bound.
+/// Returns 0 when the histogram is empty.
+inline double quantile_from_buckets(std::span<const double> upper_bounds,
+                                    std::span<const uint64_t> counts,
+                                    double p) {
+  if (counts.empty() || counts.size() != upper_bounds.size() + 1) return 0;
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  const double target = p * static_cast<double>(total);
+  double cumulative = 0;
+  for (size_t b = 0; b < upper_bounds.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (cumulative + in_bucket >= target && in_bucket > 0) {
+      const double lower = b == 0 ? 0.0 : upper_bounds[b - 1];
+      const double frac = (target - cumulative) / in_bucket;
+      return lower + (upper_bounds[b] - lower) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return upper_bounds.empty() ? 0 : upper_bounds.back();
+}
+
+}  // namespace mars

@@ -2,7 +2,34 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace mars {
+
+namespace {
+
+/// Pool telemetry on the process-wide registry, aggregated across every
+/// pool in the process (trial env, serving daemon, bench fan-outs).
+/// Function-local statics: constructed on first pool use, thread-safe.
+struct PoolMetrics {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Gauge& queue_depth = registry.gauge(
+      "mars_threadpool_queue_depth",
+      "Tasks queued but not yet picked up, all pools");
+  obs::Counter& tasks = registry.counter(
+      "mars_threadpool_tasks_total", "Tasks executed by any pool worker");
+  obs::Histogram& task_latency_ms = registry.histogram(
+      "mars_threadpool_task_latency_ms",
+      "Per-task execution time (dequeue to completion), milliseconds",
+      obs::Histogram::latency_ms_buckets());
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics* metrics = new PoolMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   unsigned n = threads ? threads : std::max(1u, std::thread::hardware_concurrency());
@@ -21,7 +48,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::note_enqueued() { pool_metrics().queue_depth.add(1); }
+
 void ThreadPool::worker_loop() {
+  PoolMetrics& metrics = pool_metrics();
   for (;;) {
     std::function<void()> task;
     {
@@ -31,7 +61,12 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    metrics.queue_depth.add(-1);
+    {
+      obs::ScopedTimer timer(metrics.task_latency_ms, metrics.registry);
+      task();
+    }
+    metrics.tasks.inc();
   }
 }
 

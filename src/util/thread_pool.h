@@ -35,6 +35,7 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mutex_);
       tasks_.emplace([task] { (*task)(); });
     }
+    note_enqueued();
     cv_.notify_one();
     return fut;
   }
@@ -53,6 +54,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Bumps the process-wide queue-depth gauge (obs/metrics.h); out of line
+  /// so the header stays free of the obs dependency.
+  static void note_enqueued();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

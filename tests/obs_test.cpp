@@ -1,0 +1,342 @@
+// Tests for the src/obs observability subsystem: metrics registry
+// (counters, gauges, histograms), exposition formats, scoped timers, span
+// recording, the sim-trace merge, and the shared quantile helpers.
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+#include "util/quantile.h"
+
+namespace mars {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::ScopedTimer;
+using obs::SpanRecorder;
+
+// ---------------------------------------------------------------- quantile
+
+TEST(Quantile, PercentileSortedInterpolatesLinearly) {
+  const std::vector<double> sorted{10, 20, 30, 40};
+  // NumPy "linear": rank = p * (n - 1).
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 10);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 40);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.5), 25);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.25), 17.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, -1), 10);  // clamped
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 2), 40);   // clamped
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0);
+  const std::vector<double> one{7};
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.99), 7);
+}
+
+TEST(Quantile, FromBucketsInterpolatesWithinBucket) {
+  const std::vector<double> bounds{1, 2, 4};
+  // All 4 samples in (1, 2]: the median interpolates halfway through it.
+  const std::vector<uint64_t> mid{0, 4, 0, 0};
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, mid, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, mid, 1.0), 2.0);
+  // First bucket interpolates from lower bound 0.
+  const std::vector<uint64_t> first{2, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, first, 0.5), 0.5);
+  // Overflow bucket clamps to the largest finite bound.
+  const std::vector<uint64_t> over{0, 0, 0, 5};
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, over, 0.5), 4.0);
+  // Empty histogram and size-mismatched inputs return 0.
+  const std::vector<uint64_t> empty{0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, empty, 0.5), 0);
+  const std::vector<uint64_t> mismatched{1, 2};
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, mismatched, 0.5), 0);
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry r;
+  Counter& c = r.counter("t_counter", "help");
+  EXPECT_EQ(c.load(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.load(), 42u);
+  Gauge& g = r.gauge("t_gauge", "help");
+  g.set(2.0);
+  g.add(1.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.load(), 3.0);
+}
+
+TEST(Metrics, HistogramBucketsCountAndSum) {
+  MetricsRegistry r;
+  Histogram& h = r.histogram("t_hist", "help", {1, 10, 100});
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (le is inclusive)
+  h.observe(5);     // bucket 1
+  h.observe(50);    // bucket 2
+  h.observe(500);   // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 556.5);
+  const std::vector<uint64_t> expected{2, 1, 1, 1};
+  EXPECT_EQ(h.bucket_counts(), expected);
+  // quantile() delegates to quantile_from_buckets.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100);
+}
+
+TEST(Metrics, GetOrCreateDedupesByNameAndChecksKind) {
+  MetricsRegistry r;
+  Counter& a = r.counter("t_shared", "help");
+  Counter& b = r.counter("t_shared", "other help ignored");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc();
+  EXPECT_EQ(a.load(), 2u);
+  EXPECT_THROW(r.gauge("t_shared", "wrong kind"), CheckError);
+  EXPECT_THROW(r.histogram("t_shared", "wrong kind", {1}), CheckError);
+}
+
+TEST(Metrics, RejectsInvalidNamesAndBounds) {
+  MetricsRegistry r;
+  EXPECT_THROW(r.counter("7starts_with_digit", ""), CheckError);
+  EXPECT_THROW(r.counter("has space", ""), CheckError);
+  EXPECT_THROW(r.counter("", ""), CheckError);
+  EXPECT_THROW(r.histogram("t_bad_bounds", "", {1, 1}), CheckError);
+  EXPECT_THROW(r.histogram("t_bad_bounds2", "", {2, 1}), CheckError);
+  EXPECT_THROW(r.histogram("t_no_bounds", "", {}), CheckError);
+}
+
+TEST(Metrics, PrometheusExpositionGolden) {
+  MetricsRegistry r;
+  r.counter("t_counter", "Requests handled").inc(3);
+  r.gauge("t_gauge", "Queue depth").set(2.5);
+  Histogram& h = r.histogram("t_hist", "Latency ms", {1, 2});
+  h.observe(0.5);
+  h.observe(3);
+  EXPECT_EQ(r.to_prometheus(),
+            "# HELP t_counter Requests handled\n"
+            "# TYPE t_counter counter\n"
+            "t_counter 3\n"
+            "# HELP t_gauge Queue depth\n"
+            "# TYPE t_gauge gauge\n"
+            "t_gauge 2.5\n"
+            "# HELP t_hist Latency ms\n"
+            "# TYPE t_hist histogram\n"
+            "t_hist_bucket{le=\"1\"} 1\n"
+            "t_hist_bucket{le=\"2\"} 1\n"
+            "t_hist_bucket{le=\"+Inf\"} 2\n"
+            "t_hist_sum 3.5\n"
+            "t_hist_count 2\n");
+}
+
+TEST(Metrics, JsonLineGolden) {
+  MetricsRegistry r;
+  r.counter("t_counter", "Requests handled").inc(3);
+  r.gauge("t_gauge", "Queue depth").set(2.5);
+  Histogram& h = r.histogram("t_hist", "Latency ms", {1, 2});
+  h.observe(0.5);
+  h.observe(3);
+  EXPECT_EQ(r.to_json_line(),
+            "{\"counters\":{\"t_counter\":3},"
+            "\"gauges\":{\"t_gauge\":2.5},"
+            "\"histograms\":{\"t_hist\":{\"count\":2,\"sum\":3.5,"
+            "\"le\":[1,2],\"buckets\":[1,0,1]}}}");
+}
+
+TEST(Metrics, HelpTextEscapesNewlinesAndBackslashes) {
+  MetricsRegistry r;
+  r.counter("t_escape", "line1\nline2 back\\slash");
+  const std::string text = r.to_prometheus();
+  EXPECT_NE(text.find("line1\\nline2 back\\\\slash"), std::string::npos);
+  // The rendered HELP comment must stay a single line.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+// The MT hammer behind the lock-free claim: exact totals under concurrent
+// increments and observations (run under TSan in CI).
+TEST(Metrics, MultithreadedHammerKeepsExactCounts) {
+  MetricsRegistry r;
+  Counter& c = r.counter("t_mt_counter", "");
+  Gauge& g = r.gauge("t_mt_gauge", "");
+  Histogram& h = r.histogram("t_mt_hist", "", {0.5, 1.5, 2.5});
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        g.add(1.0);
+        h.observe(static_cast<double>((t + i) % 4));  // 0..3 -> every bucket
+        if (i % 1024 == 0) (void)r.to_prometheus();   // expose concurrently
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kIters;
+  EXPECT_EQ(c.load(), kTotal);
+  EXPECT_DOUBLE_EQ(g.load(), static_cast<double>(kTotal));
+  EXPECT_EQ(h.count(), kTotal);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, kTotal);
+}
+
+TEST(Metrics, ScopedTimerObservesOnlyWhenEnabled) {
+  MetricsRegistry r;
+  Histogram& h = r.histogram("t_timer", "", {1e6});
+  {
+    ScopedTimer timer(h, r);
+    EXPECT_GE(timer.elapsed_ms(), 0);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  r.set_enabled(false);
+  {
+    ScopedTimer timer(h, r);
+    EXPECT_EQ(timer.elapsed_ms(), 0);  // clock never read when disabled
+  }
+  EXPECT_EQ(h.count(), 1u);
+  r.set_enabled(true);
+  { ScopedTimer timer(h, r); }
+  EXPECT_EQ(h.count(), 2u);
+}
+
+// ------------------------------------------------------------------- spans
+
+TEST(Span, DisabledRecorderRecordsNothing) {
+  SpanRecorder rec;  // disabled by default
+  EXPECT_FALSE(rec.enabled());
+  { SpanRecorder::Span span(rec, "ignored", "test"); }
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(Span, NestedSpansLandOnTheCallingThreadTrack) {
+  SpanRecorder rec;
+  rec.set_enabled(true);
+  {
+    SpanRecorder::Span outer(rec, "outer", "test");
+    SpanRecorder::Span inner(rec, "inner", "test");
+  }
+  const std::vector<obs::SpanEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans close innermost-first, so "inner" is recorded before "outer".
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].track, events[1].track);
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+  EXPECT_LE(events[0].dur_us, events[1].dur_us + 1e-9);
+  const std::vector<std::string> tracks = rec.track_names();
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].rfind("thread-", 0), 0u);
+}
+
+TEST(Span, SpansFromTwoThreadsGetDistinctTracks) {
+  SpanRecorder rec;
+  rec.set_enabled(true);
+  { SpanRecorder::Span span(rec, "main", "test"); }
+  std::thread worker([&] { SpanRecorder::Span span(rec, "worker", "test"); });
+  worker.join();
+  const std::vector<obs::SpanEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].track, events[1].track);
+  EXPECT_EQ(rec.track_names().size(), 2u);
+}
+
+TEST(Span, ClearDropsEventsAndRestartsEpoch) {
+  SpanRecorder rec;
+  rec.set_enabled(true);
+  { SpanRecorder::Span span(rec, "before", "test"); }
+  EXPECT_EQ(rec.size(), 1u);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_TRUE(rec.track_names().empty());
+  EXPECT_GE(rec.now_us(), 0.0);
+}
+
+// The tentpole unification check: application spans and the simulator's
+// TraceEvent schedule merge into one Chrome trace with both kinds of track.
+TEST(Span, ChromeTraceMergesAppSpansWithSimSchedule) {
+  SpanRecorder rec;
+  rec.set_enabled(true);
+  { SpanRecorder::Span span(rec, "serve.request", "serve"); }
+
+  CompGraph g("chain");
+  int a = g.add_node("a", OpType::kMatMul, {1 << 16}, 1'000'000'000, 0);
+  g.add_node("b", OpType::kMatMul, {64}, 1'000'000'000, 0);
+  g.add_edge(a, 1);
+  ExecutionSimulator sim(g, MachineSpec::default_4gpu());
+  SimResult r = sim.simulate({1, 2}, /*record_trace=*/true);
+  ASSERT_FALSE(r.oom);
+  append_sim_trace(sim, r, rec);
+
+  // One app span + 2 ops + 1 transfer.
+  EXPECT_EQ(rec.size(), 4u);
+  const std::vector<std::string> tracks = rec.track_names();
+  EXPECT_NE(std::find(tracks.begin(), tracks.end(), "gpu:0"), tracks.end());
+  EXPECT_EQ(tracks[0].rfind("thread-", 0), 0u);
+
+  std::ostringstream out;
+  rec.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);  // thread names
+  EXPECT_NE(json.find("serve.request"), std::string::npos);
+  EXPECT_NE(json.find("gpu:0"), std::string::npos);
+  EXPECT_NE(json.find("xfer:a"), std::string::npos);
+}
+
+TEST(Span, ChromeTraceEscapesHostileNames) {
+  SpanRecorder rec;
+  rec.set_enabled(true);
+  obs::SpanEvent ev;
+  ev.name = "quote\" backslash\\ newline\n";
+  ev.category = "test";
+  ev.track = rec.track("track\"quoted");
+  ev.start_us = 1;
+  ev.dur_us = 2;
+  rec.record(ev);
+  std::ostringstream out;
+  rec.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("quote\\\""), std::string::npos);
+  EXPECT_NE(json.find("backslash\\\\"), std::string::npos);
+  EXPECT_NE(json.find("newline\\n"), std::string::npos);
+  EXPECT_NE(json.find("track\\\"quoted"), std::string::npos);
+}
+
+// Spans recorded concurrently from many threads: sizes add up, every event
+// carries a valid track (run under TSan in CI).
+TEST(Span, MultithreadedRecordingKeepsEveryEvent) {
+  SpanRecorder rec;
+  rec.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kSpans; ++i)
+        SpanRecorder::Span span(rec, "work", "test");
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.size(), static_cast<size_t>(kThreads) * kSpans);
+  const int tracks = static_cast<int>(rec.track_names().size());
+  for (const obs::SpanEvent& ev : rec.snapshot()) {
+    EXPECT_GE(ev.track, 0);
+    EXPECT_LT(ev.track, tracks);
+  }
+}
+
+}  // namespace
+}  // namespace mars

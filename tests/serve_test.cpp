@@ -12,14 +12,18 @@
 #include "graph/graph_io.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "util/check.h"
 #include "workloads/workloads.h"
 
 namespace mars::serve {
 namespace {
 
 /// Shrunken agent so each test constructs the service in milliseconds.
-ServiceConfig tiny_service_config() {
+/// Tests that assert exact counter values pass a private registry (the
+/// global one accumulates across tests sharing the process).
+ServiceConfig tiny_service_config(obs::MetricsRegistry* metrics = nullptr) {
   ServiceConfig config;
+  config.metrics = metrics;
   config.agent.encoder_hidden = 32;
   config.agent.encoder_layers = 2;
   config.agent.placer_hidden = 32;
@@ -264,7 +268,8 @@ TEST(ServeService, CoarsensLargeGraphsToBudget) {
 }
 
 TEST(ServeService, ErrorResponseIsStructuredAndCounted) {
-  PlacementService service(tiny_service_config());
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
   PlaceResponse r = service.error_response("oops", "line 3: bad things");
   EXPECT_EQ(r.status, PlaceStatus::kError);
   EXPECT_EQ(r.id, "oops");
@@ -292,7 +297,8 @@ TEST(ServeService, BatchStreamWithMalformedRequest) {
   // (truncated: 2 of 3 declared nodes missing)
   write_request(stream, tiny_request("hand_written"));
 
-  PlacementService service(tiny_service_config());
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
   std::istringstream in(stream.str());
   RequestReader reader(in);
   std::vector<PlaceResponse> responses;
@@ -312,7 +318,8 @@ TEST(ServeService, BatchStreamWithMalformedRequest) {
 }
 
 TEST(ServeDaemonTest, ServesConcurrentClientsOverTcp) {
-  PlacementService service(tiny_service_config());
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
   ServerConfig server_config;
   server_config.port = 0;  // ephemeral
   server_config.threads = 4;
@@ -360,6 +367,86 @@ TEST(ServeDaemonTest, MalformedFrameGetsErrorAndConnectionSurvives) {
   daemon.shutdown();
   serve_thread.join();
   EXPECT_GE(service.stats().parse_errors.load(), 1u);
+}
+
+TEST(ServeProtocol, StatsRequestRoundTrip) {
+  StatsRequest request;
+  request.format = "json";
+  const std::string line = stats_request_to_line(request);
+  EXPECT_TRUE(is_stats_request(line));
+  EXPECT_FALSE(is_stats_request("{\"mars_place\":1}"));
+  EXPECT_FALSE(is_stats_request("not json"));
+  EXPECT_EQ(parse_stats_request(line).format, "json");
+  EXPECT_EQ(parse_stats_request("{\"mars_stats\":1}").format, "prometheus");
+  EXPECT_THROW(parse_stats_request("{\"mars_stats\":99}"), CheckError);
+  EXPECT_THROW(parse_stats_request("{\"mars_stats\":1,\"format\":\"xml\"}"),
+               CheckError);
+}
+
+// The tentpole acceptance check: the daemon answers a stats admin request
+// over the same framed protocol with Prometheus metrics whose counts match
+// the traffic just served. A private registry isolates the counts.
+TEST(ServeDaemonTest, StatsAdminRequestScrapesMetrics) {
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
+  ServeDaemon daemon(service, ServerConfig{});
+  std::thread serve_thread([&] { daemon.serve(); });
+
+  {
+    PlaceClient client("127.0.0.1", daemon.port());
+    EXPECT_EQ(client.place(tiny_request("one")).status, PlaceStatus::kOk);
+    EXPECT_EQ(client.place(tiny_request("two")).status, PlaceStatus::kOk);
+
+    const std::string text = client.stats();
+    EXPECT_NE(text.find("# TYPE mars_serve_requests_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("mars_serve_requests_total 2\n"), std::string::npos);
+    EXPECT_NE(text.find("mars_serve_ok_total 2\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE mars_serve_request_latency_ms histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("mars_serve_request_latency_ms_count 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("mars_serve_request_latency_ms_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+
+    // The scrape itself is admin traffic: it must not count as a request.
+    EXPECT_EQ(registry.counter("mars_serve_requests_total", "").load(), 2u);
+
+    // JSON format renders the same registry as one line.
+    const std::string json = client.stats("json");
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+    EXPECT_NE(json.find("\"mars_serve_requests_total\":2"),
+              std::string::npos);
+
+    // A bad format string gets a structured error response, not a hangup.
+    const std::string bad = client.stats("xml");
+    const PlaceResponse err = response_from_line(bad);
+    EXPECT_EQ(err.status, PlaceStatus::kError);
+    EXPECT_NE(err.error.find("xml"), std::string::npos);
+
+    // The connection still serves placements after admin traffic.
+    EXPECT_EQ(client.place(tiny_request("three")).status, PlaceStatus::kOk);
+  }
+  daemon.shutdown();
+  serve_thread.join();
+  EXPECT_EQ(service.stats().requests.load(), 3u);
+}
+
+// Two services on distinct registries never share counters; two on the
+// same registry aggregate into the same series.
+TEST(ServeService, PrivateRegistriesIsolateCounts) {
+  obs::MetricsRegistry a_registry, shared;
+  PlacementService a(tiny_service_config(&a_registry));
+  PlacementService b(tiny_service_config(&shared));
+  PlacementService c(tiny_service_config(&shared));
+
+  EXPECT_EQ(a.handle(tiny_request("a")).status, PlaceStatus::kOk);
+  EXPECT_EQ(b.handle(tiny_request("b")).status, PlaceStatus::kOk);
+  EXPECT_EQ(c.handle(tiny_request("c")).status, PlaceStatus::kOk);
+  EXPECT_EQ(a.stats().requests.load(), 1u);
+  EXPECT_EQ(b.stats().requests.load(), 2u);  // shared with c
+  EXPECT_EQ(&b.stats().requests, &c.stats().requests);
+  EXPECT_NE(&a.stats().requests, &b.stats().requests);
 }
 
 }  // namespace

@@ -1,11 +1,14 @@
 // Tests for the utility layer: RNG, CLI parsing, CSV writing, thread pool,
 // logging, and runtime checks.
+#include <algorithm>
 #include <atomic>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -211,6 +214,68 @@ TEST(Logging, LevelFilters) {
   EXPECT_EQ(log_level(), LogLevel::kError);
   MARS_DEBUG << "should be dropped silently";
   set_log_level(before);
+}
+
+TEST(Logging, ParseLogLevelAcceptsNamesAndDigits) {
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn", LogLevel::kInfo), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning", LogLevel::kInfo), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("0", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("3", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("verbose", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level(nullptr, LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(Logging, FormatPinsTimestampLevelThreadPrefix) {
+  const std::string line =
+      detail::format_log_line(LogLevel::kWarn, "hello world");
+  // "YYYY-MM-DDTHH:MM:SS.mmmZ LEVEL tNN msg\n" — one record, one line.
+  ASSERT_GE(line.size(), 25u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[7], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[13], ':');
+  EXPECT_EQ(line[16], ':');
+  EXPECT_EQ(line[19], '.');
+  EXPECT_EQ(line[23], 'Z');
+  EXPECT_NE(line.find(" WARN "), std::string::npos);
+  EXPECT_NE(line.find(" t"), std::string::npos);
+  EXPECT_NE(line.find(" hello world\n"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+}
+
+TEST(ThreadPool, PublishesTaskMetricsOnGlobalRegistry) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& tasks = registry.counter("mars_threadpool_tasks_total", "");
+  obs::Gauge& depth = registry.gauge("mars_threadpool_queue_depth", "");
+  const uint64_t tasks_before = tasks.load();
+  {
+    ThreadPool pool(2);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 16; ++i)
+      futures.push_back(pool.submit([i] { return i; }));
+    for (auto& f : futures) (void)f.get();
+    pool.parallel_for(8, [](size_t) {});
+  }
+  EXPECT_GE(tasks.load(), tasks_before + 16);
+  EXPECT_DOUBLE_EQ(depth.load(), 0.0);  // every enqueue matched by a dequeue
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("mars_threadpool_task_latency_ms_count"),
+            std::string::npos);
+}
+
+TEST(Logging, ThreadIdsAreSmallStableAndDistinct) {
+  const int mine = detail::thread_log_id();
+  EXPECT_EQ(detail::thread_log_id(), mine);  // stable per thread
+  int other = -1;
+  std::thread t([&] { other = detail::thread_log_id(); });
+  t.join();
+  EXPECT_NE(other, mine);
+  EXPECT_GE(other, 0);
 }
 
 }  // namespace
