@@ -35,6 +35,16 @@ OptimizeConfig Profile::optimize_config(const std::string& workload) const {
   return c;
 }
 
+CheckpointingConfig Profile::checkpointing(const std::string& workload,
+                                           const std::string& method) const {
+  CheckpointingConfig c;
+  if (checkpoint_dir.empty()) return c;
+  c.dir = checkpoint_dir + "/" + workload + "_" + method;
+  c.every_rounds = checkpoint_every > 0 ? checkpoint_every : 5;
+  c.resume = resume;
+  return c;
+}
+
 unsigned Profile::run_workers() const {
   return threads ? threads
                  : std::max(1u, std::thread::hardware_concurrency());
@@ -66,6 +76,11 @@ Profile parse_profile(const CliArgs& args) {
               << "concurrency";
   p.threads = static_cast<unsigned>(std::max(0, threads));
   p.csv_path = args.get("csv", "");
+  p.checkpoint_dir = args.get("checkpoint-dir", "");
+  p.checkpoint_every = args.get_int("checkpoint-every", 5);
+  p.resume = args.get_bool("resume", false);
+  if (p.resume && p.checkpoint_dir.empty())
+    MARS_WARN << "--resume without --checkpoint-dir has no effect";
   args.warn_unused();
   return p;
 }
@@ -103,6 +118,8 @@ MethodResult run_mars_method(const BenchEnv& env, const Profile& profile,
   MarsConfig cfg = profile.mars_config();
   cfg.pretrain = pretrain;
   cfg.optimize = profile.optimize_config(env.graph.name());
+  cfg.optimize.checkpoint = profile.checkpointing(
+      env.graph.name(), pretrain ? "mars" : "mars_no_pretrain");
   auto runner = env.make_runner();
   MarsRunResult r = run_mars(env.graph, *runner, cfg, seed);
   MethodResult out;
@@ -122,9 +139,9 @@ MethodResult run_grouper_placer(const BenchEnv& env, const Profile& profile,
   auto runner = env.make_runner();
   MethodResult out;
   out.method = "grouper_placer";
-  out.optimize = optimize_placement(
-      *agent, *runner, profile.optimize_config(env.graph.name()),
-      rng.next_u64());
+  OptimizeConfig oc = profile.optimize_config(env.graph.name());
+  oc.checkpoint = profile.checkpointing(env.graph.name(), "grouper_placer");
+  out.optimize = optimize_placement(*agent, *runner, oc, rng.next_u64());
   return out;
 }
 
@@ -138,6 +155,7 @@ MethodResult run_encoder_placer(const BenchEnv& env, const Profile& profile,
   MethodResult out;
   out.method = "encoder_placer";
   OptimizeConfig oc = profile.optimize_config(env.graph.name());
+  oc.checkpoint = profile.checkpointing(env.graph.name(), "encoder_placer");
   // The Transformer-XL placer converges far more slowly (the paper's Fig. 7
   // shows ~25x more steps on Inception); give it 1.5x the round budget so
   // Table 2 reflects quality closer to convergence, as the paper's

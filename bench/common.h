@@ -12,6 +12,12 @@
 //                     0 = hardware concurrency (default), 1 = serial.
 //                     Results are bit-identical across thread counts.
 //   --csv PATH        also write machine-readable results
+//   --checkpoint-dir D  write durable training checkpoints per run under
+//                     D/<workload>_<method>/ (see docs/fault_tolerance.md)
+//   --checkpoint-every N  rounds between checkpoints (default 5)
+//   --resume          continue each run from its newest valid checkpoint;
+//                     a killed run resumed this way reproduces the
+//                     uninterrupted output bit-identically
 #pragma once
 
 #include <map>
@@ -23,6 +29,7 @@
 #include "baselines/factories.h"
 #include "baselines/static_placements.h"
 #include "core/mars.h"
+#include "rl/checkpoint.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "workloads/workloads.h"
@@ -37,11 +44,19 @@ struct Profile {
   uint64_t seed = 1;
   unsigned threads = 0;   // trial-evaluation workers; 0 = hw concurrency
   std::string csv_path;
+  // Fault tolerance (docs/fault_tolerance.md): empty dir disables.
+  std::string checkpoint_dir;
+  int checkpoint_every = 5;
+  bool resume = false;
 
   MarsConfig mars_config() const;
   BaselineScale baseline_scale() const;
   OptimizeConfig optimize_config(const std::string& workload) const;
   int coarsen_budget(const std::string& workload) const;
+  /// Checkpointing policy for one training run; each run gets its own
+  /// subdirectory so concurrent method runs never collide.
+  CheckpointingConfig checkpointing(const std::string& workload,
+                                    const std::string& method) const;
   /// Worker count for harness-level parallelism over independent runs.
   unsigned run_workers() const;
 };

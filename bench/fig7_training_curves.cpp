@@ -8,6 +8,12 @@
 // harness fans them out over a thread pool (--threads; on top of each run's
 // own parallel trial evaluation). Per-run results are bit-identical to a
 // serial --threads 1 execution.
+//
+// Fault tolerance: with --checkpoint-dir D each run checkpoints every
+// --checkpoint-every rounds under D/<workload>_<method>/; re-running with
+// --resume after a crash (even kill -9) continues from the newest valid
+// checkpoint and emits a CSV bit-identical to an uninterrupted run
+// (docs/fault_tolerance.md).
 #include <cstdio>
 #include <functional>
 

@@ -9,6 +9,11 @@
 // report their full budget (marked ">"). This mirrors the paper's
 // train-until-converged protocol while keeping the comparison at equal
 // placement quality.
+//
+// Fault tolerance: --checkpoint-dir/--checkpoint-every/--resume checkpoint
+// each training run and continue it after a crash; resumed runs restore
+// their accumulated env/agent seconds, so the reported training times
+// match an uninterrupted run (docs/fault_tolerance.md).
 #include <cstdio>
 
 #include "common.h"

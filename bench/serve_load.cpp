@@ -7,8 +7,17 @@
 // percentiles plus the service's own counters. Point it at an external
 // daemon with --host/--port instead.
 //
+// Clients use the retrying PlaceClient (--timeout-s per-attempt deadline,
+// --retries with exponential backoff), and --reloads N fires hot-reload
+// admin frames (--reload-path, default --checkpoint) from a side thread
+// while the load is running — the acceptance gate for hot reload is zero
+// failed well-formed requests during the swaps. Client retry/reconnect
+// counters and the daemon's mars_serve_reload_* counters are printed at
+// the end.
+//
 // Run: build/bench/serve_load --clients 8 --requests 40
 //      build/bench/serve_load --workloads gnmt,vgg16 --refine 32 --no-cache
+//      build/bench/serve_load --checkpoint agent.mars --reloads 5
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -89,6 +98,14 @@ int main(int argc, char** argv) {
   const unsigned daemon_threads =
       static_cast<unsigned>(args.get_int("threads", 0));
   const std::string checkpoint = args.get("checkpoint", "");
+  serve::ClientConfig client_config;
+  client_config.request_timeout_s =
+      args.get_double("timeout-s", client_config.request_timeout_s);
+  client_config.max_retries =
+      args.get_int("retries", client_config.max_retries);
+  const int reloads = args.get_int("reloads", 0);
+  const std::string reload_path = args.get("reload-path", checkpoint);
+  const int reload_interval_ms = args.get_int("reload-interval-ms", 100);
   args.warn_unused();
   MARS_CHECK_MSG(clients > 0 && per_client > 0,
                  "--clients and --requests must be positive");
@@ -134,13 +151,17 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<double>> latencies(
       static_cast<size_t>(clients));
+  std::vector<serve::ClientCounters> counters(static_cast<size_t>(clients));
   std::atomic<int> failures{0};
+  std::atomic<bool> load_done{false};
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       try {
-        serve::PlaceClient client(host, port);
+        serve::ClientConfig cc = client_config;
+        cc.jitter_seed += static_cast<uint64_t>(c);  // decorrelate backoff
+        serve::PlaceClient client(host, port, cc);
         auto& mine = latencies[static_cast<size_t>(c)];
         mine.reserve(static_cast<size_t>(per_client));
         for (int i = 0; i < per_client; ++i) {
@@ -156,13 +177,42 @@ int main(int argc, char** argv) {
           }
           mine.push_back(ms.count());
         }
+        counters[static_cast<size_t>(c)] = client.counters();
       } catch (const CheckError& e) {
         MARS_ERROR << "client " << c << ": " << e.what();
         failures.fetch_add(per_client);
       }
     });
   }
+
+  // Hot reloads while the load runs: the gate is that none of the
+  // placement requests above fail during the swaps.
+  int reload_ok = 0, reload_fail = 0;
+  std::thread reload_thread;
+  if (reloads > 0) {
+    reload_thread = std::thread([&] {
+      try {
+        serve::PlaceClient admin(host, port, client_config);
+        for (int i = 0; i < reloads && !load_done.load(); ++i) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(reload_interval_ms));
+          const serve::ReloadResponse r = admin.reload(reload_path);
+          if (r.ok) {
+            ++reload_ok;
+          } else {
+            ++reload_fail;
+            MARS_WARN << "reload " << i << " rejected: " << r.message;
+          }
+        }
+      } catch (const CheckError& e) {
+        MARS_ERROR << "reload client: " << e.what();
+      }
+    });
+  }
+
   for (auto& t : threads) t.join();
+  load_done.store(true);
+  if (reload_thread.joinable()) reload_thread.join();
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - t0;
 
@@ -180,6 +230,22 @@ int main(int argc, char** argv) {
                 percentile_sorted(all, 0.50), percentile_sorted(all, 0.95),
                 percentile_sorted(all, 0.99), all.back());
     print_scraped_latency(host, port);
+  }
+  serve::ClientCounters totals;
+  for (const auto& cc : counters) {
+    totals.retries += cc.retries;
+    totals.reconnects += cc.reconnects;
+    totals.deadline_exceeded += cc.deadline_exceeded;
+  }
+  std::printf(
+      "client counters: retries %lld  reconnects %lld  deadline_exceeded "
+      "%lld\n",
+      static_cast<long long>(totals.retries),
+      static_cast<long long>(totals.reconnects),
+      static_cast<long long>(totals.deadline_exceeded));
+  if (reloads > 0) {
+    std::printf("hot reloads: %d ok, %d rejected (of %d requested)\n",
+                reload_ok, reload_fail, reloads);
   }
 
   if (daemon) {

@@ -55,4 +55,35 @@ void Adam::zero_grad() {
   for (auto& p : params_) p.zero_grad();
 }
 
+double Adam::grad_norm() const {
+  double sq = 0.0;
+  for (const auto& p : params_) {
+    Tensor t = p;  // shared handle; grad() is non-const on Tensor
+    const float* g = t.grad();
+    for (int64_t i = 0; i < t.numel(); ++i) sq += double(g[i]) * double(g[i]);
+  }
+  return std::sqrt(sq);
+}
+
+AdamState Adam::export_state() const {
+  AdamState state;
+  state.t = t_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+bool Adam::import_state(const AdamState& state) {
+  if (state.m.size() != params_.size() || state.v.size() != params_.size())
+    return false;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const auto numel = static_cast<size_t>(params_[i].numel());
+    if (state.m[i].size() != numel || state.v[i].size() != numel) return false;
+  }
+  t_ = state.t;
+  m_ = state.m;
+  v_ = state.v;
+  return true;
+}
+
 }  // namespace mars

@@ -15,6 +15,14 @@ struct AdamConfig {
   float clip_norm = 1.0f;  // paper: gradient clipping with a 1.0 norm; <=0 off
 };
 
+/// Optimizer state captured for checkpointing: resuming a run with the same
+/// moments (not just the same weights) is what makes training bit-identical
+/// across an interruption.
+struct AdamState {
+  int64_t t = 0;
+  std::vector<std::vector<float>> m, v;
+};
+
 class Adam {
  public:
   Adam(std::vector<Tensor> params, AdamConfig config = {});
@@ -26,6 +34,16 @@ class Adam {
   int64_t steps_taken() const { return t_; }
   const AdamConfig& config() const { return config_; }
   void set_lr(float lr) { config_.lr = lr; }
+
+  /// Current global gradient norm, without touching any state. Lets a
+  /// trainer veto an update whose gradients went NaN/Inf before step()
+  /// would fold them into the moments.
+  double grad_norm() const;
+
+  AdamState export_state() const;
+  /// Restores state captured by export_state; false (and no change) when
+  /// the moment shapes don't match this optimizer's parameters.
+  bool import_state(const AdamState& state);
 
  private:
   std::vector<Tensor> params_;

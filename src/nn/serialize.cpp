@@ -1,63 +1,477 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
-#include <fstream>
+#include <fcntl.h>
+#include <unistd.h>
 
-#include "util/check.h"
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.h"
 
 namespace mars {
 
-namespace {
-constexpr uint32_t kMagic = 0x4d415253;  // "MARS"
+// Bulk tensor data is memcpy'd; scalar fields are packed byte-wise as
+// little-endian, so the two must agree on byte order.
+static_assert(std::endian::native == std::endian::little,
+              "checkpoint format assumes a little-endian host");
 
-void write_u32(std::ostream& out, uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+namespace {
+
+constexpr uint32_t kMagic = 0x4d415253;    // "MARS"
+constexpr uint32_t kFormatVersion = 2;     // v1: unversioned, no CRCs
+constexpr size_t kHeaderBytes = 16;        // magic, version, count, crc
+constexpr size_t kRecordOverhead = 12;     // name_len, payload_len, crc
+constexpr const char* kParamPrefix = "param:";
+
+void append_u32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
 }
-uint32_t read_u32(std::istream& in) {
-  uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  return v;
+
+uint32_t parse_u32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
 }
+
+// ---- Fault injection state ----
+
+CkptFault g_fault = CkptFault::kNone;
+size_t g_fault_bytes = 0;
+
+/// Effective fault for this write: the programmatic hook when set,
+/// otherwise the MARS_CKPT_FAULT env var ("io" | "truncate:<bytes>").
+CkptFault effective_fault(size_t* truncate_bytes) {
+  if (g_fault != CkptFault::kNone) {
+    *truncate_bytes = g_fault_bytes;
+    return g_fault;
+  }
+  const char* env = std::getenv("MARS_CKPT_FAULT");
+  if (!env || !*env) return CkptFault::kNone;
+  if (std::strcmp(env, "io") == 0) return CkptFault::kIoError;
+  if (std::strncmp(env, "truncate:", 9) == 0) {
+    *truncate_bytes = static_cast<size_t>(std::strtoull(env + 9, nullptr, 10));
+    return CkptFault::kTruncate;
+  }
+  return CkptFault::kNone;
+}
+
+bool write_fully(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable. Failure is ignored: not all filesystems support it.
+void sync_parent_dir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
 }  // namespace
 
-bool save_parameters(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  write_u32(out, kMagic);
-  write_u32(out, static_cast<uint32_t>(module.named_parameters().size()));
-  for (const auto& p : module.named_parameters()) {
-    write_u32(out, static_cast<uint32_t>(p.name.size()));
-    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
-    write_u32(out, static_cast<uint32_t>(p.tensor.numel()));
-    out.write(reinterpret_cast<const char*>(p.tensor.data()),
-              static_cast<std::streamsize>(p.tensor.numel() * sizeof(float)));
+const char* to_string(CkptStatus status) {
+  switch (status) {
+    case CkptStatus::kOk: return "ok";
+    case CkptStatus::kIoError: return "io_error";
+    case CkptStatus::kCorrupt: return "corrupt";
+    case CkptStatus::kMismatch: return "mismatch";
   }
-  return static_cast<bool>(out);
+  return "unknown";
 }
 
-bool load_parameters(Module& module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  MARS_CHECK_MSG(read_u32(in) == kMagic, "bad checkpoint magic in " << path);
-  const uint32_t count = read_u32(in);
-  MARS_CHECK_MSG(count == module.named_parameters().size(),
-                 "checkpoint has " << count << " params, module has "
-                                   << module.named_parameters().size());
-  for (const auto& p : module.named_parameters()) {
-    const uint32_t name_len = read_u32(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    MARS_CHECK_MSG(name == p.name,
-                   "checkpoint param '" << name << "' != module param '"
-                                        << p.name << "'");
-    const uint32_t numel = read_u32(in);
-    MARS_CHECK_MSG(numel == static_cast<uint32_t>(p.tensor.numel()),
-                   "size mismatch for " << name);
-    Tensor t = p.tensor;  // shared handle; writes through to the module
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(numel * sizeof(float)));
+// ---- BlobWriter ----
+
+void BlobWriter::put_u32(uint32_t v) { append_u32(buf_, v); }
+
+void BlobWriter::put_u64(uint64_t v) {
+  put_u32(static_cast<uint32_t>(v & 0xffffffffu));
+  put_u32(static_cast<uint32_t>(v >> 32));
+}
+
+void BlobWriter::put_f32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(bits);
+}
+
+void BlobWriter::put_f64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits);
+}
+
+void BlobWriter::put_bytes(const void* data, size_t len) {
+  buf_.append(static_cast<const char*>(data), len);
+}
+
+void BlobWriter::put_string(const std::string& s) {
+  put_u32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void BlobWriter::put_f32s(const float* data, size_t count) {
+  put_u64(count);
+  put_bytes(data, count * sizeof(float));
+}
+
+void BlobWriter::put_i32s(const std::vector<int>& values) {
+  put_u64(values.size());
+  for (int v : values) put_u32(static_cast<uint32_t>(v));
+}
+
+void BlobWriter::put_f64s(const std::vector<double>& values) {
+  put_u64(values.size());
+  for (double v : values) put_f64(v);
+}
+
+void BlobWriter::put_i64s(const std::vector<int64_t>& values) {
+  put_u64(values.size());
+  for (int64_t v : values) put_i64(v);
+}
+
+// ---- BlobReader ----
+
+bool BlobReader::take(void* out, size_t len) {
+  if (failed_ || len > buf_->size() - pos_) {
+    failed_ = true;
+    return false;
   }
-  return static_cast<bool>(in);
+  std::memcpy(out, buf_->data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+uint8_t BlobReader::u8() {
+  uint8_t v = 0;
+  take(&v, 1);
+  return v;
+}
+
+uint32_t BlobReader::u32() {
+  char raw[4];
+  if (!take(raw, 4)) return 0;
+  return parse_u32(raw);
+}
+
+uint64_t BlobReader::u64() {
+  const uint64_t lo = u32();
+  const uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+float BlobReader::f32() {
+  const uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double BlobReader::f64() {
+  const uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string BlobReader::str() {
+  const uint32_t len = u32();
+  if (failed_ || len > remaining()) {
+    failed_ = true;
+    return {};
+  }
+  std::string s(buf_->data() + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+bool BlobReader::read_f32s(std::vector<float>* out) {
+  const uint64_t count = u64();
+  if (failed_ || count * sizeof(float) > remaining()) {
+    failed_ = true;
+    return false;
+  }
+  out->resize(static_cast<size_t>(count));
+  return take(out->data(), static_cast<size_t>(count) * sizeof(float));
+}
+
+bool BlobReader::read_f32s_into(float* out, size_t expected_count) {
+  const uint64_t count = u64();
+  if (failed_ || count != expected_count ||
+      count * sizeof(float) > remaining()) {
+    failed_ = true;
+    return false;
+  }
+  return take(out, expected_count * sizeof(float));
+}
+
+bool BlobReader::read_i32s(std::vector<int>* out) {
+  const uint64_t count = u64();
+  if (failed_ || count * 4 > remaining()) {
+    failed_ = true;
+    return false;
+  }
+  out->resize(static_cast<size_t>(count));
+  for (auto& v : *out) v = static_cast<int>(u32());
+  return !failed_;
+}
+
+bool BlobReader::read_f64s(std::vector<double>* out) {
+  const uint64_t count = u64();
+  if (failed_ || count * 8 > remaining()) {
+    failed_ = true;
+    return false;
+  }
+  out->resize(static_cast<size_t>(count));
+  for (auto& v : *out) v = f64();
+  return !failed_;
+}
+
+bool BlobReader::read_i64s(std::vector<int64_t>* out) {
+  const uint64_t count = u64();
+  if (failed_ || count * 8 > remaining()) {
+    failed_ = true;
+    return false;
+  }
+  out->resize(static_cast<size_t>(count));
+  for (auto& v : *out) v = i64();
+  return !failed_;
+}
+
+// ---- CheckpointWriter ----
+
+void CheckpointWriter::add(const std::string& name, std::string payload) {
+  records_.emplace_back(name, std::move(payload));
+}
+
+std::string CheckpointWriter::serialize() const {
+  std::string out;
+  append_u32(out, kMagic);
+  append_u32(out, kFormatVersion);
+  append_u32(out, static_cast<uint32_t>(records_.size()));
+  append_u32(out, crc32(out.data(), out.size()));
+  for (const auto& [name, payload] : records_) {
+    append_u32(out, static_cast<uint32_t>(name.size()));
+    append_u32(out, static_cast<uint32_t>(payload.size()));
+    out.append(name);
+    out.append(payload);
+    uint32_t crc = crc32(name.data(), name.size());
+    crc = crc32_update(crc, payload.data(), payload.size());
+    append_u32(out, crc);
+  }
+  append_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+CkptResult CheckpointWriter::write_file(const std::string& path) const {
+  std::string bytes = serialize();
+
+  size_t truncate_bytes = 0;
+  const CkptFault fault = effective_fault(&truncate_bytes);
+  if (fault == CkptFault::kTruncate && truncate_bytes < bytes.size())
+    bytes.resize(truncate_bytes);
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    return CkptResult::fail(CkptStatus::kIoError,
+                            "cannot create '" + tmp + "': " +
+                                std::strerror(errno));
+
+  bool io_ok = true;
+  std::string io_msg;
+  if (fault == CkptFault::kIoError) {
+    // Simulate a device error mid-stream: write half, then fail.
+    write_fully(fd, bytes.data(), bytes.size() / 2);
+    io_ok = false;
+    io_msg = "injected I/O fault";
+  } else if (!write_fully(fd, bytes.data(), bytes.size())) {
+    io_ok = false;
+    io_msg = std::string("write '") + tmp + "': " + std::strerror(errno);
+  }
+  if (io_ok && ::fsync(fd) != 0) {
+    io_ok = false;
+    io_msg = std::string("fsync '") + tmp + "': " + std::strerror(errno);
+  }
+  ::close(fd);
+  if (!io_ok) {
+    ::unlink(tmp.c_str());  // a failed save must never leave a .tmp behind
+    return CkptResult::fail(CkptStatus::kIoError, io_msg);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string msg = std::string("rename '") + tmp + "' -> '" + path +
+                            "': " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return CkptResult::fail(CkptStatus::kIoError, msg);
+  }
+  sync_parent_dir(path);
+  return CkptResult::success();
+}
+
+// ---- CheckpointReader ----
+
+CkptResult CheckpointReader::open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return CkptResult::fail(CkptStatus::kIoError,
+                            "cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad())
+    return CkptResult::fail(CkptStatus::kIoError, "cannot read '" + path + "'");
+  CkptResult result = parse(buf.str());
+  if (!result.ok() && result.message.find(path) == std::string::npos)
+    result.message += " in '" + path + "'";
+  return result;
+}
+
+CkptResult CheckpointReader::parse(std::string bytes) {
+  records_.clear();
+  index_.clear();
+  const auto corrupt = [](const std::string& msg) {
+    return CkptResult::fail(CkptStatus::kCorrupt, msg);
+  };
+  if (bytes.size() < kHeaderBytes + 4)
+    return corrupt("truncated checkpoint (" + std::to_string(bytes.size()) +
+                   " bytes)");
+  if (parse_u32(bytes.data()) != kMagic)
+    return corrupt("bad magic (not a MARS checkpoint)");
+  const uint32_t version = parse_u32(bytes.data() + 4);
+  if (version != kFormatVersion)
+    return corrupt("unsupported checkpoint version " +
+                   std::to_string(version));
+  if (parse_u32(bytes.data() + 12) != crc32(bytes.data(), 12))
+    return corrupt("header CRC mismatch");
+  const uint32_t declared_count = parse_u32(bytes.data() + 8);
+
+  // Whole-file CRC first: any truncation or bit flip anywhere is caught
+  // before record parsing even starts.
+  const size_t body_end = bytes.size() - 4;
+  if (parse_u32(bytes.data() + body_end) != crc32(bytes.data(), body_end))
+    return corrupt("file CRC mismatch (truncated or corrupt)");
+
+  size_t pos = kHeaderBytes;
+  for (uint32_t r = 0; r < declared_count; ++r) {
+    if (body_end - pos < kRecordOverhead)
+      return corrupt("record " + std::to_string(r) + " header out of bounds");
+    const uint32_t name_len = parse_u32(bytes.data() + pos);
+    const uint32_t payload_len = parse_u32(bytes.data() + pos + 4);
+    pos += 8;
+    // Guard the additions: lengths are attacker-controlled u32s.
+    if (name_len > body_end - pos || payload_len > body_end - pos - name_len ||
+        body_end - pos - name_len - payload_len < 4)
+      return corrupt("record " + std::to_string(r) + " body out of bounds");
+    std::string name(bytes.data() + pos, name_len);
+    std::string payload(bytes.data() + pos + name_len, payload_len);
+    pos += name_len + payload_len;
+    uint32_t crc = crc32(name.data(), name.size());
+    crc = crc32_update(crc, payload.data(), payload.size());
+    if (parse_u32(bytes.data() + pos) != crc)
+      return corrupt("record '" + name + "' CRC mismatch");
+    pos += 4;
+    if (!index_.emplace(name, records_.size()).second)
+      return corrupt("duplicate record '" + name + "'");
+    records_.emplace_back(std::move(name), std::move(payload));
+  }
+  if (pos != body_end)
+    return corrupt("trailing bytes after last record");
+  return CkptResult::success();
+}
+
+const std::string* CheckpointReader::find(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &records_[it->second].second;
+}
+
+// ---- Fault injection ----
+
+void set_checkpoint_fault(CkptFault fault, size_t truncate_bytes) {
+  g_fault = fault;
+  g_fault_bytes = truncate_bytes;
+}
+
+// ---- Module parameters ----
+
+void add_parameter_records(CheckpointWriter& writer, const Module& module) {
+  for (const auto& p : module.named_parameters()) {
+    BlobWriter blob;
+    blob.put_f32s(p.tensor.data(), static_cast<size_t>(p.tensor.numel()));
+    writer.add(kParamPrefix + p.name, blob.take());
+  }
+}
+
+CkptResult load_parameter_records(const CheckpointReader& reader,
+                                  Module& module) {
+  size_t param_records = 0;
+  for (const auto& [name, payload] : reader.records())
+    if (name.rfind(kParamPrefix, 0) == 0) ++param_records;
+  if (param_records != module.named_parameters().size())
+    return CkptResult::fail(
+        CkptStatus::kMismatch,
+        "checkpoint has " + std::to_string(param_records) +
+            " params, module has " +
+            std::to_string(module.named_parameters().size()));
+
+  // Validate every record before touching the module, so a mismatch leaves
+  // the current weights fully intact.
+  std::vector<std::vector<float>> staged(module.named_parameters().size());
+  size_t i = 0;
+  for (const auto& p : module.named_parameters()) {
+    const std::string* payload = reader.find(kParamPrefix + p.name);
+    if (!payload)
+      return CkptResult::fail(CkptStatus::kMismatch,
+                              "checkpoint missing param '" + p.name + "'");
+    BlobReader blob(*payload);
+    staged[i].resize(static_cast<size_t>(p.tensor.numel()));
+    if (!blob.read_f32s_into(staged[i].data(), staged[i].size()) ||
+        !blob.at_end())
+      return CkptResult::fail(CkptStatus::kMismatch,
+                              "size mismatch for param '" + p.name + "'");
+    ++i;
+  }
+  i = 0;
+  for (const auto& p : module.named_parameters()) {
+    Tensor t = p.tensor;  // shared handle; writes through to the module
+    std::memcpy(t.data(), staged[i].data(), staged[i].size() * sizeof(float));
+    ++i;
+  }
+  return CkptResult::success();
+}
+
+CkptResult save_parameters(const Module& module, const std::string& path) {
+  CheckpointWriter writer;
+  add_parameter_records(writer, module);
+  return writer.write_file(path);
+}
+
+CkptResult load_parameters(Module& module, const std::string& path) {
+  CheckpointReader reader;
+  CkptResult result = reader.open(path);
+  if (!result.ok()) return result;
+  return load_parameter_records(reader, module);
 }
 
 }  // namespace mars

@@ -1,18 +1,196 @@
-// Binary parameter checkpointing (agent save / load for transfer learning).
+// Durable, verifiable checkpoint files.
+//
+// A checkpoint is a record-oriented binary container (format v2):
+//
+//   u32 magic 'MARS' | u32 version | u32 record_count | u32 header_crc
+//   per record: u32 name_len | u32 payload_len | name | payload
+//               | u32 crc32(name + payload)
+//   u32 file_crc (over every preceding byte)
+//
+// Every load verifies the header CRC, each record CRC and the whole-file
+// CRC, so truncated, bit-flipped or foreign files are rejected with a typed
+// error — never crashed on, never loaded as garbage weights. Writes are
+// atomic: the container is serialized to `path.tmp`, flushed to disk and
+// renamed over `path`, so a crash mid-save can never clobber the previous
+// valid checkpoint, and a failed save always unlinks its `.tmp`.
+//
+// Module parameters are stored one record per named parameter
+// ("param:<name>"); higher layers (rl/checkpoint.h, trainer state) add
+// their own records to the same container, which is why load_parameters
+// can serve a full training checkpoint directly.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "nn/module.h"
 
 namespace mars {
 
-/// Writes the module's named parameters to `path` (simple tagged binary).
-/// Returns false on I/O failure.
-bool save_parameters(const Module& module, const std::string& path);
+/// Why a checkpoint operation failed.
+enum class CkptStatus {
+  kOk,
+  kIoError,   ///< open/write/read/rename failure (errno-level)
+  kCorrupt,   ///< bad magic/version/CRC/bounds — not a valid checkpoint
+  kMismatch,  ///< valid file, but its records don't fit the target module
+};
 
-/// Loads parameters written by save_parameters. Shapes and names must match
-/// the module exactly; throws CheckError on structural mismatch.
-bool load_parameters(Module& module, const std::string& path);
+/// Typed outcome shared by every save/load entry point (satisfying both the
+/// "I/O failure" and "structural mismatch" cases through one channel).
+struct CkptResult {
+  CkptStatus status = CkptStatus::kOk;
+  std::string message;
+
+  bool ok() const { return status == CkptStatus::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  static CkptResult success() { return {}; }
+  static CkptResult fail(CkptStatus status, std::string message) {
+    return {status, std::move(message)};
+  }
+};
+
+const char* to_string(CkptStatus status);
+
+/// Append-only byte builder for one record payload. All integers are
+/// little-endian fixed-width, so checkpoints are portable across the
+/// platforms this project targets.
+class BlobWriter {
+ public:
+  void put_u8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_u32(uint32_t v);
+  void put_u64(uint64_t v);
+  void put_i64(int64_t v) { put_u64(static_cast<uint64_t>(v)); }
+  void put_f32(float v);
+  void put_f64(double v);
+  void put_bytes(const void* data, size_t len);
+  /// u32 length prefix + raw bytes.
+  void put_string(const std::string& s);
+  /// u64 count prefix + raw f32 data.
+  void put_f32s(const float* data, size_t count);
+  /// u64 count prefix + i32 entries (placements, internal actions).
+  void put_i32s(const std::vector<int>& values);
+  void put_f64s(const std::vector<double>& values);
+  void put_i64s(const std::vector<int64_t>& values);
+
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over one record payload. Reads past the end set a
+/// sticky failure flag and return zero values instead of overrunning, so
+/// decoding a hostile payload is always safe; callers check failed() (or
+/// the bool-returning bulk reads) before trusting the result.
+class BlobReader {
+ public:
+  explicit BlobReader(const std::string& payload) : buf_(&payload) {}
+
+  uint8_t u8();
+  bool boolean() { return u8() != 0; }
+  uint32_t u32();
+  uint64_t u64();
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  float f32();
+  double f64();
+  std::string str();
+  bool read_f32s(std::vector<float>* out);
+  bool read_f32s_into(float* out, size_t expected_count);
+  bool read_i32s(std::vector<int>* out);
+  bool read_f64s(std::vector<double>* out);
+  bool read_i64s(std::vector<int64_t>* out);
+
+  bool failed() const { return failed_; }
+  bool at_end() const { return !failed_ && pos_ == buf_->size(); }
+  size_t remaining() const { return buf_->size() - pos_; }
+
+ private:
+  bool take(void* out, size_t len);
+
+  const std::string* buf_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Builds a checkpoint container record by record and publishes it
+/// atomically. Record names must be unique within one container.
+class CheckpointWriter {
+ public:
+  void add(const std::string& name, std::string payload);
+
+  /// Full container bytes (header + records + trailing CRC).
+  std::string serialize() const;
+
+  /// Atomic publication: serialize to `path.tmp`, fsync, rename over
+  /// `path`. On any failure the `.tmp` file is unlinked and a typed error
+  /// returned; `path` is either the complete new checkpoint or untouched.
+  CkptResult write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> records_;
+};
+
+/// Parses and verifies a checkpoint container. open()/parse() reject
+/// truncated, corrupt and foreign files with a typed error; after a
+/// successful open the records are available by name.
+class CheckpointReader {
+ public:
+  CkptResult open(const std::string& path);
+  CkptResult parse(std::string bytes);
+
+  /// Record payload by name; nullptr when absent.
+  const std::string* find(const std::string& name) const;
+  size_t record_count() const { return records_.size(); }
+  const std::vector<std::pair<std::string, std::string>>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> records_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+// ---- Fault injection (tests / CI only) ------------------------------------
+
+/// What CheckpointWriter::write_file should sabotage.
+enum class CkptFault {
+  kNone,
+  /// Fail mid-write with an I/O error (the .tmp must be unlinked).
+  kIoError,
+  /// Publish only the first `bytes` bytes while still reporting success —
+  /// models a torn write the writer never observed (power loss, bad disk).
+  kTruncate,
+};
+
+/// Programmatic hook; overrides the MARS_CKPT_FAULT environment variable
+/// ("io", or "truncate:<bytes>") which covers cross-process CI smokes.
+/// Sticky until reset with kNone.
+void set_checkpoint_fault(CkptFault fault, size_t truncate_bytes = 0);
+
+// ---- Module parameters ----------------------------------------------------
+
+/// Adds one "param:<name>" record per named parameter.
+void add_parameter_records(CheckpointWriter& writer, const Module& module);
+
+/// Restores the module's parameters from a container's "param:" records.
+/// Names, counts and shapes must match exactly (kMismatch otherwise);
+/// records of other kinds (optimizer state, RNG streams) are ignored, so a
+/// full training checkpoint loads anywhere a parameter file does. The
+/// module is untouched unless the result is ok.
+CkptResult load_parameter_records(const CheckpointReader& reader,
+                                  Module& module);
+
+/// Writes the module's named parameters to `path` (atomic, CRC-protected).
+CkptResult save_parameters(const Module& module, const std::string& path);
+
+/// Loads parameters written by save_parameters (or any checkpoint container
+/// with matching "param:" records). Never throws on bad input; corrupt or
+/// incompatible files are reported through the typed result.
+CkptResult load_parameters(Module& module, const std::string& path);
 
 }  // namespace mars

@@ -1,0 +1,85 @@
+#include "rl/checkpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/logging.h"
+
+namespace mars {
+
+namespace {
+
+constexpr const char* kPrefix = "ckpt_round_";
+constexpr const char* kSuffix = ".mars";
+
+/// Round number encoded in a checkpoint file name, or -1.
+int round_of(const std::string& filename) {
+  if (filename.rfind(kPrefix, 0) != 0) return -1;
+  const size_t digits_at = std::strlen(kPrefix);
+  const size_t suffix_at = filename.size() - std::strlen(kSuffix);
+  if (suffix_at <= digits_at ||
+      filename.compare(suffix_at, std::string::npos, kSuffix) != 0)
+    return -1;
+  int round = 0;
+  for (size_t i = digits_at; i < suffix_at; ++i) {
+    if (filename[i] < '0' || filename[i] > '9') return -1;
+    round = round * 10 + (filename[i] - '0');
+  }
+  return round;
+}
+
+}  // namespace
+
+std::string checkpoint_file(const std::string& dir, int round) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%06d%s", kPrefix, round, kSuffix);
+  return dir + "/" + name;
+}
+
+CkptResult ensure_checkpoint_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    return CkptResult::fail(CkptStatus::kIoError, "cannot create checkpoint dir '" +
+                                                      dir + "': " + ec.message());
+  return CkptResult::success();
+}
+
+std::vector<int> list_checkpoint_rounds(const std::string& dir) {
+  std::vector<int> rounds;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const int round = round_of(entry.path().filename().string());
+    if (round >= 0) rounds.push_back(round);
+  }
+  std::sort(rounds.rbegin(), rounds.rend());
+  return rounds;
+}
+
+void apply_checkpoint_retention(const std::string& dir, int keep_last,
+                                int best_round) {
+  std::error_code ec;
+  // Interrupted saves leave `.tmp` files behind only if the process died
+  // mid-write (a failed save unlinks its own); sweep them here.
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kPrefix, 0) == 0 && name.size() > 4 &&
+        name.compare(name.size() - 4, 4, ".tmp") == 0)
+      std::filesystem::remove(entry.path(), ec);
+  }
+  const std::vector<int> rounds = list_checkpoint_rounds(dir);
+  for (size_t i = static_cast<size_t>(std::max(0, keep_last));
+       i < rounds.size(); ++i) {
+    if (rounds[i] == best_round) continue;
+    std::filesystem::remove(checkpoint_file(dir, rounds[i]), ec);
+    if (ec)
+      MARS_WARN << "retention: cannot remove "
+                << checkpoint_file(dir, rounds[i]) << ": " << ec.message();
+  }
+}
+
+}  // namespace mars

@@ -1,0 +1,55 @@
+// Training checkpoint policy: where checkpoints live, how often they are
+// written, and which ones retention keeps.
+//
+// The checkpoint files themselves are MARS containers (nn/serialize.h); the
+// records inside — policy params, Adam moments, RNG streams, the PPO sample
+// buffer, the trial cache and the optimize-loop bookkeeping — are written
+// and read by the trainers and optimize_placement, so that a killed run
+// resumed with CheckpointingConfig::resume reproduces the uninterrupted
+// run's per-round history bit-identically. See docs/fault_tolerance.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/serialize.h"
+
+namespace mars {
+
+struct CheckpointingConfig {
+  /// Directory for checkpoint files; empty disables checkpointing.
+  std::string dir;
+  /// Save after every N completed rounds.
+  int every_rounds = 5;
+  /// Retention: newest checkpoints kept (older ones are deleted).
+  int keep_last = 3;
+  /// Retention: additionally keep the checkpoint whose policy produced the
+  /// best placement so far, even when it ages out of keep_last.
+  bool keep_best = true;
+  /// Resume from the newest valid checkpoint in `dir` (corrupt or
+  /// unreadable files are skipped in favour of older ones).
+  bool resume = false;
+  /// Divergence watchdog: after this many consecutive skipped (NaN/Inf)
+  /// update steps, roll the trainer back to the last good checkpoint.
+  /// 0 disables rollback (bad updates are still skipped and counted).
+  int rollback_after_bad = 8;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Canonical file name for round `round`: `<dir>/ckpt_round_%06d.mars`.
+std::string checkpoint_file(const std::string& dir, int round);
+
+/// Creates `dir` (and missing parents) if needed.
+CkptResult ensure_checkpoint_dir(const std::string& dir);
+
+/// Rounds that have a checkpoint file in `dir`, newest (highest) first.
+std::vector<int> list_checkpoint_rounds(const std::string& dir);
+
+/// Deletes checkpoints beyond the `keep_last` newest, except `best_round`
+/// (pass -1 to protect none), plus any stray `.tmp` files from
+/// interrupted saves.
+void apply_checkpoint_retention(const std::string& dir, int keep_last,
+                                int best_round);
+
+}  // namespace mars

@@ -125,4 +125,104 @@ EnvBatchStats TrialEnv::evaluate_batch(std::span<const Placement> placements,
   return stats;
 }
 
+namespace {
+
+constexpr uint32_t kEnvStateSchema = 1;
+constexpr uint64_t kMaxCacheEntries = 1u << 22;
+
+void put_trial_result(BlobWriter& b, const TrialResult& r) {
+  b.put_f64(r.step_time);
+  b.put_bool(r.valid);
+  b.put_bool(r.bad);
+  b.put_f64(r.env_seconds);
+  b.put_f64(r.sim.step_time);
+  b.put_bool(r.sim.oom);
+  b.put_u64(r.sim.oom_devices.size());
+  for (const auto& d : r.sim.oom_devices) b.put_string(d);
+  b.put_i64s(r.sim.resident_bytes);
+  b.put_i64s(r.sim.peak_activation_bytes);
+  b.put_f64s(r.sim.device_busy);
+  b.put_i64(r.sim.comm_bytes);
+  b.put_i64(r.sim.num_transfers);
+  b.put_f64(r.sim.critical_path);
+  // sim.trace is always empty in the trial path (record_trace = false).
+}
+
+bool read_trial_result(BlobReader& b, TrialResult* r) {
+  r->step_time = b.f64();
+  r->valid = b.boolean();
+  r->bad = b.boolean();
+  r->env_seconds = b.f64();
+  r->sim.step_time = b.f64();
+  r->sim.oom = b.boolean();
+  const uint64_t oom_devices = b.u64();
+  if (b.failed() || oom_devices > kMaxCacheEntries) return false;
+  r->sim.oom_devices.resize(static_cast<size_t>(oom_devices));
+  for (auto& d : r->sim.oom_devices) d = b.str();
+  if (!b.read_i64s(&r->sim.resident_bytes) ||
+      !b.read_i64s(&r->sim.peak_activation_bytes) ||
+      !b.read_f64s(&r->sim.device_busy))
+    return false;
+  r->sim.comm_bytes = b.i64();
+  r->sim.num_transfers = b.i64();
+  r->sim.critical_path = b.f64();
+  return !b.failed();
+}
+
+}  // namespace
+
+void TrialEnv::save_state(CheckpointWriter& writer) const {
+  BlobWriter b;
+  b.put_u32(kEnvStateSchema);
+  b.put_u64(round_);
+  b.put_i64(trials_);
+  b.put_i64(cache_hits_);
+  b.put_i64(simulated_);
+  b.put_u64(lru_.size());
+  for (const auto& [placement, result] : lru_) {  // most recent first
+    b.put_i32s(placement);
+    put_trial_result(b, result);
+  }
+  writer.add("env", b.take());
+}
+
+CkptResult TrialEnv::load_state(const CheckpointReader& reader) {
+  const auto corrupt = [](const char* what) {
+    return CkptResult::fail(CkptStatus::kCorrupt,
+                            std::string("env state: ") + what);
+  };
+  const std::string* payload = reader.find("env");
+  if (!payload)
+    return CkptResult::fail(CkptStatus::kMismatch,
+                            "checkpoint has no 'env' record");
+  BlobReader b(*payload);
+  if (b.u32() != kEnvStateSchema) return corrupt("unsupported schema");
+  const uint64_t round = b.u64();
+  const int64_t trials = b.i64();
+  const int64_t cache_hits = b.i64();
+  const int64_t simulated = b.i64();
+  const uint64_t entries = b.u64();
+  if (b.failed() || entries > kMaxCacheEntries) return corrupt("bad header");
+  std::vector<std::pair<Placement, TrialResult>> stored(
+      static_cast<size_t>(entries));
+  for (auto& [placement, result] : stored) {
+    if (!b.read_i32s(&placement) || !read_trial_result(b, &result))
+      return corrupt("bad cache entry");
+  }
+  if (!b.at_end()) return corrupt("trailing bytes");
+
+  round_ = round;
+  trials_ = trials;
+  cache_hits_ = cache_hits;
+  simulated_ = simulated;
+  lru_.clear();
+  cache_.clear();
+  // Entries were stored most-recent-first; re-inserting in reverse restores
+  // the exact recency order (cache_insert pushes to the front).
+  if (config_.cache_capacity > 0)
+    for (auto it = stored.rbegin(); it != stored.rend(); ++it)
+      cache_insert(it->first, it->second);
+  return CkptResult::success();
+}
+
 }  // namespace mars

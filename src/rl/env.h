@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nn/serialize.h"
 #include "sim/trial.h"
 #include "util/thread_pool.h"
 
@@ -109,6 +110,15 @@ class TrialEnv : public PlacementEnv {
   unsigned threads() const { return pool_ ? pool_->size() : 1; }
   const TrialRunner& runner() const { return *runner_; }
   const TrialEnvConfig& config() const { return config_; }
+
+  /// Adds the env's state — batch counter (which drives per-trial RNG
+  /// stream derivation), cumulative counters, and the full trial cache in
+  /// recency order — as an "env" record. Restoring the cache is what keeps
+  /// a resumed run's cache-hit pattern (and so its Fig. 7 CSV columns)
+  /// bit-identical to the uninterrupted run.
+  void save_state(CheckpointWriter& writer) const;
+  /// Restores state saved by save_state; the env is untouched on failure.
+  CkptResult load_state(const CheckpointReader& reader);
 
  private:
   void cache_insert(const Placement& placement, const TrialResult& result);

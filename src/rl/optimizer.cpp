@@ -1,8 +1,127 @@
 #include "rl/optimizer.h"
 
+#include <algorithm>
+#include <optional>
+
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace mars {
+
+namespace {
+
+constexpr uint32_t kLoopStateSchema = 1;
+constexpr uint64_t kMaxHistoryRounds = 1u << 20;
+
+/// Checkpoint lifecycle telemetry (process-wide).
+struct CkptMetrics {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& saves = registry.counter("mars_ckpt_saves_total",
+                                         "Training checkpoints written");
+  obs::Counter& save_failures = registry.counter(
+      "mars_ckpt_save_failures_total", "Training checkpoint writes failed");
+  obs::Counter& resumes = registry.counter(
+      "mars_ckpt_resumes_total", "Training runs resumed from a checkpoint");
+  obs::Counter& resume_rejects = registry.counter(
+      "mars_ckpt_resume_rejected_total",
+      "Checkpoint files rejected (corrupt/mismatched) during resume");
+  obs::Counter& rollbacks = registry.counter(
+      "mars_ckpt_rollbacks_total",
+      "Divergence-watchdog rollbacks to the last good checkpoint");
+};
+
+CkptMetrics& ckpt_metrics() {
+  static CkptMetrics* metrics = new CkptMetrics();
+  return *metrics;
+}
+
+/// Optimize-loop bookkeeping that lives outside the trainer/env: the round
+/// cursor, patience state, cumulative time accounting and the per-round
+/// history (which the figure benchmarks turn into CSV rows — it must
+/// survive a resume for the output to be bit-identical).
+struct LoopState {
+  int rounds_completed = 0;
+  double best_seen = 1e30;
+  int rounds_since_improvement = 0;
+  double env_seconds = 0;
+  double agent_seconds = 0;
+  double rollout_seconds = 0;
+  std::vector<RoundStats> history;
+};
+
+void save_loop_state(CheckpointWriter& writer, const LoopState& state,
+                     uint64_t seed) {
+  BlobWriter b;
+  b.put_u32(kLoopStateSchema);
+  b.put_u64(seed);
+  b.put_u32(static_cast<uint32_t>(state.rounds_completed));
+  b.put_f64(state.best_seen);
+  b.put_u32(static_cast<uint32_t>(state.rounds_since_improvement));
+  b.put_f64(state.env_seconds);
+  b.put_f64(state.agent_seconds);
+  b.put_f64(state.rollout_seconds);
+  b.put_u64(state.history.size());
+  for (const RoundStats& s : state.history) {
+    b.put_u32(static_cast<uint32_t>(s.round));
+    b.put_f64(s.mean_valid_step_time);
+    b.put_u32(static_cast<uint32_t>(s.valid_samples));
+    b.put_u32(static_cast<uint32_t>(s.invalid_samples));
+    b.put_u32(static_cast<uint32_t>(s.bad_samples));
+    b.put_f64(s.best_step_time_so_far);
+    b.put_f64(s.env_seconds);
+    b.put_f64(s.agent_seconds);
+    b.put_u32(static_cast<uint32_t>(s.cache_hits));
+    b.put_u32(static_cast<uint32_t>(s.parallel_trials));
+    b.put_f64(s.rollout_seconds);
+  }
+  writer.add("loop", b.take());
+}
+
+CkptResult load_loop_state(const CheckpointReader& reader, uint64_t seed,
+                           LoopState* state) {
+  const auto corrupt = [](const char* what) {
+    return CkptResult::fail(CkptStatus::kCorrupt,
+                            std::string("loop state: ") + what);
+  };
+  const std::string* payload = reader.find("loop");
+  if (!payload)
+    return CkptResult::fail(CkptStatus::kMismatch,
+                            "checkpoint has no 'loop' record");
+  BlobReader b(*payload);
+  if (b.u32() != kLoopStateSchema) return corrupt("unsupported schema");
+  if (b.u64() != seed)
+    return CkptResult::fail(
+        CkptStatus::kMismatch,
+        "loop state: checkpoint was written by a run with a different seed");
+  LoopState loaded;
+  loaded.rounds_completed = static_cast<int>(b.u32());
+  loaded.best_seen = b.f64();
+  loaded.rounds_since_improvement = static_cast<int>(b.u32());
+  loaded.env_seconds = b.f64();
+  loaded.agent_seconds = b.f64();
+  loaded.rollout_seconds = b.f64();
+  const uint64_t rounds = b.u64();
+  if (b.failed() || rounds > kMaxHistoryRounds) return corrupt("bad history");
+  loaded.history.resize(static_cast<size_t>(rounds));
+  for (RoundStats& s : loaded.history) {
+    s.round = static_cast<int>(b.u32());
+    s.mean_valid_step_time = b.f64();
+    s.valid_samples = static_cast<int>(b.u32());
+    s.invalid_samples = static_cast<int>(b.u32());
+    s.bad_samples = static_cast<int>(b.u32());
+    s.best_step_time_so_far = b.f64();
+    s.env_seconds = b.f64();
+    s.agent_seconds = b.f64();
+    s.cache_hits = static_cast<int>(b.u32());
+    s.parallel_trials = static_cast<int>(b.u32());
+    s.rollout_seconds = b.f64();
+  }
+  if (!b.at_end()) return corrupt("trailing bytes");
+  *state = std::move(loaded);
+  return CkptResult::success();
+}
+
+}  // namespace
 
 OptimizeResult optimize_placement(PlacementPolicy& policy,
                                   const TrialRunner& runner,
@@ -10,17 +129,125 @@ OptimizeResult optimize_placement(PlacementPolicy& policy,
                                   uint64_t seed) {
   // The env derives an independent noise stream per (round, trial), so
   // results are bit-identical for every config.env.threads setting.
-  TrialEnv env(runner, seed ^ 0xe5c0de11f00dull, config.env);
+  const uint64_t env_seed = seed ^ 0xe5c0de11f00dull;
+  std::optional<TrialEnv> env;
+  std::optional<PpoTrainer> trainer;
+  const auto rebuild = [&] {
+    env.emplace(runner, env_seed, config.env);
+    trainer.emplace(policy, *env, config.ppo, seed);
+  };
+  rebuild();
   const double env_base = runner.environment_seconds();
-  PpoTrainer trainer(policy, env, config.ppo, seed);
+  const CheckpointingConfig& ckpt = config.checkpoint;
 
   OptimizeResult result;
   Stopwatch wall;
-  double best_seen = 1e30;
-  int rounds_since_improvement = 0;
+  LoopState loop;
 
-  for (int round = 0; round < config.max_rounds; ++round) {
-    auto rr = trainer.round();
+  // Parameters as constructed, so a failed resume attempt that already
+  // committed some checkpoint records can be undone completely.
+  std::vector<std::vector<float>> initial_params;
+  if (ckpt.enabled())
+    for (const auto& p : policy.parameters())
+      initial_params.emplace_back(p.data(), p.data() + p.numel());
+
+  std::string last_good_ckpt;  // rollback target
+  int best_ckpt_round = -1;    // protected by keep_best retention
+
+  if (ckpt.enabled()) {
+    const CkptResult dir_ok = ensure_checkpoint_dir(ckpt.dir);
+    MARS_CHECK_MSG(dir_ok, dir_ok.message);
+  }
+  if (ckpt.enabled() && ckpt.resume) {
+    for (int round : list_checkpoint_rounds(ckpt.dir)) {
+      const std::string path = checkpoint_file(ckpt.dir, round);
+      CheckpointReader reader;
+      CkptResult r = reader.open(path);
+      LoopState candidate;
+      if (r) r = load_loop_state(reader, seed, &candidate);
+      if (r) r = env->load_state(reader);
+      if (r) r = trainer->load_state(reader, /*restore_rng=*/true);
+      if (r) r = load_parameter_records(reader, policy);
+      if (!r) {
+        // A failed piece after a committed one leaves mixed state; rebuild
+        // from scratch before falling back to the next-older checkpoint.
+        MARS_WARN << "resume: rejecting " << path << ": " << r.message;
+        ckpt_metrics().resume_rejects.inc();
+        for (size_t i = 0; i < initial_params.size(); ++i) {
+          Tensor t = policy.parameters()[i];
+          std::copy(initial_params[i].begin(), initial_params[i].end(),
+                    t.data());
+        }
+        rebuild();
+        continue;
+      }
+      loop = std::move(candidate);
+      last_good_ckpt = path;
+      best_ckpt_round = round;
+      result.resumed_from_round = loop.rounds_completed;
+      ckpt_metrics().resumes.inc();
+      MARS_INFO << policy.describe() << ": resumed from " << path << " ("
+                << loop.rounds_completed << " rounds done)";
+      break;
+    }
+  }
+
+  // Cumulative-seconds offsets so restored history rows and new rows share
+  // one monotonic timeline across the interruption.
+  const double env_offset = loop.env_seconds;
+  const double agent_offset = loop.agent_seconds;
+  result.rollout_seconds = loop.rollout_seconds;
+  result.history = loop.history;
+  result.rounds_run = loop.rounds_completed;
+
+  const auto save_checkpoint = [&](int rounds_completed) {
+    CheckpointWriter writer;
+    add_parameter_records(writer, policy);
+    trainer->save_state(writer);
+    env->save_state(writer);
+    loop.env_seconds = env_offset + (runner.environment_seconds() - env_base);
+    loop.agent_seconds = agent_offset + wall.seconds();
+    loop.rollout_seconds = result.rollout_seconds;
+    save_loop_state(writer, loop, seed);
+    const std::string path =
+        checkpoint_file(ckpt.dir, rounds_completed - 1);
+    const CkptResult r = writer.write_file(path);
+    if (!r) {
+      // A failed save must not kill a training run that is otherwise
+      // healthy; the previous checkpoint stays the resume/rollback target.
+      MARS_WARN << "checkpoint save failed: " << r.message;
+      ckpt_metrics().save_failures.inc();
+      return;
+    }
+    ckpt_metrics().saves.inc();
+    last_good_ckpt = path;
+    if (ckpt.keep_best &&
+        (best_ckpt_round < 0 || trainer->best_step_time() <= loop.best_seen))
+      best_ckpt_round = rounds_completed - 1;
+    apply_checkpoint_retention(ckpt.dir, ckpt.keep_last,
+                               ckpt.keep_best ? best_ckpt_round : -1);
+  };
+
+  const auto rollback = [&] {
+    CheckpointReader reader;
+    CkptResult r = reader.open(last_good_ckpt);
+    // Keep the live RNG stream: replaying the checkpointed one would walk
+    // straight back into the same divergence.
+    if (r) r = trainer->load_state(reader, /*restore_rng=*/false);
+    if (r) r = load_parameter_records(reader, policy);
+    if (!r) {
+      MARS_WARN << "rollback from " << last_good_ckpt
+                << " failed: " << r.message;
+      return;
+    }
+    ++result.rollbacks;
+    ckpt_metrics().rollbacks.inc();
+    MARS_WARN << policy.describe() << ": diverged; rolled back to "
+              << last_good_ckpt;
+  };
+
+  for (int round = loop.rounds_completed; round < config.max_rounds; ++round) {
+    auto rr = trainer->round();
 
     RoundStats stats;
     stats.round = round;
@@ -38,14 +265,16 @@ OptimizeResult optimize_placement(PlacementPolicy& policy,
     stats.mean_valid_step_time =
         stats.valid_samples ? sum / stats.valid_samples : 0.0;
     stats.best_step_time_so_far =
-        trainer.has_best() ? trainer.best_step_time() : 0.0;
-    stats.env_seconds = runner.environment_seconds() - env_base;
-    stats.agent_seconds = wall.seconds();
+        trainer->has_best() ? trainer->best_step_time() : 0.0;
+    stats.env_seconds =
+        env_offset + (runner.environment_seconds() - env_base);
+    stats.agent_seconds = agent_offset + wall.seconds();
     stats.cache_hits = static_cast<int>(rr.rollout.cache_hits);
     stats.parallel_trials = static_cast<int>(rr.rollout.parallel_trials);
     stats.rollout_seconds = rr.rollout.rollout_seconds;
     result.rollout_seconds += rr.rollout.rollout_seconds;
     result.history.push_back(stats);
+    loop.history = result.history;
     result.rounds_run = round + 1;
 
     if (config.verbose && round % 10 == 0) {
@@ -55,22 +284,33 @@ OptimizeResult optimize_placement(PlacementPolicy& policy,
                 << stats.invalid_samples;
     }
 
-    if (trainer.has_best() && trainer.best_step_time() < best_seen - 1e-9) {
-      best_seen = trainer.best_step_time();
-      rounds_since_improvement = 0;
+    if (trainer->has_best() && trainer->best_step_time() < loop.best_seen - 1e-9) {
+      loop.best_seen = trainer->best_step_time();
+      loop.rounds_since_improvement = 0;
     } else {
-      ++rounds_since_improvement;
+      ++loop.rounds_since_improvement;
     }
+    loop.rounds_completed = round + 1;
+
+    if (ckpt.enabled() && ckpt.rollback_after_bad > 0 &&
+        trainer->consecutive_bad_updates() >= ckpt.rollback_after_bad &&
+        !last_good_ckpt.empty()) {
+      rollback();
+    } else if (ckpt.enabled() && ckpt.every_rounds > 0 &&
+               (round + 1) % ckpt.every_rounds == 0) {
+      save_checkpoint(round + 1);
+    }
+
     if (config.patience_rounds > 0 &&
-        rounds_since_improvement >= config.patience_rounds) {
+        loop.rounds_since_improvement >= config.patience_rounds) {
       break;
     }
   }
 
-  result.found_valid = trainer.has_best();
+  result.found_valid = trainer->has_best();
   if (result.found_valid) {
-    result.best_placement = trainer.best_placement();
-    result.best_step_time = trainer.best_step_time();
+    result.best_placement = trainer->best_placement();
+    result.best_step_time = trainer->best_step_time();
   } else {
     MARS_WARN << policy.describe()
               << ": no valid placement found within the trial budget";
@@ -78,10 +318,10 @@ OptimizeResult optimize_placement(PlacementPolicy& policy,
         static_cast<size_t>(runner.simulator().graph().num_nodes()), 0);
     result.best_step_time = runner.config().invalid_time_s;
   }
-  result.trials = trainer.trials_run();
-  result.cache_hits = env.cache_hits();
-  result.env_seconds = runner.environment_seconds() - env_base;
-  result.agent_seconds = wall.seconds();
+  result.trials = trainer->trials_run();
+  result.cache_hits = env->cache_hits();
+  result.env_seconds = env_offset + (runner.environment_seconds() - env_base);
+  result.agent_seconds = agent_offset + wall.seconds();
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "rl/checkpoint.h"
 #include "rl/env.h"
 #include "rl/ppo.h"
 #include "util/stopwatch.h"
@@ -25,6 +26,9 @@ struct OptimizeConfig {
   /// Trial-evaluation pipeline: thread count, cache capacity, and the
   /// env-seconds accounting policy for cache hits (see docs/rollout.md).
   TrialEnvConfig env = {};
+  /// Durable checkpointing + resume + divergence rollback (disabled unless
+  /// checkpoint.dir is set; see docs/fault_tolerance.md).
+  CheckpointingConfig checkpoint = {};
   bool verbose = false;
 };
 
@@ -57,6 +61,10 @@ struct OptimizeResult {
   double best_step_time = 0;
   std::vector<RoundStats> history;
   int rounds_run = 0;
+  /// Round after the checkpoint this run resumed from; -1 for a fresh run.
+  int resumed_from_round = -1;
+  /// Times the divergence watchdog rolled back to the last good checkpoint.
+  int rollbacks = 0;
   int64_t trials = 0;
   int64_t cache_hits = 0;    // trials served from the placement cache
   double env_seconds = 0;    // total simulated environment time

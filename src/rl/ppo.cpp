@@ -19,6 +19,10 @@ struct PpoMetrics {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   obs::Counter& updates =
       registry.counter("mars_ppo_updates_total", "PPO update batches run");
+  obs::Counter& bad_updates = registry.counter(
+      "mars_ppo_bad_updates_total",
+      "Update steps skipped by the divergence watchdog (NaN/Inf loss or "
+      "gradients)");
   obs::Gauge& update_seconds = registry.gauge(
       "mars_ppo_update_seconds_total",
       "Wall-clock seconds inside PPO updates (agent compute, Fig. 8)");
@@ -169,10 +173,28 @@ PpoUpdateStats PpoTrainer::update(const std::vector<PpoSample>& batch) {
       for (size_t i = 1; i < losses.size(); ++i)
         total = add(total, losses[i]);
       total = scale(total, 1.0f / static_cast<float>(losses.size()));
-      total.backward();
+      // Divergence watchdog: a NaN/Inf loss or gradient would poison the
+      // Adam moments and the weights irreversibly. Skip the step, count it,
+      // and let optimize_placement roll back once the streak gets long.
+      bool bad = !std::isfinite(total.item());
+      if (!bad) {
+        total.backward();
+        bad = !std::isfinite(optimizer_.grad_norm());
+      }
+      if (bad) {
+        ++stats.skipped_steps;
+        ++bad_updates_;
+        ++consecutive_bad_;
+        ppo_metrics().bad_updates.inc();
+        continue;
+      }
       stats.grad_norm = optimizer_.step();
+      consecutive_bad_ = 0;
     }
   }
+  if (stats.skipped_steps > 0)
+    MARS_WARN << "ppo: skipped " << stats.skipped_steps
+              << " non-finite update step(s); streak " << consecutive_bad_;
   if (ratio_n > 0) {
     stats.mean_ratio = ratio_sum / static_cast<double>(ratio_n);
     stats.clip_fraction = clip_count / static_cast<double>(ratio_n);
@@ -184,6 +206,115 @@ PpoUpdateStats PpoTrainer::update(const std::vector<PpoSample>& batch) {
   metrics.update_seconds.add(seconds);
   metrics.update_duration_s.observe(seconds);
   return stats;
+}
+
+namespace {
+constexpr uint32_t kPpoStateSchema = 1;
+/// Upper bound on decoded element counts; a CRC-valid but hand-crafted
+/// record must not drive a multi-gigabyte allocation.
+constexpr uint64_t kMaxStateElems = 1u << 24;
+}  // namespace
+
+void PpoTrainer::save_state(CheckpointWriter& writer) const {
+  BlobWriter b;
+  b.put_u32(kPpoStateSchema);
+  for (uint64_t w : rng_.state()) b.put_u64(w);
+  b.put_f64(baseline_);
+  b.put_bool(baseline_initialized_);
+  b.put_f64(best_time_);
+  b.put_i32s(best_placement_);
+  b.put_i64(trials_);
+  b.put_i64(bad_updates_);
+  b.put_u32(static_cast<uint32_t>(consecutive_bad_));
+  b.put_u64(buffer_.size());
+  for (const PpoSample& s : buffer_) {
+    b.put_i32s(s.action.placement);
+    b.put_i32s(s.action.internal_actions);
+    b.put_f32s(s.action.logp_terms.data(), s.action.logp_terms.size());
+    b.put_f64(s.reward);
+    b.put_f64(s.advantage);
+    b.put_f64(s.step_time);
+    b.put_bool(s.valid);
+    b.put_bool(s.bad);
+  }
+  const AdamState adam = optimizer_.export_state();
+  b.put_i64(adam.t);
+  b.put_u64(adam.m.size());
+  for (size_t i = 0; i < adam.m.size(); ++i) {
+    b.put_f32s(adam.m[i].data(), adam.m[i].size());
+    b.put_f32s(adam.v[i].data(), adam.v[i].size());
+  }
+  writer.add("ppo", b.take());
+}
+
+CkptResult PpoTrainer::load_state(const CheckpointReader& reader,
+                                  bool restore_rng) {
+  const auto corrupt = [](const char* what) {
+    return CkptResult::fail(CkptStatus::kCorrupt,
+                            std::string("ppo state: ") + what);
+  };
+  const std::string* payload = reader.find("ppo");
+  if (!payload)
+    return CkptResult::fail(CkptStatus::kMismatch,
+                            "checkpoint has no 'ppo' record");
+  BlobReader b(*payload);
+  if (b.u32() != kPpoStateSchema) return corrupt("unsupported schema");
+  std::array<uint64_t, 4> rng_state;
+  for (auto& w : rng_state) w = b.u64();
+  const double baseline = b.f64();
+  const bool baseline_init = b.boolean();
+  const double best_time = b.f64();
+  Placement best_placement;
+  if (!b.read_i32s(&best_placement)) return corrupt("bad best placement");
+  const int64_t trials = b.i64();
+  const int64_t bad_updates = b.i64();
+  int consecutive = static_cast<int>(b.u32());
+  const uint64_t sample_count = b.u64();
+  if (b.failed() || sample_count > kMaxStateElems)
+    return corrupt("bad sample buffer");
+  std::vector<PpoSample> buffer(static_cast<size_t>(sample_count));
+  for (PpoSample& s : buffer) {
+    if (!b.read_i32s(&s.action.placement) ||
+        !b.read_i32s(&s.action.internal_actions) ||
+        !b.read_f32s(&s.action.logp_terms))
+      return corrupt("bad sample");
+    s.reward = b.f64();
+    s.advantage = b.f64();
+    s.step_time = b.f64();
+    s.valid = b.boolean();
+    s.bad = b.boolean();
+  }
+  AdamState adam;
+  adam.t = b.i64();
+  const uint64_t param_count = b.u64();
+  if (b.failed() || param_count > kMaxStateElems)
+    return corrupt("bad optimizer state");
+  adam.m.resize(static_cast<size_t>(param_count));
+  adam.v.resize(static_cast<size_t>(param_count));
+  for (size_t i = 0; i < param_count; ++i)
+    if (!b.read_f32s(&adam.m[i]) || !b.read_f32s(&adam.v[i]))
+      return corrupt("bad optimizer moments");
+  if (!b.at_end()) return corrupt("trailing bytes");
+  if (restore_rng &&
+      !(rng_state[0] | rng_state[1] | rng_state[2] | rng_state[3]))
+    return corrupt("all-zero rng state");
+  if (!optimizer_.import_state(adam))
+    return CkptResult::fail(
+        CkptStatus::kMismatch,
+        "ppo state: Adam moments don't match the policy's parameters");
+  if (restore_rng)
+    rng_.set_state(rng_state);
+  else
+    consecutive = 0;  // rollback keeps the live stream: clear the streak
+  baseline_ = baseline;
+  baseline_initialized_ = baseline_init;
+  best_time_ = best_time;
+  best_placement_ = std::move(best_placement);
+  trials_ = trials;
+  bad_updates_ = bad_updates;
+  consecutive_bad_ = consecutive;
+  buffer_ = std::move(buffer);
+  return CkptResult::success();
 }
 
 }  // namespace mars

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "nn/optim.h"
+#include "nn/serialize.h"
 #include "rl/rollout.h"
 
 namespace mars {
@@ -43,6 +44,9 @@ struct PpoUpdateStats {
   double clip_fraction = 0;
   double entropy = 0;
   double grad_norm = 0;
+  /// Minibatch steps skipped by the divergence watchdog (NaN/Inf loss or
+  /// gradients) during this update.
+  int skipped_steps = 0;
 };
 
 class PpoTrainer {
@@ -69,6 +73,24 @@ class PpoTrainer {
   /// Reset the reward baseline (used when re-attaching to a new workload).
   void reset_baseline() { baseline_initialized_ = false; }
 
+  /// Divergence watchdog: update steps skipped because the loss or the
+  /// gradients came back NaN/Inf (total, and the current unbroken streak —
+  /// the rollback trigger in optimize_placement).
+  int64_t bad_updates() const { return bad_updates_; }
+  int consecutive_bad_updates() const { return consecutive_bad_; }
+
+  /// Adds this trainer's full state (RNG stream, reward baseline, sample
+  /// buffer, best placement, Adam moments) as a "ppo" record. Policy
+  /// parameters are checkpointed separately (add_parameter_records).
+  void save_state(CheckpointWriter& writer) const;
+  /// Restores state saved by save_state. All-or-nothing: the trainer is
+  /// untouched unless the result is ok. With restore_rng = false the
+  /// current sampling stream is kept and the bad-update streak cleared —
+  /// the rollback path, where replaying the checkpointed stream would
+  /// deterministically reproduce the same divergence.
+  CkptResult load_state(const CheckpointReader& reader,
+                        bool restore_rng = true);
+
  private:
   PpoUpdateStats update(const std::vector<PpoSample>& batch);
 
@@ -84,6 +106,8 @@ class PpoTrainer {
   Placement best_placement_;
   double best_time_ = 1e30;
   int64_t trials_ = 0;
+  int64_t bad_updates_ = 0;
+  int consecutive_bad_ = 0;
 };
 
 }  // namespace mars

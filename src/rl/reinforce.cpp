@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "util/logging.h"
+
 namespace mars {
 
 ReinforceTrainer::ReinforceTrainer(PlacementPolicy& policy, PlacementEnv& env,
@@ -73,7 +76,23 @@ ReinforceTrainer::RoundResult ReinforceTrainer::round() {
     total = total.defined() ? add(total, term) : term;
   }
   total = scale(total, 1.0f / static_cast<float>(batch.size()));
-  total.backward();
+  // Divergence watchdog: never fold a NaN/Inf step into the weights or
+  // the Adam moments — skip it and count it instead.
+  bool bad = !std::isfinite(total.item());
+  if (!bad) {
+    total.backward();
+    bad = !std::isfinite(optimizer_.grad_norm());
+  }
+  if (bad) {
+    result.update_skipped = true;
+    ++bad_updates_;
+    obs::MetricsRegistry::global()
+        .counter("mars_reinforce_bad_updates_total",
+                 "REINFORCE steps skipped by the divergence watchdog")
+        .inc();
+    MARS_WARN << "reinforce: skipped non-finite update step";
+    return result;
+  }
   result.grad_norm = optimizer_.step();
   return result;
 }

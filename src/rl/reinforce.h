@@ -27,6 +27,9 @@ class ReinforceTrainer {
     int samples = 0;
     double mean_reward = 0;
     double grad_norm = 0;
+    /// True when the divergence watchdog skipped this round's gradient
+    /// step (NaN/Inf loss or gradients).
+    bool update_skipped = false;
     RolloutStats rollout;
   };
   /// Sample a batch, apply one REINFORCE gradient step.
@@ -36,6 +39,8 @@ class ReinforceTrainer {
   const Placement& best_placement() const { return best_placement_; }
   double best_step_time() const { return best_time_; }
   int64_t trials_run() const { return trials_; }
+  /// Gradient steps skipped by the divergence watchdog so far.
+  int64_t bad_updates() const { return bad_updates_; }
 
  private:
   PlacementPolicy* policy_;
@@ -49,6 +54,7 @@ class ReinforceTrainer {
   Placement best_placement_;
   double best_time_ = 1e30;
   int64_t trials_ = 0;
+  int64_t bad_updates_ = 0;
 };
 
 }  // namespace mars

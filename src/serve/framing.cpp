@@ -1,7 +1,9 @@
 #include "serve/framing.h"
 
 #include <errno.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -9,6 +11,78 @@
 namespace mars::serve {
 
 namespace {
+
+int64_t now_ms() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000 + ts.tv_nsec / 1000000;
+}
+
+/// Waits until `fd` is ready for `events` or `deadline` (absolute, ms,
+/// INT64_MAX = no deadline) passes. Retries EINTR. False on timeout/error.
+bool wait_ready(int fd, short events, int64_t deadline) {
+  for (;;) {
+    int timeout = -1;
+    if (deadline != INT64_MAX) {
+      const int64_t left = deadline - now_ms();
+      if (left <= 0) {
+        errno = ETIMEDOUT;
+        return false;
+      }
+      timeout = static_cast<int>(left > 1 << 30 ? 1 << 30 : left);
+    }
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return true;
+    if (rc == 0) {
+      errno = ETIMEDOUT;
+      return false;
+    }
+    if (errno != EINTR) return false;
+  }
+}
+
+bool write_all_deadline(int fd, const char* data, size_t len,
+                        int64_t deadline) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!wait_ready(fd, POLLOUT, deadline)) return false;
+        continue;
+      }
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Returns bytes read (== len), 0 on clean EOF at the first byte, -1 on
+/// error, truncation mid-buffer, or deadline expiry.
+ssize_t read_all_deadline(int fd, char* data, size_t len, int64_t deadline) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, data + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!wait_ready(fd, POLLIN, deadline)) return -1;
+        continue;
+      }
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;  // EOF
+    got += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+int64_t deadline_from(int deadline_ms) {
+  return deadline_ms > 0 ? now_ms() + deadline_ms : INT64_MAX;
+}
 
 bool write_all(int fd, const char* data, size_t len) {
   while (len > 0) {
@@ -64,6 +138,34 @@ bool read_frame(int fd, std::string* payload, size_t max_bytes) {
   payload->resize(len);
   if (len == 0) return true;
   return read_all(fd, payload->data(), len) == static_cast<ssize_t>(len);
+}
+
+bool write_frame_deadline(int fd, const std::string& payload,
+                          int deadline_ms) {
+  const int64_t deadline = deadline_from(deadline_ms);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const char header[4] = {
+      static_cast<char>((len >> 24) & 0xff), static_cast<char>((len >> 16) & 0xff),
+      static_cast<char>((len >> 8) & 0xff), static_cast<char>(len & 0xff)};
+  return write_all_deadline(fd, header, 4, deadline) &&
+         write_all_deadline(fd, payload.data(), payload.size(), deadline);
+}
+
+bool read_frame_deadline(int fd, std::string* payload, size_t max_bytes,
+                         int deadline_ms) {
+  const int64_t deadline = deadline_from(deadline_ms);
+  char header[4];
+  const ssize_t h = read_all_deadline(fd, header, 4, deadline);
+  if (h <= 0) return false;
+  const uint32_t len = (static_cast<uint32_t>(static_cast<unsigned char>(header[0])) << 24) |
+                       (static_cast<uint32_t>(static_cast<unsigned char>(header[1])) << 16) |
+                       (static_cast<uint32_t>(static_cast<unsigned char>(header[2])) << 8) |
+                       static_cast<uint32_t>(static_cast<unsigned char>(header[3]));
+  if (len > max_bytes) return false;
+  payload->resize(len);
+  if (len == 0) return true;
+  return read_all_deadline(fd, payload->data(), len, deadline) ==
+         static_cast<ssize_t>(len);
 }
 
 }  // namespace mars::serve

@@ -1,6 +1,10 @@
 // Length-prefixed framing over a POSIX stream socket: each frame is a
 // 4-byte big-endian payload length followed by the payload bytes. Shared by
 // the daemon, the blocking client and the load generator.
+//
+// All variants retry read()/write() on EINTR: the daemon installs SIGHUP
+// (hot reload) and SIGINT/SIGTERM handlers, and a signal landing mid-frame
+// must never surface as a spurious I/O error to either side.
 #pragma once
 
 #include <cstddef>
@@ -19,5 +23,14 @@ bool write_frame(int fd, const std::string& payload);
 /// header byte, on socket error, on truncated frames, and on declared
 /// lengths above `max_bytes`.
 bool read_frame(int fd, std::string* payload, size_t max_bytes = kMaxFrameBytes);
+
+/// Deadline-aware variants for sockets in non-blocking mode (the retrying
+/// PlaceClient): progress is driven by poll(), EINTR/EAGAIN are retried,
+/// and the whole frame must complete within `deadline_ms` milliseconds
+/// (<= 0 waits forever). False on error, EOF, or deadline expiry (errno is
+/// ETIMEDOUT in the expiry case).
+bool write_frame_deadline(int fd, const std::string& payload, int deadline_ms);
+bool read_frame_deadline(int fd, std::string* payload, size_t max_bytes,
+                         int deadline_ms);
 
 }  // namespace mars::serve

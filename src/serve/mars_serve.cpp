@@ -33,6 +33,10 @@ void handle_stop_signal(int) {
   if (auto* daemon = g_daemon.load()) daemon->shutdown();
 }
 
+void handle_reload_signal(int) {
+  if (auto* daemon = g_daemon.load()) daemon->request_reload();
+}
+
 int run_batch(mars::serve::PlacementService& service,
               const std::string& requests_path, const std::string& out_path) {
   std::ifstream req_file;
@@ -87,6 +91,12 @@ int run_daemon(mars::serve::PlacementService& service,
   sa.sa_handler = handle_stop_signal;
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
+  // SIGHUP hot-reloads the configured checkpoint: the new file is
+  // validated into a staging replica and swapped atomically; a bad file
+  // is rejected while the old model keeps serving.
+  struct sigaction hup = {};
+  hup.sa_handler = handle_reload_signal;
+  ::sigaction(SIGHUP, &hup, nullptr);
   daemon.serve();
   g_daemon.store(nullptr);
   std::cerr << service.stats_line() << '\n';
@@ -115,6 +125,10 @@ int main(int argc, char** argv) {
            "                      ephemeral)\n"
            "  --threads N         connection workers (0 = hw concurrency)\n"
            "  --port-file FILE    write the bound port once listening\n"
+           "  SIGHUP              hot-reload --checkpoint (validated, atomic;\n"
+           "                      a bad file is rejected, old model serves on);\n"
+           "                      clients can also send a {\"mars_reload\":1}\n"
+           "                      admin frame with an optional new path\n"
            "batch mode:\n"
            "  --requests FILE     concatenated request frames ('-' = stdin)\n"
            "  --out FILE          response lines ('-' = stdout)\n"

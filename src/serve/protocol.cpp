@@ -87,6 +87,65 @@ std::string stats_request_to_line(const StatsRequest& request) {
   return j.dump();
 }
 
+bool is_reload_request(const std::string& line) {
+  if (line.find('{') == std::string::npos ||
+      line.find("\"mars_reload\"") == std::string::npos)
+    return false;
+  try {
+    Json j = Json::parse(line);
+    return j.is_object() && j.has("mars_reload");
+  } catch (const JsonError&) {
+    return false;
+  }
+}
+
+ReloadRequest parse_reload_request(const std::string& line) {
+  ReloadRequest request;
+  try {
+    Json j = Json::parse(line);
+    MARS_CHECK_MSG(j.is_object() && j.has("mars_reload"),
+                   "not a reload request line");
+    const int64_t version = j.at("mars_reload").as_int();
+    MARS_CHECK_MSG(version == kProtocolVersion,
+                   "unsupported reload protocol version " << version);
+    request.path = j.get_string("path", "");
+  } catch (const JsonError& e) {
+    MARS_CHECK_MSG(false, "malformed reload request: " << e.what());
+  }
+  return request;
+}
+
+std::string reload_request_to_line(const ReloadRequest& request) {
+  Json j = Json::object();
+  j.set("mars_reload", Json::of(kProtocolVersion))
+      .set("path", Json::of(request.path));
+  return j.dump();
+}
+
+std::string reload_response_to_line(const ReloadResponse& response) {
+  Json j = Json::object();
+  j.set("mars_reload_response", Json::of(kProtocolVersion))
+      .set("ok", Json::of(response.ok))
+      .set("generation", Json::of(response.generation))
+      .set("message", Json::of(response.message));
+  return j.dump();
+}
+
+ReloadResponse reload_response_from_line(const std::string& line) {
+  ReloadResponse response;
+  try {
+    Json j = Json::parse(line);
+    MARS_CHECK_MSG(j.is_object() && j.has("mars_reload_response"),
+                   "not a reload response line");
+    response.ok = j.get_bool("ok", false);
+    response.generation = j.get_int("generation", 0);
+    response.message = j.get_string("message", "");
+  } catch (const JsonError& e) {
+    MARS_CHECK_MSG(false, "malformed reload response: " << e.what());
+  }
+  return response;
+}
+
 void write_request(std::ostream& out, const PlaceRequest& request) {
   out << header_json(request).dump() << '\n';
   save_graph(out, request.graph);

@@ -87,6 +87,35 @@ bool is_stats_request(const std::string& line);
 StatsRequest parse_stats_request(const std::string& line);
 std::string stats_request_to_line(const StatsRequest& request);
 
+/// Admin request: hot-swap the served model. The frame is a single JSON
+/// line
+///
+///   {"mars_reload":1,"path":"/path/to/ckpt.mars"}
+///
+/// (empty or omitted path re-reads the daemon's configured checkpoint).
+/// The daemon validates the file into a staging replica and swaps it in
+/// atomically; a corrupt or mismatched checkpoint is rejected with
+/// ok=false while the old model keeps serving.
+struct ReloadRequest {
+  std::string path;
+};
+
+struct ReloadResponse {
+  bool ok = false;
+  /// Model generation after the request (bumped on every successful swap).
+  int64_t generation = 0;
+  std::string message;
+};
+
+/// Quick structural test: is this line a reload admin request header?
+bool is_reload_request(const std::string& line);
+/// Parses a reload request line; throws CheckError on a bad version.
+ReloadRequest parse_reload_request(const std::string& line);
+std::string reload_request_to_line(const ReloadRequest& request);
+std::string reload_response_to_line(const ReloadResponse& response);
+/// Parses a reload response line; throws CheckError on malformed input.
+ReloadResponse reload_response_from_line(const std::string& line);
+
 /// Writes the line-oriented request frame (header + embedded graph).
 void write_request(std::ostream& out, const PlaceRequest& request);
 std::string request_to_string(const PlaceRequest& request);

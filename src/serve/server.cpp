@@ -2,14 +2,18 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "obs/span.h"
@@ -34,6 +38,10 @@ std::string first_line(const std::string& payload) {
   if (end > 0 && payload[end - 1] == '\r') --end;
   return payload.substr(0, end);
 }
+
+// Wake-pipe protocol: the acceptor reads single bytes and dispatches.
+constexpr char kWakeShutdown = 1;
+constexpr char kWakeReload = 2;
 
 sockaddr_in make_addr(const std::string& host, int port) {
   sockaddr_in addr{};
@@ -100,7 +108,14 @@ void ServeDaemon::shutdown() {
   // Only async-signal-safe calls here: this runs from SIGINT/SIGTERM
   // handlers. The acceptor notices the wake byte and does the real work.
   if (stopping_.exchange(true)) return;
-  const char byte = 1;
+  const char byte = kWakeShutdown;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void ServeDaemon::request_reload() {
+  // Only async-signal-safe calls here: this runs from a SIGHUP handler.
+  // The acceptor thread reads the byte and performs the validated swap.
+  const char byte = kWakeReload;
   [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
 }
 
@@ -118,7 +133,28 @@ void ServeDaemon::serve() {
       MARS_ERROR << "poll(): " << std::strerror(errno);
       break;
     }
-    if (fds[1].revents != 0) break;  // woken by shutdown()
+    if (fds[1].revents != 0) {
+      // Drain the wake pipe and dispatch: shutdown wins over any queued
+      // reloads; multiple pending reload bytes coalesce into one swap.
+      char bytes[64];
+      const ssize_t n = ::read(wake_pipe_[0], bytes, sizeof(bytes));
+      bool reload = false;
+      for (ssize_t i = 0; i < n; ++i) {
+        if (bytes[i] == kWakeReload) reload = true;
+      }
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (reload) {
+        const ReloadOutcome outcome = service_->reload_checkpoint();
+        if (outcome.ok) {
+          MARS_INFO << "hot reload ok (generation " << outcome.generation
+                    << "): " << outcome.message;
+        } else {
+          MARS_ERROR << "hot reload rejected, old model keeps serving: "
+                     << outcome.message;
+        }
+      }
+      continue;
+    }
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) {
@@ -175,6 +211,24 @@ void ServeDaemon::handle_connection(int fd) {
       if (!write_frame(fd, body)) break;
       continue;
     }
+    // A reload frame swaps the served model (validated first; a bad file
+    // is reported back while the old model keeps serving).
+    if (is_reload_request(first_line(payload))) {
+      ReloadResponse resp;
+      try {
+        const ReloadRequest req = parse_reload_request(first_line(payload));
+        const ReloadOutcome outcome = service_->reload_checkpoint(req.path);
+        resp.ok = outcome.ok;
+        resp.generation = outcome.generation;
+        resp.message = outcome.message;
+      } catch (const std::exception& e) {
+        resp.ok = false;
+        resp.generation = service_->model_generation();
+        resp.message = e.what();
+      }
+      if (!write_frame(fd, reload_response_to_line(resp))) break;
+      continue;
+    }
     PlaceResponse response;
     try {
       std::istringstream in(payload);
@@ -205,44 +259,132 @@ void ServeDaemon::handle_connection(int fd) {
   close_quiet(fd);
 }
 
-PlaceClient::PlaceClient(const std::string& host, int port) {
-  const sockaddr_in addr = make_addr(host, port);
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  MARS_CHECK_MSG(fd_ >= 0, "socket(): " << std::strerror(errno));
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
-    close_quiet(fd_);
-    fd_ = -1;
-    MARS_CHECK_MSG(false, "connect " << host << ":" << port << ": "
-                                     << std::strerror(err));
-  }
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+PlaceClient::PlaceClient(const std::string& host, int port,
+                         ClientConfig config)
+    : host_(host),
+      port_(port),
+      config_(config),
+      jitter_(config.jitter_seed) {
+  MARS_CHECK_MSG(try_connect(),
+                 "connect " << host_ << ":" << port_ << ": "
+                            << std::strerror(errno));
 }
 
 PlaceClient::~PlaceClient() { close_quiet(fd_); }
 
+void PlaceClient::disconnect() {
+  close_quiet(fd_);
+  fd_ = -1;
+}
+
+bool PlaceClient::try_connect() {
+  disconnect();
+  const sockaddr_in addr = make_addr(host_, port_);
+  // Non-blocking from birth: connect completion and every frame byte are
+  // driven by poll() so the configured deadlines always hold.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return false;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      close_quiet(fd);
+      errno = err;
+      return false;
+    }
+    const int timeout_ms =
+        config_.connect_timeout_s > 0
+            ? static_cast<int>(config_.connect_timeout_s * 1000)
+            : -1;
+    pollfd pfd{fd, POLLOUT, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    int err = ETIMEDOUT;
+    socklen_t err_len = sizeof(err);
+    if (rc > 0) {
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    }
+    if (rc <= 0 || err != 0) {
+      close_quiet(fd);
+      errno = err;
+      return false;
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  if (connected_once_) ++counters_.reconnects;
+  connected_once_ = true;
+  return true;
+}
+
+std::string PlaceClient::round_trip(const std::string& frame,
+                                    const char* what) {
+  const int deadline_ms =
+      config_.request_timeout_s > 0
+          ? static_cast<int>(config_.request_timeout_s * 1000)
+          : 0;
+  std::string last_error = "never attempted";
+  const int attempts = std::max(0, config_.max_retries) + 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++counters_.retries;
+      // Bounded exponential backoff with +-50% jitter so synchronized
+      // clients don't stampede a recovering daemon.
+      double delay = config_.backoff_initial_s;
+      for (int i = 1; i < attempt; ++i) delay *= 2;
+      delay = std::min(delay, config_.backoff_max_s);
+      delay *= jitter_.uniform(0.5, 1.5);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      }
+    }
+    // Any mid-frame failure leaves the stream desynchronized, so every
+    // failed attempt reconnects before retrying (requests are idempotent).
+    if (fd_ < 0 && !try_connect()) {
+      last_error = std::string("connect: ") + std::strerror(errno);
+      continue;
+    }
+    if (!write_frame_deadline(fd_, frame, deadline_ms)) {
+      if (errno == ETIMEDOUT) ++counters_.deadline_exceeded;
+      last_error = std::string("send: ") + std::strerror(errno);
+      disconnect();
+      continue;
+    }
+    std::string payload;
+    errno = 0;
+    if (!read_frame_deadline(fd_, &payload, kMaxFrameBytes, deadline_ms)) {
+      if (errno == ETIMEDOUT) ++counters_.deadline_exceeded;
+      last_error = errno != 0
+                       ? std::string("recv: ") + std::strerror(errno)
+                       : std::string("connection closed before response");
+      disconnect();
+      continue;
+    }
+    return payload;
+  }
+  MARS_CHECK_MSG(false, what << " failed after " << attempts
+                             << " attempt(s): " << last_error);
+  return {};  // unreachable
+}
+
 PlaceResponse PlaceClient::place(const PlaceRequest& request) {
-  MARS_CHECK_MSG(fd_ >= 0, "client not connected");
-  MARS_CHECK_MSG(write_frame(fd_, request_to_string(request)),
-                 "send failed: " << std::strerror(errno));
-  std::string payload;
-  MARS_CHECK_MSG(read_frame(fd_, &payload),
-                 "connection closed before response");
-  return response_from_line(payload);
+  return response_from_line(round_trip(request_to_string(request), "place"));
 }
 
 std::string PlaceClient::stats(const std::string& format) {
-  MARS_CHECK_MSG(fd_ >= 0, "client not connected");
   StatsRequest request;
   request.format = format;
-  MARS_CHECK_MSG(write_frame(fd_, stats_request_to_line(request)),
-                 "send failed: " << std::strerror(errno));
-  std::string payload;
-  MARS_CHECK_MSG(read_frame(fd_, &payload),
-                 "connection closed before stats response");
-  return payload;
+  return round_trip(stats_request_to_line(request), "stats");
+}
+
+ReloadResponse PlaceClient::reload(const std::string& path) {
+  ReloadRequest request;
+  request.path = path;
+  return reload_response_from_line(
+      round_trip(reload_request_to_line(request), "reload"));
 }
 
 }  // namespace mars::serve

@@ -17,12 +17,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_set>
 
 #include "serve/protocol.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace mars::serve {
@@ -60,6 +62,12 @@ class ServeDaemon {
   /// SIGINT/SIGTERM handler or any thread.
   void shutdown();
 
+  /// Requests a hot reload of the configured checkpoint, as if a
+  /// {"mars_reload":1} admin frame had arrived. Async-signal-safe — this is
+  /// the SIGHUP handler's entry point; the acceptor thread performs the
+  /// actual (validated, atomic) swap.
+  void request_reload();
+
  private:
   void handle_connection(int fd);
   void close_listener();
@@ -79,27 +87,74 @@ class ServeDaemon {
   std::unique_ptr<ThreadPool> pool_;
 };
 
-/// Blocking client for one daemon connection; not thread-safe (use one
-/// client per thread).
+/// Retry/timeout policy for PlaceClient. Placement requests are
+/// deterministic and idempotent, so retrying after a connection failure or
+/// a missed deadline is always safe.
+struct ClientConfig {
+  /// Per-attempt deadline covering the full round trip (write + read);
+  /// <= 0 waits forever.
+  double request_timeout_s = 10.0;
+  /// Retries after the first attempt before giving up (0 = fail fast).
+  int max_retries = 2;
+  /// Exponential backoff between retries: initial delay, doubling per
+  /// retry, capped at backoff_max_s, with +-50% jitter.
+  double backoff_initial_s = 0.05;
+  double backoff_max_s = 2.0;
+  /// Deadline for (re)connecting; <= 0 waits forever.
+  double connect_timeout_s = 5.0;
+  /// Seed for backoff jitter (fixed so tests are reproducible).
+  uint64_t jitter_seed = 0x6a177e2;
+};
+
+/// Retry/failure counters, cumulative over the client's lifetime.
+struct ClientCounters {
+  int64_t retries = 0;            // re-attempted round trips
+  int64_t reconnects = 0;         // sockets re-established after the first
+  int64_t deadline_exceeded = 0;  // attempts that hit request_timeout_s
+};
+
+/// Client for one daemon connection; not thread-safe (use one client per
+/// thread). Blocking from the caller's view, non-blocking + poll
+/// underneath so every operation honours the configured deadlines; failed
+/// attempts reconnect and retry with bounded exponential backoff.
 class PlaceClient {
  public:
-  /// Connects immediately; throws CheckError when the daemon is unreachable.
-  PlaceClient(const std::string& host, int port);
+  /// Connects immediately; throws CheckError when the daemon is
+  /// unreachable within connect_timeout_s.
+  PlaceClient(const std::string& host, int port, ClientConfig config = {});
   ~PlaceClient();
 
   PlaceClient(const PlaceClient&) = delete;
   PlaceClient& operator=(const PlaceClient&) = delete;
 
-  /// Round-trips one request; throws CheckError on connection failure or a
-  /// malformed response. Service-level failures come back as a structured
-  /// error response, not an exception.
+  /// Round-trips one request; throws CheckError once every retry is
+  /// exhausted or the response is malformed. Service-level failures come
+  /// back as a structured error response, not an exception.
   PlaceResponse place(const PlaceRequest& request);
 
   /// Round-trips a stats admin request and returns the daemon's metrics
   /// rendering verbatim (Prometheus text, or one-line JSON for "json").
   std::string stats(const std::string& format = "prometheus");
 
+  /// Asks the daemon to hot-reload its model (empty path = the daemon's
+  /// configured checkpoint). A rejected reload is reported in the response
+  /// (ok = false), not thrown.
+  ReloadResponse reload(const std::string& path = "");
+
+  const ClientCounters& counters() const { return counters_; }
+
  private:
+  /// One full round trip with reconnect + retry + backoff.
+  std::string round_trip(const std::string& frame, const char* what);
+  bool try_connect();
+  void disconnect();
+
+  std::string host_;
+  int port_ = 0;
+  ClientConfig config_;
+  ClientCounters counters_;
+  Rng jitter_;
+  bool connected_once_ = false;
   int fd_ = -1;
 };
 

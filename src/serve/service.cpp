@@ -38,7 +38,13 @@ ServiceStats make_stats(obs::MetricsRegistry& r) {
       r.counter("mars_serve_fallbacks_total",
                 "Requests served by a heuristic fallback placer"),
       r.counter("mars_serve_cache_hits_total",
-                "Responses served from the response cache")};
+                "Responses served from the response cache"),
+      r.counter("mars_serve_reload_success_total",
+                "Checkpoint hot reloads applied"),
+      r.counter("mars_serve_reload_fail_total",
+                "Checkpoint hot reloads rejected (corrupt/mismatched file)"),
+      r.gauge("mars_serve_model_generation",
+              "Generation of the served model (+1 per successful reload)")};
 }
 
 }  // namespace
@@ -83,9 +89,11 @@ PlacementService::PlacementService(ServiceConfig config)
   Rng rng(config_.seed);
   prototype_ = make_mars_agent(config_.agent, agent_devices(), rng);
   if (!config_.checkpoint_path.empty()) {
-    MARS_CHECK_MSG(load_parameters(*prototype_, config_.checkpoint_path),
-                   "cannot read checkpoint '" << config_.checkpoint_path
-                                              << "'");
+    const CkptResult loaded =
+        load_parameters(*prototype_, config_.checkpoint_path);
+    MARS_CHECK_MSG(loaded, "cannot serve checkpoint '"
+                               << config_.checkpoint_path
+                               << "': " << loaded.message);
     MARS_INFO << "serving checkpoint " << config_.checkpoint_path << " ("
               << prototype_->param_count() << " parameters, "
               << agent_devices() << " devices)";
@@ -246,6 +254,73 @@ PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
   return response;
 }
 
+ReloadOutcome PlacementService::reload_checkpoint(const std::string& path) {
+  ReloadOutcome outcome;
+  const std::string& target =
+      path.empty() ? config_.checkpoint_path : path;
+  try {
+    if (target.empty()) {
+      outcome.generation = model_generation();
+      outcome.message =
+          "no checkpoint to reload: the daemon serves fresh weights and the "
+          "request gave no path";
+      stats_.reload_fail.inc();
+      return outcome;
+    }
+    // Validate into a staging agent first: the live prototype and every
+    // in-flight replica keep serving until the new model is proven sound.
+    std::unique_ptr<EncoderPlacerAgent> staged;
+    {
+      std::lock_guard<std::mutex> lock(agent_mutex_);
+      staged = make_mars_agent(config_.agent, agent_devices(), replica_rng_);
+    }
+    const CkptResult loaded = load_parameters(*staged, target);
+    if (!loaded) {
+      outcome.generation = model_generation();
+      outcome.message = "reload rejected (" +
+                        std::string(to_string(loaded.status)) +
+                        "): " + loaded.message;
+      stats_.reload_fail.inc();
+      MARS_WARN << outcome.message << "; keeping generation "
+                << outcome.generation;
+      return outcome;
+    }
+    {
+      // Atomic swap: new leases clone from the new prototype; draining the
+      // free list retires old-model replicas (ones currently leased finish
+      // their in-flight request on the old weights, then die on release).
+      std::lock_guard<std::mutex> lock(agent_mutex_);
+      prototype_ = std::move(staged);
+      idle_agents_.clear();
+      ++generation_;
+      outcome.generation = generation_;
+    }
+    {
+      // Cached responses came from the old model; drop them.
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      cache_.clear();
+      cache_order_.clear();
+    }
+    stats_.reload_ok.inc();
+    stats_.generation.set(static_cast<double>(outcome.generation));
+    outcome.ok = true;
+    outcome.message = "now serving " + target;
+    MARS_INFO << "hot reload: " << target << " -> generation "
+              << outcome.generation;
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.generation = model_generation();
+    outcome.message = std::string("reload failed: ") + e.what();
+    stats_.reload_fail.inc();
+  }
+  return outcome;
+}
+
+int64_t PlacementService::model_generation() const {
+  std::lock_guard<std::mutex> lock(agent_mutex_);
+  return generation_;
+}
+
 PlaceResponse PlacementService::error_response(const std::string& id,
                                                const std::string& message) {
   stats_.requests.inc();
@@ -267,7 +342,12 @@ std::string PlacementService::stats_line() const {
       .set("fallbacks",
            Json::of(static_cast<int64_t>(stats_.fallbacks.load())))
       .set("cache_hits",
-           Json::of(static_cast<int64_t>(stats_.cache_hits.load())));
+           Json::of(static_cast<int64_t>(stats_.cache_hits.load())))
+      .set("reload_success",
+           Json::of(static_cast<int64_t>(stats_.reload_ok.load())))
+      .set("reload_fail",
+           Json::of(static_cast<int64_t>(stats_.reload_fail.load())))
+      .set("model_generation", Json::of(model_generation()));
   return j.dump();
 }
 

@@ -68,6 +68,16 @@ struct ServiceStats {
   obs::Counter& parse_errors;  // error_response() calls
   obs::Counter& fallbacks;     // learned path unavailable/OOM
   obs::Counter& cache_hits;
+  obs::Counter& reload_ok;     // successful hot reloads
+  obs::Counter& reload_fail;   // rejected reloads (bad file/mismatch)
+  obs::Gauge& generation;      // current model generation
+};
+
+/// What a reload attempt did; returned to admin clients verbatim.
+struct ReloadOutcome {
+  bool ok = false;
+  int64_t generation = 0;  // generation after the attempt
+  std::string message;
 };
 
 class PlacementService {
@@ -100,6 +110,17 @@ class PlacementService {
   /// Devices (CPU + GPUs) the learned path serves.
   int agent_devices() const { return config_.agent_gpus + 1; }
 
+  /// Hot-swaps the served model from a checkpoint file (empty path =
+  /// the configured checkpoint_path). The file is validated into a staging
+  /// replica first; on success the prototype is swapped atomically, the
+  /// replica free list drained (workers re-clone from the new prototype on
+  /// their next lease) and the response cache cleared. On failure the old
+  /// model keeps serving untouched. Thread-safe; never throws.
+  ReloadOutcome reload_checkpoint(const std::string& path = "");
+
+  /// Generation of the served model; starts at 0, +1 per successful reload.
+  int64_t model_generation() const;
+
  private:
   struct CacheValue {
     PlaceResponse response;  // latency/cache_hit fields overwritten on hit
@@ -119,10 +140,13 @@ class PlacementService {
   obs::Histogram& decode_ms_;   // greedy decode (learned path only)
   obs::Histogram& refine_ms_;   // simulated-annealing refinement
 
-  std::mutex agent_mutex_;  // guards prototype_, idle_agents_, replica_rng_
+  // Guards prototype_, idle_agents_, replica_rng_, generation_ (mutable:
+  // model_generation() is logically const).
+  mutable std::mutex agent_mutex_;
   std::unique_ptr<EncoderPlacerAgent> prototype_;
   std::vector<std::unique_ptr<EncoderPlacerAgent>> idle_agents_;
   Rng replica_rng_;
+  int64_t generation_ = 0;
 
   std::mutex cache_mutex_;
   std::list<uint64_t> cache_order_;  // front = most recent

@@ -1,0 +1,49 @@
+// CRC-32 (IEEE 802.3, the zlib polynomial) for checkpoint integrity.
+//
+// Header-only so low-level libraries (nn) can use it without linking
+// mars_util. Table-driven, byte-at-a-time: checkpoints are written once and
+// verified once per load, so simplicity beats throughput here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mars {
+
+namespace detail {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      entries[i] = c;
+    }
+  }
+};
+
+inline const Crc32Table& crc32_table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace detail
+
+/// Incremental update: pass the previous return value (or 0 to start).
+inline uint32_t crc32_update(uint32_t crc, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = detail::crc32_table().entries;
+  crc ^= 0xffffffffu;
+  for (size_t i = 0; i < len; ++i)
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+/// One-shot CRC-32 of a buffer.
+inline uint32_t crc32(const void* data, size_t len) {
+  return crc32_update(0, data, len);
+}
+
+}  // namespace mars

@@ -5,6 +5,7 @@
 // that every experiment is reproducible from a single seed.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <numeric>
@@ -112,6 +113,17 @@ class Rng {
 
   /// Derive an independent child stream (for per-thread / per-trial use).
   Rng split() { return Rng(next_u64() ^ 0xd1342543de82ef95ull); }
+
+  /// Raw xoshiro256++ state, for checkpointing a stream mid-sequence.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+  /// Restore a stream captured with state(). An all-zero state is invalid
+  /// for xoshiro (the sequence would be stuck at zero), so it is rejected.
+  void set_state(const std::array<uint64_t, 4>& state) {
+    MARS_CHECK_MSG(state[0] | state[1] | state[2] | state[3],
+                   "all-zero rng state is invalid");
+    for (int i = 0; i < 4; ++i) s_[i] = state[i];
+  }
 
  private:
   static uint64_t rotl(uint64_t x, int k) {

@@ -1,0 +1,380 @@
+// Fault-tolerance tests: durable checkpoint container (truncation / bit-flip
+// / torn-write rejection, atomic publication), kill-and-resume bit-identity
+// of the training loop, retention, and the divergence watchdog.
+#include "rl/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/mars.h"
+#include "nn/serialize.h"
+#include "rl/optimizer.h"
+#include "rl/ppo.h"
+
+namespace mars {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty scratch directory under the test temp dir.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("mars_ckpt_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Minimal tabular policy (same shape as rl_test.cpp): logits are free
+/// parameters over n ops x devices, enough to drive the full PPO loop.
+class TabularPolicy : public PlacementPolicy {
+ public:
+  TabularPolicy(int n, int devices, Rng& rng) : n_(n), devices_(devices) {
+    logits_ = add_param("logits",
+                        Tensor::randn({n, devices}, rng, 0.01f, true));
+  }
+  void attach_graph(const CompGraph&) override {}
+  ActionSample sample(Rng& rng) override {
+    ActionSample s;
+    s.placement = sample_rows(logits_, rng);
+    Tensor lp = gather_per_row(log_softmax_rows(logits_), s.placement);
+    s.logp_terms.assign(lp.data(), lp.data() + lp.numel());
+    return s;
+  }
+  ActionEval evaluate(const ActionSample& sample) override {
+    Tensor lp = log_softmax_rows(logits_);
+    Tensor probs = softmax_rows(logits_);
+    return {gather_per_row(lp, sample.placement),
+            scale(sum_all(mul(probs, lp)), -1.0f / static_cast<float>(n_))};
+  }
+  int num_devices() const override { return devices_; }
+  std::string describe() const override { return "tabular"; }
+
+ private:
+  int n_, devices_;
+  Tensor logits_;
+};
+
+/// A small but non-trivial container: two records with distinct payloads.
+std::string sample_container() {
+  CheckpointWriter w;
+  BlobWriter a;
+  a.put_u32(7);
+  a.put_string("payload-a");
+  w.add("alpha", a.take());
+  BlobWriter b;
+  b.put_f64(3.25);
+  b.put_i32s({1, 2, 3, 4});
+  w.add("beta", b.take());
+  return w.serialize();
+}
+
+TEST(CkptContainer, TruncationAtEveryOffsetRejected) {
+  const std::string bytes = sample_container();
+  CheckpointReader reader;
+  ASSERT_TRUE(reader.parse(bytes).ok());
+  ASSERT_EQ(reader.record_count(), 2u);
+  // Every strict prefix — including the empty file — must be rejected as
+  // corrupt, never crash, never yield records.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    CheckpointReader r;
+    const CkptResult res = r.parse(bytes.substr(0, len));
+    EXPECT_FALSE(res.ok()) << "prefix of " << len << " bytes accepted";
+    EXPECT_EQ(res.status, CkptStatus::kCorrupt) << "prefix len " << len;
+  }
+}
+
+TEST(CkptContainer, EveryBitFlipRejected) {
+  const std::string bytes = sample_container();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      CheckpointReader r;
+      const CkptResult res = r.parse(std::move(mutated));
+      EXPECT_FALSE(res.ok())
+          << "bit " << bit << " of byte " << i << " flipped unnoticed";
+    }
+  }
+}
+
+TEST(CkptContainer, TrailingGarbageAndForeignFilesRejected) {
+  CheckpointReader r;
+  EXPECT_EQ(r.parse(sample_container() + "x").status, CkptStatus::kCorrupt);
+  EXPECT_EQ(r.parse("definitely not a checkpoint file at all....").status,
+            CkptStatus::kCorrupt);
+  const CkptResult missing = r.open("/nonexistent/dir/ckpt.mars");
+  EXPECT_EQ(missing.status, CkptStatus::kIoError);
+  EXPECT_FALSE(missing.message.empty());
+}
+
+TEST(CkptContainer, FaultInjectionIoErrorUnlinksTmp) {
+  const std::string dir = scratch_dir("fault_io");
+  const std::string path = dir + "/params.mars";
+  Rng rng(1);
+  TabularPolicy policy(4, 3, rng);
+
+  set_checkpoint_fault(CkptFault::kIoError);
+  const CkptResult r = save_parameters(policy, path);
+  set_checkpoint_fault(CkptFault::kNone);
+  EXPECT_EQ(r.status, CkptStatus::kIoError);
+  EXPECT_FALSE(fs::exists(path)) << "failed save must not publish";
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "failed save must unlink .tmp";
+
+  // And with the fault cleared the same save succeeds cleanly.
+  ASSERT_TRUE(save_parameters(policy, path).ok());
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(CkptContainer, TornWriteDetectedOnLoad) {
+  const std::string dir = scratch_dir("fault_torn");
+  const std::string path = dir + "/params.mars";
+  Rng rng(2);
+  TabularPolicy policy(4, 3, rng);
+  ASSERT_TRUE(save_parameters(policy, path).ok());
+  const size_t full_size = fs::file_size(path);
+
+  // A torn write the writer never observed: half the bytes land, the save
+  // still reported success. The loader must reject the file.
+  set_checkpoint_fault(CkptFault::kTruncate, full_size / 2);
+  const std::string torn = dir + "/torn.mars";
+  EXPECT_TRUE(save_parameters(policy, torn).ok());
+  set_checkpoint_fault(CkptFault::kNone);
+  ASSERT_TRUE(fs::exists(torn));
+  EXPECT_EQ(fs::file_size(torn), full_size / 2);
+  const CkptResult r = load_parameters(policy, torn);
+  EXPECT_EQ(r.status, CkptStatus::kCorrupt);
+}
+
+/// Three-op chain on the default 4-GPU machine: deterministic simulator,
+/// non-trivial placement space, cheap rounds.
+struct TinyEnv {
+  CompGraph graph{"t"};
+  std::unique_ptr<ExecutionSimulator> sim;
+  std::unique_ptr<TrialRunner> runner;
+
+  TinyEnv() {
+    int a = graph.add_node("a", OpType::kMatMul, {1024}, 1'000'000'000, 0);
+    int b = graph.add_node("b", OpType::kMatMul, {1024}, 1'000'000'000, 0);
+    int c = graph.add_node("c", OpType::kMatMul, {1024}, 1'000'000'000, 0);
+    graph.add_edge(a, b);
+    graph.add_edge(b, c);
+    sim = std::make_unique<ExecutionSimulator>(graph,
+                                               MachineSpec::default_4gpu());
+    runner = std::make_unique<TrialRunner>(*sim);
+  }
+};
+
+OptimizeConfig tiny_config(const std::string& dir, int max_rounds,
+                           bool resume) {
+  OptimizeConfig cfg;
+  cfg.max_rounds = max_rounds;
+  cfg.ppo.placements_per_policy = 4;
+  cfg.ppo.update_batch = 8;
+  cfg.checkpoint.dir = dir;
+  cfg.checkpoint.every_rounds = 2;
+  cfg.checkpoint.resume = resume;
+  return cfg;
+}
+
+OptimizeResult run_tiny(const TinyEnv& env, const OptimizeConfig& cfg,
+                        uint64_t policy_seed, uint64_t optimize_seed) {
+  Rng rng(policy_seed);
+  TabularPolicy policy(3, 5, rng);
+  return optimize_placement(policy, *env.runner, cfg, optimize_seed);
+}
+
+/// The deterministic per-round quantities (everything fig7 writes to CSV)
+/// must match exactly between two runs; wall-clock fields are exempt.
+void expect_history_identical(const OptimizeResult& a,
+                              const OptimizeResult& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    SCOPED_TRACE("round " + std::to_string(i));
+    EXPECT_EQ(a.history[i].mean_valid_step_time,
+              b.history[i].mean_valid_step_time);
+    EXPECT_EQ(a.history[i].valid_samples, b.history[i].valid_samples);
+    EXPECT_EQ(a.history[i].invalid_samples, b.history[i].invalid_samples);
+    EXPECT_EQ(a.history[i].bad_samples, b.history[i].bad_samples);
+    EXPECT_EQ(a.history[i].best_step_time_so_far,
+              b.history[i].best_step_time_so_far);
+    EXPECT_EQ(a.history[i].cache_hits, b.history[i].cache_hits);
+    // Simulated env time is restored as offset + fresh accumulation, so
+    // the summation order differs from an uninterrupted run: equal to
+    // rounding, not to the bit (it is not part of the fig7 CSV).
+    EXPECT_NEAR(a.history[i].env_seconds, b.history[i].env_seconds,
+                1e-9 * (1.0 + a.history[i].env_seconds));
+  }
+  EXPECT_EQ(a.best_step_time, b.best_step_time);
+  EXPECT_EQ(a.best_placement, b.best_placement);
+  EXPECT_EQ(a.found_valid, b.found_valid);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_NEAR(a.env_seconds, b.env_seconds, 1e-9 * (1.0 + a.env_seconds));
+}
+
+TEST(Resume, KillAndResumeIsBitIdentical) {
+  TinyEnv env;
+  // Reference: one uninterrupted 8-round run.
+  const std::string ref_dir = scratch_dir("resume_ref");
+  const OptimizeResult full =
+      run_tiny(env, tiny_config(ref_dir, 8, false), 21, 99);
+  ASSERT_EQ(full.history.size(), 8u);
+  EXPECT_EQ(full.resumed_from_round, -1);
+
+  // "Crash" after 4 rounds (checkpoints after rounds 2 and 4), then resume
+  // to the same 8-round budget with a freshly constructed policy.
+  const std::string dir = scratch_dir("resume_run");
+  const OptimizeResult part =
+      run_tiny(env, tiny_config(dir, 4, false), 21, 99);
+  ASSERT_EQ(part.history.size(), 4u);
+  const OptimizeResult resumed =
+      run_tiny(env, tiny_config(dir, 8, true), 21, 99);
+  EXPECT_EQ(resumed.resumed_from_round, 4);
+  expect_history_identical(full, resumed);
+}
+
+TEST(Resume, CorruptNewestCheckpointFallsBackToOlder) {
+  TinyEnv env;
+  const std::string dir = scratch_dir("resume_fallback");
+  run_tiny(env, tiny_config(dir, 8, false), 5, 6);
+  std::vector<int> rounds = list_checkpoint_rounds(dir);
+  ASSERT_GE(rounds.size(), 2u);  // descending: newest first
+  const std::string newest = checkpoint_file(dir, rounds[0]);
+  // Truncate the newest checkpoint to half: resume must reject it and fall
+  // back to the next older one instead of failing or loading garbage.
+  const std::string bytes = read_file(newest);
+  write_file(newest, bytes.substr(0, bytes.size() / 2));
+
+  const OptimizeResult resumed =
+      run_tiny(env, tiny_config(dir, 10, true), 5, 6);
+  EXPECT_EQ(resumed.resumed_from_round, rounds[1] + 1);
+  EXPECT_EQ(resumed.history.size(), 10u);
+}
+
+TEST(Resume, AllCheckpointsCorruptStartsFresh) {
+  TinyEnv env;
+  const std::string dir = scratch_dir("resume_fresh");
+  const OptimizeResult full =
+      run_tiny(env, tiny_config(dir, 6, false), 31, 32);
+  for (int round : list_checkpoint_rounds(dir)) {
+    const std::string path = checkpoint_file(dir, round);
+    write_file(path, read_file(path).substr(0, 10));
+  }
+  // Every candidate rejected -> a genuinely fresh run, identical to the
+  // original fresh run (the initial-parameter snapshot restores the policy).
+  const std::string ref_dir = scratch_dir("resume_fresh_ref");
+  const OptimizeResult again =
+      run_tiny(env, tiny_config(dir, 6, true), 31, 32);
+  EXPECT_EQ(again.resumed_from_round, -1);
+  const OptimizeResult ref =
+      run_tiny(env, tiny_config(ref_dir, 6, false), 31, 32);
+  expect_history_identical(ref, again);
+}
+
+TEST(Retention, KeepsLastKPlusBestAndSweepsTmp) {
+  TinyEnv env;
+  const std::string dir = scratch_dir("retention");
+  OptimizeConfig cfg = tiny_config(dir, 12, false);
+  cfg.checkpoint.keep_last = 2;
+  run_tiny(env, cfg, 41, 42);
+  const std::vector<int> rounds = list_checkpoint_rounds(dir);
+  // 12 rounds at every_rounds=2 wrote 6 checkpoints; keep_last=2 plus the
+  // protected best leaves at most 3 on disk, newest present.
+  EXPECT_LE(rounds.size(), 3u);
+  ASSERT_FALSE(rounds.empty());
+  EXPECT_EQ(rounds[0], 11);
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp");
+  }
+}
+
+TEST(Watchdog, SkipsNonFiniteUpdatesWithoutCrashing) {
+  Rng rng(8);
+  TabularPolicy policy(4, 3, rng);
+  const Tensor logits = policy.parameters()[0];
+  const std::vector<float> before(logits.data(),
+                                  logits.data() + logits.numel());
+  PpoConfig cfg;
+  cfg.placements_per_policy = 6;
+  cfg.update_batch = 6;
+  // A hostile environment: "valid" trials with infinite step time give
+  // reward -inf and advantage (-inf) - (-inf) = NaN, so every update's
+  // loss is non-finite. The watchdog must skip those steps (counting
+  // them) instead of writing NaN into the parameters or crashing.
+  CallbackEnv env([](const Placement&) {
+    TrialResult t;
+    t.valid = true;
+    t.step_time = std::numeric_limits<double>::infinity();
+    return t;
+  });
+  PpoTrainer trainer(policy, env, cfg, 17);
+  for (int round = 0; round < 4; ++round) trainer.round();
+  EXPECT_GT(trainer.bad_updates(), 0);
+  EXPECT_GT(trainer.consecutive_bad_updates(), 0);
+  // Parameters were never touched by a skipped update.
+  const std::vector<float> after(logits.data(),
+                                 logits.data() + logits.numel());
+  EXPECT_EQ(after, before);
+}
+
+TEST(Watchdog, TrainerStateRoundTripsThroughCheckpoint) {
+  CallbackEnv env([](const Placement& p) {
+    TrialResult t;
+    t.valid = true;
+    t.step_time = 2.0 - 0.2 * static_cast<double>(p[0] == 2);
+    return t;
+  });
+  PpoConfig cfg;
+  cfg.placements_per_policy = 5;
+  cfg.update_batch = 10;
+
+  Rng rng_a(9);
+  TabularPolicy pol_a(4, 3, rng_a);
+  PpoTrainer a(pol_a, env, cfg, 33);
+  for (int i = 0; i < 3; ++i) a.round();
+
+  CheckpointWriter w;
+  add_parameter_records(w, pol_a);
+  a.save_state(w);
+  CheckpointReader r;
+  ASSERT_TRUE(r.parse(w.serialize()).ok());
+
+  Rng rng_b(1234);  // deliberately different init: the load must overwrite
+  TabularPolicy pol_b(4, 3, rng_b);
+  PpoTrainer b(pol_b, env, cfg, 77);
+  ASSERT_TRUE(load_parameter_records(r, pol_b).ok());
+  ASSERT_TRUE(b.load_state(r).ok());
+
+  // Both trainers now continue from identical state: further rounds agree.
+  for (int i = 0; i < 3; ++i) {
+    auto ra = a.round();
+    auto rb = b.round();
+    ASSERT_EQ(ra.samples.size(), rb.samples.size());
+    for (size_t s = 0; s < ra.samples.size(); ++s) {
+      EXPECT_EQ(ra.samples[s].action.placement,
+                rb.samples[s].action.placement);
+      EXPECT_EQ(ra.samples[s].reward, rb.samples[s].reward);
+    }
+    EXPECT_EQ(a.best_step_time(), b.best_step_time());
+  }
+}
+
+}  // namespace
+}  // namespace mars

@@ -275,8 +275,8 @@ TEST(Serialize, RoundTripRestoresParameters) {
   Mlp a({3, 4, 2}, Activation::kRelu, rng);
   Mlp b({3, 4, 2}, Activation::kRelu, rng);
   const std::string path = ::testing::TempDir() + "/mars_params.bin";
-  ASSERT_TRUE(save_parameters(a, path));
-  ASSERT_TRUE(load_parameters(b, path));
+  ASSERT_TRUE(save_parameters(a, path).ok());
+  ASSERT_TRUE(load_parameters(b, path).ok());
   auto pa = a.parameters();
   auto pb = b.parameters();
   for (size_t i = 0; i < pa.size(); ++i)
@@ -290,8 +290,18 @@ TEST(Serialize, RejectsStructureMismatch) {
   Mlp a({3, 4, 2}, Activation::kRelu, rng);
   Mlp c({3, 5, 2}, Activation::kRelu, rng);  // different hidden width
   const std::string path = ::testing::TempDir() + "/mars_params2.bin";
-  ASSERT_TRUE(save_parameters(a, path));
-  EXPECT_THROW(load_parameters(c, path), CheckError);
+  ASSERT_TRUE(save_parameters(a, path).ok());
+  std::vector<std::vector<float>> before;
+  for (const auto& p : c.parameters())
+    before.emplace_back(p.data(), p.data() + p.numel());
+  const CkptResult result = load_parameters(c, path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, CkptStatus::kMismatch);
+  // A failed load must leave the target module untouched.
+  auto pc = c.parameters();
+  for (size_t i = 0; i < pc.size(); ++i)
+    for (int64_t j = 0; j < pc[i].numel(); ++j)
+      EXPECT_FLOAT_EQ(pc[i].data()[j], before[i][j]);
   std::remove(path.c_str());
 }
 

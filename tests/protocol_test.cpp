@@ -151,8 +151,8 @@ TEST(MarsAgent, CheckpointRoundTripPreservesPolicy) {
   b->attach_graph(g);
 
   const std::string path = ::testing::TempDir() + "/mars_agent.bin";
-  ASSERT_TRUE(save_parameters(*a, path));
-  ASSERT_TRUE(load_parameters(*b, path));
+  ASSERT_TRUE(save_parameters(*a, path).ok());
+  ASSERT_TRUE(load_parameters(*b, path).ok());
 
   // Identical parameters => identical sampling behavior for the same seed.
   Rng sa(9), sb(9);

@@ -3,6 +3,15 @@
 // cache semantics, and the TCP daemon.
 #include "serve/service.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -10,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/graph_io.h"
+#include "nn/serialize.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "util/check.h"
@@ -447,6 +457,204 @@ TEST(ServeService, PrivateRegistriesIsolateCounts) {
   EXPECT_EQ(b.stats().requests.load(), 2u);  // shared with c
   EXPECT_EQ(&b.stats().requests, &c.stats().requests);
   EXPECT_NE(&a.stats().requests, &b.stats().requests);
+}
+
+/// A parameter checkpoint architecturally compatible with
+/// tiny_service_config()'s agent (same config, same machine shape), with
+/// weights from a distinct seed so a swap is observable.
+std::string write_compatible_checkpoint(const std::string& name,
+                                        uint64_t seed) {
+  const std::filesystem::path path =
+      std::filesystem::path(testing::TempDir()) / name;
+  const ServiceConfig config = tiny_service_config();
+  Rng rng(seed);
+  auto agent = make_mars_agent(config.agent, config.agent_gpus + 1, rng);
+  const CkptResult r = save_parameters(*agent, path.string());
+  EXPECT_TRUE(r.ok()) << r.message;
+  return path.string();
+}
+
+TEST(ServeService, HotReloadSwapsModelAtomically) {
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
+  EXPECT_EQ(service.model_generation(), 0);
+
+  // No configured checkpoint and no path: a structured failure.
+  ReloadOutcome none = service.reload_checkpoint();
+  EXPECT_FALSE(none.ok);
+  EXPECT_EQ(service.model_generation(), 0);
+
+  const std::string good = write_compatible_checkpoint("reload_good.mars", 7);
+  ReloadOutcome ok = service.reload_checkpoint(good);
+  EXPECT_TRUE(ok.ok) << ok.message;
+  EXPECT_EQ(ok.generation, 1);
+  EXPECT_EQ(service.model_generation(), 1);
+  EXPECT_EQ(service.handle(tiny_request("after")).status, PlaceStatus::kOk);
+
+  // A corrupt file is rejected; the swapped-in model keeps serving.
+  const std::string bad =
+      (std::filesystem::path(testing::TempDir()) / "reload_bad.mars").string();
+  std::ofstream(bad, std::ios::binary) << "not a checkpoint";
+  ReloadOutcome rej = service.reload_checkpoint(bad);
+  EXPECT_FALSE(rej.ok);
+  EXPECT_EQ(rej.generation, 1);
+  EXPECT_EQ(service.model_generation(), 1);
+  EXPECT_EQ(service.handle(tiny_request("still")).status, PlaceStatus::kOk);
+
+  // Counters moved exactly: 2 rejected (missing + corrupt), 1 success.
+  EXPECT_EQ(service.stats().reload_ok.load(), 1u);
+  EXPECT_EQ(service.stats().reload_fail.load(), 2u);
+}
+
+TEST(ServeService, MismatchedCheckpointRejectedOnReload) {
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
+  // A valid container whose records don't fit this architecture.
+  ServiceConfig other = tiny_service_config();
+  other.agent.encoder_hidden = 16;
+  Rng rng(3);
+  auto agent = make_mars_agent(other.agent, other.agent_gpus + 1, rng);
+  const std::string path =
+      (std::filesystem::path(testing::TempDir()) / "mismatch.mars").string();
+  ASSERT_TRUE(save_parameters(*agent, path).ok());
+
+  ReloadOutcome rej = service.reload_checkpoint(path);
+  EXPECT_FALSE(rej.ok);
+  EXPECT_FALSE(rej.message.empty());
+  EXPECT_EQ(service.model_generation(), 0);
+  EXPECT_EQ(service.handle(tiny_request("fine")).status, PlaceStatus::kOk);
+}
+
+// The robustness acceptance gate: hot reloads racing live traffic must not
+// fail a single well-formed request.
+TEST(ServeDaemonTest, HotReloadUnderLoadDropsNoRequests) {
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
+  ServerConfig server_config;
+  server_config.threads = 4;
+  ServeDaemon daemon(service, server_config);
+  std::thread serve_thread([&] { daemon.serve(); });
+
+  const std::string ckpt_a = write_compatible_checkpoint("load_a.mars", 11);
+  const std::string ckpt_b = write_compatible_checkpoint("load_b.mars", 12);
+
+  constexpr int kClients = 3;
+  constexpr int kPerClient = 25;
+  std::vector<std::thread> clients;
+  std::vector<int> ok_counts(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      PlaceClient client("127.0.0.1", daemon.port());
+      for (int i = 0; i < kPerClient; ++i) {
+        PlaceRequest request =
+            tiny_request("c" + std::to_string(c) + "_" + std::to_string(i));
+        request.options.use_cache = false;  // force decode through a replica
+        if (client.place(request).status == PlaceStatus::kOk)
+          ++ok_counts[static_cast<size_t>(c)];
+      }
+    });
+  }
+  // Alternate between two checkpoints while the load runs.
+  int reload_ok = 0;
+  {
+    PlaceClient admin("127.0.0.1", daemon.port());
+    for (int i = 0; i < 6; ++i) {
+      const ReloadResponse r = admin.reload(i % 2 ? ckpt_b : ckpt_a);
+      EXPECT_TRUE(r.ok) << r.message;
+      reload_ok += r.ok;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  for (auto& t : clients) t.join();
+  daemon.shutdown();
+  serve_thread.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(ok_counts[static_cast<size_t>(c)], kPerClient)
+        << "client " << c << " lost requests during hot reloads";
+  }
+  EXPECT_EQ(service.stats().reload_ok.load(),
+            static_cast<uint64_t>(reload_ok));
+  EXPECT_EQ(service.model_generation(), reload_ok);
+}
+
+TEST(ServeDaemonTest, BadReloadOverTcpIsStructuredError) {
+  PlacementService service(tiny_service_config());
+  ServeDaemon daemon(service, ServerConfig{});
+  std::thread serve_thread([&] { daemon.serve(); });
+  {
+    PlaceClient client("127.0.0.1", daemon.port());
+    const ReloadResponse r = client.reload("/nonexistent/model.mars");
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.message.empty());
+    EXPECT_EQ(r.generation, 0);
+    // The connection and the old model both survive.
+    EXPECT_EQ(client.place(tiny_request("after")).status, PlaceStatus::kOk);
+  }
+  daemon.shutdown();
+  serve_thread.join();
+}
+
+TEST(ServeClient, ReconnectsAndRetriesAfterDaemonRestart) {
+  obs::MetricsRegistry registry_a;
+  PlacementService service_a(tiny_service_config(&registry_a));
+  auto daemon_a = std::make_unique<ServeDaemon>(service_a, ServerConfig{});
+  const int port = daemon_a->port();
+  std::thread thread_a([&] { daemon_a->serve(); });
+
+  ClientConfig cc;
+  cc.max_retries = 8;
+  cc.backoff_initial_s = 0.02;
+  PlaceClient client("127.0.0.1", port, cc);
+  EXPECT_EQ(client.place(tiny_request("one")).status, PlaceStatus::kOk);
+
+  daemon_a->shutdown();
+  thread_a.join();
+  daemon_a.reset();
+
+  // Restart on the same port; the client's next request sees a dead
+  // connection, reconnects and succeeds without surfacing an error.
+  obs::MetricsRegistry registry_b;
+  PlacementService service_b(tiny_service_config(&registry_b));
+  ServerConfig restart_config;
+  restart_config.port = port;
+  ServeDaemon daemon_b(service_b, restart_config);
+  std::thread thread_b([&] { daemon_b.serve(); });
+
+  EXPECT_EQ(client.place(tiny_request("two")).status, PlaceStatus::kOk);
+  EXPECT_GE(client.counters().retries, 1);
+  EXPECT_GE(client.counters().reconnects, 1);
+
+  daemon_b.shutdown();
+  thread_b.join();
+}
+
+TEST(ServeClient, DeadlineExceededOnSilentServer) {
+  // A listener that accepts connections into its backlog and never
+  // answers: the client must time out, retry, and finally throw.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len), 0);
+  const int port = ntohs(addr.sin_port);
+
+  ClientConfig cc;
+  cc.request_timeout_s = 0.1;
+  cc.max_retries = 1;
+  cc.backoff_initial_s = 0.01;
+  PlaceClient client("127.0.0.1", port, cc);
+  EXPECT_THROW(client.place(tiny_request("never")), CheckError);
+  EXPECT_GE(client.counters().deadline_exceeded, 1);
+  EXPECT_EQ(client.counters().retries, 1);
+  ::close(listen_fd);
 }
 
 }  // namespace
