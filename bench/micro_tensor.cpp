@@ -1,0 +1,390 @@
+// micro_tensor: the tensor-stack performance baseline.
+//
+// Self-timed (no google-benchmark dependency) so the binary can run in the
+// perf-smoke CI job and emit a machine-readable BENCH_tensor.json:
+//
+//   micro_tensor --json-out BENCH_tensor.json   # measure and record
+//   micro_tensor --validate BENCH_tensor.json   # schema-check a recording
+//   micro_tensor --quick                        # shorter timing windows (CI)
+//
+// Three sections:
+//   gemm          blocked+SIMD kernel vs the pre-refactor reference kernel
+//                 (kernels::gemm_reference) at the shapes the model runs
+//   fused         fused op chains vs their unfused autograd compositions
+//   training_step steady-state fwd/bwd/Adam steps: latency and the number
+//                 of tensor-storage heap allocations that bypassed the
+//                 Workspace arena (must be zero once warm)
+//
+// Numbers are machine- and build-dependent; the JSON records compiler and
+// thread count so baselines are comparable like-for-like.
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "tensor/arena.h"
+#include "tensor/fused.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace {
+
+using mars::Epilogue;
+using mars::Json;
+using mars::Tensor;
+using mars::Workspace;
+namespace kernels = mars::kernels;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times fn() adaptively: doubles the repetition count until the batch runs
+/// for at least `min_window_s`, then reports seconds per call.
+template <typename Fn>
+double time_per_call(Fn&& fn, double min_window_s) {
+  fn();  // warm caches, pools and scratch
+  int64_t reps = 1;
+  for (;;) {
+    const double t0 = now_s();
+    for (int64_t r = 0; r < reps; ++r) fn();
+    const double elapsed = now_s() - t0;
+    if (elapsed >= min_window_s) return elapsed / static_cast<double>(reps);
+    reps = elapsed <= 0 ? reps * 8 : reps * 2;
+  }
+}
+
+struct GemmShape {
+  int64_t m, k, n;
+  const char* note;
+};
+
+Json bench_gemm(double window_s) {
+  // Shapes the model actually runs: GCN/MLP layers (square-ish), the
+  // encoder-typical 256x256x128, and the decode-time matvec.
+  const GemmShape shapes[] = {
+      {64, 64, 64, "small gcn layer"},
+      {128, 128, 128, "mlp hidden layer"},
+      {256, 256, 128, "encoder-typical"},
+      {256, 128, 384, "gcn wide out"},
+      {512, 256, 256, "large segment"},
+      {1, 256, 1024, "decode matvec"},
+  };
+  mars::Rng rng(42);
+  Json out = Json::array();
+  for (const GemmShape& s : shapes) {
+    std::vector<float> a(static_cast<size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<size_t>(s.k * s.n));
+    std::vector<float> c(static_cast<size_t>(s.m * s.n), 0.0f);
+    for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    const double flops = 2.0 * static_cast<double>(s.m) *
+                         static_cast<double>(s.k) * static_cast<double>(s.n);
+    const double t_ref = time_per_call(
+        [&] {
+          kernels::gemm_reference(kernels::Trans::kNo, kernels::Trans::kNo,
+                                  s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                                  c.data(), s.n, false);
+        },
+        window_s);
+    const double t_ker = time_per_call(
+        [&] {
+          kernels::gemm(kernels::Trans::kNo, kernels::Trans::kNo, s.m, s.n,
+                        s.k, a.data(), s.k, b.data(), s.n, c.data(), s.n,
+                        false);
+        },
+        window_s);
+    Json row = Json::object();
+    row.set("m", Json::of(s.m))
+        .set("k", Json::of(s.k))
+        .set("n", Json::of(s.n))
+        .set("note", Json::of(s.note))
+        .set("ref_gflops", Json::of(flops / t_ref * 1e-9))
+        .set("kernel_gflops", Json::of(flops / t_ker * 1e-9))
+        .set("speedup", Json::of(t_ref / t_ker));
+    out.push(std::move(row));
+  }
+  return out;
+}
+
+Json fused_row(const char* chain, double unfused_s, double fused_s) {
+  Json row = Json::object();
+  row.set("chain", Json::of(chain))
+      .set("unfused_us", Json::of(unfused_s * 1e6))
+      .set("fused_us", Json::of(fused_s * 1e6))
+      .set("speedup", Json::of(unfused_s / fused_s));
+  return row;
+}
+
+Json bench_fused(double window_s) {
+  mars::Rng rng(7);
+  Json out = Json::array();
+
+  {
+    // Linear + bias + PReLU over an encoder-sized batch, forward+backward.
+    const int64_t m = 256, k = 128, n = 128;
+    Tensor x = Tensor::randn({m, k}, rng, 1.0f, true);
+    Tensor w = Tensor::randn({k, n}, rng, 0.1f, true);
+    Tensor b = Tensor::zeros({1, n}, true);
+    Tensor al = Tensor::full({1, 1}, 0.25f, true);
+    const double t_unfused = time_per_call(
+        [&] {
+          Tensor y = prelu(add(matmul(x, w), b), al);
+          mars::mean_all(y).backward();
+        },
+        window_s);
+    const double t_fused = time_per_call(
+        [&] {
+          Tensor y = mars::linear_act(x, w, b, Epilogue::kPrelu, al);
+          mars::mean_all(y).backward();
+        },
+        window_s);
+    out.push(fused_row("linear_bias_prelu", t_unfused, t_fused));
+  }
+
+  {
+    // One LSTM cell step (decode-path shape), forward+backward: the
+    // pre-refactor op composition vs lstm_cell_fused on the same weights.
+    const int64_t in = 64, hd = 128;
+    Tensor x = Tensor::randn({1, in}, rng, 1.0f, true);
+    Tensor h0 = Tensor::randn({1, hd}, rng, 0.1f, true);
+    Tensor c0 = Tensor::randn({1, hd}, rng, 0.1f, true);
+    Tensor w_ih = Tensor::randn({in, 4 * hd}, rng, 0.1f, true);
+    Tensor w_hh = Tensor::randn({hd, 4 * hd}, rng, 0.1f, true);
+    Tensor b = Tensor::zeros({1, 4 * hd}, true);
+    const double t_unfused = time_per_call(
+        [&] {
+          Tensor gates =
+              mars::add(mars::add(matmul(x, w_ih), matmul(h0, w_hh)), b);
+          Tensor i = mars::sigmoid(mars::slice_cols(gates, 0, hd));
+          Tensor f = mars::sigmoid(mars::slice_cols(gates, hd, 2 * hd));
+          Tensor g = mars::tanh_op(mars::slice_cols(gates, 2 * hd, 3 * hd));
+          Tensor o = mars::sigmoid(mars::slice_cols(gates, 3 * hd, 4 * hd));
+          Tensor c = mars::add(mars::mul(f, c0), mars::mul(i, g));
+          mars::mean_all(mars::mul(o, mars::tanh_op(c))).backward();
+        },
+        window_s);
+    const double t_fused = time_per_call(
+        [&] {
+          Tensor hc = mars::lstm_cell_fused(x, h0, c0, w_ih, w_hh, b);
+          mars::mean_all(mars::slice_cols(hc, 0, hd)).backward();
+        },
+        window_s);
+    out.push(fused_row("lstm_cell", t_unfused, t_fused));
+  }
+
+  {
+    // GCN aggregation + PReLU on a ring-with-self-loops graph.
+    const int n = 256;
+    const int64_t f = 128;
+    std::vector<mars::Csr::Entry> entries;
+    for (int i = 0; i < n; ++i) {
+      entries.push_back({i, i, 0.5f});
+      entries.push_back({i, (i + 1) % n, 0.25f});
+      entries.push_back({i, (i + n - 1) % n, 0.25f});
+    }
+    auto adj = std::make_shared<const mars::Csr>(n, std::move(entries));
+    Tensor x = Tensor::randn({n, f}, rng, 1.0f, true);
+    Tensor al = Tensor::full({1, 1}, 0.25f, true);
+    const double t_unfused = time_per_call(
+        [&] { mars::mean_all(prelu(spmm(adj, x), al)).backward(); }, window_s);
+    const double t_fused = time_per_call(
+        [&] { mars::mean_all(mars::spmm_prelu(adj, x, al)).backward(); },
+        window_s);
+    out.push(fused_row("spmm_prelu", t_unfused, t_fused));
+  }
+  return out;
+}
+
+Json bench_training_step(double window_s) {
+  // A representative steady-state step: fused MLP forward/backward plus an
+  // 8-step LSTM decode chain, then one Adam update.
+  mars::Rng rng(3);
+  mars::Mlp mlp({128, 256, 256, 8}, mars::Activation::kPrelu, rng);
+  mars::LstmCell cell(64, 128, rng);
+  Tensor batch = Tensor::randn({32, 128}, rng, 1.0f);
+  Tensor dec_in = Tensor::randn({1, 64}, rng, 1.0f);
+  std::vector<Tensor> params = mlp.parameters();
+  for (const Tensor& p : cell.parameters()) params.push_back(p);
+  mars::Adam opt(params);
+
+  auto step = [&] {
+    opt.zero_grad();
+    Tensor loss = mars::mean_all(mlp.forward(batch));
+    auto s = cell.initial_state();
+    for (int t = 0; t < 8; ++t) s = cell.step(dec_in, s);
+    loss = mars::add(loss, mars::mean_all(s.h));
+    loss.backward();
+    opt.step();
+  };
+
+  for (int i = 0; i < 5; ++i) step();  // warm the arena across all classes
+
+  const Workspace::GlobalStats before = Workspace::global_stats();
+  constexpr int kSteps = 20;
+  for (int i = 0; i < kSteps; ++i) step();
+  const Workspace::GlobalStats after = Workspace::global_stats();
+  const double misses_per_step =
+      static_cast<double>(after.misses - before.misses) / kSteps;
+
+  const double t_step = time_per_call(step, window_s);
+  Json out = Json::object();
+  out.set("us_per_step", Json::of(t_step * 1e6))
+      .set("arena_external_allocations_per_step", Json::of(misses_per_step))
+      .set("arena_hit_rate",
+           Json::of(after.hits + after.misses == 0
+                        ? 0.0
+                        : static_cast<double>(after.hits) /
+                              static_cast<double>(after.hits + after.misses)));
+  return out;
+}
+
+Json build_info() {
+  Json b = Json::object();
+  b.set("compiler", Json::of(__VERSION__));
+#ifdef _OPENMP
+  b.set("openmp", Json::of(true));
+  b.set("threads", Json::of(static_cast<int64_t>(omp_get_max_threads())));
+#else
+  b.set("openmp", Json::of(false));
+  b.set("threads", Json::of(int64_t{1}));
+#endif
+  return b;
+}
+
+/// Schema check for mars.bench.tensor/v1 recordings. Returns an empty
+/// string on success, else a description of the first problem.
+std::string validate(const Json& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  if (doc.get_string("schema", "") != "mars.bench.tensor/v1")
+    return "schema key missing or not mars.bench.tensor/v1";
+  for (const char* key : {"build", "gemm", "fused", "training_step"})
+    if (!doc.has(key)) return std::string("missing key: ") + key;
+  if (!doc.at("gemm").is_array() || doc.at("gemm").size() == 0)
+    return "gemm section empty";
+  for (size_t i = 0; i < doc.at("gemm").size(); ++i) {
+    const Json& row = doc.at("gemm").at(i);
+    for (const char* key : {"m", "k", "n", "ref_gflops", "kernel_gflops",
+                            "speedup"})
+      if (!row.has(key) || !row.at(key).is_number())
+        return "gemm row missing numeric key " + std::string(key);
+  }
+  if (!doc.at("fused").is_array() || doc.at("fused").size() == 0)
+    return "fused section empty";
+  for (size_t i = 0; i < doc.at("fused").size(); ++i) {
+    const Json& row = doc.at("fused").at(i);
+    if (!row.has("chain")) return "fused row missing chain";
+    for (const char* key : {"unfused_us", "fused_us", "speedup"})
+      if (!row.has(key) || !row.at(key).is_number())
+        return "fused row missing numeric key " + std::string(key);
+  }
+  const Json& ts = doc.at("training_step");
+  for (const char* key :
+       {"us_per_step", "arena_external_allocations_per_step"})
+    if (!ts.has(key) || !ts.at(key).is_number())
+      return "training_step missing numeric key " + std::string(key);
+  return "";
+}
+
+int run_validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    const std::string problem = validate(Json::parse(buf.str()));
+    if (!problem.empty()) {
+      std::cerr << path << ": " << problem << "\n";
+      return 1;
+    }
+  } catch (const mars::JsonError& e) {
+    std::cerr << path << ": parse error at byte " << e.offset() << ": "
+              << e.what() << "\n";
+    return 1;
+  }
+  std::cout << path << ": valid mars.bench.tensor/v1\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_out;
+  std::string validate_path;
+  double window_s = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--validate" && i + 1 < argc) {
+      validate_path = argv[++i];
+    } else if (arg == "--quick") {
+      window_s = 0.01;
+    } else {
+      std::cerr << "usage: micro_tensor [--json-out PATH] [--validate PATH] "
+                   "[--quick]\n";
+      return 2;
+    }
+  }
+  if (!validate_path.empty()) return run_validate(validate_path);
+
+  Json doc = Json::object();
+  doc.set("schema", Json::of("mars.bench.tensor/v1"));
+  doc.set("build", build_info());
+  doc.set("gemm", bench_gemm(window_s));
+  doc.set("fused", bench_fused(window_s));
+  doc.set("training_step", bench_training_step(window_s));
+
+  // Human-readable summary.
+  const Json& gemm = doc.at("gemm");
+  for (size_t i = 0; i < gemm.size(); ++i) {
+    const Json& r = gemm.at(i);
+    std::cout << "gemm " << r.at("m").as_int() << "x" << r.at("k").as_int()
+              << "x" << r.at("n").as_int() << "  ref "
+              << r.at("ref_gflops").as_double() << " GFLOP/s  kernel "
+              << r.at("kernel_gflops").as_double() << " GFLOP/s  speedup "
+              << r.at("speedup").as_double() << "\n";
+  }
+  const Json& fused = doc.at("fused");
+  for (size_t i = 0; i < fused.size(); ++i) {
+    const Json& r = fused.at(i);
+    std::cout << "fused " << r.at("chain").as_string() << "  unfused "
+              << r.at("unfused_us").as_double() << " us  fused "
+              << r.at("fused_us").as_double() << " us  speedup "
+              << r.at("speedup").as_double() << "\n";
+  }
+  const Json& ts = doc.at("training_step");
+  std::cout << "training_step " << ts.at("us_per_step").as_double()
+            << " us/step, arena-external allocations/step "
+            << ts.at("arena_external_allocations_per_step").as_double()
+            << "\n";
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::cerr << "cannot write " << json_out << "\n";
+      return 1;
+    }
+    out << doc.dump() << "\n";
+    std::cout << "wrote " << json_out << "\n";
+  }
+  return 0;
+}

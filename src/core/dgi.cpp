@@ -1,5 +1,6 @@
 #include "core/dgi.h"
 
+#include "tensor/fused.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -21,7 +22,7 @@ Tensor DgiPretrainer::loss(const Tensor& features, const Tensor& corrupted,
   Tensor summary = sigmoid(mean_rows(h_pos));  // [1, d], Eq. (4)
 
   // Bilinear scores D(h, s) = h^T W s, kept as logits for a stable BCE.
-  Tensor ws = matmul(w_, transpose2d(summary));  // [d, 1]
+  Tensor ws = matmul_nt(w_, summary);  // [d, 1], W @ s^T sans transpose
   Tensor pos_logits = matmul(h_pos, ws);         // [N, 1]
   Tensor neg_logits = matmul(h_neg, ws);         // [N, 1]
 
@@ -83,7 +84,7 @@ DgiResult DgiPretrainer::pretrain(const DgiConfig& config, Rng& rng) {
     Tensor h_pos = encoder_->encode_with(adj, features);
     Tensor h_neg = encoder_->encode_with(adj, corrupted);
     Tensor summary = sigmoid(mean_rows(h_pos));
-    Tensor ws = matmul(w_, transpose2d(summary));
+    Tensor ws = matmul_nt(w_, summary);
     Tensor pos = matmul(h_pos, ws);
     Tensor neg = matmul(h_neg, ws);
     int correct = 0;

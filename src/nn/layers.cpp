@@ -13,7 +13,12 @@ Linear::Linear(int64_t in, int64_t out, Rng& rng) : in_(in), out_(out) {
 }
 
 Tensor Linear::forward(const Tensor& x) const {
-  return add(matmul(x, w_), b_);
+  return linear_act(x, w_, b_);
+}
+
+Tensor Linear::forward_act(const Tensor& x, Epilogue act,
+                           const Tensor& alpha) const {
+  return linear_act(x, w_, b_, act, alpha);
 }
 
 // ---- Mlp ---------------------------------------------------------------
@@ -29,19 +34,28 @@ Mlp::Mlp(const std::vector<int64_t>& dims, Activation act, Rng& rng)
     prelu_alpha_ = add_param("prelu_alpha", Tensor::full({1, 1}, 0.25f, true));
 }
 
+namespace {
+Epilogue epilogue_for(Activation act) {
+  switch (act) {
+    case Activation::kNone: return Epilogue::kNone;
+    case Activation::kRelu: return Epilogue::kRelu;
+    case Activation::kTanh: return Epilogue::kTanh;
+    case Activation::kSigmoid: return Epilogue::kSigmoid;
+    case Activation::kPrelu: return Epilogue::kPrelu;
+    case Activation::kGelu: return Epilogue::kGelu;
+  }
+  return Epilogue::kNone;
+}
+}  // namespace
+
 Tensor Mlp::forward(const Tensor& x) const {
   Tensor h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i]->forward(h);
-    if (i + 1 == layers_.size()) break;  // no activation on the output layer
-    switch (act_) {
-      case Activation::kNone: break;
-      case Activation::kRelu: h = relu(h); break;
-      case Activation::kTanh: h = tanh_op(h); break;
-      case Activation::kSigmoid: h = sigmoid(h); break;
-      case Activation::kPrelu: h = prelu(h, prelu_alpha_); break;
-      case Activation::kGelu: h = gelu(h); break;
-    }
+    // Hidden layers run the fused matmul+bias+activation kernel; the output
+    // layer stays linear.
+    h = i + 1 == layers_.size()
+            ? layers_[i]->forward(h)
+            : layers_[i]->forward_act(h, epilogue_for(act_), prelu_alpha_);
   }
   return h;
 }
@@ -55,7 +69,7 @@ GcnLayer::GcnLayer(int64_t in, int64_t out, Rng& rng) : linear_(in, out, rng) {
 
 Tensor GcnLayer::forward(const std::shared_ptr<const Csr>& adj_norm,
                          const Tensor& x) const {
-  return prelu(spmm(adj_norm, linear_.forward(x)), alpha_);
+  return spmm_prelu(adj_norm, linear_.forward(x), alpha_);
 }
 
 // ---- SageLayer ------------------------------------------------------------
@@ -96,14 +110,10 @@ LstmCell::State LstmCell::step(const Tensor& x, const State& s) const {
   MARS_CHECK_MSG(x.cols() == in_, "LstmCell input " << shape_str(x.shape())
                                                     << " expected cols "
                                                     << in_);
-  Tensor gates = add(add(matmul(x, w_ih_), matmul(s.h, w_hh_)), b_);
-  Tensor i = sigmoid(slice_cols(gates, 0, hidden_));
-  Tensor f = sigmoid(slice_cols(gates, hidden_, 2 * hidden_));
-  Tensor g = tanh_op(slice_cols(gates, 2 * hidden_, 3 * hidden_));
-  Tensor o = sigmoid(slice_cols(gates, 3 * hidden_, 4 * hidden_));
-  Tensor c = add(mul(f, s.c), mul(i, g));
-  Tensor h = mul(o, tanh_op(c));
-  return {h, c};
+  // One fused node for the whole cell (two accumulating GEMMs + gate math)
+  // instead of the ~15-node unfused subgraph; output is [h' | c'].
+  Tensor hc = lstm_cell_fused(x, s.h, s.c, w_ih_, w_hh_, b_);
+  return {slice_cols(hc, 0, hidden_), slice_cols(hc, hidden_, 2 * hidden_)};
 }
 
 // ---- BiLstm ----------------------------------------------------------------
@@ -222,7 +232,7 @@ Tensor TransformerXlBlock::forward(const Tensor& x,
     Tensor qh = slice_cols(q, h * head_dim_, (h + 1) * head_dim_);
     Tensor kh = slice_cols(k, h * head_dim_, (h + 1) * head_dim_);
     Tensor vh = slice_cols(v, h * head_dim_, (h + 1) * head_dim_);
-    Tensor scores = scale(matmul(qh, transpose2d(kh)), scale_f);  // [S, M+S]
+    Tensor scores = scale(matmul_nt(qh, kh), scale_f);  // [S, M+S]
     // Causal mask: position i may attend to memory and to j <= i.
     Tensor mask = Tensor::zeros({s, m + s});
     for (int64_t i = 0; i < s; ++i)
@@ -236,7 +246,7 @@ Tensor TransformerXlBlock::forward(const Tensor& x,
     concat = concat_cols(concat, head_outs[h]);
   Tensor attn_out = wo_.forward(concat);
   Tensor y = layer_norm_rows(add(x, attn_out), ln1_g_, ln1_b_);
-  Tensor ffn = ffn2_.forward(gelu(ffn1_.forward(y)));
+  Tensor ffn = ffn2_.forward(ffn1_.forward_act(y, Epilogue::kGelu));
   return layer_norm_rows(add(y, ffn), ln2_g_, ln2_b_);
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/fused.h"
 #include "tensor/ops.h"
 #include "tensor/sparse.h"
 
@@ -17,6 +18,10 @@ class Linear : public Module {
  public:
   Linear(int64_t in, int64_t out, Rng& rng);
   Tensor forward(const Tensor& x) const;
+  /// y = act(x @ W + b) in one fused kernel (alpha: learned PReLU slope,
+  /// required iff act == Epilogue::kPrelu).
+  Tensor forward_act(const Tensor& x, Epilogue act,
+                     const Tensor& alpha = {}) const;
   int64_t in_dim() const { return in_; }
   int64_t out_dim() const { return out_; }
 

@@ -9,6 +9,7 @@
 #include "nn/serialize.h"
 #include "sim/simulator.h"
 #include "sim/trial.h"
+#include "tensor/arena.h"
 #include "util/check.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -44,7 +45,11 @@ ServiceStats make_stats(obs::MetricsRegistry& r) {
       r.counter("mars_serve_reload_fail_total",
                 "Checkpoint hot reloads rejected (corrupt/mismatched file)"),
       r.gauge("mars_serve_model_generation",
-              "Generation of the served model (+1 per successful reload)")};
+              "Generation of the served model (+1 per successful reload)"),
+      r.gauge("mars_tensor_workspace_hits_total",
+              "Tensor workspace acquires served from the recycling pool"),
+      r.gauge("mars_tensor_workspace_misses_total",
+              "Tensor workspace acquires that fell through to the heap")};
 }
 
 }  // namespace
@@ -121,6 +126,11 @@ PlaceResponse PlacementService::handle(const PlaceRequest& request) {
   }
   response.latency_ms = watch.seconds() * 1e3;
   latency_ms_.observe(response.latency_ms);
+  // Sample the process-wide tensor-arena counters so scrapes show whether
+  // decode is running allocation-free (misses flat at steady state).
+  const Workspace::GlobalStats arena = Workspace::global_stats();
+  stats_.arena_hits.set(static_cast<double>(arena.hits));
+  stats_.arena_misses.set(static_cast<double>(arena.misses));
   return response;
 }
 

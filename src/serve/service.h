@@ -71,6 +71,8 @@ struct ServiceStats {
   obs::Counter& reload_ok;     // successful hot reloads
   obs::Counter& reload_fail;   // rejected reloads (bad file/mismatch)
   obs::Gauge& generation;      // current model generation
+  obs::Gauge& arena_hits;      // Workspace acquires served from the pool
+  obs::Gauge& arena_misses;    // Workspace acquires that hit the heap
 };
 
 /// What a reload attempt did; returned to admin clients verbatim.

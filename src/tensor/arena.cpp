@@ -1,0 +1,115 @@
+#include "tensor/arena.h"
+
+#include <atomic>
+
+namespace mars {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+std::atomic<uint64_t> g_hits{0};
+std::atomic<uint64_t> g_misses{0};
+
+// Thread-teardown guard: constructed after the workspace on first use, so
+// it is destroyed *before* the workspace. Once it flips to kTlsDead,
+// recycle() degrades to plain frees instead of touching a dead
+// thread_local. kTlsUnstarted is distinct so the first recycle on a fresh
+// thread initializes the workspace and pools instead of leaking the buffer
+// past the pool.
+enum TlsState : int { kTlsUnstarted = 0, kTlsAlive = 1, kTlsDead = 2 };
+
+struct TeardownSentinel {
+  int* state;
+  explicit TeardownSentinel(int* s) : state(s) { *state = kTlsAlive; }
+  ~TeardownSentinel() { *state = kTlsDead; }
+};
+
+thread_local int g_tls_state = kTlsUnstarted;
+
+}  // namespace
+
+Workspace& Workspace::current() {
+  static thread_local Workspace ws;
+  static thread_local TeardownSentinel sentinel(&g_tls_state);
+  return ws;
+}
+
+void Workspace::set_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Workspace::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+size_t Workspace::size_class(size_t n) {
+  // Returns kNumClasses for oversize requests (never pooled).
+  size_t cls = 0;
+  while (cls < kNumClasses && (size_t{1} << (cls + kMinClassBits)) < n) ++cls;
+  return cls;
+}
+
+std::vector<float> Workspace::acquire(size_t n) {
+  if (n == 0) return {};
+  const size_t cls = size_class(n);
+  if (enabled() && cls < kNumClasses && !buckets_[cls].empty()) {
+    std::vector<float> buf = std::move(buckets_[cls].back());
+    buckets_[cls].pop_back();
+    stats_.pooled_bytes -= buf.capacity() * sizeof(float);
+    ++stats_.hits;
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    return buf;
+  }
+  ++stats_.misses;
+  g_misses.fetch_add(1, std::memory_order_relaxed);
+  std::vector<float> buf;
+  // Reserve the full size class so the buffer lands back in the same
+  // bucket and can serve any request of its class.
+  buf.reserve(cls < kNumClasses ? (size_t{1} << (cls + kMinClassBits)) : n);
+  return buf;
+}
+
+void Workspace::release(std::vector<float>&& buf) {
+  if (buf.capacity() == 0) return;
+  const size_t bytes = buf.capacity() * sizeof(float);
+  const size_t cls = size_class(buf.capacity());
+  // Only pool exact-class capacities: anything else (e.g. buffers that
+  // grew via push_back, or moved-in external vectors) would serve later
+  // acquires short.
+  const bool poolable = enabled() && cls < kNumClasses &&
+                        buf.capacity() == (size_t{1} << (cls + kMinClassBits)) &&
+                        stats_.pooled_bytes + bytes <= capacity_bytes_;
+  if (!poolable) {
+    ++stats_.dropped;
+    std::vector<float>().swap(buf);
+    return;
+  }
+  buf.clear();
+  buckets_[cls].push_back(std::move(buf));
+  stats_.pooled_bytes += bytes;
+  ++stats_.released;
+}
+
+void Workspace::recycle(std::vector<float>&& buf) {
+  if (buf.capacity() == 0) return;
+  if (g_tls_state == kTlsDead) {
+    // Thread_local teardown already ran; just free.
+    std::vector<float>().swap(buf);
+    return;
+  }
+  current().release(std::move(buf));
+}
+
+void Workspace::trim() {
+  for (auto& bucket : buckets_) bucket.clear();
+  stats_.pooled_bytes = 0;
+}
+
+Workspace::~Workspace() = default;
+
+Workspace::GlobalStats Workspace::global_stats() {
+  return {g_hits.load(std::memory_order_relaxed),
+          g_misses.load(std::memory_order_relaxed)};
+}
+
+}  // namespace mars

@@ -1,0 +1,90 @@
+// Workspace: a per-thread recycling arena for tensor float storage.
+//
+// Every TensorImpl data/grad buffer (and the kernels' backward scratch) is
+// acquired from the current thread's Workspace and returned to it when the
+// tensor dies. Buffers are bucketed by power-of-two capacity, so after a
+// warm-up step the training loop and the serve decode path run with zero
+// arena-external heap allocation for tensor storage: acquire() pops a
+// recycled vector whose capacity is already sufficient, release() pushes it
+// back. bench/micro_tensor reports the steady-state miss rate
+// (BENCH_tensor.json `arena_external_allocations_per_step`), and
+// tests/arena_test.cpp pins it at zero.
+//
+// Lifetime rules (see docs/tensor.md):
+//  - Pools are thread-local; a buffer released on a different thread than
+//    it was acquired on simply migrates pools (no cross-thread races).
+//  - Tensors may outlive any number of other tensors; recycling happens
+//    only in ~TensorImpl, when no one can reference the buffer.
+//  - Pool memory is bounded by set_capacity_bytes (default 256 MiB per
+//    thread); releases beyond the cap free the buffer instead.
+//  - After thread-local teardown has begun (thread exit), release() safely
+//    degrades to a plain free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mars {
+
+class Workspace {
+ public:
+  /// The calling thread's workspace.
+  static Workspace& current();
+
+  /// Process-wide kill switch (default enabled). When disabled, acquire()
+  /// always allocates and release() always frees — useful for isolating
+  /// the arena in leak hunts.
+  static void set_enabled(bool enabled);
+  static bool enabled();
+
+  /// A zero-size vector whose capacity is at least `n` floats; recycled
+  /// when possible, freshly allocated (a "miss") otherwise.
+  std::vector<float> acquire(size_t n);
+
+  /// Return a buffer to the pool (or free it when over capacity/disabled).
+  void release(std::vector<float>&& buf);
+
+  /// Convenience: release into the *current thread's* pool, safe to call
+  /// during thread teardown.
+  static void recycle(std::vector<float>&& buf);
+
+  struct Stats {
+    uint64_t hits = 0;      // acquires served from the pool
+    uint64_t misses = 0;    // acquires that hit the heap
+    uint64_t released = 0;  // buffers returned to the pool
+    uint64_t dropped = 0;   // releases freed due to the capacity cap
+    size_t pooled_bytes = 0;
+  };
+  Stats stats() const { return stats_; }
+
+  /// Free every pooled buffer on this thread (stats keep counting).
+  void trim();
+
+  void set_capacity_bytes(size_t cap) { capacity_bytes_ = cap; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Process-wide acquire counters aggregated across threads (relaxed
+  /// atomics; cheap enough for the hot path). Exported as serve metrics.
+  struct GlobalStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  static GlobalStats global_stats();
+
+  Workspace() = default;
+  ~Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+ private:
+  static constexpr size_t kMinClassBits = 6;   // buffers round up to 64 floats
+  static constexpr size_t kNumClasses = 26;    // up to 2^31 floats
+  static size_t size_class(size_t n);
+
+  std::vector<std::vector<float>> buckets_[kNumClasses];
+  Stats stats_;
+  size_t capacity_bytes_ = size_t{256} << 20;
+};
+
+}  // namespace mars

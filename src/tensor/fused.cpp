@@ -1,0 +1,326 @@
+#include "tensor/fused.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/arena.h"
+
+namespace mars {
+
+namespace {
+
+using detail::TensorImpl;
+using Impl = std::shared_ptr<TensorImpl>;
+using kernels::Trans;
+
+// Pooled backward scratch: acquired from the workspace at closure run time,
+// recycled before the closure returns, so backward passes stay
+// allocation-free at steady state.
+std::vector<float> scratch(size_t n) {
+  std::vector<float> buf = Workspace::current().acquire(n);
+  buf.resize(n);
+  return buf;
+}
+
+// db[1,n] += column sums of dpre[m,n].
+void add_colsum(const float* dpre, int64_t m, int64_t n, float* db) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = dpre + i * n;
+#pragma omp simd
+    for (int64_t j = 0; j < n; ++j) db[j] += row[j];
+  }
+}
+
+}  // namespace
+
+Tensor linear_act(const Tensor& x, const Tensor& w, const Tensor& b,
+                  Epilogue act, const Tensor& alpha) {
+  MARS_CHECK(x.ndim() == 2 && w.ndim() == 2);
+  MARS_CHECK_MSG(x.cols() == w.rows(), "linear_act shape mismatch "
+                                           << shape_str(x.shape()) << " @ "
+                                           << shape_str(w.shape()));
+  const int64_t m = x.rows(), k = x.cols(), n = w.cols();
+  if (b.defined())
+    MARS_CHECK_MSG(b.rows() == 1 && b.cols() == n,
+                   "linear_act bias shape " << shape_str(b.shape()));
+  MARS_CHECK_MSG(act != Epilogue::kPrelu || alpha.defined(),
+                 "linear_act: kPrelu requires an alpha tensor");
+  if (alpha.defined()) MARS_CHECK(alpha.numel() == 1);
+
+  Impl ix = x.impl(), iw = w.impl();
+  Impl ib = b.defined() ? b.impl() : nullptr;
+  Impl ial = alpha.defined() ? alpha.impl() : nullptr;
+  bool rg = x.requires_grad() || w.requires_grad() ||
+            (ib && b.requires_grad()) || (ial && alpha.requires_grad());
+  const bool record = rg && grad_enabled();
+
+  // Pre-activation cache, only when backward will need it (PReLU/GELU).
+  Tensor pre;
+  if (record && kernels::epilogue_needs_preact(act))
+    pre = Tensor::zeros({m, n});
+
+  std::vector<Impl> parents{ix, iw};
+  if (ib) parents.push_back(ib);
+  if (ial) parents.push_back(ial);
+
+  Tensor out = Tensor::make_result(
+      {m, n}, std::move(parents),
+      [ix, iw, ib, ial, pre, act, m, k, n](TensorImpl& self) {
+        const float al = ial ? ial->data[0] : 0.0f;
+        const float* dout = self.grad.data();
+        const float* prep = pre.defined() ? pre.data() : nullptr;
+        const size_t mn = static_cast<size_t>(m * n);
+
+        // dPre = dOut * act'(pre, post); for kNone dOut aliases directly.
+        std::vector<float> dpre_buf;
+        const float* dpre = dout;
+        if (act != Epilogue::kNone) {
+          dpre_buf = scratch(mn);
+          for (size_t i = 0; i < mn; ++i)
+            dpre_buf[i] =
+                dout[i] * kernels::epilogue_bwd(act, al, prep ? prep[i] : 0.0f,
+                                                self.data[i]);
+          dpre = dpre_buf.data();
+        }
+
+        // dX += dPre @ W^T and dW += X^T @ dPre, both as transposed-operand
+        // GEMMs over the original storage.
+        if (ix->requires_grad)
+          kernels::gemm(Trans::kNo, Trans::kYes, m, k, n, dpre, n,
+                        iw->data.data(), n, ix->grad.data(), k, true);
+        if (iw->requires_grad)
+          kernels::gemm(Trans::kYes, Trans::kNo, k, n, m, ix->data.data(), k,
+                        dpre, n, iw->grad.data(), n, true);
+        if (ib && ib->requires_grad)
+          add_colsum(dpre, m, n, ib->grad.data());
+        if (act == Epilogue::kPrelu && ial->requires_grad) {
+          float dal = 0.0f;
+          for (size_t i = 0; i < mn; ++i)
+            if (prep[i] <= 0) dal += dout[i] * prep[i];
+          ial->grad[0] += dal;
+        }
+        Workspace::recycle(std::move(dpre_buf));
+      },
+      rg);
+
+  kernels::gemm(Trans::kNo, Trans::kNo, m, n, k, x.data(), k, w.data(), n,
+                out.data(), n, false);
+  kernels::bias_act(act, alpha.defined() ? alpha.item() : 0.0f,
+                    ib ? ib->data.data() : nullptr, out.data(), m, n,
+                    pre.defined() ? pre.data() : nullptr);
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  MARS_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  MARS_CHECK_MSG(a.cols() == b.cols(), "matmul_nt shape mismatch "
+                                           << shape_str(a.shape()) << " @ "
+                                           << shape_str(b.shape()) << "^T");
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Impl ia = a.impl(), ib = b.impl();
+  bool rg = a.requires_grad() || b.requires_grad();
+  Tensor out = Tensor::make_result(
+      {m, n}, {ia, ib},
+      [ia, ib, m, k, n](TensorImpl& self) {
+        const float* dc = self.grad.data();
+        // dA += dC @ B;  dB += dC^T @ A.
+        if (ia->requires_grad)
+          kernels::gemm(Trans::kNo, Trans::kNo, m, k, n, dc, n,
+                        ib->data.data(), k, ia->grad.data(), k, true);
+        if (ib->requires_grad)
+          kernels::gemm(Trans::kYes, Trans::kNo, n, k, m, dc, n,
+                        ia->data.data(), k, ib->grad.data(), k, true);
+      },
+      rg);
+  kernels::gemm(Trans::kNo, Trans::kYes, m, n, k, a.data(), k, b.data(), k,
+                out.data(), n, false);
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  MARS_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  MARS_CHECK_MSG(a.rows() == b.rows(), "matmul_tn shape mismatch "
+                                           << shape_str(a.shape()) << "^T @ "
+                                           << shape_str(b.shape()));
+  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  Impl ia = a.impl(), ib = b.impl();
+  bool rg = a.requires_grad() || b.requires_grad();
+  Tensor out = Tensor::make_result(
+      {m, n}, {ia, ib},
+      [ia, ib, m, k, n](TensorImpl& self) {
+        const float* dc = self.grad.data();
+        // dA += B @ dC^T;  dB += A @ dC.
+        if (ia->requires_grad)
+          kernels::gemm(Trans::kNo, Trans::kYes, k, m, n, ib->data.data(), n,
+                        dc, n, ia->grad.data(), m, true);
+        if (ib->requires_grad)
+          kernels::gemm(Trans::kNo, Trans::kNo, k, n, m, ia->data.data(), m,
+                        dc, n, ib->grad.data(), n, true);
+      },
+      rg);
+  kernels::gemm(Trans::kYes, Trans::kNo, m, n, k, a.data(), m, b.data(), n,
+                out.data(), n, false);
+  return out;
+}
+
+Tensor lstm_cell_fused(const Tensor& x, const Tensor& h, const Tensor& c,
+                       const Tensor& w_ih, const Tensor& w_hh,
+                       const Tensor& b) {
+  MARS_CHECK(x.ndim() == 2 && h.ndim() == 2 && c.ndim() == 2);
+  const int64_t m = x.rows(), in = x.cols(), hd = h.cols();
+  const int64_t gd = 4 * hd;
+  MARS_CHECK_MSG(h.rows() == m && c.rows() == m && c.cols() == hd,
+                 "lstm_cell_fused state shape mismatch");
+  MARS_CHECK_MSG(w_ih.rows() == in && w_ih.cols() == gd &&
+                     w_hh.rows() == hd && w_hh.cols() == gd &&
+                     b.rows() == 1 && b.cols() == gd,
+                 "lstm_cell_fused weight shape mismatch");
+
+  Impl ix = x.impl(), ih = h.impl(), ic = c.impl();
+  Impl iwih = w_ih.impl(), iwhh = w_hh.impl(), ibias = b.impl();
+  bool rg = x.requires_grad() || h.requires_grad() || c.requires_grad() ||
+            w_ih.requires_grad() || w_hh.requires_grad() || b.requires_grad();
+
+  // Gate pre-activations in one [m, 4H] buffer via two accumulating GEMMs,
+  // then activated in place: [i, f, o] sigmoid, [g] tanh (gate order
+  // [i, f, g, o], matching LstmCell). The activated gates and tanh(c') are
+  // the backward caches; both are plain tensors so they recycle through the
+  // workspace with the closure.
+  Tensor gates = Tensor::zeros({m, gd});
+  Tensor tanhc = Tensor::zeros({m, hd});
+  float* gp = gates.data();
+  kernels::gemm(Trans::kNo, Trans::kNo, m, gd, in, x.data(), in, w_ih.data(),
+                gd, gp, gd, false);
+  kernels::gemm(Trans::kNo, Trans::kNo, m, gd, hd, h.data(), hd, w_hh.data(),
+                gd, gp, gd, true);
+  const float* bp = b.data();
+  for (int64_t r = 0; r < m; ++r) {
+    float* row = gp + r * gd;
+#pragma omp simd
+    for (int64_t j = 0; j < gd; ++j) row[j] += bp[j];
+    for (int64_t j = 0; j < gd; ++j)
+      row[j] = kernels::epilogue_fwd(
+          j / hd == 2 ? Epilogue::kTanh : Epilogue::kSigmoid, 0.0f, row[j]);
+  }
+
+  Tensor out = Tensor::make_result(
+      {m, 2 * hd}, {ix, ih, ic, iwih, iwhh, ibias},
+      [ix, ih, ic, iwih, iwhh, ibias, gates, tanhc, m, in, hd,
+       gd](TensorImpl& self) {
+        const float* gpb = gates.data();
+        const float* tc = tanhc.data();
+        const float* cin = ic->data.data();
+        const float* dout = self.grad.data();
+        // dZ: gradient w.r.t. the gate pre-activations, [m, 4H].
+        std::vector<float> dz = scratch(static_cast<size_t>(m * gd));
+        for (int64_t r = 0; r < m; ++r) {
+          const float* grow = gpb + r * gd;
+          float* dzrow = dz.data() + r * gd;
+          for (int64_t j = 0; j < hd; ++j) {
+            const float gi = grow[j], gf = grow[hd + j], gg = grow[2 * hd + j],
+                        go = grow[3 * hd + j];
+            const float t = tc[r * hd + j];
+            const float dh = dout[r * 2 * hd + j];
+            const float dc_ext = dout[r * 2 * hd + hd + j];
+            // h' = o * tanh(c'), c' = f*c + i*g.
+            const float dc = dc_ext + dh * go * (1.0f - t * t);
+            const float dgo = dh * t;
+            if (ic->requires_grad) ic->grad[r * hd + j] += dc * gf;
+            dzrow[j] = dc * gg * gi * (1.0f - gi);
+            dzrow[hd + j] = dc * cin[r * hd + j] * gf * (1.0f - gf);
+            dzrow[2 * hd + j] = dc * gi * (1.0f - gg * gg);
+            dzrow[3 * hd + j] = dgo * go * (1.0f - go);
+          }
+        }
+        if (ix->requires_grad)
+          kernels::gemm(Trans::kNo, Trans::kYes, m, in, gd, dz.data(), gd,
+                        iwih->data.data(), gd, ix->grad.data(), in, true);
+        if (ih->requires_grad)
+          kernels::gemm(Trans::kNo, Trans::kYes, m, hd, gd, dz.data(), gd,
+                        iwhh->data.data(), gd, ih->grad.data(), hd, true);
+        if (iwih->requires_grad)
+          kernels::gemm(Trans::kYes, Trans::kNo, in, gd, m, ix->data.data(),
+                        in, dz.data(), gd, iwih->grad.data(), gd, true);
+        if (iwhh->requires_grad)
+          kernels::gemm(Trans::kYes, Trans::kNo, hd, gd, m, ih->data.data(),
+                        hd, dz.data(), gd, iwhh->grad.data(), gd, true);
+        if (ibias->requires_grad)
+          add_colsum(dz.data(), m, gd, ibias->grad.data());
+        Workspace::recycle(std::move(dz));
+      },
+      rg);
+
+  float* op = out.data();
+  float* tcp = tanhc.data();
+  const float* cp = c.data();
+  for (int64_t r = 0; r < m; ++r) {
+    const float* grow = gp + r * gd;
+    for (int64_t j = 0; j < hd; ++j) {
+      const float fc = grow[hd + j] * cp[r * hd + j];
+      const float ig = grow[j] * grow[2 * hd + j];
+      const float cnew = fc + ig;
+      const float t = std::tanh(cnew);
+      tcp[r * hd + j] = t;
+      op[r * 2 * hd + j] = grow[3 * hd + j] * t;  // h'
+      op[r * 2 * hd + hd + j] = cnew;             // c'
+    }
+  }
+  return out;
+}
+
+Tensor spmm_prelu(const std::shared_ptr<const Csr>& a, const Tensor& x,
+                  const Tensor& alpha) {
+  MARS_CHECK(x.ndim() == 2);
+  MARS_CHECK_MSG(x.rows() == a->n(), "spmm_prelu shape mismatch: A is "
+                                         << a->n() << "x" << a->n() << ", x is "
+                                         << shape_str(x.shape()));
+  MARS_CHECK_MSG(alpha.numel() == 1, "spmm_prelu expects scalar alpha");
+  const int64_t n = x.rows(), f = x.cols();
+  Impl ix = x.impl(), ial = alpha.impl();
+  bool rg = x.requires_grad() || alpha.requires_grad();
+  const bool record = rg && grad_enabled();
+
+  // PReLU backward needs the aggregation result (alpha may be negative, so
+  // the output sign does not recover it).
+  Tensor pre;
+  if (record) pre = Tensor::zeros({n, f});
+
+  Tensor out = Tensor::make_result(
+      {n, f}, {ix, ial},
+      [a, ix, ial, pre, n, f](TensorImpl& self) {
+        const float al = ial->data[0];
+        const float* prep = pre.data();
+        const float* dout = self.grad.data();
+        const size_t nf = static_cast<size_t>(n * f);
+        std::vector<float> dpre = scratch(nf);
+        float dal = 0.0f;
+        for (size_t i = 0; i < nf; ++i) {
+          dpre[i] = dout[i] * (prep[i] > 0 ? 1.0f : al);
+          if (prep[i] <= 0) dal += dout[i] * prep[i];
+        }
+        if (ial->requires_grad) ial->grad[0] += dal;
+        if (ix->requires_grad) {
+          // dX += A^T @ dPre.
+          std::vector<float> tmp = scratch(nf);
+          a->transposed().multiply(dpre.data(), f, tmp.data());
+          float* dx = ix->grad.data();
+#pragma omp simd
+          for (size_t i = 0; i < nf; ++i) dx[i] += tmp[i];
+          Workspace::recycle(std::move(tmp));
+        }
+        Workspace::recycle(std::move(dpre));
+      },
+      rg);
+
+  float* op = out.data();
+  kernels::spmm_csr(a->row_ptr().data(), a->col_idx().data(),
+                    a->values().data(), a->n(), x.data(), f, op);
+  if (pre.defined()) std::copy(op, op + n * f, pre.data());
+  const float al = alpha.item();
+  const int64_t nf = n * f;
+#pragma omp simd
+  for (int64_t i = 0; i < nf; ++i) op[i] = op[i] > 0 ? op[i] : al * op[i];
+  return out;
+}
+
+}  // namespace mars

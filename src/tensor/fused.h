@@ -1,0 +1,55 @@
+// Fused autograd ops for the chains the Mars model actually runs.
+//
+// Each op here collapses what used to be several tape nodes (matmul → add →
+// activation, or the ~15-node LSTM gate subgraph) into one kernel-layer
+// forward and one analytic backward: intermediates stay in registers or in
+// a single pooled cache buffer instead of round-tripping through separate
+// tensors, and backward matmuls run as transposed-operand GEMMs without
+// ever materializing W^T / X^T.
+//
+// Numerical contract (tested in tests/fused_test.cpp): forward results
+// match the unfused op composition built on the same GEMM to within a few
+// ULP (bit-exact except where floating-point contraction regroups a
+// multiply-add), and every op passes finite-difference gradcheck. All ops
+// are bit-deterministic across OpenMP thread counts.
+#pragma once
+
+#include <memory>
+
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace mars {
+
+using kernels::Epilogue;
+
+/// y = act(x @ W + b), the Linear/Mlp/GCN dense chain. `b` may be
+/// undefined (no bias). `alpha` is the learned PReLU slope, required iff
+/// `act == Epilogue::kPrelu` (gradient flows into it).
+Tensor linear_act(const Tensor& x, const Tensor& w, const Tensor& b,
+                  Epilogue act = Epilogue::kNone, const Tensor& alpha = {});
+
+/// C = A @ B^T without materializing the transpose (attention scores,
+/// DGI discriminator). A is [m, k], B is [n, k], result [m, n].
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C = A^T @ B without materializing the transpose. A is [k, m], B is
+/// [k, n], result [m, n].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// One fused LSTM cell step over [m, in] inputs: gate pre-activations in
+/// two accumulating GEMMs, gate math in one pass. Returns [m, 2H] laid out
+/// as [h' | c'] (slice_cols to split); gate order [i, f, g, o] matches
+/// LstmCell.
+Tensor lstm_cell_fused(const Tensor& x, const Tensor& h, const Tensor& c,
+                       const Tensor& w_ih, const Tensor& w_hh,
+                       const Tensor& b);
+
+/// y = PReLU(A @ x, alpha) for sparse A — the GCN layer's aggregation +
+/// activation without the intermediate dense tensor.
+Tensor spmm_prelu(const std::shared_ptr<const Csr>& a, const Tensor& x,
+                  const Tensor& alpha);
+
+}  // namespace mars

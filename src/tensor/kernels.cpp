@@ -1,0 +1,333 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mars::kernels {
+
+namespace {
+
+// Microkernel register block. MR*NR accumulators live in registers across
+// the whole K loop; 6x16 fits the 16 SIMD registers of AVX2 (12 x 8-wide
+// accumulators + operands) and still vectorizes cleanly under plain SSE2.
+constexpr int64_t MR = 6;
+constexpr int64_t NR = 16;
+
+inline int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Reads op(A)[i, p] / op(B)[p, j] regardless of storage orientation.
+inline int64_t a_index(Trans ta, int64_t ld, int64_t i, int64_t p) {
+  return ta == Trans::kNo ? i * ld + p : p * ld + i;
+}
+inline int64_t b_index(Trans tb, int64_t ld, int64_t p, int64_t j) {
+  return tb == Trans::kNo ? p * ld + j : j * ld + p;
+}
+
+// ---- Packing -------------------------------------------------------------
+//
+// B panel: NR-wide column strips, strip js at js*(kc*NR), element (p, jj)
+// at p*NR + jj; tail columns are zero-padded so the microkernel never
+// branches on n.
+void pack_b(Trans tb, const float* b, int64_t ldb, int64_t pc, int64_t kc,
+            int64_t jc, int64_t nc, float* bp) {
+  const int64_t strips = ceil_div(nc, NR);
+  for (int64_t js = 0; js < strips; ++js) {
+    float* dst = bp + js * kc * NR;
+    const int64_t j0 = jc + js * NR;
+    const int64_t jn = std::min<int64_t>(NR, jc + nc - j0);
+    for (int64_t p = 0; p < kc; ++p) {
+      for (int64_t jj = 0; jj < jn; ++jj)
+        dst[p * NR + jj] = b[b_index(tb, ldb, pc + p, j0 + jj)];
+      for (int64_t jj = jn; jj < NR; ++jj) dst[p * NR + jj] = 0.0f;
+    }
+  }
+}
+
+// A panel: MR-tall row strips, strip is at is*(kc*MR), element (p, ii) at
+// p*MR + ii; tail rows zero-padded.
+void pack_a(Trans ta, const float* a, int64_t lda, int64_t ic, int64_t mc,
+            int64_t pc, int64_t kc, float* ap) {
+  const int64_t strips = ceil_div(mc, MR);
+  for (int64_t is = 0; is < strips; ++is) {
+    float* dst = ap + is * kc * MR;
+    const int64_t i0 = ic + is * MR;
+    const int64_t in = std::min<int64_t>(MR, ic + mc - i0);
+    for (int64_t p = 0; p < kc; ++p) {
+      for (int64_t ii = 0; ii < in; ++ii)
+        dst[p * MR + ii] = a[a_index(ta, lda, i0 + ii, pc + p)];
+      for (int64_t ii = in; ii < MR; ++ii) dst[p * MR + ii] = 0.0f;
+    }
+  }
+}
+
+// MR x NR microkernel: acc must be zeroed by the caller. Each accumulator
+// element is a single ascending-p chain, which is what makes the whole GEMM
+// bit-deterministic under any thread count.
+inline void micro_kernel(int64_t kc, const float* ap, const float* bp,
+                         float* acc) {
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* arow = ap + p * MR;
+    const float* brow = bp + p * NR;
+    for (int64_t i = 0; i < MR; ++i) {
+      const float av = arow[i];
+#pragma omp simd
+      for (int64_t j = 0; j < NR; ++j) acc[i * NR + j] += av * brow[j];
+    }
+  }
+}
+
+// Thread-private packing scratch. Grown once per thread to the blocking
+// maxima, then reused forever: steady-state GEMMs perform no allocation.
+float* thread_scratch(size_t n) {
+  static thread_local std::vector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+float* thread_scratch_b(size_t n) {
+  static thread_local std::vector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+// Direct path for skinny-M products (decode-time matvecs and their
+// gradients): packing would cost as much as the compute itself, so stream
+// the operands in place. Per-element accumulation order is still fixed.
+void gemm_direct(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k,
+                 const float* a, int64_t lda, const float* b, int64_t ldb,
+                 float* c, int64_t ldc, bool accumulate) {
+  const bool par = parallel_worthwhile(m * n * k);
+  if (tb == Trans::kNo) {
+    // c[i, :] += a[i, p] * b[p, :] — streams B rows, SIMD over columns.
+    // Four K steps per pass cut the c-row load/store traffic 4x; the
+    // grouping is fixed per element, so results stay deterministic.
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      if (!accumulate) std::fill(crow, crow + n, 0.0f);
+      int64_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const float a0 = a[a_index(ta, lda, i, p)];
+        const float a1 = a[a_index(ta, lda, i, p + 1)];
+        const float a2 = a[a_index(ta, lda, i, p + 2)];
+        const float a3 = a[a_index(ta, lda, i, p + 3)];
+        const float* b0 = b + p * ldb;
+        const float* b1 = b0 + ldb;
+        const float* b2 = b1 + ldb;
+        const float* b3 = b2 + ldb;
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j)
+          crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      }
+      for (; p < k; ++p) {
+        const float av = a[a_index(ta, lda, i, p)];
+        const float* brow = b + p * ldb;
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    // c[i, j] = dot(a[i, :], b[j, :]) — independent dots, parallel over j.
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+#pragma omp parallel for if (par)
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        const float* brow = b + j * ldb;
+        if (ta == Trans::kNo) {
+          const float* arow = a + i * lda;
+#pragma omp simd reduction(+ : acc)
+          for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        } else {
+          for (int64_t p = 0; p < k; ++p) acc += a[p * lda + i] * brow[p];
+        }
+        crow[j] = accumulate ? crow[j] + acc : acc;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, const float* a,
+          int64_t lda, const float* b, int64_t ldb, float* c, int64_t ldc,
+          bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate)
+      for (int64_t i = 0; i < m; ++i) std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    return;
+  }
+  if (m < MR * 2) {
+    gemm_direct(ta, tb, m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+    return;
+  }
+
+  for (int64_t jc = 0; jc < n; jc += kBlockN) {
+    const int64_t nc = std::min(kBlockN, n - jc);
+    const int64_t n_strips = ceil_div(nc, NR);
+    for (int64_t pc = 0; pc < k; pc += kBlockK) {
+      const int64_t kc = std::min(kBlockK, k - pc);
+      float* bp = thread_scratch_b(static_cast<size_t>(n_strips * kc * NR));
+      pack_b(tb, b, ldb, pc, kc, jc, nc, bp);
+      // First K block of a non-accumulating GEMM overwrites C; every later
+      // block adds. Threads split only the M dimension, so each C element
+      // is owned by exactly one thread.
+      const bool first = pc == 0 && !accumulate;
+      const int64_t m_blocks = ceil_div(m, kBlockM);
+#pragma omp parallel for if (parallel_worthwhile(m * nc * kc))
+      for (int64_t ib = 0; ib < m_blocks; ++ib) {
+        const int64_t ic = ib * kBlockM;
+        const int64_t mc = std::min(kBlockM, m - ic);
+        const int64_t m_strips = ceil_div(mc, MR);
+        float* ap = thread_scratch(static_cast<size_t>(m_strips * kc * MR));
+        pack_a(ta, a, lda, ic, mc, pc, kc, ap);
+        alignas(64) float acc[MR * NR];
+        for (int64_t js = 0; js < n_strips; ++js) {
+          const int64_t j0 = jc + js * NR;
+          const int64_t jn = std::min<int64_t>(NR, jc + nc - j0);
+          for (int64_t is = 0; is < m_strips; ++is) {
+            const int64_t i0 = ic + is * MR;
+            const int64_t in = std::min<int64_t>(MR, ic + mc - i0);
+            std::fill(acc, acc + MR * NR, 0.0f);
+            micro_kernel(kc, ap + is * kc * MR, bp + js * kc * NR, acc);
+            for (int64_t ii = 0; ii < in; ++ii) {
+              float* crow = c + (i0 + ii) * ldc + j0;
+              const float* arow = acc + ii * NR;
+              if (first) {
+                for (int64_t jj = 0; jj < jn; ++jj) crow[jj] = arow[jj];
+              } else {
+                for (int64_t jj = 0; jj < jn; ++jj) crow[jj] += arow[jj];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_reference(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k,
+                    const float* a, int64_t lda, const float* b, int64_t ldb,
+                    float* c, int64_t ldc, bool accumulate) {
+  if (!accumulate)
+    for (int64_t i = 0; i < m; ++i)
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+#pragma omp parallel for if (m * k * n > 1 << 18)
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[a_index(ta, lda, i, p)];
+      if (av == 0.0f) continue;
+      for (int64_t j = 0; j < n; ++j)
+        crow[j] += av * b[b_index(tb, ldb, p, j)];
+    }
+  }
+}
+
+// ---- Epilogues ----------------------------------------------------------
+
+bool epilogue_needs_preact(Epilogue e) {
+  // PReLU's alpha may be (or become) negative, so sign(post) does not
+  // recover sign(pre); GELU's derivative is a function of the input.
+  return e == Epilogue::kPrelu || e == Epilogue::kGelu;
+}
+
+float epilogue_fwd(Epilogue e, float alpha, float x) {
+  switch (e) {
+    case Epilogue::kNone:
+      return x;
+    case Epilogue::kRelu:
+      return x > 0 ? x : 0.0f;
+    case Epilogue::kPrelu:
+      return x > 0 ? x : alpha * x;
+    case Epilogue::kTanh:
+      return std::tanh(x);
+    case Epilogue::kSigmoid:
+      return x >= 0 ? 1.0f / (1.0f + std::exp(-x))
+                    : std::exp(x) / (1.0f + std::exp(x));
+    case Epilogue::kGelu: {
+      constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+      const float t = std::tanh(kC * (x + 0.044715f * x * x * x));
+      return 0.5f * x * (1.0f + t);
+    }
+  }
+  return x;
+}
+
+float epilogue_bwd(Epilogue e, float alpha, float pre, float post) {
+  switch (e) {
+    case Epilogue::kNone:
+      return 1.0f;
+    case Epilogue::kRelu:
+      return post > 0 ? 1.0f : 0.0f;
+    case Epilogue::kPrelu:
+      return pre > 0 ? 1.0f : alpha;
+    case Epilogue::kTanh:
+      return 1.0f - post * post;
+    case Epilogue::kSigmoid:
+      return post * (1.0f - post);
+    case Epilogue::kGelu: {
+      constexpr float kC = 0.7978845608f;
+      const float u = kC * (pre + 0.044715f * pre * pre * pre);
+      const float t = std::tanh(u);
+      const float du = kC * (1.0f + 3.0f * 0.044715f * pre * pre);
+      return 0.5f * (1.0f + t) + 0.5f * pre * (1.0f - t * t) * du;
+    }
+  }
+  return 1.0f;
+}
+
+void bias_act(Epilogue e, float alpha, const float* bias, float* x, int64_t m,
+              int64_t n, float* preact_out) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = x + i * n;
+    if (bias) {
+#pragma omp simd
+      for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
+    }
+    if (preact_out) {
+      float* prow = preact_out + i * n;
+      for (int64_t j = 0; j < n; ++j) prow[j] = row[j];
+    }
+    switch (e) {
+      case Epilogue::kNone:
+        break;
+      case Epilogue::kRelu:
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j) row[j] = row[j] > 0 ? row[j] : 0.0f;
+        break;
+      case Epilogue::kPrelu:
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j)
+          row[j] = row[j] > 0 ? row[j] : alpha * row[j];
+        break;
+      default:
+        for (int64_t j = 0; j < n; ++j)
+          row[j] = epilogue_fwd(e, alpha, row[j]);
+        break;
+    }
+  }
+}
+
+// ---- Sparse --------------------------------------------------------------
+
+void spmm_csr(const int* row_ptr, const int* col_idx, const float* values,
+              int n, const float* x, int64_t f, float* y) {
+  const int64_t nnz = row_ptr[n];
+  // Row-partitioned: each output row is written by exactly one thread and
+  // accumulated in CSR order, so the schedule is deterministic and safe for
+  // arbitrary (including asymmetric) adjacency structure.
+#pragma omp parallel for if (parallel_worthwhile(nnz * f))
+  for (int r = 0; r < n; ++r) {
+    float* yrow = y + static_cast<int64_t>(r) * f;
+    std::fill(yrow, yrow + f, 0.0f);
+    for (int e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+      const float v = values[e];
+      const float* xrow = x + static_cast<int64_t>(col_idx[e]) * f;
+#pragma omp simd
+      for (int64_t j = 0; j < f; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+}
+
+}  // namespace mars::kernels

@@ -1,0 +1,112 @@
+// Dense compute kernels: the one place in the tree that knows how to make
+// a CPU multiply matrices fast.
+//
+// Layering (see docs/tensor.md):
+//   kernels.{h,cpp}  raw float* GEMM / epilogues / parallel policy (no autograd)
+//   fused.{h,cpp}    autograd ops built on these kernels (fused chains)
+//   ops.cpp          the generic autograd op set; matmul delegates here
+//
+// The GEMM is register-blocked and cache-tiled: B is packed into NR-wide
+// column panels, A into MR-tall row panels, and an MR x NR microkernel with
+// `#pragma omp simd` inner loops accumulates over the K dimension. Transposed
+// A/B variants pack from strided sources, so `x @ W^T`-shaped backward passes
+// never materialize a transpose. Parallelization splits only the M dimension
+// across threads; every output element is accumulated in one fixed K order,
+// so results are bit-identical for any OpenMP thread count (the property the
+// fig7 reproductions pin).
+#pragma once
+
+#include <cstdint>
+
+namespace mars::kernels {
+
+// ---- Parallelization policy --------------------------------------------
+//
+// One named threshold replaces the ad-hoc `if (m*k*n > 1<<18)` guards that
+// used to be scattered over ops.cpp/sparse.cpp. `work` is the number of
+// scalar multiply-adds the loop nest performs; below the threshold the
+// OpenMP fork/join overhead outweighs the parallel speedup.
+inline constexpr int64_t kParallelWorkThreshold = int64_t{1} << 18;
+
+inline bool parallel_worthwhile(int64_t work) {
+  return work > kParallelWorkThreshold;
+}
+
+// ---- GEMM ----------------------------------------------------------------
+
+enum class Trans : uint8_t { kNo, kYes };
+
+/// C[m,n] (+)= op(A) @ op(B), all row-major float32.
+///
+/// op(A) is A[m,k] when `ta == kNo` (physical rows m, leading dim `lda`)
+/// or A^T with A stored [k,m] when `ta == kYes` (leading dim still the
+/// physical row stride). Same convention for B. When `accumulate` is false
+/// C is overwritten, otherwise the product is added to it (the autograd
+/// gradient-accumulation case).
+///
+/// Deterministic: each C element is one ascending-K accumulation chain
+/// regardless of thread count and of m/n tiling. K is tiled at kBlockK, so
+/// results for k <= kBlockK match a single straight-line accumulation.
+void gemm(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, const float* a,
+          int64_t lda, const float* b, int64_t ldb, float* c, int64_t ldc,
+          bool accumulate);
+
+/// Cache-tiling parameters (exposed for tests/docs; fixed at compile time).
+inline constexpr int64_t kBlockM = 96;   // MC: A rows per L2-resident panel
+inline constexpr int64_t kBlockK = 256;  // KC: shared-K panel depth
+inline constexpr int64_t kBlockN = 256;  // NC: B columns per packed panel
+
+/// The pre-refactor kernel, verbatim: naive i-k-j triple loop with the old
+/// `if (m*k*n > 1<<18)` OpenMP guard. Kept as the golden reference for the
+/// kernel tests and as the baseline bench/micro_tensor measures speedup
+/// against. Only the `ta/tb == kNo` layout existed before the refactor;
+/// transposed operands are read through strided indexing.
+void gemm_reference(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k,
+                    const float* a, int64_t lda, const float* b, int64_t ldb,
+                    float* c, int64_t ldc, bool accumulate);
+
+// ---- Epilogues ----------------------------------------------------------
+//
+// Elementwise tails fused onto a GEMM result so the intermediate never
+// round-trips through memory as a separate tensor (sling/myelin-style
+// expression fusion, scoped to the chains this model actually runs).
+
+enum class Epilogue : uint8_t {
+  kNone,
+  kRelu,
+  kPrelu,    // y = x > 0 ? x : alpha * x (learned scalar alpha)
+  kTanh,
+  kSigmoid,
+  kGelu,     // tanh approximation, matches ops.cpp gelu()
+};
+
+/// Whether the epilogue's backward needs the pre-activation values cached
+/// (kPrelu: alpha may be negative so the sign of y doesn't recover the sign
+/// of x; kGelu: the derivative is a function of x). The others reconstruct
+/// their derivative from the output alone.
+bool epilogue_needs_preact(Epilogue e);
+
+/// In place over an [m,n] row-major buffer: x = act(x + bias_row), where
+/// `bias` is a [n] row vector (nullptr = no bias). If `preact_out` is
+/// non-null it receives x + bias (before activation), for backward caches.
+void bias_act(Epilogue e, float alpha, const float* bias, float* x, int64_t m,
+              int64_t n, float* preact_out);
+
+/// Scalar forward of an epilogue (shared by kernels and reference paths).
+float epilogue_fwd(Epilogue e, float alpha, float x);
+
+/// d(act)/d(pre) given whichever of pre/post the epilogue needs (see
+/// epilogue_needs_preact); for kPrelu the derivative w.r.t. alpha is
+/// handled by the caller (it needs the pre-activation sign and value).
+float epilogue_bwd(Epilogue e, float alpha, float pre, float post);
+
+// ---- Sparse --------------------------------------------------------------
+
+/// y[n,f] = A @ x[n,f] for CSR (row_ptr/col_idx/values), row-partitioned
+/// across threads (each output row is written by exactly one thread, inner
+/// feature loop SIMD-hinted) — safe and deterministic for the GCN adjacency
+/// shapes. `work` should be nnz * f.
+void spmm_csr(const int* row_ptr, const int* col_idx, const float* values,
+              int n, const float* x, int64_t f, float* y);
+
+}  // namespace mars::kernels

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
+
 namespace mars {
 
 namespace {
@@ -174,58 +176,22 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   Impl ia = a.impl(), ib = b.impl();
   bool rg = a.requires_grad() || b.requires_grad();
+  using kernels::Trans;
   Tensor out = Tensor::make_result(
       {m, n}, {ia, ib},
       [ia, ib, m, k, n](TensorImpl& self) {
-        // dA = dC @ B^T
-        if (ia->requires_grad) {
-          const float* dc = self.grad.data();
-          const float* pb = ib->data.data();
-          float* da = ia->grad.data();
-#pragma omp parallel for if (m * k * n > 1 << 18)
-          for (int64_t i = 0; i < m; ++i) {
-            for (int64_t j = 0; j < n; ++j) {
-              const float g = dc[i * n + j];
-              if (g == 0.0f) continue;
-              const float* brow = pb + j;  // column j of B, strided
-              float* darow = da + i * k;
-              for (int64_t l = 0; l < k; ++l)
-                darow[l] += g * brow[l * n];
-            }
-          }
-        }
-        // dB = A^T @ dC
-        if (ib->requires_grad) {
-          const float* dc = self.grad.data();
-          const float* pa = ia->data.data();
-          float* db = ib->grad.data();
-#pragma omp parallel for if (m * k * n > 1 << 18)
-          for (int64_t l = 0; l < k; ++l) {
-            for (int64_t i = 0; i < m; ++i) {
-              const float av = pa[i * k + l];
-              if (av == 0.0f) continue;
-              const float* dcrow = dc + i * n;
-              float* dbrow = db + l * n;
-              for (int64_t j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
-            }
-          }
-        }
+        // dA += dC @ B^T and dB += A^T @ dC, as transposed-operand GEMMs —
+        // no transpose is ever materialized.
+        if (ia->requires_grad)
+          kernels::gemm(Trans::kNo, Trans::kYes, m, k, n, self.grad.data(), n,
+                        ib->data.data(), n, ia->grad.data(), k, true);
+        if (ib->requires_grad)
+          kernels::gemm(Trans::kYes, Trans::kNo, k, n, m, ia->data.data(), k,
+                        self.grad.data(), n, ib->grad.data(), n, true);
       },
       rg);
-  // Forward: C = A @ B with an i-k-j loop (streams B rows; cache friendly).
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-#pragma omp parallel for if (m * k * n > 1 << 18)
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (int64_t l = 0; l < k; ++l) {
-      const float av = pa[i * k + l];
-      if (av == 0.0f) continue;
-      const float* brow = pb + l * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm(Trans::kNo, Trans::kNo, m, n, k, a.data(), k, b.data(), n,
+                out.data(), n, false);
   return out;
 }
 

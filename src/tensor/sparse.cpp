@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "tensor/arena.h"
+#include "tensor/kernels.h"
+
 namespace mars {
 
 Csr::Csr(int n, std::vector<Entry> entries) : n_(n) {
@@ -43,18 +46,8 @@ const Csr& Csr::transposed() const {
 }
 
 void Csr::multiply(const float* x, int64_t f, float* y) const {
-#pragma omp parallel for if (nnz() * f > 1 << 18)
-  for (int r = 0; r < n_; ++r) {
-    float* yrow = y + static_cast<int64_t>(r) * f;
-    std::fill(yrow, yrow + f, 0.0f);
-    for (int k = row_ptr_[static_cast<size_t>(r)];
-         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
-      const float v = values_[static_cast<size_t>(k)];
-      const float* xrow =
-          x + static_cast<int64_t>(col_idx_[static_cast<size_t>(k)]) * f;
-      for (int64_t j = 0; j < f; ++j) yrow[j] += v * xrow[j];
-    }
-  }
+  kernels::spmm_csr(row_ptr_.data(), col_idx_.data(), values_.data(), n_, x, f,
+                    y);
 }
 
 Tensor spmm(const std::shared_ptr<const Csr>& a, const Tensor& x) {
@@ -67,11 +60,15 @@ Tensor spmm(const std::shared_ptr<const Csr>& a, const Tensor& x) {
   Tensor out = Tensor::make_result(
       {x.rows(), f}, {ix},
       [a, ix, f](detail::TensorImpl& self) {
-        // dX = A^T @ dY; accumulate rather than overwrite.
+        // dX = A^T @ dY; accumulate rather than overwrite. The scratch row
+        // comes from the workspace so steady-state backward passes stay
+        // allocation-free.
         const Csr& at = a->transposed();
-        std::vector<float> tmp(self.grad.size());
+        std::vector<float> tmp = Workspace::current().acquire(self.grad.size());
+        tmp.resize(self.grad.size());
         at.multiply(self.grad.data(), f, tmp.data());
         for (size_t i = 0; i < tmp.size(); ++i) ix->grad[i] += tmp[i];
+        Workspace::recycle(std::move(tmp));
       },
       x.requires_grad());
   a->multiply(x.data(), f, out.data());

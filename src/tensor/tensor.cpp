@@ -4,7 +4,27 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "tensor/arena.h"
+
 namespace mars {
+
+namespace detail {
+
+TensorImpl::~TensorImpl() {
+  Workspace::recycle(std::move(data));
+  Workspace::recycle(std::move(grad));
+}
+
+void TensorImpl::ensure_grad() {
+  if (grad.size() == data.size()) return;
+  if (grad.capacity() < data.size()) {
+    Workspace::recycle(std::move(grad));
+    grad = Workspace::current().acquire(data.size());
+  }
+  grad.assign(data.size(), 0.0f);
+}
+
+}  // namespace detail
 
 namespace {
 std::shared_ptr<detail::TensorImpl> new_impl(const Shape& shape,
@@ -14,6 +34,7 @@ std::shared_ptr<detail::TensorImpl> new_impl(const Shape& shape,
   impl->requires_grad = requires_grad;
   int64_t n = impl->numel();
   MARS_CHECK_MSG(n >= 0, "negative tensor size");
+  impl->data = Workspace::current().acquire(static_cast<size_t>(n));
   impl->data.assign(static_cast<size_t>(n), 0.0f);
   return impl;
 }
@@ -35,6 +56,7 @@ Tensor Tensor::from_vector(const Shape& shape, std::vector<float> values,
   MARS_CHECK_MSG(static_cast<int64_t>(values.size()) == impl->numel(),
                  "from_vector: " << values.size() << " values for shape "
                                  << shape_str(shape));
+  Workspace::recycle(std::move(impl->data));
   impl->data = std::move(values);
   return Tensor(impl);
 }
@@ -122,10 +144,21 @@ void Tensor::backward() const {
   }
 }
 
+namespace {
+// Pooled deep copy: the destination buffer comes from the Workspace, so
+// detach()/clone_data() in steady-state loops (LSTM state carry, replay
+// buffers) stay allocation-free.
+std::vector<float> pooled_copy(const std::vector<float>& src) {
+  std::vector<float> dst = Workspace::current().acquire(src.size());
+  dst.assign(src.begin(), src.end());
+  return dst;
+}
+}  // namespace
+
 Tensor Tensor::detach() const {
   auto impl = std::make_shared<detail::TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;
+  impl->data = pooled_copy(impl_->data);
   impl->requires_grad = false;
   return Tensor(impl);
 }
@@ -142,7 +175,7 @@ void Tensor::fill_(float value) {
 Tensor Tensor::clone_data() const {
   auto impl = std::make_shared<detail::TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;
+  impl->data = pooled_copy(impl_->data);
   impl->requires_grad = impl_->requires_grad;
   return Tensor(impl);
 }

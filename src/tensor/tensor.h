@@ -27,8 +27,12 @@ namespace detail {
 
 struct TensorImpl {
   Shape shape;
+  // Storage is acquired from (and on destruction recycled into) the
+  // per-thread Workspace arena — see tensor/arena.h — so steady-state
+  // forward/backward passes allocate no tensor storage from the heap.
   std::vector<float> data;
   std::vector<float> grad;  // allocated lazily, same length as data
+
   bool requires_grad = false;
 
   // Autograd bookkeeping: parents this value was computed from and the
@@ -36,14 +40,14 @@ struct TensorImpl {
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void(TensorImpl&)> backward_fn;
 
+  ~TensorImpl();  // recycles data/grad into the current thread's Workspace
+
   int64_t numel() const {
     int64_t n = 1;
     for (auto d : shape) n *= d;
     return n;
   }
-  void ensure_grad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
-  }
+  void ensure_grad();  // zero-filled to data.size() when sizes differ
 };
 
 }  // namespace detail

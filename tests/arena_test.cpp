@@ -1,0 +1,180 @@
+// Workspace arena tests: acquire/release pooling semantics, the capacity
+// cap, tensor-storage recycling through ~TensorImpl, cross-thread buffer
+// migration, and the headline property — a warmed-up training step performs
+// zero arena-external allocations for tensor storage.
+//
+// Stats are cumulative and (for global_stats) process-wide, so every
+// assertion here works on deltas, never absolute counts.
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "tensor/arena.h"
+#include "tensor/fused.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using mars::Rng;
+using mars::Tensor;
+using mars::Workspace;
+
+TEST(Arena, AcquireAfterReleaseIsAHit) {
+  Workspace& ws = Workspace::current();
+  std::vector<float> buf = ws.acquire(100);
+  EXPECT_GE(buf.capacity(), 100u);
+  EXPECT_EQ(buf.size(), 0u);
+  const size_t cap = buf.capacity();
+  const float* ptr = buf.data();
+  ws.release(std::move(buf));
+
+  const Workspace::Stats before = ws.stats();
+  std::vector<float> again = ws.acquire(cap);  // same size class
+  const Workspace::Stats after = ws.stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(again.data(), ptr);  // literally the same buffer came back
+  ws.release(std::move(again));
+}
+
+TEST(Arena, AcquireRoundsUpToSizeClass) {
+  Workspace& ws = Workspace::current();
+  std::vector<float> a = ws.acquire(1);
+  EXPECT_GE(a.capacity(), 64u);  // kMinClassBits = 6
+  std::vector<float> b = ws.acquire(65);
+  EXPECT_GE(b.capacity(), 128u);
+  ws.release(std::move(a));
+  ws.release(std::move(b));
+}
+
+TEST(Arena, OddCapacityBuffersAreNotPooled) {
+  Workspace& ws = Workspace::current();
+  std::vector<float> odd;
+  odd.reserve(100);  // not a class capacity
+  if (odd.capacity() == 100) {
+    const Workspace::Stats before = ws.stats();
+    ws.release(std::move(odd));
+    const Workspace::Stats after = ws.stats();
+    EXPECT_EQ(after.released, before.released);
+    EXPECT_EQ(after.dropped, before.dropped + 1);
+  }
+}
+
+TEST(Arena, CapacityCapDropsReleases) {
+  Workspace& ws = Workspace::current();
+  const size_t saved_cap = ws.capacity_bytes();
+  std::vector<float> big = ws.acquire(1u << 16);  // 256 KiB class
+  ws.set_capacity_bytes(1024);
+  const Workspace::Stats before = ws.stats();
+  ws.release(std::move(big));
+  const Workspace::Stats after = ws.stats();
+  EXPECT_EQ(after.dropped, before.dropped + 1);
+  EXPECT_EQ(after.pooled_bytes, before.pooled_bytes);
+  ws.set_capacity_bytes(saved_cap);
+}
+
+TEST(Arena, DisabledModeBypassesPool) {
+  Workspace& ws = Workspace::current();
+  // Warm the class so an enabled acquire would hit.
+  ws.release(ws.acquire(64));
+  Workspace::set_enabled(false);
+  const Workspace::Stats before = ws.stats();
+  std::vector<float> buf = ws.acquire(64);
+  ws.release(std::move(buf));
+  const Workspace::Stats after = ws.stats();
+  Workspace::set_enabled(true);
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.released, before.released);
+}
+
+TEST(Arena, TrimFreesPooledBuffers) {
+  Workspace& ws = Workspace::current();
+  ws.release(ws.acquire(256));
+  EXPECT_GT(ws.stats().pooled_bytes, 0u);
+  ws.trim();
+  EXPECT_EQ(ws.stats().pooled_bytes, 0u);
+}
+
+TEST(Arena, TensorStorageRecyclesThroughImplDestructor) {
+  Workspace& ws = Workspace::current();
+  { Tensor t = Tensor::zeros({64, 64}); }  // dies -> buffer pooled
+  const Workspace::Stats before = ws.stats();
+  Tensor u = Tensor::zeros({64, 64});  // same class -> served from pool
+  const Workspace::Stats after = ws.stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(Arena, SteadyStateTrainingStepHasZeroMisses) {
+  // The acceptance criterion from the tensor-stack refactor: after warm-up,
+  // a full fused forward/backward/optimizer step allocates nothing outside
+  // the arena for tensor storage.
+  Rng rng(7);
+  mars::Mlp mlp({32, 64, 8}, mars::Activation::kPrelu, rng);
+  mars::LstmCell cell(16, 32, rng);
+  mars::Adam opt(
+      [&] {
+        std::vector<Tensor> params = mlp.parameters();
+        for (auto& p : cell.parameters()) params.push_back(p);
+        return params;
+      }());
+  Tensor x = Tensor::randn({16, 32}, rng, 1.0f);
+  Tensor dec = Tensor::randn({16, 16}, rng, 1.0f);
+
+  auto step = [&] {
+    Tensor loss = mars::mean_all(mlp.forward(x));
+    mars::LstmCell::State s{Tensor::zeros({16, 32}), Tensor::zeros({16, 32})};
+    for (int t = 0; t < 2; ++t) s = cell.step(dec, s);
+    loss = mars::add(loss, mars::mean_all(s.h));
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  };
+  for (int i = 0; i < 5; ++i) step();  // warm-up
+
+  const Workspace::GlobalStats before = Workspace::global_stats();
+  for (int i = 0; i < 10; ++i) step();
+  const Workspace::GlobalStats after = Workspace::global_stats();
+  EXPECT_EQ(after.misses, before.misses)
+      << "steady-state training step allocated tensor storage outside the "
+         "arena";
+  EXPECT_GT(after.hits, before.hits);
+}
+
+TEST(Arena, CrossThreadReleaseMigratesBuffer) {
+  // A tensor created on this thread but destroyed on another must recycle
+  // into the destroying thread's pool without touching this thread's.
+  auto tensor = std::make_shared<Tensor>(Tensor::zeros({128, 128}));
+  std::thread worker([t = std::move(tensor)]() mutable {
+    t.reset();  // ~TensorImpl runs here; recycles into this thread's pool
+    const Workspace::Stats s = Workspace::current().stats();
+    EXPECT_GE(s.released, 1u);
+  });
+  worker.join();
+}
+
+TEST(Arena, ConcurrentWorkloadsStayIsolated) {
+  // Hammer per-thread pools from several threads at once (meaningful under
+  // TSan: thread-local pools + relaxed global counters must stay clean).
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      Rng rng(100 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 20; ++i) {
+        Tensor a = Tensor::randn({17, 33}, rng, 1.0f, true);
+        Tensor b = Tensor::randn({33, 9}, rng, 1.0f, true);
+        Tensor loss = mars::mean_all(mars::matmul(a, b));
+        loss.backward();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace

@@ -1,0 +1,263 @@
+// Fused-op tests: every op in tensor/fused.h against the unfused op
+// composition it replaces (bit-exact where the contract promises it,
+// bounded-ULP where floating-point contraction may regroup a multiply-add),
+// plus finite-difference gradchecks for every differentiable input.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/fused.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "util/rng.h"
+
+namespace {
+
+using mars::Csr;
+using mars::Epilogue;
+using mars::Rng;
+using mars::Tensor;
+
+uint32_t bits_of(float x) {
+  uint32_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+void expect_same_bits(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.numel(), b.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i)
+    ASSERT_EQ(bits_of(pa[i]), bits_of(pb[i]))
+        << "element " << i << ": " << pa[i] << " vs " << pb[i];
+}
+
+void expect_within(const Tensor& a, const Tensor& b, double tol) {
+  ASSERT_EQ(a.numel(), b.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i)
+    EXPECT_NEAR(pa[i], pb[i], tol) << "element " << i;
+}
+
+Tensor apply_unfused(Epilogue act, const Tensor& pre, const Tensor& alpha) {
+  switch (act) {
+    case Epilogue::kNone:
+      return pre;
+    case Epilogue::kRelu:
+      return mars::relu(pre);
+    case Epilogue::kPrelu:
+      return mars::prelu(pre, alpha);
+    case Epilogue::kTanh:
+      return mars::tanh_op(pre);
+    case Epilogue::kSigmoid:
+      return mars::sigmoid(pre);
+    case Epilogue::kGelu:
+      return mars::gelu(pre);
+  }
+  return pre;
+}
+
+const Epilogue kAllEpilogues[] = {Epilogue::kNone,    Epilogue::kRelu,
+                                  Epilogue::kPrelu,   Epilogue::kTanh,
+                                  Epilogue::kSigmoid, Epilogue::kGelu};
+
+// ---- Forward equivalence ------------------------------------------------
+
+TEST(Fused, LinearActMatchesUnfusedBitExact) {
+  Rng rng(1);
+  // m = 1 and m = 5 take the direct GEMM path, m = 37 the blocked one.
+  for (int64_t m : {int64_t{1}, int64_t{5}, int64_t{37}}) {
+    const int64_t k = 29, n = 31;
+    Tensor x = Tensor::randn({m, k}, rng, 1.0f);
+    Tensor w = Tensor::randn({k, n}, rng, 0.5f);
+    Tensor b = Tensor::randn({1, n}, rng, 0.5f);
+    Tensor alpha = Tensor::scalar(0.25f);
+    for (Epilogue act : kAllEpilogues) {
+      Tensor fused = mars::linear_act(x, w, b, act, alpha);
+      Tensor unfused =
+          apply_unfused(act, mars::add(mars::matmul(x, w), b), alpha);
+      expect_same_bits(fused, unfused);
+    }
+  }
+}
+
+TEST(Fused, LinearActNoBiasMatchesMatmul) {
+  Rng rng(2);
+  Tensor x = Tensor::randn({7, 13}, rng, 1.0f);
+  Tensor w = Tensor::randn({13, 9}, rng, 1.0f);
+  expect_same_bits(mars::linear_act(x, w, Tensor{}), mars::matmul(x, w));
+}
+
+TEST(Fused, MatmulNtTnMatchTransposeComposition) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({11, 17}, rng, 1.0f);
+  Tensor b = Tensor::randn({13, 17}, rng, 1.0f);
+  expect_within(mars::matmul_nt(a, b),
+                mars::matmul(a, mars::transpose2d(b)), 1e-4);
+  Tensor c = Tensor::randn({17, 11}, rng, 1.0f);
+  Tensor d = Tensor::randn({17, 13}, rng, 1.0f);
+  expect_within(mars::matmul_tn(c, d),
+                mars::matmul(mars::transpose2d(c), d), 1e-4);
+}
+
+TEST(Fused, SpmmPreluMatchesUnfusedBitExact) {
+  Rng rng(4);
+  const int n = 23;
+  std::vector<Csr::Entry> entries;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({i, i, 0.5f});
+    entries.push_back({i, (i + 1) % n, 0.5f});
+  }
+  auto adj = std::make_shared<const Csr>(n, std::move(entries));
+  Tensor x = Tensor::randn({n, 19}, rng, 1.0f);
+  Tensor alpha = Tensor::scalar(0.25f);
+  expect_same_bits(mars::spmm_prelu(adj, x, alpha),
+                   mars::prelu(mars::spmm(adj, x), alpha));
+}
+
+Tensor lstm_unfused(const Tensor& x, const Tensor& h, const Tensor& c,
+                    const Tensor& w_ih, const Tensor& w_hh, const Tensor& b,
+                    int64_t hd) {
+  Tensor z = mars::add(
+      mars::add(mars::matmul(x, w_ih), mars::matmul(h, w_hh)), b);
+  Tensor i = mars::sigmoid(mars::slice_cols(z, 0, hd));
+  Tensor f = mars::sigmoid(mars::slice_cols(z, hd, 2 * hd));
+  Tensor g = mars::tanh_op(mars::slice_cols(z, 2 * hd, 3 * hd));
+  Tensor o = mars::sigmoid(mars::slice_cols(z, 3 * hd, 4 * hd));
+  Tensor c_new = mars::add(mars::mul(f, c), mars::mul(i, g));
+  Tensor h_new = mars::mul(o, mars::tanh_op(c_new));
+  return mars::concat_cols(h_new, c_new);
+}
+
+TEST(Fused, LstmCellMatchesUnfusedWithinTolerance) {
+  Rng rng(5);
+  const int64_t m = 4, in = 9, hd = 7;
+  Tensor x = Tensor::randn({m, in}, rng, 1.0f);
+  Tensor h = Tensor::randn({m, hd}, rng, 1.0f);
+  Tensor c = Tensor::randn({m, hd}, rng, 1.0f);
+  Tensor w_ih = Tensor::randn({in, 4 * hd}, rng, 0.3f);
+  Tensor w_hh = Tensor::randn({hd, 4 * hd}, rng, 0.3f);
+  Tensor b = Tensor::randn({1, 4 * hd}, rng, 0.3f);
+  Tensor fused = mars::lstm_cell_fused(x, h, c, w_ih, w_hh, b);
+  Tensor ref = lstm_unfused(x, h, c, w_ih, w_hh, b, hd);
+  // c' = f*c + i*g may contract into an FMA in the fused kernel; the
+  // unfused path rounds each step. Tolerance covers that regrouping.
+  expect_within(fused, ref, 1e-5);
+}
+
+// ---- Gradchecks ---------------------------------------------------------
+
+TEST(Fused, LinearActGradcheck) {
+  Rng rng(6);
+  const int64_t m = 3, k = 4, n = 5;
+  Tensor x = Tensor::randn({m, k}, rng, 1.0f, true);
+  Tensor w = Tensor::randn({k, n}, rng, 0.5f, true);
+  Tensor b = Tensor::randn({1, n}, rng, 0.5f, true);
+  Tensor alpha = Tensor::scalar(0.25f, true);
+  for (Epilogue act : kAllEpilogues) {
+    SCOPED_TRACE(static_cast<int>(act));
+    std::vector<Tensor> inputs{x, w, b};
+    if (act == Epilogue::kPrelu) inputs.push_back(alpha);
+    mars::testing::expect_gradients_match(inputs, [&] {
+      return mars::mean_all(mars::linear_act(x, w, b, act, alpha));
+    });
+  }
+}
+
+TEST(Fused, MatmulNtGradcheck) {
+  Rng rng(7);
+  Tensor a = Tensor::randn({3, 4}, rng, 1.0f, true);
+  Tensor b = Tensor::randn({5, 4}, rng, 1.0f, true);
+  mars::testing::expect_gradients_match(
+      {a, b}, [&] { return mars::mean_all(mars::matmul_nt(a, b)); });
+}
+
+TEST(Fused, MatmulTnGradcheck) {
+  Rng rng(8);
+  Tensor a = Tensor::randn({4, 3}, rng, 1.0f, true);
+  Tensor b = Tensor::randn({4, 5}, rng, 1.0f, true);
+  mars::testing::expect_gradients_match(
+      {a, b}, [&] { return mars::mean_all(mars::matmul_tn(a, b)); });
+}
+
+TEST(Fused, LstmCellGradcheck) {
+  Rng rng(9);
+  const int64_t m = 2, in = 3, hd = 4;
+  Tensor x = Tensor::randn({m, in}, rng, 1.0f, true);
+  Tensor h = Tensor::randn({m, hd}, rng, 1.0f, true);
+  Tensor c = Tensor::randn({m, hd}, rng, 1.0f, true);
+  Tensor w_ih = Tensor::randn({in, 4 * hd}, rng, 0.5f, true);
+  Tensor w_hh = Tensor::randn({hd, 4 * hd}, rng, 0.5f, true);
+  Tensor b = Tensor::randn({1, 4 * hd}, rng, 0.5f, true);
+  mars::testing::expect_gradients_match({x, h, c, w_ih, w_hh, b}, [&] {
+    return mars::mean_all(mars::lstm_cell_fused(x, h, c, w_ih, w_hh, b));
+  });
+}
+
+TEST(Fused, LstmChainGradcheck) {
+  // Three chained steps with state carried through slice_cols, the way
+  // LstmCell::step threads [h' | c'] — exercises gradient flow through the
+  // slices back into the shared weights across time.
+  Rng rng(10);
+  const int64_t in = 3, hd = 4;
+  Tensor x0 = Tensor::randn({1, in}, rng, 1.0f, true);
+  Tensor x1 = Tensor::randn({1, in}, rng, 1.0f, true);
+  Tensor x2 = Tensor::randn({1, in}, rng, 1.0f, true);
+  Tensor w_ih = Tensor::randn({in, 4 * hd}, rng, 0.5f, true);
+  Tensor w_hh = Tensor::randn({hd, 4 * hd}, rng, 0.5f, true);
+  Tensor b = Tensor::randn({1, 4 * hd}, rng, 0.5f, true);
+  mars::testing::expect_gradients_match({x0, x1, x2, w_ih, w_hh, b}, [&] {
+    Tensor h = Tensor::zeros({1, hd});
+    Tensor c = Tensor::zeros({1, hd});
+    for (const Tensor& x : {x0, x1, x2}) {
+      Tensor hc = mars::lstm_cell_fused(x, h, c, w_ih, w_hh, b);
+      h = mars::slice_cols(hc, 0, hd);
+      c = mars::slice_cols(hc, hd, 2 * hd);
+    }
+    return mars::mean_all(mars::concat_cols(h, c));
+  });
+}
+
+TEST(Fused, SpmmPreluGradcheck) {
+  Rng rng(11);
+  const int n = 6;
+  std::vector<Csr::Entry> entries;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({i, i, 0.6f});
+    entries.push_back({i, (i + 1) % n, 0.4f});
+    entries.push_back({(i + 2) % n, i, -0.3f});
+  }
+  auto adj = std::make_shared<const Csr>(n, std::move(entries));
+  Tensor x = Tensor::randn({n, 5}, rng, 1.0f, true);
+  Tensor alpha = Tensor::scalar(0.25f, true);
+  mars::testing::expect_gradients_match({x, alpha}, [&] {
+    return mars::mean_all(mars::spmm_prelu(adj, x, alpha));
+  });
+}
+
+TEST(Fused, NoGradProducesDetachedResults) {
+  Rng rng(12);
+  Tensor x = Tensor::randn({2, 3}, rng, 1.0f, true);
+  Tensor w = Tensor::randn({3, 4}, rng, 1.0f, true);
+  Tensor b = Tensor::randn({1, 4}, rng, 1.0f, true);
+  Tensor h = Tensor::randn({2, 4}, rng, 1.0f, true);
+  Tensor c = Tensor::randn({2, 4}, rng, 1.0f, true);
+  Tensor w_ih = Tensor::randn({3, 16}, rng, 1.0f, true);
+  Tensor w_hh = Tensor::randn({4, 16}, rng, 1.0f, true);
+  Tensor bl = Tensor::randn({1, 16}, rng, 1.0f, true);
+  mars::NoGradGuard guard;
+  EXPECT_FALSE(mars::linear_act(x, w, b, Epilogue::kRelu).requires_grad());
+  EXPECT_FALSE(mars::matmul_nt(x, Tensor::randn({5, 3}, rng, 1.0f, true))
+                   .requires_grad());
+  EXPECT_FALSE(
+      mars::lstm_cell_fused(x, h, c, w_ih, w_hh, bl).requires_grad());
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Kernel-layer tests: the blocked+SIMD GEMM against the pre-refactor
+// reference kernel across shapes/transposes, and the determinism contract
+// (bit-identical results for any OpenMP thread count) that the fig7
+// reproductions rely on.
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "nn/layers.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "util/rng.h"
+
+namespace {
+
+using mars::Rng;
+using mars::Tensor;
+namespace kernels = mars::kernels;
+using kernels::Trans;
+
+std::vector<float> random_vec(Rng& rng, size_t n) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+// The blocked kernel accumulates each element in the same ascending-K order
+// as the reference, but its SIMD microkernel may contract multiply-adds
+// into FMAs where the scalar reference rounds each step. The bound below
+// covers that contraction slack (documented in docs/tensor.md); it is NOT a
+// thread-count tolerance — across thread counts results are bit-identical
+// (tested separately).
+void expect_close(const std::vector<float>& ref, const std::vector<float>& got) {
+  ASSERT_EQ(ref.size(), got.size());
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const double tol = 5e-4 + 1e-5 * std::abs(static_cast<double>(ref[i]));
+    EXPECT_NEAR(ref[i], got[i], tol) << "element " << i;
+  }
+}
+
+void check_gemm(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k,
+                bool accumulate, uint64_t seed) {
+  Rng rng(seed);
+  // Physical layouts: op(A) is [m,k], stored [m,k] (kNo) or [k,m] (kYes).
+  const int64_t lda = ta == Trans::kNo ? k : m;
+  const int64_t ldb = tb == Trans::kNo ? n : k;
+  std::vector<float> a = random_vec(rng, static_cast<size_t>(m * k));
+  std::vector<float> b = random_vec(rng, static_cast<size_t>(k * n));
+  std::vector<float> c0 = random_vec(rng, static_cast<size_t>(m * n));
+  std::vector<float> cref = c0, cgot = c0;
+  kernels::gemm_reference(ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                          cref.data(), n, accumulate);
+  kernels::gemm(ta, tb, m, n, k, a.data(), lda, b.data(), ldb, cgot.data(), n,
+                accumulate);
+  expect_close(cref, cgot);
+}
+
+TEST(Kernels, GemmMatchesReferenceAcrossShapesAndTransposes) {
+  struct Shape {
+    int64_t m, n, k;
+  };
+  // Degenerate, microkernel-tile edges (MR=6/NR=16), the direct-path
+  // boundary (m < 12), cache-block boundaries (96/256), and the shapes the
+  // encoder/LSTM/attention layers actually run.
+  const Shape shapes[] = {
+      {1, 1, 1},    {1, 7, 5},     {3, 5, 7},      {6, 16, 8},
+      {11, 17, 33}, {12, 16, 64},  {13, 33, 7},    {37, 48, 29},
+      {96, 64, 96}, {97, 31, 257}, {256, 128, 128}, {1, 512, 64},
+      {64, 300, 256},
+  };
+  uint64_t seed = 1;
+  for (const auto& s : shapes)
+    for (Trans ta : {Trans::kNo, Trans::kYes})
+      for (Trans tb : {Trans::kNo, Trans::kYes})
+        for (bool acc : {false, true})
+          check_gemm(ta, tb, s.m, s.n, s.k, acc, seed++);
+}
+
+TEST(Kernels, GemmKEqualsZeroClearsOrKeeps) {
+  std::vector<float> c{1.0f, 2.0f, 3.0f, 4.0f};
+  kernels::gemm(Trans::kNo, Trans::kNo, 2, 2, 0, nullptr, 1, nullptr, 2,
+                c.data(), 2, true);
+  EXPECT_EQ(c[0], 1.0f);
+  kernels::gemm(Trans::kNo, Trans::kNo, 2, 2, 0, nullptr, 1, nullptr, 2,
+                c.data(), 2, false);
+  EXPECT_EQ(c[0], 0.0f);
+  EXPECT_EQ(c[3], 0.0f);
+}
+
+TEST(Kernels, ParallelPolicyThreshold) {
+  EXPECT_FALSE(kernels::parallel_worthwhile(kernels::kParallelWorkThreshold));
+  EXPECT_TRUE(
+      kernels::parallel_worthwhile(kernels::kParallelWorkThreshold + 1));
+}
+
+TEST(Kernels, SpmmCsrMatchesDenseReference) {
+  Rng rng(9);
+  const int n = 17;
+  const int64_t f = 13;
+  std::vector<mars::Csr::Entry> entries;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (rng.uniform(0.0, 1.0) < 0.3)
+        entries.push_back({i, j, static_cast<float>(rng.uniform(-1.0, 1.0))});
+  mars::Csr a(n, entries);
+  std::vector<float> dense(static_cast<size_t>(n) * n, 0.0f);
+  for (const auto& e : entries)
+    dense[static_cast<size_t>(e.row) * n + e.col] += e.value;
+
+  std::vector<float> x = random_vec(rng, static_cast<size_t>(n) * f);
+  std::vector<float> y(static_cast<size_t>(n) * f);
+  kernels::spmm_csr(a.row_ptr().data(), a.col_idx().data(), a.values().data(),
+                    n, x.data(), f, y.data());
+  std::vector<float> yref(static_cast<size_t>(n) * f);
+  kernels::gemm_reference(Trans::kNo, Trans::kNo, n, f, n, dense.data(), n,
+                          x.data(), f, yref.data(), f, false);
+  expect_close(yref, y);
+}
+
+#ifdef _OPENMP
+
+/// Runs fn() at 1, 4 and 8 OpenMP threads and requires bit-identical output
+/// buffers; restores the ambient thread count afterwards.
+template <typename Fn>
+void expect_thread_count_invariant(Fn&& fn) {
+  const int ambient = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const std::vector<float> one = fn();
+  for (int threads : {4, 8}) {
+    omp_set_num_threads(threads);
+    const std::vector<float> result = fn();
+    ASSERT_EQ(one.size(), result.size());
+    EXPECT_EQ(0, std::memcmp(one.data(), result.data(),
+                             one.size() * sizeof(float)))
+        << "thread count " << threads << " changed bits";
+  }
+  omp_set_num_threads(ambient);
+}
+
+TEST(Kernels, GemmBitIdenticalAcrossThreadCounts) {
+  Rng rng(21);
+  // Big enough that parallel_worthwhile() engages the parallel schedule.
+  const int64_t m = 256, n = 192, k = 256;
+  std::vector<float> a = random_vec(rng, static_cast<size_t>(m * k));
+  std::vector<float> b = random_vec(rng, static_cast<size_t>(k * n));
+  expect_thread_count_invariant([&] {
+    std::vector<float> c(static_cast<size_t>(m * n));
+    kernels::gemm(Trans::kNo, Trans::kNo, m, n, k, a.data(), k, b.data(), n,
+                  c.data(), n, false);
+    return c;
+  });
+}
+
+TEST(Kernels, SpmmBitIdenticalAcrossThreadCounts) {
+  Rng rng(22);
+  const int n = 300;
+  const int64_t f = 64;
+  std::vector<mars::Csr::Entry> entries;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({i, i, 1.0f});
+    for (int d = 1; d <= 5; ++d)
+      entries.push_back(
+          {i, (i + d * 7) % n, static_cast<float>(rng.uniform(-1.0, 1.0))});
+  }
+  mars::Csr a(n, std::move(entries));
+  std::vector<float> x = random_vec(rng, static_cast<size_t>(n) * f);
+  expect_thread_count_invariant([&] {
+    std::vector<float> y(static_cast<size_t>(n) * f);
+    kernels::spmm_csr(a.row_ptr().data(), a.col_idx().data(),
+                      a.values().data(), n, x.data(), f, y.data());
+    return y;
+  });
+}
+
+TEST(Kernels, GcnForwardBackwardBitIdenticalAcrossThreadCounts) {
+  // End-to-end over the layer stack the fig7 training loop runs: GCN
+  // forward (fused spmm+PReLU over the new GEMM) and the full backward
+  // pass, identical bits at any thread count.
+  const int n = 200;
+  const int64_t in = 96, out = 128;
+  std::vector<mars::Csr::Entry> entries;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({i, i, 0.5f});
+    entries.push_back({i, (i + 1) % n, 0.25f});
+    entries.push_back({i, (i + n - 1) % n, 0.25f});
+  }
+  auto adj = std::make_shared<const mars::Csr>(n, std::move(entries));
+  Rng init_rng(23);
+  mars::GcnLayer layer(in, out, init_rng);
+  Tensor x = Tensor::randn({n, in}, init_rng, 1.0f, true);
+
+  expect_thread_count_invariant([&] {
+    x.zero_grad();
+    for (auto& p : layer.parameters()) p.zero_grad();
+    Tensor loss = mars::mean_all(layer.forward(adj, x));
+    loss.backward();
+    std::vector<float> bits;
+    bits.push_back(loss.item());
+    bits.insert(bits.end(), x.grad(), x.grad() + x.numel());
+    for (auto& p : layer.parameters())
+      bits.insert(bits.end(), p.grad(), p.grad() + p.numel());
+    return bits;
+  });
+}
+
+#endif  // _OPENMP
+
+}  // namespace
