@@ -1,27 +1,44 @@
-// Closed-loop load generator for the mars_serve daemon.
+// Load generator for the mars_serve daemon: closed-loop or open-loop.
 //
 // By default it is fully self-contained: it starts a PlacementService +
 // ServeDaemon in-process on an ephemeral port, drives it from --clients
-// concurrent TCP connections (each issuing --requests placement requests
-// back-to-back), and reports throughput and client-observed latency
-// percentiles plus the service's own counters. Point it at an external
-// daemon with --host/--port instead.
+// concurrent TCP connections, and reports throughput and client-observed
+// latency percentiles plus the service's own counters. Point it at an
+// external daemon with --host/--port instead.
+//
+// Two load models:
+//   closed-loop (default)  each client issues --requests placement
+//                          requests back-to-back; throughput is whatever
+//                          the daemon sustains.
+//   open-loop              --target-qps Q schedules Poisson arrivals at
+//                          rate Q split across the clients. Latency is
+//                          measured from the *scheduled* arrival time, so
+//                          a daemon that falls behind pays the backlog in
+//                          its percentiles (no coordinated omission).
 //
 // Clients use the retrying PlaceClient (--timeout-s per-attempt deadline,
-// --retries with exponential backoff), and --reloads N fires hot-reload
-// admin frames (--reload-path, default --checkpoint) from a side thread
-// while the load is running — the acceptance gate for hot reload is zero
-// failed well-formed requests during the swaps. Client retry/reconnect
-// counters and the daemon's mars_serve_reload_* counters are printed at
-// the end.
+// --retries with exponential backoff, shed responses honored via their
+// retry_after_ms), and --reloads N fires hot-reload admin frames
+// (--reload-path, default --checkpoint) from a side thread while the load
+// is running. The daemon-side batching/admission knobs (--max-batch,
+// --batch-linger-us, --max-queue, --rate-limit, --slo-queue-depth) apply
+// to the in-process daemon.
 //
-// Run: build/bench/serve_load --clients 8 --requests 40
-//      build/bench/serve_load --workloads gnmt,vgg16 --refine 32 --no-cache
-//      build/bench/serve_load --checkpoint agent.mars --reloads 5
+// --json-out FILE writes a mars.bench.serve/v1 recording (QPS, latency
+// percentiles, shed rate, plus the committed pre-reactor baseline for
+// before/after comparison); --validate FILE schema-checks a recording.
+//
+// Run: build/bench/serve_load --clients 8 --requests 25 --no-cache
+//      build/bench/serve_load --target-qps 400 --requests 50 --no-cache
+//      build/bench/serve_load --no-cache --json-out BENCH_serve.json
+//      build/bench/serve_load --validate BENCH_serve.json
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -34,11 +51,22 @@
 #include "util/json.h"
 #include "util/logging.h"
 #include "util/quantile.h"
+#include "util/rng.h"
 #include "workloads/workloads.h"
 
 using namespace mars;
 
 namespace {
+
+// Pre-reactor baseline, measured at the seed of this PR (blocking
+// accept/dispatch server, no batching) with:
+//   serve_load --clients 8 --requests 25 --no-cache
+// Committed alongside the "after" numbers in BENCH_serve.json so the
+// recording is a self-contained before/after comparison.
+constexpr double kBaselineQps = 235.1;
+constexpr double kBaselineP50Ms = 5.12;
+constexpr double kBaselineP95Ms = 7.78;
+constexpr double kBaselineP99Ms = 526.68;
 
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
@@ -51,9 +79,9 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 /// Scrapes the daemon's request-latency histogram (stats admin request,
 /// JSON format) and prints bucket-interpolated quantiles next to the
-/// client-observed ones. The sample counts must match; the values sit at
-/// or below the client-observed ones because the histogram times handle()
-/// only (no network or queue wait) and interpolates within buckets.
+/// client-observed ones. The values sit at or below the client-observed
+/// ones because the histogram times handle() only (no network or queue
+/// wait) and interpolates within buckets.
 void print_scraped_latency(const std::string& host, int port) {
   try {
     serve::PlaceClient admin(host, port);
@@ -81,12 +109,68 @@ void print_scraped_latency(const std::string& host, int port) {
   }
 }
 
+/// Schema check for mars.bench.serve/v1 recordings. Returns an empty
+/// string on success, else a description of the first problem.
+std::string validate(const Json& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  if (doc.get_string("schema", "") != "mars.bench.serve/v1")
+    return "schema key missing or not mars.bench.serve/v1";
+  const std::string mode = doc.get_string("mode", "");
+  if (mode != "closed-loop" && mode != "open-loop")
+    return "mode must be closed-loop or open-loop";
+  for (const char* key : {"qps", "p50_ms", "p95_ms", "p99_ms", "max_ms",
+                          "shed_rate", "requests", "failures"})
+    if (!doc.has(key) || !doc.at(key).is_number())
+      return std::string("missing numeric key: ") + key;
+  if (doc.at("requests").as_int() <= 0) return "requests must be positive";
+  const double shed_rate = doc.at("shed_rate").as_double();
+  if (shed_rate < 0.0 || shed_rate > 1.0) return "shed_rate out of [0,1]";
+  if (!doc.has("config") || !doc.at("config").is_object())
+    return "missing config object";
+  if (!doc.has("baseline") || !doc.at("baseline").is_object())
+    return "missing baseline object";
+  const Json& base = doc.at("baseline");
+  for (const char* key : {"qps", "p50_ms", "p95_ms", "p99_ms"})
+    if (!base.has(key) || !base.at(key).is_number())
+      return std::string("baseline missing numeric key: ") + key;
+  return "";
+}
+
+int run_validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    const std::string problem = validate(Json::parse(buf.str()));
+    if (!problem.empty()) {
+      std::cerr << path << ": " << problem << "\n";
+      return 1;
+    }
+  } catch (const JsonError& e) {
+    std::cerr << path << ": parse error at byte " << e.offset() << ": "
+              << e.what() << "\n";
+    return 1;
+  }
+  std::cout << path << ": valid mars.bench.serve/v1\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
+  const std::string validate_path = args.get("validate", "");
+  if (!validate_path.empty()) {
+    args.warn_unused();
+    return run_validate(validate_path);
+  }
   const int clients = args.get_int("clients", 8);
   const int per_client = args.get_int("requests", 40);
+  const double target_qps = args.get_double("target-qps", 0.0);
   const std::string workloads_csv =
       args.get("workloads", "inception_v3,vgg16");
   const int gpus = args.get_int("gpus", 4);
@@ -98,6 +182,19 @@ int main(int argc, char** argv) {
   const unsigned daemon_threads =
       static_cast<unsigned>(args.get_int("threads", 0));
   const std::string checkpoint = args.get("checkpoint", "");
+  serve::ServerConfig server_config;
+  server_config.max_batch =
+      args.get_int("max-batch", server_config.max_batch);
+  server_config.batch_linger_us =
+      args.get_int("batch-linger-us",
+                   static_cast<int>(server_config.batch_linger_us));
+  server_config.max_queue = args.get_int("max-queue", server_config.max_queue);
+  server_config.rate_limit =
+      args.get_double("rate-limit", server_config.rate_limit);
+  server_config.rate_burst =
+      args.get_double("rate-burst", server_config.rate_burst);
+  server_config.slo_queue_depth =
+      args.get_int("slo-queue-depth", server_config.slo_queue_depth);
   serve::ClientConfig client_config;
   client_config.request_timeout_s =
       args.get_double("timeout-s", client_config.request_timeout_s);
@@ -106,12 +203,18 @@ int main(int argc, char** argv) {
   const int reloads = args.get_int("reloads", 0);
   const std::string reload_path = args.get("reload-path", checkpoint);
   const int reload_interval_ms = args.get_int("reload-interval-ms", 100);
+  const std::string json_out = args.get("json-out", "");
   args.warn_unused();
   MARS_CHECK_MSG(clients > 0 && per_client > 0,
                  "--clients and --requests must be positive");
+  MARS_CHECK_MSG(target_qps >= 0.0, "--target-qps must be non-negative");
+  const bool open_loop = target_qps > 0.0;
 
-  // Pre-build the request mix once; clients round-robin through it.
-  std::vector<serve::PlaceRequest> mix;
+  // Pre-build (and pre-serialize) the request mix once; clients
+  // round-robin through the frames. Serializing up front keeps the load
+  // loop itself cheap and the frames byte-identical, which is what the
+  // daemon's coalescing keys on.
+  std::vector<std::string> mix;
   for (const std::string& name : split_csv(workloads_csv)) {
     serve::PlaceRequest request;
     request.id = name;
@@ -120,7 +223,7 @@ int main(int argc, char** argv) {
     request.options.refine_trials = refine;
     request.options.use_cache = !no_cache;
     request.graph = build_workload(name);
-    mix.push_back(std::move(request));
+    mix.push_back(serve::request_to_string(request));
   }
   MARS_CHECK_MSG(!mix.empty(), "--workloads is empty");
 
@@ -135,7 +238,6 @@ int main(int argc, char** argv) {
     config.checkpoint_path = checkpoint;
     config.agent_gpus = gpus;
     service = std::make_unique<serve::PlacementService>(std::move(config));
-    serve::ServerConfig server_config;
     server_config.port = 0;
     server_config.threads = daemon_threads;
     daemon = std::make_unique<serve::ServeDaemon>(*service, server_config);
@@ -145,14 +247,23 @@ int main(int argc, char** argv) {
   }
 
   const int total = clients * per_client;
-  std::printf("serve_load: %d clients x %d requests -> %s:%d (%s)\n",
-              clients, per_client, host.c_str(), port,
-              ext_host.empty() ? "in-process daemon" : "external daemon");
+  if (open_loop) {
+    std::printf(
+        "serve_load: open-loop %.1f req/s (Poisson) over %d clients x %d "
+        "requests -> %s:%d (%s)\n",
+        target_qps, clients, per_client, host.c_str(), port,
+        ext_host.empty() ? "in-process daemon" : "external daemon");
+  } else {
+    std::printf("serve_load: %d clients x %d requests -> %s:%d (%s)\n",
+                clients, per_client, host.c_str(), port,
+                ext_host.empty() ? "in-process daemon" : "external daemon");
+  }
 
   std::vector<std::vector<double>> latencies(
       static_cast<size_t>(clients));
   std::vector<serve::ClientCounters> counters(static_cast<size_t>(clients));
   std::atomic<int> failures{0};
+  std::atomic<int> shed_abandoned{0};
   std::atomic<bool> load_done{false};
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -162,15 +273,38 @@ int main(int argc, char** argv) {
         serve::ClientConfig cc = client_config;
         cc.jitter_seed += static_cast<uint64_t>(c);  // decorrelate backoff
         serve::PlaceClient client(host, port, cc);
+        // Each client owns 1/clients of the target rate; exponential
+        // inter-arrival gaps make the merged process Poisson(target_qps).
+        Rng arrivals(0x5eedull + static_cast<uint64_t>(c));
+        const double per_thread_qps = target_qps / clients;
+        auto scheduled = t0;
         auto& mine = latencies[static_cast<size_t>(c)];
         mine.reserve(static_cast<size_t>(per_client));
         for (int i = 0; i < per_client; ++i) {
-          const serve::PlaceRequest& request =
+          const std::string& frame =
               mix[static_cast<size_t>(c + i) % mix.size()];
-          const auto start = std::chrono::steady_clock::now();
-          const serve::PlaceResponse response = client.place(request);
+          auto start = std::chrono::steady_clock::now();
+          if (open_loop) {
+            const double gap_s =
+                -std::log(1.0 - arrivals.uniform()) / per_thread_qps;
+            scheduled += std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(gap_s));
+            std::this_thread::sleep_until(scheduled);
+            // Latency runs from the scheduled arrival: if the daemon (or
+            // this thread) fell behind, the backlog is charged to the
+            // request, not silently dropped from the distribution.
+            start = scheduled;
+          }
+          const serve::PlaceResponse response = client.place_frame(frame);
           const std::chrono::duration<double, std::milli> ms =
               std::chrono::steady_clock::now() - start;
+          if (response.status == serve::PlaceStatus::kShed) {
+            // Shed after the client exhausted its retry-after budget:
+            // well-formed refusal, not a failure.
+            shed_abandoned.fetch_add(1);
+            continue;
+          }
           if (response.status != serve::PlaceStatus::kOk) {
             failures.fetch_add(1);
             continue;
@@ -221,28 +355,43 @@ int main(int argc, char** argv) {
   for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
   std::sort(all.begin(), all.end());
 
-  std::printf("completed %zu/%d requests in %.2f s (%d failures)\n",
-              all.size(), total, wall.count(), failures.load());
-  if (!all.empty()) {
-    std::printf("throughput: %.1f req/s\n",
-                static_cast<double>(all.size()) / wall.count());
-    std::printf("latency  ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
-                percentile_sorted(all, 0.50), percentile_sorted(all, 0.95),
-                percentile_sorted(all, 0.99), all.back());
-    print_scraped_latency(host, port);
-  }
   serve::ClientCounters totals;
   for (const auto& cc : counters) {
     totals.retries += cc.retries;
     totals.reconnects += cc.reconnects;
     totals.deadline_exceeded += cc.deadline_exceeded;
+    totals.sheds += cc.sheds;
+  }
+  // Shed rate over everything the daemon answered: completed requests
+  // plus every shed response seen (including ones a later retry turned
+  // into a completion).
+  const double answered =
+      static_cast<double>(all.size()) + static_cast<double>(totals.sheds);
+  const double shed_rate =
+      answered > 0.0 ? static_cast<double>(totals.sheds) / answered : 0.0;
+  const double qps =
+      wall.count() > 0.0 ? static_cast<double>(all.size()) / wall.count()
+                         : 0.0;
+
+  std::printf("completed %zu/%d requests in %.2f s (%d failures, %d "
+              "abandoned after shed)\n",
+              all.size(), total, wall.count(), failures.load(),
+              shed_abandoned.load());
+  if (!all.empty()) {
+    std::printf("throughput: %.1f req/s%s\n", qps,
+                open_loop ? " (completed; open-loop)" : "");
+    std::printf("latency  ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+                percentile_sorted(all, 0.50), percentile_sorted(all, 0.95),
+                percentile_sorted(all, 0.99), all.back());
+    print_scraped_latency(host, port);
   }
   std::printf(
       "client counters: retries %lld  reconnects %lld  deadline_exceeded "
-      "%lld\n",
+      "%lld  sheds %lld (%.1f%% shed rate)\n",
       static_cast<long long>(totals.retries),
       static_cast<long long>(totals.reconnects),
-      static_cast<long long>(totals.deadline_exceeded));
+      static_cast<long long>(totals.deadline_exceeded),
+      static_cast<long long>(totals.sheds), shed_rate * 100.0);
   if (reloads > 0) {
     std::printf("hot reloads: %d ok, %d rejected (of %d requested)\n",
                 reload_ok, reload_fail, reloads);
@@ -252,6 +401,53 @@ int main(int argc, char** argv) {
     daemon->shutdown();
     daemon_thread.join();
     std::printf("service counters: %s\n", service->stats_line().c_str());
+  }
+
+  if (!json_out.empty() && !all.empty()) {
+    Json config = Json::object();
+    config.set("clients", Json::of(int64_t{clients}))
+        .set("requests_per_client", Json::of(int64_t{per_client}))
+        .set("target_qps", Json::of(target_qps))
+        .set("workloads", Json::of(workloads_csv))
+        .set("gpus", Json::of(int64_t{gpus}))
+        .set("refine", Json::of(int64_t{refine}))
+        .set("coarsen", Json::of(int64_t{coarsen}))
+        .set("use_cache", Json::of(!no_cache))
+        .set("max_batch", Json::of(int64_t{server_config.max_batch}))
+        .set("batch_linger_us",
+             Json::of(static_cast<int64_t>(server_config.batch_linger_us)))
+        .set("max_queue", Json::of(int64_t{server_config.max_queue}))
+        .set("rate_limit", Json::of(server_config.rate_limit));
+    Json baseline = Json::object();
+    baseline
+        .set("note",
+             Json::of("pre-reactor blocking server, serve_load --clients 8 "
+                      "--requests 25 --no-cache"))
+        .set("qps", Json::of(kBaselineQps))
+        .set("p50_ms", Json::of(kBaselineP50Ms))
+        .set("p95_ms", Json::of(kBaselineP95Ms))
+        .set("p99_ms", Json::of(kBaselineP99Ms));
+    Json doc = Json::object();
+    doc.set("schema", Json::of("mars.bench.serve/v1"))
+        .set("mode", Json::of(open_loop ? "open-loop" : "closed-loop"))
+        .set("config", std::move(config))
+        .set("qps", Json::of(qps))
+        .set("p50_ms", Json::of(percentile_sorted(all, 0.50)))
+        .set("p95_ms", Json::of(percentile_sorted(all, 0.95)))
+        .set("p99_ms", Json::of(percentile_sorted(all, 0.99)))
+        .set("max_ms", Json::of(all.back()))
+        .set("shed_rate", Json::of(shed_rate))
+        .set("sheds", Json::of(static_cast<int64_t>(totals.sheds)))
+        .set("requests", Json::of(static_cast<int64_t>(all.size())))
+        .set("failures", Json::of(int64_t{failures.load()}))
+        .set("baseline", std::move(baseline));
+    std::ofstream out(json_out);
+    if (!out) {
+      std::cerr << "cannot write " << json_out << "\n";
+      return 1;
+    }
+    out << doc.dump() << "\n";
+    std::printf("wrote %s\n", json_out.c_str());
   }
   return failures.load() == 0 && !all.empty() ? 0 : 1;
 }

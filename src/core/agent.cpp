@@ -36,6 +36,13 @@ ActionSample EncoderPlacerAgent::sample_greedy() {
   return out;
 }
 
+std::vector<Placement> EncoderPlacerAgent::sample_greedy_batch(
+    const std::vector<const CompGraph*>& graphs) {
+  if (graphs.empty()) return {};
+  NoGradGuard no_grad;
+  return placer_->place_greedy_batch(encoder_->encode_batch(graphs));
+}
+
 ActionEval EncoderPlacerAgent::evaluate(const ActionSample& sample) {
   Tensor reps = encoder_->encode();
   Placer::Result r = placer_->place(reps, &sample.placement, nullptr);

@@ -21,6 +21,13 @@ class EncoderPlacerAgent : public PlacementPolicy {
   void attach_graph(const CompGraph& graph) override;
   ActionSample sample(Rng& rng) override;
   ActionSample sample_greedy() override;
+  /// Greedy placements for several graphs in one batched forward pass
+  /// (encoder batch + batched decode). Bit-identical to attach_graph() +
+  /// sample_greedy() per graph; leaves the encoder attached to whatever
+  /// encode_batch() last touched, so call attach_graph() before any
+  /// subsequent single-graph use.
+  std::vector<Placement> sample_greedy_batch(
+      const std::vector<const CompGraph*>& graphs);
   ActionEval evaluate(const ActionSample& sample) override;
   int num_devices() const override { return placer_->num_devices(); }
   std::string describe() const override { return label_; }

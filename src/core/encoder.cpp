@@ -1,6 +1,20 @@
 #include "core/encoder.h"
 
+#include "tensor/kernels.h"
+
 namespace mars {
+
+std::vector<Tensor> NodeEncoder::encode_batch(
+    const std::vector<const CompGraph*>& graphs) {
+  std::vector<Tensor> out;
+  out.reserve(graphs.size());
+  for (const CompGraph* g : graphs) {
+    MARS_CHECK(g != nullptr);
+    attach_graph(*g);
+    out.push_back(encode());
+  }
+  return out;
+}
 
 GcnEncoder::GcnEncoder(int64_t hidden, int layers, Rng& rng)
     : hidden_(hidden) {
@@ -22,6 +36,61 @@ void GcnEncoder::attach_graph(const CompGraph& graph) {
 Tensor GcnEncoder::encode() const {
   MARS_CHECK_MSG(attached(), "encode() before attach_graph()");
   return encode_with(adj_, features_);
+}
+
+std::vector<Tensor> GcnEncoder::encode_batch(
+    const std::vector<const CompGraph*>& graphs) {
+  // Below 2*MR rows the GEMM takes its skinny-M direct path; such graphs
+  // are encoded solo so batched and solo encodes run the same kernel.
+  const int64_t min_rows = 2 * kernels::MR;
+  std::vector<Tensor> out(graphs.size());
+  std::vector<size_t> big;
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    MARS_CHECK(graphs[i] != nullptr);
+    if (graphs[i]->num_nodes() >= min_rows) {
+      big.push_back(i);
+    } else {
+      out[i] = encode_with(gcn_normalized_adjacency(*graphs[i]),
+                           node_features(*graphs[i]));
+    }
+  }
+  if (big.empty()) return out;
+  if (big.size() == 1) {
+    out[big[0]] = encode_with(gcn_normalized_adjacency(*graphs[big[0]]),
+                              node_features(*graphs[big[0]]));
+    return out;
+  }
+  // Block-diagonal union: per-graph feature normalization and adjacency
+  // normalization are untouched (both are computed per graph), only the
+  // row/col indices shift by the graph's base offset.
+  std::vector<Tensor> feats;
+  std::vector<int> base(big.size());
+  std::vector<Csr::Entry> entries;
+  int total = 0;
+  for (size_t k = 0; k < big.size(); ++k) {
+    const CompGraph& g = *graphs[big[k]];
+    base[k] = total;
+    feats.push_back(node_features(g));
+    const std::shared_ptr<const Csr> adj = gcn_normalized_adjacency(g);
+    const auto& rp = adj->row_ptr();
+    const auto& ci = adj->col_idx();
+    const auto& vals = adj->values();
+    for (int r = 0; r < adj->n(); ++r) {
+      for (int e = rp[static_cast<size_t>(r)];
+           e < rp[static_cast<size_t>(r) + 1]; ++e) {
+        entries.push_back({total + r, total + ci[static_cast<size_t>(e)],
+                           vals[static_cast<size_t>(e)]});
+      }
+    }
+    total += g.num_nodes();
+  }
+  const auto block_adj = std::make_shared<const Csr>(total, std::move(entries));
+  const Tensor h = encode_with(block_adj, concat_rows(feats));
+  for (size_t k = 0; k < big.size(); ++k) {
+    out[big[k]] = slice_rows(h, base[k],
+                             base[k] + graphs[big[k]]->num_nodes());
+  }
+  return out;
 }
 
 Tensor GcnEncoder::encode_with(const std::shared_ptr<const Csr>& adj,

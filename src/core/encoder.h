@@ -23,6 +23,14 @@ class NodeEncoder : public Module {
   virtual void attach_graph(const CompGraph& graph) = 0;
   /// Node representations [N, out_dim()] for the attached graph.
   virtual Tensor encode() const = 0;
+  /// Representations for several graphs at once (the serving batcher's
+  /// path). The base implementation attaches and encodes one graph at a
+  /// time (and leaves the encoder attached to the last one); encoders that
+  /// can run the whole batch through one forward pass override it. Every
+  /// override must return, per graph, bit-identical rows to
+  /// attach_graph() + encode() on that graph alone.
+  virtual std::vector<Tensor> encode_batch(
+      const std::vector<const CompGraph*>& graphs);
   virtual int64_t out_dim() const = 0;
   virtual std::string name() const = 0;
   bool attached() const { return num_nodes_ > 0; }
@@ -39,6 +47,16 @@ class GcnEncoder : public NodeEncoder {
 
   void attach_graph(const CompGraph& graph) override;
   Tensor encode() const override;
+  /// One GCN forward over the block-diagonal union of the graphs: features
+  /// are concatenated and the normalized adjacencies offset into one Csr,
+  /// so the whole batch costs one spmm+GEMM stack per layer. Per-graph
+  /// rows are bit-identical to encoding each graph alone (the GEMM kernel
+  /// accumulates every output row in a fixed K order regardless of the
+  /// row count, and spmm rows only touch their own graph's block); graphs
+  /// small enough to take the kernel's skinny-M path solo are encoded solo
+  /// so the kernel choice — and therefore the bits — match too.
+  std::vector<Tensor> encode_batch(
+      const std::vector<const CompGraph*>& graphs) override;
   /// Encode explicit inputs (used by DGI with corrupted features).
   Tensor encode_with(const std::shared_ptr<const Csr>& adj,
                      const Tensor& features) const;

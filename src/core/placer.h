@@ -31,6 +31,14 @@ class Placer : public Module {
   /// greedily (per-step argmax; the serving inference path).
   virtual Result place(const Tensor& reps, const std::vector<int>* given,
                        Rng* rng) = 0;
+  /// Greedy-decodes several graphs' representations, returning one
+  /// device-per-node action vector per input. Must be bit-identical to
+  /// calling place(reps[i], nullptr, nullptr) per graph — the base
+  /// implementation does exactly that; placers that can amortize the
+  /// per-step network passes across the batch override it. Skips the
+  /// log-prob/entropy bookkeeping serving never reads.
+  virtual std::vector<std::vector<int>> place_greedy_batch(
+      const std::vector<Tensor>& reps);
   virtual std::string name() const = 0;
   int num_devices() const { return num_devices_; }
 
@@ -55,6 +63,14 @@ class SegmentSeq2SeqPlacer : public Placer {
   SegmentSeq2SeqPlacer(const SegSeq2SeqConfig& config, Rng& rng);
   Result place(const Tensor& reps, const std::vector<int>* given,
                Rng* rng) override;
+  /// True batched decode: the LSTM recurrences and the output projection
+  /// step all graphs at once (rows stacked per time step), while attention
+  /// stays per graph over its own encoder outputs. Chunked so every
+  /// stacked GEMM keeps the kernel's skinny-M path — the same kernel the
+  /// per-graph [1, ·] steps take — which makes each graph's logits, and
+  /// therefore its placement, bit-identical to the sequential decode.
+  std::vector<std::vector<int>> place_greedy_batch(
+      const std::vector<Tensor>& reps) override;
   std::string name() const override {
     return config_.segment_size >= (1 << 30) ? "seq2seq"
                                              : "segment_seq2seq";

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace mars {
+
+std::vector<std::vector<int>> Placer::place_greedy_batch(
+    const std::vector<Tensor>& reps) {
+  std::vector<std::vector<int>> out;
+  out.reserve(reps.size());
+  for (const Tensor& r : reps)
+    out.push_back(place(r, nullptr, nullptr).actions);
+  return out;
+}
 
 Placer::Result Placer::finish_result(const Tensor& logits,
                                      std::vector<int> actions) {
@@ -92,6 +102,201 @@ std::unique_ptr<SegmentSeq2SeqPlacer> make_seq2seq_placer(
     SegSeq2SeqConfig config, Rng& rng) {
   config.segment_size = 1 << 30;  // a single segment spans any graph
   return std::make_unique<SegmentSeq2SeqPlacer>(config, rng);
+}
+
+namespace {
+
+/// [rows.size(), C] tensor whose row i copies row rows[i].second of tensor
+/// rows[i].first. Plain data stacking (no autograd): the batched decode
+/// only needs values.
+Tensor stack_rows(const std::vector<std::pair<const Tensor*, int64_t>>& rows,
+                  int64_t c) {
+  Tensor out = Tensor::zeros({static_cast<int64_t>(rows.size()), c});
+  float* dst = out.data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Tensor& src = *rows[i].first;
+    std::copy_n(src.data() + rows[i].second * src.cols(), c,
+                dst + static_cast<int64_t>(i) * c);
+  }
+  return out;
+}
+
+/// Row r of `t` as a fresh [1, C] tensor (value copy, no autograd).
+Tensor take_row(const Tensor& t, int64_t r) {
+  Tensor out = Tensor::zeros({1, t.cols()});
+  std::copy_n(t.data() + r * t.cols(), t.cols(), out.data());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> SegmentSeq2SeqPlacer::place_greedy_batch(
+    const std::vector<Tensor>& reps) {
+  // Chunk so every stacked step stays under the GEMM's skinny-M threshold:
+  // the direct kernel computes each output row in the same fixed K order
+  // for any row count below it, which is what makes a graph's batched
+  // logits bit-identical to its solo [1, ·]-per-step decode.
+  const size_t chunk = static_cast<size_t>(2 * kernels::MR - 1);
+  std::vector<std::vector<int>> out(reps.size());
+  for (size_t c0 = 0; c0 < reps.size(); c0 += chunk) {
+    const size_t c1 = std::min(reps.size(), c0 + chunk);
+    const size_t b = c1 - c0;
+    if (b == 1) {
+      out[c0] = place(reps[c0], nullptr, nullptr).actions;
+      continue;
+    }
+
+    std::vector<int64_t> len(b);
+    int64_t max_n = 0;
+    for (size_t g = 0; g < b; ++g) {
+      len[g] = reps[c0 + g].rows();
+      MARS_CHECK(len[g] > 0 && reps[c0 + g].cols() == config_.rep_dim);
+      max_n = std::max(max_n, len[g]);
+      out[c0 + g].resize(static_cast<size_t>(len[g]));
+    }
+    // seg matches the solo decode's min(segment_size, n) schedule: a graph
+    // shorter than one segment still ends its only segment at its length.
+    const int64_t seg = std::min<int64_t>(config_.segment_size, max_n);
+    const int64_t hidden = config_.hidden;
+    const LstmCell& efwd = encoder_.fwd_cell();
+    const LstmCell& ebwd = encoder_.bwd_cell();
+
+    // Per-graph recurrent states, stacked per step over the active set.
+    std::vector<LstmCell::State> fwd_s(b, efwd.initial_state());
+    std::vector<LstmCell::State> bwd_s(b, ebwd.initial_state());
+    std::vector<LstmCell::State> dec_s(b, decoder_.initial_state());
+    std::vector<int> prev_dev(b, config_.num_devices);  // start token
+
+    for (int64_t s0 = 0; s0 < max_n; s0 += seg) {
+      std::vector<size_t> seg_graphs;  // graphs with rows in this segment
+      std::vector<int64_t> seg_len;
+      int64_t max_seg = 0;
+      for (size_t g = 0; g < b; ++g) {
+        if (len[g] <= s0) continue;
+        seg_graphs.push_back(g);
+        seg_len.push_back(std::min(len[g], s0 + seg) - s0);
+        max_seg = std::max(max_seg, seg_len.back());
+      }
+
+      // Encoder, both directions: one stacked LSTM step per time index
+      // over the graphs whose segment covers it. A graph's backward
+      // recurrence starts at its own segment end (its state stays at the
+      // carried-in value until then), exactly like the solo decode.
+      std::vector<std::vector<Tensor>> fwd_h(seg_graphs.size());
+      std::vector<std::vector<Tensor>> bwd_h(seg_graphs.size());
+      for (size_t k = 0; k < seg_graphs.size(); ++k) {
+        fwd_h[k].resize(static_cast<size_t>(seg_len[k]));
+        bwd_h[k].resize(static_cast<size_t>(seg_len[k]));
+      }
+      for (int64_t t = 0; t < max_seg; ++t) {
+        std::vector<size_t> act;
+        std::vector<std::pair<const Tensor*, int64_t>> xrows;
+        for (size_t k = 0; k < seg_graphs.size(); ++k) {
+          if (t >= seg_len[k]) continue;
+          act.push_back(k);
+          xrows.push_back({&reps[c0 + seg_graphs[k]], s0 + t});
+        }
+        Tensor x = stack_rows(xrows, config_.rep_dim);
+        std::vector<std::pair<const Tensor*, int64_t>> hs, cs;
+        for (size_t k : act) {
+          hs.push_back({&fwd_s[seg_graphs[k]].h, 0});
+          cs.push_back({&fwd_s[seg_graphs[k]].c, 0});
+        }
+        const LstmCell::State ns = efwd.step(
+            x, {stack_rows(hs, hidden), stack_rows(cs, hidden)});
+        for (size_t i = 0; i < act.size(); ++i) {
+          const size_t k = act[i];
+          fwd_s[seg_graphs[k]] = {take_row(ns.h, static_cast<int64_t>(i)),
+                                  take_row(ns.c, static_cast<int64_t>(i))};
+          fwd_h[k][static_cast<size_t>(t)] = fwd_s[seg_graphs[k]].h;
+        }
+      }
+      for (int64_t t = max_seg - 1; t >= 0; --t) {
+        std::vector<size_t> act;
+        std::vector<std::pair<const Tensor*, int64_t>> xrows;
+        for (size_t k = 0; k < seg_graphs.size(); ++k) {
+          if (t >= seg_len[k]) continue;
+          act.push_back(k);
+          xrows.push_back({&reps[c0 + seg_graphs[k]], s0 + t});
+        }
+        Tensor x = stack_rows(xrows, config_.rep_dim);
+        std::vector<std::pair<const Tensor*, int64_t>> hs, cs;
+        for (size_t k : act) {
+          hs.push_back({&bwd_s[seg_graphs[k]].h, 0});
+          cs.push_back({&bwd_s[seg_graphs[k]].c, 0});
+        }
+        const LstmCell::State ns = ebwd.step(
+            x, {stack_rows(hs, hidden), stack_rows(cs, hidden)});
+        for (size_t i = 0; i < act.size(); ++i) {
+          const size_t k = act[i];
+          bwd_s[seg_graphs[k]] = {take_row(ns.h, static_cast<int64_t>(i)),
+                                  take_row(ns.c, static_cast<int64_t>(i))};
+          bwd_h[k][static_cast<size_t>(t)] = bwd_s[seg_graphs[k]].h;
+        }
+      }
+
+      // Per-graph encoder outputs and attention projections (the same
+      // [segment, ·] shapes the solo decode runs, so the same kernels).
+      std::vector<Tensor> enc_out(seg_graphs.size());
+      std::vector<Tensor> enc_proj(seg_graphs.size());
+      for (size_t k = 0; k < seg_graphs.size(); ++k) {
+        std::vector<Tensor> rows;
+        rows.reserve(static_cast<size_t>(seg_len[k]));
+        for (int64_t t = 0; t < seg_len[k]; ++t)
+          rows.push_back(concat_cols(fwd_h[k][static_cast<size_t>(t)],
+                                     bwd_h[k][static_cast<size_t>(t)]));
+        enc_out[k] = concat_rows(rows);
+        enc_proj[k] = attention_.project_encoder(enc_out[k]);
+      }
+
+      // Decoder: stacked LSTM step and output projection; attention runs
+      // per graph over its own segment (identical inputs -> identical
+      // context bits).
+      for (int64_t t = 0; t < max_seg; ++t) {
+        std::vector<size_t> act;
+        for (size_t k = 0; k < seg_graphs.size(); ++k)
+          if (t < seg_len[k]) act.push_back(k);
+        std::vector<Tensor> dec_in_rows;
+        dec_in_rows.reserve(act.size());
+        for (size_t k : act) {
+          dec_in_rows.push_back(
+              concat_cols(slice_rows(enc_out[k], t, t + 1),
+                          device_emb_.row(prev_dev[seg_graphs[k]])));
+        }
+        std::vector<std::pair<const Tensor*, int64_t>> in_rows, hs, cs;
+        for (size_t i = 0; i < act.size(); ++i) {
+          in_rows.push_back({&dec_in_rows[i], 0});
+          hs.push_back({&dec_s[seg_graphs[act[i]]].h, 0});
+          cs.push_back({&dec_s[seg_graphs[act[i]]].c, 0});
+        }
+        Tensor x = stack_rows(in_rows, 2 * hidden + config_.device_emb);
+        const LstmCell::State ns = decoder_.step(
+            x, {stack_rows(hs, hidden), stack_rows(cs, hidden)});
+        std::vector<Tensor> out_rows;
+        out_rows.reserve(act.size());
+        for (size_t i = 0; i < act.size(); ++i) {
+          const size_t k = act[i];
+          dec_s[seg_graphs[k]] = {take_row(ns.h, static_cast<int64_t>(i)),
+                                  take_row(ns.c, static_cast<int64_t>(i))};
+          Tensor ctx = attention_.context_with(enc_out[k], enc_proj[k],
+                                               dec_s[seg_graphs[k]].h);
+          out_rows.push_back(concat_cols(dec_s[seg_graphs[k]].h, ctx));
+        }
+        std::vector<std::pair<const Tensor*, int64_t>> or_rows;
+        for (size_t i = 0; i < act.size(); ++i)
+          or_rows.push_back({&out_rows[i], 0});
+        const Tensor logits =
+            out_.forward(stack_rows(or_rows, 3 * hidden));
+        const std::vector<int> a = argmax_rows(logits);
+        for (size_t i = 0; i < act.size(); ++i) {
+          const size_t g = seg_graphs[act[i]];
+          out[c0 + g][static_cast<size_t>(s0 + t)] = a[i];
+          prev_dev[g] = a[i];
+        }
+      }
+    }
+  }
+  return out;
 }
 
 // ---- TransformerXlPlacer --------------------------------------------------

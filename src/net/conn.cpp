@@ -1,0 +1,145 @@
+#include "net/conn.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace mars::net {
+
+Conn::Conn(EventLoop& loop, int fd, uint64_t id, size_t max_frame_bytes,
+           Callbacks callbacks)
+    : loop_(&loop),
+      fd_(fd),
+      id_(id),
+      callbacks_(std::move(callbacks)),
+      decoder_(max_frame_bytes),
+      last_activity_ms_(EventLoop::now_ms()) {
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Conn::~Conn() {
+  if (!closed_) {
+    closed_ = true;  // destructor close: no on_close (owner is tearing down)
+    loop_->remove_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+void Conn::start() {
+  loop_->add_fd(fd_, kEventRead, [this](uint32_t ev) { on_events(ev); });
+}
+
+void Conn::close() {
+  if (closed_) return;
+  closed_ = true;
+  loop_->remove_fd(fd_);
+  ::close(fd_);
+  if (callbacks_.on_close) callbacks_.on_close(*this);
+}
+
+void Conn::on_events(uint32_t events) {
+  if (closed_) return;
+  if (events & kEventError) {
+    // A full hangup after we already saw EOF means the peer can't receive
+    // responses either — stop immediately instead of re-polling the error
+    // every iteration while a worker finishes a doomed request.
+    if (read_closed_) {
+      close();
+      return;
+    }
+    // Otherwise consume whatever bytes were still readable first.
+    handle_readable();
+    if (!closed_ && !read_closed_) close();
+    return;
+  }
+  if (events & kEventWrite) flush();
+  if (closed_) return;
+  if (events & kEventRead) handle_readable();
+}
+
+void Conn::handle_readable() {
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      last_activity_ms_ = EventLoop::now_ms();
+      decoder_.append(buf, static_cast<size_t>(n));
+      std::string frame;
+      while (decoder_.next(&frame)) {
+        const uint64_t seq = next_seq_in_++;
+        if (callbacks_.on_frame) callbacks_.on_frame(*this, seq, frame);
+        if (closed_) return;  // handler closed us mid-batch
+      }
+      if (decoder_.error()) {
+        // Oversized declared length: framing is unrecoverable.
+        close();
+        return;
+      }
+      if (n < static_cast<ssize_t>(sizeof(buf))) return;  // drained
+      continue;  // possibly more buffered by the kernel
+    }
+    if (n == 0) {
+      // Peer finished sending. Responses already in flight still go out;
+      // once nothing is pending the connection is done.
+      read_closed_ = true;
+      loop_->update_fd(fd_, out_pos_ < out_buf_.size() ? kEventWrite : 0u);
+      if (in_flight() == 0 && out_pos_ >= out_buf_.size()) close();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    close();
+    return;
+  }
+}
+
+void Conn::send_response(uint64_t seq, std::string payload) {
+  if (closed_) return;
+  pending_[seq] = std::move(payload);
+  // Release every response that is now next in line.
+  while (true) {
+    auto it = pending_.find(next_seq_out_);
+    if (it == pending_.end()) break;
+    out_buf_.append(encode_frame(it->second));
+    pending_.erase(it);
+    ++next_seq_out_;
+  }
+  if (out_buf_.size() - out_pos_ > kMaxOutputBuffer) {
+    // The peer isn't reading; cut it loose rather than buffer unbounded.
+    close();
+    return;
+  }
+  flush();
+}
+
+void Conn::flush() {
+  if (closed_) return;
+  while (out_pos_ < out_buf_.size()) {
+    const ssize_t n = ::send(fd_, out_buf_.data() + out_pos_,
+                             out_buf_.size() - out_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_pos_ += static_cast<size_t>(n);
+      last_activity_ms_ = EventLoop::now_ms();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_->update_fd(fd_, read_closed_ ? kEventWrite
+                                         : (kEventRead | kEventWrite));
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close();
+    return;
+  }
+  // Fully flushed: compact and drop write interest.
+  out_buf_.clear();
+  out_pos_ = 0;
+  loop_->update_fd(fd_, read_closed_ ? 0u : kEventRead);
+  if (read_closed_ && in_flight() == 0) close();
+}
+
+}  // namespace mars::net

@@ -1,0 +1,92 @@
+// Non-blocking framed connection driven by an EventLoop.
+//
+// A Conn owns one accepted socket. Reads are incremental (net/frames.h):
+// every complete frame is delivered to on_frame with a per-connection
+// sequence number. Responses come back through send_response(seq, ...),
+// possibly out of order — a pipelined client may have several requests in
+// flight and a batching server completes them in batch order — and the
+// Conn reorders them so the wire always answers in request order. Writes
+// go straight to the socket when it's writable and spill into an output
+// buffer (write interest registered) when it isn't.
+//
+// All methods run on the loop thread. on_close fires exactly once, from
+// whichever event discovered the close; it may fire from inside another
+// Conn callback, so an owner that deletes the Conn there must defer the
+// deletion with EventLoop::post().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/event_loop.h"
+#include "net/frames.h"
+
+namespace mars::net {
+
+class Conn {
+ public:
+  struct Callbacks {
+    /// A complete request frame. `seq` counts 0, 1, 2... per connection;
+    /// answer with send_response(seq, payload) (from any point, any
+    /// order). Not answering a seq stalls later responses forever.
+    std::function<void(Conn&, uint64_t seq, std::string frame)> on_frame;
+    /// The connection is gone (EOF, error, oversized frame, backpressure
+    /// overflow, or an explicit close()). Fd already closed.
+    std::function<void(Conn&)> on_close;
+  };
+
+  /// Bytes of unsent responses after which a non-reading peer is
+  /// disconnected instead of buffered further.
+  static constexpr size_t kMaxOutputBuffer = 64u << 20;
+
+  Conn(EventLoop& loop, int fd, uint64_t id, size_t max_frame_bytes,
+       Callbacks callbacks);
+  ~Conn();
+
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  /// Registers with the loop; call once after construction.
+  void start();
+
+  /// Queues the response for request `seq`; sends once all earlier seqs
+  /// are sent. Ignored after close.
+  void send_response(uint64_t seq, std::string payload);
+
+  /// Closes now; pending unsent output is dropped. Idempotent.
+  void close();
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+  bool closed() const { return closed_; }
+  /// Frames delivered to on_frame but not yet answered.
+  uint64_t in_flight() const { return next_seq_in_ - next_seq_out_; }
+  /// Loop-clock timestamp of the last byte read or written.
+  int64_t last_activity_ms() const { return last_activity_ms_; }
+
+ private:
+  void on_events(uint32_t events);
+  void handle_readable();
+  void flush();  // write out_buf_ to the socket, manage write interest
+
+  EventLoop* loop_;
+  int fd_;
+  uint64_t id_;
+  Callbacks callbacks_;
+  FrameDecoder decoder_;
+
+  uint64_t next_seq_in_ = 0;   // seq assigned to the next incoming frame
+  uint64_t next_seq_out_ = 0;  // seq whose response goes on the wire next
+  std::map<uint64_t, std::string> pending_;  // out-of-order responses
+
+  std::string out_buf_;
+  size_t out_pos_ = 0;
+
+  bool read_closed_ = false;  // peer half-closed; finish responses, then go
+  bool closed_ = false;
+  int64_t last_activity_ms_;
+};
+
+}  // namespace mars::net

@@ -1,0 +1,137 @@
+// Single-threaded I/O reactor: the core of the async serving front-end.
+//
+// An EventLoop multiplexes non-blocking file descriptors (epoll on Linux,
+// with a portable poll() backend selectable for tests or as a fallback),
+// runs one-shot timers off a min-heap, and accepts work from other threads
+// via post() (function queue drained on the loop thread) and notify() (a
+// single async-signal-safe byte on a wake pipe, for signal handlers).
+//
+// Threading contract: everything except post(), notify() and stop() must
+// run on the loop thread. Callbacks (I/O, timer, posted tasks) always run
+// on the loop thread, so loop-owned state needs no locking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mars::net {
+
+/// Event bitmask delivered to fd callbacks.
+inline constexpr uint32_t kEventRead = 1;
+inline constexpr uint32_t kEventWrite = 2;
+/// Error/hangup on the fd; delivered even if not requested.
+inline constexpr uint32_t kEventError = 4;
+
+class EventLoop {
+ public:
+  enum class Backend {
+    kAuto,   // epoll when available, else poll
+    kEpoll,  //
+    kPoll,   // portable level-triggered poll() (also the test target)
+  };
+
+  using IoCallback = std::function<void(uint32_t events)>;
+  using TimerId = uint64_t;
+
+  explicit EventLoop(Backend backend = Backend::kAuto);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// The backend actually in use (kAuto resolves at construction).
+  Backend backend() const { return backend_; }
+
+  // ---- Fd registration (loop thread only) -------------------------------
+  //
+  // Level-triggered on both backends: a callback fires as long as the
+  // condition holds, so handlers need not drain to EAGAIN.
+
+  void add_fd(int fd, uint32_t events, IoCallback cb);
+  void update_fd(int fd, uint32_t events);
+  void remove_fd(int fd);
+  bool watching(int fd) const { return channels_.count(fd) != 0; }
+
+  // ---- Timers (loop thread only) ----------------------------------------
+
+  /// One-shot timer after delay_ms (>= 0). Returns an id for cancel_timer.
+  TimerId add_timer(int64_t delay_ms, std::function<void()> cb);
+  void cancel_timer(TimerId id);
+
+  /// Milliseconds on the loop's monotonic clock (for idle bookkeeping; one
+  /// clock source so conn timestamps and timer deadlines agree).
+  static int64_t now_ms();
+
+  // ---- Cross-thread entry points ----------------------------------------
+
+  /// Queues fn to run on the loop thread and wakes it. Thread-safe; safe
+  /// from callbacks as well (runs in the same iteration's drain phase).
+  void post(std::function<void()> fn);
+
+  /// Writes one byte to the wake pipe. Async-signal-safe: callable from a
+  /// signal handler. Bytes > 0 are handed to the wake handler on the loop
+  /// thread; byte 0 just wakes the loop.
+  void notify(char byte);
+
+  /// Handler for notify() bytes (loop thread). Set before run().
+  void set_wake_handler(std::function<void(char)> handler);
+
+  /// Runs until stop(). Call from exactly one thread; re-runnable after a
+  /// stopped run() returns.
+  void run();
+
+  /// Requests run() to return after the current iteration. Thread-safe and
+  /// async-signal-safe (it only flips an atomic flag and writes the pipe).
+  void stop();
+
+  /// True when called from inside run() on the loop thread.
+  bool in_loop_thread() const;
+
+ private:
+  struct Channel {
+    uint32_t events = 0;
+    IoCallback cb;
+  };
+  struct Timer {
+    int64_t due_ms;
+    TimerId id;
+    bool operator>(const Timer& o) const {
+      return due_ms != o.due_ms ? due_ms > o.due_ms : id > o.id;
+    }
+  };
+
+  void drain_wake_pipe();
+  void run_expired_timers();
+  void run_posted();
+  int next_timeout_ms() const;
+  void poll_once(int timeout_ms);   // poll() backend
+  void epoll_once(int timeout_ms);  // epoll backend
+  void dispatch(int fd, uint32_t events);
+
+  Backend backend_;
+  int epoll_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+
+  std::unordered_map<int, Channel> channels_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::unordered_map<TimerId, std::function<void()>> timer_cbs_;
+  TimerId next_timer_id_ = 1;
+
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+
+  std::function<void(char)> wake_handler_;
+};
+
+}  // namespace mars::net

@@ -1,0 +1,59 @@
+#include "net/frames.h"
+
+#include <cstring>
+
+namespace mars::net {
+
+void FrameDecoder::append(const char* data, size_t n) {
+  if (error_) return;
+  // Compact the consumed prefix before growing, so a long-lived connection
+  // doesn't accumulate every frame it ever received.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+bool FrameDecoder::next(std::string* payload) {
+  if (error_) return false;
+  const size_t avail = buf_.size() - pos_;
+  if (avail < 4) return false;
+  const unsigned char* h =
+      reinterpret_cast<const unsigned char*>(buf_.data()) + pos_;
+  const uint32_t len = (static_cast<uint32_t>(h[0]) << 24) |
+                       (static_cast<uint32_t>(h[1]) << 16) |
+                       (static_cast<uint32_t>(h[2]) << 8) |
+                       static_cast<uint32_t>(h[3]);
+  if (len > max_frame_bytes_) {
+    error_ = true;
+    return false;
+  }
+  if (avail - 4 < len) return false;
+  if (pos_ == 0 && buf_.size() == 4 + static_cast<size_t>(len)) {
+    // Whole buffer is exactly one frame: strip the header in place and
+    // move, no copy.
+    buf_.erase(0, 4);
+    *payload = std::move(buf_);
+    buf_.clear();
+    pos_ = 0;
+    return true;
+  }
+  payload->assign(buf_, pos_ + 4, len);
+  pos_ += 4 + len;
+  return true;
+}
+
+std::string encode_frame(const std::string& payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>(len & 0xff));
+  out.append(payload);
+  return out;
+}
+
+}  // namespace mars::net

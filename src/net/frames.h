@@ -1,0 +1,46 @@
+// Incremental decoder for the serve wire format (serve/framing.h): 4-byte
+// big-endian payload length, then the payload. Unlike the blocking
+// read_frame(), this consumes whatever bytes the socket had — partial
+// headers, partial payloads, several frames per read — and hands back
+// complete frames as they materialize, which is what a non-blocking
+// reactor connection needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mars::net {
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Feeds n raw socket bytes into the decoder.
+  void append(const char* data, size_t n);
+
+  /// Moves the next complete frame's payload into *payload and returns
+  /// true; false when no complete frame is buffered (or the stream is
+  /// poisoned). Call in a loop: one append() can complete several frames.
+  bool next(std::string* payload);
+
+  /// True once a declared length exceeded max_frame_bytes. The stream is
+  /// beyond recovery (we cannot resynchronize framing); the connection
+  /// should be closed.
+  bool error() const { return error_; }
+
+  /// Bytes buffered but not yet returned (header + partial payload).
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  bool error_ = false;
+};
+
+/// One encoded frame: big-endian length header + payload.
+std::string encode_frame(const std::string& payload);
+
+}  // namespace mars::net

@@ -102,6 +102,10 @@ class BiLstm : public Module {
                  const LstmCell::State& bwd_init) const;
   LstmCell::State initial_state() const { return fwd_.initial_state(); }
   int64_t hidden() const { return fwd_.hidden(); }
+  /// Direction cells, for callers that drive the recurrence themselves
+  /// (the batched greedy decode steps several sequences at once).
+  const LstmCell& fwd_cell() const { return fwd_; }
+  const LstmCell& bwd_cell() const { return bwd_; }
 
  private:
   LstmCell fwd_, bwd_;

@@ -1,0 +1,157 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.h"
+
+namespace mars::serve {
+
+namespace {
+
+uint64_t frame_hash(const std::string& frame) {
+  return std::hash<std::string>{}(frame);
+}
+
+}  // namespace
+
+Batcher::Batcher(BatcherConfig config) : config_(config) {
+  MARS_CHECK_MSG(config_.max_batch >= 1, "batcher: max_batch must be >= 1");
+  MARS_CHECK_MSG(config_.max_queue >= 1, "batcher: max_queue must be >= 1");
+  MARS_CHECK_MSG(config_.linger_us >= 0, "batcher: linger_us must be >= 0");
+  MARS_CHECK_MSG(config_.rate_limit >= 0, "batcher: rate_limit must be >= 0");
+  if (config_.rate_limit > 0 && config_.rate_burst <= 0) {
+    config_.rate_burst = std::max(1.0, 2 * config_.rate_limit);
+  }
+}
+
+int Batcher::queue_drain_estimate_ms() const {
+  // Batches of max_batch entries drain the queue; one more batch frees the
+  // first slot. Clamp so clients neither hammer (sub-10ms) nor stall for
+  // ages on a transient spike.
+  const double batches =
+      static_cast<double>(queue_.size()) / config_.max_batch + 1.0;
+  const double est = batches * ewma_batch_ms_;
+  return static_cast<int>(std::clamp(est, 10.0, 5000.0));
+}
+
+Batcher::Admission Batcher::admit(uint64_t conn_id, uint64_t seq,
+                                  std::string frame, int64_t now_ms) {
+  // Rate limit first: a client over its budget is shed even when the queue
+  // has room, so one chatty connection cannot crowd out the rest.
+  if (config_.rate_limit > 0) {
+    TokenBucket& bucket = buckets_[conn_id];
+    if (bucket.last_ms == 0) {
+      bucket.tokens = config_.rate_burst;  // new connection: full bucket
+    } else {
+      const double elapsed_s = (now_ms - bucket.last_ms) / 1000.0;
+      bucket.tokens = std::min(config_.rate_burst,
+                               bucket.tokens + elapsed_s * config_.rate_limit);
+    }
+    bucket.last_ms = now_ms;
+    if (bucket.tokens < 1.0) {
+      const double wait_s = (1.0 - bucket.tokens) / config_.rate_limit;
+      const int wait_ms =
+          static_cast<int>(std::clamp(wait_s * 1000.0, 1.0, 60000.0));
+      return {AdmitOutcome::kShedRateLimited, wait_ms};
+    }
+    bucket.tokens -= 1.0;
+  }
+
+  // Coalesce byte-identical frames: placements are deterministic, so an
+  // earlier copy's answer is this request's answer. Prefer an in-flight
+  // copy (its response lands with the batch already executing) over a
+  // queued one (which still has to wait for a worker).
+  const uint64_t hash = frame_hash(frame);
+  if (auto it = in_flight_by_hash_.find(hash);
+      it != in_flight_by_hash_.end()) {
+    for (const auto& [batch_id, index] : it->second) {
+      Entry& entry = in_flight_[batch_id][index];
+      if (entry.frame == frame) {
+        entry.waiters.push_back({conn_id, seq});
+        return {AdmitOutcome::kCoalesced, 0};
+      }
+    }
+  }
+  if (auto it = by_hash_.find(hash); it != by_hash_.end()) {
+    for (uint64_t pos : it->second) {
+      Entry& entry = queue_[pos - front_offset_];
+      if (entry.frame == frame) {
+        entry.waiters.push_back({conn_id, seq});
+        return {AdmitOutcome::kCoalesced, 0};
+      }
+    }
+  }
+
+  if (static_cast<int>(queue_.size()) >= config_.max_queue) {
+    return {AdmitOutcome::kShedQueueFull, queue_drain_estimate_ms()};
+  }
+
+  Entry entry;
+  entry.frame = std::move(frame);
+  entry.waiters.push_back({conn_id, seq});
+  entry.enqueued_ms = now_ms;
+  by_hash_[hash].push_back(front_offset_ + queue_.size());
+  queue_.push_back(std::move(entry));
+  return {AdmitOutcome::kQueued, 0};
+}
+
+Batcher::Batch Batcher::take_batch() {
+  const size_t n = std::min(queue_.size(),
+                            static_cast<size_t>(config_.max_batch));
+  Batch batch;
+  if (n == 0) return batch;
+  batch.id = next_batch_id_++;
+  batch.frames.reserve(n);
+  std::vector<Entry>& flight = in_flight_[batch.id];
+  flight.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Entry& entry = queue_.front();
+    // Move the coalescing index entry from the queued side to the
+    // in-flight side: the response is being computed, but until it is
+    // delivered an identical arrival can still ride on it.
+    const uint64_t hash = frame_hash(entry.frame);
+    if (auto it = by_hash_.find(hash); it != by_hash_.end()) {
+      auto& positions = it->second;
+      positions.erase(std::remove(positions.begin(), positions.end(),
+                                  front_offset_),
+                      positions.end());
+      if (positions.empty()) by_hash_.erase(it);
+    }
+    in_flight_by_hash_[hash].emplace_back(batch.id, flight.size());
+    batch.frames.push_back(entry.frame);
+    flight.push_back(std::move(entry));
+    queue_.pop_front();
+    ++front_offset_;
+  }
+  return batch;
+}
+
+std::vector<Batcher::Entry> Batcher::finish_batch(uint64_t id) {
+  const auto it = in_flight_.find(id);
+  MARS_CHECK_MSG(it != in_flight_.end(),
+                 "batcher: finish_batch(" << id << "): unknown batch");
+  std::vector<Entry> entries = std::move(it->second);
+  in_flight_.erase(it);
+  for (const Entry& entry : entries) {
+    const uint64_t hash = frame_hash(entry.frame);
+    const auto hit = in_flight_by_hash_.find(hash);
+    if (hit == in_flight_by_hash_.end()) continue;
+    auto& refs = hit->second;
+    refs.erase(std::remove_if(refs.begin(), refs.end(),
+                              [id](const std::pair<uint64_t, size_t>& ref) {
+                                return ref.first == id;
+                              }),
+               refs.end());
+    if (refs.empty()) in_flight_by_hash_.erase(hit);
+  }
+  return entries;
+}
+
+void Batcher::on_batch_done(double batch_ms, int entries) {
+  if (entries <= 0) return;
+  constexpr double kAlpha = 0.2;
+  ewma_batch_ms_ = (1 - kAlpha) * ewma_batch_ms_ + kAlpha * batch_ms;
+}
+
+}  // namespace mars::serve

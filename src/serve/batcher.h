@@ -1,0 +1,157 @@
+// Cross-request batching and admission control for the serve daemon.
+//
+// The Batcher sits between the event loop's frame callbacks and the worker
+// pool. Incoming place frames are admitted into a bounded queue; byte-
+// identical frames already waiting OR already executing are coalesced
+// (placements are deterministic, so one decode answers every copy — load
+// generators and fan-out clients frequently re-ask the same graph).
+// take_batch() hands a worker up to max_batch queue entries, which the
+// service runs as ONE batched forward pass
+// (PlacementService::handle_batch). The entries themselves stay here, in
+// an in-flight set that keeps accepting joiners until the daemon collects
+// the final waiter lists with finish_batch() at delivery time
+// (singleflight: a request never waits behind an identical computation it
+// could ride on).
+//
+// Admission control:
+//   * bounded queue — at max_queue waiting entries new requests are shed
+//     with a retry_after_ms computed from the observed batch time and the
+//     current backlog (how long until the queue has room again);
+//   * per-connection token buckets — rate_limit requests/second with a
+//     burst of rate_burst, shed with the time until a token accrues;
+//   * latency SLO fast path — when the backlog crosses slo_queue_depth,
+//     take_batch() flags the batch to skip SA refinement.
+//
+// Single-threaded by design: every method runs on the event-loop thread.
+// Workers never touch the Batcher; they report completion via the daemon,
+// which calls on_batch_done() back on the loop thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mars::serve {
+
+struct BatcherConfig {
+  /// Requests fused into one forward pass (>= 1).
+  int max_batch = 8;
+  /// How long a non-full batch waits for company, microseconds.
+  int64_t linger_us = 2000;
+  /// Waiting entries beyond which new requests are shed (>= 1).
+  int max_queue = 256;
+  /// Per-connection admitted requests/second; 0 disables rate limiting.
+  double rate_limit = 0;
+  /// Token-bucket capacity; 0 = 2 * rate_limit (minimum 1).
+  double rate_burst = 0;
+  /// Queue depth at which batches run with refinement skipped (latency SLO
+  /// fast path); 0 disables.
+  int slo_queue_depth = 0;
+};
+
+enum class AdmitOutcome {
+  kQueued,     // new entry appended
+  kCoalesced,  // joined an identical waiting or in-flight entry
+  kShedQueueFull,
+  kShedRateLimited,
+};
+
+class Batcher {
+ public:
+  struct Waiter {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+  };
+  struct Entry {
+    std::string frame;
+    std::vector<Waiter> waiters;  // every (conn, seq) awaiting this answer
+    int64_t enqueued_ms = 0;
+  };
+  struct Admission {
+    AdmitOutcome outcome = AdmitOutcome::kQueued;
+    /// For shed outcomes: suggested client backoff.
+    int retry_after_ms = 0;
+  };
+  /// What a worker gets: the frames to parse and run, plus the handle the
+  /// daemon later passes to finish_batch(). The waiter lists stay behind
+  /// (and keep growing via coalescing) until then.
+  struct Batch {
+    uint64_t id = 0;
+    std::vector<std::string> frames;
+  };
+
+  explicit Batcher(BatcherConfig config);
+
+  /// Admission decision for one place frame arriving now (now_ms from
+  /// EventLoop::now_ms()).
+  Admission admit(uint64_t conn_id, uint64_t seq, std::string frame,
+                  int64_t now_ms);
+
+  /// Up to max_batch entries, FIFO. frames is empty when nothing waits.
+  /// The taken entries move to the in-flight set, where identical arrivals
+  /// still coalesce onto them until finish_batch().
+  Batch take_batch();
+
+  /// Collects a finished batch's entries — waiter lists final as of this
+  /// call — and stops coalescing into it. Call at delivery time, after the
+  /// responses are computed.
+  std::vector<Entry> finish_batch(uint64_t id);
+
+  /// Whether the next take_batch() should skip refinement (SLO fast path).
+  bool should_skip_refine() const {
+    return config_.slo_queue_depth > 0 &&
+           static_cast<int>(queue_.size()) >= config_.slo_queue_depth;
+  }
+
+  /// A full batch needs no linger; fire immediately.
+  bool full() const {
+    return static_cast<int>(queue_.size()) >= config_.max_batch;
+  }
+  size_t depth() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  /// Enqueue timestamp of the oldest waiting entry (queue must be
+  /// non-empty); the daemon fires a non-full batch once this is linger_us
+  /// old.
+  int64_t oldest_ms() const { return queue_.front().enqueued_ms; }
+
+  /// Worker finished a batch of `entries` requests in `batch_ms`; feeds the
+  /// EWMA behind retry_after_ms estimates.
+  void on_batch_done(double batch_ms, int entries);
+
+  /// Forget a closed connection's token bucket (waiters in queued entries
+  /// are left alone; the daemon drops undeliverable responses).
+  void forget_conn(uint64_t conn_id) { buckets_.erase(conn_id); }
+
+  /// Mean per-batch wall time the shed hint assumes, ms (EWMA; starts at a
+  /// conservative prior before the first completion).
+  double ewma_batch_ms() const { return ewma_batch_ms_; }
+
+  const BatcherConfig& config() const { return config_; }
+
+ private:
+  int queue_drain_estimate_ms() const;
+
+  struct TokenBucket {
+    double tokens = 0;
+    int64_t last_ms = 0;
+  };
+
+  BatcherConfig config_;
+  std::deque<Entry> queue_;
+  /// frame-hash -> coalescing candidates currently queued. Values are
+  /// queue positions relative to front_offset_ (stable under pop_front).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> by_hash_;
+  uint64_t front_offset_ = 0;  // absolute index of queue_.front()
+  /// Batches taken but not yet finished; their entries still coalesce.
+  std::unordered_map<uint64_t, std::vector<Entry>> in_flight_;
+  /// frame-hash -> (batch id, entry index) for in-flight entries.
+  std::unordered_map<uint64_t, std::vector<std::pair<uint64_t, size_t>>>
+      in_flight_by_hash_;
+  uint64_t next_batch_id_ = 1;
+  std::unordered_map<uint64_t, TokenBucket> buckets_;
+  double ewma_batch_ms_ = 50.0;
+};
+
+}  // namespace mars::serve

@@ -123,8 +123,18 @@ int main(int argc, char** argv) {
            "daemon mode (default):\n"
            "  --host A --port P   bind address (127.0.0.1:7070; port 0 =\n"
            "                      ephemeral)\n"
-           "  --threads N         connection workers (0 = hw concurrency)\n"
+           "  --threads N         batch workers (0 = hw concurrency)\n"
            "  --port-file FILE    write the bound port once listening\n"
+           "batching + admission control:\n"
+           "  --max-batch N       requests fused per forward pass (8)\n"
+           "  --batch-linger-us U max wait for a batch to fill (2000)\n"
+           "  --max-queue N       waiting requests before shedding (256)\n"
+           "  --rate-limit R      per-connection requests/sec (0 = off)\n"
+           "  --rate-burst B      token-bucket burst (0 = 2*rate)\n"
+           "  --slo-queue-depth N skip SA refinement at this backlog (0 =\n"
+           "                      never)\n"
+           "  --idle-timeout-ms T reap idle connections after T ms (60000,\n"
+           "                      0 = never)\n"
            "  SIGHUP              hot-reload --checkpoint (validated, atomic;\n"
            "                      a bad file is rejected, old model serves on);\n"
            "                      clients can also send a {\"mars_reload\":1}\n"
@@ -156,6 +166,20 @@ int main(int argc, char** argv) {
   server_config.port = args.get_int("port", 7070);
   server_config.threads =
       static_cast<unsigned>(args.get_int("threads", 0));
+  server_config.max_batch =
+      args.get_int("max-batch", server_config.max_batch);
+  server_config.batch_linger_us =
+      args.get_int("batch-linger-us",
+                   static_cast<int>(server_config.batch_linger_us));
+  server_config.max_queue = args.get_int("max-queue", server_config.max_queue);
+  server_config.rate_limit =
+      args.get_double("rate-limit", server_config.rate_limit);
+  server_config.rate_burst =
+      args.get_double("rate-burst", server_config.rate_burst);
+  server_config.slo_queue_depth =
+      args.get_int("slo-queue-depth", server_config.slo_queue_depth);
+  server_config.idle_timeout_ms =
+      args.get_int("idle-timeout-ms", server_config.idle_timeout_ms);
   args.warn_unused();
 
   if (!trace_path.empty()) mars::obs::SpanRecorder::global().set_enabled(true);

@@ -159,13 +159,23 @@ std::string request_to_string(const PlaceRequest& request) {
 
 std::string response_to_line(const PlaceResponse& r) {
   Json j = Json::object();
+  const char* status = r.status == PlaceStatus::kOk      ? "ok"
+                       : r.status == PlaceStatus::kShed ? "shed"
+                                                        : "error";
   j.set("mars_place_response", Json::of(kProtocolVersion))
       .set("id", Json::of(r.id))
-      .set("status",
-           Json::of(r.status == PlaceStatus::kOk ? "ok" : "error"));
+      .set("status", Json::of(status));
+  if (r.status == PlaceStatus::kShed) {
+    j.set("retry_after_ms", Json::of(static_cast<int64_t>(r.retry_after_ms)));
+    if (!r.error.empty()) j.set("error", Json::of(r.error));
+    j.set("latency_ms", Json::of(r.latency_ms));
+    return j.dump();
+  }
   if (r.status == PlaceStatus::kError) {
     j.set("error", Json::of(r.error));
   } else {
+    if (r.batch_size > 1)
+      j.set("batch_size", Json::of(static_cast<int64_t>(r.batch_size)));
     j.set("placer", Json::of(r.placer));
     Json placement = Json::array();
     for (int d : r.placement) placement.push(Json::of(static_cast<int64_t>(d)));
@@ -190,15 +200,23 @@ PlaceResponse response_from_line(const std::string& line) {
                    "not a place response line");
     r.id = j.get_string("id", "");
     const std::string status = j.at("status").as_string();
-    MARS_CHECK_MSG(status == "ok" || status == "error",
+    MARS_CHECK_MSG(status == "ok" || status == "error" || status == "shed",
                    "bad response status '" << status << "'");
-    r.status = status == "ok" ? PlaceStatus::kOk : PlaceStatus::kError;
+    r.status = status == "ok"     ? PlaceStatus::kOk
+               : status == "shed" ? PlaceStatus::kShed
+                                  : PlaceStatus::kError;
     r.latency_ms = j.get_double("latency_ms", 0);
+    if (r.status == PlaceStatus::kShed) {
+      r.retry_after_ms = static_cast<int>(j.get_int("retry_after_ms", 0));
+      r.error = j.get_string("error", "");
+      return r;
+    }
     if (r.status == PlaceStatus::kError) {
       r.error = j.get_string("error", "");
       return r;
     }
     r.placer = j.get_string("placer", "");
+    r.batch_size = static_cast<int>(j.get_int("batch_size", 1));
     const Json& placement = j.at("placement");
     for (size_t i = 0; i < placement.size(); ++i)
       r.placement.push_back(static_cast<int>(placement.at(i).as_int()));

@@ -48,7 +48,11 @@ struct PlaceRequest {
   CompGraph graph;
 };
 
-enum class PlaceStatus { kOk, kError };
+/// kShed: the daemon refused the request under admission control (queue
+/// full or rate limit) without doing any work; the response carries
+/// retry_after_ms and nothing else. Clients should back off at least that
+/// long before retrying (PlaceClient does).
+enum class PlaceStatus { kOk, kError, kShed };
 
 struct PlaceResponse {
   std::string id;
@@ -66,6 +70,11 @@ struct PlaceResponse {
   double latency_ms = 0;   // service-side handling time
   bool cache_hit = false;
   bool fallback = false;   // learned path unavailable for this request
+  /// When status == kShed: the server's suggested backoff before retrying.
+  int retry_after_ms = 0;
+  /// Requests co-executed in the forward pass that served this response
+  /// (1 = unbatched; reported so clients/benchmarks can see coalescing).
+  int batch_size = 1;
 };
 
 /// Admin request: ask the daemon for its metrics registry instead of a

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <sstream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/span.h"
@@ -21,6 +22,7 @@
 #include "serve/service.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace mars::serve {
 
@@ -39,7 +41,7 @@ std::string first_line(const std::string& payload) {
   return payload.substr(0, end);
 }
 
-// Wake-pipe protocol: the acceptor reads single bytes and dispatches.
+// Wake-pipe protocol: the loop thread reads single bytes and dispatches.
 constexpr char kWakeShutdown = 1;
 constexpr char kWakeReload = 2;
 
@@ -52,15 +54,62 @@ sockaddr_in make_addr(const std::string& host, int port) {
   return addr;
 }
 
+std::string shed_line(AdmitOutcome outcome, int retry_after_ms,
+                      const std::string& id) {
+  PlaceResponse response;
+  response.id = id;
+  response.status = PlaceStatus::kShed;
+  response.retry_after_ms = retry_after_ms;
+  response.error = outcome == AdmitOutcome::kShedQueueFull
+                       ? "shed: queue full"
+                       : "shed: rate limited";
+  return response_to_line(response);
+}
+
+/// Best-effort id extraction from a request frame header so shed responses
+/// can still echo the client's request id (a shed frame is never parsed in
+/// full — that is the point of shedding).
+std::string sniff_request_id(const std::string& line) {
+  const size_t key = line.find("\"id\"");
+  if (key == std::string::npos) return {};
+  const size_t open = line.find('"', line.find(':', key) + 1);
+  if (open == std::string::npos) return {};
+  const size_t close = line.find('"', open + 1);
+  if (close == std::string::npos) return {};
+  return line.substr(open + 1, close - open - 1);
+}
+
 }  // namespace
 
 ServeDaemon::ServeDaemon(PlacementService& service, ServerConfig config)
-    : service_(&service), config_(std::move(config)) {
+    : service_(&service),
+      config_(std::move(config)),
+      shed_total_(service.metrics().counter(
+          "mars_serve_shed_total",
+          "Requests refused by admission control (queue full / rate limit)")),
+      coalesced_total_(service.metrics().counter(
+          "mars_serve_coalesced_total",
+          "Requests answered by joining an identical queued or in-flight "
+          "request")),
+      fastpath_total_(service.metrics().counter(
+          "mars_serve_fastpath_batches_total",
+          "Batches run with SA refinement skipped (latency SLO fast path)")),
+      idle_reaped_total_(service.metrics().counter(
+          "mars_serve_idle_reaped_total",
+          "Connections closed by the idle reaper")),
+      open_conns_(service.metrics().gauge("mars_serve_open_conns",
+                                          "Live client connections")),
+      queue_depth_(service.metrics().gauge(
+          "mars_serve_queue_depth", "Admitted requests waiting for a batch")),
+      batch_size_(service.metrics().histogram(
+          "mars_serve_batch_size",
+          "Requests fused per batched forward pass",
+          {1, 2, 4, 8, 16, 32, 64})) {
   MARS_CHECK_MSG(config_.port >= 0 && config_.port <= 65535,
                  "port " << config_.port << " out of range");
   const sockaddr_in addr = make_addr(config_.host, config_.port);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   MARS_CHECK_MSG(listen_fd_ >= 0, "socket(): " << std::strerror(errno));
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -83,18 +132,26 @@ ServeDaemon::ServeDaemon(PlacementService& service, ServerConfig config)
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
   port_ = ntohs(bound.sin_port);
 
-  MARS_CHECK_MSG(::pipe(wake_pipe_) == 0,
-                 "pipe(): " << std::strerror(errno));
+  // The loop exists from construction so shutdown()/request_reload() have a
+  // wake pipe to write even before (or without) serve().
+  loop_ = std::make_unique<net::EventLoop>(config_.backend);
+  BatcherConfig bc;
+  bc.max_batch = config_.max_batch;
+  bc.linger_us = config_.batch_linger_us;
+  bc.max_queue = config_.max_queue;
+  bc.rate_limit = config_.rate_limit;
+  bc.rate_burst = config_.rate_burst;
+  bc.slo_queue_depth = config_.slo_queue_depth;
+  batcher_ = std::make_unique<Batcher>(bc);
 }
 
 ServeDaemon::~ServeDaemon() {
   shutdown();
   // serve() (when it ran) has already drained; when serve() was never
-  // called there are no connections and nothing to drain.
+  // called there are no connections and no workers.
   pool_.reset();
+  conns_.clear();
   close_listener();
-  close_quiet(wake_pipe_[0]);
-  close_quiet(wake_pipe_[1]);
 }
 
 void ServeDaemon::close_listener() {
@@ -106,157 +163,327 @@ void ServeDaemon::close_listener() {
 
 void ServeDaemon::shutdown() {
   // Only async-signal-safe calls here: this runs from SIGINT/SIGTERM
-  // handlers. The acceptor notices the wake byte and does the real work.
+  // handlers. The loop thread notices the wake byte and does the real work.
   if (stopping_.exchange(true)) return;
-  const char byte = kWakeShutdown;
-  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  loop_->notify(kWakeShutdown);
 }
 
 void ServeDaemon::request_reload() {
-  // Only async-signal-safe calls here: this runs from a SIGHUP handler.
-  // The acceptor thread reads the byte and performs the validated swap.
-  const char byte = kWakeReload;
-  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  // Only async-signal-safe calls here: this runs from a SIGHUP handler. A
+  // worker performs the validated swap; the loop thread just dispatches.
+  loop_->notify(kWakeReload);
+}
+
+void ServeDaemon::on_wake(char byte) {
+  if (byte == kWakeShutdown) {
+    stopping_.store(true, std::memory_order_release);
+    if (loop_->watching(listen_fd_)) loop_->remove_fd(listen_fd_);
+    loop_->stop();
+    return;
+  }
+  if (byte == kWakeReload) {
+    pool_->submit([this] {
+      const ReloadOutcome outcome = service_->reload_checkpoint();
+      if (outcome.ok) {
+        MARS_INFO << "hot reload ok (generation " << outcome.generation
+                  << "): " << outcome.message;
+      } else {
+        MARS_ERROR << "hot reload rejected, old model keeps serving: "
+                   << outcome.message;
+      }
+    });
+  }
 }
 
 void ServeDaemon::serve() {
   MARS_CHECK_MSG(listen_fd_ >= 0, "daemon already shut down");
   if (!pool_) pool_ = std::make_unique<ThreadPool>(config_.threads);
+  max_parallel_batches_ = static_cast<int>(pool_->size());
   MARS_INFO << "mars_serve listening on " << config_.host << ":" << port_
-            << " (" << pool_->size() << " workers)";
+            << " (" << pool_->size() << " workers, max_batch "
+            << config_.max_batch << ", linger " << config_.batch_linger_us
+            << "us, queue " << config_.max_queue << ")";
 
-  while (!stopping_.load(std::memory_order_acquire)) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
-    const int rc = ::poll(fds, 2, -1);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      MARS_ERROR << "poll(): " << std::strerror(errno);
-      break;
-    }
-    if (fds[1].revents != 0) {
-      // Drain the wake pipe and dispatch: shutdown wins over any queued
-      // reloads; multiple pending reload bytes coalesce into one swap.
-      char bytes[64];
-      const ssize_t n = ::read(wake_pipe_[0], bytes, sizeof(bytes));
-      bool reload = false;
-      for (ssize_t i = 0; i < n; ++i) {
-        if (bytes[i] == kWakeReload) reload = true;
-      }
-      if (stopping_.load(std::memory_order_acquire)) break;
-      if (reload) {
-        const ReloadOutcome outcome = service_->reload_checkpoint();
-        if (outcome.ok) {
-          MARS_INFO << "hot reload ok (generation " << outcome.generation
-                    << "): " << outcome.message;
-        } else {
-          MARS_ERROR << "hot reload rejected, old model keeps serving: "
-                     << outcome.message;
-        }
-      }
-      continue;
-    }
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      MARS_ERROR << "accept(): " << std::strerror(errno);
-      break;
-    }
-    {
-      std::lock_guard<std::mutex> lock(conn_mutex_);
-      open_conns_.insert(conn);
-      ++active_conns_;
-    }
-    pool_->submit([this, conn] { handle_connection(conn); });
-  }
+  loop_->set_wake_handler([this](char byte) { on_wake(byte); });
+  loop_->add_fd(listen_fd_, net::kEventRead,
+                [this](uint32_t) { accept_ready(); });
+  arm_reaper();
+  if (!stopping_.load(std::memory_order_acquire)) loop_->run();
 
-  // Stop accepting, then unblock workers parked in read_frame(): shutting
-  // the sockets down makes their reads return 0/-1 and the handlers exit.
-  stopping_.store(true, std::memory_order_release);
+  // Teardown, still single-threaded on this thread: stop accepting, join
+  // the workers (in-flight batches finish; their posted completions are
+  // simply never run), then drop the connections.
+  if (loop_->watching(listen_fd_)) loop_->remove_fd(listen_fd_);
   close_listener();
-  {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (int fd : open_conns_) ::shutdown(fd, SHUT_RDWR);
-  }
-  {
-    std::unique_lock<std::mutex> lock(conn_mutex_);
-    drained_cv_.wait(lock, [this] { return active_conns_ == 0; });
-  }
-  pool_.reset();  // joins workers
+  pool_.reset();
+  conns_.clear();
+  open_conns_.set(0);
+  queue_depth_.set(0);
 }
 
-void ServeDaemon::handle_connection(int fd) {
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  std::string payload;
-  while (!stopping_.load(std::memory_order_acquire) &&
-         read_frame(fd, &payload, config_.max_frame_bytes)) {
-    obs::SpanRecorder::Span span(obs::SpanRecorder::global(), "serve.request",
-                                 "serve");
-    // Admin dispatch: a stats frame is answered with the raw metrics
-    // rendering, not a place-response line.
-    if (is_stats_request(first_line(payload))) {
-      std::string body;
-      try {
-        body = service_->metrics_text(
-            parse_stats_request(first_line(payload)).format);
-      } catch (const std::exception& e) {
-        // Admin traffic: answer with a structured error but don't count it
-        // against the placement request/parse-error counters.
-        PlaceResponse err;
-        err.status = PlaceStatus::kError;
-        err.error = e.what();
-        body = response_to_line(err);
-      }
-      if (!write_frame(fd, body)) break;
-      continue;
+void ServeDaemon::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      MARS_ERROR << "accept(): " << std::strerror(errno);
+      return;
     }
-    // A reload frame swaps the served model (validated first; a bad file
-    // is reported back while the old model keeps serving).
-    if (is_reload_request(first_line(payload))) {
-      ReloadResponse resp;
-      try {
-        const ReloadRequest req = parse_reload_request(first_line(payload));
-        const ReloadOutcome outcome = service_->reload_checkpoint(req.path);
-        resp.ok = outcome.ok;
-        resp.generation = outcome.generation;
-        resp.message = outcome.message;
-      } catch (const std::exception& e) {
-        resp.ok = false;
-        resp.generation = service_->model_generation();
-        resp.message = e.what();
-      }
-      if (!write_frame(fd, reload_response_to_line(resp))) break;
-      continue;
-    }
-    PlaceResponse response;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t id = next_conn_id_++;
+    net::Conn::Callbacks callbacks;
+    callbacks.on_frame = [this](net::Conn& conn, uint64_t seq,
+                                std::string frame) {
+      on_frame(conn, seq, std::move(frame));
+    };
+    callbacks.on_close = [this](net::Conn& conn) { on_conn_close(conn); };
+    auto conn = std::make_unique<net::Conn>(*loop_, fd, id,
+                                            config_.max_frame_bytes,
+                                            std::move(callbacks));
+    conn->start();
+    conns_.emplace(id, std::move(conn));
+    open_conns_.set(static_cast<double>(conns_.size()));
+  }
+}
+
+void ServeDaemon::on_conn_close(net::Conn& conn) {
+  const uint64_t id = conn.id();
+  batcher_->forget_conn(id);
+  // The Conn is mid-callback; free it next loop iteration (net/conn.h).
+  loop_->post([this, id] {
+    conns_.erase(id);
+    open_conns_.set(static_cast<double>(conns_.size()));
+  });
+}
+
+void ServeDaemon::handle_admin(net::Conn& conn, uint64_t seq,
+                               const std::string& line) {
+  if (is_stats_request(line)) {
+    // Cheap (render the registry) — answered inline on the loop thread, so
+    // stats stay responsive even with every worker busy.
+    std::string body;
     try {
-      std::istringstream in(payload);
+      body = service_->metrics_text(parse_stats_request(line).format);
+    } catch (const std::exception& e) {
+      PlaceResponse err;
+      err.status = PlaceStatus::kError;
+      err.error = e.what();
+      body = response_to_line(err);
+    }
+    conn.send_response(seq, std::move(body));
+    return;
+  }
+  // Reload validates a checkpoint from disk — worker territory.
+  const uint64_t conn_id = conn.id();
+  pool_->submit([this, conn_id, seq, line] {
+    ReloadResponse resp;
+    try {
+      const ReloadRequest req = parse_reload_request(line);
+      const ReloadOutcome outcome = service_->reload_checkpoint(req.path);
+      resp.ok = outcome.ok;
+      resp.generation = outcome.generation;
+      resp.message = outcome.message;
+    } catch (const std::exception& e) {
+      resp.ok = false;
+      resp.generation = service_->model_generation();
+      resp.message = e.what();
+    }
+    std::string payload = reload_response_to_line(resp);
+    loop_->post([this, conn_id, seq, payload = std::move(payload)]() mutable {
+      deliver(conn_id, seq, std::move(payload));
+    });
+  });
+}
+
+void ServeDaemon::on_frame(net::Conn& conn, uint64_t seq, std::string frame) {
+  const std::string line = first_line(frame);
+  if (is_stats_request(line) || is_reload_request(line)) {
+    handle_admin(conn, seq, line);
+    return;
+  }
+  const Batcher::Admission admission =
+      batcher_->admit(conn.id(), seq, std::move(frame),
+                      net::EventLoop::now_ms());
+  switch (admission.outcome) {
+    case AdmitOutcome::kQueued:
+      queue_depth_.set(static_cast<double>(batcher_->depth()));
+      pump_batches();
+      break;
+    case AdmitOutcome::kCoalesced:
+      coalesced_total_.inc();
+      break;
+    case AdmitOutcome::kShedQueueFull:
+    case AdmitOutcome::kShedRateLimited:
+      shed_total_.inc();
+      conn.send_response(seq, shed_line(admission.outcome,
+                                        admission.retry_after_ms,
+                                        sniff_request_id(line)));
+      break;
+  }
+}
+
+void ServeDaemon::pump_batches() {
+  const int64_t linger_ms = (config_.batch_linger_us + 999) / 1000;
+  while (!batcher_->empty() &&
+         in_flight_batches_ < max_parallel_batches_) {
+    const int64_t waited = net::EventLoop::now_ms() - batcher_->oldest_ms();
+    if (!batcher_->full() && waited < linger_ms) {
+      // Not ripe yet: wake up when the oldest entry's linger expires.
+      if (linger_timer_ == 0) {
+        linger_timer_ = loop_->add_timer(linger_ms - waited, [this] {
+          linger_timer_ = 0;
+          pump_batches();
+        });
+      }
+      break;
+    }
+    const bool skip_refine = batcher_->should_skip_refine();
+    Batcher::Batch batch = batcher_->take_batch();
+    queue_depth_.set(static_cast<double>(batcher_->depth()));
+    batch_size_.observe(static_cast<double>(batch.frames.size()));
+    if (skip_refine) fastpath_total_.inc();
+    ++in_flight_batches_;
+    pool_->submit([this, id = batch.id, frames = std::move(batch.frames),
+                   skip_refine]() mutable {
+      run_batch(id, std::move(frames), skip_refine);
+    });
+  }
+}
+
+std::shared_ptr<const PlaceRequest> ServeDaemon::lookup_parsed(
+    const std::string& frame) {
+  std::lock_guard<std::mutex> lock(parse_mu_);
+  const auto it = parse_index_.find(frame);
+  if (it == parse_index_.end()) return nullptr;
+  parse_lru_.splice(parse_lru_.begin(), parse_lru_, it->second);
+  return it->second->second;
+}
+
+void ServeDaemon::store_parsed(const std::string& frame,
+                               std::shared_ptr<const PlaceRequest> parsed) {
+  // A handful of distinct graphs dominate hot serving traffic; 64 frames
+  // of headroom is plenty and bounds the memory the keys pin.
+  constexpr size_t kParseCacheCap = 64;
+  std::lock_guard<std::mutex> lock(parse_mu_);
+  if (parse_index_.count(frame) != 0) return;  // raced with another worker
+  parse_lru_.emplace_front(frame, std::move(parsed));
+  parse_index_.emplace(frame, parse_lru_.begin());
+  if (parse_lru_.size() > kParseCacheCap) {
+    parse_index_.erase(parse_lru_.back().first);
+    parse_lru_.pop_back();
+  }
+}
+
+void ServeDaemon::run_batch(uint64_t batch_id,
+                            std::vector<std::string> frames,
+                            bool skip_refine) {
+  obs::SpanRecorder::Span span(obs::SpanRecorder::global(), "serve.batch",
+                               "serve");
+  Stopwatch watch;
+  const size_t n = frames.size();
+  std::vector<std::string> payloads(n);
+  std::vector<int> request_index(n, -1);
+  // keep_alive pins the parsed requests (cache eviction is concurrent);
+  // the service works off the raw pointers without copying graphs.
+  std::vector<std::shared_ptr<const PlaceRequest>> keep_alive;
+  std::vector<const PlaceRequest*> requests;
+  keep_alive.reserve(n);
+  requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (std::shared_ptr<const PlaceRequest> hit = lookup_parsed(frames[i])) {
+      request_index[i] = static_cast<int>(requests.size());
+      requests.push_back(hit.get());
+      keep_alive.push_back(std::move(hit));
+      continue;
+    }
+    try {
+      std::istringstream in(frames[i]);
       RequestReader reader(in);
       std::optional<ReadOutcome> outcome = reader.next();
       if (!outcome.has_value()) {
-        response = service_->error_response("", "empty request frame");
+        payloads[i] = response_to_line(
+            service_->error_response("", "empty request frame"));
       } else if (!outcome->ok) {
-        response = service_->error_response(outcome->id, outcome->error);
+        payloads[i] = response_to_line(
+            service_->error_response(outcome->id, outcome->error));
       } else {
-        response = service_->handle(outcome->request);
+        auto parsed = std::make_shared<const PlaceRequest>(
+            std::move(outcome->request));
+        store_parsed(frames[i], parsed);
+        request_index[i] = static_cast<int>(requests.size());
+        requests.push_back(parsed.get());
+        keep_alive.push_back(std::move(parsed));
       }
     } catch (const std::exception& e) {
-      // handle()/error_response() don't throw; this guards the worker
-      // against anything unexpected (e.g. allocation failure).
-      response = PlaceResponse{};
-      response.status = PlaceStatus::kError;
-      response.error = std::string("internal error: ") + e.what();
+      PlaceResponse err;
+      err.status = PlaceStatus::kError;
+      err.error = std::string("internal error: ") + e.what();
+      payloads[i] = response_to_line(err);
     }
-    if (!write_frame(fd, response_to_line(response))) break;
   }
-  {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    open_conns_.erase(fd);
-    --active_conns_;
+  if (!requests.empty()) {
+    // handle_batch never throws; per-request failures come back as error
+    // responses inside the vector.
+    const std::vector<PlaceResponse> responses =
+        service_->handle_batch(requests, skip_refine);
+    for (size_t i = 0; i < n; ++i) {
+      if (request_index[i] >= 0) {
+        payloads[i] = response_to_line(responses[request_index[i]]);
+      }
+    }
   }
-  drained_cv_.notify_all();
-  close_quiet(fd);
+  const double batch_ms = watch.seconds() * 1000.0;
+  loop_->post([this, batch_id, payloads = std::move(payloads),
+               batch_ms]() mutable {
+    // Collect the final waiter lists only now: identical requests kept
+    // coalescing onto this batch while it computed.
+    const std::vector<Batcher::Entry> entries =
+        batcher_->finish_batch(batch_id);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      for (const Batcher::Waiter& waiter : entries[i].waiters) {
+        deliver(waiter.conn_id, waiter.seq, payloads[i]);
+      }
+    }
+    --in_flight_batches_;
+    batcher_->on_batch_done(batch_ms, static_cast<int>(entries.size()));
+    pump_batches();
+  });
+}
+
+void ServeDaemon::deliver(uint64_t conn_id, uint64_t seq,
+                          std::string payload) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end() || it->second->closed()) return;  // peer is gone
+  it->second->send_response(seq, std::move(payload));
+}
+
+void ServeDaemon::arm_reaper() {
+  if (config_.idle_timeout_ms <= 0) return;
+  const int64_t period =
+      std::max<int64_t>(10, config_.idle_timeout_ms / 4);
+  reaper_timer_ = loop_->add_timer(period, [this] {
+    reap_idle();
+    arm_reaper();
+  });
+}
+
+void ServeDaemon::reap_idle() {
+  const int64_t now = net::EventLoop::now_ms();
+  std::vector<net::Conn*> victims;
+  for (auto& [id, conn] : conns_) {
+    // A connection with responses pending isn't idle, it's waiting on us.
+    if (!conn->closed() && conn->in_flight() == 0 &&
+        now - conn->last_activity_ms() >= config_.idle_timeout_ms) {
+      victims.push_back(conn.get());
+    }
+  }
+  for (net::Conn* conn : victims) {
+    idle_reaped_total_.inc();
+    conn->close();  // on_close defers the erase via post()
+  }
 }
 
 PlaceClient::PlaceClient(const std::string& host, int port,
@@ -371,7 +598,22 @@ std::string PlaceClient::round_trip(const std::string& frame,
 }
 
 PlaceResponse PlaceClient::place(const PlaceRequest& request) {
-  return response_from_line(round_trip(request_to_string(request), "place"));
+  return place_frame(request_to_string(request));
+}
+
+PlaceResponse PlaceClient::place_frame(const std::string& frame) {
+  for (int shed_attempt = 0;; ++shed_attempt) {
+    PlaceResponse response = response_from_line(round_trip(frame, "place"));
+    if (response.status != PlaceStatus::kShed) return response;
+    ++counters_.sheds;
+    if (shed_attempt >= config_.max_shed_retries) return response;
+    // Honour the server's backoff hint, jittered so synchronized shed
+    // clients don't re-arrive as one wave.
+    double delay_s = std::max(1, response.retry_after_ms) / 1000.0;
+    delay_s = std::min(delay_s, config_.shed_backoff_cap_s);
+    delay_s *= jitter_.uniform(0.5, 1.5);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+  }
 }
 
 std::string PlaceClient::stats(const std::string& format) {

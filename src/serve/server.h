@@ -1,28 +1,47 @@
-// ServeDaemon: multi-threaded TCP front-end for PlacementService.
+// ServeDaemon: async event-loop TCP front-end for PlacementService.
 //
-// One acceptor loop (serve(), blocking) hands each connection to a worker
-// from a util/thread_pool.h pool. A connection carries any number of
-// length-prefixed frames (serve/framing.h); each frame holds one text
-// request (serve/protocol.h) and is answered with one framed response line
-// — malformed frames get a structured error response, never a dropped
-// connection. shutdown() is async-signal-safe (a single write to a wake
-// pipe): the acceptor wakes, stops accepting, shuts down live connection
-// sockets so blocked reads return, and serve() joins the workers before
-// returning.
+// One reactor thread (serve(), blocking) owns every socket through a
+// net/event_loop.h EventLoop: it accepts connections, reads length-prefixed
+// frames incrementally (net/conn.h — a stalled or half-closed peer costs a
+// connection object, never a thread), and runs admission control
+// (serve/batcher.h). Admitted place requests queue briefly (batch linger)
+// so concurrent arrivals fuse into ONE batched encoder+decoder forward pass
+// per worker dispatch — bit-identical per request to unbatched serving (see
+// core/placer.h). Workers from a util/thread_pool.h pool parse and execute
+// batches and post responses back to the loop, which writes them out in
+// per-connection request order.
+//
+// Over-capacity requests are shed with a structured retry_after_ms response
+// instead of queueing without bound; per-connection token buckets keep one
+// chatty client from starving the rest; under a deep backlog batches run
+// with SA refinement skipped (latency SLO fast path). Idle connections are
+// reaped on a timer so abandoned sockets cannot accumulate.
+//
+// shutdown() is async-signal-safe (one wake-pipe byte): the loop stops
+// accepting, serve() joins the workers and closes connections before
+// returning. request_reload() (SIGHUP) hot-swaps the model on a worker.
 //
 // PlaceClient is the matching blocking client (used by the example client,
-// the load generator and the tests).
+// the load generator and the tests). It honours shed responses: on a kShed
+// status it sleeps the server-suggested retry_after_ms (with jitter) and
+// retries, up to ClientConfig::max_shed_retries.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "net/conn.h"
+#include "net/event_loop.h"
+#include "obs/metrics.h"
+#include "serve/batcher.h"
 #include "serve/protocol.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -35,10 +54,29 @@ struct ServerConfig {
   std::string host = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   int port = 0;
-  /// Worker threads handling connections; 0 = hardware concurrency.
+  /// Worker threads executing batches; 0 = hardware concurrency.
   unsigned threads = 0;
   int backlog = 64;
   size_t max_frame_bytes = 16u << 20;
+  /// I/O backend; kAuto = epoll with poll() fallback.
+  net::EventLoop::Backend backend = net::EventLoop::Backend::kAuto;
+
+  // Cross-request batching + admission control (serve/batcher.h).
+  /// Requests fused into one batched forward pass.
+  int max_batch = 8;
+  /// How long a non-full batch waits for more arrivals, microseconds.
+  int64_t batch_linger_us = 2000;
+  /// Waiting requests beyond which new arrivals are shed.
+  int max_queue = 256;
+  /// Per-connection admitted requests/second (0 = unlimited).
+  double rate_limit = 0;
+  /// Token-bucket burst; 0 = 2 * rate_limit.
+  double rate_burst = 0;
+  /// Queue depth at which batches skip SA refinement (0 = never).
+  int slo_queue_depth = 0;
+  /// Reap connections with no outstanding requests after this much
+  /// inactivity (0 = never).
+  int idle_timeout_ms = 60000;
 };
 
 class ServeDaemon {
@@ -54,8 +92,8 @@ class ServeDaemon {
   /// The bound port (the actual one when config.port was 0).
   int port() const { return port_; }
 
-  /// Runs the accept loop until shutdown(); drains connections and joins
-  /// the worker pool before returning. Call from at most one thread.
+  /// Runs the event loop until shutdown(); joins the worker pool and
+  /// closes connections before returning. Call from at most one thread.
   void serve();
 
   /// Requests shutdown. Async-signal-safe and idempotent — callable from a
@@ -64,27 +102,67 @@ class ServeDaemon {
 
   /// Requests a hot reload of the configured checkpoint, as if a
   /// {"mars_reload":1} admin frame had arrived. Async-signal-safe — this is
-  /// the SIGHUP handler's entry point; the acceptor thread performs the
-  /// actual (validated, atomic) swap.
+  /// the SIGHUP handler's entry point; a worker performs the actual
+  /// (validated, atomic) swap.
   void request_reload();
 
  private:
-  void handle_connection(int fd);
   void close_listener();
+  void accept_ready();                 // loop: drain the listener
+  void on_frame(net::Conn& conn, uint64_t seq, std::string frame);
+  void on_conn_close(net::Conn& conn);
+  void handle_admin(net::Conn& conn, uint64_t seq, const std::string& line);
+  /// Fires ripe batches (full, or lingered long enough) while worker
+  /// capacity allows; re-arms the linger timer for the remainder.
+  void pump_batches();
+  void run_batch(uint64_t batch_id, std::vector<std::string> frames,
+                 bool skip_refine);    // worker thread
+  /// Parsed-request memoization for the worker path (frame bytes ->
+  /// immutable parsed request). Parsing is a pure function of the frame,
+  /// and hot serving traffic repeats frames — a big graph's parse +
+  /// validation otherwise rivals its batched decode. Thread-safe.
+  std::shared_ptr<const PlaceRequest> lookup_parsed(
+      const std::string& frame);
+  void store_parsed(const std::string& frame,
+                    std::shared_ptr<const PlaceRequest> parsed);
+  void deliver(uint64_t conn_id, uint64_t seq, std::string payload);
+  void arm_reaper();
+  void reap_idle();
+  void on_wake(char byte);
 
   PlacementService* service_;
   ServerConfig config_;
   int listen_fd_ = -1;
   int port_ = 0;
-  int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> stopping_{false};
 
-  std::mutex conn_mutex_;
-  std::unordered_set<int> open_conns_;
-  int active_conns_ = 0;
-  std::condition_variable drained_cv_;
-
+  std::unique_ptr<net::EventLoop> loop_;  // exists for the daemon lifetime
+  std::unique_ptr<Batcher> batcher_;
   std::unique_ptr<ThreadPool> pool_;
+  int max_parallel_batches_ = 1;
+
+  // Parse cache (worker threads; guarded by parse_mu_). LRU order lives in
+  // the list, most recent first; the index maps frame bytes to the node.
+  using ParseLru =
+      std::list<std::pair<std::string, std::shared_ptr<const PlaceRequest>>>;
+  std::mutex parse_mu_;
+  ParseLru parse_lru_;
+  std::unordered_map<std::string, ParseLru::iterator> parse_index_;
+
+  // Loop-thread state (no locking: only the loop thread touches it).
+  std::unordered_map<uint64_t, std::unique_ptr<net::Conn>> conns_;
+  uint64_t next_conn_id_ = 1;
+  int in_flight_batches_ = 0;
+  net::EventLoop::TimerId linger_timer_ = 0;
+  net::EventLoop::TimerId reaper_timer_ = 0;
+
+  obs::Counter& shed_total_;
+  obs::Counter& coalesced_total_;
+  obs::Counter& fastpath_total_;
+  obs::Counter& idle_reaped_total_;
+  obs::Gauge& open_conns_;
+  obs::Gauge& queue_depth_;
+  obs::Histogram& batch_size_;
 };
 
 /// Retry/timeout policy for PlaceClient. Placement requests are
@@ -104,6 +182,11 @@ struct ClientConfig {
   double connect_timeout_s = 5.0;
   /// Seed for backoff jitter (fixed so tests are reproducible).
   uint64_t jitter_seed = 0x6a177e2;
+  /// Shed responses retried (sleeping the server's retry_after_ms first)
+  /// before the shed response is returned to the caller as-is.
+  int max_shed_retries = 4;
+  /// Upper bound on one shed backoff sleep, seconds.
+  double shed_backoff_cap_s = 1.0;
 };
 
 /// Retry/failure counters, cumulative over the client's lifetime.
@@ -111,6 +194,7 @@ struct ClientCounters {
   int64_t retries = 0;            // re-attempted round trips
   int64_t reconnects = 0;         // sockets re-established after the first
   int64_t deadline_exceeded = 0;  // attempts that hit request_timeout_s
+  int64_t sheds = 0;              // kShed responses received
 };
 
 /// Client for one daemon connection; not thread-safe (use one client per
@@ -129,8 +213,17 @@ class PlaceClient {
 
   /// Round-trips one request; throws CheckError once every retry is
   /// exhausted or the response is malformed. Service-level failures come
-  /// back as a structured error response, not an exception.
+  /// back as a structured error response, not an exception. Shed responses
+  /// are retried after the server-suggested retry_after_ms (counted in
+  /// counters().sheds); a request still shed after max_shed_retries is
+  /// returned with status kShed for the caller to handle.
   PlaceResponse place(const PlaceRequest& request);
+
+  /// As place(), but takes the pre-serialized request frame (the exact
+  /// bytes request_to_string() produces). Hot clients replaying the same
+  /// request serialize once instead of per call — and byte-identical
+  /// frames are what the daemon's coalescing keys on.
+  PlaceResponse place_frame(const std::string& frame);
 
   /// Round-trips a stats admin request and returns the daemon's metrics
   /// rendering verbatim (Prometheus text, or one-line JSON for "json").

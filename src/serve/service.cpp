@@ -134,12 +134,12 @@ PlaceResponse PlacementService::handle(const PlaceRequest& request) {
   return response;
 }
 
-PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
-  PlaceResponse response;
-  response.id = request.id;
+PlacementService::Prep PlacementService::prepare_request(
+    const PlaceRequest& request) {
+  Prep prep;
+  prep.response.id = request.id;
   const CompGraph& graph = request.graph;
   MARS_CHECK_MSG(graph.num_nodes() > 0, "empty graph");
-  const MachineSpec machine = MachineSpec::with_gpus(request.gpus);
   const int budget = request.options.coarsen > 0 ? request.options.coarsen
                                                  : config_.default_coarsen;
 
@@ -147,36 +147,47 @@ PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
   mix(key, static_cast<uint64_t>(request.gpus));
   mix(key, static_cast<uint64_t>(budget));
   mix(key, static_cast<uint64_t>(request.options.refine_trials));
-  if (request.options.use_cache && cache_lookup(key, &response)) {
+  prep.key = key;
+  if (request.options.use_cache && cache_lookup(key, &prep.response)) {
     // Guard against 64-bit hash collisions: never serve a placement whose
     // length doesn't match the client's graph (clients are untrusted, so a
     // collision could even be constructed deliberately).
-    if (response.placement.size() ==
+    if (prep.response.placement.size() ==
         static_cast<size_t>(graph.num_nodes())) {
-      response.id = request.id;
-      response.cache_hit = true;
+      prep.response.id = request.id;
+      prep.response.cache_hit = true;
       stats_.cache_hits.inc();
-      return response;
+      prep.done = true;
+      return prep;
     }
-    response = PlaceResponse{};
-    response.id = request.id;
+    prep.response = PlaceResponse{};
+    prep.response.id = request.id;
   }
 
   // Decode on a coarsened view when the graph exceeds the budget; the
   // response placement is always in the client's original node ids.
-  CompGraph coarse;
-  std::vector<int> node_to_group;
-  const CompGraph* work = &graph;
   if (graph.num_nodes() > budget) {
-    coarse = graph.coarsen(budget, &node_to_group);
-    work = &coarse;
+    prep.coarse = graph.coarsen(budget, &prep.node_to_group);
+    prep.coarsened = true;
   }
+  return prep;
+}
+
+PlaceResponse PlacementService::finish_request(const PlaceRequest& request,
+                                               Prep& prep, Placement decoded,
+                                               bool have_decoded,
+                                               bool skip_refine) {
+  PlaceResponse response = prep.response;
+  const CompGraph& graph = request.graph;
+  const CompGraph* work = prep.work(request);
+  const MachineSpec machine = MachineSpec::with_gpus(request.gpus);
+  const uint64_t key = prep.key;
   const auto expand = [&](const Placement& p) {
-    if (work == &graph) return p;
+    if (!prep.coarsened) return p;
     Placement full(static_cast<size_t>(graph.num_nodes()));
     for (int v = 0; v < graph.num_nodes(); ++v)
       full[static_cast<size_t>(v)] =
-          p[static_cast<size_t>(node_to_group[static_cast<size_t>(v)])];
+          p[static_cast<size_t>(prep.node_to_group[static_cast<size_t>(v)])];
     return full;
   };
 
@@ -198,17 +209,9 @@ PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
     candidates.push_back(std::move(c));
   };
 
-  const bool learned_compatible = machine.num_devices() == agent_devices();
-  if (learned_compatible) {
-    Placement decoded;
-    {
-      obs::ScopedTimer decode_timer(decode_ms_, *metrics_);
-      AgentLease agent(*this);
-      agent->attach_graph(*work);
-      decoded = agent->sample_greedy().placement;
-    }
+  if (have_decoded) {
     std::string placer_name = "mars";
-    if (request.options.refine_trials > 0) {
+    if (request.options.refine_trials > 0 && !skip_refine) {
       // Bounded local search around the decoded placement, on the decode
       // view. Deterministic (noise off, seed derived from the request key)
       // so identical requests refine identically on any thread.
@@ -218,7 +221,7 @@ PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
       trial.measured_steps = 1;
       trial.noise_sigma = 0;
       trial.reinit_overhead_s = 0;
-      TrialRunner runner(work == &graph ? full_sim : work_sim, trial);
+      TrialRunner runner(prep.coarsened ? work_sim : full_sim, trial);
       SearchConfig search;
       search.max_trials = request.options.refine_trials;
       obs::ScopedTimer refine_timer(refine_ms_, *metrics_);
@@ -262,6 +265,123 @@ PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
   if (response.fallback) stats_.fallbacks.inc();
   if (request.options.use_cache) cache_store(key, response);
   return response;
+}
+
+PlaceResponse PlacementService::handle_impl(const PlaceRequest& request) {
+  Prep prep = prepare_request(request);
+  if (prep.done) return prep.response;
+
+  const bool learned_compatible =
+      MachineSpec::with_gpus(request.gpus).num_devices() == agent_devices();
+  Placement decoded;
+  if (learned_compatible) {
+    obs::ScopedTimer decode_timer(decode_ms_, *metrics_);
+    AgentLease agent(*this);
+    agent->attach_graph(*prep.work(request));
+    decoded = agent->sample_greedy().placement;
+  }
+  return finish_request(request, prep, std::move(decoded), learned_compatible,
+                        /*skip_refine=*/false);
+}
+
+std::vector<PlaceResponse> PlacementService::handle_batch(
+    const std::vector<PlaceRequest>& requests, bool skip_refine) {
+  std::vector<const PlaceRequest*> pointers;
+  pointers.reserve(requests.size());
+  for (const PlaceRequest& request : requests) pointers.push_back(&request);
+  return handle_batch(pointers, skip_refine);
+}
+
+std::vector<PlaceResponse> PlacementService::handle_batch(
+    const std::vector<const PlaceRequest*>& requests, bool skip_refine) {
+  Stopwatch watch;
+  const size_t n = requests.size();
+  std::vector<PlaceResponse> out(n);
+  std::vector<Prep> preps(n);
+  enum class State { kPending, kDone, kFailed };
+  std::vector<State> state(n, State::kPending);
+
+  for (size_t i = 0; i < n; ++i) {
+    stats_.requests.inc();
+    try {
+      preps[i] = prepare_request(*requests[i]);
+      if (preps[i].done) {
+        out[i] = preps[i].response;
+        state[i] = State::kDone;
+        stats_.ok.inc();
+      }
+    } catch (const std::exception& e) {
+      out[i] = PlaceResponse{};
+      out[i].id = requests[i]->id;
+      out[i].status = PlaceStatus::kError;
+      out[i].error = std::string("internal error: ") + e.what();
+      state[i] = State::kFailed;
+      stats_.errors.inc();
+    }
+  }
+
+  // One batched decode for every pending learned-path request: a single
+  // agent lease and a single encoder+decoder forward (core/placer.h proves
+  // the per-graph results bit-identical to solo decodes).
+  std::vector<size_t> jobs;
+  for (size_t i = 0; i < n; ++i) {
+    if (state[i] != State::kPending) continue;
+    if (MachineSpec::with_gpus(requests[i]->gpus).num_devices() ==
+        agent_devices()) {
+      jobs.push_back(i);
+    }
+  }
+  std::vector<Placement> decoded(n);
+  std::vector<char> have_decoded(n, 0);
+  if (!jobs.empty()) {
+    try {
+      obs::ScopedTimer decode_timer(decode_ms_, *metrics_);
+      std::vector<const CompGraph*> works;
+      works.reserve(jobs.size());
+      for (size_t i : jobs) works.push_back(preps[i].work(*requests[i]));
+      AgentLease agent(*this);
+      std::vector<Placement> placements = agent->sample_greedy_batch(works);
+      for (size_t k = 0; k < jobs.size(); ++k) {
+        decoded[jobs[k]] = std::move(placements[k]);
+        have_decoded[jobs[k]] = 1;
+      }
+    } catch (const std::exception& e) {
+      for (size_t i : jobs) {
+        out[i] = PlaceResponse{};
+        out[i].id = requests[i]->id;
+        out[i].status = PlaceStatus::kError;
+        out[i].error = std::string("internal error: ") + e.what();
+        state[i] = State::kFailed;
+        stats_.errors.inc();
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (state[i] != State::kPending) continue;
+    try {
+      out[i] = finish_request(*requests[i], preps[i], std::move(decoded[i]),
+                              have_decoded[i] != 0, skip_refine);
+      stats_.ok.inc();
+    } catch (const std::exception& e) {
+      out[i] = PlaceResponse{};
+      out[i].id = requests[i]->id;
+      out[i].status = PlaceStatus::kError;
+      out[i].error = std::string("internal error: ") + e.what();
+      stats_.errors.inc();
+    }
+  }
+
+  const double latency = watch.seconds() * 1e3;
+  for (PlaceResponse& r : out) {
+    r.latency_ms = latency;
+    r.batch_size = static_cast<int>(n);
+    latency_ms_.observe(latency);
+  }
+  const Workspace::GlobalStats arena = Workspace::global_stats();
+  stats_.arena_hits.set(static_cast<double>(arena.hits));
+  stats_.arena_misses.set(static_cast<double>(arena.misses));
+  return out;
 }
 
 ReloadOutcome PlacementService::reload_checkpoint(const std::string& path) {

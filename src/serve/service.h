@@ -93,6 +93,24 @@ class PlacementService {
   /// Serves one request. Thread-safe; never throws.
   PlaceResponse handle(const PlaceRequest& request);
 
+  /// Serves several requests as one unit: one agent lease, one batched
+  /// encoder + decoder forward for every learned-path member (bit-identical
+  /// per graph to handle() — see core/placer.h). Per-request failures are
+  /// isolated into that request's error response. When `skip_refine` is
+  /// set, simulated-annealing refinement is skipped even for requests that
+  /// asked for it (the daemon's latency-SLO fast path under load; the
+  /// response placer stays "mars" so clients can see the degradation).
+  /// Thread-safe; never throws.
+  std::vector<PlaceResponse> handle_batch(
+      const std::vector<PlaceRequest>& requests, bool skip_refine = false);
+
+  /// Pointer form of handle_batch: identical semantics, no request
+  /// copies. The serve daemon feeds memoized parsed requests through this
+  /// overload; pointers must stay valid for the duration of the call.
+  std::vector<PlaceResponse> handle_batch(
+      const std::vector<const PlaceRequest*>& requests,
+      bool skip_refine = false);
+
   /// Builds (and counts) the error response for a request that failed
   /// before reaching handle() — e.g. a frame the RequestReader rejected.
   PlaceResponse error_response(const std::string& id,
@@ -129,6 +147,27 @@ class PlacementService {
   };
   class AgentLease;
 
+  /// Pre-decode stage shared by handle() and handle_batch(): request
+  /// validation, cache key + lookup, coarsening. `done` short-circuits the
+  /// rest (cache hit).
+  struct Prep {
+    PlaceResponse response;
+    bool done = false;
+    uint64_t key = 0;
+    bool coarsened = false;
+    CompGraph coarse;
+    std::vector<int> node_to_group;
+    const CompGraph* work(const PlaceRequest& r) const {
+      return coarsened ? &coarse : &r.graph;
+    }
+  };
+  Prep prepare_request(const PlaceRequest& request);
+  /// Post-decode stage: refinement, fallback candidates, simulation,
+  /// response assembly, cache store. `decoded` is the learned placement on
+  /// the decode view (empty when the learned path was incompatible).
+  PlaceResponse finish_request(const PlaceRequest& request, Prep& prep,
+                               Placement decoded, bool have_decoded,
+                               bool skip_refine);
   PlaceResponse handle_impl(const PlaceRequest& request);
   std::unique_ptr<EncoderPlacerAgent> acquire_agent();
   void release_agent(std::unique_ptr<EncoderPlacerAgent> agent);

@@ -8,11 +8,10 @@ namespace mars::kernels {
 
 namespace {
 
-// Microkernel register block. MR*NR accumulators live in registers across
-// the whole K loop; 6x16 fits the 16 SIMD registers of AVX2 (12 x 8-wide
-// accumulators + operands) and still vectorizes cleanly under plain SSE2.
-constexpr int64_t MR = 6;
-constexpr int64_t NR = 16;
+// The microkernel register block MR x NR is declared in kernels.h (it is
+// part of the numerical contract); 6x16 fits the 16 SIMD registers of AVX2
+// (12 x 8-wide accumulators + operands) and still vectorizes cleanly under
+// plain SSE2.
 
 inline int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
 

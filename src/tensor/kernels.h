@@ -56,6 +56,16 @@ inline constexpr int64_t kBlockM = 96;   // MC: A rows per L2-resident panel
 inline constexpr int64_t kBlockK = 256;  // KC: shared-K panel depth
 inline constexpr int64_t kBlockN = 256;  // NC: B columns per packed panel
 
+/// Microkernel register block. Exposed because the dispatch is part of the
+/// numerical contract: products with m < 2*MR take a direct (unpacked)
+/// path whose per-element K grouping differs from the packed microkernel's.
+/// Within EITHER path each output row's accumulation order is independent
+/// of m, so callers that keep a batched product on the same side of the
+/// 2*MR boundary as its per-row equivalent get bit-identical rows (the
+/// batched serving decode relies on this).
+inline constexpr int64_t MR = 6;
+inline constexpr int64_t NR = 16;
+
 /// The pre-refactor kernel, verbatim: naive i-k-j triple loop with the old
 /// `if (m*k*n > 1<<18)` OpenMP guard. Kept as the golden reference for the
 /// kernel tests and as the baseline bench/micro_tensor measures speedup

@@ -179,6 +179,60 @@ TEST(SegmentPlacer, HiddenStateCarriesAcrossSegments) {
             1e-5);
 }
 
+TEST(BatchedGreedyDecode, BitIdenticalToSequential) {
+  Rng rng(77);
+  auto agent = make_mars_agent(MarsConfig::fast(), 5, rng);
+  // Mixed sizes: graphs under the GEMM's skinny-M threshold (< 2*MR = 12
+  // nodes, encoded solo inside the batch), graphs spanning several decoder
+  // segments (fast config: segment 32), duplicates, and enough entries to
+  // cross the decoder's 11-graph chunk boundary.
+  std::vector<CompGraph> graphs;
+  graphs.push_back(build_random_dag(4, 12, 11));  // ~50 nodes, 2 segments
+  graphs.push_back(build_random_dag(2, 3, 7));    // tiny, skinny-M path
+  graphs.push_back(build_random_dag(3, 20, 5));   // ~60 nodes
+  graphs.push_back(build_random_dag(5, 5, 3));    // ~25 nodes, 1 segment
+  graphs.push_back(build_random_dag(2, 3, 7));    // duplicate of the tiny one
+  for (uint64_t s = 0; s < 8; ++s)                // push past one chunk
+    graphs.push_back(build_random_dag(3, 4 + static_cast<int>(s), 20 + s));
+
+  std::vector<Placement> want;
+  for (const CompGraph& g : graphs) {
+    agent->attach_graph(g);
+    want.push_back(agent->sample_greedy().placement);
+  }
+
+  std::vector<const CompGraph*> ptrs;
+  for (const CompGraph& g : graphs) ptrs.push_back(&g);
+  std::vector<Placement> got = agent->sample_greedy_batch(ptrs);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i)
+    EXPECT_EQ(got[i], want[i]) << "placement diverged for graph " << i
+                               << " (" << graphs[i].num_nodes() << " nodes)";
+}
+
+TEST(BatchedEncode, BitIdenticalToSolo) {
+  Rng rng(78);
+  GcnEncoder enc(16, 3, rng);
+  std::vector<CompGraph> graphs;
+  graphs.push_back(build_random_dag(4, 12, 1));
+  graphs.push_back(build_random_dag(2, 3, 2));  // below 2*MR rows
+  graphs.push_back(build_random_dag(3, 8, 3));
+  std::vector<const CompGraph*> ptrs;
+  for (const CompGraph& g : graphs) ptrs.push_back(&g);
+  std::vector<Tensor> batched = enc.encode_batch(ptrs);
+  ASSERT_EQ(batched.size(), graphs.size());
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    enc.attach_graph(graphs[i]);
+    Tensor solo = enc.encode();
+    ASSERT_EQ(batched[i].rows(), solo.rows());
+    ASSERT_EQ(batched[i].cols(), solo.cols());
+    for (int64_t j = 0; j < solo.numel(); ++j)
+      ASSERT_EQ(batched[i].data()[j], solo.data()[j])
+          << "graph " << i << " element " << j;
+  }
+}
+
 TEST(MarsConfig, FactoriesDiffer) {
   MarsConfig paper = MarsConfig::paper();
   MarsConfig fast = MarsConfig::fast();

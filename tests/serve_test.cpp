@@ -20,6 +20,7 @@
 
 #include "graph/graph_io.h"
 #include "nn/serialize.h"
+#include "serve/framing.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "util/check.h"
@@ -655,6 +656,372 @@ TEST(ServeClient, DeadlineExceededOnSilentServer) {
   EXPECT_GE(client.counters().deadline_exceeded, 1);
   EXPECT_EQ(client.counters().retries, 1);
   ::close(listen_fd);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-request batching + admission control (serve/batcher.h, the event-
+// loop daemon).
+
+/// A request whose graph varies with `k` so batches mix genuinely distinct
+/// graph sizes and contents (no accidental coalescing or cache hits).
+PlaceRequest varied_request(const std::string& id, int k) {
+  PlaceRequest request;
+  request.id = id;
+  request.gpus = 4;
+  request.options.use_cache = false;
+  CompGraph g("varied_" + std::to_string(k));
+  int prev = g.add_node("in", OpType::kInput, {16, 4});
+  for (int i = 0; i <= k % 7; ++i) {
+    const int mm = g.add_node("mm" + std::to_string(i), OpType::kMatMul,
+                              {16, 8 + i}, 4096 + 131 * k, 256);
+    g.add_edge(prev, mm);
+    prev = mm;
+  }
+  const int loss = g.add_node("loss", OpType::kCrossEntropyLoss, {1}, 64);
+  g.add_edge(prev, loss);
+  request.graph = g;
+  return request;
+}
+
+TEST(ServeProtocol, ShedResponseRoundTrip) {
+  PlaceResponse shed;
+  shed.id = "s1";
+  shed.status = PlaceStatus::kShed;
+  shed.retry_after_ms = 125;
+  shed.error = "shed: queue full";
+  const PlaceResponse back = response_from_line(response_to_line(shed));
+  EXPECT_EQ(back.id, "s1");
+  EXPECT_EQ(back.status, PlaceStatus::kShed);
+  EXPECT_EQ(back.retry_after_ms, 125);
+  EXPECT_EQ(back.error, "shed: queue full");
+
+  PlaceResponse ok;
+  ok.id = "b7";
+  ok.status = PlaceStatus::kOk;
+  ok.placement = {0, 1};
+  ok.batch_size = 5;
+  EXPECT_EQ(response_from_line(response_to_line(ok)).batch_size, 5);
+}
+
+// The batching acceptance check at the service layer: handle_batch answers
+// every request with exactly the bytes handle() would have produced —
+// placement, placer, simulated step time, everything except the timing
+// fields (core/placer.h proves the decoder identity; this checks the full
+// service pipeline around it, refinement and fallbacks included).
+TEST(ServeBatch, HandleBatchMatchesSoloHandling) {
+  PlacementService service(tiny_service_config());
+  std::vector<PlaceRequest> requests;
+  for (int k = 0; k < 9; ++k) {
+    requests.push_back(varied_request("b" + std::to_string(k), k));
+  }
+  requests[3].options.refine_trials = 16;   // mixed refine budgets
+  requests[5].gpus = 2;                     // machine-mismatch fallback
+  requests[7] = requests[2];                // duplicate graph in one batch
+  requests[7].id = "b7dup";
+
+  const std::vector<PlaceResponse> batched = service.handle_batch(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const PlaceResponse solo = service.handle(requests[i]);
+    EXPECT_EQ(batched[i].status, PlaceStatus::kOk) << batched[i].error;
+    EXPECT_EQ(batched[i].id, solo.id);
+    EXPECT_EQ(batched[i].placement, solo.placement) << "request " << i;
+    EXPECT_EQ(batched[i].placer, solo.placer) << "request " << i;
+    EXPECT_DOUBLE_EQ(batched[i].step_time_s, solo.step_time_s);
+    EXPECT_EQ(batched[i].oom, solo.oom);
+  }
+}
+
+TEST(ServeBatch, SkipRefineFastPathSkipsRefinement) {
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
+  PlaceRequest request = varied_request("fp", 2);
+  request.options.refine_trials = 32;
+  const uint64_t refines_before =
+      registry.histogram("mars_serve_refine_ms", "", {1}).count();
+  const std::vector<PlaceResponse> fast =
+      service.handle_batch({request}, /*skip_refine=*/true);
+  ASSERT_EQ(fast.size(), 1u);
+  EXPECT_EQ(fast[0].status, PlaceStatus::kOk) << fast[0].error;
+  EXPECT_EQ(registry.histogram("mars_serve_refine_ms", "", {1}).count(),
+            refines_before);
+  const std::vector<PlaceResponse> slow = service.handle_batch({request});
+  EXPECT_GT(registry.histogram("mars_serve_refine_ms", "", {1}).count(),
+            refines_before);
+  EXPECT_EQ(slow[0].status, PlaceStatus::kOk);
+}
+
+// A single request must not wait out a generous linger window forever —
+// the linger timer fires and the batch (of one) completes.
+TEST(ServeDaemonBatching, SingleRequestCompletesAfterLinger) {
+  PlacementService service(tiny_service_config());
+  ServerConfig server_config;
+  server_config.batch_linger_us = 50'000;  // generous: forces the timer path
+  server_config.max_batch = 8;
+  ServeDaemon daemon(service, server_config);
+  std::thread serve_thread([&] { daemon.serve(); });
+  {
+    PlaceClient client("127.0.0.1", daemon.port());
+    const PlaceResponse r = client.place(varied_request("solo", 1));
+    EXPECT_EQ(r.status, PlaceStatus::kOk) << r.error;
+    EXPECT_EQ(r.batch_size, 1);
+  }
+  daemon.shutdown();
+  serve_thread.join();
+}
+
+// Concurrent distinct requests fuse into batches over TCP and the answers
+// are byte-identical to solo service calls.
+TEST(ServeDaemonBatching, ConcurrentRequestsBatchAndMatchSolo) {
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
+  ServerConfig server_config;
+  server_config.batch_linger_us = 30'000;  // wide window so arrivals fuse
+  server_config.max_batch = 8;
+  server_config.threads = 2;
+  ServeDaemon daemon(service, server_config);
+  std::thread serve_thread([&] { daemon.serve(); });
+
+  constexpr int kClients = 6;
+  std::vector<PlaceResponse> responses(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        PlaceClient client("127.0.0.1", daemon.port());
+        responses[static_cast<size_t>(c)] =
+            client.place(varied_request("mix" + std::to_string(c), c));
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  daemon.shutdown();
+  serve_thread.join();
+
+  int max_batch_size = 1;
+  for (int c = 0; c < kClients; ++c) {
+    const PlaceResponse& r = responses[static_cast<size_t>(c)];
+    ASSERT_EQ(r.status, PlaceStatus::kOk) << r.error;
+    max_batch_size = std::max(max_batch_size, r.batch_size);
+    const PlaceResponse solo =
+        service.handle(varied_request("mix" + std::to_string(c), c));
+    EXPECT_EQ(r.placement, solo.placement) << "client " << c;
+    EXPECT_DOUBLE_EQ(r.step_time_s, solo.step_time_s);
+  }
+  // With a 30ms window and six concurrent arrivals at least one forward
+  // pass must have fused several requests.
+  EXPECT_GT(max_batch_size, 1);
+  EXPECT_GT(registry.histogram("mars_serve_batch_size", "", {1}).count(), 0u);
+}
+
+// Identical frames arriving while one is queued coalesce into a single
+// decode; every copy still gets its own (identical) response.
+TEST(ServeDaemonBatching, IdenticalPipelinedRequestsCoalesce) {
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
+  ServerConfig server_config;
+  server_config.batch_linger_us = 100'000;  // hold the entry open to joiners
+  ServeDaemon daemon(service, server_config);
+  std::thread serve_thread([&] { daemon.serve(); });
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(daemon.port()));
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)), 0);
+    const std::string frame = request_to_string(varied_request("same", 3));
+    constexpr int kCopies = 5;
+    for (int i = 0; i < kCopies; ++i) ASSERT_TRUE(write_frame(fd, frame));
+    std::vector<PlaceResponse> responses;
+    std::string payload;
+    while (static_cast<int>(responses.size()) < kCopies &&
+           read_frame(fd, &payload, kMaxFrameBytes)) {
+      responses.push_back(response_from_line(payload));
+    }
+    ASSERT_EQ(responses.size(), static_cast<size_t>(kCopies));
+    for (const PlaceResponse& r : responses) {
+      EXPECT_EQ(r.status, PlaceStatus::kOk) << r.error;
+      EXPECT_EQ(r.placement, responses[0].placement);
+    }
+    ::close(fd);
+  }
+  daemon.shutdown();
+  serve_thread.join();
+  // One decode served all five copies: four joined the queued entry.
+  EXPECT_EQ(registry.counter("mars_serve_coalesced_total", "").load(), 4u);
+  EXPECT_EQ(service.stats().requests.load(), 1u);
+}
+
+// Flooding a bounded queue must shed with well-formed retry_after_ms
+// responses while still answering every frame, in request order.
+TEST(ServeDaemonAdmission, FloodedQueueShedsWithRetryAfter) {
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
+  ServerConfig server_config;
+  server_config.threads = 1;
+  server_config.max_batch = 1;
+  server_config.max_queue = 2;
+  server_config.batch_linger_us = 0;
+  ServeDaemon daemon(service, server_config);
+  std::thread serve_thread([&] { daemon.serve(); });
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(daemon.port()));
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)), 0);
+    constexpr int kFlood = 40;
+    for (int i = 0; i < kFlood; ++i) {
+      // Distinct graphs: coalescing must not absorb the flood.
+      ASSERT_TRUE(write_frame(
+          fd, request_to_string(varied_request("f" + std::to_string(i), i))));
+    }
+    int ok = 0, shed = 0;
+    std::string payload;
+    std::vector<std::string> ids;
+    for (int i = 0; i < kFlood; ++i) {
+      ASSERT_TRUE(read_frame(fd, &payload, kMaxFrameBytes)) << "response " << i;
+      const PlaceResponse r = response_from_line(payload);
+      ids.push_back(r.id);
+      if (r.status == PlaceStatus::kOk) {
+        ++ok;
+      } else {
+        ASSERT_EQ(r.status, PlaceStatus::kShed) << r.error;
+        EXPECT_GT(r.retry_after_ms, 0);
+        ++shed;
+      }
+    }
+    EXPECT_GT(ok, 0);
+    EXPECT_GT(shed, 0);
+    // Responses come back in request order even though shed responses are
+    // produced instantly and ok responses asynchronously.
+    for (int i = 0; i < kFlood; ++i) {
+      EXPECT_EQ(ids[static_cast<size_t>(i)], "f" + std::to_string(i));
+    }
+    ::close(fd);
+  }
+  daemon.shutdown();
+  serve_thread.join();
+  EXPECT_GT(registry.counter("mars_serve_shed_total", "").load(), 0u);
+}
+
+// Per-connection token bucket: a client over its rate gets kShed, and
+// PlaceClient transparently backs off for retry_after_ms and retries.
+TEST(ServeDaemonAdmission, RateLimitShedsAndClientHonorsRetryAfter) {
+  PlacementService service(tiny_service_config());
+  ServerConfig server_config;
+  server_config.rate_limit = 10;  // refill: one token per 100ms
+  server_config.rate_burst = 1;
+  ServeDaemon daemon(service, server_config);
+  std::thread serve_thread([&] { daemon.serve(); });
+  {
+    PlaceClient client("127.0.0.1", daemon.port());
+    const PlaceResponse first = client.place(varied_request("rl0", 0));
+    EXPECT_EQ(first.status, PlaceStatus::kOk) << first.error;
+    // Immediately over budget: the daemon sheds, the client sleeps the
+    // advertised retry_after_ms and retries until a token accrues.
+    const PlaceResponse second = client.place(varied_request("rl1", 1));
+    EXPECT_EQ(second.status, PlaceStatus::kOk) << second.error;
+    EXPECT_GE(client.counters().sheds, 1);
+  }
+  daemon.shutdown();
+  serve_thread.join();
+}
+
+// Regression for idle/half-closed connections pinning worker slots: a
+// connect-and-stall client must neither block other clients (the reactor
+// never dedicates a thread to it) nor outlive the idle timeout.
+TEST(ServeDaemonIdle, StalledConnectionIsReapedAndDoesNotBlockOthers) {
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
+  ServerConfig server_config;
+  server_config.threads = 1;  // a single pinned slot would starve everyone
+  server_config.idle_timeout_ms = 100;
+  ServeDaemon daemon(service, server_config);
+  std::thread serve_thread([&] { daemon.serve(); });
+  {
+    // Stall: connect and send nothing.
+    const int stalled = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(stalled, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(daemon.port()));
+    ASSERT_EQ(::connect(stalled, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)), 0);
+
+    // Other clients are served while the stalled socket sits there.
+    PlaceClient client("127.0.0.1", daemon.port());
+    EXPECT_EQ(client.place(varied_request("live", 1)).status,
+              PlaceStatus::kOk);
+
+    // The reaper closes the stalled connection: read() sees EOF.
+    char byte;
+    ssize_t n = -2;
+    for (int spin = 0; spin < 200; ++spin) {
+      n = ::recv(stalled, &byte, 1, MSG_DONTWAIT);
+      if (n == 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(n, 0) << "stalled connection was never reaped";
+    ::close(stalled);
+  }
+  daemon.shutdown();
+  serve_thread.join();
+  EXPECT_GE(registry.counter("mars_serve_idle_reaped_total", "").load(), 1u);
+}
+
+// TSan target: event loop + batcher under concurrent mixed traffic —
+// distinct and identical placements, stats scrapes and hot reloads racing
+// across connections while the idle reaper runs at a tight period.
+TEST(ServeDaemonHammer, MixedConcurrentTrafficEventLoopAndBatcher) {
+  obs::MetricsRegistry registry;
+  PlacementService service(tiny_service_config(&registry));
+  ServerConfig server_config;
+  server_config.threads = 2;
+  server_config.batch_linger_us = 1000;
+  server_config.max_batch = 4;
+  server_config.idle_timeout_ms = 5000;
+  ServeDaemon daemon(service, server_config);
+  std::thread serve_thread([&] { daemon.serve(); });
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 12;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      PlaceClient client("127.0.0.1", daemon.port());
+      for (int i = 0; i < kPerThread; ++i) {
+        if (i % 5 == 4) {
+          EXPECT_FALSE(client.stats().empty());
+          continue;
+        }
+        // Mix distinct graphs with cross-thread identical ones so both the
+        // batching and the coalescing paths run concurrently.
+        const int k = (i % 3 == 0) ? 1 : t * kPerThread + i;
+        const PlaceResponse r = client.place(
+            varied_request("h" + std::to_string(t) + "_" + std::to_string(i),
+                           k));
+        if (r.status == PlaceStatus::kOk) ok.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 3; ++i) {
+    daemon.request_reload();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (auto& t : workers) t.join();
+  daemon.shutdown();
+  serve_thread.join();
+  // 12 per thread minus 2 stats scrapes (i = 4, 9) leaves 10 placements.
+  EXPECT_EQ(ok.load(), kThreads * (kPerThread - 2));
 }
 
 }  // namespace
