@@ -2,11 +2,67 @@
 
 #include <cstdio>
 
+#include "nn/serialize.h"
 #include "rl/optimizer.h"
+#include "rl/policy.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace mars::bench {
+
+DistRuntime::DistRuntime(int workers, const std::string& worker_bin,
+                         int kill_after_round)
+    : kill_after_round(kill_after_round) {
+  const std::string bin =
+      worker_bin.empty() ? dist::default_worker_bin() : worker_bin;
+  MARS_CHECK_MSG(!bin.empty(),
+                 "mars_rollout_worker binary not found; pass --worker-bin "
+                 "or set MARS_WORKER_BIN");
+  for (int i = 0; i < workers; ++i) {
+    const pid_t pid =
+        dist::spawn_worker(bin, "127.0.0.1", coordinator.port(), 1,
+                           "bench-worker-" + std::to_string(i));
+    MARS_CHECK_MSG(pid > 0, "failed to spawn rollout worker " << i);
+    pids.push_back(pid);
+  }
+  MARS_CHECK_MSG(coordinator.wait_for_workers(workers, 30.0),
+                 "rollout workers did not register within 30s (bin: " << bin
+                                                                      << ")");
+}
+
+DistRuntime::~DistRuntime() {
+  for (pid_t pid : pids) {
+    dist::kill_worker(pid);
+    dist::wait_worker(pid);
+  }
+}
+
+void DistRuntime::maybe_kill_worker(int round) {
+  if (kill_after_round < 0 || round != kill_after_round || pids.empty())
+    return;
+  if (kill_fired_.exchange(true)) return;
+  MARS_WARN << "dist fault injection: SIGKILLing worker pid " << pids[0]
+            << " at round " << round;
+  dist::kill_worker(pids[0]);
+}
+
+std::unique_ptr<dist::Session> wire_distributed(OptimizeConfig& cfg,
+                                                const BenchEnv& env,
+                                                const Profile& profile) {
+  if (!profile.dist) return nullptr;
+  auto session = profile.dist->coordinator.open_session(
+      env.graph, static_cast<int>(env.machine.gpu_devices().size()),
+      env.trial_config);
+  cfg.env.backend = session.get();
+  DistRuntime* rt = profile.dist.get();
+  cfg.on_round_begin = [rt](int round, const PlacementPolicy& policy) {
+    rt->coordinator.broadcast_params(rt->next_param_version(),
+                                     save_parameters_bytes(policy));
+    rt->maybe_kill_worker(round);
+  };
+  return session;
+}
 
 MarsConfig Profile::mars_config() const {
   MarsConfig c = full ? MarsConfig::paper() : MarsConfig::fast();
@@ -81,6 +137,21 @@ Profile parse_profile(const CliArgs& args) {
   p.resume = args.get_bool("resume", false);
   if (p.resume && p.checkpoint_dir.empty())
     MARS_WARN << "--resume without --checkpoint-dir has no effect";
+  const int workers = args.get_int("workers", 0);
+  p.worker_bin = args.get("worker-bin", "");
+  const std::string& worker_bin = p.worker_bin;
+  const int kill_after = args.get_int("kill-worker-after-round", -1);
+  if (workers > 0) {
+    if (kill_after >= 0 && workers < 2)
+      MARS_WARN << "--kill-worker-after-round with --workers " << workers
+                << ": killing the only worker would stall training";
+    p.dist = std::make_shared<DistRuntime>(workers, worker_bin, kill_after);
+    std::printf("(distributed rollouts: coordinator on 127.0.0.1:%d, %d "
+                "worker processes)\n",
+                p.dist->coordinator.port(), workers);
+  } else if (kill_after >= 0 || !worker_bin.empty()) {
+    MARS_WARN << "--kill-worker-after-round/--worker-bin need --workers N";
+  }
   args.warn_unused();
   return p;
 }
@@ -120,6 +191,7 @@ MethodResult run_mars_method(const BenchEnv& env, const Profile& profile,
   cfg.optimize = profile.optimize_config(env.graph.name());
   cfg.optimize.checkpoint = profile.checkpointing(
       env.graph.name(), pretrain ? "mars" : "mars_no_pretrain");
+  auto session = wire_distributed(cfg.optimize, env, profile);
   auto runner = env.make_runner();
   MarsRunResult r = run_mars(env.graph, *runner, cfg, seed);
   MethodResult out;
@@ -127,6 +199,7 @@ MethodResult run_mars_method(const BenchEnv& env, const Profile& profile,
   out.optimize = std::move(r.optimize);
   out.pretrain_seconds = r.pretrain_seconds;
   out.dgi_final_accuracy = r.dgi.final_accuracy;
+  if (session) out.dist_stats = session->stats();
   return out;
 }
 
@@ -141,7 +214,9 @@ MethodResult run_grouper_placer(const BenchEnv& env, const Profile& profile,
   out.method = "grouper_placer";
   OptimizeConfig oc = profile.optimize_config(env.graph.name());
   oc.checkpoint = profile.checkpointing(env.graph.name(), "grouper_placer");
+  auto session = wire_distributed(oc, env, profile);
   out.optimize = optimize_placement(*agent, *runner, oc, rng.next_u64());
+  if (session) out.dist_stats = session->stats();
   return out;
 }
 
@@ -161,7 +236,9 @@ MethodResult run_encoder_placer(const BenchEnv& env, const Profile& profile,
   // Table 2 reflects quality closer to convergence, as the paper's
   // unbounded protocol does.
   oc.max_rounds = oc.max_rounds * 3 / 2;
+  auto session = wire_distributed(oc, env, profile);
   out.optimize = optimize_placement(*agent, *runner, oc, rng.next_u64());
+  if (session) out.dist_stats = session->stats();
   return out;
 }
 

@@ -18,8 +18,18 @@
 //   --resume          continue each run from its newest valid checkpoint;
 //                     a killed run resumed this way reproduces the
 //                     uninterrupted output bit-identically
+//   --workers N       distributed rollouts: start a coordinator and N local
+//                     mars_rollout_worker processes; every training run
+//                     shards its trials over the fleet. Results are
+//                     bit-identical to --workers 0 (docs/distributed.md).
+//   --worker-bin P    path to mars_rollout_worker (default: auto-detected
+//                     relative to the bench binary, or $MARS_WORKER_BIN)
+//   --kill-worker-after-round R  fault-injection: SIGKILL one worker at the
+//                     start of training round R (CI dist smoke); its
+//                     in-flight trials are re-dispatched to the survivors
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -29,12 +39,38 @@
 #include "baselines/factories.h"
 #include "baselines/static_placements.h"
 #include "core/mars.h"
+#include "dist/coordinator.h"
+#include "dist/spawn.h"
 #include "rl/checkpoint.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "workloads/workloads.h"
 
 namespace mars::bench {
+
+/// A rollout coordinator plus the local worker fleet it controls, shared by
+/// every training run in a harness. Created by parse_profile for
+/// --workers N; destroying it kills and reaps the spawned processes.
+struct DistRuntime {
+  DistRuntime(int workers, const std::string& worker_bin,
+              int kill_after_round);
+  ~DistRuntime();
+  DistRuntime(const DistRuntime&) = delete;
+  DistRuntime& operator=(const DistRuntime&) = delete;
+
+  /// Monotonic parameter version for broadcast_params.
+  uint64_t next_param_version() { return param_version_.fetch_add(1) + 1; }
+  /// Fires the --kill-worker-after-round hook at most once per process.
+  void maybe_kill_worker(int round);
+
+  dist::Coordinator coordinator;
+  std::vector<pid_t> pids;
+  int kill_after_round = -1;
+
+ private:
+  std::atomic<uint64_t> param_version_{0};
+  std::atomic<bool> kill_fired_{false};
+};
 
 /// Scale profile resolved from CLI flags.
 struct Profile {
@@ -48,6 +84,9 @@ struct Profile {
   std::string checkpoint_dir;
   int checkpoint_every = 5;
   bool resume = false;
+  // Distributed rollouts (docs/distributed.md): null = in-process trials.
+  std::shared_ptr<DistRuntime> dist;
+  std::string worker_bin;  // --worker-bin (empty = auto-detect)
 
   MarsConfig mars_config() const;
   BaselineScale baseline_scale() const;
@@ -89,7 +128,18 @@ struct MethodResult {
   OptimizeResult optimize;
   double pretrain_seconds = 0;
   double dgi_final_accuracy = 0;
+  /// Filled when the run executed over a worker fleet (profile.dist).
+  std::optional<dist::SessionStats> dist_stats;
 };
+
+/// With profile.dist active: opens a session for env's workload, routes the
+/// config's trials through it (cfg.env.backend) and installs the per-round
+/// parameter broadcast + --kill-worker-after-round hook. Keep the returned
+/// session alive for the whole optimize run; copy session->stats() out
+/// afterwards. Returns nullptr (and leaves cfg untouched) without dist.
+std::unique_ptr<dist::Session> wire_distributed(OptimizeConfig& cfg,
+                                                const BenchEnv& env,
+                                                const Profile& profile);
 
 /// The four RL methods of the paper. Each run measures through its own
 /// TrialRunner (see BenchEnv::make_runner), so runs are independent and

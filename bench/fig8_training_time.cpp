@@ -14,9 +14,24 @@
 // each training run and continue it after a crash; resumed runs restore
 // their accumulated env/agent seconds, so the reported training times
 // match an uninterrupted run (docs/fault_tolerance.md).
+//
+// Distributed rollouts (docs/distributed.md):
+//   --workers N        shard every training run's trials over N local
+//                      worker processes (results stay bit-identical; the
+//                      per-method stderr lines add env-wall accounting)
+//   --dist-json FILE   instead of the fig8 table, benchmark rollout scaling
+//                      (fresh fleets of 1/2/4 workers measuring
+//                      --dist-rounds x --dist-trials random placements)
+//                      plus one distributed Mars training, and write a
+//                      mars.bench.dist/v1 recording (BENCH_dist.json)
+//   --validate FILE    schema-check a recording and exit
 #include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 
 #include "common.h"
+#include "util/json.h"
 
 using namespace mars;
 using namespace mars::bench;
@@ -45,12 +60,213 @@ std::pair<double, bool> time_to_quality(const MethodResult& r,
           true};
 }
 
+// ---- BENCH_dist.json (mars.bench.dist/v1) ---------------------------------
+
+/// Schema check for mars.bench.dist/v1 recordings. Returns an empty string
+/// on success, else a description of the first problem. The >= 2.5x
+/// speedup floor at 4 workers is the PR's headline acceptance criterion,
+/// so a recording that regresses below it is invalid, not just slow.
+std::string validate_dist(const Json& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  if (doc.get_string("schema", "") != "mars.bench.dist/v1")
+    return "schema key missing or not mars.bench.dist/v1";
+  if (doc.get_string("workload", "").empty()) return "missing workload";
+  if (!doc.has("sweep") || !doc.at("sweep").is_array() ||
+      doc.at("sweep").size() == 0)
+    return "missing or empty sweep array";
+  int64_t max_workers = 0;
+  for (size_t i = 0; i < doc.at("sweep").size(); ++i) {
+    const Json& e = doc.at("sweep").at(i);
+    for (const char* key : {"workers", "trials", "env_serial_s", "env_wall_s",
+                            "speedup", "efficiency", "redispatched"})
+      if (!e.has(key) || !e.at(key).is_number())
+        return std::string("sweep entry missing numeric key: ") + key;
+    const int64_t workers = e.at("workers").as_int();
+    if (workers < 1) return "sweep workers must be >= 1";
+    if (e.at("trials").as_int() <= 0) return "sweep trials must be positive";
+    if (e.at("env_wall_s").as_double() <= 0)
+      return "sweep env_wall_s must be positive";
+    if (workers >= 4 && e.at("speedup").as_double() < 2.5)
+      return "rollout speedup at >=4 workers below the 2.5x floor";
+    max_workers = std::max(max_workers, workers);
+  }
+  if (max_workers < 4) return "sweep must include a >=4-worker config";
+  if (!doc.has("training") || !doc.at("training").is_object())
+    return "missing training object";
+  const Json& t = doc.at("training");
+  for (const char* key : {"workers", "env_seconds", "agent_seconds",
+                          "env_wall_seconds", "training_serial_s",
+                          "training_dist_s"})
+    if (!t.has(key) || !t.at(key).is_number())
+      return std::string("training missing numeric key: ") + key;
+  if (t.at("env_wall_seconds").as_double() <= 0)
+    return "training env_wall_seconds must be positive";
+  return "";
+}
+
+int run_validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    const std::string problem = validate_dist(Json::parse(buf.str()));
+    if (!problem.empty()) {
+      std::cerr << path << ": " << problem << "\n";
+      return 1;
+    }
+  } catch (const JsonError& e) {
+    std::cerr << path << ": parse error at byte " << e.offset() << ": "
+              << e.what() << "\n";
+    return 1;
+  }
+  std::cout << path << ": valid mars.bench.dist/v1\n";
+  return 0;
+}
+
+/// One sweep point: a fresh coordinator plus `workers` spawned
+/// single-thread worker processes measuring `rounds` batches of `trials`
+/// uniformly random placements (no trainer, no cache — pure rollout
+/// sharding). env_serial / env_wall of the resulting stats is the rollout
+/// speedup the fleet achieves on simulated environment time.
+dist::SessionStats run_sweep_point(const BenchEnv& env, const Profile& profile,
+                                   int workers, int rounds, int trials) {
+  DistRuntime fleet(workers, profile.worker_bin, /*kill_after_round=*/-1);
+  auto session = fleet.coordinator.open_session(
+      env.graph, static_cast<int>(env.machine.gpu_devices().size()),
+      env.trial_config);
+  Rng rng(profile.seed * 7000 + static_cast<uint64_t>(workers));
+  const auto n = static_cast<size_t>(env.graph.num_nodes());
+  const auto devices = static_cast<uint64_t>(env.machine.num_devices());
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<Placement> placements(static_cast<size_t>(trials),
+                                      Placement(n, 0));
+    for (auto& p : placements)
+      for (auto& d : p) d = static_cast<int>(rng.uniform_int(devices));
+    std::vector<TrialSpec> specs(placements.size());
+    std::vector<TrialResult> results(placements.size());
+    for (size_t i = 0; i < placements.size(); ++i)
+      specs[i] = {rng.next_u64(), &placements[i]};
+    session->run_trials(*env.runner, static_cast<uint64_t>(r), specs,
+                        results);
+  }
+  return session->stats();
+}
+
+int run_dist_bench(const Profile& profile, const std::string& json_path,
+                   int rounds, int trials) {
+  std::printf(
+      "=== Distributed rollout scaling: %d rounds x %d trials, "
+      "inception_v3 ===\n",
+      rounds, trials);
+  BenchEnv env = make_env("inception_v3", profile);
+  TablePrinter table({"Workers", "Env serial (s)", "Env wall (s)", "Speedup",
+                      "Efficiency", "Re-dispatched"});
+  Json sweep = Json::array();
+  for (int workers : {1, 2, 4}) {
+    const dist::SessionStats s =
+        run_sweep_point(env, profile, workers, rounds, trials);
+    const double speedup =
+        s.env_wall_seconds > 0 ? s.env_serial_seconds / s.env_wall_seconds
+                               : 0.0;
+    const double efficiency = speedup / workers;
+    char speedup_buf[32], eff_buf[32];
+    std::snprintf(speedup_buf, sizeof(speedup_buf), "%.2fx", speedup);
+    std::snprintf(eff_buf, sizeof(eff_buf), "%.0f%%", 100.0 * efficiency);
+    table.add_row({std::to_string(workers), fmt_time(s.env_serial_seconds),
+                   fmt_time(s.env_wall_seconds), speedup_buf, eff_buf,
+                   std::to_string(s.redispatched)});
+    Json e = Json::object();
+    e.set("workers", Json::of(int64_t{workers}))
+        .set("trials", Json::of(s.trials))
+        .set("env_serial_s", Json::of(s.env_serial_seconds))
+        .set("env_wall_s", Json::of(s.env_wall_seconds))
+        .set("speedup", Json::of(speedup))
+        .set("efficiency", Json::of(efficiency))
+        .set("redispatched", Json::of(s.redispatched));
+    sweep.push(std::move(e));
+  }
+  table.print();
+
+  // One full Mars training over a 4-worker fleet: what Fig. 8's
+  // training-time column becomes when the rollout phase runs distributed.
+  Profile dist_profile = profile;
+  if (!dist_profile.dist)
+    dist_profile.dist =
+        std::make_shared<DistRuntime>(4, profile.worker_bin, -1);
+  const auto fleet_size =
+      static_cast<int64_t>(dist_profile.dist->pids.size());
+  const MethodResult r =
+      run_mars_method(env, dist_profile, true, profile.seed * 7000 + 99);
+  const dist::SessionStats ts = r.dist_stats.value();
+  const double serial_s = r.optimize.env_seconds + r.optimize.agent_seconds;
+  // Cache hits are charged by the env, not the fleet; the distributed
+  // wall replaces only the measured-trial portion of env_seconds.
+  const double dist_s = r.optimize.env_seconds - ts.env_serial_seconds +
+                        ts.env_wall_seconds + r.optimize.agent_seconds;
+  std::printf(
+      "Mars training on %lld workers: env %.0fs (%.0fs measured, wall "
+      "%.0fs) + agent %.0fs -> %.0fs vs %.0fs serial (%.1f%% saved)\n",
+      static_cast<long long>(fleet_size), r.optimize.env_seconds,
+      ts.env_serial_seconds, ts.env_wall_seconds, r.optimize.agent_seconds,
+      dist_s, serial_s, 100.0 * (serial_s - dist_s) / serial_s);
+
+  Json training = Json::object();
+  training.set("workers", Json::of(fleet_size))
+      .set("env_seconds", Json::of(r.optimize.env_seconds))
+      .set("agent_seconds", Json::of(r.optimize.agent_seconds))
+      .set("env_serial_seconds", Json::of(ts.env_serial_seconds))
+      .set("env_wall_seconds", Json::of(ts.env_wall_seconds))
+      .set("training_serial_s", Json::of(serial_s))
+      .set("training_dist_s", Json::of(dist_s))
+      .set("trials", Json::of(ts.trials))
+      .set("redispatched", Json::of(ts.redispatched));
+
+  Json config = Json::object();
+  config.set("rounds", Json::of(int64_t{rounds}))
+      .set("trials_per_round", Json::of(int64_t{trials}))
+      .set("seed", Json::of(profile.seed))
+      .set("coarsen", Json::of(int64_t{profile.coarsen_budget("inception_v3")}));
+  Json doc = Json::object();
+  doc.set("schema", Json::of("mars.bench.dist/v1"))
+      .set("workload", Json::of("inception_v3"))
+      .set("config", std::move(config))
+      .set("sweep", std::move(sweep))
+      .set("training", std::move(training));
+  const std::string problem = validate_dist(doc);
+  if (!problem.empty()) {
+    std::cerr << "recording failed its own validation: " << problem << "\n";
+    return 1;
+  }
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << doc.dump() << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  Profile profile = parse_profile(args);
+  const std::string validate_path = args.get("validate", "");
+  if (!validate_path.empty()) {
+    args.warn_unused();
+    return run_validate(validate_path);
+  }
+  const std::string dist_json = args.get("dist-json", "");
+  const int dist_rounds = args.get_int("dist-rounds", 8);
+  const int dist_trials = args.get_int("dist-trials", 64);
   const double quality_slack = args.get_double("quality-slack", 1.10);
+  Profile profile = parse_profile(args);  // warns on unread flags: parse last
+  if (!dist_json.empty())
+    return run_dist_bench(profile, dist_json, dist_rounds, dist_trials);
 
   std::printf(
       "=== Fig. 8: agent training time to common quality, simulated hours "
@@ -89,6 +305,19 @@ int main(int argc, char** argv) {
                    w.c_str(), r.method.c_str(), seconds,
                    censored ? " (censored)" : "",
                    r.optimize.best_step_time, threshold);
+      if (r.dist_stats) {
+        const dist::SessionStats& d = *r.dist_stats;
+        std::fprintf(stderr,
+                     "[fig8] %s %s: dist env-wall %.0fs vs %.0fs measured "
+                     "serially (%.2fx, %lld trials, %lld re-dispatched)\n",
+                     w.c_str(), r.method.c_str(), d.env_wall_seconds,
+                     d.env_serial_seconds,
+                     d.env_wall_seconds > 0
+                         ? d.env_serial_seconds / d.env_wall_seconds
+                         : 0.0,
+                     static_cast<long long>(d.trials),
+                     static_cast<long long>(d.redispatched));
+      }
     }
     const double saving = 100.0 * (times[3] - times[2]) / times[3];
     saving_sum += saving;

@@ -1,0 +1,628 @@
+#include "dist/coordinator.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dist/protocol.h"
+#include "graph/graph_io.h"
+#include "net/conn.h"
+#include "net/event_loop.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mars::dist {
+
+namespace {
+
+/// Coordinator-side telemetry (process-wide; docs/observability.md).
+struct CoordMetrics {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& dispatched = registry.counter(
+      "mars_dist_coord_trials_dispatched_total",
+      "Trials sent to workers (including re-dispatches)");
+  obs::Counter& redispatched = registry.counter(
+      "mars_dist_coord_trials_redispatched_total",
+      "Trials re-issued after a worker death or straggler deadline");
+  obs::Counter& results = registry.counter(
+      "mars_dist_coord_results_total", "Trial results accepted from workers");
+  obs::Counter& stale = registry.counter(
+      "mars_dist_coord_stale_results_total",
+      "Duplicate/unknown trial results dropped (re-dispatch races)");
+  obs::Counter& broadcasts = registry.counter(
+      "mars_dist_coord_param_broadcasts_total",
+      "Parameter versions broadcast to the fleet");
+  obs::Gauge& env_wall = registry.gauge(
+      "mars_dist_coord_env_wall_seconds_total",
+      "Max-over-workers accepted env-seconds, summed over batches");
+  obs::Gauge& workers = registry.gauge("mars_dist_coord_workers",
+                                       "Workers currently registered");
+};
+
+CoordMetrics& metrics() {
+  static CoordMetrics* m = new CoordMetrics();
+  return *m;
+}
+
+void close_quiet(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+constexpr int64_t kNoDeadline = INT64_MAX;
+
+}  // namespace
+
+/// Shared between the Session handle (caller threads) and the loop thread.
+/// The active batch and its trial table are loop-thread state; the caller
+/// only touches the completion latch (mu/cv/done) and, between batches,
+/// the mutex-guarded stats.
+struct Session::State {
+  uint64_t id = 0;
+  std::string open_frame;  ///< pre-encoded kOpenSession for (re)joiners
+
+  struct Trial {
+    uint64_t uid = 0;
+    bool done = false;
+    int64_t deadline_ms = kNoDeadline;
+    /// Workers currently holding a dispatch of this trial (1 normally, 2+
+    /// after straggler re-issue).
+    std::vector<uint64_t> holders;
+  };
+
+  struct Batch {
+    uint64_t env_round = 0;
+    std::span<const TrialSpec> specs;
+    std::span<TrialResult> results;
+    std::vector<Trial> trials;   // parallel to specs
+    std::deque<size_t> queue;    // indices awaiting dispatch
+    size_t remaining = 0;
+    /// Accepted env-seconds per worker — max over workers is the batch's
+    /// parallel wall term.
+    std::unordered_map<uint64_t, double> worker_env;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  Batch* batch = nullptr;  // non-null while a run_trials call is active
+
+  mutable std::mutex stats_mu;
+  SessionStats stats;
+};
+
+struct Coordinator::Impl {
+  explicit Impl(CoordinatorConfig config) : config(std::move(config)) {}
+
+  CoordinatorConfig config;
+  net::EventLoop loop;
+  std::thread loop_thread;
+  int listen_fd = -1;
+
+  // ---- loop-thread state ----
+  struct WorkerState {
+    std::unique_ptr<net::Conn> conn;
+    bool ready = false;  ///< hello exchange complete
+    std::string name;
+    uint64_t pid = 0;
+    uint32_t threads = 0;
+    uint64_t acked_version = 0;
+    int outstanding = 0;
+    std::unordered_set<uint64_t> assigned;  ///< trial uids held
+  };
+  std::unordered_map<uint64_t, WorkerState> workers;  // key = conn/worker id
+  uint64_t next_conn_id = 1;
+  uint64_t next_trial_uid = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Session::State>> sessions;
+  /// Dispatch table: live trial uid -> (session, index into the batch).
+  std::unordered_map<uint64_t, std::pair<Session::State*, size_t>> live;
+  uint64_t params_version = 0;
+  std::string params_frame;  ///< encoded kParams for (re)joiners; may be empty
+  net::EventLoop::TimerId straggler_timer = 0;
+  bool straggler_timer_armed = false;
+
+  // ---- cross-thread ----
+  std::atomic<uint64_t> next_session_id{1};
+  std::mutex ready_mu;
+  std::condition_variable ready_cv;
+  int ready_workers = 0;  // guarded by ready_mu, mirrors loop-side count
+
+  void accept_ready();
+  void on_frame(net::Conn& conn, std::string frame);
+  void on_close(net::Conn& conn);
+  void register_worker(uint64_t id, HelloMsg hello);
+  void handle_results(uint64_t worker_id, const ResultsMsg& msg);
+  void finish_batch(Session::State& st, Session::State::Batch& batch);
+  void dispatch();
+  void redispatch_straggler(Session::State& st, size_t index);
+  void arm_straggler_timer();
+  void check_stragglers();
+  void protocol_error(net::Conn& conn, const std::string& what);
+  void set_ready_count(int delta);
+};
+
+void Coordinator::Impl::set_ready_count(int delta) {
+  std::lock_guard<std::mutex> lock(ready_mu);
+  ready_workers += delta;
+  metrics().workers.set(ready_workers);
+  ready_cv.notify_all();
+}
+
+void Coordinator::Impl::accept_ready() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      MARS_ERROR << "dist accept(): " << std::strerror(errno);
+      return;
+    }
+    const uint64_t id = next_conn_id++;
+    net::Conn::Callbacks callbacks;
+    callbacks.on_frame = [this](net::Conn& conn, uint64_t /*seq*/,
+                                std::string frame) {
+      on_frame(conn, std::move(frame));
+    };
+    callbacks.on_close = [this](net::Conn& conn) { on_close(conn); };
+    auto conn = std::make_unique<net::Conn>(loop, fd, id,
+                                            config.max_frame_bytes,
+                                            std::move(callbacks));
+    conn->set_message_mode(true);
+    conn->start();
+    workers[id].conn = std::move(conn);
+  }
+}
+
+void Coordinator::Impl::protocol_error(net::Conn& conn,
+                                       const std::string& what) {
+  MARS_WARN << "dist coordinator: " << what << " (worker conn " << conn.id()
+            << ")";
+  conn.send(encode_error({what}));
+  conn.close();  // on_close re-queues anything it held
+}
+
+void Coordinator::Impl::on_frame(net::Conn& conn, std::string frame) {
+  switch (frame_type(frame)) {
+    case FrameType::kHello: {
+      HelloMsg hello;
+      if (!decode_hello(frame, &hello))
+        return protocol_error(conn, "malformed hello");
+      if (hello.protocol != kProtocolVersion)
+        return protocol_error(
+            conn, "protocol version mismatch (worker speaks v" +
+                      std::to_string(hello.protocol) + ", coordinator v" +
+                      std::to_string(kProtocolVersion) + ")");
+      register_worker(conn.id(), std::move(hello));
+      return;
+    }
+    case FrameType::kParamsAck: {
+      ParamsAckMsg ack;
+      if (!decode_params_ack(frame, &ack))
+        return protocol_error(conn, "malformed params ack");
+      auto it = workers.find(conn.id());
+      if (it != workers.end()) it->second.acked_version = ack.version;
+      if (ack.version != params_version)
+        MARS_WARN << "dist worker " << conn.id() << " acked params v"
+                  << ack.version << " but v" << params_version
+                  << " is current";
+      return;
+    }
+    case FrameType::kResults: {
+      ResultsMsg msg;
+      if (!decode_results(frame, &msg))
+        return protocol_error(conn, "malformed results");
+      handle_results(conn.id(), msg);
+      return;
+    }
+    case FrameType::kError: {
+      ErrorMsg err;
+      MARS_WARN << "dist worker " << conn.id() << " reported: "
+                << (decode_error(frame, &err) ? err.message
+                                              : "<malformed error frame>");
+      return;
+    }
+    default:
+      return protocol_error(conn, "unexpected frame type");
+  }
+}
+
+void Coordinator::Impl::register_worker(uint64_t id, HelloMsg hello) {
+  auto it = workers.find(id);
+  if (it == workers.end()) return;
+  WorkerState& w = it->second;
+  if (w.ready) return;  // duplicate hello: ignore
+  w.ready = true;
+  w.name = std::move(hello.name);
+  w.pid = hello.pid;
+  w.threads = hello.threads;
+  w.conn->send(encode_welcome({kProtocolVersion, id}));
+  // Late joiners catch up: current params first, then every open session.
+  // Same-connection FIFO guarantees both precede any trial dispatch.
+  if (!params_frame.empty()) w.conn->send(params_frame);
+  for (auto& [sid, st] : sessions) w.conn->send(st->open_frame);
+  MARS_INFO << "dist worker " << id << " ('" << w.name << "', pid " << w.pid
+            << ", " << w.threads << " threads) registered";
+  set_ready_count(+1);
+  dispatch();
+}
+
+void Coordinator::Impl::on_close(net::Conn& conn) {
+  const uint64_t id = conn.id();
+  auto it = workers.find(id);
+  if (it == workers.end()) return;
+  WorkerState& w = it->second;
+  if (w.ready) {
+    MARS_WARN << "dist worker " << id << " ('" << w.name
+              << "') disconnected with " << w.assigned.size()
+              << " trials outstanding";
+    set_ready_count(-1);
+    w.ready = false;
+  }
+  // Re-queue everything the dead worker still held. A straggler re-issue
+  // may have the same trial live on another worker; re-queue only when no
+  // other holder remains.
+  bool requeued = false;
+  for (uint64_t uid : w.assigned) {
+    auto lit = live.find(uid);
+    if (lit == live.end()) continue;
+    auto [st, index] = lit->second;
+    Session::State::Trial& trial = st->batch->trials[index];
+    trial.holders.erase(
+        std::remove(trial.holders.begin(), trial.holders.end(), id),
+        trial.holders.end());
+    if (trial.done || !trial.holders.empty()) continue;
+    st->batch->queue.push_front(index);
+    trial.deadline_ms = kNoDeadline;
+    metrics().redispatched.inc();
+    {
+      std::lock_guard<std::mutex> lock(st->stats_mu);
+      ++st->stats.redispatched;
+    }
+    requeued = true;
+  }
+  w.assigned.clear();
+  w.outstanding = 0;
+  // This runs inside a Conn callback, possibly while dispatch() iterates
+  // `workers` — the entry (and the Conn) is erased from a fresh loop turn
+  // so no live iterator or stack frame is invalidated.
+  loop.post([this, id] { workers.erase(id); });
+  if (requeued) dispatch();
+}
+
+void Coordinator::Impl::handle_results(uint64_t worker_id,
+                                       const ResultsMsg& msg) {
+  auto wit = workers.find(worker_id);
+  std::vector<Session::State*> completed;
+  for (const ResultItem& item : msg.items) {
+    if (wit != workers.end() &&
+        wit->second.assigned.erase(item.trial_id) > 0)
+      --wit->second.outstanding;
+    auto lit = live.find(item.trial_id);
+    if (lit == live.end()) {
+      // Already satisfied by another worker (re-dispatch race) or from a
+      // batch torn down long ago: count it and move on.
+      metrics().stale.inc();
+      continue;
+    }
+    auto [st, index] = lit->second;
+    Session::State::Batch& batch = *st->batch;
+    Session::State::Trial& trial = batch.trials[index];
+    MARS_CHECK(!trial.done);
+    trial.done = true;
+    batch.results[index] = item.result;
+    batch.worker_env[worker_id] += item.result.env_seconds;
+    live.erase(lit);
+    metrics().results.inc();
+    --batch.remaining;
+    if (batch.remaining == 0) completed.push_back(st);
+  }
+  for (Session::State* st : completed) finish_batch(*st, *st->batch);
+  dispatch();
+}
+
+void Coordinator::Impl::finish_batch(Session::State& st,
+                                     Session::State::Batch& batch) {
+  double wall = 0, serial = 0;
+  for (const auto& [worker, env_s] : batch.worker_env) {
+    wall = std::max(wall, env_s);
+    serial += env_s;
+  }
+  metrics().env_wall.add(wall);
+  {
+    std::lock_guard<std::mutex> lock(st.stats_mu);
+    st.stats.env_wall_seconds += wall;
+    st.stats.env_serial_seconds += serial;
+    st.stats.round_env_wall.emplace_back(batch.env_round, wall);
+    st.stats.trials += static_cast<int64_t>(batch.specs.size());
+  }
+  st.batch = nullptr;
+  {
+    // Notify under the lock: `batch` lives on the caller's stack and is
+    // destroyed as soon as the waiter observes done — which it cannot do
+    // until this scope releases mu, i.e. after notify_all has returned.
+    std::lock_guard<std::mutex> lock(batch.mu);
+    batch.done = true;
+    batch.cv.notify_all();
+  }
+  // Nothing may touch `batch` past this point.
+}
+
+void Coordinator::Impl::dispatch() {
+  const int window = std::max(1, config.worker_window);
+  const int64_t deadline =
+      config.trial_timeout_ms > 0
+          ? net::EventLoop::now_ms() + config.trial_timeout_ms
+          : kNoDeadline;
+  int ready_count = 0;
+  for (auto& [id, w] : workers)
+    if (w.ready) ++ready_count;
+  for (auto& [worker_id, w] : workers) {
+    if (!w.ready) continue;
+    size_t queued = 0;
+    for (auto& [sid, st] : sessions)
+      if (st->batch) queued += st->batch->queue.size();
+    if (queued == 0) break;
+    // Fair-share cap on top of the window: an idle worker takes at most
+    // its 1/ready_count slice (rounded up) of the queued work, so a batch
+    // smaller than window * fleet spreads across the fleet instead of
+    // filling the first windows it finds. Under-filled workers are topped
+    // up by the dispatch() that runs on every result arrival.
+    const int fair =
+        static_cast<int>((queued + ready_count - 1) / ready_count);
+    int budget = std::min(window - w.outstanding, fair);
+    // Pull round-robin across sessions with work, one message per session.
+    while (budget > 0) {
+      RunTrialsMsg out;
+      Session::State* source = nullptr;
+      for (auto& [sid, st] : sessions) {
+        if (!st->batch || st->batch->queue.empty()) continue;
+        source = st.get();
+        out.session_id = sid;
+        while (budget > 0 && !st->batch->queue.empty()) {
+          const size_t index = st->batch->queue.front();
+          st->batch->queue.pop_front();
+          Session::State::Trial& trial = st->batch->trials[index];
+          trial.deadline_ms = deadline;
+          trial.holders.push_back(worker_id);
+          w.assigned.insert(trial.uid);
+          ++w.outstanding;
+          --budget;
+          out.items.push_back({trial.uid, st->batch->specs[index].seed,
+                               *st->batch->specs[index].placement});
+        }
+        break;
+      }
+      if (!source) break;  // no session has queued work
+      metrics().dispatched.inc(out.items.size());
+      w.conn->send(encode_run_trials(out));
+      if (w.conn->closed()) break;  // backpressure overflow killed it
+    }
+  }
+  if (config.trial_timeout_ms > 0) arm_straggler_timer();
+}
+
+void Coordinator::Impl::arm_straggler_timer() {
+  if (straggler_timer_armed || config.trial_timeout_ms <= 0) return;
+  bool active = false;
+  for (auto& [sid, st] : sessions) active = active || st->batch != nullptr;
+  if (!active) return;
+  straggler_timer_armed = true;
+  straggler_timer = loop.add_timer(std::max(1, config.trial_timeout_ms / 2),
+                                   [this] {
+                                     straggler_timer_armed = false;
+                                     check_stragglers();
+                                     arm_straggler_timer();
+                                   });
+}
+
+void Coordinator::Impl::check_stragglers() {
+  const int64_t now = net::EventLoop::now_ms();
+  for (auto& [sid, st] : sessions) {
+    if (!st->batch) continue;
+    for (size_t index = 0; index < st->batch->trials.size(); ++index) {
+      Session::State::Trial& trial = st->batch->trials[index];
+      if (trial.done || trial.holders.empty() || trial.deadline_ms > now)
+        continue;
+      redispatch_straggler(*st, index);
+    }
+  }
+}
+
+void Coordinator::Impl::redispatch_straggler(Session::State& st,
+                                             size_t index) {
+  Session::State::Trial& trial = st.batch->trials[index];
+  // Second opinion from the least-loaded worker not already holding it.
+  Impl::WorkerState* best = nullptr;
+  uint64_t best_id = 0;
+  for (auto& [worker_id, w] : workers) {
+    if (!w.ready) continue;
+    if (std::find(trial.holders.begin(), trial.holders.end(), worker_id) !=
+        trial.holders.end())
+      continue;
+    if (!best || w.outstanding < best->outstanding) {
+      best = &w;
+      best_id = worker_id;
+    }
+  }
+  if (!best) return;  // nobody else alive; keep waiting on the holder
+  trial.holders.push_back(best_id);
+  trial.deadline_ms = net::EventLoop::now_ms() + config.trial_timeout_ms;
+  best->assigned.insert(trial.uid);
+  ++best->outstanding;
+  RunTrialsMsg out;
+  out.session_id = st.id;
+  out.items.push_back(
+      {trial.uid, st.batch->specs[index].seed,
+       *st.batch->specs[index].placement});
+  metrics().dispatched.inc();
+  metrics().redispatched.inc();
+  {
+    std::lock_guard<std::mutex> lock(st.stats_mu);
+    ++st.stats.redispatched;
+  }
+  MARS_WARN << "dist: trial " << trial.uid << " overdue, re-issued to worker "
+            << best_id;
+  best->conn->send(encode_run_trials(out));
+}
+
+// ---- Coordinator ----------------------------------------------------------
+
+Coordinator::Coordinator(CoordinatorConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(impl_->config.port));
+  MARS_CHECK_MSG(::inet_pton(AF_INET, impl_->config.host.c_str(),
+                             &addr.sin_addr) == 1,
+                 "bad IPv4 address '" << impl_->config.host << "'");
+  impl_->listen_fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  MARS_CHECK_MSG(impl_->listen_fd >= 0,
+                 "socket(): " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  MARS_CHECK_MSG(::bind(impl_->listen_fd,
+                        reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "bind " << impl_->config.host << ":" << impl_->config.port
+                         << ": " << std::strerror(errno));
+  MARS_CHECK_MSG(::listen(impl_->listen_fd, 64) == 0,
+                 "listen(): " << std::strerror(errno));
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  impl_->loop_thread = std::thread([this] {
+    impl_->loop.add_fd(impl_->listen_fd, net::kEventRead,
+                       [this](uint32_t) { impl_->accept_ready(); });
+    impl_->loop.run();
+  });
+}
+
+Coordinator::~Coordinator() {
+  impl_->loop.stop();
+  impl_->loop_thread.join();
+  // Single-threaded from here: tear down connections and the listener.
+  impl_->workers.clear();
+  close_quiet(impl_->listen_fd);
+  metrics().workers.set(0);
+}
+
+int Coordinator::worker_count() {
+  std::lock_guard<std::mutex> lock(impl_->ready_mu);
+  return impl_->ready_workers;
+}
+
+bool Coordinator::wait_for_workers(int n, double timeout_s) {
+  std::unique_lock<std::mutex> lock(impl_->ready_mu);
+  return impl_->ready_cv.wait_for(
+      lock, std::chrono::duration<double>(timeout_s),
+      [&] { return impl_->ready_workers >= n; });
+}
+
+void Coordinator::broadcast_params(uint64_t version, std::string container) {
+  std::string frame = encode_params({version, std::move(container)});
+  impl_->loop.post([this, version, frame = std::move(frame)]() mutable {
+    impl_->params_version = version;
+    impl_->params_frame = std::move(frame);
+    for (auto& [id, w] : impl_->workers)
+      if (w.ready) w.conn->send(impl_->params_frame);
+    metrics().broadcasts.inc();
+  });
+}
+
+std::unique_ptr<Session> Coordinator::open_session(const CompGraph& graph,
+                                                   int gpus,
+                                                   TrialConfig trial,
+                                                   CostModelConfig cost) {
+  auto state = std::make_shared<Session::State>();
+  state->id = impl_->next_session_id.fetch_add(1);
+  OpenSessionMsg msg;
+  msg.session_id = state->id;
+  msg.gpus = gpus;
+  msg.trial = trial;
+  msg.cost = cost;
+  std::ostringstream graph_text;
+  save_graph(graph_text, graph);
+  msg.graph_text = graph_text.str();
+  state->open_frame = encode_open_session(msg);
+  impl_->loop.post([this, state] {
+    impl_->sessions.emplace(state->id, state);
+    for (auto& [id, w] : impl_->workers)
+      if (w.ready) w.conn->send(state->open_frame);
+  });
+  return std::unique_ptr<Session>(new Session(this, std::move(state)));
+}
+
+// ---- Session --------------------------------------------------------------
+
+Session::Session(Coordinator* coord, std::shared_ptr<State> state)
+    : coord_(coord), state_(std::move(state)) {}
+
+Session::~Session() {
+  Coordinator::Impl* impl = coord_->impl_.get();
+  impl->loop.post([impl, state = state_] {
+    for (auto& [id, w] : impl->workers)
+      if (w.ready) w.conn->send(encode_close_session({state->id}));
+    impl->sessions.erase(state->id);
+  });
+}
+
+uint64_t Session::id() const { return state_->id; }
+
+SessionStats Session::stats() const {
+  std::lock_guard<std::mutex> lock(state_->stats_mu);
+  return state_->stats;
+}
+
+void Session::run_trials(const TrialRunner& /*runner*/, uint64_t env_round,
+                         std::span<const TrialSpec> specs,
+                         std::span<TrialResult> results) {
+  MARS_CHECK(specs.size() == results.size());
+  if (specs.empty()) return;
+  obs::SpanRecorder::Span span(obs::SpanRecorder::global(), "dist.batch",
+                               "dist");
+  State::Batch batch;
+  batch.env_round = env_round;
+  batch.specs = specs;
+  batch.results = results;
+  batch.remaining = specs.size();
+  batch.trials.resize(specs.size());
+
+  Coordinator::Impl* impl = coord_->impl_.get();
+  impl->loop.post([impl, state = state_, b = &batch] {
+    MARS_CHECK_MSG(state->batch == nullptr,
+                   "concurrent run_trials on one dist session");
+    for (size_t i = 0; i < b->trials.size(); ++i) {
+      b->trials[i].uid = impl->next_trial_uid++;
+      impl->live.emplace(b->trials[i].uid, std::make_pair(state.get(), i));
+      b->queue.push_back(i);
+    }
+    state->batch = b;
+    impl->dispatch();
+  });
+
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.cv.wait(lock, [&] { return batch.done; });
+}
+
+}  // namespace mars::dist

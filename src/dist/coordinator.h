@@ -1,0 +1,141 @@
+// Rollout coordinator: the training-process side of distributed trials.
+//
+// The coordinator owns a net::EventLoop on a dedicated thread and accepts
+// rollout workers over TCP (dist/protocol.h). Training code interacts with
+// it through two handles:
+//
+//  - Coordinator: worker registry + parameter broadcast. broadcast_params
+//    ships a versioned checkpoint-container payload to every registered
+//    worker (late joiners get the latest version on hello).
+//  - Session: one workload (graph + machine + trial protocol) opened on
+//    every worker. A Session is a TrialExecBackend — plug it into
+//    TrialEnvConfig::backend and the optimize loop's cache-miss trials are
+//    sharded over the fleet instead of a local thread pool.
+//
+// Scheduling is greedy and windowed: each worker is topped up to
+// `worker_window` outstanding trials and refilled as results stream back,
+// so faster workers automatically take more of the batch. Fault handling:
+//  - a worker death re-queues its unanswered trials for the survivors;
+//  - with trial_timeout_ms set, an unanswered trial past its deadline is
+//    re-issued to a second worker — first result wins, duplicates are
+//    dropped as stale (mars_dist_coord_stale_results_total).
+// Either way each trial lands exactly once in the batch, and because every
+// trial carries its own derived RNG seed (rl/env.h TrialSpec), the batch is
+// bit-identical to in-process execution no matter how it was sharded,
+// re-dispatched or reordered.
+//
+// run_trials blocks the calling trainer thread until its batch completes;
+// multiple Sessions can run batches concurrently over the same fleet (the
+// fig7 bench trains six workload×method pairs at once this way).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/comp_graph.h"
+#include "rl/env.h"
+#include "serve/framing.h"
+#include "sim/cost_model.h"
+#include "sim/trial.h"
+
+namespace mars::dist {
+
+struct CoordinatorConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral (read back via port())
+  size_t max_frame_bytes = serve::kMaxFrameBytes;
+  /// Straggler deadline: a dispatched trial unanswered for this long is
+  /// re-issued to another worker (0 disables; death re-issue is always on).
+  int trial_timeout_ms = 0;
+  /// Dispatch window: target outstanding trials per worker.
+  int worker_window = 8;
+};
+
+/// Per-session accounting, updated as batches complete. env_wall_seconds
+/// is the Fig. 8-at-N-workers quantity: for each batch, the largest
+/// accepted env-seconds any single worker contributed — the simulated
+/// wall-clock of the round if workers measured their shards in parallel —
+/// summed over batches. round_env_wall keeps the per-batch terms keyed by
+/// the env's round counter so benches can rebuild a cumulative timeline.
+struct SessionStats {
+  double env_wall_seconds = 0;
+  /// Sum of *all* accepted env-seconds — what one worker measuring the
+  /// whole session serially would charge. env_serial / env_wall is the
+  /// rollout speedup of the fleet (BENCH_dist.json).
+  double env_serial_seconds = 0;
+  std::vector<std::pair<uint64_t, double>> round_env_wall;
+  int64_t trials = 0;        ///< trials completed through this session
+  int64_t redispatched = 0;  ///< re-issues (death re-queue + stragglers)
+};
+
+class Coordinator;
+
+/// Handle to one open workload session. Destroying it closes the session
+/// on every worker. Must not outlive its Coordinator, and run_trials must
+/// not race with the Coordinator's destruction.
+class Session : public TrialExecBackend {
+ public:
+  ~Session() override;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// TrialExecBackend: shards `specs` over the registered workers and
+  /// blocks until every result arrived (re-dispatching around failures).
+  /// The local `runner` is unused — measurement happens remotely.
+  void run_trials(const TrialRunner& runner, uint64_t env_round,
+                  std::span<const TrialSpec> specs,
+                  std::span<TrialResult> results) override;
+
+  uint64_t id() const;
+  SessionStats stats() const;
+
+ private:
+  friend class Coordinator;
+  struct State;
+  Session(Coordinator* coord, std::shared_ptr<State> state);
+
+  Coordinator* coord_;
+  std::shared_ptr<State> state_;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorConfig config = {});
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Bound TCP port (the configured one, or the kernel-assigned ephemeral).
+  int port() const { return port_; }
+
+  /// Blocks until at least `n` workers completed the hello exchange, or
+  /// the timeout passes. False on timeout.
+  bool wait_for_workers(int n, double timeout_s);
+
+  /// Workers currently registered (hello done, connection alive).
+  int worker_count();
+
+  /// Queues a versioned parameter payload (a checkpoint container v2, e.g.
+  /// from save_parameters_bytes) to every registered worker; late joiners
+  /// receive the latest version on hello. Returns immediately — acks are
+  /// tracked in mars_dist metrics, and trial dispatch never blocks on them.
+  void broadcast_params(uint64_t version, std::string container);
+
+  /// Opens `graph` (as measured by a TrialRunner with this trial/cost
+  /// config on a with_gpus(gpus) machine) on every worker.
+  std::unique_ptr<Session> open_session(const CompGraph& graph, int gpus,
+                                        TrialConfig trial = {},
+                                        CostModelConfig cost = {});
+
+ private:
+  friend class Session;
+  struct Impl;
+
+  int port_ = 0;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mars::dist

@@ -1,0 +1,66 @@
+// mars_rollout_worker: the distributed-rollout measurement daemon.
+//
+//   mars_rollout_worker --host 127.0.0.1 --port 7071 --threads 2
+//
+// Connects to a rollout coordinator, receives workload sessions and
+// parameter broadcasts, and measures sharded simulator trials until
+// SIGINT/SIGTERM (or until the coordinator goes away and the reconnect
+// budget, if one was set, is exhausted). See docs/distributed.md.
+//
+// Fault-injection flags (--crash-after-trials, --stall-after-batches) are
+// for the test suite and CI smokes only.
+#include <signal.h>
+
+#include <atomic>
+
+#include "dist/worker.h"
+#include "util/cli.h"
+#include "util/logging.h"
+
+namespace {
+
+std::atomic<mars::dist::Worker*> g_worker{nullptr};
+
+void handle_stop_signal(int) {
+  if (auto* worker = g_worker.load()) worker->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mars::CliArgs args(argc, argv);
+  mars::dist::WorkerConfig config;
+  config.host = args.get("host", config.host);
+  config.port = args.get_int("port", config.port);
+  config.name = args.get("name", config.name);
+  config.threads =
+      static_cast<unsigned>(args.get_int("threads", static_cast<int>(config.threads)));
+  config.max_connect_attempts =
+      args.get_int("max-connect-attempts", config.max_connect_attempts);
+  config.crash_after_trials = args.get_int(
+      "crash-after-trials", static_cast<int>(config.crash_after_trials));
+  config.stall_after_batches = args.get_int(
+      "stall-after-batches", static_cast<int>(config.stall_after_batches));
+  args.warn_unused();
+  if (config.port <= 0) {
+    MARS_ERROR << "mars_rollout_worker: --port is required";
+    return 2;
+  }
+
+  mars::dist::Worker worker(config);
+  g_worker.store(&worker);
+  struct sigaction action{};
+  action.sa_handler = handle_stop_signal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  MARS_INFO << "mars_rollout_worker '" << config.name << "' -> "
+            << config.host << ":" << config.port << " (" << config.threads
+            << " threads)";
+  worker.run();
+  g_worker.store(nullptr);
+  MARS_INFO << "mars_rollout_worker '" << config.name << "' exiting after "
+            << worker.trials_measured() << " trials ("
+            << worker.reconnects() << " reconnects)";
+  return 0;
+}

@@ -1,0 +1,222 @@
+#include "dist/protocol.h"
+
+namespace mars::dist {
+
+namespace {
+
+BlobWriter begin(FrameType type) {
+  BlobWriter b;
+  b.put_u8(static_cast<uint8_t>(type));
+  return b;
+}
+
+/// Consumes and checks the type byte; false on mismatch or empty frame.
+bool expect(BlobReader& b, FrameType type) {
+  return b.u8() == static_cast<uint8_t>(type) && !b.failed();
+}
+
+void put_trial_config(BlobWriter& b, const TrialConfig& c) {
+  b.put_u32(static_cast<uint32_t>(c.warmup_steps));
+  b.put_u32(static_cast<uint32_t>(c.measured_steps));
+  b.put_f64(c.invalid_time_s);
+  b.put_f64(c.bad_cutoff_s);
+  b.put_f64(c.reinit_overhead_s);
+  b.put_f64(c.noise_sigma);
+}
+
+void read_trial_config(BlobReader& b, TrialConfig* c) {
+  c->warmup_steps = static_cast<int>(b.u32());
+  c->measured_steps = static_cast<int>(b.u32());
+  c->invalid_time_s = b.f64();
+  c->bad_cutoff_s = b.f64();
+  c->reinit_overhead_s = b.f64();
+  c->noise_sigma = b.f64();
+}
+
+void put_cost_config(BlobWriter& b, const CostModelConfig& c) {
+  b.put_f64(c.train_flop_multiplier);
+  b.put_f64(c.bytes_touched_multiplier);
+  b.put_f64(c.optimizer_memory_factor);
+  b.put_f64(c.activation_memory_factor);
+  b.put_f64(c.reserved_memory_fraction);
+}
+
+void read_cost_config(BlobReader& b, CostModelConfig* c) {
+  c->train_flop_multiplier = b.f64();
+  c->bytes_touched_multiplier = b.f64();
+  c->optimizer_memory_factor = b.f64();
+  c->activation_memory_factor = b.f64();
+  c->reserved_memory_fraction = b.f64();
+}
+
+}  // namespace
+
+FrameType frame_type(const std::string& frame) {
+  if (frame.empty()) return static_cast<FrameType>(0);
+  return static_cast<FrameType>(static_cast<uint8_t>(frame[0]));
+}
+
+std::string encode_hello(const HelloMsg& m) {
+  BlobWriter b = begin(FrameType::kHello);
+  b.put_u32(m.protocol);
+  b.put_string(m.name);
+  b.put_u64(m.pid);
+  b.put_u32(m.threads);
+  return b.take();
+}
+
+bool decode_hello(const std::string& frame, HelloMsg* out) {
+  BlobReader b(frame);
+  if (!expect(b, FrameType::kHello)) return false;
+  out->protocol = b.u32();
+  out->name = b.str();
+  out->pid = b.u64();
+  out->threads = b.u32();
+  return b.at_end();
+}
+
+std::string encode_welcome(const WelcomeMsg& m) {
+  BlobWriter b = begin(FrameType::kWelcome);
+  b.put_u32(m.protocol);
+  b.put_u64(m.worker_id);
+  return b.take();
+}
+
+bool decode_welcome(const std::string& frame, WelcomeMsg* out) {
+  BlobReader b(frame);
+  if (!expect(b, FrameType::kWelcome)) return false;
+  out->protocol = b.u32();
+  out->worker_id = b.u64();
+  return b.at_end();
+}
+
+std::string encode_open_session(const OpenSessionMsg& m) {
+  BlobWriter b = begin(FrameType::kOpenSession);
+  b.put_u64(m.session_id);
+  b.put_u32(static_cast<uint32_t>(m.gpus));
+  put_trial_config(b, m.trial);
+  put_cost_config(b, m.cost);
+  b.put_string(m.graph_text);
+  return b.take();
+}
+
+bool decode_open_session(const std::string& frame, OpenSessionMsg* out) {
+  BlobReader b(frame);
+  if (!expect(b, FrameType::kOpenSession)) return false;
+  out->session_id = b.u64();
+  out->gpus = static_cast<int32_t>(b.u32());
+  read_trial_config(b, &out->trial);
+  read_cost_config(b, &out->cost);
+  out->graph_text = b.str();
+  return b.at_end() && out->gpus >= 0 && out->gpus <= 4096;
+}
+
+std::string encode_close_session(const CloseSessionMsg& m) {
+  BlobWriter b = begin(FrameType::kCloseSession);
+  b.put_u64(m.session_id);
+  return b.take();
+}
+
+bool decode_close_session(const std::string& frame, CloseSessionMsg* out) {
+  BlobReader b(frame);
+  if (!expect(b, FrameType::kCloseSession)) return false;
+  out->session_id = b.u64();
+  return b.at_end();
+}
+
+std::string encode_params(const ParamsMsg& m) {
+  BlobWriter b = begin(FrameType::kParams);
+  b.put_u64(m.version);
+  b.put_string(m.container);
+  return b.take();
+}
+
+bool decode_params(const std::string& frame, ParamsMsg* out) {
+  BlobReader b(frame);
+  if (!expect(b, FrameType::kParams)) return false;
+  out->version = b.u64();
+  out->container = b.str();
+  return b.at_end();
+}
+
+std::string encode_params_ack(const ParamsAckMsg& m) {
+  BlobWriter b = begin(FrameType::kParamsAck);
+  b.put_u64(m.version);
+  b.put_u64(m.record_count);
+  return b.take();
+}
+
+bool decode_params_ack(const std::string& frame, ParamsAckMsg* out) {
+  BlobReader b(frame);
+  if (!expect(b, FrameType::kParamsAck)) return false;
+  out->version = b.u64();
+  out->record_count = b.u64();
+  return b.at_end();
+}
+
+std::string encode_run_trials(const RunTrialsMsg& m) {
+  BlobWriter b = begin(FrameType::kRunTrials);
+  b.put_u64(m.session_id);
+  b.put_u64(m.items.size());
+  for (const TrialItem& item : m.items) {
+    b.put_u64(item.trial_id);
+    b.put_u64(item.seed);
+    b.put_i32s(item.placement);
+  }
+  return b.take();
+}
+
+bool decode_run_trials(const std::string& frame, RunTrialsMsg* out) {
+  BlobReader b(frame);
+  if (!expect(b, FrameType::kRunTrials)) return false;
+  out->session_id = b.u64();
+  const uint64_t count = b.u64();
+  if (b.failed() || count > kMaxTrialsPerFrame) return false;
+  out->items.resize(static_cast<size_t>(count));
+  for (TrialItem& item : out->items) {
+    item.trial_id = b.u64();
+    item.seed = b.u64();
+    if (!b.read_i32s(&item.placement)) return false;
+  }
+  return b.at_end();
+}
+
+std::string encode_results(const ResultsMsg& m) {
+  BlobWriter b = begin(FrameType::kResults);
+  b.put_u64(m.session_id);
+  b.put_u64(m.items.size());
+  for (const ResultItem& item : m.items) {
+    b.put_u64(item.trial_id);
+    put_trial_result(b, item.result);
+  }
+  return b.take();
+}
+
+bool decode_results(const std::string& frame, ResultsMsg* out) {
+  BlobReader b(frame);
+  if (!expect(b, FrameType::kResults)) return false;
+  out->session_id = b.u64();
+  const uint64_t count = b.u64();
+  if (b.failed() || count > kMaxTrialsPerFrame) return false;
+  out->items.resize(static_cast<size_t>(count));
+  for (ResultItem& item : out->items) {
+    item.trial_id = b.u64();
+    if (!read_trial_result(b, &item.result)) return false;
+  }
+  return b.at_end();
+}
+
+std::string encode_error(const ErrorMsg& m) {
+  BlobWriter b = begin(FrameType::kError);
+  b.put_string(m.message);
+  return b.take();
+}
+
+bool decode_error(const std::string& frame, ErrorMsg* out) {
+  BlobReader b(frame);
+  if (!expect(b, FrameType::kError)) return false;
+  out->message = b.str();
+  return b.at_end();
+}
+
+}  // namespace mars::dist

@@ -1,0 +1,144 @@
+// Wire protocol for the distributed rollout subsystem.
+//
+// Coordinator and workers exchange binary messages over the same 4-byte
+// big-endian length framing the serve stack uses (serve/framing.h on the
+// blocking worker side, net/FrameDecoder on the coordinator's reactor).
+// Unlike serve's request/response JSON lines, this is a duplex *message*
+// protocol: either side pushes frames at any time and nothing is owed a
+// reply (net::Conn message mode).
+//
+// Each frame payload is one Blob (nn/serialize.h primitives — little-endian
+// fixed-width integers, raw f64 bit patterns, so doubles round-trip
+// exactly): a u8 frame type followed by the message body. Decoders are
+// bounds-checked and reject trailing bytes, unknown types and oversized
+// counts, so a hostile or corrupted peer produces a clean `false`, never
+// undefined behavior. Parameter payloads ride inside kParams as a complete
+// checkpoint container v2, which gives the broadcast end-to-end CRC
+// coverage for free.
+//
+//   worker → coordinator:  kHello, kParamsAck, kResults, kError
+//   coordinator → worker:  kWelcome, kOpenSession, kCloseSession,
+//                          kParams, kRunTrials
+//
+// See docs/distributed.md for the full exchange and failure semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/serialize.h"
+#include "rl/env.h"
+#include "sim/cost_model.h"
+#include "sim/trial.h"
+
+namespace mars::dist {
+
+/// Bumped on any incompatible change; kWelcome rejects mismatches.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Hard cap on trials in one kRunTrials/kResults frame.
+inline constexpr uint64_t kMaxTrialsPerFrame = 1u << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 1,         ///< worker introduces itself after connecting
+  kWelcome = 2,       ///< coordinator assigns the worker its id
+  kOpenSession = 3,   ///< workload definition: graph + machine + protocol
+  kCloseSession = 4,  ///< drop the session's simulator state
+  kParams = 5,        ///< versioned parameter broadcast (ckpt container v2)
+  kParamsAck = 6,     ///< worker confirms a validated parameter version
+  kRunTrials = 7,     ///< shard of one round's trial batch
+  kResults = 8,       ///< measured results, streamed back as they finish
+  kError = 9,         ///< fatal per-connection error report
+};
+
+/// First byte of a frame, or 0 for an empty frame.
+FrameType frame_type(const std::string& frame);
+
+struct HelloMsg {
+  uint32_t protocol = kProtocolVersion;
+  std::string name;      ///< human-readable worker name (logs/metrics)
+  uint64_t pid = 0;      ///< worker process id (0 when in-thread)
+  uint32_t threads = 0;  ///< worker-local trial threads (informational)
+};
+
+struct WelcomeMsg {
+  uint32_t protocol = kProtocolVersion;
+  uint64_t worker_id = 0;
+};
+
+struct OpenSessionMsg {
+  uint64_t session_id = 0;
+  int32_t gpus = 0;  ///< MachineSpec::with_gpus(gpus) on the worker
+  TrialConfig trial;
+  CostModelConfig cost;
+  std::string graph_text;  ///< graph wire format (graph/graph_io.h)
+};
+
+struct CloseSessionMsg {
+  uint64_t session_id = 0;
+};
+
+struct ParamsMsg {
+  uint64_t version = 0;
+  std::string container;  ///< complete checkpoint container v2 bytes
+};
+
+struct ParamsAckMsg {
+  uint64_t version = 0;
+  uint64_t record_count = 0;  ///< records in the validated container
+};
+
+/// One trial of a sharded batch. `trial_id` is the coordinator's dispatch
+/// key (unique across the coordinator's lifetime, echoed in the result);
+/// `seed` is the fully derived RNG-stream seed from TrialSpec — the worker
+/// runs exactly `Rng rng(seed); runner.measure(placement, rng)`.
+struct TrialItem {
+  uint64_t trial_id = 0;
+  uint64_t seed = 0;
+  Placement placement;
+};
+
+struct RunTrialsMsg {
+  uint64_t session_id = 0;
+  std::vector<TrialItem> items;
+};
+
+struct ResultItem {
+  uint64_t trial_id = 0;
+  TrialResult result;
+};
+
+struct ResultsMsg {
+  uint64_t session_id = 0;
+  std::vector<ResultItem> items;
+};
+
+struct ErrorMsg {
+  std::string message;
+};
+
+std::string encode_hello(const HelloMsg& m);
+std::string encode_welcome(const WelcomeMsg& m);
+std::string encode_open_session(const OpenSessionMsg& m);
+std::string encode_close_session(const CloseSessionMsg& m);
+std::string encode_params(const ParamsMsg& m);
+std::string encode_params_ack(const ParamsAckMsg& m);
+std::string encode_run_trials(const RunTrialsMsg& m);
+std::string encode_results(const ResultsMsg& m);
+std::string encode_error(const ErrorMsg& m);
+
+/// Decoders verify the type byte, every bound, and that the frame has no
+/// trailing bytes; on failure the output is unspecified and `false` is
+/// returned.
+bool decode_hello(const std::string& frame, HelloMsg* out);
+bool decode_welcome(const std::string& frame, WelcomeMsg* out);
+bool decode_open_session(const std::string& frame, OpenSessionMsg* out);
+bool decode_close_session(const std::string& frame, CloseSessionMsg* out);
+bool decode_params(const std::string& frame, ParamsMsg* out);
+bool decode_params_ack(const std::string& frame, ParamsAckMsg* out);
+bool decode_run_trials(const std::string& frame, RunTrialsMsg* out);
+bool decode_results(const std::string& frame, ResultsMsg* out);
+bool decode_error(const std::string& frame, ErrorMsg* out);
+
+}  // namespace mars::dist

@@ -1,0 +1,85 @@
+#include "dist/spawn.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace mars::dist {
+
+namespace {
+
+std::string exe_dir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  std::string path(buf);
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+bool executable(const std::string& path) {
+  return !path.empty() && ::access(path.c_str(), X_OK) == 0;
+}
+
+}  // namespace
+
+std::string default_worker_bin() {
+  if (const char* env = ::getenv("MARS_WORKER_BIN"); env && *env) return env;
+  const std::string dir = exe_dir();
+  if (dir.empty()) return {};
+  for (const char* rel :
+       {"/mars_rollout_worker", "/../src/dist/mars_rollout_worker",
+        "/../../src/dist/mars_rollout_worker", "/src/dist/mars_rollout_worker"}) {
+    const std::string candidate = dir + rel;
+    if (executable(candidate)) return candidate;
+  }
+  return {};
+}
+
+pid_t spawn_worker(const std::string& bin, const std::string& host, int port,
+                   unsigned threads, const std::string& name,
+                   const std::vector<std::string>& extra_args) {
+  std::vector<std::string> args = {bin,
+                                   "--host",
+                                   host,
+                                   "--port",
+                                   std::to_string(port),
+                                   "--threads",
+                                   std::to_string(threads),
+                                   "--name",
+                                   name};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    ::execv(bin.c_str(), argv.data());
+    _exit(127);  // exec failed; parent sees it at wait time
+  }
+  return pid;
+}
+
+bool kill_worker(pid_t pid, int sig) {
+  return pid > 0 && ::kill(pid, sig) == 0;
+}
+
+int wait_worker(pid_t pid) {
+  if (pid <= 0) return -1;
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) return -1;
+  }
+  return status;
+}
+
+}  // namespace mars::dist

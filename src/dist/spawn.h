@@ -1,0 +1,36 @@
+// Spawning local mars_rollout_worker processes (benches, CI smokes).
+//
+// Resolution order for the worker binary: an explicit path, the
+// MARS_WORKER_BIN environment variable, then paths relative to the calling
+// executable (the bench binaries live in build/bench/, the worker in
+// build/src/dist/). Spawned workers are plain fork+exec children — kill
+// and reap them with the helpers below; a SIGKILLed worker is exactly the
+// worker-death case the coordinator tolerates.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace mars::dist {
+
+/// Best-effort path to mars_rollout_worker: $MARS_WORKER_BIN if set, else
+/// probed relative to /proc/self/exe. Empty when nothing executable found.
+std::string default_worker_bin();
+
+/// Forks and execs one worker aimed at host:port. `extra_args` append
+/// verbatim (fault-injection flags). Returns the child pid, or -1 when the
+/// fork failed (exec failure surfaces as exit status 127 at wait time).
+pid_t spawn_worker(const std::string& bin, const std::string& host, int port,
+                   unsigned threads, const std::string& name,
+                   const std::vector<std::string>& extra_args = {});
+
+/// Sends `sig` (default SIGKILL) to a spawned worker. False if the signal
+/// could not be delivered.
+bool kill_worker(pid_t pid, int sig = 9);
+
+/// Blocks until the child exits; returns its wait status (-1 on error).
+int wait_worker(pid_t pid);
+
+}  // namespace mars::dist

@@ -1,0 +1,287 @@
+#include "dist/worker.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "dist/protocol.h"
+#include "graph/graph_io.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "sim/machine.h"
+#include "sim/simulator.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace mars::dist {
+
+namespace {
+
+/// Worker-side telemetry (process-wide; docs/observability.md).
+struct WorkerMetrics {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& batches = registry.counter(
+      "mars_dist_worker_batches_total", "Trial shards answered");
+  obs::Counter& trials = registry.counter(
+      "mars_dist_worker_trials_total", "Trials measured");
+  obs::Counter& reconnects = registry.counter(
+      "mars_dist_worker_reconnects_total",
+      "Connections re-established after the first hello");
+  obs::Gauge& param_version = registry.gauge(
+      "mars_dist_worker_param_version",
+      "Latest parameter version validated and acked");
+};
+
+WorkerMetrics& metrics() {
+  static WorkerMetrics* m = new WorkerMetrics();
+  return *m;
+}
+
+}  // namespace
+
+/// Everything needed to measure one session's trials locally. The graph
+/// must outlive the simulator, the simulator the runner — member order
+/// does that.
+struct Worker::SessionRuntime {
+  CompGraph graph;
+  MachineSpec machine;
+  ExecutionSimulator sim;
+  TrialRunner runner;
+
+  SessionRuntime(CompGraph g, int gpus, const TrialConfig& trial,
+                 const CostModelConfig& cost)
+      : graph(std::move(g)),
+        machine(MachineSpec::with_gpus(gpus)),
+        sim(graph, machine, cost),
+        runner(sim, trial) {}
+};
+
+Worker::Worker(WorkerConfig config)
+    : config_(std::move(config)),
+      backoff_(config_.backoff_initial_s, config_.backoff_max_s,
+               config_.jitter_seed) {
+  if (config_.threads != 1)
+    pool_ = std::make_unique<ThreadPool>(config_.threads);
+}
+
+Worker::~Worker() { stop(); }
+
+void Worker::stop() {
+  stop_.store(true, std::memory_order_release);
+  const int fd = fd_.load(std::memory_order_acquire);
+  // shutdown() (not close(): the fd stays valid for the owning thread)
+  // unblocks any in-flight read_frame/write_frame. Async-signal-safe.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+bool Worker::interruptible_sleep(double seconds) {
+  // Polling nap instead of a condition variable so stop() stays usable
+  // from signal handlers.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (stop_.load(std::memory_order_acquire)) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return !stop_.load(std::memory_order_acquire);
+}
+
+int Worker::connect_once() {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    MARS_ERROR << "dist worker: bad IPv4 address '" << config_.host << "'";
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void Worker::run() {
+  int failed_attempts = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int fd = connect_once();
+    bool welcomed = false;
+    if (fd >= 0) {
+      fd_.store(fd, std::memory_order_release);
+      HelloMsg hello;
+      hello.name = config_.name;
+      hello.pid = static_cast<uint64_t>(::getpid());
+      hello.threads = pool_ ? static_cast<uint32_t>(pool_->size()) : 1;
+      std::string frame;
+      WelcomeMsg welcome;
+      if (serve::write_frame(fd, encode_hello(hello)) &&
+          serve::read_frame(fd, &frame, config_.max_frame_bytes) &&
+          decode_welcome(frame, &welcome) &&
+          welcome.protocol == kProtocolVersion) {
+        welcomed = true;
+        failed_attempts = 0;
+        backoff_.reset();
+        if (connected_once_) {
+          reconnects_.fetch_add(1, std::memory_order_relaxed);
+          metrics().reconnects.inc();
+        }
+        connected_once_ = true;
+        const bool keep_going = serve_connection(fd);
+        fd_.store(-1, std::memory_order_release);
+        ::close(fd);
+        sessions_.clear();  // coordinator replays opens on re-hello
+        if (!keep_going) return;
+      } else {
+        fd_.store(-1, std::memory_order_release);
+        ::close(fd);
+      }
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (!welcomed) {
+      ++failed_attempts;
+      if (config_.max_connect_attempts > 0 &&
+          failed_attempts >= config_.max_connect_attempts) {
+        MARS_ERROR << "dist worker '" << config_.name << "': giving up on "
+                   << config_.host << ":" << config_.port << " after "
+                   << failed_attempts << " attempts";
+        return;
+      }
+    }
+    if (!interruptible_sleep(backoff_.next_s())) return;
+  }
+}
+
+bool Worker::serve_connection(int fd) {
+  std::string frame;
+  while (serve::read_frame(fd, &frame, config_.max_frame_bytes)) {
+    if (stop_.load(std::memory_order_acquire)) return false;
+    switch (frame_type(frame)) {
+      case FrameType::kOpenSession: {
+        OpenSessionMsg msg;
+        if (!decode_open_session(frame, &msg)) {
+          serve::write_frame(fd, encode_error({"malformed open_session"}));
+          return true;  // desynchronized peer: reconnect
+        }
+        try {
+          std::istringstream graph_text(msg.graph_text);
+          sessions_[msg.session_id] = std::make_unique<SessionRuntime>(
+              load_graph(graph_text), msg.gpus, msg.trial, msg.cost);
+        } catch (const GraphParseError& e) {
+          MARS_ERROR << "dist worker: rejecting session " << msg.session_id
+                     << ": bad graph: " << e.what();
+          serve::write_frame(fd, encode_error({"bad session graph"}));
+        }
+        break;
+      }
+      case FrameType::kCloseSession: {
+        CloseSessionMsg msg;
+        if (decode_close_session(frame, &msg)) sessions_.erase(msg.session_id);
+        break;
+      }
+      case FrameType::kParams: {
+        ParamsMsg msg;
+        if (!decode_params(frame, &msg)) {
+          serve::write_frame(fd, encode_error({"malformed params"}));
+          return true;
+        }
+        // Full container validation (header + record + file CRCs): a
+        // corrupted broadcast is reported, never acked.
+        CheckpointReader reader;
+        const CkptResult parsed = reader.parse(std::move(msg.container));
+        if (!parsed) {
+          MARS_ERROR << "dist worker: params v" << msg.version
+                     << " rejected: " << parsed.message;
+          serve::write_frame(
+              fd, encode_error({"params v" + std::to_string(msg.version) +
+                                " rejected: " + parsed.message}));
+          break;
+        }
+        param_version_.store(msg.version, std::memory_order_relaxed);
+        metrics().param_version.set(static_cast<double>(msg.version));
+        serve::write_frame(
+            fd, encode_params_ack({msg.version, reader.record_count()}));
+        break;
+      }
+      case FrameType::kRunTrials: {
+        RunTrialsMsg msg;
+        if (!decode_run_trials(frame, &msg)) {
+          serve::write_frame(fd, encode_error({"malformed run_trials"}));
+          return true;
+        }
+        auto it = sessions_.find(msg.session_id);
+        if (it == sessions_.end()) {
+          serve::write_frame(
+              fd, encode_error({"run_trials for unknown session " +
+                                std::to_string(msg.session_id)}));
+          break;
+        }
+        if (config_.stall_after_batches >= 0 &&
+            batches_answered_ >= config_.stall_after_batches)
+          break;  // silent straggler: swallow the shard
+        if (config_.crash_after_trials >= 0 &&
+            trials_measured_.load(std::memory_order_relaxed) +
+                    static_cast<long>(msg.items.size()) >
+                config_.crash_after_trials) {
+          // Simulated worker death: vanish mid-batch without answering.
+          MARS_WARN << "dist worker '" << config_.name
+                    << "': crash hook fired, dropping connection";
+          return false;
+        }
+        obs::SpanRecorder::Span span(obs::SpanRecorder::global(),
+                                     "dist.worker.batch", "dist");
+        const TrialRunner& runner = it->second->runner;
+        ResultsMsg reply;
+        reply.session_id = msg.session_id;
+        reply.items.resize(msg.items.size());
+        auto measure_one = [&](size_t k) {
+          const TrialItem& item = msg.items[k];
+          Rng rng(item.seed);
+          reply.items[k].trial_id = item.trial_id;
+          reply.items[k].result = runner.measure(item.placement, rng);
+        };
+        if (pool_ && msg.items.size() > 1) {
+          pool_->parallel_for(msg.items.size(), measure_one);
+        } else {
+          for (size_t k = 0; k < msg.items.size(); ++k) measure_one(k);
+        }
+        trials_measured_.fetch_add(static_cast<int64_t>(msg.items.size()),
+                                   std::memory_order_relaxed);
+        metrics().trials.inc(msg.items.size());
+        metrics().batches.inc();
+        ++batches_answered_;
+        if (!serve::write_frame(fd, encode_results(reply))) return true;
+        break;
+      }
+      case FrameType::kError: {
+        ErrorMsg err;
+        MARS_WARN << "dist worker: coordinator reported: "
+                  << (decode_error(frame, &err) ? err.message
+                                                : "<malformed error frame>");
+        break;
+      }
+      default:
+        MARS_WARN << "dist worker: ignoring unexpected frame type "
+                  << static_cast<int>(frame_type(frame));
+        break;
+    }
+  }
+  // EOF or socket error: reconnect unless we are being stopped.
+  return !stop_.load(std::memory_order_acquire);
+}
+
+}  // namespace mars::dist

@@ -1,0 +1,111 @@
+// Rollout worker: the measurement side of distributed trials.
+//
+// A Worker is a blocking client that connects to a coordinator, introduces
+// itself (kHello/kWelcome), then serves frames until stopped: it
+// materializes each kOpenSession into a local graph + simulator +
+// TrialRunner, validates kParams payloads through the checkpoint
+// container's CRC path, and answers kRunTrials shards by running
+// `Rng rng(seed); runner.measure(placement, rng)` per trial — the exact
+// computation the in-process TrialEnv would have run, which is what makes
+// distributed results bit-identical.
+//
+// A lost connection re-enters the connect loop with the shared bounded
+// exponential backoff (util/backoff.h); session state is dropped on
+// disconnect and replayed by the coordinator on re-hello. run() is the
+// whole lifecycle — call it from main() (mars_rollout_worker) or from a
+// thread (in-process workers in tests and benches); stop() is safe from
+// other threads and from signal handlers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "serve/framing.h"
+#include "util/backoff.h"
+#include "util/thread_pool.h"
+
+namespace mars::dist {
+
+struct WorkerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string name = "worker";
+  /// Threads for measuring one shard's trials: 1 = inline,
+  /// 0 = hardware_concurrency.
+  unsigned threads = 1;
+  size_t max_frame_bytes = serve::kMaxFrameBytes;
+  /// Reconnect backoff (util/backoff.h), reset after every welcome.
+  double backoff_initial_s = 0.05;
+  double backoff_max_s = 2.0;
+  uint64_t jitter_seed = 0xd157b0ff;
+  /// Consecutive failed connect/hello attempts before run() gives up
+  /// (0 = retry until stop()).
+  int max_connect_attempts = 0;
+
+  // ---- fault-injection hooks (tests / CI smokes) ----
+  /// Die (drop the connection and return from run()) the moment the
+  /// cumulative trial count would exceed this — mid-batch, before sending
+  /// any of the batch's results. -1 disables.
+  long crash_after_trials = -1;
+  /// After this many answered shards, swallow every further kRunTrials
+  /// without responding — a live but silent straggler for deadline tests.
+  /// -1 disables.
+  long stall_after_batches = -1;
+};
+
+class Worker {
+ public:
+  explicit Worker(WorkerConfig config);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Connect/serve/reconnect until stop(), a crash hook fires, or the
+  /// connect-attempt budget is exhausted.
+  void run();
+
+  /// Async-signal-safe: flags the run loop down and shuts the socket so
+  /// blocking reads return immediately.
+  void stop();
+
+  /// Latest parameter version validated and acked (0 before the first).
+  uint64_t param_version() const {
+    return param_version_.load(std::memory_order_relaxed);
+  }
+  /// Connections re-established after the first successful hello.
+  int64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  /// Trials measured over the worker's lifetime.
+  int64_t trials_measured() const {
+    return trials_measured_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct SessionRuntime;
+
+  int connect_once();
+  /// Serves one established connection. False = run() should return
+  /// (stop() or a crash hook), true = reconnect and continue.
+  bool serve_connection(int fd);
+  bool interruptible_sleep(double seconds);
+
+  WorkerConfig config_;
+  Backoff backoff_;
+  std::unique_ptr<ThreadPool> pool_;  // null when threads == 1
+  std::unordered_map<uint64_t, std::unique_ptr<SessionRuntime>> sessions_;
+  long batches_answered_ = 0;
+
+  std::atomic<int> fd_{-1};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> param_version_{0};
+  std::atomic<int64_t> reconnects_{0};
+  std::atomic<int64_t> trials_measured_{0};
+  bool connected_once_ = false;
+};
+
+}  // namespace mars::dist

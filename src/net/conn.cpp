@@ -74,6 +74,8 @@ void Conn::handle_readable() {
         const uint64_t seq = next_seq_in_++;
         if (callbacks_.on_frame) callbacks_.on_frame(*this, seq, frame);
         if (closed_) return;  // handler closed us mid-batch
+        // Messages are consumed on delivery — nothing is owed back.
+        if (message_mode_) next_seq_out_ = next_seq_in_;
       }
       if (decoder_.error()) {
         // Oversized declared length: framing is unrecoverable.
@@ -110,6 +112,16 @@ void Conn::send_response(uint64_t seq, std::string payload) {
   }
   if (out_buf_.size() - out_pos_ > kMaxOutputBuffer) {
     // The peer isn't reading; cut it loose rather than buffer unbounded.
+    close();
+    return;
+  }
+  flush();
+}
+
+void Conn::send(std::string payload) {
+  if (closed_) return;
+  out_buf_.append(encode_frame(payload));
+  if (out_buf_.size() - out_pos_ > kMaxOutputBuffer) {
     close();
     return;
   }

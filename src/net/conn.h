@@ -55,6 +55,19 @@ class Conn {
   /// are sent. Ignored after close.
   void send_response(uint64_t seq, std::string payload);
 
+  /// Unsolicited push: queues one frame immediately, independent of the
+  /// request/response sequencing. For duplex message protocols (dist
+  /// coordinator↔worker) where frames are not answers to requests. Ignored
+  /// after close; like send_response, overflowing kMaxOutputBuffer
+  /// disconnects the non-reading peer.
+  void send(std::string payload);
+
+  /// Message mode: incoming frames are standalone messages, not requests
+  /// owed a response — they never count toward in_flight(), so peer EOF
+  /// closes as soon as buffered output drains instead of waiting for
+  /// responses that will never come. Do not mix with send_response.
+  void set_message_mode(bool on) { message_mode_ = on; }
+
   /// Closes now; pending unsent output is dropped. Idempotent.
   void close();
 
@@ -85,6 +98,7 @@ class Conn {
   size_t out_pos_ = 0;
 
   bool read_closed_ = false;  // peer half-closed; finish responses, then go
+  bool message_mode_ = false;
   bool closed_ = false;
   int64_t last_activity_ms_;
 };

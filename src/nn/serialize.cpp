@@ -348,6 +348,10 @@ CkptResult CheckpointReader::open(const std::string& path) {
   return result;
 }
 
+CkptResult CheckpointReader::parse(const char* data, size_t len) {
+  return parse(std::string(data, len));
+}
+
 CkptResult CheckpointReader::parse(std::string bytes) {
   records_.clear();
   index_.clear();
@@ -470,6 +474,19 @@ CkptResult save_parameters(const Module& module, const std::string& path) {
 CkptResult load_parameters(Module& module, const std::string& path) {
   CheckpointReader reader;
   CkptResult result = reader.open(path);
+  if (!result.ok()) return result;
+  return load_parameter_records(reader, module);
+}
+
+std::string save_parameters_bytes(const Module& module) {
+  CheckpointWriter writer;
+  add_parameter_records(writer, module);
+  return writer.serialize();
+}
+
+CkptResult load_parameters_bytes(Module& module, const std::string& bytes) {
+  CheckpointReader reader;
+  CkptResult result = reader.parse(bytes);
   if (!result.ok()) return result;
   return load_parameter_records(reader, module);
 }

@@ -142,6 +142,8 @@ class CheckpointReader {
  public:
   CkptResult open(const std::string& path);
   CkptResult parse(std::string bytes);
+  /// Span form for callers holding borrowed bytes (wire payloads).
+  CkptResult parse(const char* data, size_t len);
 
   /// Record payload by name; nullptr when absent.
   const std::string* find(const std::string& name) const;
@@ -192,5 +194,13 @@ CkptResult save_parameters(const Module& module, const std::string& path);
 /// with matching "param:" records). Never throws on bad input; corrupt or
 /// incompatible files are reported through the typed result.
 CkptResult load_parameters(Module& module, const std::string& path);
+
+/// In-memory twins of save_parameters/load_parameters: the full container
+/// bytes (header, per-record CRCs, trailing file CRC) without touching
+/// disk. This is the parameter-broadcast wire payload in src/dist — the
+/// receiver gets the same end-to-end corruption detection a file load has.
+/// The file forms delegate to the same serialize()/parse() paths.
+std::string save_parameters_bytes(const Module& module);
+CkptResult load_parameters_bytes(Module& module, const std::string& bytes);
 
 }  // namespace mars

@@ -35,7 +35,8 @@ uint64_t mix_round_index(uint64_t round, uint64_t index) {
 TrialEnv::TrialEnv(const TrialRunner& runner, uint64_t seed,
                    TrialEnvConfig config)
     : runner_(&runner), seed_(seed), config_(config) {
-  if (config_.threads != 1) pool_ = std::make_unique<ThreadPool>(config_.threads);
+  if (config_.threads != 1 && !config_.backend)
+    pool_ = std::make_unique<ThreadPool>(config_.threads);
 }
 
 void TrialEnv::cache_insert(const Placement& placement,
@@ -85,17 +86,33 @@ EnvBatchStats TrialEnv::evaluate_batch(std::span<const Placement> placements,
 
   // Phase 2: measure the misses. Each trial draws from its own
   // Rng(seed ^ mix(round, index)) stream and measure() leaves the runner's
-  // shared accumulator untouched, so execution order cannot matter.
-  auto measure_one = [&](size_t k) {
-    const size_t i = to_run[k];
-    Rng rng(seed_ ^ mix_round_index(round, i));
-    results[i] = runner_->measure(placements[i], rng);
-  };
-  if (pool_ && to_run.size() > 1) {
-    pool_->parallel_for(to_run.size(), measure_one);
+  // shared accumulator untouched, so execution order cannot matter. With a
+  // backend configured, the misses ship out as self-contained TrialSpecs
+  // (seed fully derived here) and scatter back by index — the same
+  // order-independence argument, across processes.
+  if (config_.backend && !to_run.empty()) {
+    std::vector<TrialSpec> specs(to_run.size());
+    std::vector<TrialResult> remote(to_run.size());
+    for (size_t k = 0; k < to_run.size(); ++k) {
+      const size_t i = to_run[k];
+      specs[k] = {seed_ ^ mix_round_index(round, i), &placements[i]};
+    }
+    config_.backend->run_trials(*runner_, round, specs, remote);
+    for (size_t k = 0; k < to_run.size(); ++k)
+      results[to_run[k]] = std::move(remote[k]);
     stats.parallel_trials = static_cast<int64_t>(to_run.size());
   } else {
-    for (size_t k = 0; k < to_run.size(); ++k) measure_one(k);
+    auto measure_one = [&](size_t k) {
+      const size_t i = to_run[k];
+      Rng rng(seed_ ^ mix_round_index(round, i));
+      results[i] = runner_->measure(placements[i], rng);
+    };
+    if (pool_ && to_run.size() > 1) {
+      pool_->parallel_for(to_run.size(), measure_one);
+      stats.parallel_trials = static_cast<int64_t>(to_run.size());
+    } else {
+      for (size_t k = 0; k < to_run.size(); ++k) measure_one(k);
+    }
   }
   stats.simulated = static_cast<int64_t>(to_run.size());
 
@@ -129,6 +146,8 @@ namespace {
 
 constexpr uint32_t kEnvStateSchema = 1;
 constexpr uint64_t kMaxCacheEntries = 1u << 22;
+
+}  // namespace
 
 void put_trial_result(BlobWriter& b, const TrialResult& r) {
   b.put_f64(r.step_time);
@@ -168,8 +187,6 @@ bool read_trial_result(BlobReader& b, TrialResult* r) {
   r->sim.critical_path = b.f64();
   return !b.failed();
 }
-
-}  // namespace
 
 void TrialEnv::save_state(CheckpointWriter& writer) const {
   BlobWriter b;

@@ -72,6 +72,42 @@ class CallbackEnv : public PlacementEnv {
   Fn fn_;
 };
 
+/// One trial to execute: the placement plus its fully derived RNG stream
+/// seed (seed_ ^ mix(round, index) — the mixing already happened, so a
+/// backend needs no knowledge of the derivation scheme). The placement
+/// pointer borrows from the evaluate_batch argument span and is valid for
+/// the duration of the run_trials call.
+struct TrialSpec {
+  uint64_t seed = 0;
+  const Placement* placement = nullptr;
+};
+
+/// Pluggable executor for the cache-miss trials of one batch. TrialEnv
+/// resolves cache hits, derives per-trial seeds and charges env-seconds
+/// itself; the backend's only job is to fill results[k] with the outcome of
+/// measuring specs[k] — `Rng rng(specs[k].seed); runner.measure(...)` — by
+/// whatever means (local pool, remote worker fleet). Because every trial
+/// carries its own seed and results are scattered back by index, any
+/// execution order / sharding yields bit-identical batches.
+///
+/// `env_round` is the env's batch counter for this call — an accounting key
+/// for backends that track per-round cost (dist env-wall attribution); it
+/// must not influence results.
+class TrialExecBackend {
+ public:
+  virtual ~TrialExecBackend() = default;
+  virtual void run_trials(const TrialRunner& runner, uint64_t env_round,
+                          std::span<const TrialSpec> specs,
+                          std::span<TrialResult> results) = 0;
+};
+
+/// Serialization of a TrialResult as a Blob fragment — shared by the env's
+/// checkpointed trial cache and the dist wire protocol (kResults frames).
+/// read_trial_result is bounds-checked and rejects hostile payloads by
+/// returning false.
+void put_trial_result(BlobWriter& b, const TrialResult& r);
+bool read_trial_result(BlobReader& b, TrialResult* r);
+
 struct TrialEnvConfig {
   /// Worker threads for trial evaluation: 1 = inline (no pool),
   /// 0 = hardware_concurrency.
@@ -84,6 +120,11 @@ struct TrialEnvConfig {
   /// placement once" protocol. Set true to re-charge the stored cost on
   /// every hit, modeling a testbed that must re-measure regardless.
   bool charge_cache_hits = false;
+  /// Non-owning trial executor override. Null: the built-in path (owned
+  /// thread pool / inline). Non-null: cache misses are routed through the
+  /// backend (e.g. a dist::Coordinator session) and `threads` is ignored.
+  /// The backend must outlive the env.
+  TrialExecBackend* backend = nullptr;
 };
 
 /// The production environment: evaluates placements through a TrialRunner,

@@ -247,6 +247,7 @@ OptimizeResult optimize_placement(PlacementPolicy& policy,
   };
 
   for (int round = loop.rounds_completed; round < config.max_rounds; ++round) {
+    if (config.on_round_begin) config.on_round_begin(round, policy);
     auto rr = trainer->round();
 
     RoundStats stats;

@@ -5,6 +5,7 @@
 // the rollout engine's parallelism and cache counters.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,12 @@ struct OptimizeConfig {
   /// Durable checkpointing + resume + divergence rollback (disabled unless
   /// checkpoint.dir is set; see docs/fault_tolerance.md).
   CheckpointingConfig checkpoint = {};
+  /// Called at the top of every round, before sampling, with the round
+  /// number and the policy about to be rolled out. Hook point for
+  /// distributed training (parameter-version broadcast, fault injection in
+  /// the CI kill-a-worker smoke). Must not mutate the policy.
+  std::function<void(int round, const PlacementPolicy& policy)>
+      on_round_begin;
   bool verbose = false;
 };
 

@@ -491,7 +491,9 @@ PlaceClient::PlaceClient(const std::string& host, int port,
     : host_(host),
       port_(port),
       config_(config),
-      jitter_(config.jitter_seed) {
+      backoff_(config.backoff_initial_s, config.backoff_max_s,
+               config.jitter_seed),
+      shed_jitter_(config.jitter_seed ^ 0x51edull) {
   MARS_CHECK_MSG(try_connect(),
                  "connect " << host_ << ":" << port_ << ": "
                             << std::strerror(errno));
@@ -555,15 +557,13 @@ std::string PlaceClient::round_trip(const std::string& frame,
           : 0;
   std::string last_error = "never attempted";
   const int attempts = std::max(0, config_.max_retries) + 1;
+  backoff_.reset();  // each round trip gets the full ramp from initial_s
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       ++counters_.retries;
       // Bounded exponential backoff with +-50% jitter so synchronized
-      // clients don't stampede a recovering daemon.
-      double delay = config_.backoff_initial_s;
-      for (int i = 1; i < attempt; ++i) delay *= 2;
-      delay = std::min(delay, config_.backoff_max_s);
-      delay *= jitter_.uniform(0.5, 1.5);
+      // clients don't stampede a recovering daemon (util/backoff.h).
+      const double delay = backoff_.next_s();
       if (delay > 0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(delay));
       }
@@ -610,8 +610,8 @@ PlaceResponse PlaceClient::place_frame(const std::string& frame) {
     // Honour the server's backoff hint, jittered so synchronized shed
     // clients don't re-arrive as one wave.
     double delay_s = std::max(1, response.retry_after_ms) / 1000.0;
-    delay_s = std::min(delay_s, config_.shed_backoff_cap_s);
-    delay_s *= jitter_.uniform(0.5, 1.5);
+    delay_s = jittered(std::min(delay_s, config_.shed_backoff_cap_s),
+                       shed_jitter_);
     std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
   }
 }

@@ -43,6 +43,7 @@
 #include "obs/metrics.h"
 #include "serve/batcher.h"
 #include "serve/protocol.h"
+#include "util/backoff.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -246,7 +247,11 @@ class PlaceClient {
   int port_ = 0;
   ClientConfig config_;
   ClientCounters counters_;
-  Rng jitter_;
+  /// Retry schedule (util/backoff.h); reset at the start of every round
+  /// trip so each request gets the full ramp.
+  Backoff backoff_;
+  /// Jitter for server-suggested shed delays (flat, not exponential).
+  Rng shed_jitter_;
   bool connected_once_ = false;
   int fd_ = -1;
 };

@@ -1,0 +1,57 @@
+// Bounded exponential backoff with jitter, shared by every reconnecting
+// client in the tree (serve/PlaceClient, dist/Worker).
+//
+// The schedule is the classic one: the k-th delay is
+//
+//   min(initial * 2^k, max) * uniform(0.5, 1.5)
+//
+// i.e. exponential growth capped at `max`, then +-50% jitter so a fleet of
+// clients that lost the same server never stampedes back in lockstep. The
+// jitter stream is seeded explicitly, so tests (and reproducibility-minded
+// benchmarks) can pin the exact delay sequence.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace mars {
+
+/// Multiplies a delay by the standard +-50% jitter factor. Shared by
+/// Backoff and by server-suggested delays (shed retry_after_ms), which are
+/// jittered but not exponential.
+inline double jittered(double delay_s, Rng& rng) {
+  return delay_s * rng.uniform(0.5, 1.5);
+}
+
+class Backoff {
+ public:
+  Backoff(double initial_s, double max_s, uint64_t jitter_seed)
+      : initial_s_(initial_s), max_s_(max_s), rng_(jitter_seed) {}
+
+  /// The next delay in the schedule (advances the attempt counter and the
+  /// jitter stream). The first call returns ~initial_s.
+  double next_s() {
+    double delay = initial_s_;
+    for (int i = 0; i < attempt_ && delay < max_s_; ++i) delay *= 2;
+    delay = std::min(delay, max_s_);
+    ++attempt_;
+    return jittered(delay, rng_);
+  }
+
+  /// Back to the start of the schedule (call after a successful attempt).
+  /// The jitter stream is not rewound — delays stay non-repeating.
+  void reset() { attempt_ = 0; }
+
+  /// Failed attempts since the last reset().
+  int attempt() const { return attempt_; }
+
+ private:
+  double initial_s_;
+  double max_s_;
+  int attempt_ = 0;
+  Rng rng_;
+};
+
+}  // namespace mars

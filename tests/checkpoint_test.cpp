@@ -85,6 +85,68 @@ std::string sample_container() {
   return w.serialize();
 }
 
+TEST(CkptContainer, InMemorySerializeParseRoundTrip) {
+  const std::string bytes = sample_container();
+  CheckpointReader reader;
+  ASSERT_TRUE(reader.parse(bytes));
+  ASSERT_EQ(reader.record_count(), 2u);
+  const std::string* alpha = reader.find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  BlobReader a(*alpha);
+  EXPECT_EQ(a.u32(), 7u);
+  EXPECT_EQ(a.str(), "payload-a");
+
+  // The span form sees the same bytes; and the file form is byte-identical
+  // to serialize(), so wire payloads and files share every CRC path.
+  CheckpointReader span_reader;
+  ASSERT_TRUE(span_reader.parse(bytes.data(), bytes.size()));
+  EXPECT_EQ(span_reader.record_count(), 2u);
+
+  CheckpointWriter w;
+  w.add("alpha", *alpha);
+  const std::string tmp = scratch_dir("inmem") + "/c.ckpt";
+  ASSERT_TRUE(w.write_file(tmp));
+  EXPECT_EQ(read_file(tmp), w.serialize());
+}
+
+TEST(CkptContainer, InMemoryParseRejectsCorruptionLikeFiles) {
+  const std::string bytes = sample_container();
+  for (size_t i = 0; i < bytes.size(); i += 7) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x20);
+    CheckpointReader reader;
+    EXPECT_FALSE(reader.parse(std::move(mutated)))
+        << "accepted bit flip at byte " << i;
+  }
+  CheckpointReader reader;
+  EXPECT_FALSE(reader.parse(bytes.substr(0, bytes.size() / 2)));
+  EXPECT_FALSE(reader.parse(bytes + "tail"));
+}
+
+TEST(CkptContainer, ParameterBytesRoundTripBitIdentically) {
+  Rng rng(3);
+  TabularPolicy source(6, 4, rng);
+  const std::string bytes = save_parameters_bytes(source);
+
+  Rng rng2(99);  // different init: every weight differs before the load
+  TabularPolicy target(6, 4, rng2);
+  ASSERT_TRUE(load_parameters_bytes(target, bytes));
+  const auto& a = source.parameters();
+  const auto& b = target.parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t p = 0; p < a.size(); ++p)
+    for (int64_t i = 0; i < a[p].numel(); ++i)
+      EXPECT_EQ(a[p].data()[i], b[p].data()[i]);
+
+  // Mismatched shape is a typed failure, and the target stays untouched.
+  Rng rng3(5);
+  TabularPolicy wrong_shape(7, 4, rng3);
+  const float before = wrong_shape.parameters()[0].data()[0];
+  const CkptResult r = load_parameters_bytes(wrong_shape, bytes);
+  EXPECT_EQ(r.status, CkptStatus::kMismatch);
+  EXPECT_EQ(wrong_shape.parameters()[0].data()[0], before);
+}
+
 TEST(CkptContainer, TruncationAtEveryOffsetRejected) {
   const std::string bytes = sample_container();
   CheckpointReader reader;

@@ -1,0 +1,444 @@
+// Distributed rollout subsystem tests: wire protocol round-trip and
+// hostile-frame rejection, coordinator/worker bit-identity against the
+// in-process engine (the determinism contract of docs/distributed.md),
+// worker-death re-dispatch, straggler re-issue, and the parameter
+// broadcast's CRC gate. Workers run in-thread here (real TCP over
+// localhost, no forked processes) so failures are debuggable and the tests
+// stay fast.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/protocol.h"
+#include "dist/worker.h"
+#include "obs/metrics.h"
+#include "rl/env.h"
+#include "sim/trial.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+using namespace mars;
+using namespace mars::dist;
+
+namespace {
+
+// ---- Protocol --------------------------------------------------------------
+
+TEST(DistProtocol, HelloWelcomeRoundTrip) {
+  HelloMsg hello;
+  hello.name = "worker-7";
+  hello.pid = 4242;
+  hello.threads = 3;
+  HelloMsg h2;
+  ASSERT_TRUE(decode_hello(encode_hello(hello), &h2));
+  EXPECT_EQ(h2.protocol, kProtocolVersion);
+  EXPECT_EQ(h2.name, "worker-7");
+  EXPECT_EQ(h2.pid, 4242u);
+  EXPECT_EQ(h2.threads, 3u);
+
+  WelcomeMsg welcome;
+  welcome.worker_id = 9;
+  WelcomeMsg w2;
+  ASSERT_TRUE(decode_welcome(encode_welcome(welcome), &w2));
+  EXPECT_EQ(w2.worker_id, 9u);
+  EXPECT_EQ(frame_type(encode_welcome(welcome)), FrameType::kWelcome);
+}
+
+TEST(DistProtocol, OpenSessionRoundTripsConfigsExactly) {
+  OpenSessionMsg msg;
+  msg.session_id = 11;
+  msg.gpus = 4;
+  msg.trial.warmup_steps = 2;
+  msg.trial.measured_steps = 7;
+  msg.trial.invalid_time_s = 55.5;
+  msg.trial.bad_cutoff_s = 19.25;
+  msg.trial.reinit_overhead_s = 3.125;
+  msg.trial.noise_sigma = 0.0625;
+  msg.cost.train_flop_multiplier = 2.5;
+  msg.cost.reserved_memory_fraction = 0.075;
+  msg.graph_text = "graph vgg16\n";
+  OpenSessionMsg out;
+  ASSERT_TRUE(decode_open_session(encode_open_session(msg), &out));
+  EXPECT_EQ(out.session_id, 11u);
+  EXPECT_EQ(out.gpus, 4);
+  EXPECT_EQ(out.trial.warmup_steps, 2);
+  EXPECT_EQ(out.trial.measured_steps, 7);
+  // f64 wire fields are raw bit patterns: exact, not approximate.
+  EXPECT_EQ(out.trial.invalid_time_s, 55.5);
+  EXPECT_EQ(out.trial.bad_cutoff_s, 19.25);
+  EXPECT_EQ(out.trial.reinit_overhead_s, 3.125);
+  EXPECT_EQ(out.trial.noise_sigma, 0.0625);
+  EXPECT_EQ(out.cost.train_flop_multiplier, 2.5);
+  EXPECT_EQ(out.cost.reserved_memory_fraction, 0.075);
+  EXPECT_EQ(out.graph_text, "graph vgg16\n");
+}
+
+TEST(DistProtocol, RunTrialsAndResultsRoundTrip) {
+  RunTrialsMsg run;
+  run.session_id = 3;
+  run.items.push_back({101, 0xdeadbeefcafeull, Placement{0, 1, 2, 1}});
+  run.items.push_back({102, 7, Placement{3, 3, 0, 0}});
+  RunTrialsMsg run2;
+  ASSERT_TRUE(decode_run_trials(encode_run_trials(run), &run2));
+  ASSERT_EQ(run2.items.size(), 2u);
+  EXPECT_EQ(run2.items[0].trial_id, 101u);
+  EXPECT_EQ(run2.items[0].seed, 0xdeadbeefcafeull);
+  EXPECT_EQ(run2.items[0].placement, (Placement{0, 1, 2, 1}));
+  EXPECT_EQ(run2.items[1].placement, (Placement{3, 3, 0, 0}));
+
+  ResultsMsg res;
+  res.session_id = 3;
+  ResultItem item;
+  item.trial_id = 101;
+  item.result.step_time = 1.5;
+  item.result.valid = true;
+  item.result.env_seconds = 25.125;
+  item.result.sim.step_time = 1.5;
+  item.result.sim.device_busy = {0.5, 1.0};
+  res.items.push_back(item);
+  ResultsMsg res2;
+  ASSERT_TRUE(decode_results(encode_results(res), &res2));
+  ASSERT_EQ(res2.items.size(), 1u);
+  EXPECT_EQ(res2.items[0].result.step_time, 1.5);
+  EXPECT_TRUE(res2.items[0].result.valid);
+  EXPECT_EQ(res2.items[0].result.env_seconds, 25.125);
+  EXPECT_EQ(res2.items[0].result.sim.device_busy, (std::vector<double>{0.5, 1.0}));
+}
+
+TEST(DistProtocol, ParamsAndErrorRoundTrip) {
+  ParamsMsg p;
+  p.version = 17;
+  p.container = std::string("\x00\x01\xff binary", 10);
+  ParamsMsg p2;
+  ASSERT_TRUE(decode_params(encode_params(p), &p2));
+  EXPECT_EQ(p2.version, 17u);
+  EXPECT_EQ(p2.container, p.container);
+
+  ParamsAckMsg a{17, 4};
+  ParamsAckMsg a2;
+  ASSERT_TRUE(decode_params_ack(encode_params_ack(a), &a2));
+  EXPECT_EQ(a2.version, 17u);
+  EXPECT_EQ(a2.record_count, 4u);
+
+  ErrorMsg e{"bad things"};
+  ErrorMsg e2;
+  ASSERT_TRUE(decode_error(encode_error(e), &e2));
+  EXPECT_EQ(e2.message, "bad things");
+}
+
+TEST(DistProtocol, TruncationAtEveryOffsetRejected) {
+  RunTrialsMsg run;
+  run.session_id = 1;
+  run.items.push_back({5, 6, Placement{1, 0, 2}});
+  const std::string frame = encode_run_trials(run);
+  for (size_t len = 0; len < frame.size(); ++len) {
+    RunTrialsMsg out;
+    EXPECT_FALSE(decode_run_trials(frame.substr(0, len), &out))
+        << "accepted truncation to " << len << " of " << frame.size();
+  }
+  // Trailing garbage is rejected too (decoders demand at_end()).
+  RunTrialsMsg out;
+  EXPECT_FALSE(decode_run_trials(frame + "x", &out));
+}
+
+TEST(DistProtocol, WrongTypeByteAndEmptyFrameRejected) {
+  std::string frame = encode_hello({});
+  WelcomeMsg welcome;
+  EXPECT_FALSE(decode_welcome(frame, &welcome));  // kHello != kWelcome
+  HelloMsg hello;
+  EXPECT_FALSE(decode_hello(std::string(), &hello));
+  EXPECT_EQ(frame_type(std::string()), static_cast<FrameType>(0));
+}
+
+// ---- Coordinator + in-thread workers ---------------------------------------
+
+struct Fixture {
+  CompGraph graph;
+  MachineSpec machine = MachineSpec::default_4gpu();
+  TrialConfig trial_config;
+  ExecutionSimulator sim;
+  TrialRunner runner;
+
+  explicit Fixture(int coarsen = 24)
+      : graph(build_workload("vgg16").coarsen(coarsen)),
+        sim(graph, machine, {}),
+        runner(sim, trial_config) {}
+
+  /// open_session takes the GPU count (with_gpus), not the device count.
+  int gpus() const { return static_cast<int>(machine.gpu_devices().size()); }
+
+  std::vector<Placement> random_placements(int n, uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<Placement> out(
+        static_cast<size_t>(n),
+        Placement(static_cast<size_t>(graph.num_nodes()), 0));
+    for (auto& p : out)
+      for (auto& d : p)
+        d = static_cast<int>(
+            rng.uniform_int(static_cast<uint64_t>(machine.num_devices())));
+    return out;
+  }
+};
+
+/// One in-thread worker: a real Worker over real localhost TCP, with run()
+/// on a std::thread. stop() + join on destruction.
+struct ThreadWorker {
+  Worker worker;
+  std::thread thread;
+
+  explicit ThreadWorker(WorkerConfig config)
+      : worker(std::move(config)), thread([this] { worker.run(); }) {}
+  ~ThreadWorker() {
+    worker.stop();
+    thread.join();
+  }
+};
+
+WorkerConfig worker_config(int port, const std::string& name) {
+  WorkerConfig c;
+  c.port = port;
+  c.name = name;
+  c.backoff_initial_s = 0.01;
+  c.backoff_max_s = 0.1;
+  return c;
+}
+
+void expect_bitwise_equal(const TrialResult& a, const TrialResult& b,
+                          size_t i) {
+  EXPECT_EQ(a.step_time, b.step_time) << "trial " << i;
+  EXPECT_EQ(a.valid, b.valid) << "trial " << i;
+  EXPECT_EQ(a.bad, b.bad) << "trial " << i;
+  EXPECT_EQ(a.env_seconds, b.env_seconds) << "trial " << i;
+  EXPECT_EQ(a.sim.step_time, b.sim.step_time) << "trial " << i;
+  EXPECT_EQ(a.sim.oom, b.sim.oom) << "trial " << i;
+  EXPECT_EQ(a.sim.device_busy, b.sim.device_busy) << "trial " << i;
+  EXPECT_EQ(a.sim.comm_bytes, b.sim.comm_bytes) << "trial " << i;
+}
+
+/// Reference: the in-process TrialEnv (threads = 1) over the same batches.
+std::vector<TrialResult> run_reference(const Fixture& fx, uint64_t env_seed,
+                                       int rounds, int batch) {
+  TrialEnvConfig cfg;
+  cfg.threads = 1;
+  cfg.cache_capacity = 0;
+  TrialEnv env(fx.runner, env_seed, cfg);
+  std::vector<TrialResult> all;
+  for (int r = 0; r < rounds; ++r) {
+    const auto placements =
+        fx.random_placements(batch, 900 + static_cast<uint64_t>(r));
+    std::vector<TrialResult> results(placements.size());
+    env.evaluate_batch(placements, results);
+    all.insert(all.end(), results.begin(), results.end());
+  }
+  return all;
+}
+
+std::vector<TrialResult> run_distributed(const Fixture& fx, uint64_t env_seed,
+                                         int rounds, int batch,
+                                         Coordinator& coord, int workers) {
+  EXPECT_TRUE(coord.wait_for_workers(workers, 10.0));
+  auto session = coord.open_session(fx.graph, fx.gpus(),
+                                    fx.trial_config);
+  TrialEnvConfig cfg;
+  cfg.cache_capacity = 0;
+  cfg.backend = session.get();
+  TrialEnv env(fx.runner, env_seed, cfg);
+  std::vector<TrialResult> all;
+  for (int r = 0; r < rounds; ++r) {
+    const auto placements =
+        fx.random_placements(batch, 900 + static_cast<uint64_t>(r));
+    std::vector<TrialResult> results(placements.size());
+    env.evaluate_batch(placements, results);
+    all.insert(all.end(), results.begin(), results.end());
+  }
+  return all;
+}
+
+TEST(DistEngine, BitIdenticalToInProcessAcrossWorkerCounts) {
+  Fixture fx;
+  const auto reference = run_reference(fx, 42, 3, 16);
+  for (int workers : {1, 4}) {
+    Coordinator coord;
+    std::vector<std::unique_ptr<ThreadWorker>> fleet;
+    for (int i = 0; i < workers; ++i)
+      fleet.push_back(std::make_unique<ThreadWorker>(
+          worker_config(coord.port(), "w" + std::to_string(i))));
+    const auto dist = run_distributed(fx, 42, 3, 16, coord, workers);
+    ASSERT_EQ(dist.size(), reference.size());
+    for (size_t i = 0; i < dist.size(); ++i)
+      expect_bitwise_equal(reference[i], dist[i], i);
+  }
+}
+
+TEST(DistEngine, WorkerDeathMidBatchRedispatchesBitIdentically) {
+  Fixture fx;
+  const auto reference = run_reference(fx, 7, 2, 24);
+
+  Coordinator coord;
+  // The crashing worker answers a few trials, then drops the connection
+  // mid-batch; the survivor absorbs the re-queued remainder.
+  WorkerConfig crashy = worker_config(coord.port(), "crashy");
+  crashy.crash_after_trials = 6;
+  crashy.max_connect_attempts = 1;  // stay dead after the crash
+  ThreadWorker survivor(worker_config(coord.port(), "survivor"));
+  std::vector<TrialResult> dist;
+  {
+    ThreadWorker doomed(crashy);
+    dist = run_distributed(fx, 7, 2, 24, coord, 2);
+  }
+  ASSERT_EQ(dist.size(), reference.size());
+  for (size_t i = 0; i < dist.size(); ++i)
+    expect_bitwise_equal(reference[i], dist[i], i);
+}
+
+TEST(DistEngine, StragglerIsRedispatchedAndChargedOnce) {
+  Fixture fx;
+  const auto reference = run_reference(fx, 13, 2, 12);
+
+  CoordinatorConfig config;
+  config.trial_timeout_ms = 150;
+  Coordinator coord(config);
+  // The staller accepts its shard and never answers; the deadline pass
+  // must re-issue those trials to the healthy worker.
+  WorkerConfig stall = worker_config(coord.port(), "staller");
+  stall.stall_after_batches = 0;
+  ThreadWorker healthy(worker_config(coord.port(), "healthy"));
+  ThreadWorker staller(stall);
+
+  EXPECT_TRUE(coord.wait_for_workers(2, 10.0));
+  auto session = coord.open_session(fx.graph, fx.gpus(),
+                                    fx.trial_config);
+  TrialEnvConfig cfg;
+  cfg.cache_capacity = 0;
+  cfg.backend = session.get();
+  TrialEnv env(fx.runner, 13, cfg);
+  std::vector<TrialResult> all;
+  for (int r = 0; r < 2; ++r) {
+    const auto placements =
+        fx.random_placements(12, 900 + static_cast<uint64_t>(r));
+    std::vector<TrialResult> results(placements.size());
+    env.evaluate_batch(placements, results);
+    all.insert(all.end(), results.begin(), results.end());
+  }
+  ASSERT_EQ(all.size(), reference.size());
+  for (size_t i = 0; i < all.size(); ++i)
+    expect_bitwise_equal(reference[i], all[i], i);
+  const SessionStats stats = session->stats();
+  EXPECT_GT(stats.redispatched, 0) << "straggler deadline never fired";
+  EXPECT_EQ(stats.trials, 24);
+  // env accounting counts each trial exactly once even when it ran twice.
+  EXPECT_GT(stats.env_wall_seconds, 0.0);
+  EXPECT_LE(stats.env_wall_seconds, stats.env_serial_seconds + 1e-9);
+}
+
+TEST(DistEngine, SessionStatsTrackEnvWallAndSerial) {
+  Fixture fx;
+  Coordinator coord;
+  ThreadWorker w0(worker_config(coord.port(), "w0"));
+  ThreadWorker w1(worker_config(coord.port(), "w1"));
+  EXPECT_TRUE(coord.wait_for_workers(2, 10.0));
+  auto session = coord.open_session(fx.graph, fx.gpus(),
+                                    fx.trial_config);
+  const auto placements = fx.random_placements(16, 5);
+  std::vector<TrialSpec> specs(placements.size());
+  std::vector<TrialResult> results(placements.size());
+  Rng rng(99);
+  for (size_t i = 0; i < placements.size(); ++i)
+    specs[i] = {rng.next_u64(), &placements[i]};
+  session->run_trials(fx.runner, 0, specs, results);
+  const SessionStats stats = session->stats();
+  EXPECT_EQ(stats.trials, 16);
+  double sum = 0;
+  for (const auto& r : results) sum += r.env_seconds;
+  // Serial term is the full measured cost; wall is the max worker share —
+  // strictly smaller when both workers contributed.
+  EXPECT_DOUBLE_EQ(stats.env_serial_seconds, sum);
+  EXPECT_GT(stats.env_wall_seconds, 0.0);
+  EXPECT_LE(stats.env_wall_seconds, stats.env_serial_seconds + 1e-9);
+  ASSERT_EQ(stats.round_env_wall.size(), 1u);
+  EXPECT_EQ(stats.round_env_wall[0].first, 0u);
+  EXPECT_DOUBLE_EQ(stats.round_env_wall[0].second, stats.env_wall_seconds);
+}
+
+TEST(DistParams, BroadcastIsValidatedAckedAndCorruptionRejected) {
+  Coordinator coord;
+  ThreadWorker tw(worker_config(coord.port(), "pw"));
+  ASSERT_TRUE(coord.wait_for_workers(1, 10.0));
+
+  CheckpointWriter writer;
+  BlobWriter payload;
+  payload.put_f64(3.25);
+  writer.add("param:w", payload.take());
+  const std::string container = writer.serialize();
+
+  coord.broadcast_params(5, container);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (tw.worker.param_version() != 5 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(tw.worker.param_version(), 5u);
+
+  // A corrupted container must be rejected by the worker's CRC gate: the
+  // acked version never moves.
+  std::string corrupt = container;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  coord.broadcast_params(6, corrupt);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(tw.worker.param_version(), 5u);
+
+  // A good broadcast after the bad one still lands (the connection
+  // survives a rejected payload).
+  coord.broadcast_params(7, container);
+  const auto deadline2 =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (tw.worker.param_version() != 7 &&
+         std::chrono::steady_clock::now() < deadline2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(tw.worker.param_version(), 7u);
+}
+
+TEST(DistParams, LateJoinerReceivesLatestVersionOnHello) {
+  Coordinator coord;
+  CheckpointWriter writer;
+  BlobWriter payload;
+  payload.put_u32(1);
+  writer.add("param:b", payload.take());
+  coord.broadcast_params(9, writer.serialize());  // fleet is empty
+
+  ThreadWorker late(worker_config(coord.port(), "late"));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (late.worker.param_version() != 9 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(late.worker.param_version(), 9u);
+}
+
+TEST(DistMetrics, CoordinatorPublishesCounters) {
+  Fixture fx;
+  Coordinator coord;
+  ThreadWorker tw(worker_config(coord.port(), "mw"));
+  ASSERT_TRUE(coord.wait_for_workers(1, 10.0));
+  auto session = coord.open_session(fx.graph, fx.gpus(),
+                                    fx.trial_config);
+  const auto placements = fx.random_placements(4, 3);
+  std::vector<TrialSpec> specs(placements.size());
+  std::vector<TrialResult> results(placements.size());
+  for (size_t i = 0; i < placements.size(); ++i)
+    specs[i] = {static_cast<uint64_t>(i), &placements[i]};
+  session->run_trials(fx.runner, 0, specs, results);
+  const std::string text = obs::MetricsRegistry::global().to_prometheus();
+  for (const char* name :
+       {"mars_dist_coord_trials_dispatched_total",
+        "mars_dist_coord_results_total", "mars_dist_coord_workers",
+        "mars_dist_coord_env_wall_seconds_total",
+        "mars_dist_worker_trials_total", "mars_dist_worker_batches_total"})
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+}
+
+}  // namespace

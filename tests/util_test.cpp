@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.h"
+#include "util/backoff.h"
 #include "util/check.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -266,6 +267,49 @@ TEST(ThreadPool, PublishesTaskMetricsOnGlobalRegistry) {
   const std::string text = registry.to_prometheus();
   EXPECT_NE(text.find("mars_threadpool_task_latency_ms_count"),
             std::string::npos);
+}
+
+TEST(Backoff, ExponentialRampStaysWithinJitterBounds) {
+  Backoff backoff(0.1, 2.0, /*jitter_seed=*/42);
+  // Attempt k's nominal delay is 0.1 * 2^k capped at 2.0; jitter scales it
+  // by a uniform factor in [0.5, 1.5).
+  const double nominal[] = {0.1, 0.2, 0.4, 0.8, 1.6, 2.0, 2.0, 2.0};
+  for (int k = 0; k < 8; ++k) {
+    const double d = backoff.next_s();
+    EXPECT_GE(d, 0.5 * nominal[k]) << "attempt " << k;
+    EXPECT_LT(d, 1.5 * nominal[k]) << "attempt " << k;
+  }
+  EXPECT_EQ(backoff.attempt(), 8);
+}
+
+TEST(Backoff, ResetRestartsTheRamp) {
+  Backoff backoff(0.05, 10.0, 7);
+  for (int k = 0; k < 6; ++k) backoff.next_s();
+  backoff.reset();
+  EXPECT_EQ(backoff.attempt(), 0);
+  const double d = backoff.next_s();
+  EXPECT_GE(d, 0.025);
+  EXPECT_LT(d, 0.075);
+}
+
+TEST(Backoff, DeterministicForSeedAndIndependentAcrossSeeds) {
+  Backoff a(0.1, 2.0, 1234), b(0.1, 2.0, 1234), c(0.1, 2.0, 5678);
+  bool any_diff = false;
+  for (int k = 0; k < 10; ++k) {
+    const double da = a.next_s();
+    EXPECT_EQ(da, b.next_s());
+    any_diff = any_diff || da != c.next_s();
+  }
+  EXPECT_TRUE(any_diff);  // different seeds give a different jitter stream
+}
+
+TEST(Backoff, JitteredHelperBoundsAndUsesTheStream) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const double d = jittered(1.0, rng);
+    EXPECT_GE(d, 0.5);
+    EXPECT_LT(d, 1.5);
+  }
 }
 
 TEST(Logging, ThreadIdsAreSmallStableAndDistinct) {
