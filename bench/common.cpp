@@ -1,5 +1,6 @@
 #include "common.h"
 
+#include <csignal>
 #include <cstdio>
 
 #include "nn/serialize.h"
@@ -11,18 +12,38 @@
 
 namespace mars::bench {
 
+namespace {
+
+dist::CoordinatorConfig bench_coord_config(int admin_port) {
+  dist::CoordinatorConfig cfg;
+  cfg.admin_port = admin_port;
+  return cfg;
+}
+
+}  // namespace
+
 DistRuntime::DistRuntime(int workers, const std::string& worker_bin,
-                         int kill_after_round)
-    : kill_after_round(kill_after_round) {
+                         int kill_after_round, int admin_port,
+                         int worker_admin_base, int worker_crash_trials)
+    : coordinator(bench_coord_config(admin_port)),
+      kill_after_round(kill_after_round) {
   const std::string bin =
       worker_bin.empty() ? dist::default_worker_bin() : worker_bin;
   MARS_CHECK_MSG(!bin.empty(),
                  "mars_rollout_worker binary not found; pass --worker-bin "
                  "or set MARS_WORKER_BIN");
   for (int i = 0; i < workers; ++i) {
+    std::vector<std::string> extra;
+    if (worker_admin_base > 0) {
+      extra = {"--admin-port", std::to_string(worker_admin_base + i)};
+    }
+    if (i == 0 && worker_crash_trials > 0) {
+      extra.push_back("--crash-after-trials");
+      extra.push_back(std::to_string(worker_crash_trials));
+    }
     const pid_t pid =
         dist::spawn_worker(bin, "127.0.0.1", coordinator.port(), 1,
-                           "bench-worker-" + std::to_string(i));
+                           "bench-worker-" + std::to_string(i), extra);
     MARS_CHECK_MSG(pid > 0, "failed to spawn rollout worker " << i);
     pids.push_back(pid);
   }
@@ -32,7 +53,11 @@ DistRuntime::DistRuntime(int workers, const std::string& worker_bin,
 }
 
 DistRuntime::~DistRuntime() {
+  // SIGTERM first so workers exit through atexit (flushing MARS_TRACE
+  // files); SIGKILL only the ones that ignore the grace period.
+  for (pid_t pid : pids) dist::kill_worker(pid, SIGTERM);
   for (pid_t pid : pids) {
+    if (dist::wait_worker_for(pid, 5.0)) continue;
     dist::kill_worker(pid);
     dist::wait_worker(pid);
   }
@@ -141,16 +166,30 @@ Profile parse_profile(const CliArgs& args) {
   p.worker_bin = args.get("worker-bin", "");
   const std::string& worker_bin = p.worker_bin;
   const int kill_after = args.get_int("kill-worker-after-round", -1);
+  const int admin_port = args.get_int("admin-port", -1);
+  const int worker_admin_base = args.get_int("worker-admin-base", 0);
+  const int worker_crash_trials = args.get_int("worker-crash-trials", 0);
   if (workers > 0) {
-    if (kill_after >= 0 && workers < 2)
-      MARS_WARN << "--kill-worker-after-round with --workers " << workers
-                << ": killing the only worker would stall training";
-    p.dist = std::make_shared<DistRuntime>(workers, worker_bin, kill_after);
+    if ((kill_after >= 0 || worker_crash_trials > 0) && workers < 2)
+      MARS_WARN << "--kill-worker-after-round/--worker-crash-trials with "
+                << "--workers " << workers
+                << ": losing the only worker would stall training";
+    p.dist = std::make_shared<DistRuntime>(workers, worker_bin, kill_after,
+                                           admin_port, worker_admin_base,
+                                           worker_crash_trials);
     std::printf("(distributed rollouts: coordinator on 127.0.0.1:%d, %d "
                 "worker processes)\n",
                 p.dist->coordinator.port(), workers);
-  } else if (kill_after >= 0 || !worker_bin.empty()) {
-    MARS_WARN << "--kill-worker-after-round/--worker-bin need --workers N";
+    if (p.dist->coordinator.admin_port() >= 0)
+      std::printf("(coordinator admin endpoints on 127.0.0.1:%d)\n",
+                  p.dist->coordinator.admin_port());
+    if (worker_admin_base > 0)
+      std::printf("(worker admin endpoints on 127.0.0.1:%d..%d)\n",
+                  worker_admin_base, worker_admin_base + workers - 1);
+  } else if (kill_after >= 0 || !worker_bin.empty() || admin_port >= 0 ||
+             worker_admin_base > 0 || worker_crash_trials > 0) {
+    MARS_WARN << "--kill-worker-after-round/--worker-bin/--admin-port/"
+              << "--worker-admin-base/--worker-crash-trials need --workers N";
   }
   args.warn_unused();
   return p;

@@ -27,6 +27,16 @@
 //   --kill-worker-after-round R  fault-injection: SIGKILL one worker at the
 //                     start of training round R (CI dist smoke); its
 //                     in-flight trials are re-dispatched to the survivors
+//   --worker-crash-trials N  fault-injection: worker 0 drops its connection
+//                     permanently after measuring N trials, mid-batch —
+//                     unlike the round-begin SIGKILL this guarantees the
+//                     coordinator requeues held trials (CI obs smoke)
+//   --admin-port P    with --workers: expose the coordinator's admin HTTP
+//                     endpoints (/metrics, /vars, /healthz, /readyz,
+//                     /debug/flightrec) on 127.0.0.1:P (0 = ephemeral;
+//                     the bound port is printed; docs/observability.md)
+//   --worker-admin-base B  with --workers: worker i exposes the same admin
+//                     endpoints on 127.0.0.1:(B+i); 0 (default) disables
 #pragma once
 
 #include <atomic>
@@ -50,10 +60,15 @@ namespace mars::bench {
 
 /// A rollout coordinator plus the local worker fleet it controls, shared by
 /// every training run in a harness. Created by parse_profile for
-/// --workers N; destroying it kills and reaps the spawned processes.
+/// --workers N. Destruction is SIGTERM-first with a short grace period so
+/// workers run their atexit hooks (MARS_TRACE Chrome traces get flushed);
+/// stragglers are SIGKILLed. admin_port >= 0 turns on the coordinator's
+/// admin HTTP plane; worker_admin_base > 0 gives worker i port base+i;
+/// worker_crash_trials > 0 arms worker 0's --crash-after-trials hook.
 struct DistRuntime {
   DistRuntime(int workers, const std::string& worker_bin,
-              int kill_after_round);
+              int kill_after_round, int admin_port = -1,
+              int worker_admin_base = 0, int worker_crash_trials = 0);
   ~DistRuntime();
   DistRuntime(const DistRuntime&) = delete;
   DistRuntime& operator=(const DistRuntime&) = delete;

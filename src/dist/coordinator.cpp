@@ -23,6 +23,8 @@
 #include "graph/graph_io.h"
 #include "net/conn.h"
 #include "net/event_loop.h"
+#include "obs/flightrec.h"
+#include "obs/http_exposition.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/check.h"
@@ -54,6 +56,20 @@ struct CoordMetrics {
       "Max-over-workers accepted env-seconds, summed over batches");
   obs::Gauge& workers = registry.gauge("mars_dist_coord_workers",
                                        "Workers currently registered");
+  obs::Histogram& batch_latency = registry.histogram(
+      "mars_dist_coord_batch_latency_ms",
+      "Wall ms from batch install to last result accepted",
+      obs::Histogram::latency_ms_buckets());
+  /// The redispatched total above, split by cause for alerting: a death
+  /// spike means unstable workers, a straggler spike a too-tight deadline.
+  obs::Counter& redispatch_death = registry.counter(
+      obs::labeled_name("mars_dist_coord_redispatch_total",
+                        {{"reason", "worker_death"}}),
+      "Trial re-issues by cause");
+  obs::Counter& redispatch_straggler = registry.counter(
+      obs::labeled_name("mars_dist_coord_redispatch_total",
+                        {{"reason", "straggler"}}),
+      "Trial re-issues by cause");
 };
 
 CoordMetrics& metrics() {
@@ -93,6 +109,11 @@ struct Session::State {
     std::vector<Trial> trials;   // parallel to specs
     std::deque<size_t> queue;    // indices awaiting dispatch
     size_t remaining = 0;
+    int64_t start_ms = 0;  ///< install time, for the batch-latency histogram
+    /// Distributed trace context: the batch's trace and its root
+    /// "dist.batch" span, parents of every dispatch span (0 = tracing off).
+    uint64_t trace_id = 0;
+    uint64_t root_span_id = 0;
     /// Accepted env-seconds per worker — max over workers is the batch's
     /// parallel wall term.
     std::unordered_map<uint64_t, double> worker_env;
@@ -112,6 +133,10 @@ struct Coordinator::Impl {
 
   CoordinatorConfig config;
   net::EventLoop loop;
+  /// Admin HTTP plane multiplexed on the same loop (null when disabled).
+  /// Declared after `loop`; destroyed before it, after ~Coordinator has
+  /// stopped and joined the loop thread.
+  std::unique_ptr<obs::HttpServer> admin;
   std::thread loop_thread;
   int listen_fd = -1;
 
@@ -146,7 +171,7 @@ struct Coordinator::Impl {
   void accept_ready();
   void on_frame(net::Conn& conn, std::string frame);
   void on_close(net::Conn& conn);
-  void register_worker(uint64_t id, HelloMsg hello);
+  void register_worker(uint64_t id, HelloMsg hello, double hello_recv_us);
   void handle_results(uint64_t worker_id, const ResultsMsg& msg);
   void finish_batch(Session::State& st, Session::State::Batch& batch);
   void dispatch();
@@ -201,6 +226,9 @@ void Coordinator::Impl::protocol_error(net::Conn& conn,
 void Coordinator::Impl::on_frame(net::Conn& conn, std::string frame) {
   switch (frame_type(frame)) {
     case FrameType::kHello: {
+      // NTP t1 for the worker's clock-offset estimate: read before any
+      // decode/register work so queueing delay doesn't inflate it.
+      const double hello_recv_us = obs::SpanRecorder::global().now_us();
       HelloMsg hello;
       if (!decode_hello(frame, &hello))
         return protocol_error(conn, "malformed hello");
@@ -209,7 +237,7 @@ void Coordinator::Impl::on_frame(net::Conn& conn, std::string frame) {
             conn, "protocol version mismatch (worker speaks v" +
                       std::to_string(hello.protocol) + ", coordinator v" +
                       std::to_string(kProtocolVersion) + ")");
-      register_worker(conn.id(), std::move(hello));
+      register_worker(conn.id(), std::move(hello), hello_recv_us);
       return;
     }
     case FrameType::kParamsAck: {
@@ -243,7 +271,8 @@ void Coordinator::Impl::on_frame(net::Conn& conn, std::string frame) {
   }
 }
 
-void Coordinator::Impl::register_worker(uint64_t id, HelloMsg hello) {
+void Coordinator::Impl::register_worker(uint64_t id, HelloMsg hello,
+                                        double hello_recv_us) {
   auto it = workers.find(id);
   if (it == workers.end()) return;
   WorkerState& w = it->second;
@@ -252,13 +281,19 @@ void Coordinator::Impl::register_worker(uint64_t id, HelloMsg hello) {
   w.name = std::move(hello.name);
   w.pid = hello.pid;
   w.threads = hello.threads;
-  w.conn->send(encode_welcome({kProtocolVersion, id}));
+  // t1/t2 close the NTP exchange the worker opened with hello_send_us.
+  w.conn->send(encode_welcome({kProtocolVersion, id, hello_recv_us,
+                               obs::SpanRecorder::global().now_us()}));
   // Late joiners catch up: current params first, then every open session.
   // Same-connection FIFO guarantees both precede any trial dispatch.
   if (!params_frame.empty()) w.conn->send(params_frame);
   for (auto& [sid, st] : sessions) w.conn->send(st->open_frame);
   MARS_INFO << "dist worker " << id << " ('" << w.name << "', pid " << w.pid
             << ", " << w.threads << " threads) registered";
+  obs::FlightRecorder::global().record(
+      "worker_up", "worker %llu '%s' pid %llu (%u threads)",
+      static_cast<unsigned long long>(id), w.name.c_str(),
+      static_cast<unsigned long long>(w.pid), w.threads);
   set_ready_count(+1);
   dispatch();
 }
@@ -272,13 +307,17 @@ void Coordinator::Impl::on_close(net::Conn& conn) {
     MARS_WARN << "dist worker " << id << " ('" << w.name
               << "') disconnected with " << w.assigned.size()
               << " trials outstanding";
+    obs::FlightRecorder::global().record(
+        "worker_down", "worker %llu '%s' disconnected, %llu trials held",
+        static_cast<unsigned long long>(id), w.name.c_str(),
+        static_cast<unsigned long long>(w.assigned.size()));
     set_ready_count(-1);
     w.ready = false;
   }
   // Re-queue everything the dead worker still held. A straggler re-issue
   // may have the same trial live on another worker; re-queue only when no
   // other holder remains.
-  bool requeued = false;
+  size_t requeued = 0;
   for (uint64_t uid : w.assigned) {
     auto lit = live.find(uid);
     if (lit == live.end()) continue;
@@ -291,19 +330,26 @@ void Coordinator::Impl::on_close(net::Conn& conn) {
     st->batch->queue.push_front(index);
     trial.deadline_ms = kNoDeadline;
     metrics().redispatched.inc();
+    metrics().redispatch_death.inc();
     {
       std::lock_guard<std::mutex> lock(st->stats_mu);
       ++st->stats.redispatched;
+      ++st->stats.redispatched_death;
     }
-    requeued = true;
+    ++requeued;
   }
+  if (requeued > 0)
+    obs::FlightRecorder::global().record(
+        "requeue", "%llu trials from dead worker %llu back on the queue",
+        static_cast<unsigned long long>(requeued),
+        static_cast<unsigned long long>(id));
   w.assigned.clear();
   w.outstanding = 0;
   // This runs inside a Conn callback, possibly while dispatch() iterates
   // `workers` — the entry (and the Conn) is erased from a fresh loop turn
   // so no live iterator or stack frame is invalidated.
   loop.post([this, id] { workers.erase(id); });
-  if (requeued) dispatch();
+  if (requeued > 0) dispatch();
 }
 
 void Coordinator::Impl::handle_results(uint64_t worker_id,
@@ -345,12 +391,17 @@ void Coordinator::Impl::finish_batch(Session::State& st,
     serial += env_s;
   }
   metrics().env_wall.add(wall);
+  const double latency_ms =
+      static_cast<double>(net::EventLoop::now_ms() - batch.start_ms);
+  metrics().batch_latency.observe(latency_ms);
   {
     std::lock_guard<std::mutex> lock(st.stats_mu);
     st.stats.env_wall_seconds += wall;
     st.stats.env_serial_seconds += serial;
     st.stats.round_env_wall.emplace_back(batch.env_round, wall);
     st.stats.trials += static_cast<int64_t>(batch.specs.size());
+    ++st.stats.batches;
+    st.stats.batch_latency_ms_sum += latency_ms;
   }
   st.batch = nullptr;
   {
@@ -411,7 +462,17 @@ void Coordinator::Impl::dispatch() {
       }
       if (!source) break;  // no session has queued work
       metrics().dispatched.inc(out.items.size());
-      w.conn->send(encode_run_trials(out));
+      {
+        // Each send gets its own dispatch span under the batch root; the
+        // worker's batch span parents on it, so the merged trace shows
+        // coordinator dispatch → worker simulate as one edge.
+        obs::SpanRecorder::Span dspan(
+            obs::SpanRecorder::global(), "dist.dispatch", "dist",
+            source->batch->trace_id, source->batch->root_span_id);
+        out.trace_id = source->batch->trace_id;
+        out.parent_span_id = dspan.span_id();
+        w.conn->send(encode_run_trials(out));
+      }
       if (w.conn->closed()) break;  // backpressure overflow killed it
     }
   }
@@ -473,12 +534,23 @@ void Coordinator::Impl::redispatch_straggler(Session::State& st,
        *st.batch->specs[index].placement});
   metrics().dispatched.inc();
   metrics().redispatched.inc();
+  metrics().redispatch_straggler.inc();
   {
     std::lock_guard<std::mutex> lock(st.stats_mu);
     ++st.stats.redispatched;
+    ++st.stats.redispatched_straggler;
   }
   MARS_WARN << "dist: trial " << trial.uid << " overdue, re-issued to worker "
             << best_id;
+  obs::FlightRecorder::global().record(
+      "straggler", "trial %llu overdue, second copy to worker %llu",
+      static_cast<unsigned long long>(trial.uid),
+      static_cast<unsigned long long>(best_id));
+  obs::SpanRecorder::Span dspan(obs::SpanRecorder::global(), "dist.dispatch",
+                                "dist", st.batch->trace_id,
+                                st.batch->root_span_id);
+  out.trace_id = st.batch->trace_id;
+  out.parent_span_id = dspan.span_id();
   best->conn->send(encode_run_trials(out));
 }
 
@@ -510,6 +582,23 @@ Coordinator::Coordinator(CoordinatorConfig config)
   ::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&bound),
                 &bound_len);
   port_ = ntohs(bound.sin_port);
+
+  if (impl_->config.admin_port >= 0) {
+    obs::register_build_info();
+    obs::HttpServer::Options http;
+    http.host = impl_->config.host;
+    http.port = impl_->config.admin_port;
+    impl_->admin = std::make_unique<obs::HttpServer>(impl_->loop, http);
+    obs::AdminEndpoints endpoints;
+    endpoints.ready = [this](std::string* reason) {
+      if (worker_count() > 0) return true;
+      if (reason) *reason = "no workers registered";
+      return false;
+    };
+    obs::mount_admin_routes(*impl_->admin, std::move(endpoints));
+    admin_port_ = impl_->admin->port();
+    impl_->admin->start();  // posted; runs once the loop thread starts
+  }
 
   impl_->loop_thread = std::thread([this] {
     impl_->loop.add_fd(impl_->listen_fd, net::kEventRead,
@@ -547,6 +636,11 @@ void Coordinator::broadcast_params(uint64_t version, std::string container) {
     for (auto& [id, w] : impl_->workers)
       if (w.ready) w.conn->send(impl_->params_frame);
     metrics().broadcasts.inc();
+    obs::FlightRecorder::global().record(
+        "param_bcast", "params v%llu (%llu bytes) to %llu workers",
+        static_cast<unsigned long long>(version),
+        static_cast<unsigned long long>(impl_->params_frame.size()),
+        static_cast<unsigned long long>(impl_->workers.size()));
   });
 }
 
@@ -599,14 +693,21 @@ void Session::run_trials(const TrialRunner& /*runner*/, uint64_t env_round,
                          std::span<TrialResult> results) {
   MARS_CHECK(specs.size() == results.size());
   if (specs.empty()) return;
-  obs::SpanRecorder::Span span(obs::SpanRecorder::global(), "dist.batch",
-                               "dist");
+  // Root of the batch's distributed trace: dispatch spans parent on it,
+  // worker batch spans parent on those (0/0 when tracing is off).
+  obs::SpanRecorder& rec = obs::SpanRecorder::global();
+  const uint64_t trace_id =
+      rec.enabled() ? obs::SpanRecorder::next_span_id() : 0;
+  obs::SpanRecorder::Span span(rec, "dist.batch", "dist", trace_id, 0);
   State::Batch batch;
   batch.env_round = env_round;
   batch.specs = specs;
   batch.results = results;
   batch.remaining = specs.size();
   batch.trials.resize(specs.size());
+  batch.start_ms = net::EventLoop::now_ms();
+  batch.trace_id = trace_id;
+  batch.root_span_id = span.span_id();
 
   Coordinator::Impl* impl = coord_->impl_.get();
   impl->loop.post([impl, state = state_, b = &batch] {

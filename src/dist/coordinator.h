@@ -51,6 +51,11 @@ struct CoordinatorConfig {
   int trial_timeout_ms = 0;
   /// Dispatch window: target outstanding trials per worker.
   int worker_window = 8;
+  /// HTTP admin plane (obs/http_exposition.h) on the coordinator's loop:
+  /// /metrics, /vars, /healthz, /readyz (ready = ≥1 worker registered),
+  /// /debug/flightrec. -1 disables; 0 picks an ephemeral port (read back
+  /// via admin_port()).
+  int admin_port = -1;
 };
 
 /// Per-session accounting, updated as batches complete. env_wall_seconds
@@ -68,6 +73,15 @@ struct SessionStats {
   std::vector<std::pair<uint64_t, double>> round_env_wall;
   int64_t trials = 0;        ///< trials completed through this session
   int64_t redispatched = 0;  ///< re-issues (death re-queue + stragglers)
+  /// Re-issue split by reason (redispatched = death + straggler); the
+  /// same split is exported fleet-wide as
+  /// mars_dist_coord_redispatch_total{reason="..."}.
+  int64_t redispatched_death = 0;
+  int64_t redispatched_straggler = 0;
+  /// Dispatch→last-result wall latency per completed batch, also observed
+  /// into the mars_dist_coord_batch_latency_ms histogram.
+  int64_t batches = 0;
+  double batch_latency_ms_sum = 0;
 };
 
 class Coordinator;
@@ -111,6 +125,9 @@ class Coordinator {
   /// Bound TCP port (the configured one, or the kernel-assigned ephemeral).
   int port() const { return port_; }
 
+  /// Bound admin HTTP port, or -1 when the admin plane is disabled.
+  int admin_port() const { return admin_port_; }
+
   /// Blocks until at least `n` workers completed the hello exchange, or
   /// the timeout passes. False on timeout.
   bool wait_for_workers(int n, double timeout_s);
@@ -135,6 +152,7 @@ class Coordinator {
   struct Impl;
 
   int port_ = 0;
+  int admin_port_ = -1;
   std::unique_ptr<Impl> impl_;
 };
 

@@ -5,15 +5,23 @@
 // Connects to a rollout coordinator, receives workload sessions and
 // parameter broadcasts, and measures sharded simulator trials until
 // SIGINT/SIGTERM (or until the coordinator goes away and the reconnect
-// budget, if one was set, is exhausted). See docs/distributed.md.
+// budget, if one was set, is exhausted). --admin-port N serves the
+// standard observability endpoints (/metrics, /vars, /healthz, /readyz,
+// /debug/flightrec) from a side thread; /readyz is 200 only while the
+// hello exchange is complete. See docs/distributed.md and
+// docs/observability.md.
 //
 // Fault-injection flags (--crash-after-trials, --stall-after-batches) are
 // for the test suite and CI smokes only.
 #include <signal.h>
 
 #include <atomic>
+#include <memory>
 
 #include "dist/worker.h"
+#include "obs/flightrec.h"
+#include "obs/http_exposition.h"
+#include "obs/metrics.h"
 #include "util/cli.h"
 #include "util/logging.h"
 
@@ -41,11 +49,15 @@ int main(int argc, char** argv) {
       "crash-after-trials", static_cast<int>(config.crash_after_trials));
   config.stall_after_batches = args.get_int(
       "stall-after-batches", static_cast<int>(config.stall_after_batches));
+  const int admin_port = args.get_int("admin-port", -1);
   args.warn_unused();
   if (config.port <= 0) {
     MARS_ERROR << "mars_rollout_worker: --port is required";
     return 2;
   }
+
+  mars::obs::install_crash_handler();
+  mars::obs::register_build_info();
 
   mars::dist::Worker worker(config);
   g_worker.store(&worker);
@@ -53,6 +65,25 @@ int main(int argc, char** argv) {
   action.sa_handler = handle_stop_signal;
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
+
+  // The worker's main thread blocks in run(), so the admin plane gets its
+  // own loop + thread (obs::AdminServer).
+  std::unique_ptr<mars::obs::AdminServer> admin;
+  if (admin_port >= 0) {
+    mars::obs::HttpServer::Options http;
+    http.port = admin_port;
+    admin = std::make_unique<mars::obs::AdminServer>(http);
+    mars::obs::AdminEndpoints endpoints;
+    endpoints.ready = [&worker](std::string* reason) {
+      if (worker.connected()) return true;
+      if (reason) *reason = "not connected to coordinator";
+      return false;
+    };
+    mars::obs::mount_admin_routes(admin->http(), std::move(endpoints));
+    admin->start();
+    MARS_INFO << "mars_rollout_worker admin endpoints on 127.0.0.1:"
+              << admin->port();
+  }
 
   MARS_INFO << "mars_rollout_worker '" << config.name << "' -> "
             << config.host << ":" << config.port << " (" << config.threads

@@ -62,6 +62,7 @@ std::string encode_hello(const HelloMsg& m) {
   b.put_string(m.name);
   b.put_u64(m.pid);
   b.put_u32(m.threads);
+  b.put_f64(m.hello_send_us);
   return b.take();
 }
 
@@ -72,6 +73,7 @@ bool decode_hello(const std::string& frame, HelloMsg* out) {
   out->name = b.str();
   out->pid = b.u64();
   out->threads = b.u32();
+  out->hello_send_us = b.f64();
   return b.at_end();
 }
 
@@ -79,6 +81,8 @@ std::string encode_welcome(const WelcomeMsg& m) {
   BlobWriter b = begin(FrameType::kWelcome);
   b.put_u32(m.protocol);
   b.put_u64(m.worker_id);
+  b.put_f64(m.hello_recv_us);
+  b.put_f64(m.welcome_send_us);
   return b.take();
 }
 
@@ -87,6 +91,8 @@ bool decode_welcome(const std::string& frame, WelcomeMsg* out) {
   if (!expect(b, FrameType::kWelcome)) return false;
   out->protocol = b.u32();
   out->worker_id = b.u64();
+  out->hello_recv_us = b.f64();
+  out->welcome_send_us = b.f64();
   return b.at_end();
 }
 
@@ -157,6 +163,8 @@ bool decode_params_ack(const std::string& frame, ParamsAckMsg* out) {
 std::string encode_run_trials(const RunTrialsMsg& m) {
   BlobWriter b = begin(FrameType::kRunTrials);
   b.put_u64(m.session_id);
+  b.put_u64(m.trace_id);
+  b.put_u64(m.parent_span_id);
   b.put_u64(m.items.size());
   for (const TrialItem& item : m.items) {
     b.put_u64(item.trial_id);
@@ -170,6 +178,8 @@ bool decode_run_trials(const std::string& frame, RunTrialsMsg* out) {
   BlobReader b(frame);
   if (!expect(b, FrameType::kRunTrials)) return false;
   out->session_id = b.u64();
+  out->trace_id = b.u64();
+  out->parent_span_id = b.u64();
   const uint64_t count = b.u64();
   if (b.failed() || count > kMaxTrialsPerFrame) return false;
   out->items.resize(static_cast<size_t>(count));
@@ -184,6 +194,8 @@ bool decode_run_trials(const std::string& frame, RunTrialsMsg* out) {
 std::string encode_results(const ResultsMsg& m) {
   BlobWriter b = begin(FrameType::kResults);
   b.put_u64(m.session_id);
+  b.put_u64(m.trace_id);
+  b.put_u64(m.parent_span_id);
   b.put_u64(m.items.size());
   for (const ResultItem& item : m.items) {
     b.put_u64(item.trial_id);
@@ -196,6 +208,8 @@ bool decode_results(const std::string& frame, ResultsMsg* out) {
   BlobReader b(frame);
   if (!expect(b, FrameType::kResults)) return false;
   out->session_id = b.u64();
+  out->trace_id = b.u64();
+  out->parent_span_id = b.u64();
   const uint64_t count = b.u64();
   if (b.failed() || count > kMaxTrialsPerFrame) return false;
   out->items.resize(static_cast<size_t>(count));

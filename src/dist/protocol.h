@@ -35,7 +35,9 @@
 namespace mars::dist {
 
 /// Bumped on any incompatible change; kWelcome rejects mismatches.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2: NTP-style handshake timestamps in kHello/kWelcome and distributed
+/// trace context (trace id + parent span id) in kRunTrials/kResults.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Hard cap on trials in one kRunTrials/kResults frame.
 inline constexpr uint64_t kMaxTrialsPerFrame = 1u << 20;
@@ -60,11 +62,18 @@ struct HelloMsg {
   std::string name;      ///< human-readable worker name (logs/metrics)
   uint64_t pid = 0;      ///< worker process id (0 when in-thread)
   uint32_t threads = 0;  ///< worker-local trial threads (informational)
+  /// Worker trace clock (SpanRecorder::global().now_us()) at send — the
+  /// NTP t0. With kWelcome's t1/t2 and the receive time t3, the worker
+  /// estimates its clock offset onto the coordinator timeline:
+  /// offset = ((t1 - t0) + (t2 - t3)) / 2.
+  double hello_send_us = 0;
 };
 
 struct WelcomeMsg {
   uint32_t protocol = kProtocolVersion;
   uint64_t worker_id = 0;
+  double hello_recv_us = 0;    ///< coordinator trace clock at kHello (t1)
+  double welcome_send_us = 0;  ///< coordinator trace clock at send (t2)
 };
 
 struct OpenSessionMsg {
@@ -101,6 +110,11 @@ struct TrialItem {
 
 struct RunTrialsMsg {
   uint64_t session_id = 0;
+  /// Distributed trace context (0 when tracing is off): the trace this
+  /// dispatch belongs to and the coordinator dispatch span the worker's
+  /// batch span should parent on (obs/span.h, mars_trace_merge).
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
   std::vector<TrialItem> items;
 };
 
@@ -111,6 +125,10 @@ struct ResultItem {
 
 struct ResultsMsg {
   uint64_t session_id = 0;
+  /// Trace context echoed from the kRunTrials frame that produced these
+  /// results, with parent_span_id replaced by the worker's batch span.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
   std::vector<ResultItem> items;
 };
 

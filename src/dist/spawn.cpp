@@ -3,6 +3,7 @@
 #include <errno.h>
 #include <signal.h>
 #include <stdlib.h>
+#include <time.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -80,6 +81,24 @@ int wait_worker(pid_t pid) {
     if (errno != EINTR) return -1;
   }
   return status;
+}
+
+bool wait_worker_for(pid_t pid, double timeout_s, int* status) {
+  if (pid <= 0) return false;
+  const struct timespec nap = {0, 10 * 1000 * 1000};  // 10 ms
+  double waited = 0;
+  while (true) {
+    int st = 0;
+    const pid_t r = ::waitpid(pid, &st, WNOHANG);
+    if (r == pid) {
+      if (status) *status = st;
+      return true;
+    }
+    if (r < 0 && errno != EINTR) return false;
+    if (waited >= timeout_s) return false;
+    ::nanosleep(&nap, nullptr);
+    waited += 0.01;
+  }
 }
 
 }  // namespace mars::dist

@@ -33,4 +33,11 @@ bool kill_worker(pid_t pid, int sig = 9);
 /// Blocks until the child exits; returns its wait status (-1 on error).
 int wait_worker(pid_t pid);
 
+/// Waits up to timeout_s for the child to exit. True when it was reaped
+/// (status in *status when non-null); false on timeout or error — the
+/// child is still running and must be killed/reaped by the caller. Used
+/// for graceful SIGTERM-first teardown: a worker given a moment to exit
+/// runs its atexit hooks, so MARS_TRACE Chrome traces get written.
+bool wait_worker_for(pid_t pid, double timeout_s, int* status = nullptr);
+
 }  // namespace mars::dist

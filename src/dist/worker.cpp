@@ -16,6 +16,7 @@
 #include "dist/protocol.h"
 #include "graph/graph_io.h"
 #include "nn/serialize.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "sim/machine.h"
@@ -40,6 +41,9 @@ struct WorkerMetrics {
   obs::Gauge& param_version = registry.gauge(
       "mars_dist_worker_param_version",
       "Latest parameter version validated and acked");
+  obs::Gauge& clock_offset_us = registry.gauge(
+      "mars_dist_worker_clock_offset_us",
+      "Estimated trace-clock offset onto the coordinator timeline");
 };
 
 WorkerMetrics& metrics() {
@@ -127,12 +131,24 @@ void Worker::run() {
       hello.name = config_.name;
       hello.pid = static_cast<uint64_t>(::getpid());
       hello.threads = pool_ ? static_cast<uint32_t>(pool_->size()) : 1;
+      obs::SpanRecorder& rec = obs::SpanRecorder::global();
+      hello.hello_send_us = rec.now_us();  // NTP t0
       std::string frame;
       WelcomeMsg welcome;
       if (serve::write_frame(fd, encode_hello(hello)) &&
           serve::read_frame(fd, &frame, config_.max_frame_bytes) &&
           decode_welcome(frame, &welcome) &&
           welcome.protocol == kProtocolVersion) {
+        // Close the NTP exchange: the offset maps this process's trace
+        // clock onto the coordinator's, so mars_trace_merge can align the
+        // per-process Chrome traces (symmetric-delay estimate; loopback
+        // round-trips keep the error well under a millisecond).
+        const double t3 = rec.now_us();
+        const double offset = ((welcome.hello_recv_us - hello.hello_send_us) +
+                               (welcome.welcome_send_us - t3)) /
+                              2.0;
+        rec.set_clock_offset_us(offset);
+        metrics().clock_offset_us.set(offset);
         welcomed = true;
         failed_attempts = 0;
         backoff_.reset();
@@ -140,8 +156,15 @@ void Worker::run() {
           reconnects_.fetch_add(1, std::memory_order_relaxed);
           metrics().reconnects.inc();
         }
+        obs::FlightRecorder::global().record(
+            connected_once_ ? "reconnect" : "connect",
+            "worker id %llu at %s:%d, clock offset %.0f us",
+            static_cast<unsigned long long>(welcome.worker_id),
+            config_.host.c_str(), config_.port, offset);
         connected_once_ = true;
+        connected_.store(true, std::memory_order_relaxed);
         const bool keep_going = serve_connection(fd);
+        connected_.store(false, std::memory_order_relaxed);
         fd_.store(-1, std::memory_order_release);
         ::close(fd);
         sessions_.clear();  // coordinator replays opens on re-hello
@@ -242,14 +265,22 @@ bool Worker::serve_connection(int fd) {
                     << "': crash hook fired, dropping connection";
           return false;
         }
+        // The batch span joins the coordinator's trace as a child of its
+        // dispatch span; per-trial spans nest under the batch span.
         obs::SpanRecorder::Span span(obs::SpanRecorder::global(),
-                                     "dist.worker.batch", "dist");
+                                     "dist.worker.batch", "dist",
+                                     msg.trace_id, msg.parent_span_id);
         const TrialRunner& runner = it->second->runner;
         ResultsMsg reply;
         reply.session_id = msg.session_id;
+        reply.trace_id = msg.trace_id;
+        reply.parent_span_id = span.span_id();
         reply.items.resize(msg.items.size());
         auto measure_one = [&](size_t k) {
           const TrialItem& item = msg.items[k];
+          obs::SpanRecorder::Span tspan(obs::SpanRecorder::global(),
+                                        "dist.trial", "dist",
+                                        span.trace_id(), span.span_id());
           Rng rng(item.seed);
           reply.items[k].trial_id = item.trial_id;
           reply.items[k].result = runner.measure(item.placement, rng);

@@ -84,6 +84,11 @@ class Worker {
   int64_t trials_measured() const {
     return trials_measured_.load(std::memory_order_relaxed);
   }
+  /// True between a completed hello exchange and the next disconnect —
+  /// the worker's /readyz condition.
+  bool connected() const {
+    return connected_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct SessionRuntime;
@@ -105,6 +110,7 @@ class Worker {
   std::atomic<uint64_t> param_version_{0};
   std::atomic<int64_t> reconnects_{0};
   std::atomic<int64_t> trials_measured_{0};
+  std::atomic<bool> connected_{false};
   bool connected_once_ = false;
 };
 

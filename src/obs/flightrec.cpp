@@ -1,0 +1,234 @@
+#include "obs/flightrec.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+// The ring is seqlock-style: slot payloads are plain fields written and
+// read concurrently on purpose, with torn accesses detected (and dropped)
+// via the per-slot ticket. TSan would flag every such access, so the
+// three functions touching slot payloads opt out of instrumentation.
+#if defined(__SANITIZE_THREAD__)
+#define MARS_NO_TSAN __attribute__((no_sanitize("thread")))
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MARS_NO_TSAN __attribute__((no_sanitize("thread")))
+#endif
+#endif
+#ifndef MARS_NO_TSAN
+#define MARS_NO_TSAN
+#endif
+
+namespace mars::obs {
+
+namespace {
+
+int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// write(2) the whole buffer, tolerating short writes; best-effort (a
+/// failing stderr during a crash dump has no recourse).
+void write_all(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w <= 0) return;
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+/// Async-signal-safe unsigned decimal formatting; returns digits written.
+size_t format_u64(uint64_t v, char* out) {
+  char tmp[24];
+  size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+size_t format_i64(int64_t v, char* out) {
+  if (v < 0) {
+    out[0] = '-';
+    return 1 + format_u64(static_cast<uint64_t>(-(v + 1)) + 1, out + 1);
+  }
+  return format_u64(static_cast<uint64_t>(v), out);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : mono_epoch_ms_(steady_ms()) {}
+
+MARS_NO_TSAN
+void FlightRecorder::record(const char* kind, const char* fmt, ...) {
+  // Format into locals first: snprintf/vsnprintf are sanitizer-intercepted
+  // even inside a no-instrumentation function, so shared slot bytes must
+  // only be touched by the plain copy loops below.
+  char kind_buf[kKindBytes];
+  char detail_buf[kDetailBytes];
+  std::snprintf(kind_buf, sizeof(kind_buf), "%s", kind);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(detail_buf, sizeof(detail_buf), fmt, ap);
+  va_end(ap);
+
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[(seq - 1) & (kCapacity - 1)];
+  // Mark mid-write: readers seeing ticket 0, or a ticket that changed
+  // between their two loads, drop the slot.
+  slot.ticket.store(0, std::memory_order_release);
+  slot.mono_ms = steady_ms() - mono_epoch_ms_;
+  slot.wall_ms = wall_ms();
+  for (size_t i = 0; i < sizeof(slot.kind); ++i) slot.kind[i] = kind_buf[i];
+  for (size_t i = 0; i < sizeof(slot.detail); ++i)
+    slot.detail[i] = detail_buf[i];
+  slot.ticket.store(seq, std::memory_order_release);
+}
+
+MARS_NO_TSAN
+std::vector<FlightRecorder::Event> FlightRecorder::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(kCapacity);
+  for (size_t i = 0; i < kCapacity; ++i) {
+    const Slot& slot = slots_[i];
+    const uint64_t before = slot.ticket.load(std::memory_order_acquire);
+    if (before == 0) continue;
+    // Copy shared bytes with plain loops (strnlen/memcpy are
+    // sanitizer-intercepted even here) and only build the strings after
+    // the ticket re-check says the copy wasn't torn.
+    const int64_t mono = slot.mono_ms;
+    const int64_t wall = slot.wall_ms;
+    char kind_buf[kKindBytes];
+    char detail_buf[kDetailBytes];
+    for (size_t b = 0; b < sizeof(slot.kind); ++b) kind_buf[b] = slot.kind[b];
+    for (size_t b = 0; b < sizeof(slot.detail); ++b)
+      detail_buf[b] = slot.detail[b];
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.ticket.load(std::memory_order_acquire) != before)
+      continue;  // overwritten mid-copy
+    Event ev;
+    ev.seq = before;
+    ev.mono_ms = mono;
+    ev.wall_ms = wall;
+    ev.kind.assign(kind_buf, ::strnlen(kind_buf, sizeof(kind_buf)));
+    ev.detail.assign(detail_buf, ::strnlen(detail_buf, sizeof(detail_buf)));
+    out.push_back(std::move(ev));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::string FlightRecorder::dump_text() const {
+  const std::vector<Event> events = snapshot();
+  const uint64_t total = total_recorded();
+  std::string out = "flightrec: " + std::to_string(events.size()) +
+                    " of " + std::to_string(total) + " events\n";
+  for (const Event& ev : events) {
+    char line[224];
+    std::snprintf(line, sizeof(line),
+                  "#%llu +%lld.%03llds wall=%lld %s %s\n",
+                  static_cast<unsigned long long>(ev.seq),
+                  static_cast<long long>(ev.mono_ms / 1000),
+                  static_cast<long long>(ev.mono_ms % 1000),
+                  static_cast<long long>(ev.wall_ms), ev.kind.c_str(),
+                  ev.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+MARS_NO_TSAN
+void FlightRecorder::dump(int fd) const {
+  // Everything here must stay async-signal-safe: fixed buffers, write(2),
+  // no allocation, no locks, no stdio.
+  char line[256];
+  size_t n = 0;
+  const auto put = [&](const char* s) {
+    while (*s != '\0' && n < sizeof(line)) line[n++] = *s++;
+  };
+  put("=== flight recorder (");
+  n += format_u64(total_recorded(), line + n);
+  put(" events total) ===\n");
+  write_all(fd, line, n);
+
+  // Oldest first: walk sequence numbers still expected to be resident.
+  const uint64_t total = total_recorded();
+  const uint64_t first = total > kCapacity ? total - kCapacity + 1 : 1;
+  for (uint64_t seq = first; seq <= total; ++seq) {
+    const Slot& slot = slots_[(seq - 1) & (kCapacity - 1)];
+    if (slot.ticket.load(std::memory_order_acquire) != seq) continue;
+    n = 0;
+    put("#");
+    n += format_u64(seq, line + n);
+    put(" +");
+    n += format_i64(slot.mono_ms, line + n);
+    put("ms ");
+    // kind/detail may lack NUL only if truncated exactly to the buffer;
+    // bound the copy.
+    for (size_t i = 0; i < sizeof(slot.kind) && slot.kind[i] != '\0'; ++i)
+      if (n < sizeof(line)) line[n++] = slot.kind[i];
+    put(" ");
+    for (size_t i = 0; i < sizeof(slot.detail) && slot.detail[i] != '\0'; ++i)
+      if (n < sizeof(line)) line[n++] = slot.detail[i];
+    if (n < sizeof(line)) line[n++] = '\n';
+    write_all(fd, line, n);
+  }
+  write_all(fd, "=== end flight recorder ===\n", 28);
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never dtor'd
+  return *recorder;
+}
+
+namespace {
+
+void crash_dump_handler(int sig) {
+  char head[64];
+  size_t n = 0;
+  const auto put = [&](const char* s) {
+    while (*s != '\0' && n < sizeof(head)) head[n++] = *s++;
+  };
+  put("=== fatal signal ");
+  n += format_i64(sig, head + n);
+  put(" ===\n");
+  write_all(2, head, n);
+  FlightRecorder::global().dump(2);
+  // Restore the default disposition and re-raise so the process still
+  // dies with the original signal (core dump, wait status intact).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_crash_handler() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = crash_dump_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_NODEFER;  // re-raise inside the handler must deliver
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL})
+    ::sigaction(sig, &sa, nullptr);
+}
+
+}  // namespace mars::obs

@@ -1,0 +1,90 @@
+// Flight recorder: a fixed-size lock-free ring of recent structured
+// events — state transitions, sheds, requeues, reconnects, watchdog trips
+// — kept cheap enough to leave on everywhere.
+//
+// Two consumers, with very different constraints:
+//   1. The fatal-signal handler installed by install_crash_handler()
+//      dumps the ring to stderr from inside SIGSEGV/SIGABRT/etc. — the
+//      dump path is async-signal-safe (write(2) only, hand-rolled number
+//      formatting, no allocation, no locks).
+//   2. The /debug/flightrec admin endpoint (obs/http_exposition.h) and
+//      tests read a consistent snapshot while writers keep appending.
+//
+// Writers claim a monotonically increasing sequence number with one
+// fetch_add, format into the claimed fixed-size slot, then publish the
+// slot seqlock-style. Readers detect slots that are mid-write or
+// overwritten during the copy and drop them — a reader never blocks a
+// writer and vice versa.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mars::obs {
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kCapacity = 256;  // power of two (mask indexing)
+  static constexpr size_t kKindBytes = 16;
+  static constexpr size_t kDetailBytes = 104;
+
+  FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Append one event. `kind` is a short stable tag ("shed", "requeue",
+  /// "reconnect", ...); the printf-formatted detail is truncated to the
+  /// slot size. Not async-signal-safe (vsnprintf); call from normal code.
+  void record(const char* kind, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  /// Events recorded over the recorder's lifetime (including overwritten).
+  uint64_t total_recorded() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+  struct Event {
+    uint64_t seq = 0;       // 1-based record order
+    int64_t mono_ms = 0;    // steady-clock ms since recorder construction
+    int64_t wall_ms = 0;    // unix epoch ms
+    std::string kind;
+    std::string detail;
+  };
+
+  /// Consistent best-effort snapshot in record order (oldest first).
+  std::vector<Event> snapshot() const;
+
+  /// Human-readable rendering of snapshot(), one event per line — the
+  /// /debug/flightrec response body.
+  std::string dump_text() const;
+
+  /// Async-signal-safe dump to a file descriptor (the crash path).
+  void dump(int fd) const;
+
+  /// Process-wide recorder shared by every subsystem.
+  static FlightRecorder& global();
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> ticket{0};  // 0 = empty, seq once published
+    int64_t mono_ms = 0;
+    int64_t wall_ms = 0;
+    char kind[kKindBytes] = {};
+    char detail[kDetailBytes] = {};
+  };
+
+  Slot slots_[kCapacity];
+  std::atomic<uint64_t> next_seq_{0};
+  int64_t mono_epoch_ms_ = 0;  // steady-clock reading at construction
+};
+
+/// Install a fatal-signal handler (SIGSEGV, SIGABRT, SIGBUS, SIGFPE,
+/// SIGILL) that dumps FlightRecorder::global() to stderr, restores the
+/// default disposition and re-raises, so core dumps / exit codes are
+/// unchanged. Idempotent.
+void install_crash_handler();
+
+}  // namespace mars::obs

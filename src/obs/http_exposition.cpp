@@ -1,0 +1,438 @@
+#include "obs/http_exposition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/flightrec.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace mars::obs {
+
+namespace {
+
+bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] - 'A' + 'a' : a[i];
+    const char cb = b[i] >= 'A' && b[i] <= 'Z' ? b[i] - 'A' + 'a' : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+std::string trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name) const {
+  for (const auto& [key, value] : headers)
+    if (iequals(key, name)) return &value;
+  return nullptr;
+}
+
+void HttpParser::feed(const char* data, size_t n) {
+  if (error_status_ != 0) return;  // sticky: connection is done anyway
+  buf_.append(data, n);
+}
+
+HttpParser::Result HttpParser::fail(int status, const char* reason) {
+  error_status_ = status;
+  error_reason_ = reason;
+  return Result::kError;
+}
+
+HttpParser::Result HttpParser::next(HttpRequest* out) {
+  if (error_status_ != 0) return Result::kError;
+
+  // Request line: bytes up to the first LF (tolerating a bare-LF client;
+  // curl and real scrapers send CRLF).
+  const size_t line_end = buf_.find('\n', pos_);
+  if (line_end == std::string::npos) {
+    if (buf_.size() - pos_ > limits_.max_request_line)
+      return fail(431, "request line too long");
+    // Compact consumed bytes so pipelined keep-alive connections don't
+    // grow the buffer without bound.
+    if (pos_ > 0) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+    return Result::kNeedMore;
+  }
+  if (line_end - pos_ > limits_.max_request_line)
+    return fail(431, "request line too long");
+
+  std::string request_line = buf_.substr(pos_, line_end - pos_);
+  if (!request_line.empty() && request_line.back() == '\r')
+    request_line.pop_back();
+
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      request_line.find(' ', sp2 + 1) != std::string::npos)
+    return fail(400, "malformed request line");
+
+  HttpRequest request;
+  request.method = request_line.substr(0, sp1);
+  request.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request.version = request_line.substr(sp2 + 1);
+  if (request.method.empty() || request.target.empty() ||
+      request.target[0] != '/')
+    return fail(400, "malformed request line");
+  if (request.version.rfind("HTTP/1.", 0) != 0)
+    return fail(505, "unsupported HTTP version");
+  const bool http10 = request.version == "HTTP/1.0";
+
+  const size_t query = request.target.find('?');
+  if (query != std::string::npos) {
+    request.query = request.target.substr(query + 1);
+    request.target.resize(query);
+  }
+
+  // Header lines up to the empty line.
+  size_t cursor = line_end + 1;
+  size_t header_bytes = 0;
+  bool saw_connection_close = false;
+  bool saw_connection_keep_alive = false;
+  bool has_body = false;
+  while (true) {
+    const size_t eol = buf_.find('\n', cursor);
+    if (eol == std::string::npos) {
+      if (buf_.size() - cursor > limits_.max_header_bytes)
+        return fail(431, "headers too large");
+      if (pos_ > 0) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return Result::kNeedMore;
+    }
+    std::string line = buf_.substr(cursor, eol - cursor);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    cursor = eol + 1;
+    if (line.empty()) break;  // end of head
+    header_bytes += line.size();
+    if (header_bytes > limits_.max_header_bytes)
+      return fail(431, "headers too large");
+    if (request.headers.size() >= limits_.max_headers)
+      return fail(431, "too many headers");
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0)
+      return fail(400, "malformed header");
+    std::string key = line.substr(0, colon);
+    std::string value = trim(line.substr(colon + 1));
+    if (iequals(key, "connection")) {
+      if (iequals(value, "close")) saw_connection_close = true;
+      if (iequals(value, "keep-alive")) saw_connection_keep_alive = true;
+    }
+    if (iequals(key, "transfer-encoding")) has_body = true;
+    if (iequals(key, "content-length") && value != "0") has_body = true;
+    request.headers.emplace_back(std::move(key), std::move(value));
+  }
+  if (has_body) return fail(501, "request bodies not supported");
+
+  request.keep_alive =
+      http10 ? saw_connection_keep_alive : !saw_connection_close;
+  pos_ = cursor;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  *out = std::move(request);
+  return Result::kRequest;
+}
+
+std::string serialize_http_response(const HttpResponse& response,
+                                    bool head_only, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_text(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  if (!head_only) out += response.body;
+  return out;
+}
+
+HttpServer::HttpServer(net::EventLoop& loop, Options options)
+    : loop_(loop), options_(std::move(options)) {
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  MARS_CHECK_MSG(listen_fd_ >= 0,
+                 "admin socket(): " << std::strerror(errno));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  MARS_CHECK_MSG(
+      ::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
+      "admin bind host '" << options_.host << "' is not an IPv4 address");
+  MARS_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "admin bind(" << options_.host << ":" << options_.port
+                               << "): " << std::strerror(errno));
+  MARS_CHECK_MSG(::listen(listen_fd_, options_.backlog) == 0,
+                 "admin listen(): " << std::strerror(errno));
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+}
+
+HttpServer::~HttpServer() {
+  // Contract: runs on the loop thread or after the loop stopped, so
+  // touching loop registration state here is single-threaded.
+  for (auto& [fd, conn] : conns_) {
+    if (loop_.watching(fd)) loop_.remove_fd(fd);
+    ::close(fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    if (loop_.watching(listen_fd_)) loop_.remove_fd(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+void HttpServer::route(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+void HttpServer::start() {
+  if (started_) return;
+  started_ = true;
+  loop_.post([this] {
+    loop_.add_fd(listen_fd_, net::kEventRead,
+                 [this](uint32_t) { on_listener_readable(); });
+    arm_reap_timer();
+  });
+}
+
+void HttpServer::arm_reap_timer() {
+  const int64_t period = std::max<int64_t>(options_.idle_timeout_ms / 2, 100);
+  loop_.add_timer(period, [this] {
+    const int64_t now = net::EventLoop::now_ms();
+    std::vector<int> idle;
+    for (const auto& [fd, conn] : conns_)
+      if (now - conn->last_active_ms > options_.idle_timeout_ms)
+        idle.push_back(fd);
+    for (int fd : idle) close_conn(fd);
+    arm_reap_timer();
+  });
+}
+
+void HttpServer::on_listener_readable() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays armed
+    }
+    if (conns_.size() >= options_.max_conns) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<ConnState>();
+    conn->fd = fd;
+    conn->parser = HttpParser(options_.limits);
+    conn->last_active_ms = net::EventLoop::now_ms();
+    conns_.emplace(fd, std::move(conn));
+    loop_.add_fd(fd, net::kEventRead,
+                 [this, fd](uint32_t events) { on_conn_event(fd, events); });
+  }
+}
+
+void HttpServer::on_conn_event(int fd, uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  ConnState& conn = *it->second;
+  conn.last_active_ms = net::EventLoop::now_ms();
+
+  if (events & net::kEventError) {
+    close_conn(fd);
+    return;
+  }
+  if (events & net::kEventRead) {
+    char buf[4096];
+    while (true) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r > 0) {
+        conn.parser.feed(buf, static_cast<size_t>(r));
+        if (static_cast<size_t>(r) < sizeof(buf)) break;
+        continue;
+      }
+      if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (r < 0 && errno == EINTR) continue;
+      close_conn(fd);  // EOF or hard error
+      return;
+    }
+    serve_parsed_requests(conn);
+    if (conns_.find(fd) == conns_.end()) return;  // closed while serving
+  }
+  if (events & net::kEventWrite) flush(conn);
+}
+
+void HttpServer::serve_parsed_requests(ConnState& conn) {
+  while (true) {
+    HttpRequest request;
+    const HttpParser::Result result = conn.parser.next(&request);
+    if (result == HttpParser::Result::kNeedMore) break;
+    if (result == HttpParser::Result::kError) {
+      HttpResponse error;
+      error.status = conn.parser.error_status();
+      error.body = conn.parser.error_reason() + "\n";
+      conn.out += serialize_http_response(error, false, false);
+      conn.close_after_flush = true;
+      break;
+    }
+    const bool head_only = request.method == "HEAD";
+    HttpResponse response = dispatch(request);
+    conn.out += serialize_http_response(response, head_only,
+                                        request.keep_alive);
+    if (!request.keep_alive) {
+      conn.close_after_flush = true;
+      break;
+    }
+  }
+  flush(conn);
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
+  HttpResponse response;
+  if (request.method != "GET" && request.method != "HEAD") {
+    response.status = 405;
+    response.body = "only GET and HEAD are supported\n";
+    return response;
+  }
+  const auto it = routes_.find(request.target);
+  if (it == routes_.end()) {
+    response.status = 404;
+    response.body = "no such endpoint: " + request.target + "\n";
+    return response;
+  }
+  return it->second(request);
+}
+
+void HttpServer::flush(ConnState& conn) {
+  const int fd = conn.fd;
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t w = ::send(fd, conn.out.data() + conn.out_pos,
+                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (w > 0) {
+      conn.out_pos += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_.update_fd(fd, net::kEventRead | net::kEventWrite);
+      return;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    close_conn(fd);
+    return;
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+  if (conn.close_after_flush) {
+    close_conn(fd);
+    return;
+  }
+  loop_.update_fd(fd, net::kEventRead);
+}
+
+void HttpServer::close_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (loop_.watching(fd)) loop_.remove_fd(fd);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+void mount_admin_routes(HttpServer& server, AdminEndpoints endpoints) {
+  MetricsRegistry* metrics =
+      endpoints.metrics ? endpoints.metrics : &MetricsRegistry::global();
+  FlightRecorder* flightrec =
+      endpoints.flightrec ? endpoints.flightrec : &FlightRecorder::global();
+  auto ready = std::move(endpoints.ready);
+
+  server.route("/metrics", [metrics](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = metrics->to_prometheus();
+    return response;
+  });
+  server.route("/vars", [metrics](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = metrics->to_json_line() + "\n";
+    return response;
+  });
+  server.route("/healthz", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+  server.route("/readyz", [ready](const HttpRequest&) {
+    HttpResponse response;
+    std::string reason;
+    if (!ready || ready(&reason)) {
+      response.body = "ready\n";
+    } else {
+      response.status = 503;
+      response.body = "not ready" + (reason.empty() ? "" : ": " + reason) +
+                      "\n";
+    }
+    return response;
+  });
+  server.route("/debug/flightrec", [flightrec](const HttpRequest&) {
+    HttpResponse response;
+    response.body = flightrec->dump_text();
+    return response;
+  });
+}
+
+AdminServer::AdminServer(HttpServer::Options options)
+    : loop_(std::make_unique<net::EventLoop>()),
+      server_(std::make_unique<HttpServer>(*loop_, std::move(options))) {}
+
+AdminServer::~AdminServer() {
+  loop_->stop();
+  if (thread_.joinable()) thread_.join();
+  server_.reset();  // after the loop stopped: single-threaded teardown
+  loop_.reset();
+}
+
+void AdminServer::start() {
+  if (thread_.joinable()) return;
+  server_->start();
+  thread_ = std::thread([this] { loop_->run(); });
+}
+
+}  // namespace mars::obs

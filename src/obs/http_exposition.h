@@ -1,0 +1,192 @@
+// HTTP exposition: a minimal HTTP/1.1 admin plane on the src/net reactor,
+// giving every daemon the same pull endpoints:
+//
+//   /metrics          Prometheus text exposition (MetricsRegistry)
+//   /vars             the one-line JSON exposition
+//   /healthz          liveness ("is the process responsive")
+//   /readyz           readiness (model loaded / session open / worker
+//                     connected — daemon-specific callback)
+//   /debug/flightrec  recent structured events (obs/flightrec.h)
+//
+// Scope is deliberately tiny — GET/HEAD only, no bodies, no TLS, no
+// chunked encoding — enough for curl and a Prometheus scraper, with the
+// parser factored out (HttpParser) so request-line/header handling is
+// unit- and fuzz-testable without sockets. net::Conn is a length-prefixed
+// framed state machine and cannot carry HTTP, so HttpServer owns its own
+// per-connection buffers on the shared EventLoop.
+//
+// Reactor daemons (mars_serve, the dist coordinator) mount an HttpServer
+// on the loop they already run; blocking daemons (mars_rollout_worker)
+// use AdminServer, which owns a private loop + thread. See
+// docs/observability.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/event_loop.h"
+
+namespace mars::obs {
+
+class FlightRecorder;
+class MetricsRegistry;
+
+/// One parsed request head (this server accepts no bodies).
+struct HttpRequest {
+  std::string method;   // as sent (upper-case by convention)
+  std::string target;   // path only; the query string is stripped to query
+  std::string query;    // raw query string without the '?'
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  bool keep_alive = true;
+
+  /// First header with the given name, case-insensitive; null if absent.
+  const std::string* header(const std::string& name) const;
+};
+
+/// Incremental HTTP/1.x request-head parser with hard limits. feed() bytes
+/// as they arrive, then drain next() until kNeedMore — pipelined requests
+/// come back one at a time. A parse error is sticky: the connection is
+/// expected to answer error_status() and close.
+/// Hard limits on the request head (defined outside HttpParser so the
+/// defaulted constructor argument can use the aggregate's initializers).
+struct HttpLimits {
+  size_t max_request_line = 4096;
+  size_t max_header_bytes = 16384;  // all header lines together
+  size_t max_headers = 64;
+};
+
+class HttpParser {
+ public:
+  using Limits = HttpLimits;
+
+  enum class Result { kNeedMore, kRequest, kError };
+
+  explicit HttpParser(Limits limits = Limits()) : limits_(limits) {}
+
+  void feed(const char* data, size_t n);
+  Result next(HttpRequest* out);
+
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Result fail(int status, const char* reason);
+
+  Limits limits_;
+  std::string buf_;
+  size_t pos_ = 0;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Serializes a response head+body (HEAD requests get the head only, with
+/// the full Content-Length). Exposed for tests.
+std::string serialize_http_response(const HttpResponse& response,
+                                    bool head_only, bool keep_alive);
+
+/// A small exact-path-routed HTTP server multiplexed on an existing
+/// EventLoop. Construction binds and listens (port 0 picks a free port);
+/// start() registers the listener on the loop (safe from any thread — it
+/// posts). Handlers run synchronously on the loop thread. Destroy either
+/// on the loop thread or after the loop has stopped.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;
+    int backlog = 16;
+    size_t max_conns = 64;
+    int64_t idle_timeout_ms = 30000;
+    HttpParser::Limits limits;
+  };
+
+  HttpServer(net::EventLoop& loop, Options options);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolved at construction).
+  int port() const { return port_; }
+
+  /// Registers an exact-path handler. Call before start().
+  void route(const std::string& path, Handler handler);
+
+  void start();
+
+ private:
+  struct ConnState {
+    int fd = -1;
+    HttpParser parser;
+    std::string out;
+    size_t out_pos = 0;
+    int64_t last_active_ms = 0;
+    bool close_after_flush = false;
+  };
+
+  void on_listener_readable();
+  void on_conn_event(int fd, uint32_t events);
+  void serve_parsed_requests(ConnState& conn);
+  HttpResponse dispatch(const HttpRequest& request) const;
+  void flush(ConnState& conn);
+  void close_conn(int fd);
+  void arm_reap_timer();
+
+  net::EventLoop& loop_;
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool started_ = false;
+  std::map<std::string, Handler> routes_;
+  std::unordered_map<int, std::unique_ptr<ConnState>> conns_;
+};
+
+/// Wires the standard admin endpoints onto a server. Null registry /
+/// recorder default to the process-wide singletons; a null `ready`
+/// callback makes /readyz always 200. The callback runs on the server's
+/// loop thread and reports not-ready detail through `reason`.
+struct AdminEndpoints {
+  MetricsRegistry* metrics = nullptr;
+  FlightRecorder* flightrec = nullptr;
+  std::function<bool(std::string* reason)> ready;
+};
+void mount_admin_routes(HttpServer& server, AdminEndpoints endpoints = {});
+
+/// An HttpServer plus a private EventLoop and thread, for daemons whose
+/// main thread blocks (mars_rollout_worker). Construct (binds), mount
+/// routes, then start() to launch the thread; the destructor stops and
+/// joins it.
+class AdminServer {
+ public:
+  explicit AdminServer(HttpServer::Options options);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  HttpServer& http() { return *server_; }
+  int port() const { return server_->port(); }
+  void start();
+
+ private:
+  std::unique_ptr<net::EventLoop> loop_;
+  std::unique_ptr<HttpServer> server_;
+  std::thread thread_;
+};
+
+}  // namespace mars::obs

@@ -1,0 +1,115 @@
+// mars_trace_merge: align N per-process Chrome trace files into one
+// distributed timeline (see obs/trace_merge.h and docs/observability.md).
+//
+//   mars_trace_merge --out merged.json coord.json worker1.json worker2.json
+//   mars_trace_merge --check-parentage *.json   # CI: verify cross-process
+//                                               # parent/child edges exist
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_merge.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: mars_trace_merge [--out FILE] [--check-parentage] "
+               "TRACE.json [TRACE.json ...]\n"
+               "  --out FILE          write the merged Chrome trace here\n"
+               "                      (default merged_trace.json; - for "
+               "stdout)\n"
+               "  --check-parentage   exit nonzero unless at least one\n"
+               "                      cross-process parent/child edge "
+               "resolved\n"
+               "                      and no span has a dangling parent\n";
+  return 2;
+}
+
+std::string basename_of(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "merged_trace.json";
+  bool check_parentage = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) return usage();
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--check-parentage") {
+      check_parentage = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << "\n";
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  std::vector<mars::obs::TraceMergeInput> inputs;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "mars_trace_merge: cannot read " << path << "\n";
+      return 1;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    inputs.push_back({basename_of(path), contents.str()});
+  }
+
+  mars::obs::TraceMergeStats stats;
+  mars::Json merged;
+  try {
+    merged = mars::obs::merge_chrome_traces(inputs, &stats);
+  } catch (const mars::JsonError& e) {
+    std::cerr << "mars_trace_merge: parse error: " << e.what()
+              << " (offset " << e.offset() << ")\n";
+    return 1;
+  }
+
+  if (out_path == "-") {
+    std::cout << merged.dump() << "\n";
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "mars_trace_merge: cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << merged.dump() << "\n";
+  }
+
+  std::cerr << "mars_trace_merge: " << stats.processes << " processes, "
+            << stats.events << " spans, " << stats.spans_with_parent
+            << " with parents (" << stats.parents_resolved << " resolved, "
+            << stats.cross_process_edges << " cross-process)\n";
+  for (const std::string& miss : stats.unresolved)
+    std::cerr << "  unresolved parent: " << miss << "\n";
+
+  if (check_parentage) {
+    if (!stats.unresolved.empty()) {
+      std::cerr << "mars_trace_merge: FAIL: dangling parent ids\n";
+      return 1;
+    }
+    if (stats.cross_process_edges == 0) {
+      std::cerr << "mars_trace_merge: FAIL: no cross-process parent/child "
+                   "edges resolved\n";
+      return 1;
+    }
+    std::cerr << "mars_trace_merge: parentage OK\n";
+  }
+  return 0;
+}

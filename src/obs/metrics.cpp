@@ -12,7 +12,7 @@ namespace mars::obs {
 
 namespace {
 
-bool valid_metric_name(const std::string& name) {
+bool valid_base_name(const std::string& name) {
   if (name.empty()) return false;
   const auto head = [](char c) {
     return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
@@ -22,6 +22,67 @@ bool valid_metric_name(const std::string& name) {
   for (char c : name)
     if (!head(c) && !(c >= '0' && c <= '9')) return false;
   return true;
+}
+
+bool valid_label_key(const std::string& key) {
+  if (key.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(key[0])) return false;
+  for (char c : key)
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+/// Splits `base{key="v",...}` into base and the brace-less label body
+/// (empty when the name carries no labels).
+struct SplitName {
+  std::string base;
+  std::string labels;
+};
+
+SplitName split_labels(const std::string& name) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  if (name.size() < brace + 2 || name.back() != '}') return {"", ""};
+  return {name.substr(0, brace), name.substr(brace + 1,
+                                             name.size() - brace - 2)};
+}
+
+/// Validates the label body of a labeled series name: one or more
+/// `key="value"` pairs, comma-separated, values with \-escaped specials.
+bool valid_label_body(const std::string& body) {
+  size_t i = 0;
+  while (true) {
+    size_t eq = body.find('=', i);
+    if (eq == std::string::npos || eq + 1 >= body.size()) return false;
+    if (!valid_label_key(body.substr(i, eq - i))) return false;
+    if (body[eq + 1] != '"') return false;
+    size_t j = eq + 2;
+    for (; j < body.size(); ++j) {
+      if (body[j] == '\\') {
+        ++j;  // escaped char; must exist
+        if (j >= body.size()) return false;
+      } else if (body[j] == '"') {
+        break;
+      } else if (body[j] == '\n') {
+        return false;
+      }
+    }
+    if (j >= body.size()) return false;  // unterminated value
+    if (j + 1 == body.size()) return true;
+    if (body[j + 1] != ',') return false;
+    i = j + 2;
+    if (i >= body.size()) return false;  // trailing comma
+  }
+}
+
+bool valid_metric_name(const std::string& name) {
+  const SplitName split = split_labels(name);
+  if (!valid_base_name(split.base)) return false;
+  if (name.find('{') == std::string::npos) return true;
+  return valid_label_body(split.labels);
 }
 
 /// Shortest round-trip double formatting (%.17g is exact but noisy; %g at
@@ -144,32 +205,52 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
+  std::string last_base;  // HELP/TYPE once per base name, labeled or not
   for (const auto& [name, entry] : metrics_) {
-    out += "# HELP " + name + " " + escape_text(entry.help) + "\n";
+    const SplitName split = split_labels(name);
+    // `{labels}` for sum/count lines, `{labels,` or `{` prefix for buckets.
+    const std::string suffix =
+        split.labels.empty() ? "" : "{" + split.labels + "}";
+    const std::string bucket_open =
+        split.labels.empty() ? "{" : "{" + split.labels + ",";
+    if (split.base != last_base) {
+      out += "# HELP " + split.base + " " + escape_text(entry.help) + "\n";
+      last_base = split.base;
+      switch (entry.kind) {
+        case Kind::kCounter: out += "# TYPE " + split.base + " counter\n";
+          break;
+        case Kind::kGauge: out += "# TYPE " + split.base + " gauge\n"; break;
+        case Kind::kHistogram:
+          out += "# TYPE " + split.base + " histogram\n";
+          break;
+      }
+    }
     switch (entry.kind) {
       case Kind::kCounter:
-        out += "# TYPE " + name + " counter\n";
-        out += name + " " + std::to_string(entry.counter->load()) + "\n";
+        out += split.base + suffix + " " +
+               std::to_string(entry.counter->load()) + "\n";
         break;
       case Kind::kGauge:
-        out += "# TYPE " + name + " gauge\n";
-        out += name + " " + format_double(entry.gauge->load()) + "\n";
+        out += split.base + suffix + " " +
+               format_double(entry.gauge->load()) + "\n";
         break;
       case Kind::kHistogram: {
-        out += "# TYPE " + name + " histogram\n";
         const Histogram& h = *entry.histogram;
         const std::vector<uint64_t> counts = h.bucket_counts();
         uint64_t cumulative = 0;
         for (size_t b = 0; b < h.bounds().size(); ++b) {
           cumulative += counts[b];
-          out += name + "_bucket{le=\"" + format_double(h.bounds()[b]) +
-                 "\"} " + std::to_string(cumulative) + "\n";
+          out += split.base + "_bucket" + bucket_open + "le=\"" +
+                 format_double(h.bounds()[b]) + "\"} " +
+                 std::to_string(cumulative) + "\n";
         }
         cumulative += counts.back();
-        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+        out += split.base + "_bucket" + bucket_open + "le=\"+Inf\"} " +
+               std::to_string(cumulative) + "\n";
+        out += split.base + "_sum" + suffix + " " + format_double(h.sum()) +
                "\n";
-        out += name + "_sum " + format_double(h.sum()) + "\n";
-        out += name + "_count " + std::to_string(h.count()) + "\n";
+        out += split.base + "_count" + suffix + " " +
+               std::to_string(h.count()) + "\n";
         break;
       }
     }
@@ -184,11 +265,13 @@ std::string MetricsRegistry::to_json_line() const {
     switch (entry.kind) {
       case Kind::kCounter:
         if (!counters.empty()) counters += ',';
-        counters += "\"" + name + "\":" + std::to_string(entry.counter->load());
+        counters += "\"" + escape_text(name) +
+                    "\":" + std::to_string(entry.counter->load());
         break;
       case Kind::kGauge:
         if (!gauges.empty()) gauges += ',';
-        gauges += "\"" + name + "\":" + format_double(entry.gauge->load());
+        gauges +=
+            "\"" + escape_text(name) + "\":" + format_double(entry.gauge->load());
         break;
       case Kind::kHistogram: {
         if (!histograms.empty()) histograms += ',';
@@ -202,7 +285,7 @@ std::string MetricsRegistry::to_json_line() const {
           if (!buckets.empty()) buckets += ',';
           buckets += std::to_string(c);
         }
-        histograms += "\"" + name + "\":{\"count\":" +
+        histograms += "\"" + escape_text(name) + "\":{\"count\":" +
                       std::to_string(h.count()) + ",\"sum\":" +
                       format_double(h.sum()) + ",\"le\":[" + le +
                       "],\"buckets\":[" + buckets + "]}";
@@ -217,6 +300,54 @@ std::string MetricsRegistry::to_json_line() const {
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never dtor'd
   return *registry;
+}
+
+std::string labeled_name(
+    const std::string& base,
+    std::initializer_list<std::pair<const char*, std::string>> labels) {
+  std::string out = base;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    for (char c : value) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+#ifndef MARS_GIT_HASH
+#define MARS_GIT_HASH "unknown"
+#endif
+#ifndef MARS_COMPILER_ID
+#define MARS_COMPILER_ID "unknown"
+#endif
+
+void register_build_info(MetricsRegistry& reg) {
+  // First-call timestamp stands in for process start; every daemon calls
+  // this at the top of main, so the gap is microseconds.
+  static const double start_epoch_s =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  reg.gauge(labeled_name("mars_build_info", {{"git_hash", MARS_GIT_HASH},
+                                             {"compiler", MARS_COMPILER_ID}}),
+            "Build identity; value is always 1")
+      .set(1);
+  reg.gauge("mars_process_start_time_seconds",
+            "Unix time the process registered its build info")
+      .set(start_epoch_s);
 }
 
 }  // namespace mars::obs

@@ -27,10 +27,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mars::obs {
@@ -101,7 +103,11 @@ class Histogram {
 /// Name-keyed collection of metrics. Get-or-create: asking for an existing
 /// name returns the existing metric (the kind must match; a mismatch
 /// throws CheckError). Names must match Prometheus conventions:
-/// [a-zA-Z_:][a-zA-Z0-9_:]*.
+/// [a-zA-Z_:][a-zA-Z0-9_:]*, optionally followed by a label set in
+/// Prometheus exposition syntax — `base{key="value",...}` — in which case
+/// each distinct label set is its own series under the shared base name
+/// (HELP/TYPE are emitted once per base). Use labeled_name() to compose
+/// labeled names safely.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -145,6 +151,18 @@ class MetricsRegistry {
   std::map<std::string, Entry> metrics_;  // sorted => stable exposition
   std::atomic<bool> enabled_{true};
 };
+
+/// Compose `base{k1="v1",k2="v2"}` from label pairs. Label values are
+/// escaped (backslash, quote, newline); keys must be valid label names.
+std::string labeled_name(
+    const std::string& base,
+    std::initializer_list<std::pair<const char*, std::string>> labels);
+
+/// Register the process-identity series every daemon exports:
+///   mars_build_info{git_hash="...",compiler="..."} 1
+///   mars_process_start_time_seconds <unix epoch at first call>
+/// Idempotent; safe to call from every binary's main().
+void register_build_info(MetricsRegistry& reg = MetricsRegistry::global());
 
 /// RAII timer observing elapsed milliseconds into a histogram on scope
 /// exit. Reads the clock only when the owning registry is enabled.

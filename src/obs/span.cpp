@@ -1,6 +1,9 @@
 #include "obs/span.h"
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <utility>
@@ -79,10 +82,29 @@ SpanRecorder::Span::Span(SpanRecorder& recorder, std::string name,
   start_us_ = recorder_->now_us();
 }
 
+SpanRecorder::Span::Span(SpanRecorder& recorder, std::string name,
+                         std::string category, uint64_t trace_id,
+                         uint64_t parent_id)
+    : Span(recorder, std::move(name), std::move(category)) {
+  if (!recorder_) return;
+  trace_id_ = trace_id;
+  span_id_ = next_span_id();
+  parent_id_ = parent_id;
+}
+
 SpanRecorder::Span::~Span() {
   if (!recorder_) return;
   recorder_->record({std::move(name_), std::move(category_), track_,
-                     start_us_, recorder_->now_us() - start_us_});
+                     start_us_, recorder_->now_us() - start_us_, trace_id_,
+                     span_id_, parent_id_});
+}
+
+uint64_t SpanRecorder::next_span_id() {
+  static std::atomic<uint64_t> counter{0};
+  // pid in the high bits keeps ids unique across the processes of one
+  // distributed trace; the low 40 bits are a per-process sequence.
+  static const uint64_t pid_bits = static_cast<uint64_t>(::getpid()) << 40;
+  return pid_bits | (counter.fetch_add(1, std::memory_order_relaxed) + 1);
 }
 
 size_t SpanRecorder::size() const {
@@ -117,24 +139,34 @@ void SpanRecorder::write_chrome_trace(std::ostream& out) const {
     events = events_;
     names = track_names_;
   }
+  // Default ostream precision (6 sig figs) truncates microsecond
+  // timestamps past ~1 s and clock offsets entirely; 15 digits round-trip.
+  const auto saved_precision = out.precision(15);
   out << "[\n";
-  bool first = true;
+  // clock_sync first: mars_trace_merge reads the offset before any event.
+  out << "  {\"name\": \"clock_sync\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": 0, \"args\": {\"clock_offset_us\": "
+      << clock_offset_us() << "}}";
   for (size_t tid = 0; tid < names.size(); ++tid) {
-    if (!first) out << ",\n";
-    first = false;
-    out << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+    out << ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
            "\"tid\": " << tid << ", \"args\": {\"name\": \""
         << escape_json(names[tid]) << "\"}}";
   }
   for (const SpanEvent& ev : events) {
-    if (!first) out << ",\n";
-    first = false;
-    out << "  {\"name\": \"" << escape_json(ev.name) << "\", \"cat\": \""
+    out << ",\n  {\"name\": \"" << escape_json(ev.name) << "\", \"cat\": \""
         << escape_json(ev.category) << "\", \"ph\": \"X\", \"pid\": 1, "
            "\"tid\": " << ev.track << ", \"ts\": " << ev.start_us
-        << ", \"dur\": " << ev.dur_us << "}";
+        << ", \"dur\": " << ev.dur_us;
+    if (ev.span_id != 0) {
+      // Ids as decimal strings: u64 does not survive a JSON double.
+      out << ", \"args\": {\"trace_id\": \"" << ev.trace_id
+          << "\", \"span_id\": \"" << ev.span_id
+          << "\", \"parent_span_id\": \"" << ev.parent_id << "\"}";
+    }
+    out << "}";
   }
   out << "\n]\n";
+  out.precision(saved_precision);
 }
 
 bool SpanRecorder::write_chrome_trace(const std::string& path) const {
@@ -148,5 +180,37 @@ SpanRecorder& SpanRecorder::global() {
   static SpanRecorder* recorder = new SpanRecorder();  // never dtor'd
   return *recorder;
 }
+
+namespace {
+
+// MARS_TRACE=<file> enables the global recorder in any binary and writes
+// the Chrome trace at normal exit; `%p` expands to the pid so a spawned
+// worker fleet inheriting the variable writes one file per process.
+std::string& env_trace_path() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+void write_env_trace() {
+  if (!env_trace_path().empty())
+    SpanRecorder::global().write_chrome_trace(env_trace_path());
+}
+
+struct EnvTraceInit {
+  EnvTraceInit() {
+    const char* value = std::getenv("MARS_TRACE");
+    if (value == nullptr || *value == '\0') return;
+    std::string path = value;
+    const size_t pct = path.find("%p");
+    if (pct != std::string::npos)
+      path.replace(pct, 2, std::to_string(::getpid()));
+    env_trace_path() = path;
+    SpanRecorder::global().set_enabled(true);
+    std::atexit(write_env_trace);
+  }
+};
+const EnvTraceInit env_trace_init;
+
+}  // namespace
 
 }  // namespace mars::obs

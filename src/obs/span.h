@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <mutex>
@@ -28,13 +29,19 @@
 namespace mars::obs {
 
 /// One complete ("ph":"X") event on a track, microseconds since the
-/// recorder's epoch.
+/// recorder's epoch. The trace/span/parent ids are optional distributed
+/// trace context (0 = unset): a span carrying ids is exported with an
+/// "args" block that mars_trace_merge uses to stitch cross-process
+/// parent/child edges (docs/observability.md).
 struct SpanEvent {
   std::string name;
   std::string category;
   int track = 0;
   double start_us = 0;
   double dur_us = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
 };
 
 class SpanRecorder {
@@ -66,9 +73,18 @@ class SpanRecorder {
    public:
     Span(SpanRecorder& recorder, std::string name,
          std::string category = "app");
+    /// Span carrying distributed trace context: joins trace `trace_id` as
+    /// a child of `parent_id` and allocates a fresh span id (exposed via
+    /// span_id() so callers can propagate it downstream).
+    Span(SpanRecorder& recorder, std::string name, std::string category,
+         uint64_t trace_id, uint64_t parent_id);
     ~Span();
     Span(const Span&) = delete;
     Span& operator=(const Span&) = delete;
+
+    /// This span's id (0 when the recorder was disabled at construction).
+    uint64_t span_id() const { return span_id_; }
+    uint64_t trace_id() const { return trace_id_; }
 
    private:
     SpanRecorder* recorder_;  // null when disabled
@@ -76,6 +92,9 @@ class SpanRecorder {
     std::string category_;
     int track_ = 0;
     double start_us_ = 0;
+    uint64_t trace_id_ = 0;
+    uint64_t span_id_ = 0;
+    uint64_t parent_id_ = 0;
   };
 
   size_t size() const;
@@ -90,12 +109,31 @@ class SpanRecorder {
   void write_chrome_trace(std::ostream& out) const;
   bool write_chrome_trace(const std::string& path) const;
 
+  /// Offset (microseconds) that maps this recorder's timeline onto a
+  /// reference process's: reference_now_us ≈ now_us() + offset. Estimated
+  /// NTP-style by dist workers during the hello/welcome handshake and
+  /// exported as a clock_sync metadata record in the Chrome trace, which
+  /// mars_trace_merge applies to align per-process files.
+  void set_clock_offset_us(double offset_us) {
+    clock_offset_us_.store(offset_us, std::memory_order_relaxed);
+  }
+  double clock_offset_us() const {
+    return clock_offset_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Process-unique nonzero span id (pid mixed into the high bits so ids
+  /// from different processes in one distributed trace never collide).
+  static uint64_t next_span_id();
+
   /// Process-wide recorder (disabled until something enables it — e.g.
-  /// `mars_serve --trace`).
+  /// `mars_serve --trace` or the MARS_TRACE environment variable, which
+  /// also registers an atexit Chrome-trace writer; `%p` in the value is
+  /// replaced by the pid so spawned workers don't clobber one file).
   static SpanRecorder& global();
 
  private:
   std::atomic<bool> enabled_{false};
+  std::atomic<double> clock_offset_us_{0};
   mutable std::mutex mutex_;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<SpanEvent> events_;

@@ -1,0 +1,140 @@
+#include "obs/trace_merge.h"
+
+#include <cstdlib>
+#include <unordered_map>
+
+namespace mars::obs {
+
+namespace {
+
+uint64_t parse_id(const Json& event, const char* key) {
+  if (!event.has("args")) return 0;
+  const Json& args = event.at("args");
+  if (!args.is_object() || !args.has(key)) return 0;
+  const Json& value = args.at(key);
+  if (value.is_string())
+    return std::strtoull(value.as_string().c_str(), nullptr, 10);
+  if (value.is_number()) return static_cast<uint64_t>(value.as_double());
+  return 0;
+}
+
+struct SpanRef {
+  size_t input = 0;
+  int64_t pid = 0;
+  int64_t tid = 0;
+  double ts = 0;
+};
+
+}  // namespace
+
+mars::Json merge_chrome_traces(const std::vector<TraceMergeInput>& inputs,
+                               TraceMergeStats* stats) {
+  TraceMergeStats local;
+  local.processes = inputs.size();
+
+  mars::Json out = mars::Json::array();
+  struct PendingChild {
+    size_t input;
+    std::string name;
+    uint64_t span_id;
+    uint64_t parent_id;
+    int64_t pid;
+    int64_t tid;
+    double ts;
+  };
+  std::unordered_map<uint64_t, SpanRef> spans_by_id;
+  std::vector<PendingChild> children;
+
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const int64_t pid = static_cast<int64_t>(i) + 1;
+    const mars::Json trace = mars::Json::parse(inputs[i].json);
+    if (!trace.is_array())
+      throw mars::JsonError("trace file is not a JSON array", 0);
+
+    // First sweep: the clock_sync offset must apply to every event in the
+    // file, wherever the record sits.
+    double offset_us = 0;
+    for (size_t e = 0; e < trace.size(); ++e) {
+      const mars::Json& event = trace.at(e);
+      if (event.get_string("ph", "") == "M" &&
+          event.get_string("name", "") == "clock_sync" && event.has("args"))
+        offset_us = event.at("args").get_double("clock_offset_us", 0);
+    }
+
+    mars::Json process_name = mars::Json::object();
+    process_name.set("name", mars::Json::of("process_name"));
+    process_name.set("ph", mars::Json::of("M"));
+    process_name.set("pid", mars::Json::of(pid));
+    process_name.set("args", mars::Json::object().set(
+                                 "name", mars::Json::of(inputs[i].label)));
+    out.push(std::move(process_name));
+
+    for (size_t e = 0; e < trace.size(); ++e) {
+      mars::Json event = trace.at(e);
+      if (!event.is_object()) continue;
+      const std::string ph = event.get_string("ph", "");
+      const std::string name = event.get_string("name", "");
+      if (ph == "M" && name == "clock_sync") continue;  // consumed above
+      event.set("pid", mars::Json::of(pid));
+      if (event.has("ts"))
+        event.set("ts",
+                  mars::Json::of(event.get_double("ts", 0) + offset_us));
+      if (ph == "X") {
+        ++local.events;
+        const uint64_t span_id = parse_id(event, "span_id");
+        const uint64_t parent_id = parse_id(event, "parent_span_id");
+        const int64_t tid = event.get_int("tid", 0);
+        const double ts = event.get_double("ts", 0);
+        if (span_id != 0)
+          spans_by_id[span_id] = SpanRef{i, pid, tid, ts};
+        if (parent_id != 0)
+          children.push_back(
+              PendingChild{i, name, span_id, parent_id, pid, tid, ts});
+      }
+      out.push(std::move(event));
+    }
+  }
+
+  // Parent/child edges become flow events: an "s" record at the parent
+  // span, an "f" (bp:"e") record at the child's start, joined by id.
+  for (const PendingChild& child : children) {
+    ++local.spans_with_parent;
+    const auto parent = spans_by_id.find(child.parent_id);
+    if (parent == spans_by_id.end()) {
+      local.unresolved.push_back(child.name + " (" +
+                                 inputs[child.input].label + ")");
+      continue;
+    }
+    ++local.parents_resolved;
+    if (parent->second.input != child.input) ++local.cross_process_edges;
+
+    const std::string flow_id = std::to_string(child.span_id != 0
+                                                   ? child.span_id
+                                                   : child.parent_id);
+    mars::Json start = mars::Json::object();
+    start.set("name", mars::Json::of("dist"));
+    start.set("cat", mars::Json::of("dist.flow"));
+    start.set("ph", mars::Json::of("s"));
+    start.set("id", mars::Json::of(flow_id));
+    start.set("pid", mars::Json::of(parent->second.pid));
+    start.set("tid", mars::Json::of(parent->second.tid));
+    start.set("ts", mars::Json::of(parent->second.ts));
+    out.push(std::move(start));
+
+    mars::Json finish = mars::Json::object();
+    finish.set("name", mars::Json::of("dist"));
+    finish.set("cat", mars::Json::of("dist.flow"));
+    finish.set("ph", mars::Json::of("f"));
+    finish.set("bp", mars::Json::of("e"));
+    finish.set("id", mars::Json::of(flow_id));
+    finish.set("pid", mars::Json::of(child.pid));
+    finish.set("tid", mars::Json::of(child.tid));
+    finish.set("ts", mars::Json::of(child.ts));
+    out.push(std::move(finish));
+  }
+
+  if (stats != nullptr) *stats = std::move(local);
+  return out;
+}
+
+}  // namespace mars::obs

@@ -1,0 +1,44 @@
+// Merging per-process Chrome traces into one distributed timeline.
+//
+// Every process in a distributed run writes its own Chrome trace (e.g.
+// via MARS_TRACE=%p-substituted paths). Each file is self-describing for
+// the merge: a leading clock_sync metadata record carries the process's
+// estimated offset onto the reference (coordinator) timeline, and spans
+// that participate in a distributed trace carry trace/span/parent ids in
+// their args (obs/span.h). merge_chrome_traces() aligns the timelines,
+// gives each input a distinct Chrome pid + process_name, and turns
+// cross-process parent/child edges into flow events so a coordinator
+// dispatch span visibly connects to the worker span it caused.
+//
+// The mars_trace_merge binary is the CLI wrapper; the core is a library
+// so tests can verify alignment and parentage without spawning daemons.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace mars::obs {
+
+struct TraceMergeInput {
+  std::string label;  // becomes the Chrome process_name
+  std::string json;   // full trace file contents
+};
+
+struct TraceMergeStats {
+  size_t processes = 0;
+  size_t events = 0;             // "X" events in the merged output
+  size_t spans_with_parent = 0;  // events carrying a nonzero parent id
+  size_t parents_resolved = 0;   // parent span found in some input
+  size_t cross_process_edges = 0;  // parent lives in a different input
+  std::vector<std::string> unresolved;  // "span-name (label)" diagnostics
+};
+
+/// Merges the inputs into one Chrome trace-event array. Input i becomes
+/// Chrome pid i+1; all timestamps are shifted by that file's clock_sync
+/// offset. Throws mars::JsonError on malformed input.
+mars::Json merge_chrome_traces(const std::vector<TraceMergeInput>& inputs,
+                               TraceMergeStats* stats = nullptr);
+
+}  // namespace mars::obs

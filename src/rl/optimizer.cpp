@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -242,6 +243,9 @@ OptimizeResult optimize_placement(PlacementPolicy& policy,
     }
     ++result.rollbacks;
     ckpt_metrics().rollbacks.inc();
+    obs::FlightRecorder::global().record(
+        "watchdog", "diverged after %d bad updates, rolled back to %s",
+        trainer->consecutive_bad_updates(), last_good_ckpt.c_str());
     MARS_WARN << policy.describe() << ": diverged; rolled back to "
               << last_good_ckpt;
   };

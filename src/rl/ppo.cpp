@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/logging.h"
@@ -192,9 +193,13 @@ PpoUpdateStats PpoTrainer::update(const std::vector<PpoSample>& batch) {
       consecutive_bad_ = 0;
     }
   }
-  if (stats.skipped_steps > 0)
+  if (stats.skipped_steps > 0) {
     MARS_WARN << "ppo: skipped " << stats.skipped_steps
               << " non-finite update step(s); streak " << consecutive_bad_;
+    obs::FlightRecorder::global().record(
+        "watchdog", "ppo skipped %d non-finite step(s), streak %d",
+        stats.skipped_steps, consecutive_bad_);
+  }
   if (ratio_n > 0) {
     stats.mean_ratio = ratio_sum / static_cast<double>(ratio_n);
     stats.clip_fraction = clip_count / static_cast<double>(ratio_n);

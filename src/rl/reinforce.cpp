@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -90,6 +91,9 @@ ReinforceTrainer::RoundResult ReinforceTrainer::round() {
         .counter("mars_reinforce_bad_updates_total",
                  "REINFORCE steps skipped by the divergence watchdog")
         .inc();
+    obs::FlightRecorder::global().record(
+        "watchdog", "reinforce skipped non-finite step (%lld lifetime)",
+        static_cast<long long>(bad_updates_));
     MARS_WARN << "reinforce: skipped non-finite update step";
     return result;
   }

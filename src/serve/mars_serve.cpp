@@ -17,6 +17,7 @@
 #include <iostream>
 #include <optional>
 
+#include "obs/flightrec.h"
 #include "obs/span.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -74,7 +75,8 @@ int run_batch(mars::serve::PlacementService& service,
 
 int run_daemon(mars::serve::PlacementService& service,
                mars::serve::ServerConfig server_config,
-               const std::string& port_file) {
+               const std::string& port_file,
+               const std::string& admin_port_file) {
   mars::serve::ServeDaemon daemon(service, std::move(server_config));
   if (!port_file.empty()) {
     // Written only once the socket is bound, so scripts can poll the file
@@ -85,6 +87,15 @@ int run_daemon(mars::serve::PlacementService& service,
       return 1;
     }
     pf << daemon.port() << '\n';
+  }
+  if (!admin_port_file.empty()) {
+    std::ofstream pf(admin_port_file);
+    if (!pf) {
+      MARS_ERROR << "cannot write --admin-port-file '" << admin_port_file
+                 << "'";
+      return 1;
+    }
+    pf << daemon.admin_port() << '\n';
   }
   g_daemon.store(&daemon);
   struct sigaction sa = {};
@@ -143,9 +154,15 @@ int main(int argc, char** argv) {
            "  --requests FILE     concatenated request frames ('-' = stdin)\n"
            "  --out FILE          response lines ('-' = stdout)\n"
            "observability:\n"
+           "  --admin-port P      HTTP admin plane on 127.0.0.1:P (/metrics,\n"
+           "                      /vars, /healthz, /readyz, /debug/flightrec;\n"
+           "                      0 = ephemeral, default off)\n"
+           "  --admin-port-file F write the bound admin port once listening\n"
            "  --metrics-dump FILE write Prometheus metrics on shutdown\n"
            "  --trace FILE        record spans, write a Chrome trace on\n"
-           "                      shutdown (open in chrome://tracing)\n";
+           "                      shutdown (open in chrome://tracing); the\n"
+           "                      MARS_TRACE env var does the same in any\n"
+           "                      mars binary\n";
     return 0;
   }
 
@@ -159,6 +176,7 @@ int main(int argc, char** argv) {
   const std::string requests = args.get("requests", "");
   const std::string out = args.get("out", "-");
   const std::string port_file = args.get("port-file", "");
+  const std::string admin_port_file = args.get("admin-port-file", "");
   const std::string metrics_dump = args.get("metrics-dump", "");
   const std::string trace_path = args.get("trace", "");
   mars::serve::ServerConfig server_config;
@@ -180,8 +198,11 @@ int main(int argc, char** argv) {
       args.get_int("slo-queue-depth", server_config.slo_queue_depth);
   server_config.idle_timeout_ms =
       args.get_int("idle-timeout-ms", server_config.idle_timeout_ms);
+  server_config.admin_port =
+      args.get_int("admin-port", server_config.admin_port);
   args.warn_unused();
 
+  mars::obs::install_crash_handler();
   if (!trace_path.empty()) mars::obs::SpanRecorder::global().set_enabled(true);
 
   try {
@@ -189,7 +210,7 @@ int main(int argc, char** argv) {
     const int rc = !requests.empty()
                        ? run_batch(service, requests, out)
                        : run_daemon(service, std::move(server_config),
-                                    port_file);
+                                    port_file, admin_port_file);
     if (!metrics_dump.empty()) {
       std::ofstream dump(metrics_dump);
       if (!dump) {

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flightrec.h"
 #include "obs/span.h"
 #include "serve/framing.h"
 #include "serve/service.h"
@@ -143,6 +144,26 @@ ServeDaemon::ServeDaemon(PlacementService& service, ServerConfig config)
   bc.rate_burst = config_.rate_burst;
   bc.slo_queue_depth = config_.slo_queue_depth;
   batcher_ = std::make_unique<Batcher>(bc);
+
+  if (config_.admin_port >= 0) {
+    obs::register_build_info(service.metrics());
+    obs::HttpServer::Options http;
+    http.host = config_.host;
+    http.port = config_.admin_port;
+    admin_ = std::make_unique<obs::HttpServer>(*loop_, http);
+    obs::AdminEndpoints endpoints;
+    endpoints.metrics = &service.metrics();
+    endpoints.ready = [this](std::string* reason) {
+      // The model is validated at service construction, so the daemon is
+      // ready whenever it is not draining for shutdown.
+      if (!stopping_.load(std::memory_order_acquire)) return true;
+      if (reason) *reason = "shutting down";
+      return false;
+    };
+    obs::mount_admin_routes(*admin_, std::move(endpoints));
+    admin_port_ = admin_->port();
+    admin_->start();  // posted; served once serve() runs the loop
+  }
 }
 
 ServeDaemon::~ServeDaemon() {
@@ -177,6 +198,9 @@ void ServeDaemon::request_reload() {
 void ServeDaemon::on_wake(char byte) {
   if (byte == kWakeShutdown) {
     stopping_.store(true, std::memory_order_release);
+    obs::FlightRecorder::global().record(
+        "shutdown", "drain started, %llu connections open",
+        static_cast<unsigned long long>(conns_.size()));
     if (loop_->watching(listen_fd_)) loop_->remove_fd(listen_fd_);
     loop_->stop();
     return;
@@ -191,6 +215,10 @@ void ServeDaemon::on_wake(char byte) {
         MARS_ERROR << "hot reload rejected, old model keeps serving: "
                    << outcome.message;
       }
+      obs::FlightRecorder::global().record(
+          "reload", "%s (generation %llu)",
+          outcome.ok ? "swapped" : "rejected",
+          static_cast<unsigned long long>(outcome.generation));
     });
   }
 }
@@ -318,6 +346,12 @@ void ServeDaemon::on_frame(net::Conn& conn, uint64_t seq, std::string frame) {
     case AdmitOutcome::kShedQueueFull:
     case AdmitOutcome::kShedRateLimited:
       shed_total_.inc();
+      obs::FlightRecorder::global().record(
+          "shed", "conn %llu %s, retry_after %d ms",
+          static_cast<unsigned long long>(conn.id()),
+          admission.outcome == AdmitOutcome::kShedQueueFull ? "queue full"
+                                                            : "rate limited",
+          admission.retry_after_ms);
       conn.send_response(seq, shed_line(admission.outcome,
                                         admission.retry_after_ms,
                                         sniff_request_id(line)));
@@ -482,6 +516,9 @@ void ServeDaemon::reap_idle() {
   }
   for (net::Conn* conn : victims) {
     idle_reaped_total_.inc();
+    obs::FlightRecorder::global().record(
+        "idle_reap", "conn %llu idle past %d ms",
+        static_cast<unsigned long long>(conn->id()), config_.idle_timeout_ms);
     conn->close();  // on_close defers the erase via post()
   }
 }

@@ -40,6 +40,7 @@
 
 #include "net/conn.h"
 #include "net/event_loop.h"
+#include "obs/http_exposition.h"
 #include "obs/metrics.h"
 #include "serve/batcher.h"
 #include "serve/protocol.h"
@@ -78,6 +79,10 @@ struct ServerConfig {
   /// Reap connections with no outstanding requests after this much
   /// inactivity (0 = never).
   int idle_timeout_ms = 60000;
+  /// HTTP admin plane (obs/http_exposition.h) multiplexed on the daemon's
+  /// reactor: /metrics, /vars, /healthz, /readyz, /debug/flightrec.
+  /// -1 disables; 0 picks an ephemeral port (read back via admin_port()).
+  int admin_port = -1;
 };
 
 class ServeDaemon {
@@ -92,6 +97,9 @@ class ServeDaemon {
 
   /// The bound port (the actual one when config.port was 0).
   int port() const { return port_; }
+
+  /// Bound admin HTTP port, or -1 when the admin plane is disabled.
+  int admin_port() const { return admin_port_; }
 
   /// Runs the event loop until shutdown(); joins the worker pool and
   /// closes connections before returning. Call from at most one thread.
@@ -135,9 +143,13 @@ class ServeDaemon {
   ServerConfig config_;
   int listen_fd_ = -1;
   int port_ = 0;
+  int admin_port_ = -1;
   std::atomic<bool> stopping_{false};
 
   std::unique_ptr<net::EventLoop> loop_;  // exists for the daemon lifetime
+  /// Admin HTTP plane on the same loop (null when disabled). Declared
+  /// after loop_ so it is destroyed first, once serve() has stopped it.
+  std::unique_ptr<obs::HttpServer> admin_;
   std::unique_ptr<Batcher> batcher_;
   std::unique_ptr<ThreadPool> pool_;
   int max_parallel_batches_ = 1;

@@ -5,6 +5,11 @@
 // broadcast's CRC gate. Workers run in-thread here (real TCP over
 // localhost, no forked processes) so failures are debuggable and the tests
 // stay fast.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -33,18 +38,24 @@ TEST(DistProtocol, HelloWelcomeRoundTrip) {
   hello.name = "worker-7";
   hello.pid = 4242;
   hello.threads = 3;
+  hello.hello_send_us = 123456.75;  // NTP t0 (docs/observability.md)
   HelloMsg h2;
   ASSERT_TRUE(decode_hello(encode_hello(hello), &h2));
   EXPECT_EQ(h2.protocol, kProtocolVersion);
   EXPECT_EQ(h2.name, "worker-7");
   EXPECT_EQ(h2.pid, 4242u);
   EXPECT_EQ(h2.threads, 3u);
+  EXPECT_EQ(h2.hello_send_us, 123456.75);  // f64 bits: exact
 
   WelcomeMsg welcome;
   welcome.worker_id = 9;
+  welcome.hello_recv_us = 5000.5;    // NTP t1
+  welcome.welcome_send_us = 5010.25; // NTP t2
   WelcomeMsg w2;
   ASSERT_TRUE(decode_welcome(encode_welcome(welcome), &w2));
   EXPECT_EQ(w2.worker_id, 9u);
+  EXPECT_EQ(w2.hello_recv_us, 5000.5);
+  EXPECT_EQ(w2.welcome_send_us, 5010.25);
   EXPECT_EQ(frame_type(encode_welcome(welcome)), FrameType::kWelcome);
 }
 
@@ -80,10 +91,14 @@ TEST(DistProtocol, OpenSessionRoundTripsConfigsExactly) {
 TEST(DistProtocol, RunTrialsAndResultsRoundTrip) {
   RunTrialsMsg run;
   run.session_id = 3;
+  run.trace_id = 0x123456789abcull;       // distributed trace context
+  run.parent_span_id = 0xfedcba987ull;
   run.items.push_back({101, 0xdeadbeefcafeull, Placement{0, 1, 2, 1}});
   run.items.push_back({102, 7, Placement{3, 3, 0, 0}});
   RunTrialsMsg run2;
   ASSERT_TRUE(decode_run_trials(encode_run_trials(run), &run2));
+  EXPECT_EQ(run2.trace_id, 0x123456789abcull);
+  EXPECT_EQ(run2.parent_span_id, 0xfedcba987ull);
   ASSERT_EQ(run2.items.size(), 2u);
   EXPECT_EQ(run2.items[0].trial_id, 101u);
   EXPECT_EQ(run2.items[0].seed, 0xdeadbeefcafeull);
@@ -92,6 +107,8 @@ TEST(DistProtocol, RunTrialsAndResultsRoundTrip) {
 
   ResultsMsg res;
   res.session_id = 3;
+  res.trace_id = 0x123456789abcull;  // echoed back by the worker
+  res.parent_span_id = 0x42;         // the worker's batch span
   ResultItem item;
   item.trial_id = 101;
   item.result.step_time = 1.5;
@@ -102,6 +119,8 @@ TEST(DistProtocol, RunTrialsAndResultsRoundTrip) {
   res.items.push_back(item);
   ResultsMsg res2;
   ASSERT_TRUE(decode_results(encode_results(res), &res2));
+  EXPECT_EQ(res2.trace_id, 0x123456789abcull);
+  EXPECT_EQ(res2.parent_span_id, 0x42u);
   ASSERT_EQ(res2.items.size(), 1u);
   EXPECT_EQ(res2.items[0].result.step_time, 1.5);
   EXPECT_TRUE(res2.items[0].result.valid);
@@ -437,8 +456,75 @@ TEST(DistMetrics, CoordinatorPublishesCounters) {
        {"mars_dist_coord_trials_dispatched_total",
         "mars_dist_coord_results_total", "mars_dist_coord_workers",
         "mars_dist_coord_env_wall_seconds_total",
-        "mars_dist_worker_trials_total", "mars_dist_worker_batches_total"})
+        "mars_dist_coord_batch_latency_ms",
+        "mars_dist_worker_trials_total", "mars_dist_worker_batches_total",
+        "mars_dist_worker_clock_offset_us"})
     EXPECT_NE(text.find(name), std::string::npos) << name;
+}
+
+// ---- Admin HTTP plane ------------------------------------------------------
+
+/// Minimal blocking HTTP client against the coordinator's admin port:
+/// sends one GET with Connection: close and returns the full reply.
+std::string admin_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  EXPECT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string reply;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+    reply.append(buf, static_cast<size_t>(n));
+  ::close(fd);
+  return reply;
+}
+
+TEST(DistAdmin, CoordinatorServesReadinessMetricsAndFlightRecorder) {
+  CoordinatorConfig config;
+  config.admin_port = 0;  // ephemeral
+  Coordinator coord(config);
+  ASSERT_GT(coord.admin_port(), 0);
+
+  // Liveness is unconditional; readiness requires a registered worker.
+  EXPECT_NE(admin_get(coord.admin_port(), "/healthz").find("HTTP/1.1 200"),
+            std::string::npos);
+  const std::string not_ready = admin_get(coord.admin_port(), "/readyz");
+  EXPECT_NE(not_ready.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(not_ready.find("no workers registered"), std::string::npos);
+
+  {
+    ThreadWorker tw(worker_config(coord.port(), "admin-test"));
+    ASSERT_TRUE(coord.wait_for_workers(1, 10.0));
+    EXPECT_NE(admin_get(coord.admin_port(), "/readyz").find("HTTP/1.1 200"),
+              std::string::npos);
+    const std::string metrics = admin_get(coord.admin_port(), "/metrics");
+    EXPECT_NE(metrics.find("mars_build_info"), std::string::npos);
+    EXPECT_NE(metrics.find("mars_process_start_time_seconds"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("mars_dist_coord_workers"), std::string::npos);
+  }
+  // The worker's registration and disconnect both land in the (process
+  // global) flight recorder served at /debug/flightrec.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (coord.worker_count() > 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(coord.worker_count(), 0);
+  const std::string flight =
+      admin_get(coord.admin_port(), "/debug/flightrec");
+  EXPECT_NE(flight.find("worker_up"), std::string::npos);
+  EXPECT_NE(flight.find("worker_down"), std::string::npos);
+  EXPECT_NE(flight.find("admin-test"), std::string::npos);
 }
 
 }  // namespace

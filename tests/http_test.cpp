@@ -1,0 +1,366 @@
+// HTTP exposition tests: the incremental request parser under truncation,
+// oversized and pipelined input (including a deterministic mutation fuzz
+// loop), response serialization, and the admin endpoints served over real
+// sockets through AdminServer (the mars_rollout_worker configuration).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/flightrec.h"
+#include "obs/http_exposition.h"
+#include "obs/metrics.h"
+
+namespace mars {
+namespace {
+
+using obs::AdminEndpoints;
+using obs::AdminServer;
+using obs::FlightRecorder;
+using obs::HttpParser;
+using obs::HttpRequest;
+using obs::HttpResponse;
+using obs::HttpServer;
+using obs::MetricsRegistry;
+using obs::mount_admin_routes;
+using obs::serialize_http_response;
+
+constexpr const char kSimpleGet[] =
+    "GET /metrics?format=prom HTTP/1.1\r\n"
+    "Host: localhost\r\n"
+    "Accept: */*\r\n"
+    "\r\n";
+
+// ------------------------------------------------------------------ parser
+
+TEST(HttpParser, ParsesRequestLineQueryAndHeaders) {
+  HttpParser parser;
+  parser.feed(kSimpleGet, sizeof(kSimpleGet) - 1);
+  HttpRequest req;
+  ASSERT_EQ(parser.next(&req), HttpParser::Result::kRequest);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/metrics");
+  EXPECT_EQ(req.query, "format=prom");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  ASSERT_EQ(req.headers.size(), 2u);
+  // Header lookup is case-insensitive.
+  const std::string* host = req.header("HOST");
+  ASSERT_NE(host, nullptr);
+  EXPECT_EQ(*host, "localhost");
+  EXPECT_EQ(req.header("x-missing"), nullptr);
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_EQ(parser.next(&req), HttpParser::Result::kNeedMore);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(HttpParser, TruncatedRequestNeedsMoreAtEveryPrefix) {
+  const std::string full(kSimpleGet);
+  for (size_t len = 0; len < full.size(); ++len) {
+    HttpParser parser;
+    parser.feed(full.data(), len);
+    HttpRequest req;
+    EXPECT_EQ(parser.next(&req), HttpParser::Result::kNeedMore)
+        << "prefix of " << len << " bytes parsed as complete or error";
+    EXPECT_EQ(parser.error_status(), 0);
+  }
+}
+
+TEST(HttpParser, ByteAtATimeFeedYieldsOneRequest) {
+  const std::string full(kSimpleGet);
+  HttpParser parser;
+  HttpRequest req;
+  for (size_t i = 0; i + 1 < full.size(); ++i) {
+    parser.feed(&full[i], 1);
+    ASSERT_EQ(parser.next(&req), HttpParser::Result::kNeedMore);
+  }
+  parser.feed(&full[full.size() - 1], 1);
+  ASSERT_EQ(parser.next(&req), HttpParser::Result::kRequest);
+  EXPECT_EQ(req.target, "/metrics");
+}
+
+TEST(HttpParser, PipelinedRequestsDrainOneAtATime) {
+  const std::string two = std::string(kSimpleGet) +
+                          "GET /healthz HTTP/1.1\r\n"
+                          "Connection: close\r\n"
+                          "\r\n";
+  HttpParser parser;
+  parser.feed(two.data(), two.size());
+  HttpRequest first;
+  ASSERT_EQ(parser.next(&first), HttpParser::Result::kRequest);
+  EXPECT_EQ(first.target, "/metrics");
+  EXPECT_TRUE(first.keep_alive);
+  HttpRequest second;
+  ASSERT_EQ(parser.next(&second), HttpParser::Result::kRequest);
+  EXPECT_EQ(second.target, "/healthz");
+  EXPECT_FALSE(second.keep_alive);  // Connection: close
+  HttpRequest none;
+  EXPECT_EQ(parser.next(&none), HttpParser::Result::kNeedMore);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(HttpParser, OversizedRequestLineRejected) {
+  HttpParser::Limits limits;
+  limits.max_request_line = 64;
+  HttpParser parser(limits);
+  const std::string request =
+      "GET /" + std::string(200, 'a') + " HTTP/1.1\r\n\r\n";
+  parser.feed(request.data(), request.size());
+  HttpRequest req;
+  EXPECT_EQ(parser.next(&req), HttpParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+  // The error is sticky: a valid follow-up request is not parsed.
+  parser.feed(kSimpleGet, sizeof(kSimpleGet) - 1);
+  EXPECT_EQ(parser.next(&req), HttpParser::Result::kError);
+}
+
+TEST(HttpParser, OversizedHeaderBlockRejected) {
+  HttpParser::Limits limits;
+  limits.max_header_bytes = 256;
+  HttpParser parser(limits);
+  std::string request = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 8; ++i)
+    request += "X-Pad-" + std::to_string(i) + ": " + std::string(64, 'p') +
+               "\r\n";
+  request += "\r\n";
+  parser.feed(request.data(), request.size());
+  HttpRequest req;
+  EXPECT_EQ(parser.next(&req), HttpParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, TooManyHeadersRejected) {
+  HttpParser::Limits limits;
+  limits.max_headers = 4;
+  HttpParser parser(limits);
+  std::string request = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 6; ++i)
+    request += "X-" + std::to_string(i) + ": v\r\n";
+  request += "\r\n";
+  parser.feed(request.data(), request.size());
+  HttpRequest req;
+  EXPECT_EQ(parser.next(&req), HttpParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, MalformedInputsGetSpecificStatuses) {
+  struct Case {
+    const char* request;
+    int status;
+  };
+  const Case cases[] = {
+      {"GARBAGE\r\n\r\n", 400},                        // no spaces
+      {"GET /x\r\n\r\n", 400},                         // missing version
+      {"GET /x HTTP/2.0\r\n\r\n", 505},                // unsupported version
+      {"GET /x HTTP/1.1\r\nno-colon\r\n\r\n", 400},    // malformed header
+      {"POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc", 501},  // body
+  };
+  for (const Case& c : cases) {
+    HttpParser parser;
+    parser.feed(c.request, std::strlen(c.request));
+    HttpRequest req;
+    EXPECT_EQ(parser.next(&req), HttpParser::Result::kError) << c.request;
+    EXPECT_EQ(parser.error_status(), c.status) << c.request;
+    EXPECT_FALSE(parser.error_reason().empty());
+  }
+}
+
+// Deterministic mutation fuzz: random truncations, byte flips and chunked
+// delivery of a valid request must always terminate in kRequest, kNeedMore
+// or a sticky kError with a known status — never crash or loop.
+TEST(HttpParser, MutationFuzzNeverCrashes) {
+  std::mt19937 rng(0xC0FFEE);
+  const std::string base(kSimpleGet);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string input = base + base;  // two pipelined requests
+    const int mutations = static_cast<int>(rng() % 8);
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng() % input.size();
+      switch (rng() % 3) {
+        case 0: input[pos] = static_cast<char>(rng() % 256); break;
+        case 1: input.erase(pos, 1 + rng() % 4); break;
+        default: input.insert(pos, 1, static_cast<char>(rng() % 256)); break;
+      }
+      if (input.empty()) input = "G";
+    }
+    input.resize(rng() % (input.size() + 1));  // random truncation
+
+    HttpParser parser;
+    size_t offset = 0;
+    int drained = 0;
+    while (offset < input.size()) {
+      const size_t chunk =
+          std::min(input.size() - offset, size_t(1 + rng() % 17));
+      parser.feed(input.data() + offset, chunk);
+      offset += chunk;
+      HttpRequest req;
+      HttpParser::Result result;
+      while ((result = parser.next(&req)) == HttpParser::Result::kRequest) {
+        ASSERT_LT(++drained, 64);  // progress: no infinite request stream
+      }
+      if (result == HttpParser::Result::kError) {
+        const int status = parser.error_status();
+        EXPECT_TRUE(status == 400 || status == 431 || status == 501 ||
+                    status == 505)
+            << "unexpected error status " << status;
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------- serialization
+
+TEST(HttpResponse, SerializesHeadAndBodyVariants) {
+  HttpResponse response;
+  response.status = 200;
+  response.body = "hello";
+  const std::string full = serialize_http_response(response, false, true);
+  EXPECT_EQ(full.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(full.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(full.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(full.substr(full.size() - 5), "hello");
+
+  // HEAD: same head (full Content-Length), no body bytes.
+  const std::string head = serialize_http_response(response, true, false);
+  EXPECT_NE(head.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(head.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(head.substr(head.size() - 4), "\r\n\r\n");
+}
+
+// ----------------------------------------------------- live admin server
+
+/// Blocking one-shot HTTP client: sends `request` to 127.0.0.1:port and
+/// returns everything the server writes until it closes the connection
+/// (requests therefore carry "Connection: close" on their last message).
+std::string http_exchange(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string reply;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) reply.append(buf, size_t(n));
+  ::close(fd);
+  return reply;
+}
+
+std::string simple_get(const std::string& path) {
+  return "GET " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+}
+
+TEST(AdminHttp, ServesStandardEndpointsOverRealSockets) {
+  MetricsRegistry registry;
+  registry.counter("t_http_hits", "test counter").inc(7);
+  FlightRecorder recorder;
+  recorder.record("shed", "conn %d cause %s", 5, "queue_full");
+  std::atomic<bool> ready{false};
+
+  AdminServer admin(HttpServer::Options{});
+  AdminEndpoints endpoints;
+  endpoints.metrics = &registry;
+  endpoints.flightrec = &recorder;
+  endpoints.ready = [&ready](std::string* reason) {
+    if (ready.load()) return true;
+    if (reason) *reason = "warming up";
+    return false;
+  };
+  mount_admin_routes(admin.http(), std::move(endpoints));
+  admin.start();
+  const int port = admin.port();
+  ASSERT_GT(port, 0);
+
+  const std::string metrics = http_exchange(port, simple_get("/metrics"));
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("t_http_hits 7"), std::string::npos);
+
+  const std::string vars = http_exchange(port, simple_get("/vars"));
+  EXPECT_NE(vars.find("\"t_http_hits\":7"), std::string::npos);
+
+  EXPECT_NE(http_exchange(port, simple_get("/healthz")).find("HTTP/1.1 200"),
+            std::string::npos);
+
+  const std::string not_ready = http_exchange(port, simple_get("/readyz"));
+  EXPECT_NE(not_ready.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(not_ready.find("warming up"), std::string::npos);
+  ready.store(true);
+  EXPECT_NE(http_exchange(port, simple_get("/readyz")).find("HTTP/1.1 200"),
+            std::string::npos);
+
+  const std::string flight =
+      http_exchange(port, simple_get("/debug/flightrec"));
+  EXPECT_NE(flight.find("shed"), std::string::npos);
+  EXPECT_NE(flight.find("queue_full"), std::string::npos);
+
+  EXPECT_NE(http_exchange(port, simple_get("/nope")).find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(
+      http_exchange(port, "POST /metrics HTTP/1.1\r\nHost: t\r\n"
+                          "Connection: close\r\n\r\n")
+          .find("HTTP/1.1 405"),
+      std::string::npos);
+}
+
+TEST(AdminHttp, PipelinedRequestsAnsweredInOrderOnOneConnection) {
+  MetricsRegistry registry;
+  registry.counter("t_pipe", "test counter").inc(1);
+  AdminServer admin(HttpServer::Options{});
+  AdminEndpoints endpoints;
+  endpoints.metrics = &registry;
+  mount_admin_routes(admin.http(), std::move(endpoints));
+  admin.start();
+
+  const std::string both =
+      "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n" + simple_get("/healthz");
+  const std::string reply = http_exchange(admin.port(), both);
+  const size_t first = reply.find("HTTP/1.1 200");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(reply.find("HTTP/1.1 200", first + 1), std::string::npos);
+  const size_t metrics_at = reply.find("t_pipe 1");
+  const size_t health_at = reply.find("ok", metrics_at);
+  EXPECT_NE(metrics_at, std::string::npos);
+  EXPECT_NE(health_at, std::string::npos);
+}
+
+TEST(AdminHttp, HeadRequestReturnsHeadersWithoutBody) {
+  AdminServer admin(HttpServer::Options{});
+  mount_admin_routes(admin.http());
+  admin.start();
+  const std::string reply = http_exchange(
+      admin.port(),
+      "HEAD /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(reply.find("Content-Length: "), std::string::npos);
+  EXPECT_EQ(reply.substr(reply.size() - 4), "\r\n\r\n");  // no body bytes
+}
+
+TEST(AdminHttp, OversizedRequestAnsweredWith431AndClose) {
+  AdminServer admin(HttpServer::Options{});
+  mount_admin_routes(admin.http());
+  admin.start();
+  const std::string huge =
+      "GET /" + std::string(8192, 'a') + " HTTP/1.1\r\nHost: t\r\n\r\n";
+  const std::string reply = http_exchange(admin.port(), huge);
+  EXPECT_NE(reply.find("HTTP/1.1 431"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mars

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "sim/simulator.h"
@@ -20,6 +21,7 @@ namespace mars {
 namespace {
 
 using obs::Counter;
+using obs::FlightRecorder;
 using obs::Gauge;
 using obs::Histogram;
 using obs::MetricsRegistry;
@@ -59,6 +61,36 @@ TEST(Quantile, FromBucketsInterpolatesWithinBucket) {
   EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, empty, 0.5), 0);
   const std::vector<uint64_t> mismatched{1, 2};
   EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, mismatched, 0.5), 0);
+}
+
+TEST(Quantile, DegenerateHistogramWithNoFiniteBounds) {
+  // Only the +Inf overflow bucket exists: there is no finite bound to
+  // clamp to, so every quantile is 0 regardless of the mass.
+  const std::vector<double> no_bounds;
+  const std::vector<uint64_t> only_overflow{9};
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(no_bounds, only_overflow, 0.5), 0);
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(no_bounds, only_overflow, 1.0), 0);
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(no_bounds, {}, 0.5), 0);
+}
+
+TEST(Quantile, AllMassInOverflowClampsToLargestFiniteBound) {
+  const std::vector<double> bounds{1, 2};
+  const std::vector<uint64_t> over{0, 0, 7};
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, over, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, over, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, over, 0.99), 2.0);
+}
+
+TEST(Quantile, SingleSampleInterpolatesWithinItsBucket) {
+  const std::vector<double> bounds{10};
+  const std::vector<uint64_t> one{1, 0};
+  // A lone sample in (0, 10]: quantiles sweep the bucket linearly, with
+  // out-of-range p clamped to the ends.
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, one, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, one, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, one, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, one, -0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(bounds, one, 1.5), 10.0);
 }
 
 // ----------------------------------------------------------------- metrics
@@ -336,6 +368,151 @@ TEST(Span, MultithreadedRecordingKeepsEveryEvent) {
     EXPECT_GE(ev.track, 0);
     EXPECT_LT(ev.track, tracks);
   }
+}
+
+// ---------------------------------------------- distributed trace context
+
+TEST(Span, TraceContextPropagatesIntoEventsAndChromeArgs) {
+  SpanRecorder rec;
+  rec.set_enabled(true);
+  const uint64_t trace_id = SpanRecorder::next_span_id();
+  uint64_t parent_span = 0;
+  {
+    SpanRecorder::Span parent(rec, "parent", "dist", trace_id, 0);
+    parent_span = parent.span_id();
+    EXPECT_NE(parent_span, 0u);
+    EXPECT_EQ(parent.trace_id(), trace_id);
+    SpanRecorder::Span child(rec, "child", "dist", trace_id,
+                             parent.span_id());
+    EXPECT_NE(child.span_id(), 0u);
+    EXPECT_NE(child.span_id(), parent_span);
+  }
+  const std::vector<obs::SpanEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);  // child closes (and records) first
+  EXPECT_EQ(events[0].name, "child");
+  EXPECT_EQ(events[0].trace_id, trace_id);
+  EXPECT_EQ(events[0].parent_id, parent_span);
+  EXPECT_EQ(events[1].parent_id, 0u);
+
+  std::ostringstream out;
+  rec.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"span_id\": \"" + std::to_string(parent_span) + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\": \"" +
+                      std::to_string(parent_span) + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": \"" + std::to_string(trace_id) + "\""),
+            std::string::npos);
+}
+
+TEST(Span, DisabledRecorderGivesZeroIdsForTracedSpans) {
+  SpanRecorder rec;  // disabled
+  SpanRecorder::Span span(rec, "ignored", "dist", 5, 6);
+  EXPECT_EQ(span.span_id(), 0u);
+  EXPECT_EQ(span.trace_id(), 0u);
+}
+
+TEST(Span, NextSpanIdIsNonzeroAndUnique) {
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(SpanRecorder::next_span_id());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_NE(ids.front(), 0u);
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(Span, ChromeTraceCarriesClockSyncOffset) {
+  SpanRecorder rec;
+  rec.set_enabled(true);
+  rec.set_clock_offset_us(1234.5);
+  EXPECT_DOUBLE_EQ(rec.clock_offset_us(), 1234.5);
+  std::ostringstream out;
+  rec.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("clock_sync"), std::string::npos);
+  EXPECT_NE(json.find("\"clock_offset_us\": 1234.5"), std::string::npos);
+}
+
+// --------------------------------------------------------- flight recorder
+
+TEST(FlightRec, RecordsStructuredEventsInOrder) {
+  FlightRecorder fr;
+  fr.record("shed", "conn %d cause %s", 7, "queue_full");
+  fr.record("requeue", "%d trials from dead worker %d", 3, 2);
+  const std::vector<FlightRecorder::Event> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].kind, "shed");
+  EXPECT_EQ(events[0].detail, "conn 7 cause queue_full");
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[1].kind, "requeue");
+  EXPECT_EQ(events[1].detail, "3 trials from dead worker 2");
+  EXPECT_GE(events[0].mono_ms, 0);
+  EXPECT_GT(events[0].wall_ms, 0);
+  EXPECT_EQ(fr.total_recorded(), 2u);
+  const std::string text = fr.dump_text();
+  EXPECT_NE(text.find("shed"), std::string::npos);
+  EXPECT_NE(text.find("queue_full"), std::string::npos);
+}
+
+TEST(FlightRec, OversizedKindAndDetailAreTruncatedNotCorrupted) {
+  FlightRecorder fr;
+  const std::string long_detail(300, 'd');
+  fr.record("a-kind-name-longer-than-the-slot", "%s", long_detail.c_str());
+  const std::vector<FlightRecorder::Event> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LT(events[0].kind.size(), FlightRecorder::kKindBytes);
+  EXPECT_EQ(events[0].kind,
+            std::string("a-kind-name-longer-than-the-slot")
+                .substr(0, events[0].kind.size()));
+  EXPECT_LT(events[0].detail.size(), FlightRecorder::kDetailBytes);
+  EXPECT_EQ(events[0].detail, long_detail.substr(0, events[0].detail.size()));
+}
+
+TEST(FlightRec, RingWrapsKeepingTheNewestEvents) {
+  FlightRecorder fr;
+  const int total = static_cast<int>(FlightRecorder::kCapacity) + 44;
+  for (int i = 1; i <= total; ++i) fr.record("tick", "event %d", i);
+  EXPECT_EQ(fr.total_recorded(), static_cast<uint64_t>(total));
+  const std::vector<FlightRecorder::Event> events = fr.snapshot();
+  ASSERT_EQ(events.size(), FlightRecorder::kCapacity);
+  EXPECT_EQ(events.front().seq,
+            static_cast<uint64_t>(total) - FlightRecorder::kCapacity + 1);
+  EXPECT_EQ(events.back().seq, static_cast<uint64_t>(total));
+  for (size_t i = 1; i < events.size(); ++i)
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  EXPECT_EQ(events.back().detail, "event " + std::to_string(total));
+}
+
+// Writers from many threads against a concurrent reader: snapshots only
+// ever contain fully-published events (never torn kind/detail), seqs stay
+// strictly increasing, and the lifetime total is exact (TSan in CI).
+TEST(FlightRec, MultithreadedWritersWithConcurrentReader) {
+  FlightRecorder fr;
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 400;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      const std::vector<FlightRecorder::Event> events = fr.snapshot();
+      for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].kind, "mt");
+        EXPECT_EQ(events[i].detail.rfind("writer ", 0), 0u);
+        if (i > 0) EXPECT_GT(events[i].seq, events[i - 1].seq);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&fr, t] {
+      for (int i = 0; i < kEvents; ++i)
+        fr.record("mt", "writer %d event %d", t, i);
+    });
+  for (auto& t : writers) t.join();
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(fr.total_recorded(),
+            static_cast<uint64_t>(kThreads) * kEvents);
 }
 
 }  // namespace

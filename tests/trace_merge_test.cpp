@@ -1,0 +1,174 @@
+// Tests for the distributed trace merge (obs/trace_merge.h): clock
+// alignment from clock_sync metadata, cross-process parent/child edges
+// rendered as flow events, unresolved-parent diagnostics, and malformed
+// input rejection — the library behind mars_trace_merge, tested without
+// spawning daemons.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/span.h"
+#include "obs/trace_merge.h"
+#include "util/json.h"
+
+namespace mars {
+namespace {
+
+using obs::SpanRecorder;
+using obs::TraceMergeInput;
+using obs::TraceMergeStats;
+using obs::merge_chrome_traces;
+
+/// The first "X" event named `name`, or null.
+const Json* find_event(const Json& merged, const std::string& name) {
+  for (size_t i = 0; i < merged.size(); ++i) {
+    const Json& event = merged.at(i);
+    if (event.get_string("ph", "") == "X" &&
+        event.get_string("name", "") == name)
+      return &event;
+  }
+  return nullptr;
+}
+
+size_t count_ph(const Json& merged, const std::string& ph) {
+  size_t n = 0;
+  for (size_t i = 0; i < merged.size(); ++i)
+    if (merged.at(i).get_string("ph", "") == ph) ++n;
+  return n;
+}
+
+TEST(TraceMerge, AlignsClocksAndResolvesCrossProcessParentage) {
+  // Coordinator timeline: a dist.batch root span with a dist.dispatch
+  // child, exactly the shape the coordinator records per batch.
+  SpanRecorder coord;
+  coord.set_enabled(true);
+  const uint64_t trace_id = SpanRecorder::next_span_id();
+  uint64_t dispatch_id = 0;
+  {
+    SpanRecorder::Span batch(coord, "dist.batch", "dist", trace_id, 0);
+    SpanRecorder::Span dispatch(coord, "dist.dispatch", "dist", trace_id,
+                                batch.span_id());
+    dispatch_id = dispatch.span_id();
+    ASSERT_NE(dispatch_id, 0u);
+  }
+  // Worker timeline: its batch span parents on the coordinator's dispatch
+  // span, and its clock runs 2.5 ms behind the coordinator's.
+  SpanRecorder worker;
+  worker.set_enabled(true);
+  worker.set_clock_offset_us(2500.0);
+  { SpanRecorder::Span wb(worker, "dist.worker.batch", "dist", trace_id,
+                          dispatch_id); }
+
+  std::ostringstream coord_json, worker_json;
+  coord.write_chrome_trace(coord_json);
+  worker.write_chrome_trace(worker_json);
+
+  TraceMergeStats stats;
+  const Json merged = merge_chrome_traces(
+      {{"coordinator", coord_json.str()}, {"worker", worker_json.str()}},
+      &stats);
+  EXPECT_EQ(stats.processes, 2u);
+  EXPECT_EQ(stats.events, 3u);
+  EXPECT_EQ(stats.spans_with_parent, 2u);  // dispatch + worker batch
+  EXPECT_EQ(stats.parents_resolved, 2u);
+  EXPECT_EQ(stats.cross_process_edges, 1u);
+  EXPECT_TRUE(stats.unresolved.empty());
+
+  // The worker's event moved onto the coordinator timeline: its merged ts
+  // is the raw per-process ts plus the clock_sync offset.
+  const Json raw_worker = Json::parse(worker_json.str());
+  double raw_ts = -1;
+  for (size_t i = 0; i < raw_worker.size(); ++i)
+    if (raw_worker.at(i).get_string("ph", "") == "X")
+      raw_ts = raw_worker.at(i).get_double("ts", -1);
+  ASSERT_GE(raw_ts, 0);
+  const Json* wb = find_event(merged, "dist.worker.batch");
+  ASSERT_NE(wb, nullptr);
+  EXPECT_DOUBLE_EQ(wb->get_double("ts", -1), raw_ts + 2500.0);
+  EXPECT_EQ(wb->get_int("pid", 0), 2);  // input order becomes Chrome pid
+
+  const Json* dispatch = find_event(merged, "dist.dispatch");
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(dispatch->get_int("pid", 0), 1);
+
+  // Parent/child edges render as paired flow events, and every input got
+  // a process_name metadata record.
+  EXPECT_EQ(count_ph(merged, "s"), 2u);
+  EXPECT_EQ(count_ph(merged, "f"), 2u);
+  size_t process_names = 0;
+  bool saw_worker_label = false;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    const Json& event = merged.at(i);
+    if (event.get_string("ph", "") != "M" ||
+        event.get_string("name", "") != "process_name")
+      continue;
+    ++process_names;
+    if (event.at("args").get_string("name", "") == "worker")
+      saw_worker_label = true;
+  }
+  EXPECT_EQ(process_names, 2u);
+  EXPECT_TRUE(saw_worker_label);
+  // clock_sync records are consumed by the merge, not forwarded.
+  for (size_t i = 0; i < merged.size(); ++i)
+    EXPECT_NE(merged.at(i).get_string("name", ""), "clock_sync");
+}
+
+TEST(TraceMerge, UnresolvedParentIsReportedNotDropped) {
+  SpanRecorder rec;
+  rec.set_enabled(true);
+  const uint64_t trace_id = SpanRecorder::next_span_id();
+  const uint64_t missing_parent = SpanRecorder::next_span_id();
+  { SpanRecorder::Span orphan(rec, "dist.orphan", "dist", trace_id,
+                              missing_parent); }
+  std::ostringstream json;
+  rec.write_chrome_trace(json);
+
+  TraceMergeStats stats;
+  const Json merged = merge_chrome_traces({{"only", json.str()}}, &stats);
+  EXPECT_EQ(stats.spans_with_parent, 1u);
+  EXPECT_EQ(stats.parents_resolved, 0u);
+  EXPECT_EQ(stats.cross_process_edges, 0u);
+  ASSERT_EQ(stats.unresolved.size(), 1u);
+  EXPECT_NE(stats.unresolved[0].find("dist.orphan"), std::string::npos);
+  EXPECT_NE(stats.unresolved[0].find("only"), std::string::npos);
+  // The orphan span itself still lands in the merged output, unflowed.
+  EXPECT_NE(find_event(merged, "dist.orphan"), nullptr);
+  EXPECT_EQ(count_ph(merged, "s"), 0u);
+}
+
+TEST(TraceMerge, SameProcessParentageIsNotCountedCrossProcess) {
+  SpanRecorder rec;
+  rec.set_enabled(true);
+  const uint64_t trace_id = SpanRecorder::next_span_id();
+  {
+    SpanRecorder::Span parent(rec, "parent", "dist", trace_id, 0);
+    SpanRecorder::Span child(rec, "child", "dist", trace_id,
+                             parent.span_id());
+  }
+  std::ostringstream json;
+  rec.write_chrome_trace(json);
+  TraceMergeStats stats;
+  merge_chrome_traces({{"solo", json.str()}}, &stats);
+  EXPECT_EQ(stats.parents_resolved, 1u);
+  EXPECT_EQ(stats.cross_process_edges, 0u);
+}
+
+TEST(TraceMerge, MalformedInputThrows) {
+  EXPECT_THROW(merge_chrome_traces({{"bad", "{not json"}}), JsonError);
+  // Valid JSON that is not a trace-event array is rejected too.
+  EXPECT_THROW(merge_chrome_traces({{"bad", "{}"}}), JsonError);
+}
+
+TEST(TraceMerge, EmptyInputListProducesEmptyArray) {
+  TraceMergeStats stats;
+  const Json merged = merge_chrome_traces({}, &stats);
+  EXPECT_TRUE(merged.is_array());
+  EXPECT_EQ(merged.size(), 0u);
+  EXPECT_EQ(stats.processes, 0u);
+  EXPECT_EQ(stats.events, 0u);
+}
+
+}  // namespace
+}  // namespace mars
