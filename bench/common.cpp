@@ -3,6 +3,7 @@
 #include <csignal>
 #include <cstdio>
 
+#include "net/fault.h"
 #include "nn/serialize.h"
 #include "rl/optimizer.h"
 #include "rl/policy.h"
@@ -14,18 +15,38 @@ namespace mars::bench {
 
 namespace {
 
-dist::CoordinatorConfig bench_coord_config(int admin_port) {
+dist::CoordinatorConfig bench_coord_config(int admin_port,
+                                           int trial_timeout_ms) {
   dist::CoordinatorConfig cfg;
   cfg.admin_port = admin_port;
+  if (trial_timeout_ms > 0) cfg.trial_timeout_ms = trial_timeout_ms;
   return cfg;
+}
+
+/// The --chaos-seed gauntlet mix: every outbound fault class the protocol
+/// must absorb, scoped to dist links, with a budget so runs stay finite.
+net::FaultSpec default_chaos_spec(uint64_t seed) {
+  net::FaultSpec s;
+  s.seed = seed;
+  s.scope = "dist";
+  s.corrupt = 0.01;
+  s.dup = 0.01;
+  s.drop_frame = 0.01;
+  s.delay = 0.02;
+  s.delay_ms = 5;
+  s.drop_conn = 0.002;
+  s.budget = 400;
+  return s;
 }
 
 }  // namespace
 
 DistRuntime::DistRuntime(int workers, const std::string& worker_bin,
                          int kill_after_round, int admin_port,
-                         int worker_admin_base, int worker_crash_trials)
-    : coordinator(bench_coord_config(admin_port)),
+                         int worker_admin_base, int worker_crash_trials,
+                         const std::string& net_fault_spec,
+                         int trial_timeout_ms)
+    : coordinator(bench_coord_config(admin_port, trial_timeout_ms)),
       kill_after_round(kill_after_round) {
   const std::string bin =
       worker_bin.empty() ? dist::default_worker_bin() : worker_bin;
@@ -40,6 +61,10 @@ DistRuntime::DistRuntime(int workers, const std::string& worker_bin,
     if (i == 0 && worker_crash_trials > 0) {
       extra.push_back("--crash-after-trials");
       extra.push_back(std::to_string(worker_crash_trials));
+    }
+    if (!net_fault_spec.empty()) {
+      extra.push_back("--net-fault");
+      extra.push_back(net_fault_spec);
     }
     const pid_t pid =
         dist::spawn_worker(bin, "127.0.0.1", coordinator.port(), 1,
@@ -169,14 +194,34 @@ Profile parse_profile(const CliArgs& args) {
   const int admin_port = args.get_int("admin-port", -1);
   const int worker_admin_base = args.get_int("worker-admin-base", 0);
   const int worker_crash_trials = args.get_int("worker-crash-trials", 0);
+  const std::string chaos_text = args.get("chaos-spec", "");
+  const int chaos_seed = args.get_int("chaos-seed", 0);
+  net::FaultSpec chaos;
+  if (!chaos_text.empty()) {
+    std::string error;
+    MARS_CHECK_MSG(net::parse_fault_spec(chaos_text, &chaos, &error),
+                   "bad --chaos-spec: " << error);
+  } else if (chaos_seed != 0) {
+    chaos = default_chaos_spec(static_cast<uint64_t>(chaos_seed));
+  }
+  if (chaos_seed != 0) chaos.seed = static_cast<uint64_t>(chaos_seed);
+  const bool chaos_active = chaos.any();
+  std::string chaos_forward;
+  if (chaos_active) {
+    net::FaultPlan::configure(chaos);
+    chaos_forward = net::format_fault_spec(chaos);
+    std::printf("(network chaos armed: %s)\n", chaos_forward.c_str());
+  }
   if (workers > 0) {
     if ((kill_after >= 0 || worker_crash_trials > 0) && workers < 2)
       MARS_WARN << "--kill-worker-after-round/--worker-crash-trials with "
                 << "--workers " << workers
                 << ": losing the only worker would stall training";
-    p.dist = std::make_shared<DistRuntime>(workers, worker_bin, kill_after,
-                                           admin_port, worker_admin_base,
-                                           worker_crash_trials);
+    // Chaos drops/blackholes frames; the straggler deadline is what turns
+    // those losses into re-dispatches instead of a stalled batch.
+    p.dist = std::make_shared<DistRuntime>(
+        workers, worker_bin, kill_after, admin_port, worker_admin_base,
+        worker_crash_trials, chaos_forward, chaos_active ? 2000 : 0);
     std::printf("(distributed rollouts: coordinator on 127.0.0.1:%d, %d "
                 "worker processes)\n",
                 p.dist->coordinator.port(), workers);

@@ -37,6 +37,16 @@
 //                     the bound port is printed; docs/observability.md)
 //   --worker-admin-base B  with --workers: worker i exposes the same admin
 //                     endpoints on 127.0.0.1:(B+i); 0 (default) disables
+//   --chaos-seed S    seeded network chaos (net/fault.h): arms the default
+//                     gauntlet mix (corruption, dup/dropped frames, delays,
+//                     connection drops on dist links) in this process and
+//                     every spawned worker. The run must still produce
+//                     byte-identical results — that is the invariant CI's
+//                     chaos-smoke checks
+//   --chaos-spec SPEC custom fault spec (grammar in net/fault.h);
+//                     --chaos-seed, when also given, overrides its seed.
+//                     With --workers the coordinator's straggler deadline
+//                     is armed (2s) so dropped frames heal via re-dispatch
 #pragma once
 
 #include <atomic>
@@ -65,10 +75,15 @@ namespace mars::bench {
 /// stragglers are SIGKILLed. admin_port >= 0 turns on the coordinator's
 /// admin HTTP plane; worker_admin_base > 0 gives worker i port base+i;
 /// worker_crash_trials > 0 arms worker 0's --crash-after-trials hook.
+/// A non-empty net_fault_spec is forwarded to every worker via --net-fault,
+/// and trial_timeout_ms > 0 arms the coordinator's straggler deadline
+/// (chaos runs need it: a dropped frame must heal by re-dispatch).
 struct DistRuntime {
   DistRuntime(int workers, const std::string& worker_bin,
               int kill_after_round, int admin_port = -1,
-              int worker_admin_base = 0, int worker_crash_trials = 0);
+              int worker_admin_base = 0, int worker_crash_trials = 0,
+              const std::string& net_fault_spec = {},
+              int trial_timeout_ms = 0);
   ~DistRuntime();
   DistRuntime(const DistRuntime&) = delete;
   DistRuntime& operator=(const DistRuntime&) = delete;

@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -23,6 +24,7 @@
 #include "graph/graph_io.h"
 #include "net/conn.h"
 #include "net/event_loop.h"
+#include "net/fault.h"
 #include "obs/flightrec.h"
 #include "obs/http_exposition.h"
 #include "obs/metrics.h"
@@ -70,11 +72,25 @@ struct CoordMetrics {
       obs::labeled_name("mars_dist_coord_redispatch_total",
                         {{"reason", "straggler"}}),
       "Trial re-issues by cause");
+  obs::Counter& crc_errors = registry.counter(
+      "mars_dist_coord_frame_crc_errors_total",
+      "Worker frames rejected by the v3 CRC trailer check");
+  obs::Counter& rejoins = registry.counter(
+      "mars_dist_coord_worker_rejoins_total",
+      "Workers re-registering after a previous connection (same name/pid)");
 };
 
 CoordMetrics& metrics() {
   static CoordMetrics* m = new CoordMetrics();
   return *m;
+}
+
+/// Per-reason series under one base name, created on first use.
+obs::Counter& worker_error_counter(ErrorCode code) {
+  return obs::MetricsRegistry::global().counter(
+      obs::labeled_name("mars_dist_coord_worker_errors_total",
+                        {{"reason", to_string(code)}}),
+      "Worker-reported kError frames by reason");
 }
 
 void close_quiet(int fd) {
@@ -147,6 +163,7 @@ struct Coordinator::Impl {
     std::string name;
     uint64_t pid = 0;
     uint32_t threads = 0;
+    std::string identity;  ///< "name/pid": stable across reconnects
     uint64_t acked_version = 0;
     int outstanding = 0;
     std::unordered_set<uint64_t> assigned;  ///< trial uids held
@@ -167,6 +184,14 @@ struct Coordinator::Impl {
   std::mutex ready_mu;
   std::condition_variable ready_cv;
   int ready_workers = 0;  // guarded by ready_mu, mirrors loop-side count
+  /// Cumulative per-identity dispatch accounting, keyed "name/pid" so it
+  /// survives reconnects — how tests prove a rejoined worker kept serving.
+  /// Written by the loop thread, read via worker_dispatch_stats().
+  std::mutex identity_mu;
+  std::map<std::string, WorkerDispatchStats> identities;
+
+  void charge_identity(const WorkerState& w, int64_t dispatched,
+                       int64_t results);
 
   void accept_ready();
   void on_frame(net::Conn& conn, std::string frame);
@@ -178,9 +203,20 @@ struct Coordinator::Impl {
   void redispatch_straggler(Session::State& st, size_t index);
   void arm_straggler_timer();
   void check_stragglers();
-  void protocol_error(net::Conn& conn, const std::string& what);
+  void protocol_error(net::Conn& conn, const std::string& what,
+                      ErrorCode code = ErrorCode::kGeneric);
+  void handle_worker_error(net::Conn& conn, const ErrorMsg& err);
   void set_ready_count(int delta);
 };
+
+void Coordinator::Impl::charge_identity(const WorkerState& w,
+                                        int64_t dispatched, int64_t results) {
+  if (w.identity.empty()) return;
+  std::lock_guard<std::mutex> lock(identity_mu);
+  WorkerDispatchStats& s = identities[w.identity];
+  s.dispatched += dispatched;
+  s.results += results;
+}
 
 void Coordinator::Impl::set_ready_count(int delta) {
   std::lock_guard<std::mutex> lock(ready_mu);
@@ -200,6 +236,7 @@ void Coordinator::Impl::accept_ready() {
       return;
     }
     const uint64_t id = next_conn_id++;
+    net::FaultPlan::arm(fd, "dist");
     net::Conn::Callbacks callbacks;
     callbacks.on_frame = [this](net::Conn& conn, uint64_t /*seq*/,
                                 std::string frame) {
@@ -216,14 +253,30 @@ void Coordinator::Impl::accept_ready() {
 }
 
 void Coordinator::Impl::protocol_error(net::Conn& conn,
-                                       const std::string& what) {
+                                       const std::string& what,
+                                       ErrorCode code) {
   MARS_WARN << "dist coordinator: " << what << " (worker conn " << conn.id()
             << ")";
-  conn.send(encode_error({what}));
+  conn.send(encode_error({code, 0, what}));
   conn.close();  // on_close re-queues anything it held
 }
 
 void Coordinator::Impl::on_frame(net::Conn& conn, std::string frame) {
+  if (!frame_crc_ok(frame)) {
+    // A poisoned link, not a protocol bug: count it, drop the connection
+    // without attempting to talk over it, and let requeue + the worker's
+    // reconnect heal. (Sending an error frame over a link that just
+    // corrupted a frame would only add noise.)
+    metrics().crc_errors.inc();
+    obs::FlightRecorder::global().record(
+        "frame_crc", "corrupt frame (%llu bytes) from worker conn %llu",
+        static_cast<unsigned long long>(frame.size()),
+        static_cast<unsigned long long>(conn.id()));
+    MARS_WARN << "dist coordinator: frame failed CRC from worker conn "
+              << conn.id() << ", dropping connection";
+    conn.close();
+    return;
+  }
   switch (frame_type(frame)) {
     case FrameType::kHello: {
       // NTP t1 for the worker's clock-offset estimate: read before any
@@ -231,19 +284,23 @@ void Coordinator::Impl::on_frame(net::Conn& conn, std::string frame) {
       const double hello_recv_us = obs::SpanRecorder::global().now_us();
       HelloMsg hello;
       if (!decode_hello(frame, &hello))
-        return protocol_error(conn, "malformed hello");
+        return protocol_error(conn, "malformed hello",
+                              ErrorCode::kMalformedFrame);
       if (hello.protocol != kProtocolVersion)
         return protocol_error(
-            conn, "protocol version mismatch (worker speaks v" +
-                      std::to_string(hello.protocol) + ", coordinator v" +
-                      std::to_string(kProtocolVersion) + ")");
+            conn,
+            "protocol version mismatch (worker speaks v" +
+                std::to_string(hello.protocol) + ", coordinator v" +
+                std::to_string(kProtocolVersion) + ")",
+            ErrorCode::kProtocolMismatch);
       register_worker(conn.id(), std::move(hello), hello_recv_us);
       return;
     }
     case FrameType::kParamsAck: {
       ParamsAckMsg ack;
       if (!decode_params_ack(frame, &ack))
-        return protocol_error(conn, "malformed params ack");
+        return protocol_error(conn, "malformed params ack",
+                              ErrorCode::kMalformedFrame);
       auto it = workers.find(conn.id());
       if (it != workers.end()) it->second.acked_version = ack.version;
       if (ack.version != params_version)
@@ -255,15 +312,19 @@ void Coordinator::Impl::on_frame(net::Conn& conn, std::string frame) {
     case FrameType::kResults: {
       ResultsMsg msg;
       if (!decode_results(frame, &msg))
-        return protocol_error(conn, "malformed results");
+        return protocol_error(conn, "malformed results",
+                              ErrorCode::kMalformedFrame);
       handle_results(conn.id(), msg);
       return;
     }
     case FrameType::kError: {
       ErrorMsg err;
-      MARS_WARN << "dist worker " << conn.id() << " reported: "
-                << (decode_error(frame, &err) ? err.message
-                                              : "<malformed error frame>");
+      if (!decode_error(frame, &err)) {
+        MARS_WARN << "dist worker " << conn.id()
+                  << " sent a malformed error frame";
+        return;
+      }
+      handle_worker_error(conn, err);
       return;
     }
     default:
@@ -281,6 +342,25 @@ void Coordinator::Impl::register_worker(uint64_t id, HelloMsg hello,
   w.name = std::move(hello.name);
   w.pid = hello.pid;
   w.threads = hello.threads;
+  w.identity = w.name + "/" + std::to_string(w.pid);
+  int64_t connects = 0;
+  {
+    std::lock_guard<std::mutex> lock(identity_mu);
+    WorkerDispatchStats& s = identities[w.identity];
+    if (s.identity.empty()) s.identity = w.identity;
+    connects = ++s.connects;
+  }
+  if (connects > 1) {
+    // Same name/pid seen before: a mid-session rejoin. The catch-up
+    // below re-ships params + open sessions, so the worker serves again.
+    metrics().rejoins.inc();
+    MARS_INFO << "dist worker '" << w.identity << "' rejoined (connection #"
+              << connects << ")";
+    obs::FlightRecorder::global().record(
+        "worker_rejoin", "worker %llu '%s' rejoined, connection #%lld",
+        static_cast<unsigned long long>(id), w.identity.c_str(),
+        static_cast<long long>(connects));
+  }
   // t1/t2 close the NTP exchange the worker opened with hello_send_us.
   w.conn->send(encode_welcome({kProtocolVersion, id, hello_recv_us,
                                obs::SpanRecorder::global().now_us()}));
@@ -352,9 +432,67 @@ void Coordinator::Impl::on_close(net::Conn& conn) {
   if (requeued > 0) dispatch();
 }
 
+void Coordinator::Impl::handle_worker_error(net::Conn& conn,
+                                            const ErrorMsg& err) {
+  worker_error_counter(err.code).inc();
+  auto it = workers.find(conn.id());
+  const char* name = it != workers.end() ? it->second.name.c_str() : "?";
+  MARS_WARN << "dist worker " << conn.id() << " ('" << name << "') reported "
+            << to_string(err.code) << ": " << err.message;
+  obs::FlightRecorder::global().record(
+      "worker_error", "worker %llu '%s': %s (session %llu)",
+      static_cast<unsigned long long>(conn.id()), name, to_string(err.code),
+      static_cast<unsigned long long>(err.session_id));
+  if (err.code != ErrorCode::kUnknownSession || it == workers.end()) return;
+  auto sit = sessions.find(err.session_id);
+  if (sit == sessions.end()) return;
+  Session::State* st = sit->second.get();
+  // The worker missed this session's kOpenSession (a lost frame): re-ship
+  // it, then requeue the trials the worker holds for it — the worker
+  // discarded them when it couldn't find the session. Counted in the
+  // worker_death re-dispatch bucket: like a death, the worker lost state.
+  conn.send(st->open_frame);
+  WorkerState& w = it->second;
+  size_t requeued = 0;
+  for (auto uid_it = w.assigned.begin(); uid_it != w.assigned.end();) {
+    auto lit = live.find(*uid_it);
+    if (lit == live.end() || lit->second.first != st) {
+      ++uid_it;
+      continue;
+    }
+    const size_t index = lit->second.second;
+    Session::State::Trial& trial = st->batch->trials[index];
+    trial.holders.erase(
+        std::remove(trial.holders.begin(), trial.holders.end(), conn.id()),
+        trial.holders.end());
+    uid_it = w.assigned.erase(uid_it);
+    --w.outstanding;
+    if (trial.done || !trial.holders.empty()) continue;
+    st->batch->queue.push_front(index);
+    trial.deadline_ms = kNoDeadline;
+    metrics().redispatched.inc();
+    metrics().redispatch_death.inc();
+    {
+      std::lock_guard<std::mutex> lock(st->stats_mu);
+      ++st->stats.redispatched;
+      ++st->stats.redispatched_death;
+    }
+    ++requeued;
+  }
+  if (requeued > 0) {
+    obs::FlightRecorder::global().record(
+        "requeue", "%llu trials of session %llu back from worker %llu",
+        static_cast<unsigned long long>(requeued),
+        static_cast<unsigned long long>(err.session_id),
+        static_cast<unsigned long long>(conn.id()));
+    dispatch();
+  }
+}
+
 void Coordinator::Impl::handle_results(uint64_t worker_id,
                                        const ResultsMsg& msg) {
   auto wit = workers.find(worker_id);
+  int64_t accepted = 0;
   std::vector<Session::State*> completed;
   for (const ResultItem& item : msg.items) {
     if (wit != workers.end() &&
@@ -376,9 +514,12 @@ void Coordinator::Impl::handle_results(uint64_t worker_id,
     batch.worker_env[worker_id] += item.result.env_seconds;
     live.erase(lit);
     metrics().results.inc();
+    ++accepted;
     --batch.remaining;
     if (batch.remaining == 0) completed.push_back(st);
   }
+  if (wit != workers.end() && accepted > 0)
+    charge_identity(wit->second, 0, accepted);
   for (Session::State* st : completed) finish_batch(*st, *st->batch);
   dispatch();
 }
@@ -462,6 +603,7 @@ void Coordinator::Impl::dispatch() {
       }
       if (!source) break;  // no session has queued work
       metrics().dispatched.inc(out.items.size());
+      charge_identity(w, static_cast<int64_t>(out.items.size()), 0);
       {
         // Each send gets its own dispatch span under the batch root; the
         // worker's batch span parents on it, so the merged trace shows
@@ -522,7 +664,50 @@ void Coordinator::Impl::redispatch_straggler(Session::State& st,
       best_id = worker_id;
     }
   }
-  if (!best) return;  // nobody else alive; keep waiting on the holder
+  if (!best) {
+    // Nobody else is alive to take a second copy. The dispatch frame
+    // itself may have been lost (chaos drop_frame), so re-send to a
+    // surviving holder instead of waiting forever — duplicate answers are
+    // dropped as stale. Holder bookkeeping (assigned/outstanding) is
+    // already charged; only the deadline moves.
+    for (uint64_t holder : trial.holders) {
+      auto hit = workers.find(holder);
+      if (hit == workers.end() || !hit->second.ready ||
+          hit->second.conn->closed())
+        continue;
+      best = &hit->second;
+      best_id = holder;
+      break;
+    }
+    if (!best) return;  // every holder is gone; on_close requeues
+    trial.deadline_ms = net::EventLoop::now_ms() + config.trial_timeout_ms;
+    RunTrialsMsg out;
+    out.session_id = st.id;
+    out.items.push_back({trial.uid, st.batch->specs[index].seed,
+                         *st.batch->specs[index].placement});
+    metrics().dispatched.inc();
+    metrics().redispatched.inc();
+    metrics().redispatch_straggler.inc();
+    charge_identity(*best, 1, 0);
+    {
+      std::lock_guard<std::mutex> lock(st.stats_mu);
+      ++st.stats.redispatched;
+      ++st.stats.redispatched_straggler;
+    }
+    MARS_WARN << "dist: trial " << trial.uid
+              << " overdue, re-sent to its holder " << best_id;
+    obs::FlightRecorder::global().record(
+        "straggler", "trial %llu overdue, re-sent to holder %llu",
+        static_cast<unsigned long long>(trial.uid),
+        static_cast<unsigned long long>(best_id));
+    obs::SpanRecorder::Span dspan(obs::SpanRecorder::global(),
+                                  "dist.dispatch", "dist",
+                                  st.batch->trace_id, st.batch->root_span_id);
+    out.trace_id = st.batch->trace_id;
+    out.parent_span_id = dspan.span_id();
+    best->conn->send(encode_run_trials(out));
+    return;
+  }
   trial.holders.push_back(best_id);
   trial.deadline_ms = net::EventLoop::now_ms() + config.trial_timeout_ms;
   best->assigned.insert(trial.uid);
@@ -535,6 +720,7 @@ void Coordinator::Impl::redispatch_straggler(Session::State& st,
   metrics().dispatched.inc();
   metrics().redispatched.inc();
   metrics().redispatch_straggler.inc();
+  charge_identity(*best, 1, 0);
   {
     std::lock_guard<std::mutex> lock(st.stats_mu);
     ++st.stats.redispatched;
@@ -619,6 +805,14 @@ Coordinator::~Coordinator() {
 int Coordinator::worker_count() {
   std::lock_guard<std::mutex> lock(impl_->ready_mu);
   return impl_->ready_workers;
+}
+
+std::vector<WorkerDispatchStats> Coordinator::worker_dispatch_stats() const {
+  std::lock_guard<std::mutex> lock(impl_->identity_mu);
+  std::vector<WorkerDispatchStats> out;
+  out.reserve(impl_->identities.size());
+  for (const auto& [identity, stats] : impl_->identities) out.push_back(stats);
+  return out;
 }
 
 bool Coordinator::wait_for_workers(int n, double timeout_s) {

@@ -84,6 +84,18 @@ struct SessionStats {
   double batch_latency_ms_sum = 0;
 };
 
+/// Cumulative per-worker-identity dispatch accounting, keyed by the
+/// worker's stable "name/pid" identity so the numbers survive reconnects.
+/// connects > 1 means the worker rejoined mid-session; dispatched/results
+/// growing after a rejoin proves the rejoined worker kept serving batches
+/// (the chaos gauntlet's rejoin invariant).
+struct WorkerDispatchStats {
+  std::string identity;    ///< "name/pid"
+  int64_t connects = 0;    ///< completed hello exchanges
+  int64_t dispatched = 0;  ///< trials sent (including re-dispatches)
+  int64_t results = 0;     ///< results accepted (stale duplicates excluded)
+};
+
 class Coordinator;
 
 /// Handle to one open workload session. Destroying it closes the session
@@ -134,6 +146,10 @@ class Coordinator {
 
   /// Workers currently registered (hello done, connection alive).
   int worker_count();
+
+  /// Per-identity dispatch accounting across the coordinator's lifetime
+  /// (sorted by identity). Includes workers that are currently gone.
+  std::vector<WorkerDispatchStats> worker_dispatch_stats() const;
 
   /// Queues a versioned parameter payload (a checkpoint container v2, e.g.
   /// from save_parameters_bytes) to every registered worker; late joiners

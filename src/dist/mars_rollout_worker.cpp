@@ -11,14 +11,17 @@
 // hello exchange is complete. See docs/distributed.md and
 // docs/observability.md.
 //
-// Fault-injection flags (--crash-after-trials, --stall-after-batches) are
-// for the test suite and CI smokes only.
+// Fault-injection flags (--crash-after-trials, --stall-after-batches,
+// --net-fault <spec> / MARS_NET_FAULT) are for the test suite and CI
+// smokes only. The net-fault spec grammar lives in net/fault.h.
 #include <signal.h>
 
 #include <atomic>
 #include <memory>
+#include <string>
 
 #include "dist/worker.h"
+#include "net/fault.h"
 #include "obs/flightrec.h"
 #include "obs/http_exposition.h"
 #include "obs/metrics.h"
@@ -50,9 +53,24 @@ int main(int argc, char** argv) {
   config.stall_after_batches = args.get_int(
       "stall-after-batches", static_cast<int>(config.stall_after_batches));
   const int admin_port = args.get_int("admin-port", -1);
+  const std::string net_fault = args.get("net-fault", "");
   args.warn_unused();
   if (config.port <= 0) {
     MARS_ERROR << "mars_rollout_worker: --port is required";
+    return 2;
+  }
+  if (!net_fault.empty()) {
+    mars::net::FaultSpec spec;
+    std::string error;
+    if (!mars::net::parse_fault_spec(net_fault, &spec, &error)) {
+      MARS_ERROR << "mars_rollout_worker: bad --net-fault spec: " << error;
+      return 2;
+    }
+    mars::net::FaultPlan::configure(spec);
+    MARS_WARN << "mars_rollout_worker: chaos armed: "
+              << mars::net::format_fault_spec(spec);
+  } else if (!mars::net::FaultPlan::configure_from_env()) {
+    MARS_ERROR << "mars_rollout_worker: bad MARS_NET_FAULT spec";
     return 2;
   }
 

@@ -1,5 +1,7 @@
 #include "dist/protocol.h"
 
+#include "util/crc32.h"
+
 namespace mars::dist {
 
 namespace {
@@ -10,9 +12,28 @@ BlobWriter begin(FrameType type) {
   return b;
 }
 
+/// Appends the v3 CRC32 trailer (little-endian, over every body byte).
+std::string seal(BlobWriter&& b) {
+  std::string frame = b.take();
+  const uint32_t crc = crc32(frame.data(), frame.size());
+  frame.push_back(static_cast<char>(crc & 0xff));
+  frame.push_back(static_cast<char>((crc >> 8) & 0xff));
+  frame.push_back(static_cast<char>((crc >> 16) & 0xff));
+  frame.push_back(static_cast<char>((crc >> 24) & 0xff));
+  return frame;
+}
+
 /// Consumes and checks the type byte; false on mismatch or empty frame.
+/// Callers must have verified the CRC trailer (expect() is always paired
+/// with a leading frame_crc_ok in the decoders below).
 bool expect(BlobReader& b, FrameType type) {
   return b.u8() == static_cast<uint8_t>(type) && !b.failed();
+}
+
+/// v3 twin of BlobReader::at_end(): the body must be fully consumed with
+/// exactly the CRC trailer left over.
+bool at_trailer(const BlobReader& b) {
+  return !b.failed() && b.remaining() == kCrcTrailerBytes;
 }
 
 void put_trial_config(BlobWriter& b, const TrialConfig& c) {
@@ -56,6 +77,36 @@ FrameType frame_type(const std::string& frame) {
   return static_cast<FrameType>(static_cast<uint8_t>(frame[0]));
 }
 
+bool frame_crc_ok(const std::string& frame) {
+  if (frame.size() < 1 + kCrcTrailerBytes) return false;
+  const size_t body = frame.size() - kCrcTrailerBytes;
+  const unsigned char* t =
+      reinterpret_cast<const unsigned char*>(frame.data()) + body;
+  const uint32_t stored = static_cast<uint32_t>(t[0]) |
+                          (static_cast<uint32_t>(t[1]) << 8) |
+                          (static_cast<uint32_t>(t[2]) << 16) |
+                          (static_cast<uint32_t>(t[3]) << 24);
+  return crc32(frame.data(), body) == stored;
+}
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric:
+      return "generic";
+    case ErrorCode::kMalformedFrame:
+      return "malformed_frame";
+    case ErrorCode::kBadGraph:
+      return "bad_graph";
+    case ErrorCode::kParamsRejected:
+      return "params_rejected";
+    case ErrorCode::kUnknownSession:
+      return "unknown_session";
+    case ErrorCode::kProtocolMismatch:
+      return "protocol_mismatch";
+  }
+  return "unknown";
+}
+
 std::string encode_hello(const HelloMsg& m) {
   BlobWriter b = begin(FrameType::kHello);
   b.put_u32(m.protocol);
@@ -63,10 +114,11 @@ std::string encode_hello(const HelloMsg& m) {
   b.put_u64(m.pid);
   b.put_u32(m.threads);
   b.put_f64(m.hello_send_us);
-  return b.take();
+  return seal(std::move(b));
 }
 
 bool decode_hello(const std::string& frame, HelloMsg* out) {
+  if (!frame_crc_ok(frame)) return false;
   BlobReader b(frame);
   if (!expect(b, FrameType::kHello)) return false;
   out->protocol = b.u32();
@@ -74,7 +126,7 @@ bool decode_hello(const std::string& frame, HelloMsg* out) {
   out->pid = b.u64();
   out->threads = b.u32();
   out->hello_send_us = b.f64();
-  return b.at_end();
+  return at_trailer(b);
 }
 
 std::string encode_welcome(const WelcomeMsg& m) {
@@ -83,17 +135,18 @@ std::string encode_welcome(const WelcomeMsg& m) {
   b.put_u64(m.worker_id);
   b.put_f64(m.hello_recv_us);
   b.put_f64(m.welcome_send_us);
-  return b.take();
+  return seal(std::move(b));
 }
 
 bool decode_welcome(const std::string& frame, WelcomeMsg* out) {
+  if (!frame_crc_ok(frame)) return false;
   BlobReader b(frame);
   if (!expect(b, FrameType::kWelcome)) return false;
   out->protocol = b.u32();
   out->worker_id = b.u64();
   out->hello_recv_us = b.f64();
   out->welcome_send_us = b.f64();
-  return b.at_end();
+  return at_trailer(b);
 }
 
 std::string encode_open_session(const OpenSessionMsg& m) {
@@ -103,10 +156,11 @@ std::string encode_open_session(const OpenSessionMsg& m) {
   put_trial_config(b, m.trial);
   put_cost_config(b, m.cost);
   b.put_string(m.graph_text);
-  return b.take();
+  return seal(std::move(b));
 }
 
 bool decode_open_session(const std::string& frame, OpenSessionMsg* out) {
+  if (!frame_crc_ok(frame)) return false;
   BlobReader b(frame);
   if (!expect(b, FrameType::kOpenSession)) return false;
   out->session_id = b.u64();
@@ -114,50 +168,53 @@ bool decode_open_session(const std::string& frame, OpenSessionMsg* out) {
   read_trial_config(b, &out->trial);
   read_cost_config(b, &out->cost);
   out->graph_text = b.str();
-  return b.at_end() && out->gpus >= 0 && out->gpus <= 4096;
+  return at_trailer(b) && out->gpus >= 0 && out->gpus <= 4096;
 }
 
 std::string encode_close_session(const CloseSessionMsg& m) {
   BlobWriter b = begin(FrameType::kCloseSession);
   b.put_u64(m.session_id);
-  return b.take();
+  return seal(std::move(b));
 }
 
 bool decode_close_session(const std::string& frame, CloseSessionMsg* out) {
+  if (!frame_crc_ok(frame)) return false;
   BlobReader b(frame);
   if (!expect(b, FrameType::kCloseSession)) return false;
   out->session_id = b.u64();
-  return b.at_end();
+  return at_trailer(b);
 }
 
 std::string encode_params(const ParamsMsg& m) {
   BlobWriter b = begin(FrameType::kParams);
   b.put_u64(m.version);
   b.put_string(m.container);
-  return b.take();
+  return seal(std::move(b));
 }
 
 bool decode_params(const std::string& frame, ParamsMsg* out) {
+  if (!frame_crc_ok(frame)) return false;
   BlobReader b(frame);
   if (!expect(b, FrameType::kParams)) return false;
   out->version = b.u64();
   out->container = b.str();
-  return b.at_end();
+  return at_trailer(b);
 }
 
 std::string encode_params_ack(const ParamsAckMsg& m) {
   BlobWriter b = begin(FrameType::kParamsAck);
   b.put_u64(m.version);
   b.put_u64(m.record_count);
-  return b.take();
+  return seal(std::move(b));
 }
 
 bool decode_params_ack(const std::string& frame, ParamsAckMsg* out) {
+  if (!frame_crc_ok(frame)) return false;
   BlobReader b(frame);
   if (!expect(b, FrameType::kParamsAck)) return false;
   out->version = b.u64();
   out->record_count = b.u64();
-  return b.at_end();
+  return at_trailer(b);
 }
 
 std::string encode_run_trials(const RunTrialsMsg& m) {
@@ -171,10 +228,11 @@ std::string encode_run_trials(const RunTrialsMsg& m) {
     b.put_u64(item.seed);
     b.put_i32s(item.placement);
   }
-  return b.take();
+  return seal(std::move(b));
 }
 
 bool decode_run_trials(const std::string& frame, RunTrialsMsg* out) {
+  if (!frame_crc_ok(frame)) return false;
   BlobReader b(frame);
   if (!expect(b, FrameType::kRunTrials)) return false;
   out->session_id = b.u64();
@@ -188,7 +246,7 @@ bool decode_run_trials(const std::string& frame, RunTrialsMsg* out) {
     item.seed = b.u64();
     if (!b.read_i32s(&item.placement)) return false;
   }
-  return b.at_end();
+  return at_trailer(b);
 }
 
 std::string encode_results(const ResultsMsg& m) {
@@ -201,10 +259,11 @@ std::string encode_results(const ResultsMsg& m) {
     b.put_u64(item.trial_id);
     put_trial_result(b, item.result);
   }
-  return b.take();
+  return seal(std::move(b));
 }
 
 bool decode_results(const std::string& frame, ResultsMsg* out) {
+  if (!frame_crc_ok(frame)) return false;
   BlobReader b(frame);
   if (!expect(b, FrameType::kResults)) return false;
   out->session_id = b.u64();
@@ -217,20 +276,27 @@ bool decode_results(const std::string& frame, ResultsMsg* out) {
     item.trial_id = b.u64();
     if (!read_trial_result(b, &item.result)) return false;
   }
-  return b.at_end();
+  return at_trailer(b);
 }
 
 std::string encode_error(const ErrorMsg& m) {
   BlobWriter b = begin(FrameType::kError);
+  b.put_u8(static_cast<uint8_t>(m.code));
+  b.put_u64(m.session_id);
   b.put_string(m.message);
-  return b.take();
+  return seal(std::move(b));
 }
 
 bool decode_error(const std::string& frame, ErrorMsg* out) {
+  if (!frame_crc_ok(frame)) return false;
   BlobReader b(frame);
   if (!expect(b, FrameType::kError)) return false;
+  const uint8_t code = b.u8();
+  if (code > static_cast<uint8_t>(ErrorCode::kProtocolMismatch)) return false;
+  out->code = static_cast<ErrorCode>(code);
+  out->session_id = b.u64();
   out->message = b.str();
-  return b.at_end();
+  return at_trailer(b);
 }
 
 }  // namespace mars::dist

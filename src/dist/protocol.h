@@ -9,12 +9,15 @@
 //
 // Each frame payload is one Blob (nn/serialize.h primitives — little-endian
 // fixed-width integers, raw f64 bit patterns, so doubles round-trip
-// exactly): a u8 frame type followed by the message body. Decoders are
-// bounds-checked and reject trailing bytes, unknown types and oversized
-// counts, so a hostile or corrupted peer produces a clean `false`, never
-// undefined behavior. Parameter payloads ride inside kParams as a complete
-// checkpoint container v2, which gives the broadcast end-to-end CRC
-// coverage for free.
+// exactly): a u8 frame type followed by the message body and, since v3, a
+// little-endian CRC32 trailer over everything before it (util/crc32.h).
+// Decoders verify the trailer first and are bounds-checked — they reject
+// trailing bytes, unknown types and oversized counts — so a hostile or
+// bit-flipped frame produces a clean `false`, never undefined behavior.
+// Receivers treat a CRC mismatch as a poisoned connection: count it, drop
+// the connection, and let requeue/reconnect heal (docs/fault_tolerance.md).
+// Parameter payloads additionally ride inside kParams as a complete
+// checkpoint container v2 with its own record CRCs.
 //
 //   worker → coordinator:  kHello, kParamsAck, kResults, kError
 //   coordinator → worker:  kWelcome, kOpenSession, kCloseSession,
@@ -37,7 +40,12 @@ namespace mars::dist {
 /// Bumped on any incompatible change; kWelcome rejects mismatches.
 /// v2: NTP-style handshake timestamps in kHello/kWelcome and distributed
 /// trace context (trace id + parent span id) in kRunTrials/kResults.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// v3: CRC32 trailer on every frame; structured kError (reason code +
+/// session id) so the coordinator can account and self-heal per cause.
+inline constexpr uint32_t kProtocolVersion = 3;
+
+/// Bytes of the little-endian CRC32 trailer every v3 frame carries.
+inline constexpr size_t kCrcTrailerBytes = 4;
 
 /// Hard cap on trials in one kRunTrials/kResults frame.
 inline constexpr uint64_t kMaxTrialsPerFrame = 1u << 20;
@@ -56,6 +64,12 @@ enum class FrameType : uint8_t {
 
 /// First byte of a frame, or 0 for an empty frame.
 FrameType frame_type(const std::string& frame);
+
+/// True when the frame carries a valid CRC32 trailer over its body. Every
+/// decoder checks this itself; receive loops call it first anyway so they
+/// can count corruption (mars_dist_*_frame_crc_errors_total) separately
+/// from structural decode failures before dropping the connection.
+bool frame_crc_ok(const std::string& frame);
 
 struct HelloMsg {
   uint32_t protocol = kProtocolVersion;
@@ -132,7 +146,23 @@ struct ResultsMsg {
   std::vector<ResultItem> items;
 };
 
+/// Why a peer gave up on a request or a connection. Stable wire values:
+/// the coordinator labels mars_dist_coord_worker_errors_total{reason} with
+/// them and reacts per cause (kUnknownSession triggers an open re-ship).
+enum class ErrorCode : uint8_t {
+  kGeneric = 0,
+  kMalformedFrame = 1,   ///< frame failed to decode (CRC was fine)
+  kBadGraph = 2,         ///< kOpenSession graph text failed to parse
+  kParamsRejected = 3,   ///< kParams container failed CRC/shape validation
+  kUnknownSession = 4,   ///< kRunTrials for a session this peer never saw
+  kProtocolMismatch = 5, ///< kHello/kWelcome version disagreement
+};
+
+const char* to_string(ErrorCode code);
+
 struct ErrorMsg {
+  ErrorCode code = ErrorCode::kGeneric;
+  uint64_t session_id = 0;  ///< 0 when the error is not session-scoped
   std::string message;
 };
 

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -15,6 +16,7 @@
 
 #include "dist/protocol.h"
 #include "graph/graph_io.h"
+#include "net/fault.h"
 #include "nn/serialize.h"
 #include "obs/flightrec.h"
 #include "obs/metrics.h"
@@ -44,6 +46,12 @@ struct WorkerMetrics {
   obs::Gauge& clock_offset_us = registry.gauge(
       "mars_dist_worker_clock_offset_us",
       "Estimated trace-clock offset onto the coordinator timeline");
+  obs::Counter& crc_errors = registry.counter(
+      "mars_dist_worker_frame_crc_errors_total",
+      "Coordinator frames rejected by the v3 CRC trailer check");
+  obs::Counter& read_timeouts = registry.counter(
+      "mars_dist_worker_read_timeouts_total",
+      "Frame reads abandoned at the frame_timeout_ms deadline");
 };
 
 WorkerMetrics& metrics() {
@@ -72,8 +80,14 @@ struct Worker::SessionRuntime {
 
 Worker::Worker(WorkerConfig config)
     : config_(std::move(config)),
+      // Per-worker jitter stream: every worker in a fleet ships the same
+      // default jitter_seed, and a fleet that lost one coordinator must
+      // not retry in lockstep — mix in the worker's identity.
       backoff_(config_.backoff_initial_s, config_.backoff_max_s,
-               config_.jitter_seed) {
+               config_.jitter_seed ^
+                   (std::hash<std::string>{}(config_.name) *
+                    0x9E3779B97F4A7C15ull) ^
+                   static_cast<uint64_t>(::getpid())) {
   if (config_.threads != 1)
     pool_ = std::make_unique<ThreadPool>(config_.threads);
 }
@@ -117,6 +131,11 @@ int Worker::connect_once() {
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // The deadline framing variants drive progress via poll() and only
+  // notice the deadline on EAGAIN — a blocking socket would defeat them.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  net::FaultPlan::arm(fd, "dist");
   return fd;
 }
 
@@ -135,8 +154,10 @@ void Worker::run() {
       hello.hello_send_us = rec.now_us();  // NTP t0
       std::string frame;
       WelcomeMsg welcome;
-      if (serve::write_frame(fd, encode_hello(hello)) &&
-          serve::read_frame(fd, &frame, config_.max_frame_bytes) &&
+      if (serve::write_frame_deadline(fd, encode_hello(hello),
+                                      config_.handshake_timeout_ms) &&
+          serve::read_frame_deadline(fd, &frame, config_.max_frame_bytes,
+                                     config_.handshake_timeout_ms) &&
           decode_welcome(frame, &welcome) &&
           welcome.protocol == kProtocolVersion) {
         // Close the NTP exchange: the offset maps this process's trace
@@ -166,11 +187,13 @@ void Worker::run() {
         const bool keep_going = serve_connection(fd);
         connected_.store(false, std::memory_order_relaxed);
         fd_.store(-1, std::memory_order_release);
+        net::FaultPlan::disarm(fd);
         ::close(fd);
         sessions_.clear();  // coordinator replays opens on re-hello
         if (!keep_going) return;
       } else {
         fd_.store(-1, std::memory_order_release);
+        net::FaultPlan::disarm(fd);
         ::close(fd);
       }
     }
@@ -191,13 +214,43 @@ void Worker::run() {
 
 bool Worker::serve_connection(int fd) {
   std::string frame;
-  while (serve::read_frame(fd, &frame, config_.max_frame_bytes)) {
+  for (;;) {
+    errno = 0;
+    if (!serve::read_frame_deadline(fd, &frame, config_.max_frame_bytes,
+                                    config_.frame_timeout_ms)) {
+      if (errno == ETIMEDOUT && !stop_.load(std::memory_order_acquire)) {
+        // Hung or partitioned coordinator: give up on the socket and let
+        // the reconnect loop re-establish (re-hello replays all state).
+        metrics().read_timeouts.inc();
+        MARS_WARN << "dist worker '" << config_.name << "': no frame within "
+                  << config_.frame_timeout_ms << " ms, reconnecting";
+        obs::FlightRecorder::global().record(
+            "read_timeout", "worker '%s' frame read past %d ms, reconnecting",
+            config_.name.c_str(), config_.frame_timeout_ms);
+      }
+      break;  // EOF, socket error or deadline: reconnect unless stopping
+    }
     if (stop_.load(std::memory_order_acquire)) return false;
+    if (!frame_crc_ok(frame)) {
+      // Corrupt link (or chaos-injected bit flip): the connection is no
+      // longer trustworthy, so drop it instead of resynchronizing in place.
+      metrics().crc_errors.inc();
+      MARS_WARN << "dist worker '" << config_.name
+                << "': frame failed CRC, dropping connection";
+      obs::FlightRecorder::global().record(
+          "frame_crc", "worker '%s' rejected corrupt %zu-byte frame",
+          config_.name.c_str(), frame.size());
+      return true;
+    }
     switch (frame_type(frame)) {
       case FrameType::kOpenSession: {
         OpenSessionMsg msg;
         if (!decode_open_session(frame, &msg)) {
-          serve::write_frame(fd, encode_error({"malformed open_session"}));
+          serve::write_frame_deadline(
+              fd,
+              encode_error({ErrorCode::kMalformedFrame, 0,
+                            "malformed open_session"}),
+              config_.frame_timeout_ms);
           return true;  // desynchronized peer: reconnect
         }
         try {
@@ -207,7 +260,11 @@ bool Worker::serve_connection(int fd) {
         } catch (const GraphParseError& e) {
           MARS_ERROR << "dist worker: rejecting session " << msg.session_id
                      << ": bad graph: " << e.what();
-          serve::write_frame(fd, encode_error({"bad session graph"}));
+          serve::write_frame_deadline(
+              fd,
+              encode_error({ErrorCode::kBadGraph, msg.session_id,
+                            std::string("bad session graph: ") + e.what()}),
+              config_.frame_timeout_ms);
         }
         break;
       }
@@ -219,7 +276,10 @@ bool Worker::serve_connection(int fd) {
       case FrameType::kParams: {
         ParamsMsg msg;
         if (!decode_params(frame, &msg)) {
-          serve::write_frame(fd, encode_error({"malformed params"}));
+          serve::write_frame_deadline(
+              fd,
+              encode_error({ErrorCode::kMalformedFrame, 0, "malformed params"}),
+              config_.frame_timeout_ms);
           return true;
         }
         // Full container validation (header + record + file CRCs): a
@@ -229,28 +289,42 @@ bool Worker::serve_connection(int fd) {
         if (!parsed) {
           MARS_ERROR << "dist worker: params v" << msg.version
                      << " rejected: " << parsed.message;
-          serve::write_frame(
-              fd, encode_error({"params v" + std::to_string(msg.version) +
-                                " rejected: " + parsed.message}));
+          serve::write_frame_deadline(
+              fd,
+              encode_error({ErrorCode::kParamsRejected, 0,
+                            "params v" + std::to_string(msg.version) +
+                                " rejected: " + parsed.message}),
+              config_.frame_timeout_ms);
           break;
         }
         param_version_.store(msg.version, std::memory_order_relaxed);
         metrics().param_version.set(static_cast<double>(msg.version));
-        serve::write_frame(
-            fd, encode_params_ack({msg.version, reader.record_count()}));
+        serve::write_frame_deadline(
+            fd, encode_params_ack({msg.version, reader.record_count()}),
+            config_.frame_timeout_ms);
         break;
       }
       case FrameType::kRunTrials: {
         RunTrialsMsg msg;
         if (!decode_run_trials(frame, &msg)) {
-          serve::write_frame(fd, encode_error({"malformed run_trials"}));
+          serve::write_frame_deadline(
+              fd,
+              encode_error({ErrorCode::kMalformedFrame, 0,
+                            "malformed run_trials"}),
+              config_.frame_timeout_ms);
           return true;
         }
         auto it = sessions_.find(msg.session_id);
         if (it == sessions_.end()) {
-          serve::write_frame(
-              fd, encode_error({"run_trials for unknown session " +
-                                std::to_string(msg.session_id)}));
+          // The kOpenSession likely got lost (chaos drop_frame); the
+          // coordinator answers by re-shipping it and requeueing our
+          // trials, so this shard is never lost.
+          serve::write_frame_deadline(
+              fd,
+              encode_error({ErrorCode::kUnknownSession, msg.session_id,
+                            "run_trials for unknown session " +
+                                std::to_string(msg.session_id)}),
+              config_.frame_timeout_ms);
           break;
         }
         if (config_.stall_after_batches >= 0 &&
@@ -295,14 +369,19 @@ bool Worker::serve_connection(int fd) {
         metrics().trials.inc(msg.items.size());
         metrics().batches.inc();
         ++batches_answered_;
-        if (!serve::write_frame(fd, encode_results(reply))) return true;
+        if (!serve::write_frame_deadline(fd, encode_results(reply),
+                                         config_.frame_timeout_ms))
+          return true;
         break;
       }
       case FrameType::kError: {
         ErrorMsg err;
-        MARS_WARN << "dist worker: coordinator reported: "
-                  << (decode_error(frame, &err) ? err.message
-                                                : "<malformed error frame>");
+        if (decode_error(frame, &err)) {
+          MARS_WARN << "dist worker: coordinator reported ["
+                    << to_string(err.code) << "]: " << err.message;
+        } else {
+          MARS_WARN << "dist worker: coordinator sent malformed error frame";
+        }
         break;
       }
       default:
@@ -311,7 +390,7 @@ bool Worker::serve_connection(int fd) {
         break;
     }
   }
-  // EOF or socket error: reconnect unless we are being stopped.
+  // EOF, socket error or read deadline: reconnect unless being stopped.
   return !stop_.load(std::memory_order_acquire);
 }
 

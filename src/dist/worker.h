@@ -37,13 +37,25 @@ struct WorkerConfig {
   /// 0 = hardware_concurrency.
   unsigned threads = 1;
   size_t max_frame_bytes = serve::kMaxFrameBytes;
-  /// Reconnect backoff (util/backoff.h), reset after every welcome.
+  /// Reconnect backoff (util/backoff.h), reset after every welcome. The
+  /// jitter stream is seeded from (jitter_seed, name, pid), so a fleet
+  /// sharing this default still spreads its reconnect storm.
   double backoff_initial_s = 0.05;
   double backoff_max_s = 2.0;
   uint64_t jitter_seed = 0xd157b0ff;
   /// Consecutive failed connect/hello attempts before run() gives up
   /// (0 = retry until stop()).
   int max_connect_attempts = 0;
+  /// Deadline on the hello/welcome exchange: a coordinator that accepts
+  /// but never answers (hung, partitioned) costs one backoff turn instead
+  /// of blocking the worker forever. 0 = no deadline.
+  int handshake_timeout_ms = 10'000;
+  /// Deadline on every frame read/write while serving: expiry counts in
+  /// mars_dist_worker_read_timeouts_total and re-enters the connect loop
+  /// (safe — the coordinator replays params + open sessions on re-hello).
+  /// Worker reads only happen between shards, never mid-measurement, so a
+  /// timeout can't lose local work. 0 = no deadline.
+  int frame_timeout_ms = 60'000;
 
   // ---- fault-injection hooks (tests / CI smokes) ----
   /// Die (drop the connection and return from run()) the moment the

@@ -8,6 +8,8 @@
 
 #include <utility>
 
+#include "net/fault.h"
+
 namespace mars::net {
 
 Conn::Conn(EventLoop& loop, int fd, uint64_t id, size_t max_frame_bytes,
@@ -26,6 +28,7 @@ Conn::~Conn() {
   if (!closed_) {
     closed_ = true;  // destructor close: no on_close (owner is tearing down)
     loop_->remove_fd(fd_);
+    FaultPlan::disarm(fd_);
     ::close(fd_);
   }
 }
@@ -38,6 +41,7 @@ void Conn::close() {
   if (closed_) return;
   closed_ = true;
   loop_->remove_fd(fd_);
+  FaultPlan::disarm(fd_);
   ::close(fd_);
   if (callbacks_.on_close) callbacks_.on_close(*this);
 }
@@ -65,7 +69,7 @@ void Conn::on_events(uint32_t events) {
 void Conn::handle_readable() {
   char buf[16 * 1024];
   for (;;) {
-    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    const ssize_t n = FaultPlan::read(fd_, buf, sizeof(buf));
     if (n > 0) {
       last_activity_ms_ = EventLoop::now_ms();
       decoder_.append(buf, static_cast<size_t>(n));
@@ -131,8 +135,8 @@ void Conn::send(std::string payload) {
 void Conn::flush() {
   if (closed_) return;
   while (out_pos_ < out_buf_.size()) {
-    const ssize_t n = ::send(fd_, out_buf_.data() + out_pos_,
-                             out_buf_.size() - out_pos_, MSG_NOSIGNAL);
+    const ssize_t n = FaultPlan::send(fd_, out_buf_.data() + out_pos_,
+                                      out_buf_.size() - out_pos_, MSG_NOSIGNAL);
     if (n > 0) {
       out_pos_ += static_cast<size_t>(n);
       last_activity_ms_ = EventLoop::now_ms();

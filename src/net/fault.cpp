@@ -1,0 +1,495 @@
+#include "net/fault.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/flightrec.h"
+#include "obs/metrics.h"
+
+namespace mars::net {
+
+namespace {
+
+uint64_t mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// SplitMix64: one fault stream per connection, fully determined by
+/// (spec seed, connection index).
+struct Rng {
+  uint64_t state = 0;
+  uint64_t next() {
+    state += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  double u01() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+  /// Uniform in [1, n]; n >= 1.
+  size_t upto(size_t n) { return 1 + static_cast<size_t>(next() % n); }
+};
+
+/// Frames larger than this are never duplicated: a duplicate's tail can end
+/// up in the pending buffer, and bounding the frame size bounds how much a
+/// quiet connection can strand (see header caveat).
+constexpr size_t kDupMaxBytes = 64 * 1024;
+/// Cap on caller bytes consumed per send call while armed, so large
+/// broadcasts keep getting partial-write feedback and re-arm write
+/// interest instead of parking megabytes in the pending buffer.
+constexpr size_t kMaxConsumePerCall = 64 * 1024;
+
+struct ConnFault {
+  std::string cls;
+  uint64_t index = 0;
+  uint64_t generation = 0;  // plan generation this state was refreshed for
+  FaultSpec spec;           // copy taken at refresh: I/O path is lock-free
+  bool in_scope = false;
+  Rng rng;
+
+  bool dead = false;
+  bool part_send = false;
+  bool part_recv = false;
+
+  // Outbound frame tracker (4-byte big-endian length prefix + payload).
+  size_t header_have = 0;
+  unsigned char header[4] = {};
+  bool in_frame = false;
+  size_t payload_len = 0;
+  size_t payload_pos = 0;
+  size_t frame_left = 0;
+  bool cur_drop = false;
+  bool cur_dup = false;
+  size_t corrupt_at = SIZE_MAX;
+  unsigned char corrupt_mask = 0;
+  std::string dup_buf;
+
+  // Transformed wire bytes the kernel has not accepted yet.
+  std::string pending;
+  size_t pending_pos = 0;
+};
+
+struct PlanState {
+  std::mutex mu;
+  FaultSpec spec;
+  uint64_t generation = 1;  // fresh ConnFaults start at 0 => always refresh
+  uint64_t next_index = 0;
+  std::unordered_map<int, std::unique_ptr<ConnFault>> fds;
+  std::atomic<long> plan_injected{0};  // budget accounting, reset per plan
+  std::atomic<uint64_t> total_injected{0};
+};
+
+PlanState& plan() {
+  static PlanState* s = new PlanState;
+  return *s;
+}
+
+std::atomic<bool> g_enabled{false};
+
+bool scope_has(const std::string& scope, const std::string& cls) {
+  if (scope.empty()) return true;
+  size_t pos = 0;
+  while (pos <= scope.size()) {
+    size_t sep = scope.find('+', pos);
+    if (sep == std::string::npos) sep = scope.size();
+    if (sep - pos == cls.size() && scope.compare(pos, sep - pos, cls) == 0)
+      return true;
+    pos = sep + 1;
+  }
+  return false;
+}
+
+/// Armed state for `fd`, refreshed against the current plan generation;
+/// nullptr when not armed or out of scope. The returned state is only
+/// touched by the fd's owning thread.
+ConnFault* armed(int fd) {
+  PlanState& s = plan();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.fds.find(fd);
+  if (it == s.fds.end()) return nullptr;
+  ConnFault* c = it->second.get();
+  if (c->generation != s.generation) {
+    ConnFault fresh;
+    fresh.cls = c->cls;
+    fresh.index = c->index;
+    fresh.generation = s.generation;
+    fresh.spec = s.spec;
+    fresh.in_scope = s.spec.any() && scope_has(s.spec.scope, c->cls);
+    fresh.rng.state = mix64(s.spec.seed ^ mix64(c->index));
+    *c = std::move(fresh);
+  }
+  return c->in_scope ? c : nullptr;
+}
+
+/// Budget-gated probability roll. A hit consumes one budget unit and is
+/// recorded to metrics and the flight recorder.
+bool roll(ConnFault& c, double p, const char* kind, int fd) {
+  if (p <= 0 || c.rng.u01() >= p) return false;
+  PlanState& s = plan();
+  if (c.spec.budget >= 0) {
+    long cur = s.plan_injected.load(std::memory_order_relaxed);
+    do {
+      if (cur >= c.spec.budget) return false;
+    } while (!s.plan_injected.compare_exchange_weak(cur, cur + 1,
+                                                    std::memory_order_relaxed));
+  } else {
+    s.plan_injected.fetch_add(1, std::memory_order_relaxed);
+  }
+  s.total_injected.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::global()
+      .counter(obs::labeled_name("mars_net_fault_injected_total",
+                                 {{"kind", kind}}),
+               "Injected network faults by kind (net/fault.h).")
+      .inc();
+  obs::FlightRecorder::global().record("net_fault", "kind=%s fd=%d cls=%s",
+                                       kind, fd, c.cls.c_str());
+  return true;
+}
+
+/// Pushes c.pending to the kernel. False with errno set when the caller
+/// must bail (EAGAIN: retry later; anything else marks the conn dead).
+bool flush_pending(ConnFault& c, int fd, int flags) {
+  while (c.pending_pos < c.pending.size()) {
+    const ssize_t n = ::send(fd, c.pending.data() + c.pending_pos,
+                             c.pending.size() - c.pending_pos, flags);
+    if (n > 0) {
+      c.pending_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+    c.dead = true;
+    return false;
+  }
+  c.pending.clear();
+  c.pending_pos = 0;
+  return true;
+}
+
+void finish_frame(ConnFault& c) {
+  if (c.cur_dup) c.pending.append(c.dup_buf);
+  c.dup_buf.clear();
+  c.header_have = 0;
+  c.in_frame = false;
+  c.cur_drop = false;
+  c.cur_dup = false;
+  c.corrupt_at = SIZE_MAX;
+}
+
+/// Called with a complete 4-byte header in c.header: rolls this frame's
+/// fault decisions, emits (or withholds) the header, handles empty frames.
+void begin_frame(ConnFault& c, int fd) {
+  c.payload_len = (static_cast<size_t>(c.header[0]) << 24) |
+                  (static_cast<size_t>(c.header[1]) << 16) |
+                  (static_cast<size_t>(c.header[2]) << 8) |
+                  static_cast<size_t>(c.header[3]);
+  c.payload_pos = 0;
+  c.frame_left = c.payload_len;
+  c.in_frame = true;
+  c.cur_drop = false;
+  c.cur_dup = false;
+  c.corrupt_at = SIZE_MAX;
+  if (!c.part_send && roll(c, c.spec.partition_send, "partition_send", fd))
+    c.part_send = true;
+  if (!c.part_send) {
+    if (roll(c, c.spec.delay, "delay", fd))
+      std::this_thread::sleep_for(std::chrono::milliseconds(c.spec.delay_ms));
+    c.cur_drop = roll(c, c.spec.drop_frame, "drop_frame", fd);
+    if (!c.cur_drop) {
+      c.cur_dup = c.payload_len + 4 <= kDupMaxBytes &&
+                  roll(c, c.spec.dup, "dup", fd);
+      if (c.payload_len > 0 && roll(c, c.spec.corrupt, "corrupt", fd)) {
+        c.corrupt_at = static_cast<size_t>(c.rng.next() % c.payload_len);
+        c.corrupt_mask = static_cast<unsigned char>(1u << (c.rng.next() % 8));
+      }
+    }
+  }
+  if (!c.part_send && !c.cur_drop)
+    c.pending.append(reinterpret_cast<const char*>(c.header), 4);
+  if (c.cur_dup) c.dup_buf.assign(reinterpret_cast<const char*>(c.header), 4);
+  if (c.frame_left == 0) finish_frame(c);
+}
+
+ssize_t fault_send(ConnFault& c, int fd, const void* buf, size_t len,
+                   int flags) {
+  if (c.dead) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (!flush_pending(c, fd, flags)) return -1;
+  if (roll(c, c.spec.drop_conn, "drop_conn", fd)) {
+    c.dead = true;
+    errno = ECONNRESET;
+    return -1;
+  }
+  size_t use = len < kMaxConsumePerCall ? len : kMaxConsumePerCall;
+  if (use > 1 && roll(c, c.spec.short_write, "short_write", fd))
+    use = c.rng.upto(use - 1);  // 1 .. use-1: a genuine partial write
+
+  const unsigned char* in = static_cast<const unsigned char*>(buf);
+  size_t consumed = 0;
+  while (consumed < use) {
+    if (!c.in_frame) {
+      // Header bytes are stashed, not emitted, until the frame's fault
+      // decisions are made on the complete length.
+      c.header[c.header_have++] = in[consumed++];
+      if (c.header_have == 4) begin_frame(c, fd);
+      continue;
+    }
+    size_t chunk = use - consumed;
+    if (chunk > c.frame_left) chunk = c.frame_left;
+    if (!c.part_send && !c.cur_drop) {
+      const size_t at = c.pending.size();
+      c.pending.append(reinterpret_cast<const char*>(in + consumed), chunk);
+      if (c.corrupt_at != SIZE_MAX && c.corrupt_at >= c.payload_pos &&
+          c.corrupt_at < c.payload_pos + chunk) {
+        c.pending[at + (c.corrupt_at - c.payload_pos)] =
+            static_cast<char>(static_cast<unsigned char>(
+                                  c.pending[at + (c.corrupt_at -
+                                                  c.payload_pos)]) ^
+                              c.corrupt_mask);
+      }
+    }
+    if (c.cur_dup)
+      c.dup_buf.append(reinterpret_cast<const char*>(in + consumed), chunk);
+    c.payload_pos += chunk;
+    c.frame_left -= chunk;
+    consumed += chunk;
+    if (c.frame_left == 0) finish_frame(c);
+  }
+  if (!flush_pending(c, fd, flags) && c.dead) return -1;
+  // On EAGAIN with bytes consumed: report them; the pending remainder goes
+  // out ahead of the connection's next send.
+  return static_cast<ssize_t>(consumed);
+}
+
+ssize_t fault_read(ConnFault& c, int fd, void* buf, size_t len) {
+  if (c.dead) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (!c.part_recv && roll(c, c.spec.partition_recv, "partition_recv", fd))
+    c.part_recv = true;
+  if (c.part_recv) {
+    // One-way partition: the kernel keeps ACKing, we discard the bytes.
+    // Draining (instead of leaving data queued) keeps level-triggered
+    // loops from spinning on a permanently-readable fd.
+    char scratch[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, scratch, sizeof(scratch));
+      if (n == 0) return 0;  // real EOF still delivered
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        return -1;
+      }
+      if (n < static_cast<ssize_t>(sizeof(scratch))) break;
+    }
+    errno = EAGAIN;
+    return -1;
+  }
+  if (roll(c, c.spec.drop_conn, "drop_conn", fd)) {
+    c.dead = true;
+    errno = ECONNRESET;
+    return -1;
+  }
+  size_t use = len;
+  if (use > 1 && roll(c, c.spec.short_read, "short_read", fd))
+    use = c.rng.upto(use - 1);
+  return ::read(fd, buf, use);
+}
+
+bool parse_double(const std::string& v, double* out) {
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0' || d < 0) return false;
+  *out = d;
+  return true;
+}
+
+bool parse_long(const std::string& v, long* out) {
+  char* end = nullptr;
+  const long l = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') return false;
+  *out = l;
+  return true;
+}
+
+}  // namespace
+
+bool FaultSpec::any() const {
+  return corrupt > 0 || dup > 0 || drop_frame > 0 || delay > 0 ||
+         short_write > 0 || short_read > 0 || drop_conn > 0 ||
+         partition_send > 0 || partition_recv > 0;
+}
+
+bool parse_fault_spec(const std::string& text, FaultSpec* spec,
+                      std::string* error) {
+  FaultSpec out;
+  size_t pos = 0;
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string pair = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) return fail("expected key=value: " + pair);
+    const std::string key = pair.substr(0, eq);
+    const std::string val = pair.substr(eq + 1);
+    if (key == "seed") {
+      long s = 0;
+      if (!parse_long(val, &s) || s < 0) return fail("bad seed: " + val);
+      out.seed = static_cast<uint64_t>(s);
+    } else if (key == "scope") {
+      out.scope = val;
+    } else if (key == "corrupt") {
+      if (!parse_double(val, &out.corrupt)) return fail("bad corrupt: " + val);
+    } else if (key == "dup") {
+      if (!parse_double(val, &out.dup)) return fail("bad dup: " + val);
+    } else if (key == "dropframe") {
+      if (!parse_double(val, &out.drop_frame))
+        return fail("bad dropframe: " + val);
+    } else if (key == "delay") {
+      const size_t colon = val.find(':');
+      const std::string p = val.substr(0, colon);
+      if (!parse_double(p, &out.delay)) return fail("bad delay: " + val);
+      if (colon != std::string::npos) {
+        long ms = 0;
+        if (!parse_long(val.substr(colon + 1), &ms) || ms < 0)
+          return fail("bad delay ms: " + val);
+        out.delay_ms = static_cast<int>(ms);
+      }
+    } else if (key == "shortw") {
+      if (!parse_double(val, &out.short_write))
+        return fail("bad shortw: " + val);
+    } else if (key == "shortr") {
+      if (!parse_double(val, &out.short_read))
+        return fail("bad shortr: " + val);
+    } else if (key == "dropconn") {
+      if (!parse_double(val, &out.drop_conn))
+        return fail("bad dropconn: " + val);
+    } else if (key == "partition") {
+      const size_t colon = val.find(':');
+      if (colon == std::string::npos)
+        return fail("partition needs send:P or recv:P, got " + val);
+      const std::string dir = val.substr(0, colon);
+      double p = 0;
+      if (!parse_double(val.substr(colon + 1), &p))
+        return fail("bad partition probability: " + val);
+      if (dir == "send") {
+        out.partition_send = p;
+      } else if (dir == "recv") {
+        out.partition_recv = p;
+      } else {
+        return fail("partition direction must be send or recv: " + dir);
+      }
+    } else if (key == "budget") {
+      if (!parse_long(val, &out.budget)) return fail("bad budget: " + val);
+    } else {
+      return fail("unknown fault key: " + key);
+    }
+  }
+  *spec = out;
+  return true;
+}
+
+std::string format_fault_spec(const FaultSpec& spec) {
+  std::string out = "seed=" + std::to_string(spec.seed);
+  if (!spec.scope.empty()) out += ",scope=" + spec.scope;
+  auto add = [&](const char* key, double p) {
+    if (p > 0) out += std::string(",") + key + "=" + std::to_string(p);
+  };
+  add("corrupt", spec.corrupt);
+  add("dup", spec.dup);
+  add("dropframe", spec.drop_frame);
+  if (spec.delay > 0)
+    out += ",delay=" + std::to_string(spec.delay) + ":" +
+           std::to_string(spec.delay_ms);
+  add("shortw", spec.short_write);
+  add("shortr", spec.short_read);
+  add("dropconn", spec.drop_conn);
+  if (spec.partition_send > 0)
+    out += ",partition=send:" + std::to_string(spec.partition_send);
+  if (spec.partition_recv > 0)
+    out += ",partition=recv:" + std::to_string(spec.partition_recv);
+  if (spec.budget >= 0) out += ",budget=" + std::to_string(spec.budget);
+  return out;
+}
+
+void FaultPlan::configure(const FaultSpec& spec) {
+  PlanState& s = plan();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.spec = spec;
+  ++s.generation;
+  s.plan_injected.store(0, std::memory_order_relaxed);
+  g_enabled.store(spec.any(), std::memory_order_release);
+}
+
+bool FaultPlan::configure_from_env(std::string* error) {
+  const char* env = std::getenv("MARS_NET_FAULT");
+  if (env == nullptr || *env == '\0') return true;
+  FaultSpec spec;
+  if (!parse_fault_spec(env, &spec, error)) return false;
+  configure(spec);
+  return true;
+}
+
+void FaultPlan::clear() { configure(FaultSpec{}); }
+
+bool FaultPlan::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void FaultPlan::arm(int fd, const char* conn_class) {
+  if (fd < 0) return;
+  PlanState& s = plan();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto slot = std::make_unique<ConnFault>();
+  slot->cls = conn_class;
+  slot->index = s.next_index++;
+  s.fds[fd] = std::move(slot);
+}
+
+void FaultPlan::disarm(int fd) {
+  PlanState& s = plan();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.fds.erase(fd);
+}
+
+ssize_t FaultPlan::read(int fd, void* buf, size_t len) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return ::read(fd, buf, len);
+  ConnFault* c = armed(fd);
+  if (c == nullptr) return ::read(fd, buf, len);
+  return fault_read(*c, fd, buf, len);
+}
+
+ssize_t FaultPlan::send(int fd, const void* buf, size_t len, int flags) {
+  if (!g_enabled.load(std::memory_order_relaxed))
+    return ::send(fd, buf, len, flags);
+  ConnFault* c = armed(fd);
+  if (c == nullptr) return ::send(fd, buf, len, flags);
+  return fault_send(*c, fd, buf, len, flags);
+}
+
+uint64_t FaultPlan::injected_total() {
+  return plan().total_injected.load(std::memory_order_relaxed);
+}
+
+}  // namespace mars::net

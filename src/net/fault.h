@@ -1,0 +1,122 @@
+// Deterministic, seeded network fault injection.
+//
+// A process-wide FaultPlan sits underneath every socket read/send the
+// reactor (net::Conn) and the blocking framing helpers (serve/framing.h)
+// perform. Connections opt in by class ("dist", "serve", ...) at the
+// accept/connect site; the admin HTTP plane never arms, so metrics and
+// flight-recorder scrapes stay clean while chaos runs. Daemons, benches and
+// tests all share this one injection surface: arm it programmatically with
+// FaultPlan::configure, via the MARS_NET_FAULT environment variable, or the
+// --net-fault / --chaos-spec flags layered on top.
+//
+// Faults are scheduled per connection from a SplitMix64 stream seeded with
+// mix(spec.seed, connection_index), where connection_index is a
+// process-local arm counter — the same spec against the same connection
+// order replays the same fault sequence. Outbound traffic is tracked
+// frame-aware (the shim parses the 4-byte big-endian length prefix both
+// protocols share), so corruption flips payload bits without breaking
+// framing, and duplicate/drop act on whole frames.
+//
+// Every injected event is counted in
+// `mars_net_fault_injected_total{kind=...}` and recorded to the flight
+// recorder as a `net_fault` event, so a chaos run's faults are observable
+// through /metrics and /debug/flightrec.
+//
+// Delivery caveat: when a send fault leaves transformed bytes unflushed
+// (kernel buffer full mid-duplicate), they are carried in a pending buffer
+// flushed ahead of the connection's next send. A connection that never
+// sends again can strand such a tail — receivers must (and do) guard with
+// read deadlines, trial timeouts and CRC checks; that is the point.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+namespace mars::net {
+
+/// One chaos schedule. Probabilities are independent per-event rolls on the
+/// per-connection RNG stream.
+struct FaultSpec {
+  uint64_t seed = 1;
+  /// Comma-separated connection classes this plan applies to ("dist",
+  /// "serve", "serve_client"); empty = every armed connection.
+  std::string scope;
+
+  // Outbound frame-aware faults, rolled once per length-prefixed frame.
+  double corrupt = 0;     ///< flip one random payload bit (framing intact)
+  double dup = 0;         ///< send the frame twice (frames <= 64 KiB)
+  double drop_frame = 0;  ///< swallow the frame, report it written
+  double delay = 0;       ///< sleep delay_ms before the frame hits the wire
+  int delay_ms = 5;
+  double partition_send = 0;  ///< from then on: blackhole outbound bytes
+
+  // Byte-level faults.
+  double short_write = 0;  ///< per send call: accept only a random prefix
+  double short_read = 0;   ///< per read call: deliver only a random prefix
+  double drop_conn = 0;    ///< per I/O call: connection dies (ECONNRESET)
+  double partition_recv = 0;  ///< per read call: from then on, discard
+                              ///< every inbound byte (peer keeps sending)
+
+  /// Max injected events per configured plan; -1 = unlimited. A budget
+  /// keeps chaos runs finite so end-state invariants stay checkable.
+  long budget = -1;
+
+  /// True when any fault probability is nonzero.
+  bool any() const;
+};
+
+/// Parses the spec grammar shared by MARS_NET_FAULT, --net-fault and
+/// --chaos-spec: comma-separated key=value pairs.
+///
+///   seed=S scope=CLS[+CLS...] corrupt=P dup=P dropframe=P delay=P[:MS]
+///   shortw=P shortr=P dropconn=P partition=send:P|recv:P budget=N
+///
+/// ('+' separates scope classes because ',' separates pairs.) Example:
+///   "seed=7,corrupt=0.02,dropconn=0.002,delay=0.05:10,budget=200"
+/// Returns false (and *error when non-null) on malformed input; *spec is
+/// only written on success.
+bool parse_fault_spec(const std::string& text, FaultSpec* spec,
+                      std::string* error = nullptr);
+
+/// Round-trips a spec back into the grammar above (for forwarding one plan
+/// to spawned worker processes via --net-fault).
+std::string format_fault_spec(const FaultSpec& spec);
+
+/// The process-wide fault plan. All methods are thread-safe; read/send on
+/// one fd must come from the fd's owning thread (as the reactor and the
+/// blocking framing already guarantee).
+class FaultPlan {
+ public:
+  /// Installs `spec` as the active plan (replacing any previous one and
+  /// resetting its budget). A spec with no faults disables injection.
+  static void configure(const FaultSpec& spec);
+  /// configure() from $MARS_NET_FAULT when set. Returns false (and *error)
+  /// on a malformed spec; an unset/empty variable is a successful no-op.
+  static bool configure_from_env(std::string* error = nullptr);
+  /// Disables injection and forgets the active spec. Armed fds stay armed.
+  static void clear();
+  /// True when a plan with at least one fault is active.
+  static bool enabled();
+
+  /// Opts `fd` into fault injection under class `conn_class`. Call once
+  /// right after accept/connect; cheap, valid whether or not a plan is
+  /// active (a later configure() picks armed fds up).
+  static void arm(int fd, const char* conn_class);
+  /// Forgets `fd`. Call before ::close so a recycled fd is never faulted
+  /// by a stale arming.
+  static void disarm(int fd);
+
+  /// Drop-in fault-aware replacements for ::read / ::send(MSG_NOSIGNAL).
+  /// Behave exactly like the syscall unless `fd` is armed, in scope of the
+  /// active plan, and a fault fires. One relaxed atomic load when disabled.
+  static ssize_t read(int fd, void* buf, size_t len);
+  static ssize_t send(int fd, const void* buf, size_t len, int flags);
+
+  /// Events injected across the process lifetime (never reset; the
+  /// per-plan budget counter is separate).
+  static uint64_t injected_total();
+};
+
+}  // namespace mars::net

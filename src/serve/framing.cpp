@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "net/fault.h"
+
 namespace mars::serve {
 
 namespace {
@@ -45,7 +47,7 @@ bool wait_ready(int fd, short events, int64_t deadline) {
 bool write_all_deadline(int fd, const char* data, size_t len,
                         int64_t deadline) {
   while (len > 0) {
-    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    const ssize_t n = net::FaultPlan::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -65,7 +67,7 @@ bool write_all_deadline(int fd, const char* data, size_t len,
 ssize_t read_all_deadline(int fd, char* data, size_t len, int64_t deadline) {
   size_t got = 0;
   while (got < len) {
-    const ssize_t n = ::read(fd, data + got, len - got);
+    const ssize_t n = net::FaultPlan::read(fd, data + got, len - got);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -88,7 +90,7 @@ bool write_all(int fd, const char* data, size_t len) {
   while (len > 0) {
     // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE,
     // not a process-killing SIGPIPE.
-    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    const ssize_t n = net::FaultPlan::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -104,7 +106,7 @@ bool write_all(int fd, const char* data, size_t len) {
 ssize_t read_all(int fd, char* data, size_t len) {
   size_t got = 0;
   while (got < len) {
-    const ssize_t n = ::read(fd, data + got, len - got);
+    const ssize_t n = net::FaultPlan::read(fd, data + got, len - got);
     if (n < 0) {
       if (errno == EINTR) continue;
       return -1;

@@ -17,6 +17,7 @@
 #include <iostream>
 #include <optional>
 
+#include "net/fault.h"
 #include "obs/flightrec.h"
 #include "obs/span.h"
 #include "serve/protocol.h"
@@ -162,7 +163,11 @@ int main(int argc, char** argv) {
            "  --trace FILE        record spans, write a Chrome trace on\n"
            "                      shutdown (open in chrome://tracing); the\n"
            "                      MARS_TRACE env var does the same in any\n"
-           "                      mars binary\n";
+           "                      mars binary\n"
+           "chaos (tests / CI smokes only):\n"
+           "  --net-fault SPEC    seeded fault injection on accepted\n"
+           "                      connections (grammar in net/fault.h; the\n"
+           "                      MARS_NET_FAULT env var does the same)\n";
     return 0;
   }
 
@@ -200,7 +205,22 @@ int main(int argc, char** argv) {
       args.get_int("idle-timeout-ms", server_config.idle_timeout_ms);
   server_config.admin_port =
       args.get_int("admin-port", server_config.admin_port);
+  const std::string net_fault = args.get("net-fault", "");
   args.warn_unused();
+  if (!net_fault.empty()) {
+    mars::net::FaultSpec fault_spec;
+    std::string fault_error;
+    if (!mars::net::parse_fault_spec(net_fault, &fault_spec, &fault_error)) {
+      MARS_ERROR << "mars_serve: bad --net-fault spec: " << fault_error;
+      return 2;
+    }
+    mars::net::FaultPlan::configure(fault_spec);
+    MARS_WARN << "mars_serve: chaos armed: "
+              << mars::net::format_fault_spec(fault_spec);
+  } else if (!mars::net::FaultPlan::configure_from_env()) {
+    MARS_ERROR << "mars_serve: bad MARS_NET_FAULT spec";
+    return 2;
+  }
 
   mars::obs::install_crash_handler();
   if (!trace_path.empty()) mars::obs::SpanRecorder::global().set_enabled(true);

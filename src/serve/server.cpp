@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/fault.h"
 #include "obs/flightrec.h"
 #include "obs/span.h"
 #include "serve/framing.h"
@@ -261,6 +262,7 @@ void ServeDaemon::accept_ready() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    net::FaultPlan::arm(fd, "serve");
     const uint64_t id = next_conn_id_++;
     net::Conn::Callbacks callbacks;
     callbacks.on_frame = [this](net::Conn& conn, uint64_t seq,

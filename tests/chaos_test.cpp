@@ -1,0 +1,493 @@
+// Chaos gauntlet for the network layers (net/fault.h): seeded fault
+// schedules driven through real coordinator/worker fleets and the serving
+// daemon, asserting the robustness invariants of docs/fault_tolerance.md:
+//
+//  - trial results under chaos are bit-identical to the fault-free run,
+//    and every trial is charged exactly once (protocol v3 CRC + requeue +
+//    straggler re-dispatch absorb corruption, drops, dups and delays);
+//  - a worker whose connection is severed mid-session rejoins and serves
+//    subsequent batches (WorkerDispatchStats);
+//  - worker handshake and frame-read deadlines turn a hung/partitioned
+//    coordinator into a reconnect instead of a permanent stall;
+//  - the serving daemon survives client-facing chaos and every request
+//    still completes (the retrying PlaceClient heals around faults);
+//  - every injected fault is observable (metrics + flight recorder).
+#include "net/fault.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/protocol.h"
+#include "dist/worker.h"
+#include "obs/metrics.h"
+#include "rl/env.h"
+#include "serve/framing.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "sim/trial.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+using namespace mars;
+using namespace mars::dist;
+using mars::net::FaultPlan;
+using mars::net::FaultSpec;
+
+namespace {
+
+/// Chaos is process-global state: every test disarms on exit so later
+/// tests (and fixture teardown I/O) run fault-free.
+struct FaultGuard {
+  ~FaultGuard() { FaultPlan::clear(); }
+};
+
+uint64_t counter_value(const std::string& name) {
+  return obs::MetricsRegistry::global().counter(name, "").load();
+}
+
+// ---- Spec grammar ----------------------------------------------------------
+
+TEST(FaultSpecGrammar, ParsesEveryKeyAndRoundTripsThroughFormat) {
+  FaultSpec s;
+  std::string error;
+  ASSERT_TRUE(parse_fault_spec(
+      "seed=7,scope=dist+serve,corrupt=0.02,dup=0.01,dropframe=0.03,"
+      "delay=0.05:10,shortw=0.1,shortr=0.2,dropconn=0.002,"
+      "partition=send:0.25,budget=200",
+      &s, &error))
+      << error;
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_EQ(s.scope, "dist+serve");
+  EXPECT_DOUBLE_EQ(s.corrupt, 0.02);
+  EXPECT_DOUBLE_EQ(s.dup, 0.01);
+  EXPECT_DOUBLE_EQ(s.drop_frame, 0.03);
+  EXPECT_DOUBLE_EQ(s.delay, 0.05);
+  EXPECT_EQ(s.delay_ms, 10);
+  EXPECT_DOUBLE_EQ(s.short_write, 0.1);
+  EXPECT_DOUBLE_EQ(s.short_read, 0.2);
+  EXPECT_DOUBLE_EQ(s.drop_conn, 0.002);
+  EXPECT_DOUBLE_EQ(s.partition_send, 0.25);
+  EXPECT_DOUBLE_EQ(s.partition_recv, 0.0);
+  EXPECT_EQ(s.budget, 200);
+  EXPECT_TRUE(s.any());
+
+  // format_fault_spec must re-parse to the identical spec (it is how a
+  // bench forwards its plan to spawned workers).
+  FaultSpec back;
+  ASSERT_TRUE(parse_fault_spec(format_fault_spec(s), &back, &error)) << error;
+  EXPECT_EQ(back.seed, s.seed);
+  EXPECT_EQ(back.scope, s.scope);
+  EXPECT_DOUBLE_EQ(back.corrupt, s.corrupt);
+  EXPECT_DOUBLE_EQ(back.drop_frame, s.drop_frame);
+  EXPECT_DOUBLE_EQ(back.delay, s.delay);
+  EXPECT_EQ(back.delay_ms, s.delay_ms);
+  EXPECT_DOUBLE_EQ(back.partition_send, s.partition_send);
+  EXPECT_EQ(back.budget, s.budget);
+
+  FaultSpec recv;
+  ASSERT_TRUE(parse_fault_spec("partition=recv:0.5", &recv, &error)) << error;
+  EXPECT_DOUBLE_EQ(recv.partition_recv, 0.5);
+
+  FaultSpec none;
+  ASSERT_TRUE(parse_fault_spec("", &none, &error));
+  EXPECT_FALSE(none.any());
+}
+
+TEST(FaultSpecGrammar, RejectsMalformedSpecsWithoutTouchingOutput) {
+  for (const char* bad :
+       {"bogus=1", "corrupt", "corrupt=x", "corrupt=-0.1", "seed=abc",
+        "seed=-4", "delay=0.1:x", "delay=0.1:-5", "partition=0.5",
+        "partition=up:0.5", "budget=x"}) {
+    FaultSpec s;
+    s.corrupt = 0.125;  // sentinel: must survive a failed parse untouched
+    std::string error;
+    EXPECT_FALSE(parse_fault_spec(bad, &s, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+    EXPECT_DOUBLE_EQ(s.corrupt, 0.125) << bad;
+  }
+}
+
+// ---- Shared dist fixture (mirrors dist_test.cpp) ---------------------------
+
+struct Fixture {
+  CompGraph graph;
+  MachineSpec machine = MachineSpec::default_4gpu();
+  TrialConfig trial_config;
+  ExecutionSimulator sim;
+  TrialRunner runner;
+
+  explicit Fixture(int coarsen = 24)
+      : graph(build_workload("vgg16").coarsen(coarsen)),
+        sim(graph, machine, {}),
+        runner(sim, trial_config) {}
+
+  int gpus() const { return static_cast<int>(machine.gpu_devices().size()); }
+
+  std::vector<Placement> random_placements(int n, uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<Placement> out(
+        static_cast<size_t>(n),
+        Placement(static_cast<size_t>(graph.num_nodes()), 0));
+    for (auto& p : out)
+      for (auto& d : p)
+        d = static_cast<int>(
+            rng.uniform_int(static_cast<uint64_t>(machine.num_devices())));
+    return out;
+  }
+};
+
+struct ThreadWorker {
+  Worker worker;
+  std::thread thread;
+
+  explicit ThreadWorker(WorkerConfig config)
+      : worker(std::move(config)), thread([this] { worker.run(); }) {}
+  ~ThreadWorker() {
+    worker.stop();
+    thread.join();
+  }
+};
+
+WorkerConfig worker_config(int port, const std::string& name) {
+  WorkerConfig c;
+  c.port = port;
+  c.name = name;
+  c.backoff_initial_s = 0.01;
+  c.backoff_max_s = 0.1;
+  // Chaos can swallow hello/welcome frames; a short handshake deadline
+  // turns that into a quick retry instead of a 10 s stall.
+  c.handshake_timeout_ms = 500;
+  c.frame_timeout_ms = 5000;
+  return c;
+}
+
+void expect_bitwise_equal(const TrialResult& a, const TrialResult& b,
+                          size_t i) {
+  EXPECT_EQ(a.step_time, b.step_time) << "trial " << i;
+  EXPECT_EQ(a.valid, b.valid) << "trial " << i;
+  EXPECT_EQ(a.bad, b.bad) << "trial " << i;
+  EXPECT_EQ(a.env_seconds, b.env_seconds) << "trial " << i;
+  EXPECT_EQ(a.sim.step_time, b.sim.step_time) << "trial " << i;
+  EXPECT_EQ(a.sim.device_busy, b.sim.device_busy) << "trial " << i;
+}
+
+std::vector<TrialResult> run_reference(const Fixture& fx, uint64_t env_seed,
+                                       int rounds, int batch) {
+  TrialEnvConfig cfg;
+  cfg.threads = 1;
+  cfg.cache_capacity = 0;
+  TrialEnv env(fx.runner, env_seed, cfg);
+  std::vector<TrialResult> all;
+  for (int r = 0; r < rounds; ++r) {
+    const auto placements =
+        fx.random_placements(batch, 900 + static_cast<uint64_t>(r));
+    std::vector<TrialResult> results(placements.size());
+    env.evaluate_batch(placements, results);
+    all.insert(all.end(), results.begin(), results.end());
+  }
+  return all;
+}
+
+// ---- The gauntlet ----------------------------------------------------------
+
+TEST(Chaos, DistResultsAreBitIdenticalUnderCorruptionDropsDupsAndDelays) {
+  FaultGuard guard;
+  Fixture fx;
+  const int kRounds = 3, kBatch = 24, kWorkers = 4;
+  const auto reference = run_reference(fx, 42, kRounds, kBatch);
+
+  const uint64_t injected_before = FaultPlan::injected_total();
+  const uint64_t crc_before =
+      counter_value("mars_dist_coord_frame_crc_errors_total") +
+      counter_value("mars_dist_worker_frame_crc_errors_total");
+
+  CoordinatorConfig cc;
+  // Swallowed frames must heal by deadline re-dispatch, not stall batches.
+  cc.trial_timeout_ms = 500;
+  Coordinator coord(cc);
+  std::vector<std::unique_ptr<ThreadWorker>> fleet;
+  for (int i = 0; i < kWorkers; ++i)
+    fleet.push_back(std::make_unique<ThreadWorker>(
+        worker_config(coord.port(), "cw" + std::to_string(i))));
+  ASSERT_TRUE(coord.wait_for_workers(kWorkers, 10.0));
+
+  FaultSpec chaos;
+  std::string error;
+  ASSERT_TRUE(parse_fault_spec(
+      "seed=1234,scope=dist,corrupt=0.05,dup=0.05,dropframe=0.03,"
+      "delay=0.05:2,budget=300",
+      &chaos, &error))
+      << error;
+  FaultPlan::configure(chaos);
+
+  auto session = coord.open_session(fx.graph, fx.gpus(), fx.trial_config);
+  TrialEnvConfig cfg;
+  cfg.cache_capacity = 0;
+  cfg.backend = session.get();
+  TrialEnv env(fx.runner, 42, cfg);
+  std::vector<TrialResult> all;
+  for (int r = 0; r < kRounds; ++r) {
+    const auto placements =
+        fx.random_placements(kBatch, 900 + static_cast<uint64_t>(r));
+    std::vector<TrialResult> results(placements.size());
+    env.evaluate_batch(placements, results);
+    all.insert(all.end(), results.begin(), results.end());
+  }
+  FaultPlan::clear();
+
+  // Invariant 1: bit-identical to the fault-free in-process run.
+  ASSERT_EQ(all.size(), reference.size());
+  for (size_t i = 0; i < all.size(); ++i)
+    expect_bitwise_equal(reference[i], all[i], i);
+
+  // Invariant 2: every trial charged exactly once, however often it was
+  // re-dispatched or duplicated on the wire.
+  EXPECT_EQ(session->stats().trials, int64_t{kRounds} * kBatch);
+
+  // Invariant 3: the chaos actually happened and is visible.
+  EXPECT_GT(FaultPlan::injected_total(), injected_before)
+      << "the fault plan never fired — the gauntlet tested nothing";
+  const uint64_t crc_after =
+      counter_value("mars_dist_coord_frame_crc_errors_total") +
+      counter_value("mars_dist_worker_frame_crc_errors_total");
+  EXPECT_GT(crc_after, crc_before)
+      << "corruption was injected but no CRC gate ever rejected a frame";
+}
+
+TEST(Chaos, SeveredWorkerRejoinsMidSessionAndServesLaterBatches) {
+  FaultGuard guard;
+  Fixture fx;
+  const int kBatch = 16;
+  const auto reference = run_reference(fx, 7, 6, kBatch);
+
+  CoordinatorConfig cc;
+  cc.trial_timeout_ms = 1000;
+  Coordinator coord(cc);
+  ThreadWorker w0(worker_config(coord.port(), "rejoin-a"));
+  ThreadWorker w1(worker_config(coord.port(), "rejoin-b"));
+  ASSERT_TRUE(coord.wait_for_workers(2, 10.0));
+
+  auto session = coord.open_session(fx.graph, fx.gpus(), fx.trial_config);
+  TrialEnvConfig cfg;
+  cfg.cache_capacity = 0;
+  cfg.backend = session.get();
+  TrialEnv env(fx.runner, 7, cfg);
+  std::vector<TrialResult> all;
+  auto run_round = [&](int r) {
+    const auto placements =
+        fx.random_placements(kBatch, 900 + static_cast<uint64_t>(r));
+    std::vector<TrialResult> results(placements.size());
+    env.evaluate_batch(placements, results);
+    all.insert(all.end(), results.begin(), results.end());
+  };
+
+  run_round(0);
+  // Sever exactly one dist connection: the next armed I/O call dies with
+  // ECONNRESET, then the plan's budget is spent and chaos is inert.
+  FaultSpec kill;
+  std::string error;
+  ASSERT_TRUE(parse_fault_spec("seed=3,scope=dist,dropconn=1,budget=1",
+                               &kill, &error))
+      << error;
+  FaultPlan::configure(kill);
+  run_round(1);
+  FaultPlan::clear();
+
+  // Wait for the severed worker to complete its re-hello, then snapshot:
+  // results accepted after this point prove the rejoined worker serves.
+  ASSERT_TRUE(coord.wait_for_workers(2, 10.0));
+  std::vector<WorkerDispatchStats> mid = coord.worker_dispatch_stats();
+  for (int r = 2; r < 6; ++r) run_round(r);
+
+  ASSERT_EQ(all.size(), reference.size());
+  for (size_t i = 0; i < all.size(); ++i)
+    expect_bitwise_equal(reference[i], all[i], i);
+  EXPECT_EQ(session->stats().trials, int64_t{6} * kBatch);
+
+  const std::vector<WorkerDispatchStats> final = coord.worker_dispatch_stats();
+  ASSERT_EQ(final.size(), 2u);
+  auto mid_results = [&](const std::string& identity) -> int64_t {
+    for (const auto& s : mid)
+      if (s.identity == identity) return s.results;
+    return 0;
+  };
+  bool rejoined_and_served = false;
+  for (const auto& s : final) {
+    if (s.connects >= 2 && s.results > mid_results(s.identity))
+      rejoined_and_served = true;
+  }
+  EXPECT_TRUE(rejoined_and_served)
+      << "no identity shows connects >= 2 with results after the rejoin";
+  EXPECT_GE(counter_value("mars_dist_coord_worker_rejoins_total"), 1u);
+}
+
+// ---- Worker deadlines against a hung coordinator ---------------------------
+
+int listen_any(int* port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  EXPECT_EQ(::listen(fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
+int accept_within(int listen_fd, int timeout_ms) {
+  pollfd p = {listen_fd, POLLIN, 0};
+  if (::poll(&p, 1, timeout_ms) != 1) return -1;
+  return ::accept(listen_fd, nullptr, nullptr);
+}
+
+TEST(Chaos, WorkerDeadlinesTurnHungCoordinatorIntoReconnect) {
+  const uint64_t timeouts_before =
+      counter_value("mars_dist_worker_read_timeouts_total");
+  int port = 0;
+  const int listen_fd = listen_any(&port);
+
+  WorkerConfig wc;
+  wc.port = port;
+  wc.name = "deadline";
+  wc.backoff_initial_s = 0.01;
+  wc.backoff_max_s = 0.05;
+  wc.handshake_timeout_ms = 150;
+  wc.frame_timeout_ms = 150;
+  ThreadWorker tw(wc);
+
+  // Connection 1: swallow the hello, never answer. The handshake deadline
+  // (not an eternal blocking read) must bring the worker back.
+  const int c1 = accept_within(listen_fd, 10'000);
+  ASSERT_GE(c1, 0);
+  std::string frame;
+  ASSERT_TRUE(serve::read_frame(c1, &frame));
+  HelloMsg hello;
+  ASSERT_TRUE(decode_hello(frame, &hello));
+  EXPECT_EQ(hello.name, "deadline");
+  // ...silence. The worker must give up and reconnect:
+  const int c2 = accept_within(listen_fd, 10'000);
+  ASSERT_GE(c2, 0) << "worker never abandoned the hung handshake";
+  ::close(c1);
+
+  // Connection 2: complete the handshake, then go mute mid-session. The
+  // frame-read deadline must trigger a reconnect.
+  ASSERT_TRUE(serve::read_frame(c2, &frame));
+  ASSERT_TRUE(decode_hello(frame, &hello));
+  WelcomeMsg welcome;
+  welcome.worker_id = 1;
+  ASSERT_TRUE(serve::write_frame(c2, encode_welcome(welcome)));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!tw.worker.connected() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(tw.worker.connected());
+  // ...silence again. Frame deadline expires => reconnect (connection 3).
+  const int c3 = accept_within(listen_fd, 10'000);
+  ASSERT_GE(c3, 0) << "worker never abandoned the mute coordinator";
+  EXPECT_GT(counter_value("mars_dist_worker_read_timeouts_total"),
+            timeouts_before);
+  // reconnects() counts completed re-welcomes, so finish handshake 3 first.
+  ASSERT_TRUE(serve::read_frame(c3, &frame));
+  ASSERT_TRUE(decode_hello(frame, &hello));
+  ASSERT_TRUE(serve::write_frame(c3, encode_welcome(welcome)));
+  const auto rejoin_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (tw.worker.reconnects() < 1 &&
+         std::chrono::steady_clock::now() < rejoin_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(tw.worker.reconnects(), 1);
+
+  tw.worker.stop();
+  ::close(c2);
+  ::close(c3);
+  ::close(listen_fd);
+}
+
+// ---- Serving daemon under client-facing chaos ------------------------------
+
+serve::ServiceConfig tiny_service_config() {
+  serve::ServiceConfig config;
+  config.agent.encoder_hidden = 32;
+  config.agent.encoder_layers = 2;
+  config.agent.placer_hidden = 32;
+  config.agent.attn_dim = 16;
+  config.agent.segment_size = 16;
+  config.default_coarsen = 48;
+  return config;
+}
+
+serve::PlaceRequest tiny_request(const std::string& id) {
+  serve::PlaceRequest request;
+  request.id = id;
+  request.gpus = 4;
+  CompGraph g("tiny");
+  int in = g.add_node("in", OpType::kInput, {32, 8});
+  int mm = g.add_node("mm", OpType::kMatMul, {32, 16}, 8192, 512);
+  int loss = g.add_node("loss", OpType::kCrossEntropyLoss, {1}, 100);
+  g.add_edge(in, mm);
+  g.add_edge(mm, loss);
+  request.graph = g;
+  return request;
+}
+
+TEST(Chaos, ServeDaemonSurvivesClientFacingFaultsAndAnswersEverything) {
+  FaultGuard guard;
+  const uint64_t injected_before = FaultPlan::injected_total();
+  serve::PlacementService service(tiny_service_config());
+  serve::ServerConfig sc;
+  sc.port = 0;
+  sc.threads = 2;
+  serve::ServeDaemon daemon(service, sc);
+  std::thread serve_thread([&] { daemon.serve(); });
+
+  // Byte-level chaos on the daemon's accepted connections. Payloads stay
+  // intact (the serve protocol has no CRC trailer); delivery does not:
+  // partial reads/writes, delays and dropped connections — exactly what
+  // the retrying idempotent PlaceClient is specified to absorb.
+  FaultSpec chaos;
+  std::string error;
+  ASSERT_TRUE(parse_fault_spec(
+      "seed=11,scope=serve,shortw=0.2,shortr=0.2,delay=0.05:2,"
+      "dropconn=0.02,budget=200",
+      &chaos, &error))
+      << error;
+  FaultPlan::configure(chaos);
+
+  serve::ClientConfig cc;
+  cc.request_timeout_s = 2.0;
+  cc.max_retries = 8;
+  cc.backoff_initial_s = 0.01;
+  cc.backoff_max_s = 0.1;
+  int ok = 0;
+  {
+    serve::PlaceClient client("127.0.0.1", daemon.port(), cc);
+    for (int i = 0; i < 12; ++i) {
+      serve::PlaceResponse r =
+          client.place(tiny_request("chaos_" + std::to_string(i)));
+      if (r.status == serve::PlaceStatus::kOk) ++ok;
+    }
+  }
+  FaultPlan::clear();
+  daemon.shutdown();
+  serve_thread.join();
+
+  EXPECT_EQ(ok, 12) << "requests lost under chaos despite client retries";
+  EXPECT_GT(FaultPlan::injected_total(), injected_before);
+}
+
+}  // namespace

@@ -143,10 +143,49 @@ TEST(DistProtocol, ParamsAndErrorRoundTrip) {
   EXPECT_EQ(a2.version, 17u);
   EXPECT_EQ(a2.record_count, 4u);
 
-  ErrorMsg e{"bad things"};
+  ErrorMsg e{ErrorCode::kUnknownSession, 77, "bad things"};
   ErrorMsg e2;
   ASSERT_TRUE(decode_error(encode_error(e), &e2));
+  EXPECT_EQ(e2.code, ErrorCode::kUnknownSession);
+  EXPECT_EQ(e2.session_id, 77u);
   EXPECT_EQ(e2.message, "bad things");
+  EXPECT_STREQ(to_string(e2.code), "unknown_session");
+
+  // Out-of-range error codes are rejected, not truncated into the enum.
+  std::string bad = encode_error(e);
+  // (re-seal after mutating: flip the code byte past the enum range)
+  bad[1] = static_cast<char>(200);
+  ErrorMsg e3;
+  EXPECT_FALSE(decode_error(bad, &e3));
+}
+
+// ---- Protocol v3: CRC32 frame trailer --------------------------------------
+
+TEST(DistProtocol, CrcTrailerDetectsEverySingleBitFlip) {
+  ParamsAckMsg a{9, 3};
+  const std::string frame = encode_params_ack(a);
+  ASSERT_TRUE(frame_crc_ok(frame));
+  // Flip every bit of the frame (body and trailer alike): each corruption
+  // must be caught by the CRC gate and rejected by the decoder.
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = frame;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      EXPECT_FALSE(frame_crc_ok(corrupt))
+          << "bit " << bit << " of byte " << byte << " slipped through";
+      ParamsAckMsg out;
+      EXPECT_FALSE(decode_params_ack(corrupt, &out));
+    }
+  }
+}
+
+TEST(DistProtocol, CrcTrailerRejectsTruncationAndTinyFrames) {
+  const std::string frame = encode_hello({});
+  ASSERT_GT(frame.size(), kCrcTrailerBytes);
+  for (size_t len = 0; len < frame.size(); ++len)
+    EXPECT_FALSE(frame_crc_ok(frame.substr(0, len)));
+  EXPECT_FALSE(frame_crc_ok(std::string()));
+  EXPECT_FALSE(frame_crc_ok(std::string(4, '\0')));  // trailer alone
 }
 
 TEST(DistProtocol, TruncationAtEveryOffsetRejected) {

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -301,6 +302,60 @@ TEST(Backoff, DeterministicForSeedAndIndependentAcrossSeeds) {
     any_diff = any_diff || da != c.next_s();
   }
   EXPECT_TRUE(any_diff);  // different seeds give a different jitter stream
+}
+
+TEST(Backoff, SchedulePinnedToJitterStreamWithMonotoneCappedRamp) {
+  // The whole schedule is pinned: attempt k's delay is exactly
+  // jittered(min(initial * 2^k, max)) drawn from the seeded stream. A
+  // mirror Rng with the same seed must reproduce it bit-for-bit, and the
+  // de-jittered ramp must grow monotonically until it parks at the cap.
+  Backoff backoff(0.05, 2.0, 99);
+  Rng mirror(99);
+  double nominal = 0.05, prev = 0;
+  for (int k = 0; k < 40; ++k) {
+    EXPECT_GE(nominal, prev) << "attempt " << k;
+    EXPECT_LE(nominal, 2.0) << "attempt " << k;
+    EXPECT_DOUBLE_EQ(backoff.next_s(), jittered(nominal, mirror))
+        << "attempt " << k;
+    prev = nominal;
+    nominal = std::min(nominal * 2, 2.0);
+  }
+  EXPECT_EQ(prev, 2.0);  // the ramp reached (and held) the cap
+}
+
+TEST(Backoff, ResetAfterSuccessRestartsRampWithoutRewindingJitter) {
+  // reset() (a successful reconnect) pins the next delay back to ~initial,
+  // but the jitter stream keeps advancing — delays never repeat, so two
+  // flapping workers do not fall into a shared rhythm.
+  Backoff backoff(0.1, 2.0, 1234);
+  Rng mirror(1234);
+  for (int k = 0; k < 3; ++k) backoff.next_s();
+  for (int k = 0; k < 3; ++k) jittered(1.0, mirror);  // advance mirror too
+  backoff.reset();
+  EXPECT_DOUBLE_EQ(backoff.next_s(), jittered(0.1, mirror));
+  EXPECT_DOUBLE_EQ(backoff.next_s(), jittered(0.2, mirror));
+  EXPECT_EQ(backoff.attempt(), 2);
+}
+
+TEST(Backoff, ReconnectStormSpreadsAcrossAFleet) {
+  // 32 workers losing the same coordinator at the same instant (the chaos
+  // gauntlet's drop_conn storm): per-worker seeds must spread the first
+  // retry instead of stampeding back in lockstep.
+  std::vector<double> first;
+  for (uint64_t w = 0; w < 32; ++w)
+    first.push_back(
+        Backoff(0.1, 2.0, 0xd157b0ffull ^ (w * 0x9E3779B97F4A7C15ull))
+            .next_s());
+  std::sort(first.begin(), first.end());
+  EXPECT_EQ(std::unique(first.begin(), first.end()), first.end())
+      << "two workers drew an identical first delay";
+  // Jitter spans [0.5, 1.5) * initial; a fleet this size must actually use
+  // a wide slice of it, not cluster.
+  EXPECT_GT(first.back() - first.front(), 0.04);
+  for (double d : first) {
+    EXPECT_GE(d, 0.05);
+    EXPECT_LT(d, 0.15);
+  }
 }
 
 TEST(Backoff, JitteredHelperBoundsAndUsesTheStream) {
